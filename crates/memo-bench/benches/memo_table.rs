@@ -1,0 +1,95 @@
+//! Microbenchmarks of the MEMO-TABLE itself — the "cycle time" question
+//! of §2.4 translated to software: how cheap is a probe?
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use memo_table::{
+    Assoc, InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, Op, TagPolicy,
+};
+
+/// A repetitive division stream (8 distinct pairs — all hits after warmup).
+fn hot_ops() -> Vec<Op> {
+    (0..1024).map(|i| Op::FpDiv(f64::from(i % 8 + 2), 3.0)).collect()
+}
+
+/// A cold stream: every pair distinct.
+fn cold_ops() -> Vec<Op> {
+    (0..1024).map(|i| Op::FpDiv(f64::from(i) + 0.5, 3.0)).collect()
+}
+
+fn bench_probe_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo_table");
+
+    group.bench_function("probe_hit_32x4", |b| {
+        let mut table = MemoTable::new(MemoConfig::paper_default());
+        for op in hot_ops() {
+            table.execute(op);
+        }
+        let ops = hot_ops();
+        b.iter(|| {
+            for &op in &ops {
+                black_box(table.execute(black_box(op)));
+            }
+        });
+    });
+
+    group.bench_function("probe_miss_insert_32x4", |b| {
+        let ops = cold_ops();
+        b.iter_batched(
+            || MemoTable::new(MemoConfig::paper_default()),
+            |mut table| {
+                for &op in &ops {
+                    black_box(table.execute(black_box(op)));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.bench_function("probe_hit_mantissa_tags", |b| {
+        let cfg = MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap();
+        let mut table = MemoTable::new(cfg);
+        for op in hot_ops() {
+            table.execute(op);
+        }
+        let ops = hot_ops();
+        b.iter(|| {
+            for &op in &ops {
+                black_box(table.execute(black_box(op)));
+            }
+        });
+    });
+
+    group.bench_function("probe_hit_fully_associative_1k", |b| {
+        let cfg = MemoConfig::builder(1024).assoc(Assoc::Full).build().unwrap();
+        let mut table = MemoTable::new(cfg);
+        for op in hot_ops() {
+            table.execute(op);
+        }
+        let ops = hot_ops();
+        b.iter(|| {
+            for &op in &ops {
+                black_box(table.execute(black_box(op)));
+            }
+        });
+    });
+
+    group.bench_function("infinite_table_mixed", |b| {
+        let ops: Vec<Op> = hot_ops().into_iter().chain(cold_ops()).collect();
+        b.iter_batched(
+            InfiniteMemoTable::new,
+            |mut table| {
+                for &op in &ops {
+                    black_box(table.execute(black_box(op)));
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_probe_paths);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # memo-bench
+//!
+//! Criterion benchmarks for the memo-tables reproduction:
+//!
+//! * `memo_table` — microbenchmarks of the MEMO-TABLE itself (probe hit,
+//!   probe miss, insert, mantissa reconstruction, infinite-table lookups);
+//! * `paper_tables` — end-to-end regeneration of Tables 5–13 at reduced
+//!   scale;
+//! * `paper_figures` — Figures 2–4;
+//! * `workloads` — event-stream throughput of representative kernels.
+//!
+//! Run `cargo bench --workspace`; results land in `target/criterion`.
+//! The shared reduced-scale configuration lives in [`bench_cfg`].
+
+use memo_experiments::ExpConfig;
+
+/// The scale every paper-table benchmark runs at: small enough for
+/// benchmarking, large enough to exercise the full code paths.
+#[must_use]
+pub fn bench_cfg() -> ExpConfig {
+    ExpConfig::quick()
+}

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (hash, replacement, commutativity,
+//! shared-vs-private tables).
+use memo_experiments::{ablations, ExpConfig};
+fn main() {
+    println!("{}", ablations::render(ExpConfig::from_env()));
+}

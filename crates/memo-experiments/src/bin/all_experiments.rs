@@ -1,0 +1,24 @@
+//! Runs every table and figure in sequence — the full reproduction.
+use memo_experiments::*;
+fn main() {
+    let cfg = ExpConfig::from_env();
+    println!("{}", table1::render());
+    println!("{}", suites::render_table2());
+    println!("{}", suites::render_table3());
+    println!("{}", suites::render_table4());
+    println!("{}", hits::table5(cfg).render());
+    println!("{}", hits::table6(cfg).render());
+    println!("{}", hits::table7(cfg).render());
+    println!("{}", images::render(&images::table8(cfg)));
+    println!("{}", trivial::render(&trivial::table9(cfg)));
+    println!("{}", mantissa::render(&mantissa::table10(cfg)));
+    println!("{}", speedup::render("Table 11: Speedup, fp division memoized", "13c", "39c", &speedup::table11(cfg)));
+    println!("{}", speedup::render("Table 12: Speedup, fp multiplication memoized", "3c", "5c", &speedup::table12(cfg)));
+    println!("{}", speedup::render("Table 13: Speedup, fp mul+div memoized", "3/13c", "5/39c", &speedup::table13(cfg)));
+    println!("{}", figures::figure2(cfg).render());
+    println!("{}", figures::render_sweep("Figure 3: Hit ratio vs LUT size (4-way)", "entries", &figures::figure3(cfg)));
+    println!("{}", figures::render_sweep("Figure 4: Hit ratio vs associativity (32 entries)", "ways", &figures::figure4(cfg)));
+    println!("{}", ablations::render(cfg));
+    println!("{}", related::render(cfg));
+    println!("{}", extension::render(cfg));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Figure 3 (hit ratio vs LUT size).
+use memo_experiments::{figures, ExpConfig};
+fn main() {
+    let curves = figures::figure3(ExpConfig::from_env());
+    println!("{}", figures::render_sweep("Figure 3: Hit ratio vs LUT size (4-way)", "entries", &curves));
+}

@@ -1,0 +1,6 @@
+//! Runs the paper's future-work studies: sqrt-unit memoization and the
+//! pipeline-hazard model.
+use memo_experiments::{extension, ExpConfig};
+fn main() {
+    println!("{}", extension::render(ExpConfig::from_env()));
+}

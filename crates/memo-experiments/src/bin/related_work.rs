@@ -1,0 +1,6 @@
+//! Compares MEMO-TABLEs against the related-work division-acceleration
+//! schemes (trivial-only detection, reciprocal caches).
+use memo_experiments::{related, ExpConfig};
+fn main() {
+    println!("{}", related::render(ExpConfig::from_env()));
+}

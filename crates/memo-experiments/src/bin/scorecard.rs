@@ -1,0 +1,6 @@
+//! Prints the live reproduction scorecard: every headline claim of the
+//! paper evaluated against fresh measurements.
+use memo_experiments::{summary, ExpConfig};
+fn main() {
+    println!("{}", summary::render(ExpConfig::from_env()));
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table 1 (processor cycle times).
+fn main() {
+    println!("{}", memo_experiments::table1::render());
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 10 (mantissa-only vs full-value tags).
+use memo_experiments::{mantissa, ExpConfig};
+fn main() {
+    let rows = mantissa::table10(ExpConfig::from_env());
+    println!("{}", mantissa::render(&rows));
+}

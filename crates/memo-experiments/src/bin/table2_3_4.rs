@@ -1,0 +1,6 @@
+//! Regenerates Tables 2-4 (benchmark-suite inventories).
+fn main() {
+    println!("{}", memo_experiments::suites::render_table2());
+    println!("{}", memo_experiments::suites::render_table3());
+    println!("{}", memo_experiments::suites::render_table4());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (Perfect-suite hit ratios).
+use memo_experiments::{hits, ExpConfig};
+fn main() {
+    println!("{}", hits::table5(ExpConfig::from_env()).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (SPEC CFP95 hit ratios).
+use memo_experiments::{hits, ExpConfig};
+fn main() {
+    println!("{}", hits::table6(ExpConfig::from_env()).render());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 7 (multi-media hit ratios).
+use memo_experiments::{hits, ExpConfig};
+fn main() {
+    println!("{}", hits::table7(ExpConfig::from_env()).render());
+}

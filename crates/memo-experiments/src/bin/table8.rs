@@ -1,0 +1,6 @@
+//! Regenerates Table 8 (image entropies and per-image hit ratios).
+use memo_experiments::{images, ExpConfig};
+fn main() {
+    let rows = images::table8(ExpConfig::from_env());
+    println!("{}", images::render(&rows));
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table 9 (trivial-operation policies).
+use memo_experiments::{trivial, ExpConfig};
+fn main() {
+    let rows = trivial::table9(ExpConfig::from_env());
+    println!("{}", trivial::render(&rows));
+}

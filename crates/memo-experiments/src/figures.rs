@@ -1,0 +1,347 @@
+//! Figures 2, 3, 4 — the entropy correlation, the table-size sweep, and
+//! the associativity sweep.
+
+use memo_fit::{fit_line, Line};
+use memo_imaging::entropy;
+use memo_sim::{Event, EventSink, MemoBank};
+use memo_table::{Assoc, MemoConfig, MemoTable, Memoizer, Op, OpKind};
+use memo_workloads::mm;
+use memo_workloads::suite::{measure_mm_app, mm_inputs};
+
+use crate::format::TextTable;
+use crate::ExpConfig;
+
+/// The five sample applications the paper uses for Figures 3 and 4.
+pub const SAMPLE_APPS: [&str; 5] = ["vcost", "venhance", "vgpwl", "vspatial", "vsurf"];
+
+/// Records only the multi-cycle operations — a compact trace that can be
+/// replayed into many table configurations without re-running the kernel.
+#[derive(Debug, Default)]
+pub struct OpTrace {
+    ops: Vec<Op>,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recorded operations.
+    #[must_use]
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Replay into a memoizer, filtering by kind.
+    pub fn replay_kind<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
+        for &op in &self.ops {
+            if op.kind() == kind {
+                table.execute(op);
+            }
+        }
+    }
+}
+
+impl EventSink for OpTrace {
+    fn record(&mut self, event: Event) {
+        if let Event::Arith(op) = event {
+            self.ops.push(op);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2 — hit ratio vs entropy
+// ---------------------------------------------------------------------------
+
+/// One scatter point of Figure 2.
+#[derive(Debug, Clone, Copy)]
+pub struct EntropyPoint {
+    /// Whole-image entropy (bits).
+    pub entropy_full: f64,
+    /// Mean 8×8-window entropy (bits).
+    pub entropy_8: f64,
+    /// fmul hit ratio, if the app multiplies.
+    pub fp_mul: Option<f64>,
+    /// fdiv hit ratio, if the app divides.
+    pub fp_div: Option<f64>,
+}
+
+/// Figure 2: the four panels' points and fitted lines.
+#[derive(Debug, Clone)]
+pub struct Figure2 {
+    /// One point per (application, byte-image) pair.
+    pub points: Vec<EntropyPoint>,
+    /// fdiv hit ratio vs 8×8 entropy.
+    pub fdiv_vs_win8: Line,
+    /// fdiv hit ratio vs whole-image entropy.
+    pub fdiv_vs_full: Line,
+    /// fmul hit ratio vs 8×8 entropy.
+    pub fmul_vs_win8: Line,
+    /// fmul hit ratio vs whole-image entropy.
+    pub fmul_vs_full: Line,
+}
+
+/// Compute Figure 2 over the corpus (byte/integer images only — FLOAT
+/// imagery has no defined entropy, as in the paper).
+#[must_use]
+pub fn figure2(cfg: ExpConfig) -> Figure2 {
+    let corpus = mm_inputs(cfg.image_scale);
+    let apps = mm::apps();
+    let mut points = Vec::new();
+    for c in &corpus {
+        let Some(report) = entropy::report(&c.image) else { continue };
+        for app in &apps {
+            let hits = measure_mm_app(app, &[&c.image], MemoBank::paper_default);
+            if hits.fp_mul.is_none() && hits.fp_div.is_none() {
+                continue;
+            }
+            points.push(EntropyPoint {
+                entropy_full: report.full,
+                entropy_8: report.win8,
+                fp_mul: hits.fp_mul,
+                fp_div: hits.fp_div,
+            });
+        }
+    }
+
+    let fit = |xs: Vec<f64>, ys: Vec<f64>| -> Line {
+        fit_line(&xs, &ys).expect("panel has enough points")
+    };
+    let panel = |fx: fn(&EntropyPoint) -> f64, fy: fn(&EntropyPoint) -> Option<f64>| {
+        let (xs, ys): (Vec<f64>, Vec<f64>) =
+            points.iter().filter_map(|p| fy(p).map(|y| (fx(p), y))).unzip();
+        fit(xs, ys)
+    };
+
+    Figure2 {
+        fdiv_vs_win8: panel(|p| p.entropy_8, |p| p.fp_div),
+        fdiv_vs_full: panel(|p| p.entropy_full, |p| p.fp_div),
+        fmul_vs_win8: panel(|p| p.entropy_8, |p| p.fp_mul),
+        fmul_vs_full: panel(|p| p.entropy_full, |p| p.fp_mul),
+        points,
+    }
+}
+
+impl Figure2 {
+    /// Render the four fitted lines (the paper's per-panel summary: about
+    /// a 5 % hit-ratio drop per entropy bit).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&["panel", "slope (hit/bit)", "intercept", "points"]);
+        let n_div = self.points.iter().filter(|p| p.fp_div.is_some()).count();
+        let n_mul = self.points.iter().filter(|p| p.fp_mul.is_some()).count();
+        for (name, line, n) in [
+            ("fdiv vs 8x8 entropy", self.fdiv_vs_win8, n_div),
+            ("fdiv vs full entropy", self.fdiv_vs_full, n_div),
+            ("fmul vs 8x8 entropy", self.fmul_vs_win8, n_mul),
+            ("fmul vs full entropy", self.fmul_vs_full, n_mul),
+        ] {
+            t.row(vec![
+                name.to_string(),
+                format!("{:+.4}", line.slope),
+                format!("{:.3}", line.intercept),
+                n.to_string(),
+            ]);
+        }
+        format!(
+            "Figure 2: Hit ratios vs entropy (Marquardt-Levenberg best fit)\n{}",
+            t.render()
+        )
+    }
+
+    /// Dump the scatter points as CSV (for external plotting).
+    #[must_use]
+    pub fn points_csv(&self) -> String {
+        let mut out = String::from("entropy_full,entropy_8x8,fmul_hit,fdiv_hit\n");
+        for p in &self.points {
+            let opt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
+            out.push_str(&format!(
+                "{:.4},{:.4},{},{}\n",
+                p.entropy_full,
+                p.entropy_8,
+                opt(p.fp_mul),
+                opt(p.fp_div)
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures 3 & 4 — geometry sweeps
+// ---------------------------------------------------------------------------
+
+/// Aggregate hit-ratio statistics at one sweep point.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Sweep coordinate: entry count (Fig. 3) or way count (Fig. 4).
+    pub x: usize,
+    /// Mean hit ratio across the sample apps.
+    pub avg: f64,
+    /// Minimum across the sample apps.
+    pub min: f64,
+    /// Maximum across the sample apps.
+    pub max: f64,
+}
+
+/// One operation kind's sweep curve.
+#[derive(Debug, Clone)]
+pub struct SweepCurve {
+    /// `fmul` or `fdiv`.
+    pub kind: OpKind,
+    /// The measured points, in sweep order.
+    pub points: Vec<SweepPoint>,
+}
+
+fn collect_traces(cfg: ExpConfig) -> Vec<OpTrace> {
+    let corpus = mm_inputs(cfg.image_scale);
+    SAMPLE_APPS
+        .iter()
+        .map(|name| {
+            let app = mm::find(name).expect("sample apps are registered");
+            let mut trace = OpTrace::new();
+            for c in &corpus {
+                app.run(&mut trace, &c.image);
+            }
+            trace
+        })
+        .collect()
+}
+
+fn sweep(traces: &[OpTrace], kind: OpKind, configs: &[(usize, MemoConfig)]) -> SweepCurve {
+    let points = configs
+        .iter()
+        .map(|&(x, table_cfg)| {
+            let ratios: Vec<f64> = traces
+                .iter()
+                .map(|trace| {
+                    let mut table = MemoTable::new(table_cfg);
+                    trace.replay_kind(kind, &mut table);
+                    table.hit_ratio()
+                })
+                .collect();
+            SweepPoint {
+                x,
+                avg: ratios.iter().sum::<f64>() / ratios.len() as f64,
+                min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+                max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
+    SweepCurve { kind, points }
+}
+
+/// Figure 3: hit ratio vs LUT size (8 → 8192 entries, 4-way), for fmul
+/// and fdiv, over the five sample applications.
+#[must_use]
+pub fn figure3(cfg: ExpConfig) -> [SweepCurve; 2] {
+    let traces = collect_traces(cfg);
+    let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+    let configs: Vec<(usize, MemoConfig)> = sizes
+        .iter()
+        .map(|&s| {
+            (s, MemoConfig::builder(s).assoc(Assoc::Ways(4)).build().expect("size is valid"))
+        })
+        .collect();
+    [sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)]
+}
+
+/// Figure 4: hit ratio vs associativity (direct-mapped → 8-way) at 32
+/// entries.
+#[must_use]
+pub fn figure4(cfg: ExpConfig) -> [SweepCurve; 2] {
+    let traces = collect_traces(cfg);
+    let ways = [1usize, 2, 4, 8];
+    let configs: Vec<(usize, MemoConfig)> = ways
+        .iter()
+        .map(|&w| {
+            let assoc = if w == 1 { Assoc::DirectMapped } else { Assoc::Ways(w) };
+            (w, MemoConfig::builder(32).assoc(assoc).build().expect("geometry is valid"))
+        })
+        .collect();
+    [sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)]
+}
+
+/// Render a sweep figure as a table of avg (min–max) per point.
+#[must_use]
+pub fn render_sweep(title: &str, x_label: &str, curves: &[SweepCurve]) -> String {
+    let mut t = TextTable::new(&[x_label, "fmul avg", "fmul min-max", "fdiv avg", "fdiv min-max"]);
+    let n = curves[0].points.len();
+    for i in 0..n {
+        let (m, d) = (&curves[0].points[i], &curves[1].points[i]);
+        t.row(vec![
+            m.x.to_string(),
+            format!("{:.3}", m.avg),
+            format!("{:.2}-{:.2}", m.min, m.max),
+            format!("{:.3}", d.avg),
+            format!("{:.2}-{:.2}", d.min, d.max),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_slopes_are_negative() {
+        let fig = figure2(ExpConfig::quick());
+        // The paper's takeaway: hit ratio falls with entropy, roughly 5 %
+        // per bit on the windowed panels.
+        assert!(fig.fdiv_vs_win8.slope < 0.0, "fdiv/8x8 slope {}", fig.fdiv_vs_win8.slope);
+        assert!(fig.fmul_vs_win8.slope < 0.0, "fmul/8x8 slope {}", fig.fmul_vs_win8.slope);
+        assert!(fig.points.len() > 50, "scatter has real mass: {}", fig.points.len());
+        let csv = fig.points_csv();
+        assert!(csv.lines().count() == fig.points.len() + 1);
+    }
+
+    #[test]
+    fn figure3_grows_and_saturates() {
+        let curves = figure3(ExpConfig::quick());
+        for curve in &curves {
+            let first = curve.points.first().unwrap().avg;
+            let biggest = curve.points.last().unwrap().avg;
+            assert!(
+                biggest >= first,
+                "{}: hit ratio must not shrink with size",
+                curve.kind
+            );
+            // Saturation: the last doubling adds almost nothing.
+            let n = curve.points.len();
+            let tail_gain = curve.points[n - 1].avg - curve.points[n - 2].avg;
+            assert!(tail_gain < 0.05, "{}: tail gain {tail_gain}", curve.kind);
+        }
+    }
+
+    #[test]
+    fn figure4_direct_mapped_is_worst() {
+        let curves = figure4(ExpConfig::quick());
+        for curve in &curves {
+            let dm = curve.points[0].avg;
+            let four_way = curve.points[2].avg;
+            assert!(
+                four_way + 1e-9 >= dm,
+                "{}: 4-way {} vs direct-mapped {}",
+                curve.kind,
+                four_way,
+                dm
+            );
+        }
+        // Beyond 4 ways hardly improves (paper: flat past 4).
+        let fdiv = &curves[1];
+        let gain = fdiv.points[3].avg - fdiv.points[2].avg;
+        assert!(gain.abs() < 0.05, "8-way adds {gain}");
+    }
+
+    #[test]
+    fn render_sweep_formats() {
+        let curves = figure4(ExpConfig::quick());
+        let s = render_sweep("Figure 4", "ways", &curves);
+        assert!(s.contains("Figure 4"));
+        assert!(s.lines().count() >= 6);
+    }
+}

@@ -1,0 +1,118 @@
+//! Plain-text table rendering in the paper's style.
+
+/// Format a hit ratio the way the paper prints it: `.39`, `1.0`, or `-`
+/// for an absent operation.
+#[must_use]
+pub fn ratio(r: Option<f64>) -> String {
+    match r {
+        None => "-".to_string(),
+        Some(v) if v >= 0.995 => "1.0".to_string(),
+        Some(v) => {
+            let s = format!("{v:.2}");
+            // ".39" rather than "0.39", as in the paper's tables.
+            s.strip_prefix('0').unwrap_or(&s).to_string()
+        }
+    }
+}
+
+/// Format a fraction with three decimals (`FE` columns).
+#[must_use]
+pub fn frac3(v: f64) -> String {
+    let s = format!("{v:.3}");
+    s.strip_prefix('0').unwrap_or(&s).to_string()
+}
+
+/// A fixed-width text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        TextTable { header: header.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Append one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match header");
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns (first column left-aligned, the rest
+    /// right-aligned, like the paper's tables).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                if i == 0 {
+                    line.push_str(&format!("{:<w$}", cells[i], w = widths[i]));
+                } else {
+                    line.push_str(&format!("  {:>w$}", cells[i], w = widths[i]));
+                }
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_formatting_matches_paper_style() {
+        assert_eq!(ratio(None), "-");
+        assert_eq!(ratio(Some(0.39)), ".39");
+        assert_eq!(ratio(Some(0.999)), "1.0");
+        assert_eq!(ratio(Some(0.0)), ".00");
+        assert_eq!(frac3(0.036), ".036");
+    }
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut t = TextTable::new(&["app", "fdiv"]);
+        t.row(vec!["vspatial".into(), ".94".into()]);
+        t.row(vec!["x".into(), "1.0".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("app"));
+        assert!(lines[2].starts_with("vspatial"));
+        // Right alignment of the numeric column.
+        assert!(lines[2].ends_with(".94"));
+        assert!(lines[3].ends_with("1.0"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+}

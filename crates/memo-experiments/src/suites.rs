@@ -1,0 +1,49 @@
+//! Tables 2, 3, 4 — the benchmark-suite inventories.
+
+use memo_workloads::{mm, sci};
+
+use crate::format::TextTable;
+
+/// Render Table 2 (Perfect Club applications).
+#[must_use]
+pub fn render_table2() -> String {
+    let mut t = TextTable::new(&["application", "description"]);
+    for app in sci::perfect_apps() {
+        t.row(vec![app.name.to_uppercase(), app.description.to_string()]);
+    }
+    format!("Table 2: Description of the Perfect Benchmark applications\n{}", t.render())
+}
+
+/// Render Table 3 (SPEC CFP95 applications).
+#[must_use]
+pub fn render_table3() -> String {
+    let mut t = TextTable::new(&["application", "description"]);
+    for app in sci::spec_apps() {
+        t.row(vec![app.name.to_string(), app.description.to_string()]);
+    }
+    format!("Table 3: Description of the SPEC CFP95 applications\n{}", t.render())
+}
+
+/// Render Table 4 (multi-media applications).
+#[must_use]
+pub fn render_table4() -> String {
+    let mut t = TextTable::new(&["application", "description"]);
+    for app in mm::apps() {
+        t.row(vec![app.name.to_string(), app.description.to_string()]);
+    }
+    format!("Table 4: Description of MM applications\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn inventories_are_complete() {
+        let t2 = super::render_table2();
+        assert!(t2.contains("ADM") && t2.contains("SPEC77"));
+        let t3 = super::render_table3();
+        assert!(t3.contains("tomcatv") && t3.contains("wave5"));
+        let t4 = super::render_table4();
+        assert!(t4.contains("vspatial") && t4.contains("venhpatch"));
+        assert_eq!(t4.lines().count(), 2 + 1 + 18);
+    }
+}

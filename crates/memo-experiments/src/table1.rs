@@ -1,0 +1,37 @@
+//! Table 1 — cycle times of leading microprocessors.
+//!
+//! Static data, but it anchors every speedup experiment: the latencies the
+//! simulator charges come from these models.
+
+use memo_sim::CpuModel;
+
+use crate::format::TextTable;
+
+/// The six processors of Table 1.
+#[must_use]
+pub fn models() -> [CpuModel; 6] {
+    CpuModel::table1_models()
+}
+
+/// Render Table 1.
+#[must_use]
+pub fn render() -> String {
+    let mut t = TextTable::new(&["processor", "multiplication", "division"]);
+    for m in models() {
+        t.row(vec![m.name.to_string(), m.fp_mul.to_string(), m.fp_div.to_string()]);
+    }
+    format!("Table 1: Cycle times of leading microprocessors\n{}", t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn render_contains_all_rows() {
+        let s = super::render();
+        for name in ["Pentium Pro", "Alpha 21164", "MIPS R10000", "PPC 604e", "UltraSparc-II", "PA 8000"] {
+            assert!(s.contains(name), "{name} missing");
+        }
+        assert!(s.contains("39")); // Pentium Pro division
+        assert!(s.contains("22")); // UltraSPARC division
+    }
+}

@@ -1,0 +1,310 @@
+//! # memo-fit
+//!
+//! Nonlinear least-squares fitting by the Levenberg–Marquardt algorithm —
+//! the method the paper uses for Figure 2's best-fit line ("nonlinear
+//! least squares fitting using the Marquardt-Levenberg Algorithm", §3.2),
+//! implemented from scratch.
+//!
+//! The solver is generic over the model: you provide `f(x, params)` and
+//! the data; Jacobians are computed by central finite differences.
+//!
+//! ```
+//! use memo_fit::{fit, fit_line};
+//!
+//! // Recover a planted line y = 0.9 - 0.05 x.
+//! let xs: Vec<f64> = (0..20).map(f64::from).collect();
+//! let ys: Vec<f64> = xs.iter().map(|x| 0.9 - 0.05 * x).collect();
+//! let line = fit_line(&xs, &ys)?;
+//! assert!((line.intercept - 0.9).abs() < 1e-8);
+//! assert!((line.slope + 0.05).abs() < 1e-8);
+//!
+//! // The same through the general interface with an exponential model.
+//! let ys: Vec<f64> = xs.iter().map(|x| 2.0 * (-0.3 * x).exp()).collect();
+//! let result = fit(|x, p| p[0] * (p[1] * x).exp(), &xs, &ys, &[1.0, -0.1])?;
+//! assert!((result.params[0] - 2.0).abs() < 1e-6);
+//! assert!((result.params[1] + 0.3).abs() < 1e-6);
+//! # Ok::<(), memo_fit::FitError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+
+/// Errors from the fitting routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// `xs` and `ys` differ in length or are empty.
+    BadData,
+    /// Fewer data points than parameters.
+    Underdetermined,
+    /// The normal equations became singular and damping could not rescue
+    /// them (e.g. a parameter has no effect on the model).
+    Singular,
+    /// The iteration limit was reached before convergence.
+    NoConvergence,
+}
+
+impl fmt::Display for FitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FitError::BadData => f.write_str("xs and ys must be non-empty and equal length"),
+            FitError::Underdetermined => f.write_str("fewer data points than parameters"),
+            FitError::Singular => f.write_str("normal equations are singular"),
+            FitError::NoConvergence => f.write_str("did not converge within the iteration limit"),
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// The outcome of a successful fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FitResult {
+    /// Best-fit parameters.
+    pub params: Vec<f64>,
+    /// Residual sum of squares at the solution.
+    pub rss: f64,
+    /// Iterations used.
+    pub iterations: u32,
+}
+
+/// A fitted straight line `y = intercept + slope·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Line {
+    /// Value at `x = 0`.
+    pub intercept: f64,
+    /// Change in `y` per unit `x`.
+    pub slope: f64,
+    /// Residual sum of squares.
+    pub rss: f64,
+}
+
+impl Line {
+    /// Evaluate the line at `x`.
+    #[must_use]
+    pub fn at(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+/// Levenberg–Marquardt fit of `model(x, params)` to `(xs, ys)`.
+///
+/// # Errors
+///
+/// See [`FitError`]; in particular the fit fails if the data is shorter
+/// than the parameter vector or the Jacobian collapses.
+pub fn fit(
+    model: impl Fn(f64, &[f64]) -> f64,
+    xs: &[f64],
+    ys: &[f64],
+    initial: &[f64],
+) -> Result<FitResult, FitError> {
+    if xs.is_empty() || xs.len() != ys.len() {
+        return Err(FitError::BadData);
+    }
+    let np = initial.len();
+    if np == 0 || xs.len() < np {
+        return Err(FitError::Underdetermined);
+    }
+
+    let rss_of = |p: &[f64]| -> f64 {
+        xs.iter().zip(ys).map(|(&x, &y)| (y - model(x, p)).powi(2)).sum()
+    };
+
+    let mut params = initial.to_vec();
+    let mut lambda = 1e-3;
+    let mut rss = rss_of(&params);
+    const MAX_ITER: u32 = 200;
+
+    for iter in 0..MAX_ITER {
+        // Jacobian by central differences, residuals at current params.
+        let mut jtj = vec![vec![0.0f64; np]; np];
+        let mut jtr = vec![0.0f64; np];
+        for (&x, &y) in xs.iter().zip(ys) {
+            let r = y - model(x, &params);
+            let mut grad = vec![0.0f64; np];
+            for (k, g) in grad.iter_mut().enumerate() {
+                let h = 1e-6 * params[k].abs().max(1e-6);
+                let mut p_hi = params.clone();
+                p_hi[k] += h;
+                let mut p_lo = params.clone();
+                p_lo[k] -= h;
+                *g = (model(x, &p_hi) - model(x, &p_lo)) / (2.0 * h);
+            }
+            for a in 0..np {
+                jtr[a] += grad[a] * r;
+                for b in 0..np {
+                    jtj[a][b] += grad[a] * grad[b];
+                }
+            }
+        }
+
+        // Try damped steps, growing lambda until the step improves RSS.
+        let mut stepped = false;
+        for _ in 0..30 {
+            let mut damped = jtj.clone();
+            for (a, row) in damped.iter_mut().enumerate() {
+                row[a] += lambda * row[a].max(1e-12);
+            }
+            let Some(delta) = solve(damped, jtr.clone()) else {
+                lambda *= 10.0;
+                continue;
+            };
+            let candidate: Vec<f64> =
+                params.iter().zip(&delta).map(|(p, d)| p + d).collect();
+            let new_rss = rss_of(&candidate);
+            if new_rss.is_finite() && new_rss <= rss {
+                let improvement = rss - new_rss;
+                params = candidate;
+                rss = new_rss;
+                lambda = (lambda * 0.3).max(1e-12);
+                stepped = true;
+                if improvement <= 1e-12 * (1.0 + rss) {
+                    return Ok(FitResult { params, rss, iterations: iter + 1 });
+                }
+                break;
+            }
+            lambda *= 10.0;
+        }
+        if !stepped {
+            // No downhill step exists: either converged or singular.
+            return if rss.is_finite() {
+                Ok(FitResult { params, rss, iterations: iter + 1 })
+            } else {
+                Err(FitError::Singular)
+            };
+        }
+    }
+    Err(FitError::NoConvergence)
+}
+
+/// Convenience: fit a straight line (the Figure 2 usage).
+///
+/// # Errors
+///
+/// As [`fit`].
+pub fn fit_line(xs: &[f64], ys: &[f64]) -> Result<Line, FitError> {
+    let mean_y = ys.iter().sum::<f64>() / ys.len().max(1) as f64;
+    let result = fit(|x, p| p[0] + p[1] * x, xs, ys, &[mean_y, 0.0])?;
+    Ok(Line { intercept: result.params[0], slope: result.params[1], rss: result.rss })
+}
+
+/// Gaussian elimination with partial pivoting; `None` when singular.
+// The elimination inner loop reads `a[col][k]` while writing `a[row][k]`;
+// an iterator version needs split_at_mut gymnastics that obscure the math.
+#[allow(clippy::needless_range_loop)]
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite matrix")
+        })?;
+        if a[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for col in (0..n).rev() {
+        let mut sum = b[col];
+        for (ak, xk) in a[col][col + 1..n].iter().zip(&x[col + 1..n]) {
+            sum -= ak * xk;
+        }
+        x[col] = sum / a[col][col];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_fit_recovers_planted_parameters() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 0.85 - 0.052 * x).collect();
+        let line = fit_line(&xs, &ys).unwrap();
+        assert!((line.intercept - 0.85).abs() < 1e-8);
+        assert!((line.slope + 0.052).abs() < 1e-8);
+        assert!(line.rss < 1e-12);
+        assert!((line.at(2.0) - (0.85 - 0.104)).abs() < 1e-8);
+    }
+
+    #[test]
+    fn line_fit_handles_noise() {
+        // Deterministic pseudo-noise around a known line.
+        let xs: Vec<f64> = (0..200).map(|i| i as f64 * 0.05).collect();
+        let ys: Vec<f64> = xs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| 1.2 - 0.3 * x + 0.01 * ((i * 2654435761) % 100) as f64 / 100.0)
+            .collect();
+        let line = fit_line(&xs, &ys).unwrap();
+        assert!((line.slope + 0.3).abs() < 0.01, "slope {}", line.slope);
+    }
+
+    #[test]
+    fn exponential_model_converges() {
+        let xs: Vec<f64> = (1..40).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * (-0.15 * x).exp() + 0.2).collect();
+        let r = fit(|x, p| p[0] * (p[1] * x).exp() + p[2], &xs, &ys, &[1.0, -0.05, 0.0]).unwrap();
+        assert!((r.params[0] - 3.0).abs() < 1e-4, "{:?}", r.params);
+        assert!((r.params[1] + 0.15).abs() < 1e-5);
+        assert!((r.params[2] - 0.2).abs() < 1e-4);
+    }
+
+    #[test]
+    fn saturating_model_converges() {
+        // Michaelis-Menten-style y = a·x/(b+x).
+        let xs: Vec<f64> = (1..30).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 5.0 * x / (2.5 + x)).collect();
+        let r = fit(|x, p| p[0] * x / (p[1] + x), &xs, &ys, &[1.0, 1.0]).unwrap();
+        assert!((r.params[0] - 5.0).abs() < 1e-5);
+        assert!((r.params[1] - 2.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(fit_line(&[], &[]).unwrap_err(), FitError::BadData);
+        assert_eq!(fit_line(&[1.0], &[1.0, 2.0]).unwrap_err(), FitError::BadData);
+        assert_eq!(
+            fit(|x, p| p[0] * x, &[1.0, 2.0], &[1.0, 2.0], &[]).unwrap_err(),
+            FitError::Underdetermined
+        );
+        // One point, two parameters.
+        assert_eq!(fit_line(&[1.0], &[1.0]).unwrap_err(), FitError::Underdetermined);
+    }
+
+    #[test]
+    fn perfect_fit_terminates_immediately() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 1.0, 1.0, 1.0];
+        let line = fit_line(&xs, &ys).unwrap();
+        assert!(line.slope.abs() < 1e-12);
+        assert!((line.intercept - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solver_rejects_singular_systems() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert_eq!(solve(a, vec![1.0, 2.0]), None);
+    }
+
+    #[test]
+    fn solver_handles_pivoting() {
+        // Leading zero forces a row swap.
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![3.0, 5.0]).unwrap();
+        assert!((x[0] - 5.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+}

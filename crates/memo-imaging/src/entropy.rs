@@ -1,0 +1,145 @@
+//! Whole-image and windowed entropy (§3.2, Table 8, Figure 2).
+//!
+//! The paper computes three figures per image: the entropy of the full
+//! histogram, and the *mean* entropy of 16×16 and 8×8 windows. Small
+//! windows hold few distinct values, so their entropies are much lower —
+//! which is precisely why kernels operating on local neighbourhoods keep
+//! re-issuing the same operand pairs.
+
+use crate::histogram::Histogram;
+use crate::image::{Image, PixelType};
+
+/// The entropy triple the paper reports per image (bits).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EntropyReport {
+    /// Entropy of the whole-image histogram.
+    pub full: f64,
+    /// Mean entropy over 16×16 windows.
+    pub win16: f64,
+    /// Mean entropy over 8×8 windows.
+    pub win8: f64,
+}
+
+/// Entropy of the full image (all bands pooled, as a single histogram).
+///
+/// FLOAT imagery gets `None` — the paper leaves those cells blank because a
+/// continuous-valued histogram has no natural 256-level alphabet.
+#[must_use]
+pub fn full_entropy(image: &Image) -> Option<f64> {
+    if image.pixel_type() == PixelType::Float {
+        return None;
+    }
+    Some(Histogram::from_samples(image.samples()).entropy_bits())
+}
+
+/// Mean entropy over `window × window` tiles (all bands pooled per tile).
+///
+/// Tiles at the right/bottom edges that don't fill a full window are
+/// included with their partial contents, matching how a raster scan of the
+/// image would bucket them. Returns `None` for FLOAT imagery.
+#[must_use]
+pub fn windowed_entropy(image: &Image, window: usize) -> Option<f64> {
+    if image.pixel_type() == PixelType::Float {
+        return None;
+    }
+    assert!(window > 0, "window must be non-zero");
+    let mut sum = 0.0;
+    let mut tiles = 0u64;
+    let mut y0 = 0;
+    while y0 < image.height() {
+        let mut x0 = 0;
+        while x0 < image.width() {
+            let mut h = Histogram::new();
+            for band in 0..image.bands() {
+                for y in y0..(y0 + window).min(image.height()) {
+                    for x in x0..(x0 + window).min(image.width()) {
+                        h.record(image.get(x, y, band));
+                    }
+                }
+            }
+            sum += h.entropy_bits();
+            tiles += 1;
+            x0 += window;
+        }
+        y0 += window;
+    }
+    Some(sum / tiles as f64)
+}
+
+/// The full report: whole-image, 16×16, and 8×8 entropies.
+///
+/// Returns `None` for FLOAT imagery (the paper's blank cells).
+#[must_use]
+pub fn report(image: &Image) -> Option<EntropyReport> {
+    Some(EntropyReport {
+        full: full_entropy(image)?,
+        win16: windowed_entropy(image, 16)?,
+        win8: windowed_entropy(image, 8)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn noise_image(levels: u64, seed: u64) -> Image {
+        let mut rng = SplitMix64::new(seed);
+        Image::from_fn_byte(64, 64, |_, _| {
+            (rng.next_below(levels) * (256 / levels)) as u8
+        })
+    }
+
+    #[test]
+    fn uniform_noise_approaches_log2_levels() {
+        for levels in [2u64, 16, 256] {
+            let img = noise_image(levels, 42);
+            let e = full_entropy(&img).unwrap();
+            let target = (levels as f64).log2();
+            assert!(
+                (e - target).abs() < 0.15,
+                "levels={levels}: entropy {e} vs log2 {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_entropy_is_below_full_for_structured_images() {
+        // A smooth gradient: full image has many values, each window few.
+        let img = Image::from_fn_byte(128, 128, |x, y| ((x + y) / 2) as u8);
+        let r = report(&img).unwrap();
+        assert!(r.win8 < r.win16, "8x8 {} < 16x16 {}", r.win8, r.win16);
+        assert!(r.win16 < r.full, "16x16 {} < full {}", r.win16, r.full);
+    }
+
+    #[test]
+    fn constant_image_has_zero_everywhere() {
+        let img = Image::from_fn_byte(32, 32, |_, _| 7);
+        let r = report(&img).unwrap();
+        assert_eq!((r.full, r.win16, r.win8), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn float_images_are_unreported() {
+        let img = Image::from_fn_float(8, 8, |x, _| x as f64 * 0.1);
+        assert_eq!(full_entropy(&img), None);
+        assert_eq!(report(&img), None);
+    }
+
+    #[test]
+    fn entropy_bounded_by_alphabet() {
+        let img = noise_image(256, 9);
+        let e = full_entropy(&img).unwrap();
+        assert!(e <= 8.0 + 1e-9);
+        assert!(e >= 0.0);
+    }
+
+    #[test]
+    fn edge_tiles_are_handled() {
+        // 20×20 with window 16 → partial tiles on two sides; must not panic
+        // and must produce a sane value.
+        let img = Image::from_fn_byte(20, 20, |x, y| (x * y) as u8);
+        let e = windowed_entropy(&img, 16).unwrap();
+        assert!(e >= 0.0);
+    }
+}

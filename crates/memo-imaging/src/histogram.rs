@@ -1,0 +1,131 @@
+//! Value histograms, the basis of the paper's entropy measure.
+
+use std::collections::HashMap;
+
+/// A histogram over discrete sample values.
+///
+/// Byte samples use a dense 256-bin array; other values fall into a sparse
+/// map keyed by their bit pattern (each distinct value is its own bin, the
+/// natural reading of the paper's formula for INTEGER imagery).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    dense: [u64; 256],
+    sparse: HashMap<u64, u64>,
+    total: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram { dense: [0; 256], sparse: HashMap::new(), total: 0 }
+    }
+
+    /// Build a histogram from an iterator of samples.
+    pub fn from_samples(samples: impl IntoIterator<Item = f64>) -> Self {
+        let mut h = Histogram::new();
+        for s in samples {
+            h.record(s);
+        }
+        h
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, sample: f64) {
+        self.total += 1;
+        if sample.fract() == 0.0 && (0.0..=255.0).contains(&sample) {
+            self.dense[sample as usize] += 1;
+        } else {
+            *self.sparse.entry(sample.to_bits()).or_insert(0) += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct values observed.
+    #[must_use]
+    pub fn distinct(&self) -> usize {
+        self.dense.iter().filter(|&&c| c > 0).count() + self.sparse.len()
+    }
+
+    /// Shannon entropy in bits: `E = −Σ p_k · log2(p_k)` (the paper's
+    /// equation in §3.2).
+    ///
+    /// Returns 0 for an empty histogram.
+    #[must_use]
+    pub fn entropy_bits(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let n = self.total as f64;
+        let mut e = 0.0;
+        for &count in self.dense.iter().filter(|&&c| c > 0) {
+            let p = count as f64 / n;
+            e -= p * p.log2();
+        }
+        for &count in self.sparse.values() {
+            let p = count as f64 / n;
+            e -= p * p.log2();
+        }
+        e.max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_bytes_have_eight_bits() {
+        // The paper's worked example: 256 equally likely grey levels → 8 bits.
+        let h = Histogram::from_samples((0..256).map(f64::from));
+        assert!((h.entropy_bits() - 8.0).abs() < 1e-12);
+        assert_eq!(h.distinct(), 256);
+    }
+
+    #[test]
+    fn constant_image_has_zero_entropy() {
+        let h = Histogram::from_samples(std::iter::repeat_n(7.0, 100));
+        assert_eq!(h.entropy_bits(), 0.0);
+        assert_eq!(h.distinct(), 1);
+    }
+
+    #[test]
+    fn two_equal_values_have_one_bit() {
+        let h = Histogram::from_samples([0.0, 255.0].iter().cycle().take(50).copied());
+        assert!((h.entropy_bits() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skew_lowers_entropy() {
+        let balanced = Histogram::from_samples([1.0, 2.0, 1.0, 2.0]);
+        let skewed = Histogram::from_samples([1.0, 1.0, 1.0, 2.0]);
+        assert!(skewed.entropy_bits() < balanced.entropy_bits());
+    }
+
+    #[test]
+    fn non_byte_values_use_sparse_bins() {
+        let h = Histogram::from_samples([0.5, 0.5, 1e9, -3.0]);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.distinct(), 3);
+        assert!(h.entropy_bits() > 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.entropy_bits(), 0.0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.distinct(), 0);
+    }
+}

@@ -1,0 +1,345 @@
+//! The raster image type used throughout the reproduction.
+
+use std::fmt;
+
+/// Pixel representation of one image band (Table 8's "type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PixelType {
+    /// 8-bit unsigned grey level (0–255).
+    Byte,
+    /// 32-bit signed integer (label maps and the like).
+    Integer,
+    /// 32-bit IEEE float (medical imagery in the paper).
+    Float,
+}
+
+impl fmt::Display for PixelType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PixelType::Byte => f.write_str("BYTE"),
+            PixelType::Integer => f.write_str("INTEGER"),
+            PixelType::Float => f.write_str("FLOAT"),
+        }
+    }
+}
+
+/// Errors from image construction and IO.
+#[derive(Debug)]
+pub enum ImagingError {
+    /// Width or height is zero, or bands is zero.
+    EmptyDimensions,
+    /// Supplied pixel data does not match `width × height`.
+    DataSizeMismatch {
+        /// Expected number of pixels per band.
+        expected: usize,
+        /// Number of pixels supplied.
+        actual: usize,
+    },
+    /// Coordinates or band index out of range.
+    OutOfBounds,
+    /// Malformed PNM input.
+    Format(String),
+    /// Underlying IO failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for ImagingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImagingError::EmptyDimensions => f.write_str("image dimensions must be non-zero"),
+            ImagingError::DataSizeMismatch { expected, actual } => {
+                write!(f, "band holds {actual} pixels, expected {expected}")
+            }
+            ImagingError::OutOfBounds => f.write_str("pixel coordinates out of bounds"),
+            ImagingError::Format(msg) => write!(f, "malformed image data: {msg}"),
+            ImagingError::Io(e) => write!(f, "io failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ImagingError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ImagingError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ImagingError {
+    fn from(e: std::io::Error) -> Self {
+        ImagingError::Io(e)
+    }
+}
+
+/// A width × height raster with one or more bands of a single pixel type.
+///
+/// Pixels are stored as `f64` internally (the workloads do floating-point
+/// arithmetic on them regardless of source type, exactly like the Khoros
+/// kernels did); the [`PixelType`] records the *semantic* type, which
+/// matters for entropy analysis and IO. Byte images are quantized on
+/// construction.
+///
+/// # Examples
+///
+/// ```
+/// use memo_imaging::{Image, PixelType};
+///
+/// let img = Image::from_fn_byte(4, 4, |x, y| ((x + y) * 16) as u8);
+/// assert_eq!(img.width(), 4);
+/// assert_eq!(img.pixel_type(), PixelType::Byte);
+/// assert_eq!(img.get(1, 2, 0), 48.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixel_type: PixelType,
+    bands: Vec<Vec<f64>>,
+}
+
+impl Image {
+    /// Create an image from raw per-band samples.
+    ///
+    /// # Errors
+    ///
+    /// [`ImagingError::EmptyDimensions`] for zero-sized rasters or zero
+    /// bands; [`ImagingError::DataSizeMismatch`] when a band's length is
+    /// not `width × height`.
+    pub fn new(
+        width: usize,
+        height: usize,
+        pixel_type: PixelType,
+        bands: Vec<Vec<f64>>,
+    ) -> Result<Self, ImagingError> {
+        if width == 0 || height == 0 || bands.is_empty() {
+            return Err(ImagingError::EmptyDimensions);
+        }
+        let expected = width * height;
+        for band in &bands {
+            if band.len() != expected {
+                return Err(ImagingError::DataSizeMismatch { expected, actual: band.len() });
+            }
+        }
+        let mut img = Image { width, height, pixel_type, bands };
+        if pixel_type == PixelType::Byte {
+            img.quantize_bytes();
+        }
+        Ok(img)
+    }
+
+    /// Single-band byte image computed from a function of `(x, y)`.
+    #[must_use]
+    pub fn from_fn_byte(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f64::from(f(x, y)));
+            }
+        }
+        Image::new(width, height, PixelType::Byte, vec![data])
+            .expect("from_fn dimensions are consistent")
+    }
+
+    /// Single-band float image computed from a function of `(x, y)`.
+    #[must_use]
+    pub fn from_fn_float(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(width * height);
+        for y in 0..height {
+            for x in 0..width {
+                data.push(f(x, y));
+            }
+        }
+        Image::new(width, height, PixelType::Float, vec![data])
+            .expect("from_fn dimensions are consistent")
+    }
+
+    fn quantize_bytes(&mut self) {
+        for band in &mut self.bands {
+            for p in band.iter_mut() {
+                *p = p.round().clamp(0.0, 255.0);
+            }
+        }
+    }
+
+    /// Image width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of bands (1 for grey, 3 for RGB).
+    #[must_use]
+    pub fn bands(&self) -> usize {
+        self.bands.len()
+    }
+
+    /// Semantic pixel type.
+    #[must_use]
+    pub fn pixel_type(&self) -> PixelType {
+        self.pixel_type
+    }
+
+    /// Total pixels per band.
+    #[must_use]
+    pub fn pixels_per_band(&self) -> usize {
+        self.width * self.height
+    }
+
+    /// Sample `(x, y)` of `band`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds; use [`Image::try_get`] for checked access.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize, band: usize) -> f64 {
+        self.bands[band][y * self.width + x]
+    }
+
+    /// Checked sample access.
+    ///
+    /// # Errors
+    ///
+    /// [`ImagingError::OutOfBounds`] when any index is out of range.
+    pub fn try_get(&self, x: usize, y: usize, band: usize) -> Result<f64, ImagingError> {
+        if x >= self.width || y >= self.height || band >= self.bands.len() {
+            return Err(ImagingError::OutOfBounds);
+        }
+        Ok(self.get(x, y, band))
+    }
+
+    /// Overwrite sample `(x, y)` of `band`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, band: usize, value: f64) {
+        self.bands[band][y * self.width + x] = value;
+    }
+
+    /// Borrow one band's samples in row-major order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band` is out of range.
+    #[must_use]
+    pub fn band(&self, band: usize) -> &[f64] {
+        &self.bands[band]
+    }
+
+    /// Iterate over all samples of all bands.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.bands.iter().flat_map(|b| b.iter().copied())
+    }
+
+    /// Minimum and maximum sample over all bands.
+    ///
+    /// Returns `(0.0, 0.0)` for an image whose samples are all NaN.
+    #[must_use]
+    pub fn min_max(&self) -> (f64, f64) {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for s in self.samples() {
+            if s < min {
+                min = s;
+            }
+            if s > max {
+                max = s;
+            }
+        }
+        if min > max {
+            (0.0, 0.0)
+        } else {
+            (min, max)
+        }
+    }
+
+    /// A new byte image with samples linearly rescaled to 0–255.
+    #[must_use]
+    pub fn normalized_to_byte(&self) -> Image {
+        let (min, max) = self.min_max();
+        let scale = if max > min { 255.0 / (max - min) } else { 0.0 };
+        let bands = self
+            .bands
+            .iter()
+            .map(|b| b.iter().map(|&p| ((p - min) * scale).round().clamp(0.0, 255.0)).collect())
+            .collect();
+        Image { width: self.width, height: self.height, pixel_type: PixelType::Byte, bands }
+            .tap_quantized()
+    }
+
+    fn tap_quantized(mut self) -> Image {
+        self.quantize_bytes();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates_dimensions() {
+        assert!(matches!(
+            Image::new(0, 4, PixelType::Byte, vec![vec![]]),
+            Err(ImagingError::EmptyDimensions)
+        ));
+        assert!(matches!(
+            Image::new(2, 2, PixelType::Byte, vec![]),
+            Err(ImagingError::EmptyDimensions)
+        ));
+        assert!(matches!(
+            Image::new(2, 2, PixelType::Byte, vec![vec![0.0; 3]]),
+            Err(ImagingError::DataSizeMismatch { expected: 4, actual: 3 })
+        ));
+    }
+
+    #[test]
+    fn byte_images_are_quantized() {
+        let img = Image::new(2, 1, PixelType::Byte, vec![vec![3.7, 260.0]]).unwrap();
+        assert_eq!(img.get(0, 0, 0), 4.0);
+        assert_eq!(img.get(1, 0, 0), 255.0);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = Image::from_fn_float(3, 3, |x, y| (x * 10 + y) as f64);
+        assert_eq!(img.get(2, 1, 0), 21.0);
+        img.set(2, 1, 0, -4.5);
+        assert_eq!(img.get(2, 1, 0), -4.5);
+        assert!(img.try_get(3, 0, 0).is_err());
+        assert!(img.try_get(0, 3, 0).is_err());
+        assert!(img.try_get(0, 0, 1).is_err());
+    }
+
+    #[test]
+    fn min_max_and_normalization() {
+        let img = Image::from_fn_float(2, 2, |x, y| (x as f64 - y as f64) * 10.0);
+        assert_eq!(img.min_max(), (-10.0, 10.0));
+        let byte = img.normalized_to_byte();
+        assert_eq!(byte.pixel_type(), PixelType::Byte);
+        assert_eq!(byte.min_max(), (0.0, 255.0));
+    }
+
+    #[test]
+    fn multiband_access() {
+        let bands = vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]];
+        let img = Image::new(2, 1, PixelType::Byte, bands).unwrap();
+        assert_eq!(img.bands(), 3);
+        assert_eq!(img.get(1, 0, 2), 6.0);
+        assert_eq!(img.samples().count(), 6);
+    }
+
+    #[test]
+    fn display_pixel_types() {
+        assert_eq!(PixelType::Byte.to_string(), "BYTE");
+        assert_eq!(PixelType::Integer.to_string(), "INTEGER");
+        assert_eq!(PixelType::Float.to_string(), "FLOAT");
+    }
+}

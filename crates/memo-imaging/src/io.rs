@@ -1,0 +1,215 @@
+//! Binary PNM (PGM / PPM) reading and writing.
+//!
+//! Single-band byte images round-trip through `P5` (PGM), three-band byte
+//! images through `P6` (PPM). This is enough to inspect the synthetic
+//! corpus with any image viewer and to feed external images into the
+//! experiments.
+
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::image::{Image, ImagingError, PixelType};
+
+/// Write `image` as binary PGM (1 band) or PPM (3 bands).
+///
+/// Non-byte images are normalized to 0–255 first.
+///
+/// # Errors
+///
+/// [`ImagingError::Format`] when the band count is neither 1 nor 3, or
+/// [`ImagingError::Io`] on write failure.
+pub fn write_pnm<W: Write>(image: &Image, mut writer: W) -> Result<(), ImagingError> {
+    let image = if image.pixel_type() == PixelType::Byte {
+        image.clone()
+    } else {
+        image.normalized_to_byte()
+    };
+    let (magic, bands) = match image.bands() {
+        1 => ("P5", 1),
+        3 => ("P6", 3),
+        n => return Err(ImagingError::Format(format!("{n} bands not expressible in PNM"))),
+    };
+    writeln!(writer, "{magic}")?;
+    writeln!(writer, "{} {}", image.width(), image.height())?;
+    writeln!(writer, "255")?;
+    let mut buf = Vec::with_capacity(image.pixels_per_band() * bands);
+    for y in 0..image.height() {
+        for x in 0..image.width() {
+            for b in 0..bands {
+                buf.push(image.get(x, y, b) as u8);
+            }
+        }
+    }
+    writer.write_all(&buf)?;
+    Ok(())
+}
+
+/// Write `image` to `path` as binary PGM / PPM.
+///
+/// # Errors
+///
+/// As [`write_pnm`], plus file-creation failures.
+pub fn save_pnm(image: &Image, path: impl AsRef<Path>) -> Result<(), ImagingError> {
+    let file = std::fs::File::create(path)?;
+    write_pnm(image, std::io::BufWriter::new(file))
+}
+
+/// Read a binary PGM (`P5`) or PPM (`P6`) image.
+///
+/// # Errors
+///
+/// [`ImagingError::Format`] on malformed headers or truncated pixel data.
+pub fn read_pnm<R: Read>(mut reader: R) -> Result<Image, ImagingError> {
+    let mut raw = Vec::new();
+    reader.read_to_end(&mut raw)?;
+    let mut pos = 0usize;
+
+    let magic = next_token(&raw, &mut pos)?;
+    let bands = match magic.as_str() {
+        "P5" => 1usize,
+        "P6" => 3,
+        other => return Err(ImagingError::Format(format!("unsupported magic {other:?}"))),
+    };
+    let width: usize = parse_token(&raw, &mut pos)?;
+    let height: usize = parse_token(&raw, &mut pos)?;
+    let maxval: usize = parse_token(&raw, &mut pos)?;
+    if maxval == 0 || maxval > 255 {
+        return Err(ImagingError::Format(format!("unsupported maxval {maxval}")));
+    }
+    // Exactly one whitespace byte separates the header from pixel data.
+    pos += 1;
+
+    let need = width
+        .checked_mul(height)
+        .and_then(|n| n.checked_mul(bands))
+        .ok_or_else(|| ImagingError::Format("dimensions overflow".into()))?;
+    if raw.len() < pos + need {
+        return Err(ImagingError::Format(format!(
+            "truncated pixel data: need {need}, have {}",
+            raw.len().saturating_sub(pos)
+        )));
+    }
+
+    let mut band_data = vec![Vec::with_capacity(width * height); bands];
+    for chunk in raw[pos..pos + need].chunks_exact(bands) {
+        for (b, &v) in chunk.iter().enumerate() {
+            band_data[b].push(f64::from(v));
+        }
+    }
+    Image::new(width, height, PixelType::Byte, band_data)
+}
+
+/// Read a PNM image from `path`.
+///
+/// # Errors
+///
+/// As [`read_pnm`], plus file-open failures.
+pub fn load_pnm(path: impl AsRef<Path>) -> Result<Image, ImagingError> {
+    let file = std::fs::File::open(path)?;
+    read_pnm(std::io::BufReader::new(file))
+}
+
+fn next_token(raw: &[u8], pos: &mut usize) -> Result<String, ImagingError> {
+    // Skip whitespace and `#` comments.
+    loop {
+        while *pos < raw.len() && raw[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+        if *pos < raw.len() && raw[*pos] == b'#' {
+            while *pos < raw.len() && raw[*pos] != b'\n' {
+                *pos += 1;
+            }
+        } else {
+            break;
+        }
+    }
+    let start = *pos;
+    while *pos < raw.len() && !raw[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(ImagingError::Format("unexpected end of header".into()));
+    }
+    String::from_utf8(raw[start..*pos].to_vec())
+        .map_err(|_| ImagingError::Format("non-utf8 header token".into()))
+}
+
+fn parse_token(raw: &[u8], pos: &mut usize) -> Result<usize, ImagingError> {
+    let tok = next_token(raw, pos)?;
+    tok.parse().map_err(|_| ImagingError::Format(format!("expected a number, got {tok:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+    use crate::synth;
+
+    #[test]
+    fn pgm_roundtrip() {
+        let mut rng = SplitMix64::new(5);
+        let img = synth::noise(17, 9, 64, &mut rng);
+        let mut buf = Vec::new();
+        write_pnm(&img, &mut buf).unwrap();
+        let back = read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let mut rng = SplitMix64::new(5);
+        let bands: Vec<_> = (0..3).map(|_| synth::noise(8, 6, 32, &mut rng)).collect();
+        let rgb = synth::stack_bands(&bands);
+        let mut buf = Vec::new();
+        write_pnm(&rgb, &mut buf).unwrap();
+        let back = read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back, rgb);
+    }
+
+    #[test]
+    fn float_images_are_normalized_on_write() {
+        let img = Image::from_fn_float(4, 4, |x, y| (x as f64 - y as f64) * 100.0);
+        let mut buf = Vec::new();
+        write_pnm(&img, &mut buf).unwrap();
+        let back = read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back.pixel_type(), PixelType::Byte);
+        assert_eq!(back.min_max(), (0.0, 255.0));
+    }
+
+    #[test]
+    fn comments_in_header_are_skipped() {
+        let data = b"P5\n# a comment\n2 2\n255\n\x00\x40\x80\xff";
+        let img = read_pnm(&data[..]).unwrap();
+        assert_eq!(img.get(1, 1, 0), 255.0);
+        assert_eq!(img.get(1, 0, 0), 64.0);
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(read_pnm(&b"P4\n1 1\n255\n\x00"[..]).is_err(), "wrong magic");
+        assert!(read_pnm(&b"P5\n2 2\n255\n\x00"[..]).is_err(), "truncated");
+        assert!(read_pnm(&b"P5\nx y\n255\n"[..]).is_err(), "non-numeric dims");
+        assert!(read_pnm(&b"P5\n1 1\n70000\n\x00\x00"[..]).is_err(), "wide maxval");
+    }
+
+    #[test]
+    fn two_band_images_cannot_be_written() {
+        let mut rng = SplitMix64::new(5);
+        let bands: Vec<_> = (0..2).map(|_| synth::noise(4, 4, 8, &mut rng)).collect();
+        let img = synth::stack_bands(&bands);
+        assert!(write_pnm(&img, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_files() {
+        let dir = std::env::temp_dir().join("memo_imaging_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.pgm");
+        let mut rng = SplitMix64::new(6);
+        let img = synth::noise(12, 12, 16, &mut rng);
+        save_pnm(&img, &path).unwrap();
+        let back = load_pnm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,36 @@
+//! # memo-imaging
+//!
+//! Image substrate for the ASPLOS'98 memoing reproduction.
+//!
+//! The paper's §3.2 ties MEMO-TABLE hit ratios to the **entropy** of the
+//! images that multi-media applications process: the lower the entropy —
+//! especially within small 8×8 / 16×16 windows — the fewer distinct pixel
+//! values a kernel touches, the more operand pairs repeat, and the higher
+//! the hit ratio (about −5 % per entropy bit, Figure 2).
+//!
+//! This crate provides everything the workloads and experiments need:
+//!
+//! * [`Image`] — width × height × bands raster with BYTE / INTEGER / FLOAT
+//!   pixel types (the types of Table 8);
+//! * [`Histogram`] and entropy analysis (whole-image and windowed) in
+//!   [`entropy`];
+//! * deterministic synthetic image generators spanning the entropy range
+//!   of the paper's test images in [`synth`];
+//! * a named corpus mirroring Table 8's fourteen inputs
+//!   ([`synth::corpus`]);
+//! * PGM / PPM (PNM binary) reading and writing in [`io`];
+//! * a tiny splittable PRNG ([`rng::SplitMix64`]) reused by the workload
+//!   crate so the whole reproduction is seed-deterministic.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod entropy;
+mod histogram;
+mod image;
+pub mod io;
+pub mod rng;
+pub mod synth;
+
+pub use histogram::Histogram;
+pub use image::{Image, ImagingError, PixelType};

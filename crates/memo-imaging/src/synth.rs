@@ -1,0 +1,493 @@
+//! Deterministic synthetic image generators.
+//!
+//! The paper's experiments (Table 8, Figure 2) use fourteen real test
+//! images — mandrill, lenna, medical scans, a label map, a fractal —
+//! spanning whole-image entropies from ≈ 1.4 to ≈ 7.8 bits. Those binaries
+//! are not redistributable, so this module synthesizes a corpus with the
+//! same *statistical* spread: per row we generate an image of the same
+//! size, pixel type and band count, tuned (texture mix, quantization,
+//! smoothing) to land in the same entropy region. The substitution is
+//! sound because every downstream result depends on the images only
+//! through their value statistics, which the experiments *measure* rather
+//! than assume.
+
+use crate::image::{Image, PixelType};
+use crate::rng::SplitMix64;
+
+/// Uniform random noise over `levels` evenly spaced grey values.
+///
+/// Entropy ≈ `log2(levels)` both whole-image and per-window: the
+/// high-entropy extreme of the corpus.
+///
+/// # Panics
+///
+/// Panics if `levels` is 0 or exceeds 256.
+#[must_use]
+pub fn noise(width: usize, height: usize, levels: u64, rng: &mut SplitMix64) -> Image {
+    assert!((1..=256).contains(&levels), "levels must be in 1..=256");
+    let step = 255.0 / (levels.max(2) - 1) as f64;
+    Image::from_fn_byte(width, height, |_, _| (rng.next_below(levels) as f64 * step) as u8)
+}
+
+/// Diamond-square ("plasma") fractal texture — the natural-image stand-in.
+///
+/// `roughness` in `(0, 1]`: higher is noisier (more high-frequency detail,
+/// higher windowed entropy).
+#[must_use]
+pub fn plasma(width: usize, height: usize, roughness: f64, rng: &mut SplitMix64) -> Image {
+    let side = (width.max(height) - 1).next_power_of_two().max(2);
+    let n = side + 1;
+    let mut grid = vec![0.0f64; n * n];
+    let mut amplitude = 1.0;
+
+    // Seed corners.
+    for &(x, y) in &[(0, 0), (side, 0), (0, side), (side, side)] {
+        grid[y * n + x] = rng.next_f64();
+    }
+
+    let mut step = side;
+    while step > 1 {
+        let half = step / 2;
+        // Diamond step.
+        for y in (half..n).step_by(step) {
+            for x in (half..n).step_by(step) {
+                let avg = (grid[(y - half) * n + (x - half)]
+                    + grid[(y - half) * n + (x + half)]
+                    + grid[(y + half) * n + (x - half)]
+                    + grid[(y + half) * n + (x + half)])
+                    / 4.0;
+                grid[y * n + x] = avg + (rng.next_f64() - 0.5) * amplitude;
+            }
+        }
+        // Square step.
+        for y in (0..n).step_by(half) {
+            let x_start = if (y / half).is_multiple_of(2) { half } else { 0 };
+            for x in (x_start..n).step_by(step) {
+                let mut sum = 0.0;
+                let mut cnt = 0.0;
+                if y >= half {
+                    sum += grid[(y - half) * n + x];
+                    cnt += 1.0;
+                }
+                if y + half < n {
+                    sum += grid[(y + half) * n + x];
+                    cnt += 1.0;
+                }
+                if x >= half {
+                    sum += grid[y * n + (x - half)];
+                    cnt += 1.0;
+                }
+                if x + half < n {
+                    sum += grid[y * n + (x + half)];
+                    cnt += 1.0;
+                }
+                grid[y * n + x] = sum / cnt + (rng.next_f64() - 0.5) * amplitude;
+            }
+        }
+        amplitude *= roughness;
+        step = half;
+    }
+
+    let float = Image::new(
+        n,
+        n,
+        PixelType::Float,
+        vec![grid],
+    )
+    .expect("grid dimensions are consistent");
+    crop(&float.normalized_to_byte(), width, height)
+}
+
+/// Crop the top-left `width × height` region.
+///
+/// # Panics
+///
+/// Panics if the crop exceeds the source dimensions.
+#[must_use]
+pub fn crop(image: &Image, width: usize, height: usize) -> Image {
+    assert!(width <= image.width() && height <= image.height(), "crop exceeds source");
+    let bands = (0..image.bands())
+        .map(|b| {
+            let mut out = Vec::with_capacity(width * height);
+            for y in 0..height {
+                for x in 0..width {
+                    out.push(image.get(x, y, b));
+                }
+            }
+            out
+        })
+        .collect();
+    Image::new(width, height, image.pixel_type(), bands).expect("crop dimensions are consistent")
+}
+
+/// Posterize to `levels` grey values — the primary entropy-lowering knob.
+///
+/// # Panics
+///
+/// Panics if `levels` is 0 or exceeds 256.
+#[must_use]
+pub fn quantize(image: &Image, levels: u64) -> Image {
+    assert!((1..=256).contains(&levels));
+    let bands = (0..image.bands())
+        .map(|b| {
+            image
+                .band(b)
+                .iter()
+                .map(|&p| {
+                    if levels == 1 {
+                        return 0.0;
+                    }
+                    // Snap to the nearest of `levels` evenly spaced grey
+                    // values — idempotent by construction (the nearest
+                    // level of a level is itself; property-tested).
+                    let out_step = 255.0 / (levels - 1) as f64;
+                    let k = (p.clamp(0.0, 255.0) / out_step).round();
+                    (k * out_step).round()
+                })
+                .collect()
+        })
+        .collect();
+    Image::new(image.width(), image.height(), PixelType::Byte, bands)
+        .expect("quantize preserves dimensions")
+}
+
+/// Box-blur smoothing; each pass lowers local (windowed) entropy.
+#[must_use]
+pub fn smooth(image: &Image, passes: usize) -> Image {
+    let mut img = image.clone();
+    for _ in 0..passes {
+        let mut next = img.clone();
+        for b in 0..img.bands() {
+            for y in 0..img.height() {
+                for x in 0..img.width() {
+                    let mut sum = 0.0;
+                    let mut cnt = 0.0;
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let nx = x as i64 + dx;
+                            let ny = y as i64 + dy;
+                            if nx >= 0
+                                && ny >= 0
+                                && (nx as usize) < img.width()
+                                && (ny as usize) < img.height()
+                            {
+                                sum += img.get(nx as usize, ny as usize, b);
+                                cnt += 1.0;
+                            }
+                        }
+                    }
+                    next.set(x, y, b, sum / cnt);
+                }
+            }
+        }
+        img = if image.pixel_type() == PixelType::Byte {
+            // Re-quantize to stay a byte image.
+            Image::new(next.width(), next.height(), PixelType::Byte, bands_of(&next))
+                .expect("smooth preserves dimensions")
+        } else {
+            next
+        };
+    }
+    img
+}
+
+fn bands_of(image: &Image) -> Vec<Vec<f64>> {
+    (0..image.bands()).map(|b| image.band(b).to_vec()).collect()
+}
+
+/// A Voronoi label map (INTEGER pixel type) — the `lablabel` stand-in:
+/// large constant regions, very low windowed entropy.
+#[must_use]
+pub fn labels(width: usize, height: usize, regions: usize, rng: &mut SplitMix64) -> Image {
+    let sites: Vec<(f64, f64)> = (0..regions.max(1))
+        .map(|_| (rng.next_f64() * width as f64, rng.next_f64() * height as f64))
+        .collect();
+    let mut data = Vec::with_capacity(width * height);
+    for y in 0..height {
+        for x in 0..width {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (i, &(sx, sy)) in sites.iter().enumerate() {
+                let d = (sx - x as f64).powi(2) + (sy - y as f64).powi(2);
+                if d < best_d {
+                    best_d = d;
+                    best = i;
+                }
+            }
+            data.push(best as f64);
+        }
+    }
+    Image::new(width, height, PixelType::Integer, vec![data])
+        .expect("label dimensions are consistent")
+}
+
+/// A textured night-sky field with bright points — the `star` stand-in
+/// (the paper's `star` has substantial background texture: full entropy
+/// ≈ 5.9, 8×8 ≈ 4.6).
+#[must_use]
+pub fn starfield(width: usize, height: usize, stars: usize, rng: &mut SplitMix64) -> Image {
+    let nebula = quantize(&plasma(width, height, 0.65, rng), 48);
+    let mut img = Image::from_fn_byte(width, height, |x, y| (nebula.get(x, y, 0) * 0.35) as u8);
+    for _ in 0..stars {
+        let x = rng.next_below(width as u64) as usize;
+        let y = rng.next_below(height as u64) as usize;
+        let v = 128 + rng.next_below(128) as u8;
+        img.set(x, y, 0, f64::from(v));
+        // A small glow.
+        for (dx, dy) in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+            let nx = x as i64 + dx;
+            let ny = y as i64 + dy;
+            if nx >= 0 && ny >= 0 && (nx as usize) < width && (ny as usize) < height {
+                img.set(nx as usize, ny as usize, 0, f64::from(v / 2));
+            }
+        }
+    }
+    img
+}
+
+/// Smooth radial float field — the medical FLOAT stand-in (`head`, `spine`).
+#[must_use]
+pub fn radial_float(width: usize, height: usize, rng: &mut SplitMix64) -> Image {
+    let cx = width as f64 / 2.0 + rng.next_range(-8.0, 8.0);
+    let cy = height as f64 / 2.0 + rng.next_range(-8.0, 8.0);
+    let jitter = rng.next_range(0.001, 0.01);
+    Image::from_fn_float(width, height, |x, y| {
+        let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+        (d * 0.05).sin() * 40.0 + d * jitter + 100.0
+    })
+}
+
+/// Stack `bands` single-band images into one multi-band image.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree or `images` is empty.
+#[must_use]
+pub fn stack_bands(images: &[Image]) -> Image {
+    assert!(!images.is_empty());
+    let (w, h) = (images[0].width(), images[0].height());
+    let mut bands = Vec::new();
+    for img in images {
+        assert_eq!((img.width(), img.height()), (w, h), "band dimensions must agree");
+        for b in 0..img.bands() {
+            bands.push(img.band(b).to_vec());
+        }
+    }
+    Image::new(w, h, images[0].pixel_type(), bands).expect("stack dimensions are consistent")
+}
+
+/// One named input mirroring a row of the paper's Table 8.
+#[derive(Debug, Clone)]
+pub struct CorpusImage {
+    /// Name of the paper image this stands in for.
+    pub name: &'static str,
+    /// The synthetic image.
+    pub image: Image,
+}
+
+/// The corpus: one synthetic stand-in per Table 8 row, at `scale`-reduced
+/// dimensions (`scale = 1` reproduces the paper's sizes; experiments use
+/// `scale = 4` for quick runs).
+///
+/// # Panics
+///
+/// Panics if `scale` is zero.
+#[must_use]
+pub fn corpus(scale: usize) -> Vec<CorpusImage> {
+    assert!(scale > 0, "scale must be non-zero");
+    let s = |d: usize| (d / scale).max(16);
+    let mut rng = SplitMix64::new(0x1998_05AF);
+
+    let mut out = Vec::new();
+    let mut push = |name: &'static str, image: Image| out.push(CorpusImage { name, image });
+
+    // High-entropy natural textures (entropy ≈ 7.0–7.4 full, but locally
+    // smooth: 8×8 windows around 4–5 bits, as Table 8 measures).
+    push("mandrill", plasma_noise(s(256), s(256), 0.75, 180, &mut rng));
+    push("nature", plasma_noise(s(256), s(256), 0.65, 160, &mut rng));
+    push("muppet1", textured(s(240), s(256), 0.55, 1, 96, &mut rng));
+    push("guya", textured(s(128), s(128), 0.55, 1, 64, &mut rng));
+
+    // Sparse / dark (entropy ≈ 5–6 full but very low windowed).
+    push("star", starfield(s(158), s(158), s(158) * s(158) / 60, &mut rng));
+
+    // Small / smooth (entropy ≈ 4–5).
+    push("chroms", quantize(&plasma(s(64), s(64), 0.7, &mut rng), 40));
+    push("airport1", quantize(&smooth(&plasma(s(256), s(256), 0.6, &mut rng), 1), 28));
+
+    // Label map, INTEGER (entropy ≈ 3.4 full, ≈ 0.9 windowed).
+    push("lablabel", labels(s(243), s(486), 12, &mut rng));
+
+    // Near-flat fractal (entropy ≈ 1.4).
+    push("fractal", quantize(&smooth(&plasma(s(450), s(409), 0.4, &mut rng), 2), 4));
+
+    // FLOAT medical stand-ins (entropy unreported, like the paper).
+    push("head", radial_float(s(228), s(256), &mut rng));
+    push("spine", radial_float(s(228), s(256), &mut rng));
+
+    // RGB three-band naturals (entropy ≈ 7.6–7.8 pooled).
+    for name in ["lenna.rgb", "mandril.rgb", "lizard.rgb"] {
+        let (w, h) = match name {
+            "lenna.rgb" | "mandril.rgb" => (s(480), s(512)),
+            _ => (s(512), s(768)),
+        };
+        let bands: Vec<Image> = (0..3).map(|_| plasma_noise(w, h, 0.7, 220, &mut rng)).collect();
+        push(name, stack_bands(&bands));
+    }
+
+    out
+}
+
+/// Smoothed-then-quantized plasma: the box blur first removes
+/// high-frequency jitter, then posterization creates the literal value
+/// plateaus that give real photographs their low windowed entropy.
+fn textured(
+    width: usize,
+    height: usize,
+    roughness: f64,
+    passes: usize,
+    levels: u64,
+    rng: &mut SplitMix64,
+) -> Image {
+    quantize(&smooth(&plasma(width, height, roughness, rng), passes), levels)
+}
+
+/// Plasma texture with additive noise, quantized to `levels` values —
+/// the workhorse "natural image" generator.
+fn plasma_noise(
+    width: usize,
+    height: usize,
+    roughness: f64,
+    levels: u64,
+    rng: &mut SplitMix64,
+) -> Image {
+    let base = plasma(width, height, roughness, rng);
+    let mut jittered = base.clone();
+    for y in 0..height {
+        for x in 0..width {
+            // Mild sensor noise: keeps the whole-image histogram rich
+            // without destroying the local flatness real images have.
+            let v = base.get(x, y, 0) + rng.next_range(-6.0, 6.0);
+            jittered.set(x, y, 0, v.clamp(0.0, 255.0));
+        }
+    }
+    quantize(&jittered, levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entropy;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(7)
+    }
+
+    #[test]
+    fn noise_entropy_tracks_levels() {
+        let mut r = rng();
+        let img = noise(64, 64, 4, &mut r);
+        let e = entropy::full_entropy(&img).unwrap();
+        assert!((e - 2.0).abs() < 0.1, "entropy {e}");
+    }
+
+    #[test]
+    fn plasma_has_requested_dimensions_and_byte_range() {
+        let mut r = rng();
+        let img = plasma(100, 60, 0.8, &mut r);
+        assert_eq!((img.width(), img.height()), (100, 60));
+        let (min, max) = img.min_max();
+        assert!(min >= 0.0 && max <= 255.0);
+        assert!(max > min, "plasma must not be constant");
+    }
+
+    #[test]
+    fn quantize_reduces_distinct_values_and_entropy() {
+        let mut r = rng();
+        let img = plasma(64, 64, 0.9, &mut r);
+        let q = quantize(&img, 4);
+        let e_full = entropy::full_entropy(&img).unwrap();
+        let e_q = entropy::full_entropy(&q).unwrap();
+        assert!(e_q <= (4.0f64).log2() + 1e-9);
+        assert!(e_q < e_full);
+    }
+
+    #[test]
+    fn smooth_lowers_windowed_entropy() {
+        let mut r = rng();
+        let img = noise(64, 64, 256, &mut r);
+        let smoothed = smooth(&img, 2);
+        let before = entropy::windowed_entropy(&img, 8).unwrap();
+        let after = entropy::windowed_entropy(&smoothed, 8).unwrap();
+        assert!(after < before, "{after} < {before}");
+    }
+
+    #[test]
+    fn labels_have_few_values_and_flat_windows() {
+        let mut r = rng();
+        let img = labels(96, 96, 8, &mut r);
+        assert_eq!(img.pixel_type(), PixelType::Integer);
+        let full = entropy::full_entropy(&img).unwrap();
+        let win8 = entropy::windowed_entropy(&img, 8).unwrap();
+        assert!(full <= 3.0 + 1e-9);
+        assert!(win8 < full, "windows are mostly single-label");
+    }
+
+    #[test]
+    fn corpus_covers_paper_shape() {
+        let corpus = corpus(4);
+        assert_eq!(corpus.len(), 14);
+        // Names match Table 8 rows.
+        assert!(corpus.iter().any(|c| c.name == "mandrill"));
+        assert!(corpus.iter().any(|c| c.name == "lablabel"));
+        // Three RGB images with 3 bands.
+        assert_eq!(corpus.iter().filter(|c| c.image.bands() == 3).count(), 3);
+        // Two FLOAT images, unreported entropy.
+        let floats: Vec<_> =
+            corpus.iter().filter(|c| c.image.pixel_type() == PixelType::Float).collect();
+        assert_eq!(floats.len(), 2);
+        for f in floats {
+            assert!(entropy::report(&f.image).is_none());
+        }
+    }
+
+    #[test]
+    fn corpus_spans_a_wide_entropy_range() {
+        let corpus = corpus(4);
+        let entropies: Vec<f64> = corpus
+            .iter()
+            .filter_map(|c| entropy::full_entropy(&c.image))
+            .collect();
+        let min = entropies.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = entropies.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < 2.5, "lowest-entropy stand-in at {min}");
+        assert!(max > 6.0, "highest-entropy stand-in at {max}");
+    }
+
+    #[test]
+    fn corpus_is_deterministic() {
+        let a = corpus(8);
+        let b = corpus(8);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.image, y.image);
+        }
+    }
+
+    #[test]
+    fn stack_bands_combines() {
+        let mut r = rng();
+        let a = noise(16, 16, 8, &mut r);
+        let b = noise(16, 16, 8, &mut r);
+        let rgb = stack_bands(&[a.clone(), b, a]);
+        assert_eq!(rgb.bands(), 3);
+    }
+
+    #[test]
+    fn crop_takes_top_left() {
+        let img = Image::from_fn_byte(8, 8, |x, y| (x * 8 + y) as u8);
+        let c = crop(&img, 3, 2);
+        assert_eq!((c.width(), c.height()), (3, 2));
+        assert_eq!(c.get(2, 1, 0), img.get(2, 1, 0));
+    }
+}

@@ -1,0 +1,304 @@
+//! A two-pass text assembler.
+//!
+//! Syntax, one instruction per line:
+//!
+//! ```text
+//!     li   r1, 100          ; comments run to end of line
+//! loop:                     ; labels end with ':'
+//!     ldf  f1, r2, 0        ; load double from [r2 + 0]
+//!     fmul f1, f1, f1
+//!     stf  f1, r2, 0
+//!     addi r2, r2, 8
+//!     subi r1, r1, 1
+//!     bgt  r1, r0, loop
+//!     halt
+//! ```
+
+use crate::inst::{Inst, IsaError, Program};
+
+/// Assemble source text into a [`Program`].
+///
+/// # Errors
+///
+/// [`IsaError::Parse`] with the offending line on any syntax error;
+/// [`IsaError::UnknownLabel`] if a branch targets an undefined label.
+pub fn assemble(source: &str) -> Result<Program, IsaError> {
+    // Pass 1: strip comments, collect labels and raw statements.
+    let mut labels: Vec<(String, usize)> = Vec::new();
+    let mut statements: Vec<(usize, String)> = Vec::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = raw.split(';').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut rest = line;
+        while let Some(colon) = rest.find(':') {
+            let (label, tail) = rest.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return Err(IsaError::Parse {
+                    line: lineno + 1,
+                    message: format!("malformed label in {line:?}"),
+                });
+            }
+            labels.push((label.to_string(), statements.len()));
+            rest = tail[1..].trim();
+        }
+        if !rest.is_empty() {
+            statements.push((lineno + 1, rest.to_string()));
+        }
+    }
+
+    // Pass 2: encode instructions, resolving labels.
+    let resolve = |name: &str| -> Result<usize, IsaError> {
+        labels
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, i)| i)
+            .ok_or_else(|| IsaError::UnknownLabel(name.to_string()))
+    };
+
+    let mut insts = Vec::with_capacity(statements.len());
+    for (lineno, stmt) in &statements {
+        insts.push(parse_statement(*lineno, stmt, &resolve)?);
+    }
+    Ok(Program { insts, labels })
+}
+
+fn parse_statement(
+    line: usize,
+    stmt: &str,
+    resolve: &dyn Fn(&str) -> Result<usize, IsaError>,
+) -> Result<Inst, IsaError> {
+    let err = |message: String| IsaError::Parse { line, message };
+    let (mnemonic, rest) = match stmt.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (stmt, ""),
+    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
+
+    let want = |n: usize| -> Result<(), IsaError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("{mnemonic} expects {n} operands, found {}", ops.len())))
+        }
+    };
+    let ireg = |s: &str| -> Result<u8, IsaError> {
+        s.strip_prefix('r')
+            .and_then(|d| d.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| IsaError::BadRegister(s.to_string()))
+    };
+    let freg = |s: &str| -> Result<u8, IsaError> {
+        s.strip_prefix('f')
+            .and_then(|d| d.parse::<u8>().ok())
+            .filter(|&n| n < 32)
+            .ok_or_else(|| IsaError::BadRegister(s.to_string()))
+    };
+    let int = |s: &str| -> Result<i64, IsaError> {
+        let parsed = if let Some(hex) = s.strip_prefix("0x") {
+            i64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse::<i64>().ok()
+        };
+        parsed.ok_or_else(|| err(format!("bad integer literal {s:?}")))
+    };
+    let fp = |s: &str| -> Result<f64, IsaError> {
+        s.parse::<f64>().map_err(|_| err(format!("bad float literal {s:?}")))
+    };
+
+    let inst = match mnemonic.to_ascii_lowercase().as_str() {
+        "add" => {
+            want(3)?;
+            Inst::Add(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "sub" => {
+            want(3)?;
+            Inst::Sub(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "addi" => {
+            want(3)?;
+            Inst::Addi(ireg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "subi" => {
+            want(3)?;
+            Inst::Subi(ireg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "and" => {
+            want(3)?;
+            Inst::And(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "or" => {
+            want(3)?;
+            Inst::Or(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "xor" => {
+            want(3)?;
+            Inst::Xor(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "sll" => {
+            want(3)?;
+            Inst::Sll(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "srl" => {
+            want(3)?;
+            Inst::Srl(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "li" => {
+            want(2)?;
+            Inst::Li(ireg(ops[0])?, int(ops[1])?)
+        }
+        "mul" => {
+            want(3)?;
+            Inst::Mul(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "div" => {
+            want(3)?;
+            Inst::Div(ireg(ops[0])?, ireg(ops[1])?, ireg(ops[2])?)
+        }
+        "ld" => {
+            want(3)?;
+            Inst::Ld(ireg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "st" => {
+            want(3)?;
+            Inst::St(ireg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "ldf" => {
+            want(3)?;
+            Inst::Ldf(freg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "stf" => {
+            want(3)?;
+            Inst::Stf(freg(ops[0])?, ireg(ops[1])?, int(ops[2])?)
+        }
+        "lif" => {
+            want(2)?;
+            Inst::Lif(freg(ops[0])?, fp(ops[1])?)
+        }
+        "fadd" => {
+            want(3)?;
+            Inst::Fadd(freg(ops[0])?, freg(ops[1])?, freg(ops[2])?)
+        }
+        "fsub" => {
+            want(3)?;
+            Inst::Fsub(freg(ops[0])?, freg(ops[1])?, freg(ops[2])?)
+        }
+        "fmul" => {
+            want(3)?;
+            Inst::Fmul(freg(ops[0])?, freg(ops[1])?, freg(ops[2])?)
+        }
+        "fdiv" => {
+            want(3)?;
+            Inst::Fdiv(freg(ops[0])?, freg(ops[1])?, freg(ops[2])?)
+        }
+        "fsqrt" => {
+            want(2)?;
+            Inst::Fsqrt(freg(ops[0])?, freg(ops[1])?)
+        }
+        "fmov" => {
+            want(2)?;
+            Inst::Fmov(freg(ops[0])?, freg(ops[1])?)
+        }
+        "itof" => {
+            want(2)?;
+            Inst::Itof(freg(ops[0])?, ireg(ops[1])?)
+        }
+        "ftoi" => {
+            want(2)?;
+            Inst::Ftoi(ireg(ops[0])?, freg(ops[1])?)
+        }
+        "beq" => {
+            want(3)?;
+            Inst::Beq(ireg(ops[0])?, ireg(ops[1])?, resolve(ops[2])?)
+        }
+        "bne" => {
+            want(3)?;
+            Inst::Bne(ireg(ops[0])?, ireg(ops[1])?, resolve(ops[2])?)
+        }
+        "blt" => {
+            want(3)?;
+            Inst::Blt(ireg(ops[0])?, ireg(ops[1])?, resolve(ops[2])?)
+        }
+        "bgt" => {
+            want(3)?;
+            Inst::Bgt(ireg(ops[0])?, ireg(ops[1])?, resolve(ops[2])?)
+        }
+        "fblt" => {
+            want(3)?;
+            Inst::Fblt(freg(ops[0])?, freg(ops[1])?, resolve(ops[2])?)
+        }
+        "jmp" => {
+            want(1)?;
+            Inst::Jmp(resolve(ops[0])?)
+        }
+        "nop" => {
+            want(0)?;
+            Inst::Nop
+        }
+        "halt" => {
+            want(0)?;
+            Inst::Halt
+        }
+        other => return Err(err(format!("unknown mnemonic {other:?}"))),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assembles_a_small_program() {
+        let p = assemble(
+            "start: li r1, 5\n  addi r1, r1, -2 ; comment\n  bgt r1, r0, start\n  halt",
+        )
+        .unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.label("start"), Some(0));
+        assert_eq!(p.instructions()[0], Inst::Li(1, 5));
+        assert_eq!(p.instructions()[2], Inst::Bgt(1, 0, 0));
+    }
+
+    #[test]
+    fn labels_may_share_a_line_or_stand_alone() {
+        let p = assemble("a:\nb: nop\n jmp a\n halt").unwrap();
+        assert_eq!(p.label("a"), Some(0));
+        assert_eq!(p.label("b"), Some(0));
+        assert_eq!(p.instructions()[1], Inst::Jmp(0));
+    }
+
+    #[test]
+    fn hex_and_float_literals() {
+        let p = assemble("li r2, 0x40\n lif f1, -2.5\n halt").unwrap();
+        assert_eq!(p.instructions()[0], Inst::Li(2, 0x40));
+        assert_eq!(p.instructions()[1], Inst::Lif(1, -2.5));
+    }
+
+    #[test]
+    fn rejects_unknown_mnemonic() {
+        let err = assemble("frobnicate r1, r2").unwrap_err();
+        assert!(matches!(err, IsaError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_operand_count() {
+        assert!(matches!(assemble("li r32, 1").unwrap_err(), IsaError::BadRegister(_)));
+        assert!(matches!(assemble("li f1, 1").unwrap_err(), IsaError::BadRegister(_)));
+        assert!(matches!(assemble("add r1, r2").unwrap_err(), IsaError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_unknown_label() {
+        assert_eq!(assemble("jmp nowhere").unwrap_err(), IsaError::UnknownLabel("nowhere".into()));
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let p = assemble("jmp end\n nop\n end: halt").unwrap();
+        assert_eq!(p.instructions()[0], Inst::Jmp(2));
+    }
+}

@@ -1,0 +1,402 @@
+//! The tracing interpreter.
+
+use memo_sim::EventSink;
+
+use crate::inst::{Inst, IsaError, Program};
+
+/// Why execution stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// A `halt` instruction was executed.
+    Halted,
+}
+
+/// The machine: 32 integer registers (`r0` hardwired to zero), 32 doubles,
+/// and a flat byte-addressed memory.
+///
+/// [`Cpu::run`] streams every executed instruction into an
+/// [`EventSink`] — exactly the information Shade gave the paper's
+/// software MEMO-TABLEs.
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    iregs: [i64; 32],
+    fregs: [f64; 32],
+    mem: Vec<u8>,
+    retired: u64,
+}
+
+impl Cpu {
+    /// A machine with `memory_bytes` of zeroed memory.
+    #[must_use]
+    pub fn new(memory_bytes: usize) -> Self {
+        Cpu { iregs: [0; 32], fregs: [0.0; 32], mem: vec![0; memory_bytes], retired: 0 }
+    }
+
+    /// Integer register value (`r0` is always 0).
+    #[must_use]
+    pub fn reg(&self, r: u8) -> i64 {
+        self.iregs[r as usize]
+    }
+
+    /// Set an integer register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, r: u8, value: i64) {
+        if r != 0 {
+            self.iregs[r as usize] = value;
+        }
+    }
+
+    /// Floating-point register value.
+    #[must_use]
+    pub fn freg(&self, f: u8) -> f64 {
+        self.fregs[f as usize]
+    }
+
+    /// Set a floating-point register.
+    pub fn set_freg(&mut self, f: u8, value: f64) {
+        self.fregs[f as usize] = value;
+    }
+
+    /// Dynamic instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.retired
+    }
+
+    /// Read a double from memory (for test assertions and data setup).
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::MemoryFault`] if out of range.
+    pub fn read_f64(&self, addr: u64) -> Result<f64, IsaError> {
+        let bytes = self.read8(addr)?;
+        Ok(f64::from_le_bytes(bytes))
+    }
+
+    /// Write a double into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::MemoryFault`] if out of range.
+    pub fn write_f64(&mut self, addr: u64, value: f64) -> Result<(), IsaError> {
+        self.write8(addr, value.to_le_bytes())
+    }
+
+    /// Read a 64-bit integer from memory.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::MemoryFault`] if out of range.
+    pub fn read_i64(&self, addr: u64) -> Result<i64, IsaError> {
+        Ok(i64::from_le_bytes(self.read8(addr)?))
+    }
+
+    /// Write a 64-bit integer into memory.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::MemoryFault`] if out of range.
+    pub fn write_i64(&mut self, addr: u64, value: i64) -> Result<(), IsaError> {
+        self.write8(addr, value.to_le_bytes())
+    }
+
+    fn read8(&self, addr: u64) -> Result<[u8; 8], IsaError> {
+        let a = addr as usize;
+        self.mem
+            .get(a..a + 8)
+            .and_then(|s| s.try_into().ok())
+            .ok_or(IsaError::MemoryFault { addr })
+    }
+
+    fn write8(&mut self, addr: u64, bytes: [u8; 8]) -> Result<(), IsaError> {
+        let a = addr as usize;
+        match self.mem.get_mut(a..a + 8) {
+            Some(slot) => {
+                slot.copy_from_slice(&bytes);
+                Ok(())
+            }
+            None => Err(IsaError::MemoryFault { addr }),
+        }
+    }
+
+    fn ea(&self, base: u8, offset: i64) -> u64 {
+        (self.reg(base) + offset) as u64
+    }
+
+    /// Execute `program` until `halt`, streaming events into `sink`.
+    ///
+    /// `fuel` bounds the number of dynamic instructions (a loop guard for
+    /// buggy programs).
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::OutOfFuel`], [`IsaError::MemoryFault`],
+    /// [`IsaError::DivideByZero`], or [`IsaError::RanOffEnd`].
+    pub fn run<S: EventSink + ?Sized>(
+        &mut self,
+        program: &Program,
+        sink: &mut S,
+        fuel: u64,
+    ) -> Result<ExitReason, IsaError> {
+        let mut pc = 0usize;
+        for _ in 0..fuel {
+            let Some(&inst) = program.insts.get(pc) else {
+                return Err(IsaError::RanOffEnd);
+            };
+            self.retired += 1;
+            pc += 1;
+            match inst {
+                Inst::Add(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a).wrapping_add(self.reg(b)));
+                }
+                Inst::Sub(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a).wrapping_sub(self.reg(b)));
+                }
+                Inst::Addi(d, a, imm) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a).wrapping_add(imm));
+                }
+                Inst::Subi(d, a, imm) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a).wrapping_sub(imm));
+                }
+                Inst::And(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a) & self.reg(b));
+                }
+                Inst::Or(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a) | self.reg(b));
+                }
+                Inst::Xor(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a) ^ self.reg(b));
+                }
+                Inst::Sll(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.reg(a) << (self.reg(b) & 63));
+                }
+                Inst::Srl(d, a, b) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, ((self.reg(a) as u64) >> (self.reg(b) & 63)) as i64);
+                }
+                Inst::Li(d, imm) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, imm);
+                }
+                Inst::Mul(d, a, b) => {
+                    let v = sink.imul(self.reg(a), self.reg(b));
+                    self.set_reg(d, v);
+                }
+                Inst::Div(d, a, b) => {
+                    // The integer divider shares the multi-cycle datapath;
+                    // modelled as an integer-ALU burst plus the quotient.
+                    let divisor = self.reg(b);
+                    if divisor == 0 {
+                        return Err(IsaError::DivideByZero);
+                    }
+                    sink.int_ops(4);
+                    self.set_reg(d, self.reg(a).wrapping_div(divisor));
+                }
+                Inst::Ld(d, base, off) => {
+                    let addr = self.ea(base, off);
+                    sink.load(addr);
+                    let v = self.read_i64(addr)?;
+                    self.set_reg(d, v);
+                }
+                Inst::St(base, src, off) => {
+                    let addr = self.ea(base, off);
+                    sink.store(addr);
+                    self.write_i64(addr, self.reg(src))?;
+                }
+                Inst::Ldf(d, base, off) => {
+                    let addr = self.ea(base, off);
+                    sink.load(addr);
+                    let v = self.read_f64(addr)?;
+                    self.set_freg(d, v);
+                }
+                Inst::Stf(src, base, off) => {
+                    let addr = self.ea(base, off);
+                    sink.store(addr);
+                    self.write_f64(addr, self.freg(src))?;
+                }
+                Inst::Lif(d, imm) => {
+                    sink.int_ops(1);
+                    self.set_freg(d, imm);
+                }
+                Inst::Fadd(d, a, b) => {
+                    let v = sink.fadd(self.freg(a), self.freg(b));
+                    self.set_freg(d, v);
+                }
+                Inst::Fsub(d, a, b) => {
+                    let v = sink.fsub(self.freg(a), self.freg(b));
+                    self.set_freg(d, v);
+                }
+                Inst::Fmul(d, a, b) => {
+                    let v = sink.fmul(self.freg(a), self.freg(b));
+                    self.set_freg(d, v);
+                }
+                Inst::Fdiv(d, a, b) => {
+                    let v = sink.fdiv(self.freg(a), self.freg(b));
+                    self.set_freg(d, v);
+                }
+                Inst::Fsqrt(d, a) => {
+                    let v = sink.fsqrt(self.freg(a));
+                    self.set_freg(d, v);
+                }
+                Inst::Fmov(d, a) => {
+                    sink.int_ops(1);
+                    self.set_freg(d, self.freg(a));
+                }
+                Inst::Itof(d, a) => {
+                    sink.int_ops(1);
+                    self.set_freg(d, self.reg(a) as f64);
+                }
+                Inst::Ftoi(d, a) => {
+                    sink.int_ops(1);
+                    self.set_reg(d, self.freg(a) as i64);
+                }
+                Inst::Beq(a, b, target) => {
+                    sink.branch();
+                    if self.reg(a) == self.reg(b) {
+                        pc = target;
+                    }
+                }
+                Inst::Bne(a, b, target) => {
+                    sink.branch();
+                    if self.reg(a) != self.reg(b) {
+                        pc = target;
+                    }
+                }
+                Inst::Blt(a, b, target) => {
+                    sink.branch();
+                    if self.reg(a) < self.reg(b) {
+                        pc = target;
+                    }
+                }
+                Inst::Bgt(a, b, target) => {
+                    sink.branch();
+                    if self.reg(a) > self.reg(b) {
+                        pc = target;
+                    }
+                }
+                Inst::Fblt(a, b, target) => {
+                    sink.branch();
+                    if self.freg(a) < self.freg(b) {
+                        pc = target;
+                    }
+                }
+                Inst::Jmp(target) => {
+                    sink.branch();
+                    pc = target;
+                }
+                Inst::Nop => sink.annulled(),
+                Inst::Halt => return Ok(ExitReason::Halted),
+            }
+        }
+        Err(IsaError::OutOfFuel)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use memo_sim::{CountingSink, NullSink};
+
+    fn run(src: &str) -> (Cpu, CountingSink) {
+        let p = assemble(src).unwrap();
+        let mut cpu = Cpu::new(4096);
+        let mut sink = CountingSink::new();
+        cpu.run(&p, &mut sink, 100_000).unwrap();
+        (cpu, sink)
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let (cpu, _) = run("li r0, 99\n halt");
+        assert_eq!(cpu.reg(0), 0);
+    }
+
+    #[test]
+    fn integer_alu_semantics() {
+        let (cpu, _) = run(
+            "li r1, 6\n li r2, 7\n add r3, r1, r2\n sub r4, r2, r1\n mul r5, r1, r2\n \
+             xor r6, r1, r2\n li r7, 2\n sll r8, r1, r7\n srl r9, r8, r7\n div r10, r5, r2\n halt",
+        );
+        assert_eq!(cpu.reg(3), 13);
+        assert_eq!(cpu.reg(4), 1);
+        assert_eq!(cpu.reg(5), 42);
+        assert_eq!(cpu.reg(6), 1);
+        assert_eq!(cpu.reg(8), 24);
+        assert_eq!(cpu.reg(9), 6);
+        assert_eq!(cpu.reg(10), 6);
+    }
+
+    #[test]
+    fn fp_semantics_and_events() {
+        let (cpu, sink) = run(
+            "lif f1, 9.0\n lif f2, 2.0\n fadd f3, f1, f2\n fsub f4, f1, f2\n \
+             fmul f5, f1, f2\n fdiv f6, f1, f2\n fsqrt f7, f1\n itof f8, r0\n halt",
+        );
+        assert_eq!(cpu.freg(3), 11.0);
+        assert_eq!(cpu.freg(4), 7.0);
+        assert_eq!(cpu.freg(5), 18.0);
+        assert_eq!(cpu.freg(6), 4.5);
+        assert_eq!(cpu.freg(7), 3.0);
+        assert_eq!(cpu.freg(8), 0.0);
+        let m = sink.mix();
+        assert_eq!((m.fp_mul, m.fp_div, m.fp_sqrt, m.fp_add), (1, 1, 1, 2));
+    }
+
+    #[test]
+    fn memory_roundtrip_through_loads_and_stores() {
+        let (cpu, sink) = run(
+            "li r1, 64\n lif f1, 2.5\n stf f1, r1, 0\n ldf f2, r1, 0\n \
+             li r2, -7\n st r1, r2, 8\n ld r3, r1, 8\n halt",
+        );
+        assert_eq!(cpu.freg(2), 2.5);
+        assert_eq!(cpu.reg(3), -7);
+        assert_eq!(sink.mix().loads, 2);
+        assert_eq!(sink.mix().stores, 2);
+    }
+
+    #[test]
+    fn loop_executes_expected_count() {
+        let (cpu, sink) = run(
+            "li r1, 0\n li r2, 10\n loop: addi r1, r1, 1\n blt r1, r2, loop\n halt",
+        );
+        assert_eq!(cpu.reg(1), 10);
+        assert_eq!(sink.mix().branches, 10);
+    }
+
+    #[test]
+    fn faults_are_reported() {
+        let p = assemble("li r1, 100000\n ld r2, r1, 0\n halt").unwrap();
+        let mut cpu = Cpu::new(4096);
+        assert_eq!(
+            cpu.run(&p, &mut NullSink, 100).unwrap_err(),
+            IsaError::MemoryFault { addr: 100_000 }
+        );
+
+        let p = assemble("li r1, 5\n div r2, r1, r0\n halt").unwrap();
+        let mut cpu = Cpu::new(4096);
+        assert_eq!(cpu.run(&p, &mut NullSink, 100).unwrap_err(), IsaError::DivideByZero);
+
+        let p = assemble("jmp spin\n spin: jmp spin").unwrap();
+        let mut cpu = Cpu::new(64);
+        assert_eq!(cpu.run(&p, &mut NullSink, 1000).unwrap_err(), IsaError::OutOfFuel);
+
+        let p = assemble("nop").unwrap();
+        let mut cpu = Cpu::new(64);
+        assert_eq!(cpu.run(&p, &mut NullSink, 10).unwrap_err(), IsaError::RanOffEnd);
+    }
+
+    #[test]
+    fn retired_counts_dynamic_instructions() {
+        let (cpu, _) = run("li r1, 3\n loop: subi r1, r1, 1\n bgt r1, r0, loop\n halt");
+        // li + 3×(subi+bgt) + halt = 8.
+        assert_eq!(cpu.retired(), 8);
+    }
+}

@@ -1,0 +1,106 @@
+//! Disassembly: `Display` for instructions and source regeneration for
+//! whole programs, so assembler output can be round-tripped
+//! (`assemble(program.to_source()) == program` — property-tested).
+
+use std::fmt;
+
+use crate::inst::{Inst, Program};
+
+/// Label name used for instruction index `i` when regenerating source.
+fn loc(i: usize) -> String {
+    format!("L{i}")
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Inst::Add(d, a, b) => write!(f, "add r{d}, r{a}, r{b}"),
+            Inst::Sub(d, a, b) => write!(f, "sub r{d}, r{a}, r{b}"),
+            Inst::Addi(d, a, i) => write!(f, "addi r{d}, r{a}, {i}"),
+            Inst::Subi(d, a, i) => write!(f, "subi r{d}, r{a}, {i}"),
+            Inst::And(d, a, b) => write!(f, "and r{d}, r{a}, r{b}"),
+            Inst::Or(d, a, b) => write!(f, "or r{d}, r{a}, r{b}"),
+            Inst::Xor(d, a, b) => write!(f, "xor r{d}, r{a}, r{b}"),
+            Inst::Sll(d, a, b) => write!(f, "sll r{d}, r{a}, r{b}"),
+            Inst::Srl(d, a, b) => write!(f, "srl r{d}, r{a}, r{b}"),
+            Inst::Li(d, i) => write!(f, "li r{d}, {i}"),
+            Inst::Mul(d, a, b) => write!(f, "mul r{d}, r{a}, r{b}"),
+            Inst::Div(d, a, b) => write!(f, "div r{d}, r{a}, r{b}"),
+            Inst::Ld(d, b, o) => write!(f, "ld r{d}, r{b}, {o}"),
+            Inst::St(b, s, o) => write!(f, "st r{b}, r{s}, {o}"),
+            Inst::Ldf(d, b, o) => write!(f, "ldf f{d}, r{b}, {o}"),
+            Inst::Stf(s, b, o) => write!(f, "stf f{s}, r{b}, {o}"),
+            // `{:?}` prints f64 with enough digits to round-trip exactly.
+            Inst::Lif(d, v) => write!(f, "lif f{d}, {v:?}"),
+            Inst::Fadd(d, a, b) => write!(f, "fadd f{d}, f{a}, f{b}"),
+            Inst::Fsub(d, a, b) => write!(f, "fsub f{d}, f{a}, f{b}"),
+            Inst::Fmul(d, a, b) => write!(f, "fmul f{d}, f{a}, f{b}"),
+            Inst::Fdiv(d, a, b) => write!(f, "fdiv f{d}, f{a}, f{b}"),
+            Inst::Fsqrt(d, a) => write!(f, "fsqrt f{d}, f{a}"),
+            Inst::Fmov(d, a) => write!(f, "fmov f{d}, f{a}"),
+            Inst::Itof(d, a) => write!(f, "itof f{d}, r{a}"),
+            Inst::Ftoi(d, a) => write!(f, "ftoi r{d}, f{a}"),
+            Inst::Beq(a, b, t) => write!(f, "beq r{a}, r{b}, {}", loc(t)),
+            Inst::Bne(a, b, t) => write!(f, "bne r{a}, r{b}, {}", loc(t)),
+            Inst::Blt(a, b, t) => write!(f, "blt r{a}, r{b}, {}", loc(t)),
+            Inst::Bgt(a, b, t) => write!(f, "bgt r{a}, r{b}, {}", loc(t)),
+            Inst::Fblt(a, b, t) => write!(f, "fblt f{a}, f{b}, {}", loc(t)),
+            Inst::Jmp(t) => write!(f, "jmp {}", loc(t)),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+impl Program {
+    /// Regenerate assembly source that assembles back to this program
+    /// (labels are canonicalized to `L<index>`).
+    #[must_use]
+    pub fn to_source(&self) -> String {
+        // Every instruction index gets a label so any branch target works.
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            out.push_str(&format!("{}: {inst}\n", loc(i)));
+        }
+        // A trailing label for branches that target one-past-the-end.
+        out.push_str(&format!("{}: halt\n", loc(self.insts.len())));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn display_prints_canonical_forms() {
+        assert_eq!(Inst::Li(3, -7).to_string(), "li r3, -7");
+        assert_eq!(Inst::Fdiv(1, 2, 3).to_string(), "fdiv f1, f2, f3");
+        assert_eq!(Inst::Blt(1, 2, 5).to_string(), "blt r1, r2, L5");
+        assert_eq!(Inst::Lif(0, 0.1).to_string(), "lif f0, 0.1");
+    }
+
+    #[test]
+    fn source_roundtrip_preserves_instructions() {
+        let original = assemble(
+            "li r1, 5\nstart: subi r1, r1, 1\n lif f1, 2.5\n fmul f2, f1, f1\n \
+             bgt r1, r0, start\n halt",
+        )
+        .unwrap();
+        let regenerated = assemble(&original.to_source()).unwrap();
+        // Instructions match up to the appended trailing halt.
+        assert_eq!(
+            &regenerated.instructions()[..original.len()],
+            original.instructions()
+        );
+    }
+
+    #[test]
+    fn float_literals_roundtrip_exactly() {
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5] {
+            let p = assemble(&format!("lif f1, {v:?}\n halt")).unwrap();
+            assert_eq!(p.instructions()[0], Inst::Lif(1, v));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Instruction definitions and program container.
+
+use std::fmt;
+
+/// Errors from assembling or executing a program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IsaError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based source line.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A branch referenced an unknown label.
+    UnknownLabel(String),
+    /// A register outside `r0..r31` / `f0..f31`.
+    BadRegister(String),
+    /// Memory access outside the configured memory size.
+    MemoryFault {
+        /// Offending byte address.
+        addr: u64,
+    },
+    /// Division of an integer by zero (fp division follows IEEE-754 and
+    /// never faults).
+    DivideByZero,
+    /// The fuel limit expired before `halt`.
+    OutOfFuel,
+    /// Execution fell off the end of the program.
+    RanOffEnd,
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::Parse { line, message } => write!(f, "parse error on line {line}: {message}"),
+            IsaError::UnknownLabel(l) => write!(f, "unknown label {l:?}"),
+            IsaError::BadRegister(r) => write!(f, "bad register {r:?}"),
+            IsaError::MemoryFault { addr } => write!(f, "memory access fault at {addr:#x}"),
+            IsaError::DivideByZero => write!(f, "integer division by zero"),
+            IsaError::OutOfFuel => write!(f, "fuel exhausted before halt"),
+            IsaError::RanOffEnd => write!(f, "execution ran past the last instruction"),
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+/// One decoded instruction.
+///
+/// Register operands are indices into the 32-entry integer (`r`) or
+/// floating-point (`f`) files; `r0` is hardwired to zero, as on SPARC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    // --- integer ALU (single cycle) ---
+    /// `rd ← rs1 + rs2`
+    Add(u8, u8, u8),
+    /// `rd ← rs1 − rs2`
+    Sub(u8, u8, u8),
+    /// `rd ← rs1 + imm`
+    Addi(u8, u8, i64),
+    /// `rd ← rs1 − imm`
+    Subi(u8, u8, i64),
+    /// `rd ← rs1 & rs2`
+    And(u8, u8, u8),
+    /// `rd ← rs1 | rs2`
+    Or(u8, u8, u8),
+    /// `rd ← rs1 ^ rs2`
+    Xor(u8, u8, u8),
+    /// `rd ← rs1 << (rs2 & 63)`
+    Sll(u8, u8, u8),
+    /// `rd ← (rs1 as u64) >> (rs2 & 63)`
+    Srl(u8, u8, u8),
+    /// `rd ← imm`
+    Li(u8, i64),
+
+    // --- multi-cycle integer (streams an `Arith` event) ---
+    /// `rd ← rs1 × rs2` (wrapping; the integer multiplier)
+    Mul(u8, u8, u8),
+    /// `rd ← rs1 / rs2` (integer divider; faults on zero)
+    Div(u8, u8, u8),
+
+    // --- memory ---
+    /// `rd ← mem[rs1 + offset]` (64-bit integer load)
+    Ld(u8, u8, i64),
+    /// `mem[rs1 + offset] ← rs2`
+    St(u8, u8, i64),
+    /// `fd ← mem[rs1 + offset]` (double load)
+    Ldf(u8, u8, i64),
+    /// `mem[rs1 + offset] ← fs`
+    Stf(u8, u8, i64),
+
+    // --- floating point ---
+    /// `fd ← imm`
+    Lif(u8, f64),
+    /// `fd ← fs1 + fs2`
+    Fadd(u8, u8, u8),
+    /// `fd ← fs1 − fs2`
+    Fsub(u8, u8, u8),
+    /// `fd ← fs1 × fs2` (the fp multiplier — `Arith` event)
+    Fmul(u8, u8, u8),
+    /// `fd ← fs1 ÷ fs2` (the fp divider — `Arith` event)
+    Fdiv(u8, u8, u8),
+    /// `fd ← √fs1` (`Arith` event)
+    Fsqrt(u8, u8),
+    /// `fd ← fs1`
+    Fmov(u8, u8),
+    /// `fd ← rs1 as f64`
+    Itof(u8, u8),
+    /// `rd ← fs1 as i64` (truncating)
+    Ftoi(u8, u8),
+
+    // --- control ---
+    /// Branch to `target` if `rs1 == rs2`.
+    Beq(u8, u8, usize),
+    /// Branch if `rs1 != rs2`.
+    Bne(u8, u8, usize),
+    /// Branch if `rs1 < rs2` (signed).
+    Blt(u8, u8, usize),
+    /// Branch if `rs1 > rs2` (signed).
+    Bgt(u8, u8, usize),
+    /// Branch if `fs1 < fs2`.
+    Fblt(u8, u8, usize),
+    /// Unconditional jump.
+    Jmp(usize),
+    /// No operation (annulled delay slot — streams `Annulled`).
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+/// An assembled program: instructions plus the label map (kept for
+/// diagnostics and round-trip tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) insts: Vec<Inst>,
+    pub(crate) labels: Vec<(String, usize)>,
+}
+
+impl Program {
+    /// The decoded instructions.
+    #[must_use]
+    pub fn instructions(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Resolve a label to its instruction index.
+    #[must_use]
+    pub fn label(&self, name: &str) -> Option<usize> {
+        self.labels.iter().find(|(n, _)| n == name).map(|&(_, i)| i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IsaError::Parse { line: 3, message: "bad mnemonic".into() };
+        assert!(e.to_string().contains("line 3"));
+        assert!(IsaError::MemoryFault { addr: 0x40 }.to_string().contains("0x40"));
+    }
+
+    #[test]
+    fn program_label_lookup() {
+        let p = Program {
+            insts: vec![Inst::Nop, Inst::Halt],
+            labels: vec![("start".into(), 0), ("end".into(), 1)],
+        };
+        assert_eq!(p.label("end"), Some(1));
+        assert_eq!(p.label("nope"), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+}

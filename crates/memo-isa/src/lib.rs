@@ -1,0 +1,54 @@
+//! # memo-isa
+//!
+//! A SPARC-flavoured miniature instruction set, assembler, and tracing
+//! interpreter — the stand-in for Shade, the instruction-level simulator
+//! the paper used to collect its traces (§3).
+//!
+//! Shade executed SPARC binaries natively and broke on specific
+//! instructions to record register values into software MEMO-TABLEs. Our
+//! interpreter does the equivalent for programs written in its own
+//! assembly: every executed instruction is streamed as a
+//! [`memo_sim::Event`] — loads and stores with addresses, multiplies and
+//! divides with operand values — into any [`memo_sim::EventSink`], so the
+//! same measurement machinery (hit-ratio probes, the cycle accountant)
+//! runs on real programs rather than instrumented Rust kernels.
+//!
+//! ## Example
+//!
+//! ```
+//! use memo_isa::{assemble, Cpu};
+//! use memo_sim::{CountingSink, EventSink};
+//!
+//! let program = assemble(
+//!     r#"
+//!         li   r1, 10        ; loop counter
+//!         lif  f1, 3.0
+//!         lif  f2, 21.0
+//!     loop:
+//!         fdiv f3, f2, f1    ; 21 / 3, over and over
+//!         subi r1, r1, 1
+//!         bgt  r1, r0, loop
+//!         halt
+//!     "#,
+//! )?;
+//!
+//! let mut sink = CountingSink::new();
+//! let mut cpu = Cpu::new(64 * 1024);
+//! cpu.run(&program, &mut sink, 10_000)?;
+//! assert_eq!(sink.mix().fp_div, 10);
+//! assert_eq!(cpu.freg(3), 7.0);
+//! # Ok::<(), memo_isa::IsaError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod asm;
+mod cpu;
+mod disasm;
+mod inst;
+pub mod programs;
+
+pub use asm::assemble;
+pub use cpu::{Cpu, ExitReason};
+pub use inst::{Inst, IsaError, Program};

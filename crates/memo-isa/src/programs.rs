@@ -1,0 +1,307 @@
+//! Ready-made assembly programs, used by the examples and integration
+//! tests (and handy as ISA smoke tests).
+//!
+//! Each builder returns assembly source; the data-layout conventions are
+//! documented per program.
+
+/// Dot product of two `n`-element double vectors.
+///
+/// Layout: vector A at address 0, vector B at `8·n`; the result is left in
+/// `f0` and stored at address `16·n`.
+#[must_use]
+pub fn dot_product(n: usize) -> String {
+    format!(
+        r#"
+        ; dot product: f0 = sum(A[i] * B[i])
+        li   r1, 0            ; i
+        li   r2, {n}          ; n
+        li   r3, 0            ; &A[0]
+        li   r4, {b_base}     ; &B[0]
+        lif  f0, 0.0
+    loop:
+        ldf  f1, r3, 0
+        ldf  f2, r4, 0
+        fmul f3, f1, f2
+        fadd f0, f0, f3
+        addi r3, r3, 8
+        addi r4, r4, 8
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        li   r5, {out}
+        stf  f0, r5, 0
+        halt
+    "#,
+        n = n,
+        b_base = 8 * n,
+        out = 16 * n,
+    )
+}
+
+/// Normalize `n` doubles at address 0 in place by a constant divisor —
+/// the canonical memoizable division loop (byte-valued data divided by
+/// the same constant repeats constantly).
+#[must_use]
+pub fn normalize(n: usize, divisor: f64) -> String {
+    format!(
+        r#"
+        ; X[i] = X[i] / divisor
+        li   r1, 0
+        li   r2, {n}
+        li   r3, 0
+        lif  f9, {divisor}
+    loop:
+        ldf  f1, r3, 0
+        fdiv f2, f1, f9
+        stf  f2, r3, 0
+        addi r3, r3, 8
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    "#,
+    )
+}
+
+/// Square root of `n` doubles at address 0, written to `8·n`, via five
+/// Newton–Raphson iterations (divisions — the `vsqrt` pattern at ISA
+/// level).
+#[must_use]
+pub fn newton_sqrt(n: usize) -> String {
+    format!(
+        r#"
+        ; Y[i] = sqrt(X[i]) by Newton iteration on the divider
+        li   r1, 0
+        li   r2, {n}
+        li   r3, 0
+        li   r4, {out}
+        lif  f8, 0.5
+        lif  f7, 1.0
+    loop:
+        ldf  f1, r3, 0
+        fadd f2, f1, f7       ; x0 = (a + 1) / 2
+        fmul f2, f2, f8
+        fdiv f3, f1, f2       ; five iterations (the naive seed converges
+        fadd f2, f2, f3       ; slowly for large inputs)
+        fmul f2, f2, f8
+        fdiv f3, f1, f2
+        fadd f2, f2, f3
+        fmul f2, f2, f8
+        fdiv f3, f1, f2
+        fadd f2, f2, f3
+        fmul f2, f2, f8
+        fdiv f3, f1, f2
+        fadd f2, f2, f3
+        fmul f2, f2, f8
+        fdiv f3, f1, f2
+        fadd f2, f2, f3
+        fmul f2, f2, f8
+        stf  f2, r4, 0
+        addi r3, r3, 8
+        addi r4, r4, 8
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        halt
+    "#,
+        n = n,
+        out = 8 * n,
+    )
+}
+
+/// `n × n` double matrix multiply `C = A·B`.
+///
+/// Layout: A at 0, B at `8·n²`, C at `16·n²`, all row-major. Address
+/// arithmetic uses the integer multiplier (`mul`), giving the classic
+/// row-invariant imul reuse pattern the paper measures on scientific
+/// codes.
+#[must_use]
+pub fn matmul(n: usize) -> String {
+    format!(
+        r#"
+        ; C[i][j] = sum_k A[i][k] * B[k][j]
+        li   r10, {n}         ; n
+        li   r11, 8           ; element size
+        li   r1, 0            ; i
+    iloop:
+        li   r2, 0            ; j
+    jloop:
+        lif  f0, 0.0          ; acc
+        li   r3, 0            ; k
+    kloop:
+        ; &A[i][k] = (i*n + k) * 8
+        mul  r4, r1, r10
+        add  r4, r4, r3
+        mul  r4, r4, r11
+        ldf  f1, r4, 0
+        ; &B[k][j] = B_base + (k*n + j) * 8
+        mul  r5, r3, r10
+        add  r5, r5, r2
+        mul  r5, r5, r11
+        ldf  f2, r5, {b_base}
+        fmul f3, f1, f2
+        fadd f0, f0, f3
+        addi r3, r3, 1
+        blt  r3, r10, kloop
+        ; &C[i][j]
+        mul  r6, r1, r10
+        add  r6, r6, r2
+        mul  r6, r6, r11
+        stf  f0, r6, {c_base}
+        addi r2, r2, 1
+        blt  r2, r10, jloop
+        addi r1, r1, 1
+        blt  r1, r10, iloop
+        halt
+    "#,
+        n = n,
+        b_base = 8 * n * n,
+        c_base = 16 * n * n,
+    )
+}
+
+/// 3-tap horizontal convolution `Y[i] = (X[i-1] + 2·X[i] + X[i+1]) / 4`
+/// over `n` doubles at address 0, written to `8·n` (borders copied).
+///
+/// The ×2 multiplies of byte-valued data and the ÷4 normalization are
+/// dense memo-table food — the ISA-level analogue of `vdiff`.
+#[must_use]
+pub fn convolve3(n: usize) -> String {
+    assert!(n >= 3, "convolution needs at least 3 samples");
+    format!(
+        r#"
+        li   r1, 1            ; i
+        li   r2, {last}       ; n-1
+        li   r3, 8            ; &X[1]
+        lif  f8, 2.0
+        lif  f9, 4.0
+    loop:
+        ldf  f1, r3, -8
+        ldf  f2, r3, 0
+        ldf  f3, r3, 8
+        fmul f4, f2, f8       ; 2*X[i]
+        fadd f5, f1, f4
+        fadd f5, f5, f3
+        fdiv f6, f5, f9       ; /4
+        stf  f6, r3, {out_off}
+        addi r3, r3, 8
+        addi r1, r1, 1
+        blt  r1, r2, loop
+        ; copy borders
+        ldf  f1, r0, 0
+        li   r4, {out}
+        stf  f1, r4, 0
+        li   r5, {last_in}
+        ldf  f2, r5, 0
+        stf  f2, r5, {out_off}
+        halt
+    "#,
+        last = n - 1,
+        out = 8 * n,
+        out_off = 8 * n,
+        last_in = 8 * (n - 1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{assemble, Cpu};
+    use memo_sim::{CountingSink, NullSink};
+
+    #[test]
+    fn dot_product_matches_reference() {
+        let n = 16;
+        let program = assemble(&super::dot_product(n)).unwrap();
+        let mut cpu = Cpu::new(64 * 1024);
+        let mut expect = 0.0;
+        for i in 0..n {
+            let a = i as f64 + 0.5;
+            let b = 2.0 - i as f64 * 0.1;
+            cpu.write_f64((i * 8) as u64, a).unwrap();
+            cpu.write_f64(((n + i) * 8) as u64, b).unwrap();
+            expect += a * b;
+        }
+        cpu.run(&program, &mut NullSink, 100_000).unwrap();
+        assert!((cpu.freg(0) - expect).abs() < 1e-12);
+        assert!((cpu.read_f64((16 * n) as u64).unwrap() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_divides_in_place() {
+        let n = 8;
+        let program = assemble(&super::normalize(n, 4.0)).unwrap();
+        let mut cpu = Cpu::new(4096);
+        for i in 0..n {
+            cpu.write_f64((i * 8) as u64, (i * 3) as f64).unwrap();
+        }
+        let mut sink = CountingSink::new();
+        cpu.run(&program, &mut sink, 100_000).unwrap();
+        for i in 0..n {
+            assert_eq!(cpu.read_f64((i * 8) as u64).unwrap(), (i * 3) as f64 / 4.0);
+        }
+        assert_eq!(sink.mix().fp_div, n as u64);
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let n = 5;
+        let program = assemble(&super::matmul(n)).unwrap();
+        let mut cpu = Cpu::new(64 * 1024);
+        let mut a = vec![0.0; n * n];
+        let mut b = vec![0.0; n * n];
+        for i in 0..n * n {
+            a[i] = (i % 7) as f64 + 0.5;
+            b[i] = (i % 5) as f64 - 1.0;
+            cpu.write_f64((i * 8) as u64, a[i]).unwrap();
+            cpu.write_f64(((n * n + i) * 8) as u64, b[i]).unwrap();
+        }
+        let mut sink = CountingSink::new();
+        cpu.run(&program, &mut sink, 10_000_000).unwrap();
+        for i in 0..n {
+            for j in 0..n {
+                let want: f64 = (0..n).map(|k| a[i * n + k] * b[k * n + j]).sum();
+                let got = cpu.read_f64(((2 * n * n + i * n + j) * 8) as u64).unwrap();
+                assert!((got - want).abs() < 1e-9, "C[{i}][{j}] = {got} vs {want}");
+            }
+        }
+        assert_eq!(sink.mix().fp_mul, (n * n * n) as u64);
+        assert!(sink.mix().int_mul > 0, "address arithmetic uses the integer multiplier");
+    }
+
+    #[test]
+    fn convolve3_smooths() {
+        let n = 8;
+        let program = assemble(&super::convolve3(n)).unwrap();
+        let mut cpu = Cpu::new(4096);
+        let data = [0.0, 0.0, 4.0, 0.0, 0.0, 8.0, 8.0, 8.0];
+        for (i, v) in data.iter().enumerate() {
+            cpu.write_f64((i * 8) as u64, *v).unwrap();
+        }
+        cpu.run(&program, &mut NullSink, 100_000).unwrap();
+        // Interior points follow the kernel.
+        for i in 1..n - 1 {
+            let want = (data[i - 1] + 2.0 * data[i] + data[i + 1]) / 4.0;
+            let got = cpu.read_f64(((n + i) * 8) as u64).unwrap();
+            assert!((got - want).abs() < 1e-12, "Y[{i}] = {got} vs {want}");
+        }
+        // Borders copied.
+        assert_eq!(cpu.read_f64((n * 8) as u64).unwrap(), data[0]);
+        assert_eq!(cpu.read_f64(((2 * n - 1) * 8) as u64).unwrap(), data[n - 1]);
+    }
+
+    #[test]
+    fn newton_sqrt_converges_at_isa_level() {
+        let n = 6;
+        let program = assemble(&super::newton_sqrt(n)).unwrap();
+        let mut cpu = Cpu::new(4096);
+        let values = [1.0, 4.0, 9.0, 2.0, 100.0, 0.25];
+        for (i, v) in values.iter().enumerate() {
+            cpu.write_f64((i * 8) as u64, *v).unwrap();
+        }
+        cpu.run(&program, &mut NullSink, 100_000).unwrap();
+        for (i, v) in values.iter().enumerate() {
+            let got = cpu.read_f64(((n + i) * 8) as u64).unwrap();
+            assert!(
+                (got - v.sqrt()).abs() / v.sqrt().max(0.5) < 0.05,
+                "sqrt({v}) ≈ {got}"
+            );
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Total-cycle accounting over an event stream (§3.3).
+//!
+//! A single pass over the dynamic instruction stream produces *both*
+//! machines of the paper's comparison:
+//!
+//! * the **baseline** — every multi-cycle operation at its full unit
+//!   latency;
+//! * the **memoized** machine — table hits complete in one cycle.
+//!
+//! Memory accesses go through the two-level cache model and cost the same
+//! on both machines (memoing does not change the data stream), so the
+//! measured speedup isolates exactly the cycles the MEMO-TABLEs avoid —
+//! the paper's "number of superfluous cycles avoided".
+
+use memo_table::OpKind;
+
+use crate::bank::MemoBank;
+use crate::cache::{CacheStats, MemoryHierarchy};
+use crate::cpu::CpuModel;
+use crate::event::{Event, EventSink, InstrMix};
+use crate::amdahl;
+
+/// Cycles charged per instruction category.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CycleBreakdown {
+    /// Integer ALU cycles.
+    pub int_alu: u64,
+    /// FP add/subtract cycles.
+    pub fp_add: u64,
+    /// Branch cycles.
+    pub branch: u64,
+    /// Annulled-slot cycles.
+    pub annulled: u64,
+    /// Memory-access cycles (loads and stores, cache penalties included).
+    pub memory: u64,
+    /// Cycles per multi-cycle kind, indexed `[imul, fmul, fdiv, fsqrt]`.
+    pub arith: [u64; 4],
+}
+
+impl CycleBreakdown {
+    /// Total cycles.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.int_alu
+            + self.fp_add
+            + self.branch
+            + self.annulled
+            + self.memory
+            + self.arith.iter().sum::<u64>()
+    }
+
+    /// Cycles spent in one multi-cycle kind.
+    #[must_use]
+    pub fn arith_cycles(&self, kind: OpKind) -> u64 {
+        self.arith[kind_slot(kind)]
+    }
+}
+
+fn kind_slot(kind: OpKind) -> usize {
+    match kind {
+        OpKind::IntMul => 0,
+        OpKind::FpMul => 1,
+        OpKind::FpDiv => 2,
+        OpKind::FpSqrt => 3,
+    }
+}
+
+/// The measurement produced by a [`CycleAccountant`] run.
+#[derive(Debug, Clone)]
+pub struct CycleReport {
+    cpu: CpuModel,
+    baseline: CycleBreakdown,
+    memoized: CycleBreakdown,
+    mix: InstrMix,
+    arith_count: [u64; 4],
+    arith_single: [u64; 4],
+    l1: CacheStats,
+    l2: CacheStats,
+}
+
+impl CycleReport {
+    /// The CPU model the cycles were charged against.
+    #[must_use]
+    pub fn cpu(&self) -> &CpuModel {
+        &self.cpu
+    }
+
+    /// Baseline (no MEMO-TABLE) cycle breakdown.
+    #[must_use]
+    pub fn baseline(&self) -> &CycleBreakdown {
+        &self.baseline
+    }
+
+    /// Memoized-machine cycle breakdown.
+    #[must_use]
+    pub fn memoized(&self) -> &CycleBreakdown {
+        &self.memoized
+    }
+
+    /// Dynamic instruction mix.
+    #[must_use]
+    pub fn mix(&self) -> &InstrMix {
+        &self.mix
+    }
+
+    /// L1 data-cache statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1
+    }
+
+    /// L2 data-cache statistics.
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2
+    }
+
+    /// Directly measured speedup: baseline cycles / memoized cycles.
+    #[must_use]
+    pub fn speedup_measured(&self) -> f64 {
+        if self.memoized.total() == 0 {
+            return 1.0;
+        }
+        self.baseline.total() as f64 / self.memoized.total() as f64
+    }
+
+    /// *Fraction Enhanced* for `kind`: its share of baseline cycles.
+    #[must_use]
+    pub fn fraction_enhanced(&self, kind: OpKind) -> f64 {
+        let total = self.baseline.total();
+        if total == 0 {
+            return 0.0;
+        }
+        self.baseline.arith_cycles(kind) as f64 / total as f64
+    }
+
+    /// Observed single-cycle (hit) ratio for `kind` over its dynamic
+    /// operations.
+    #[must_use]
+    pub fn hit_ratio(&self, kind: OpKind) -> f64 {
+        let n = self.arith_count[kind_slot(kind)];
+        if n == 0 {
+            return 0.0;
+        }
+        self.arith_single[kind_slot(kind)] as f64 / n as f64
+    }
+
+    /// *Speedup Enhanced* for `kind` from its latency and hit ratio
+    /// (the paper's `dc / ((1 − hr)·dc + hr)`).
+    #[must_use]
+    pub fn speedup_enhanced(&self, kind: OpKind) -> f64 {
+        amdahl::speedup_enhanced(f64::from(self.cpu.latency(kind)), self.hit_ratio(kind))
+    }
+
+    /// Analytic Amdahl speedup when only `kinds` are considered enhanced —
+    /// the construction of Tables 11–13.
+    #[must_use]
+    pub fn speedup_amdahl(&self, kinds: &[OpKind]) -> f64 {
+        let parts: Vec<(f64, f64)> = kinds
+            .iter()
+            .map(|&k| (self.fraction_enhanced(k), self.speedup_enhanced(k)))
+            .collect();
+        amdahl::speedup_multi(&parts)
+    }
+}
+
+/// An [`EventSink`] that charges cycles for both machines in one pass.
+#[derive(Debug)]
+pub struct CycleAccountant {
+    cpu: CpuModel,
+    memory: MemoryHierarchy,
+    bank: MemoBank,
+    baseline: CycleBreakdown,
+    memoized: CycleBreakdown,
+    mix: InstrMix,
+    arith_count: [u64; 4],
+    arith_single: [u64; 4],
+}
+
+impl CycleAccountant {
+    /// Build an accountant for one run.
+    #[must_use]
+    pub fn new(cpu: CpuModel, memory: MemoryHierarchy, bank: MemoBank) -> Self {
+        CycleAccountant {
+            cpu,
+            memory,
+            bank,
+            baseline: CycleBreakdown::default(),
+            memoized: CycleBreakdown::default(),
+            mix: InstrMix::default(),
+            arith_count: [0; 4],
+            arith_single: [0; 4],
+        }
+    }
+
+    /// The memo bank (e.g. to read per-table statistics mid-run).
+    #[must_use]
+    pub fn bank(&self) -> &MemoBank {
+        &self.bank
+    }
+
+    /// Produce the final report.
+    #[must_use]
+    pub fn report(&self) -> CycleReport {
+        CycleReport {
+            cpu: self.cpu,
+            baseline: self.baseline,
+            memoized: self.memoized,
+            mix: self.mix,
+            arith_count: self.arith_count,
+            arith_single: self.arith_single,
+            l1: self.memory.l1_stats(),
+            l2: self.memory.l2_stats(),
+        }
+    }
+}
+
+impl EventSink for CycleAccountant {
+    fn record(&mut self, event: Event) {
+        self.mix.count(&event);
+        match event {
+            Event::IntAlu => {
+                let c = u64::from(self.cpu.int_alu);
+                self.baseline.int_alu += c;
+                self.memoized.int_alu += c;
+            }
+            Event::FpAdd => {
+                let c = u64::from(self.cpu.fp_add);
+                self.baseline.fp_add += c;
+                self.memoized.fp_add += c;
+            }
+            Event::Branch => {
+                let c = u64::from(self.cpu.branch);
+                self.baseline.branch += c;
+                self.memoized.branch += c;
+            }
+            Event::Annulled => {
+                self.baseline.annulled += 1;
+                self.memoized.annulled += 1;
+            }
+            Event::Load(addr) | Event::Store(addr) => {
+                let c = u64::from(self.memory.access(addr));
+                self.baseline.memory += c;
+                self.memoized.memory += c;
+            }
+            Event::Arith(op) => {
+                let kind = op.kind();
+                let slot = kind_slot(kind);
+                let full = u64::from(self.cpu.latency(kind));
+                self.arith_count[slot] += 1;
+                self.baseline.arith[slot] += full;
+                let executed = self.bank.execute(op);
+                if executed.outcome.avoided_computation() {
+                    self.arith_single[slot] += 1;
+                    self.memoized.arith[slot] += 1;
+                } else {
+                    self.memoized.arith[slot] += full;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn accountant(bank: MemoBank) -> CycleAccountant {
+        CycleAccountant::new(CpuModel::paper_slow(), MemoryHierarchy::typical_1997(), bank)
+    }
+
+    /// A small kernel with heavy operand reuse: `n` divisions drawn from
+    /// 8 distinct operand pairs, padded with ALU/branch/memory work.
+    fn run_kernel(acc: &mut CycleAccountant, n: u64) {
+        for i in 0..n {
+            acc.load((i % 64) * 8);
+            let a = f64::from(2 + (i % 8) as u32);
+            let _ = acc.fdiv(a, 3.0);
+            acc.int_ops(2);
+            acc.branch();
+        }
+    }
+
+    #[test]
+    fn baseline_charges_full_latency() {
+        let mut acc = accountant(MemoBank::none());
+        run_kernel(&mut acc, 100);
+        let r = acc.report();
+        assert_eq!(r.baseline().arith_cycles(OpKind::FpDiv), 100 * 39);
+        // No tables: memoized == baseline.
+        assert_eq!(r.baseline(), r.memoized());
+        assert!((r.speedup_measured() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn memoized_machine_avoids_cycles() {
+        let mut acc = accountant(MemoBank::paper_default());
+        run_kernel(&mut acc, 100);
+        let r = acc.report();
+        // 8 distinct pairs fit the 32-entry table: 8 misses, 92 hits.
+        assert_eq!(r.memoized().arith_cycles(OpKind::FpDiv), 8 * 39 + 92);
+        assert!((r.hit_ratio(OpKind::FpDiv) - 0.92).abs() < 1e-12);
+        assert!(r.speedup_measured() > 1.0);
+    }
+
+    #[test]
+    fn memory_cycles_equal_on_both_machines() {
+        let mut acc = accountant(MemoBank::paper_default());
+        run_kernel(&mut acc, 50);
+        let r = acc.report();
+        assert_eq!(r.baseline().memory, r.memoized().memory);
+        assert!(r.baseline().memory >= 50, "each load costs at least a cycle");
+        assert_eq!(r.l2_stats().accesses, r.l1_stats().misses());
+    }
+
+    #[test]
+    fn fraction_enhanced_is_a_fraction_of_total() {
+        let mut acc = accountant(MemoBank::paper_default());
+        run_kernel(&mut acc, 200);
+        let r = acc.report();
+        let fe = r.fraction_enhanced(OpKind::FpDiv);
+        assert!(fe > 0.0 && fe < 1.0);
+        let expected =
+            r.baseline().arith_cycles(OpKind::FpDiv) as f64 / r.baseline().total() as f64;
+        assert!((fe - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn amdahl_and_measured_speedups_agree() {
+        // With only the divider enhanced and everything else identical, the
+        // analytic Amdahl speedup must equal the measured one exactly.
+        let mut acc = accountant(MemoBank::uniform(
+            memo_table::MemoConfig::paper_default(),
+            &[OpKind::FpDiv],
+        ));
+        run_kernel(&mut acc, 500);
+        let r = acc.report();
+        let analytic = r.speedup_amdahl(&[OpKind::FpDiv]);
+        let measured = r.speedup_measured();
+        assert!(
+            (analytic - measured).abs() < 1e-9,
+            "analytic {analytic} vs measured {measured}"
+        );
+    }
+
+    #[test]
+    fn instruction_mix_is_counted() {
+        let mut acc = accountant(MemoBank::none());
+        run_kernel(&mut acc, 10);
+        let m = *acc.report().mix();
+        assert_eq!(m.fp_div, 10);
+        assert_eq!(m.loads, 10);
+        assert_eq!(m.branches, 10);
+        assert_eq!(m.int_alu, 20);
+        assert_eq!(m.total(), 50);
+    }
+
+    #[test]
+    fn trivial_operations_cost_full_latency_on_both_machines() {
+        let mut acc = accountant(MemoBank::paper_default());
+        let _ = acc.fdiv(5.0, 1.0); // trivial, excluded from the table
+        let r = acc.report();
+        assert_eq!(r.baseline().arith_cycles(OpKind::FpDiv), 39);
+        assert_eq!(r.memoized().arith_cycles(OpKind::FpDiv), 39);
+    }
+
+    #[test]
+    fn empty_run_reports_identity() {
+        let acc = accountant(MemoBank::paper_default());
+        let r = acc.report();
+        assert_eq!(r.baseline().total(), 0);
+        assert_eq!(r.speedup_measured(), 1.0);
+        assert_eq!(r.hit_ratio(OpKind::FpDiv), 0.0);
+        assert_eq!(r.speedup_amdahl(&[OpKind::FpDiv]), 1.0);
+    }
+}

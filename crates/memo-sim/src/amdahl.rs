@@ -1,0 +1,133 @@
+//! Amdahl's-law arithmetic (§3.3).
+//!
+//! The paper computes application speedup from two factors:
+//!
+//! * **FE** (*Fraction Enhanced*) — the fraction of baseline cycles spent
+//!   in the enhanced unit(s);
+//! * **SE** (*Speedup Enhanced*) — how much faster the enhanced unit is
+//!   when used: for a unit of latency `dc` with memo hit ratio `hr`,
+//!   `SE = dc / ((1 − hr)·dc + hr)`.
+//!
+//! Then `T_new = T_old · ((1 − FE) + FE / SE)`.
+
+/// Speedup from one enhancement: `1 / ((1 − fe) + fe / se)`.
+///
+/// # Panics
+///
+/// Panics if `fe` is outside `[0, 1]` or `se` is not positive.
+#[must_use]
+pub fn speedup(fe: f64, se: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fe), "FE must be a fraction, got {fe}");
+    assert!(se > 0.0, "SE must be positive, got {se}");
+    1.0 / ((1.0 - fe) + fe / se)
+}
+
+/// Speedup from several independent enhancements `(fe, se)` applied at
+/// once (generalized Amdahl): `1 / ((1 − Σfe_i) + Σ(fe_i / se_i))`.
+///
+/// # Panics
+///
+/// Panics if the fractions sum past 1 or any part is invalid.
+#[must_use]
+pub fn speedup_multi(parts: &[(f64, f64)]) -> f64 {
+    let mut fe_total = 0.0;
+    let mut scaled = 0.0;
+    for &(fe, se) in parts {
+        assert!((0.0..=1.0).contains(&fe), "FE must be a fraction, got {fe}");
+        assert!(se > 0.0, "SE must be positive, got {se}");
+        fe_total += fe;
+        scaled += fe / se;
+    }
+    assert!(fe_total <= 1.0 + 1e-9, "enhanced fractions sum to {fe_total} > 1");
+    1.0 / ((1.0 - fe_total) + scaled)
+}
+
+/// *Speedup Enhanced* of a memoized unit: `dc / ((1 − hr)·dc + hr)` where
+/// `dc` is the unit's conventional latency and `hr` the hit ratio.
+///
+/// # Panics
+///
+/// Panics if `dc < 1` or `hr` is outside `[0, 1]`.
+#[must_use]
+pub fn speedup_enhanced(dc: f64, hr: f64) -> f64 {
+    assert!(dc >= 1.0, "latency must be at least one cycle, got {dc}");
+    assert!((0.0..=1.0).contains(&hr), "hit ratio must be a fraction, got {hr}");
+    dc / ((1.0 - hr) * dc + hr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn se_matches_paper_table11_rows() {
+        // Table 11 (13-cycle division): venhance hr=.12 → SE 1.12;
+        // vspatial hr=.94 → SE 7.55; vgauss hr=.79 → SE 3.69.
+        assert!((speedup_enhanced(13.0, 0.12) - 1.12).abs() < 0.005);
+        assert!((speedup_enhanced(13.0, 0.94) - 7.55).abs() < 0.02);
+        assert!((speedup_enhanced(13.0, 0.79) - 3.69).abs() < 0.02);
+        // 39-cycle rows: vspatial → 11.89, vgauss → 4.34.
+        assert!((speedup_enhanced(39.0, 0.94) - 11.89).abs() < 0.05);
+        assert!((speedup_enhanced(39.0, 0.79) - 4.34).abs() < 0.02);
+    }
+
+    #[test]
+    fn total_speedup_matches_paper_rows() {
+        // Table 11: vgpwl FE=.208, SE=2.15 → speedup 1.13.
+        assert!((speedup(0.208, 2.15) - 1.125).abs() < 0.01);
+        // Table 11 @39 cycles: vspatial FE=.252, SE=11.89 → 1.30.
+        assert!((speedup(0.252, 11.89) - 1.30).abs() < 0.01);
+    }
+
+    #[test]
+    fn no_enhancement_means_no_speedup() {
+        assert_eq!(speedup(0.0, 5.0), 1.0);
+        assert_eq!(speedup_enhanced(13.0, 0.0), 1.0);
+        assert_eq!(speedup_multi(&[]), 1.0);
+    }
+
+    #[test]
+    fn perfect_hit_ratio_gives_full_unit_speedup() {
+        assert!((speedup_enhanced(39.0, 1.0) - 39.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_reduces_to_single() {
+        let single = speedup(0.2, 3.0);
+        let multi = speedup_multi(&[(0.2, 3.0)]);
+        assert!((single - multi).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multi_matches_paper_table13_rows() {
+        // Table 13 reports pooled (FE, SE): fast CPU vgauss (.275, 2.70) →
+        // 1.21; slow CPU vgpwl (.523, 2.19) → 1.39.
+        assert!((speedup(0.275, 2.70) - 1.21).abs() < 0.01);
+        assert!((speedup(0.523, 2.19) - 1.39).abs() < 0.01);
+    }
+
+    #[test]
+    fn multi_is_bounded_by_its_parts() {
+        // Composing two enhancements beats either alone but stays below
+        // the sum of their individual gains.
+        let parts = [(0.15, speedup_enhanced(13.0, 0.79)), (0.125, speedup_enhanced(3.0, 0.5))];
+        let both = speedup_multi(&parts);
+        let div_only = speedup(parts[0].0, parts[0].1);
+        let mul_only = speedup(parts[1].0, parts[1].1);
+        assert!(both > div_only.max(mul_only));
+        // …and is bounded by the Amdahl limit of the combined fraction.
+        assert!(both < 1.0 / (1.0 - (parts[0].0 + parts[1].0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "FE must be a fraction")]
+    fn rejects_bad_fraction() {
+        let _ = speedup(1.5, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn rejects_oversubscribed_fractions() {
+        let _ = speedup_multi(&[(0.7, 2.0), (0.6, 2.0)]);
+    }
+}

@@ -1,0 +1,192 @@
+//! A bank of memo tables, one per multi-cycle operation kind.
+//!
+//! §3.1: "The simulated system consists of MEMO-TABLES adjacent to the
+//! integer multiplier, fp multiplier and fp divider." [`MemoBank`] is that
+//! collection, with an optional fourth table for square root (the paper's
+//! first named future extension).
+
+use memo_table::{Executed, InfiniteMemoTable, MemoConfig, MemoStats, MemoTable, Memoizer, Op, OpKind};
+
+/// One memo table per operation kind (any kind may be left un-memoized).
+pub struct MemoBank {
+    tables: [Option<Box<dyn Memoizer>>; 4],
+}
+
+impl std::fmt::Debug for MemoBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kinds: Vec<&str> = OpKind::ALL
+            .iter()
+            .filter(|k| self.tables[Self::slot(**k)].is_some())
+            .map(|k| k.label())
+            .collect();
+        write!(f, "MemoBank({})", kinds.join(", "))
+    }
+}
+
+impl MemoBank {
+    fn slot(kind: OpKind) -> usize {
+        match kind {
+            OpKind::IntMul => 0,
+            OpKind::FpMul => 1,
+            OpKind::FpDiv => 2,
+            OpKind::FpSqrt => 3,
+        }
+    }
+
+    /// No tables at all — the baseline machine.
+    #[must_use]
+    pub fn none() -> Self {
+        MemoBank { tables: [None, None, None, None] }
+    }
+
+    /// The paper's simulated system: 32-entry 4-way tables on the integer
+    /// multiplier, fp multiplier, and fp divider.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::uniform(
+            MemoConfig::paper_default(),
+            &[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv],
+        )
+    }
+
+    /// Identical finite tables on each of `kinds`.
+    #[must_use]
+    pub fn uniform(cfg: MemoConfig, kinds: &[OpKind]) -> Self {
+        let mut bank = Self::none();
+        for &kind in kinds {
+            bank.tables[Self::slot(kind)] = Some(Box::new(MemoTable::new(cfg)));
+        }
+        bank
+    }
+
+    /// "Infinitely large, fully associative" tables on each of `kinds`.
+    #[must_use]
+    pub fn infinite(kinds: &[OpKind]) -> Self {
+        let mut bank = Self::none();
+        for &kind in kinds {
+            bank.tables[Self::slot(kind)] = Some(Box::new(InfiniteMemoTable::new()));
+        }
+        bank
+    }
+
+    /// Attach a custom memoizer to one kind (replacing any existing one).
+    #[must_use]
+    pub fn with_table(mut self, kind: OpKind, memoizer: impl Memoizer + 'static) -> Self {
+        self.tables[Self::slot(kind)] = Some(Box::new(memoizer));
+        self
+    }
+
+    /// `true` if `kind` has a table attached.
+    #[must_use]
+    pub fn memoizes(&self, kind: OpKind) -> bool {
+        self.tables[Self::slot(kind)].is_some()
+    }
+
+    /// Execute `op` through its table if one is attached, natively
+    /// otherwise (reported as a miss-like full-latency execution).
+    pub fn execute(&mut self, op: Op) -> Executed {
+        match &mut self.tables[Self::slot(op.kind())] {
+            Some(table) => table.execute(op),
+            None => Executed { value: op.compute(), outcome: memo_table::Outcome::Miss },
+        }
+    }
+
+    /// Statistics of the table attached to `kind`.
+    #[must_use]
+    pub fn stats(&self, kind: OpKind) -> Option<MemoStats> {
+        self.tables[Self::slot(kind)].as_ref().map(|t| t.stats())
+    }
+
+    /// Lookup hit ratio of `kind`'s table (over the operations that probed
+    /// the table, i.e. the paper's "non-trivial" ratio under the default
+    /// policy).
+    #[must_use]
+    pub fn hit_ratio(&self, kind: OpKind) -> Option<f64> {
+        self.stats(kind).map(|s| s.lookup_hit_ratio())
+    }
+
+    /// Clear all tables and their statistics.
+    pub fn reset(&mut self) {
+        for table in self.tables.iter_mut().flatten() {
+            table.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_table::Outcome;
+
+    #[test]
+    fn paper_default_covers_three_units() {
+        let bank = MemoBank::paper_default();
+        assert!(bank.memoizes(OpKind::IntMul));
+        assert!(bank.memoizes(OpKind::FpMul));
+        assert!(bank.memoizes(OpKind::FpDiv));
+        assert!(!bank.memoizes(OpKind::FpSqrt));
+    }
+
+    #[test]
+    fn unmemoized_kinds_always_miss() {
+        let mut bank = MemoBank::none();
+        for _ in 0..3 {
+            let e = bank.execute(Op::FpDiv(9.0, 3.0));
+            assert_eq!(e.outcome, Outcome::Miss);
+            assert_eq!(e.value.as_f64(), 3.0);
+        }
+        assert_eq!(bank.stats(OpKind::FpDiv), None);
+    }
+
+    #[test]
+    fn memoized_kinds_hit_on_reuse() {
+        let mut bank = MemoBank::paper_default();
+        assert_eq!(bank.execute(Op::FpDiv(9.0, 4.0)).outcome, Outcome::Miss);
+        assert_eq!(bank.execute(Op::FpDiv(9.0, 4.0)).outcome, Outcome::Hit);
+        assert_eq!(bank.hit_ratio(OpKind::FpDiv), Some(0.5));
+    }
+
+    #[test]
+    fn tables_are_independent_per_kind() {
+        let mut bank = MemoBank::paper_default();
+        bank.execute(Op::FpMul(3.0, 3.0));
+        // The divider's table must not see the multiplier's entry.
+        assert_eq!(bank.execute(Op::FpDiv(3.0, 3.0)).outcome, Outcome::Miss);
+        assert_eq!(bank.stats(OpKind::FpMul).unwrap().insertions, 1);
+        assert_eq!(bank.stats(OpKind::FpDiv).unwrap().insertions, 1);
+    }
+
+    #[test]
+    fn infinite_bank_retains_everything() {
+        let mut bank = MemoBank::infinite(&[OpKind::FpDiv]);
+        for i in 0..1000 {
+            bank.execute(Op::FpDiv(f64::from(i) + 2.0, 3.0));
+        }
+        assert_eq!(bank.execute(Op::FpDiv(2.0, 3.0)).outcome, Outcome::Hit);
+    }
+
+    #[test]
+    fn with_table_attaches_sqrt() {
+        let mut bank = MemoBank::paper_default()
+            .with_table(OpKind::FpSqrt, MemoTable::new(MemoConfig::paper_default()));
+        assert!(bank.memoizes(OpKind::FpSqrt));
+        bank.execute(Op::FpSqrt(2.0));
+        assert_eq!(bank.execute(Op::FpSqrt(2.0)).outcome, Outcome::Hit);
+    }
+
+    #[test]
+    fn reset_clears_all() {
+        let mut bank = MemoBank::paper_default();
+        bank.execute(Op::FpDiv(9.0, 4.0));
+        bank.reset();
+        assert_eq!(bank.stats(OpKind::FpDiv).unwrap(), MemoStats::new());
+        assert_eq!(bank.execute(Op::FpDiv(9.0, 4.0)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn debug_lists_kinds() {
+        let bank = MemoBank::paper_default();
+        let s = format!("{bank:?}");
+        assert!(s.contains("imul") && s.contains("fdiv"));
+    }
+}

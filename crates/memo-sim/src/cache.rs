@@ -1,0 +1,309 @@
+//! The two-level data-cache hierarchy of §3.3.
+//!
+//! The paper's speedup experiments extend the simulator with "a memory
+//! hierarchy of two caches" so that the *Fraction Enhanced* — the share of
+//! total cycles spent in multiplication/division — is computed against a
+//! realistic denominator that includes memory stalls.
+
+use std::fmt;
+
+/// Geometry of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Line size in bytes (power of two).
+    pub line_bytes: usize,
+    /// Ways per set.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two line size,
+    /// capacity not divisible into sets).
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes > 0);
+        assert!(self.ways > 0);
+        let lines = self.size_bytes / self.line_bytes;
+        assert!(lines.is_multiple_of(self.ways), "capacity must divide into whole sets");
+        let sets = lines / self.ways;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+}
+
+impl CacheStats {
+    /// Misses (`accesses − hits`).
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.accesses - self.hits
+    }
+
+    /// Hit ratio; 0 when never accessed.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative cache with LRU replacement (tags only — no data, as
+/// befits a timing model).
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: usize,
+    // (tag, last_use) per way per set.
+    lines: Vec<Option<(u64, u64)>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// An empty cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent geometry (see [`CacheConfig::sets`]).
+    #[must_use]
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        Cache { cfg, sets, lines: vec![None; sets * cfg.ways], clock: 0, stats: CacheStats::default() }
+    }
+
+    /// Touch `addr`; returns `true` on a hit. Misses allocate (the model
+    /// is write-allocate for both loads and stores).
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let line = addr / self.cfg.line_bytes as u64;
+        let set = (line % self.sets as u64) as usize;
+        let tag = line / self.sets as u64;
+        let base = set * self.cfg.ways;
+
+        for (t, last) in self.lines[base..base + self.cfg.ways].iter_mut().flatten() {
+            if *t == tag {
+                *last = self.clock;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+
+        // Miss: allocate into an empty way or the LRU victim.
+        let victim = (0..self.cfg.ways)
+            .min_by_key(|&w| self.lines[base + w].map_or(0, |(_, last)| last))
+            .expect("ways >= 1");
+        self.lines[base + victim] = Some((tag, self.clock));
+        false
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clear contents and statistics.
+    pub fn reset(&mut self) {
+        self.lines.iter_mut().for_each(|l| *l = None);
+        self.clock = 0;
+        self.stats = CacheStats::default();
+    }
+}
+
+impl fmt::Display for Cache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}KB/{}B-line/{}-way ({:.1}% hit)",
+            self.cfg.size_bytes / 1024,
+            self.cfg.line_bytes,
+            self.cfg.ways,
+            100.0 * self.stats.hit_ratio()
+        )
+    }
+}
+
+/// L1 + L2 data caches with per-level miss penalties.
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1: Cache,
+    l2: Cache,
+    l1_hit_cycles: u32,
+    l2_hit_penalty: u32,
+    memory_penalty: u32,
+}
+
+impl MemoryHierarchy {
+    /// A hierarchy representative of the paper's era: 8 KB direct-mapped
+    /// L1 with 32-byte lines (the paper's own example geometry in §2.4),
+    /// 256 KB 4-way L2 with 64-byte lines, 6-cycle L2 access, 30-cycle
+    /// memory access.
+    #[must_use]
+    pub fn typical_1997() -> Self {
+        Self::new(
+            CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 1 },
+            CacheConfig { size_bytes: 256 * 1024, line_bytes: 64, ways: 4 },
+            1,
+            6,
+            30,
+        )
+    }
+
+    /// Build a custom hierarchy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent cache geometry or a zero L1 hit time.
+    #[must_use]
+    pub fn new(
+        l1: CacheConfig,
+        l2: CacheConfig,
+        l1_hit_cycles: u32,
+        l2_hit_penalty: u32,
+        memory_penalty: u32,
+    ) -> Self {
+        assert!(l1_hit_cycles > 0, "an L1 access takes at least a cycle");
+        MemoryHierarchy {
+            l1: Cache::new(l1),
+            l2: Cache::new(l2),
+            l1_hit_cycles,
+            l2_hit_penalty,
+            memory_penalty,
+        }
+    }
+
+    /// Charge one data access; returns the cycles it cost.
+    pub fn access(&mut self, addr: u64) -> u32 {
+        if self.l1.access(addr) {
+            self.l1_hit_cycles
+        } else if self.l2.access(addr) {
+            self.l1_hit_cycles + self.l2_hit_penalty
+        } else {
+            self.l1_hit_cycles + self.l2_hit_penalty + self.memory_penalty
+        }
+    }
+
+    /// L1 statistics.
+    #[must_use]
+    pub fn l1_stats(&self) -> CacheStats {
+        self.l1.stats()
+    }
+
+    /// L2 statistics (accesses = L1 misses).
+    #[must_use]
+    pub fn l2_stats(&self) -> CacheStats {
+        self.l2.stats()
+    }
+
+    /// Clear both levels.
+    pub fn reset(&mut self) {
+        self.l1.reset();
+        self.l2.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 lines of 16 bytes, 2-way: 2 sets.
+        Cache::new(CacheConfig { size_bytes: 64, line_bytes: 16, ways: 2 })
+    }
+
+    #[test]
+    fn geometry_is_computed() {
+        let cfg = CacheConfig { size_bytes: 8 * 1024, line_bytes: 32, ways: 1 };
+        assert_eq!(cfg.sets(), 256); // the paper's §2.4 example: 256 entries
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 96, line_bytes: 16, ways: 2 });
+    }
+
+    #[test]
+    fn hit_after_miss_same_line() {
+        let mut c = tiny();
+        assert!(!c.access(0x100));
+        assert!(c.access(0x10f), "same 16-byte line");
+        assert!(!c.access(0x110), "next line");
+        assert_eq!(c.stats().misses(), 2);
+        assert_eq!(c.stats().hits, 1);
+    }
+
+    #[test]
+    fn lru_within_set() {
+        let mut c = tiny();
+        // Set selection: line index % 2. Three lines mapping to set 0:
+        let a = 0x000; // line 0
+        let b = 0x020; // line 2
+        let d = 0x040; // line 4
+        c.access(a);
+        c.access(b);
+        c.access(a); // refresh a
+        c.access(d); // evicts b (LRU)
+        assert!(c.access(a), "a retained");
+        assert!(!c.access(b), "b evicted");
+    }
+
+    #[test]
+    fn hierarchy_charges_increasing_penalties() {
+        let mut m = MemoryHierarchy::typical_1997();
+        let cold = m.access(0x8000);
+        assert_eq!(cold, 1 + 6 + 30, "cold access goes to memory");
+        let warm = m.access(0x8000);
+        assert_eq!(warm, 1, "L1 hit");
+        // Evict from L1 (direct-mapped, 8KB): same set, different tag.
+        let conflicting = 0x8000 + 8 * 1024;
+        let _ = m.access(conflicting);
+        let l2_hit = m.access(0x8000);
+        assert_eq!(l2_hit, 1 + 6, "L1 miss, L2 hit");
+    }
+
+    #[test]
+    fn stats_track_both_levels() {
+        let mut m = MemoryHierarchy::typical_1997();
+        for i in 0..100u64 {
+            m.access(i * 4);
+        }
+        let l1 = m.l1_stats();
+        assert_eq!(l1.accesses, 100);
+        assert!(l1.hit_ratio() > 0.8, "sequential access mostly hits: {}", l1.hit_ratio());
+        assert_eq!(m.l2_stats().accesses, l1.misses());
+    }
+
+    #[test]
+    fn reset_restores_cold_state() {
+        let mut m = MemoryHierarchy::typical_1997();
+        m.access(0x40);
+        m.reset();
+        assert_eq!(m.l1_stats(), CacheStats::default());
+        assert_eq!(m.access(0x40), 37, "cold again");
+    }
+
+    #[test]
+    fn display_shows_geometry() {
+        let c = tiny();
+        assert!(c.to_string().contains("16B-line"));
+    }
+}

@@ -1,0 +1,190 @@
+//! Per-unit instruction latencies, including the paper's Table 1.
+
+use memo_table::OpKind;
+use std::fmt;
+
+/// Functional-unit latencies of a modelled processor (machine cycles).
+///
+/// The six presets mirror Table 1 of the paper; [`CpuModel::paper_fast`]
+/// and [`CpuModel::paper_slow`] are the two synthetic profiles the speedup
+/// tables (11–13) assume. Division units of this era are not pipelined;
+/// the paper counts full latency per dynamic instruction, which is what
+/// [`crate::CycleAccountant`] charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuModel {
+    /// Model name as printed in experiment tables.
+    pub name: &'static str,
+    /// Integer multiply latency.
+    pub int_mul: u32,
+    /// Floating-point multiply latency.
+    pub fp_mul: u32,
+    /// Floating-point divide latency.
+    pub fp_div: u32,
+    /// Floating-point square-root latency.
+    pub fp_sqrt: u32,
+    /// Floating-point add/subtract latency.
+    pub fp_add: u32,
+    /// Simple integer ALU operation latency.
+    pub int_alu: u32,
+    /// Branch cost (no misprediction modelling, per §3.3).
+    pub branch: u32,
+}
+
+impl CpuModel {
+    /// Pentium Pro: 3-cycle fp multiply, 39-cycle fp divide (Table 1).
+    #[must_use]
+    pub fn pentium_pro() -> Self {
+        Self::table1("Pentium Pro", 4, 3, 39)
+    }
+
+    /// Alpha 21164: 4-cycle fp multiply, 31-cycle fp divide.
+    #[must_use]
+    pub fn alpha_21164() -> Self {
+        Self::table1("Alpha 21164", 8, 4, 31)
+    }
+
+    /// MIPS R10000: 2-cycle fp multiply, 40-cycle fp divide.
+    #[must_use]
+    pub fn mips_r10000() -> Self {
+        Self::table1("MIPS R10000", 6, 2, 40)
+    }
+
+    /// PowerPC 604e: 5-cycle fp multiply, 31-cycle fp divide.
+    #[must_use]
+    pub fn ppc_604e() -> Self {
+        Self::table1("PPC 604e", 4, 5, 31)
+    }
+
+    /// UltraSPARC-II: 3-cycle fp multiply, 22-cycle fp divide.
+    #[must_use]
+    pub fn ultrasparc_ii() -> Self {
+        Self::table1("UltraSparc-II", 5, 3, 22)
+    }
+
+    /// PA-8000: 5-cycle fp multiply, 31-cycle fp divide.
+    #[must_use]
+    pub fn pa_8000() -> Self {
+        Self::table1("PA 8000", 5, 5, 31)
+    }
+
+    /// The "very fast floating point units" profile of Table 13:
+    /// 3-cycle fp multiply, 13-cycle fp divide.
+    #[must_use]
+    pub fn paper_fast() -> Self {
+        Self::table1("paper-fast", 5, 3, 13)
+    }
+
+    /// The "slower" profile of Table 13: 5-cycle fp multiply, 39-cycle
+    /// fp divide.
+    #[must_use]
+    pub fn paper_slow() -> Self {
+        Self::table1("paper-slow", 5, 5, 39)
+    }
+
+    /// All six Table 1 processors, in the paper's order.
+    #[must_use]
+    pub fn table1_models() -> [CpuModel; 6] {
+        [
+            Self::pentium_pro(),
+            Self::alpha_21164(),
+            Self::mips_r10000(),
+            Self::ppc_604e(),
+            Self::ultrasparc_ii(),
+            Self::pa_8000(),
+        ]
+    }
+
+    fn table1(name: &'static str, int_mul: u32, fp_mul: u32, fp_div: u32) -> Self {
+        CpuModel {
+            name,
+            int_mul,
+            fp_mul,
+            fp_div,
+            // sqrt shares the (iterative) divide hardware; same order.
+            fp_sqrt: fp_div + fp_div / 2,
+            fp_add: 2,
+            int_alu: 1,
+            branch: 1,
+        }
+    }
+
+    /// A model identical to `self` except for the named fp latencies —
+    /// used by the Table 11/12 sweeps (13 vs 39 cycle division, 3 vs 5
+    /// cycle multiplication).
+    #[must_use]
+    pub fn with_fp_latencies(mut self, fp_mul: u32, fp_div: u32) -> Self {
+        self.fp_mul = fp_mul;
+        self.fp_div = fp_div;
+        self.fp_sqrt = fp_div + fp_div / 2;
+        self
+    }
+
+    /// Latency of a multi-cycle operation kind.
+    #[must_use]
+    pub fn latency(&self, kind: OpKind) -> u32 {
+        match kind {
+            OpKind::IntMul => self.int_mul,
+            OpKind::FpMul => self.fp_mul,
+            OpKind::FpDiv => self.fp_div,
+            OpKind::FpSqrt => self.fp_sqrt,
+        }
+    }
+}
+
+impl fmt::Display for CpuModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (fmul {}, fdiv {})", self.name, self.fp_mul, self.fp_div)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_latencies_match_paper() {
+        // (multiplication, division) per Table 1.
+        let expect = [
+            ("Pentium Pro", 3, 39),
+            ("Alpha 21164", 4, 31),
+            ("MIPS R10000", 2, 40),
+            ("PPC 604e", 5, 31),
+            ("UltraSparc-II", 3, 22),
+            ("PA 8000", 5, 31),
+        ];
+        for (model, (name, mul, div)) in CpuModel::table1_models().iter().zip(expect) {
+            assert_eq!(model.name, name);
+            assert_eq!(model.fp_mul, mul, "{name} fp mul");
+            assert_eq!(model.fp_div, div, "{name} fp div");
+        }
+    }
+
+    #[test]
+    fn paper_profiles() {
+        assert_eq!((CpuModel::paper_fast().fp_mul, CpuModel::paper_fast().fp_div), (3, 13));
+        assert_eq!((CpuModel::paper_slow().fp_mul, CpuModel::paper_slow().fp_div), (5, 39));
+    }
+
+    #[test]
+    fn latency_lookup_by_kind() {
+        let m = CpuModel::paper_slow();
+        assert_eq!(m.latency(OpKind::FpDiv), 39);
+        assert_eq!(m.latency(OpKind::FpMul), 5);
+        assert_eq!(m.latency(OpKind::IntMul), 5);
+        assert!(m.latency(OpKind::FpSqrt) >= m.latency(OpKind::FpDiv));
+    }
+
+    #[test]
+    fn with_fp_latencies_overrides() {
+        let m = CpuModel::ppc_604e().with_fp_latencies(3, 13);
+        assert_eq!(m.fp_mul, 3);
+        assert_eq!(m.fp_div, 13);
+        assert_eq!(m.name, "PPC 604e");
+    }
+
+    #[test]
+    fn display_mentions_latencies() {
+        let s = CpuModel::paper_fast().to_string();
+        assert!(s.contains("fdiv 13"));
+    }
+}

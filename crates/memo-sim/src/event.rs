@@ -1,0 +1,310 @@
+//! The dynamic instruction event stream.
+//!
+//! Workloads (crate `memo-workloads`) and the `memo-isa` interpreter do
+//! not produce SPARC binaries; they produce the same *information* Shade
+//! gave the paper's authors — the dynamic stream of instruction events
+//! with operand values for the multi-cycle operations. Anything that
+//! consumes this stream implements [`EventSink`].
+
+use memo_table::Op;
+
+/// One dynamic instruction event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// A single-cycle integer ALU operation (add, shift, compare, …).
+    IntAlu,
+    /// A floating-point add/subtract (pipelined, short latency).
+    FpAdd,
+    /// A branch (no misprediction modelling, per §3.3).
+    Branch,
+    /// An annulled (squashed delay-slot) instruction — still costs a slot.
+    Annulled,
+    /// A data load from `addr`.
+    Load(u64),
+    /// A data store to `addr`.
+    Store(u64),
+    /// A multi-cycle arithmetic operation with its operands — the traffic
+    /// MEMO-TABLEs see.
+    Arith(Op),
+}
+
+/// A consumer of instruction events.
+///
+/// The provided methods are the instrumentation API the workloads call:
+/// they forward the event *and* perform the real computation, so a kernel
+/// written against `EventSink` produces its genuine output while being
+/// measured. (Results are returned from the native computation — memo
+/// tables are bit-transparent, so simulators may serve them from a table
+/// without changing any observable value.)
+pub trait EventSink {
+    /// Consume one event.
+    fn record(&mut self, event: Event);
+
+    /// Integer multiply.
+    fn imul(&mut self, a: i64, b: i64) -> i64 {
+        self.record(Event::Arith(Op::IntMul(a, b)));
+        a.wrapping_mul(b)
+    }
+
+    /// Floating-point multiply.
+    fn fmul(&mut self, a: f64, b: f64) -> f64 {
+        self.record(Event::Arith(Op::FpMul(a, b)));
+        a * b
+    }
+
+    /// Floating-point divide.
+    fn fdiv(&mut self, a: f64, b: f64) -> f64 {
+        self.record(Event::Arith(Op::FpDiv(a, b)));
+        a / b
+    }
+
+    /// Floating-point square root.
+    fn fsqrt(&mut self, a: f64) -> f64 {
+        self.record(Event::Arith(Op::FpSqrt(a)));
+        a.sqrt()
+    }
+
+    /// Floating-point add.
+    fn fadd(&mut self, a: f64, b: f64) -> f64 {
+        self.record(Event::FpAdd);
+        a + b
+    }
+
+    /// Floating-point subtract (same unit as add).
+    fn fsub(&mut self, a: f64, b: f64) -> f64 {
+        self.record(Event::FpAdd);
+        a - b
+    }
+
+    /// A batch of `n` single-cycle integer operations (index arithmetic,
+    /// comparisons — kernels emit these in bulk).
+    fn int_ops(&mut self, n: u64) {
+        for _ in 0..n {
+            self.record(Event::IntAlu);
+        }
+    }
+
+    /// A data load; the address drives the cache model (the workload keeps
+    /// the actual datum — a timing model needs only the address).
+    fn load(&mut self, addr: u64) {
+        self.record(Event::Load(addr));
+    }
+
+    /// A data store.
+    fn store(&mut self, addr: u64) {
+        self.record(Event::Store(addr));
+    }
+
+    /// A branch.
+    fn branch(&mut self) {
+        self.record(Event::Branch);
+    }
+
+    /// An annulled delay-slot instruction.
+    fn annulled(&mut self) {
+        self.record(Event::Annulled);
+    }
+}
+
+impl<S: EventSink + ?Sized> EventSink for &mut S {
+    fn record(&mut self, event: Event) {
+        (**self).record(event);
+    }
+}
+
+/// Discards every event — for running a workload at full speed when only
+/// its functional output matters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl EventSink for NullSink {
+    fn record(&mut self, _event: Event) {}
+}
+
+/// Instruction-mix counters (the paper's "frequency breakdown of all
+/// instructions in the benchmarks").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InstrMix {
+    /// Integer ALU operations.
+    pub int_alu: u64,
+    /// FP adds/subtracts.
+    pub fp_add: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Annulled instructions.
+    pub annulled: u64,
+    /// Loads.
+    pub loads: u64,
+    /// Stores.
+    pub stores: u64,
+    /// Integer multiplies.
+    pub int_mul: u64,
+    /// FP multiplies.
+    pub fp_mul: u64,
+    /// FP divides.
+    pub fp_div: u64,
+    /// FP square roots.
+    pub fp_sqrt: u64,
+}
+
+impl InstrMix {
+    /// Total dynamic instructions.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.int_alu
+            + self.fp_add
+            + self.branches
+            + self.annulled
+            + self.loads
+            + self.stores
+            + self.int_mul
+            + self.fp_mul
+            + self.fp_div
+            + self.fp_sqrt
+    }
+
+    /// Count one event.
+    pub fn count(&mut self, event: &Event) {
+        use memo_table::OpKind;
+        match event {
+            Event::IntAlu => self.int_alu += 1,
+            Event::FpAdd => self.fp_add += 1,
+            Event::Branch => self.branches += 1,
+            Event::Annulled => self.annulled += 1,
+            Event::Load(_) => self.loads += 1,
+            Event::Store(_) => self.stores += 1,
+            Event::Arith(op) => match op.kind() {
+                OpKind::IntMul => self.int_mul += 1,
+                OpKind::FpMul => self.fp_mul += 1,
+                OpKind::FpDiv => self.fp_div += 1,
+                OpKind::FpSqrt => self.fp_sqrt += 1,
+            },
+        }
+    }
+}
+
+/// Counts the instruction mix and nothing else.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CountingSink {
+    mix: InstrMix,
+}
+
+impl CountingSink {
+    /// A fresh counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated mix.
+    #[must_use]
+    pub fn mix(&self) -> InstrMix {
+        self.mix
+    }
+}
+
+impl EventSink for CountingSink {
+    fn record(&mut self, event: Event) {
+        self.mix.count(&event);
+    }
+}
+
+/// Records the full event stream for later replay (trace-driven runs).
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: Vec<Event>,
+}
+
+impl TraceBuffer {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The recorded events.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Replay the trace into another sink.
+    pub fn replay_into<S: EventSink>(&self, sink: &mut S) {
+        for &e in &self.events {
+            sink.record(e);
+        }
+    }
+}
+
+impl EventSink for TraceBuffer {
+    fn record(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_methods_compute_and_record() {
+        let mut sink = CountingSink::new();
+        assert_eq!(sink.imul(6, 7), 42);
+        assert_eq!(sink.fmul(2.0, 3.0), 6.0);
+        assert_eq!(sink.fdiv(9.0, 2.0), 4.5);
+        assert_eq!(sink.fsqrt(16.0), 4.0);
+        assert_eq!(sink.fadd(1.0, 2.0), 3.0);
+        assert_eq!(sink.fsub(1.0, 2.0), -1.0);
+        sink.int_ops(3);
+        sink.branch();
+        sink.annulled();
+        sink.store(0x10);
+        sink.load(0x20);
+        let m = sink.mix();
+        assert_eq!(m.int_mul, 1);
+        assert_eq!(m.fp_mul, 1);
+        assert_eq!(m.fp_div, 1);
+        assert_eq!(m.fp_sqrt, 1);
+        assert_eq!(m.fp_add, 2);
+        assert_eq!(m.int_alu, 3);
+        assert_eq!(m.branches, 1);
+        assert_eq!(m.annulled, 1);
+        assert_eq!(m.loads, 1);
+        assert_eq!(m.stores, 1);
+        assert_eq!(m.total(), 13);
+    }
+
+    #[test]
+    fn trace_replays_identically() {
+        let mut trace = TraceBuffer::new();
+        let _ = trace.fdiv(10.0, 4.0);
+        let _ = trace.fmul(2.0, 8.0);
+        trace.branch();
+        assert_eq!(trace.len(), 3);
+
+        let mut counter = CountingSink::new();
+        trace.replay_into(&mut counter);
+        assert_eq!(counter.mix().fp_div, 1);
+        assert_eq!(counter.mix().fp_mul, 1);
+        assert_eq!(counter.mix().branches, 1);
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        assert_eq!(sink.fdiv(1.0, 2.0), 0.5);
+        sink.record(Event::Branch);
+    }
+}

@@ -1,0 +1,262 @@
+//! An in-order pipeline model with functional-unit occupancy (§2.2–2.3).
+//!
+//! The paper's headline cycle counts deliberately ignore pipelining
+//! (§3.3), but its *architectural* argument is about the pipeline: a
+//! non-pipelined divider occupied for 20–40 cycles "throws a wrench" into
+//! the execution pipeline — structural hazards stall issue, and results
+//! complete out of order. A MEMO-TABLE hit frees the divider after one
+//! cycle, so subsequent divisions don't pile up behind it.
+//!
+//! [`PipelineModel`] captures exactly that effect: single-issue in-order
+//! execution where
+//!
+//! * single-cycle instructions issue back-to-back;
+//! * the fp multiplier is itself pipelined (1/cycle throughput, full
+//!   latency only to the *first* consumer — modelled as issue-side
+//!   occupancy of one cycle);
+//! * the integer multiplier, fp divider, and sqrt unit are **not**
+//!   pipelined: a new operation stalls until the unit is free;
+//! * memory accesses stall for their cache-determined latency;
+//! * a MEMO-TABLE hit releases the unit immediately.
+//!
+//! The difference between [`CycleAccountant`](crate::CycleAccountant)
+//! (total latency cycles) and this model (issue stalls only) brackets the
+//! paper's speedup claims from both sides.
+
+use memo_table::OpKind;
+
+use crate::bank::MemoBank;
+use crate::cache::MemoryHierarchy;
+use crate::cpu::CpuModel;
+use crate::event::{Event, EventSink, InstrMix};
+
+/// Occupancy state of one non-pipelined functional unit.
+#[derive(Debug, Clone, Copy, Default)]
+struct Unit {
+    /// Cycle at which the unit becomes free.
+    free_at: u64,
+    /// Total cycles new work waited for the unit.
+    stall_cycles: u64,
+}
+
+impl Unit {
+    fn issue(&mut self, now: u64, busy_for: u64) -> u64 {
+        let start = now.max(self.free_at);
+        self.stall_cycles += start - now;
+        self.free_at = start + busy_for;
+        start + 1 // next instruction may issue the following cycle
+    }
+}
+
+/// Result of a pipeline-model run.
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineReport {
+    /// Total cycles to issue every instruction (the model's runtime).
+    pub cycles: u64,
+    /// Cycles lost waiting for the (non-pipelined) integer multiplier.
+    pub int_mul_stalls: u64,
+    /// Cycles lost waiting for the fp divider.
+    pub fp_div_stalls: u64,
+    /// Cycles lost waiting for the sqrt unit.
+    pub fp_sqrt_stalls: u64,
+    /// Cycles lost waiting on memory.
+    pub memory_stalls: u64,
+    /// Dynamic instruction count.
+    pub instructions: u64,
+}
+
+impl PipelineReport {
+    /// Cycles per instruction.
+    #[must_use]
+    pub fn cpi(&self) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        self.cycles as f64 / self.instructions as f64
+    }
+
+    /// All structural-hazard stalls combined.
+    #[must_use]
+    pub fn structural_stalls(&self) -> u64 {
+        self.int_mul_stalls + self.fp_div_stalls + self.fp_sqrt_stalls
+    }
+}
+
+/// Single-issue in-order pipeline with unit occupancy and a memo bank.
+#[derive(Debug)]
+pub struct PipelineModel {
+    cpu: CpuModel,
+    memory: MemoryHierarchy,
+    bank: MemoBank,
+    now: u64,
+    int_mul: Unit,
+    fp_div: Unit,
+    fp_sqrt: Unit,
+    memory_stalls: u64,
+    mix: InstrMix,
+}
+
+impl PipelineModel {
+    /// Build a pipeline model; pass [`MemoBank::none`] for the baseline
+    /// machine.
+    #[must_use]
+    pub fn new(cpu: CpuModel, memory: MemoryHierarchy, bank: MemoBank) -> Self {
+        PipelineModel {
+            cpu,
+            memory,
+            bank,
+            now: 0,
+            int_mul: Unit::default(),
+            fp_div: Unit::default(),
+            fp_sqrt: Unit::default(),
+            memory_stalls: 0,
+            mix: InstrMix::default(),
+        }
+    }
+
+    /// Finish the run: drain in-flight work and report.
+    #[must_use]
+    pub fn report(&self) -> PipelineReport {
+        let drain = self
+            .now
+            .max(self.int_mul.free_at)
+            .max(self.fp_div.free_at)
+            .max(self.fp_sqrt.free_at);
+        PipelineReport {
+            cycles: drain,
+            int_mul_stalls: self.int_mul.stall_cycles,
+            fp_div_stalls: self.fp_div.stall_cycles,
+            fp_sqrt_stalls: self.fp_sqrt.stall_cycles,
+            memory_stalls: self.memory_stalls,
+            instructions: self.mix.total(),
+        }
+    }
+
+    /// The memo bank (for per-unit hit statistics).
+    #[must_use]
+    pub fn bank(&self) -> &MemoBank {
+        &self.bank
+    }
+}
+
+impl EventSink for PipelineModel {
+    fn record(&mut self, event: Event) {
+        self.mix.count(&event);
+        match event {
+            // Single-cycle issue; the fp adder and multiplier are fully
+            // pipelined so they never block a later instruction.
+            Event::IntAlu | Event::FpAdd | Event::Branch | Event::Annulled => {
+                self.now += 1;
+            }
+            Event::Load(addr) | Event::Store(addr) => {
+                let latency = u64::from(self.memory.access(addr));
+                // One issue cycle plus any stall beyond it.
+                self.now += 1;
+                self.memory_stalls += latency.saturating_sub(1);
+                self.now += latency.saturating_sub(1);
+            }
+            Event::Arith(op) => {
+                let kind = op.kind();
+                let executed = self.bank.execute(op);
+                let busy = if executed.outcome.avoided_computation() {
+                    0 // table hit: the unit is aborted and free (§2.2)
+                } else {
+                    u64::from(self.cpu.latency(kind)).saturating_sub(1)
+                };
+                self.now = match kind {
+                    // The fp multiplier is pipelined: occupy for one cycle
+                    // regardless (throughput 1/cycle, §1).
+                    OpKind::FpMul => self.now + 1,
+                    OpKind::IntMul => self.int_mul.issue(self.now, busy),
+                    OpKind::FpDiv => self.fp_div.issue(self.now, busy),
+                    OpKind::FpSqrt => self.fp_sqrt.issue(self.now, busy),
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventSink;
+
+    fn model(bank: MemoBank) -> PipelineModel {
+        PipelineModel::new(CpuModel::paper_slow(), MemoryHierarchy::typical_1997(), bank)
+    }
+
+    /// Back-to-back divisions with dependent ALU work in between.
+    fn division_burst(m: &mut PipelineModel, n: u32, distinct: u32) {
+        for i in 0..n {
+            let _ = m.fdiv(f64::from(i % distinct + 2), 3.0);
+            m.int_ops(2);
+            m.branch();
+        }
+    }
+
+    #[test]
+    fn baseline_divisions_pile_up() {
+        let mut m = model(MemoBank::none());
+        division_burst(&mut m, 50, 50);
+        let r = m.report();
+        assert!(r.fp_div_stalls > 0, "non-pipelined divider must stall the burst");
+        // Each iteration issues 4 instructions but the divider is busy for
+        // 39 cycles: the divider dominates runtime.
+        assert!(r.cycles > 50 * 35, "cycles {} dominated by division", r.cycles);
+    }
+
+    #[test]
+    fn memo_hits_remove_structural_hazards() {
+        let mut baseline = model(MemoBank::none());
+        division_burst(&mut baseline, 200, 8);
+        let mut memoized = model(MemoBank::paper_default());
+        division_burst(&mut memoized, 200, 8);
+
+        let b = baseline.report();
+        let m = memoized.report();
+        assert!(m.fp_div_stalls < b.fp_div_stalls / 4, "hits free the divider");
+        assert!(
+            (b.cycles as f64 / m.cycles as f64) > 2.0,
+            "pipeline speedup {} should exceed the latency-only model's",
+            b.cycles as f64 / m.cycles as f64
+        );
+    }
+
+    #[test]
+    fn pipelined_multiplier_never_stalls() {
+        let mut m = model(MemoBank::none());
+        for i in 0..100 {
+            let _ = m.fmul(f64::from(i) + 0.5, 1.5);
+        }
+        let r = m.report();
+        assert_eq!(r.structural_stalls(), 0);
+        assert_eq!(r.cycles, 100, "1/cycle throughput");
+    }
+
+    #[test]
+    fn memory_stalls_are_separated() {
+        let mut m = model(MemoBank::none());
+        // Cold misses: 37 cycles each on the typical hierarchy.
+        m.load(0x0000);
+        m.load(0x8000);
+        let r = m.report();
+        assert_eq!(r.memory_stalls, 2 * 36);
+        assert_eq!(r.cycles, 2 * 37);
+    }
+
+    #[test]
+    fn cpi_reflects_the_mix() {
+        let mut m = model(MemoBank::none());
+        m.int_ops(100);
+        let r = m.report();
+        assert!((r.cpi() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_drains_inflight_division() {
+        let mut m = model(MemoBank::none());
+        let _ = m.fdiv(7.0, 3.0); // issues at cycle 0, busy 39
+        let r = m.report();
+        assert!(r.cycles >= 38, "in-flight work counts toward runtime");
+    }
+}

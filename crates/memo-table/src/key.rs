@@ -1,0 +1,385 @@
+//! Operand → (set index, tag, stored value) encodings.
+//!
+//! The paper's indexing scheme (§3.1):
+//!
+//! * **integer** operands — XOR of the *n* least-significant bits of the two
+//!   operands, where 2ⁿ is the number of sets;
+//! * **floating-point** operands — XOR of the *n* most-significant bits of
+//!   the two mantissas.
+//!
+//! Tags are either the full operand bit patterns ([`TagPolicy::FullValue`])
+//! or only the mantissas ([`TagPolicy::MantissaOnly`], §2.1). In mantissa
+//! mode the entry stores the result's mantissa plus a tiny exponent
+//! adjustment, and the sign/exponent data path recomputes the rest — so a
+//! pair of operands that differs from a cached pair only in sign or
+//! exponent still hits.
+
+use crate::config::{HashScheme, TagPolicy};
+use crate::op::{Op, OpKind, Value};
+
+/// Number of explicit fraction bits in an IEEE-754 double.
+const FRAC_BITS: u32 = 52;
+/// Mask of the fraction field.
+const FRAC_MASK: u64 = (1u64 << FRAC_BITS) - 1;
+/// Exponent bias.
+const BIAS: i32 = 1023;
+
+/// A tag ready for comparison against table entries.
+///
+/// `kind` is compared alongside the packed operand bits so that tables
+/// shared between different operation types never alias entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Key {
+    /// Operation kind this key belongs to.
+    pub kind: OpKind,
+    /// Packed operand bits (full values or mantissas, per the tag policy).
+    pub tag: u128,
+}
+
+/// Decompose a **normal** double into `(sign, unbiased exponent, fraction)`.
+///
+/// # Panics
+///
+/// Panics in debug builds if `x` is not normal; callers must check
+/// [`f64::is_normal`] first.
+#[must_use]
+pub fn fp_parts(x: f64) -> (bool, i32, u64) {
+    debug_assert!(x.is_normal(), "fp_parts requires a normal double, got {x}");
+    let bits = x.to_bits();
+    let sign = (bits >> 63) != 0;
+    let exp = ((bits >> FRAC_BITS) & 0x7ff) as i32 - BIAS;
+    (sign, exp, bits & FRAC_MASK)
+}
+
+/// Rebuild a double from `(sign, unbiased exponent, fraction)` when the
+/// exponent is within the normal range; `None` otherwise.
+#[must_use]
+fn fp_build(sign: bool, exp: i32, frac: u64) -> Option<f64> {
+    if !(-1022..=1023).contains(&exp) {
+        return None;
+    }
+    let bits = ((sign as u64) << 63) | (((exp + BIAS) as u64) << FRAC_BITS) | (frac & FRAC_MASK);
+    Some(f64::from_bits(bits))
+}
+
+/// `true` if `x` is normal or zero — the only values the mantissa-only
+/// data path can process without a slow-path fallback.
+#[must_use]
+pub fn is_normal_or_zero(x: f64) -> bool {
+    x.is_normal() || x == 0.0
+}
+
+/// `true` if every floating-point operand of `op` is normal (mantissa-mode
+/// tables bypass anything else).
+fn operands_normal(op: &Op) -> bool {
+    match *op {
+        Op::IntMul(..) => true,
+        Op::FpMul(a, b) | Op::FpDiv(a, b) => a.is_normal() && b.is_normal(),
+        // Square root of a negative is NaN; the mantissa path also cannot
+        // represent it, so only positive normals qualify.
+        Op::FpSqrt(a) => a.is_normal() && a > 0.0,
+    }
+}
+
+/// Encode the comparison tag for `op`, or `None` if the operands cannot be
+/// represented under `policy` and the access must bypass the table.
+#[must_use]
+pub fn encode_tag(op: &Op, policy: TagPolicy) -> Option<Key> {
+    let kind = op.kind();
+    match policy {
+        TagPolicy::FullValue => {
+            let (a, b) = op.operand_bits();
+            Some(Key { kind, tag: ((a as u128) << 64) | b as u128 })
+        }
+        TagPolicy::MantissaOnly => match *op {
+            // Integer multiplies keep full tags; mantissas are an fp notion.
+            Op::IntMul(a, b) => {
+                Some(Key { kind, tag: ((a as u128) << 64) | (b as u64) as u128 })
+            }
+            Op::FpMul(a, b) | Op::FpDiv(a, b) => {
+                if !operands_normal(op) {
+                    return None;
+                }
+                let (_, _, fa) = fp_parts(a);
+                let (_, _, fb) = fp_parts(b);
+                Some(Key { kind, tag: ((fa as u128) << FRAC_BITS) | fb as u128 })
+            }
+            Op::FpSqrt(a) => {
+                if !operands_normal(op) {
+                    return None;
+                }
+                let (_, ea, fa) = fp_parts(a);
+                // The result mantissa depends on the exponent's parity:
+                // sqrt(m·2^e) = sqrt(m·2^(e mod 2)) · 2^⌊e/2⌋.
+                let parity = ea.rem_euclid(2) as u128;
+                Some(Key { kind, tag: ((fa as u128) << 1) | parity })
+            }
+        },
+    }
+}
+
+/// The set index for `op` in a table with `sets` sets.
+///
+/// `sets` must be a power of two (guaranteed by [`crate::MemoConfig`]).
+#[must_use]
+pub fn set_index(op: &Op, sets: usize, scheme: HashScheme) -> usize {
+    debug_assert!(sets.is_power_of_two());
+    if sets == 1 {
+        return 0;
+    }
+    let n = sets.trailing_zeros();
+    let mask = (sets - 1) as u64;
+    match scheme {
+        HashScheme::PaperXor => match *op {
+            Op::IntMul(a, b) => ((a as u64 ^ b as u64) & mask) as usize,
+            Op::FpMul(a, b) | Op::FpDiv(a, b) => {
+                let fa = a.to_bits() & FRAC_MASK;
+                let fb = b.to_bits() & FRAC_MASK;
+                (((fa >> (FRAC_BITS - n)) ^ (fb >> (FRAC_BITS - n))) & mask) as usize
+            }
+            Op::FpSqrt(a) => {
+                let fa = a.to_bits() & FRAC_MASK;
+                ((fa >> (FRAC_BITS - n)) & mask) as usize
+            }
+        },
+        HashScheme::FoldMix => {
+            let (a, b) = op.operand_bits();
+            let h = (a ^ b.rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (h >> (64 - n)) as usize
+        }
+    }
+}
+
+/// Encode the 64-bit payload stored in an entry for `op`'s `result`.
+///
+/// Under full-value tags this is simply the raw result bits. Under
+/// mantissa-only tags it is the result's fraction plus a 2-bit exponent
+/// delta; `None` means the result is not a normal double and cannot be
+/// stored by the mantissa data path.
+#[must_use]
+pub fn encode_value(op: &Op, result: Value, policy: TagPolicy) -> Option<u64> {
+    match policy {
+        TagPolicy::FullValue => Some(result.to_bits()),
+        TagPolicy::MantissaOnly => match *op {
+            Op::IntMul(..) => Some(result.to_bits()),
+            Op::FpMul(..) | Op::FpDiv(..) | Op::FpSqrt(..) => {
+                let r = result.as_f64();
+                if !r.is_normal() {
+                    return None;
+                }
+                let (_, er, fr) = fp_parts(r);
+                let base = expected_exponent(op)?;
+                let delta = er - base;
+                debug_assert!((-1..=1).contains(&delta), "exponent delta {delta} out of range");
+                // Encode delta ∈ {-1, 0, 1} as 0, 1, 2 above the fraction.
+                Some(fr | (((delta + 1) as u64) << FRAC_BITS))
+            }
+        },
+    }
+}
+
+/// Reconstruct the result of `op` from a stored payload.
+///
+/// Under mantissa-only tags the sign and exponent are recomputed from the
+/// *current* operands; `None` means the reconstructed exponent falls
+/// outside the normal range (the hardware would fall back to the
+/// conventional unit, i.e. the probe is treated as a miss).
+#[must_use]
+pub fn decode_value(op: &Op, stored: u64, policy: TagPolicy) -> Option<Value> {
+    match policy {
+        TagPolicy::FullValue => Some(Value::from_bits(op.kind(), stored)),
+        TagPolicy::MantissaOnly => match *op {
+            Op::IntMul(..) => Some(Value::Int(stored as i64)),
+            Op::FpMul(a, b) => {
+                let (sa, ..) = fp_parts(a);
+                let (sb, ..) = fp_parts(b);
+                rebuild(op, stored, sa ^ sb)
+            }
+            Op::FpDiv(a, b) => {
+                let (sa, ..) = fp_parts(a);
+                let (sb, ..) = fp_parts(b);
+                rebuild(op, stored, sa ^ sb)
+            }
+            Op::FpSqrt(_) => rebuild(op, stored, false),
+        },
+    }
+}
+
+/// The result exponent before normalization adjustment, from the current
+/// operands. `None` if the operands are unsuitable (never happens after a
+/// tag hit, which already filtered non-normals).
+fn expected_exponent(op: &Op) -> Option<i32> {
+    match *op {
+        Op::IntMul(..) => None,
+        Op::FpMul(a, b) => {
+            let (_, ea, _) = fp_parts(a);
+            let (_, eb, _) = fp_parts(b);
+            Some(ea + eb)
+        }
+        Op::FpDiv(a, b) => {
+            let (_, ea, _) = fp_parts(a);
+            let (_, eb, _) = fp_parts(b);
+            Some(ea - eb)
+        }
+        Op::FpSqrt(a) => {
+            let (_, ea, _) = fp_parts(a);
+            Some(ea.div_euclid(2))
+        }
+    }
+}
+
+fn rebuild(op: &Op, stored: u64, sign: bool) -> Option<Value> {
+    let frac = stored & FRAC_MASK;
+    let delta = ((stored >> FRAC_BITS) & 0b11) as i32 - 1;
+    let exp = expected_exponent(op)? + delta;
+    fp_build(sign, exp, frac).map(Value::Fp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fp_parts_roundtrip() {
+        for x in [1.0, -2.5, 1.5e300, -3.7e-200, std::f64::consts::PI] {
+            let (s, e, f) = fp_parts(x);
+            assert_eq!(fp_build(s, e, f), Some(x));
+        }
+    }
+
+    #[test]
+    fn fp_build_rejects_out_of_range() {
+        assert_eq!(fp_build(false, 1024, 0), None);
+        assert_eq!(fp_build(false, -1023, 0), None);
+    }
+
+    #[test]
+    fn full_tags_pack_both_operands() {
+        let op = Op::FpMul(2.0, 3.0);
+        let key = encode_tag(&op, TagPolicy::FullValue).unwrap();
+        assert_eq!(key.tag >> 64, 2.0f64.to_bits() as u128);
+        assert_eq!(key.tag & u128::from(u64::MAX), 3.0f64.to_bits() as u128);
+    }
+
+    #[test]
+    fn full_tags_accept_any_bit_pattern() {
+        for op in [
+            Op::FpMul(f64::NAN, 1.0),
+            Op::FpDiv(f64::INFINITY, 0.0),
+            Op::FpSqrt(-1.0),
+            Op::FpMul(f64::MIN_POSITIVE / 2.0, 1.0), // subnormal
+        ] {
+            assert!(encode_tag(&op, TagPolicy::FullValue).is_some());
+        }
+    }
+
+    #[test]
+    fn mantissa_tags_ignore_sign_and_exponent() {
+        let k1 = encode_tag(&Op::FpMul(1.5, 2.5), TagPolicy::MantissaOnly).unwrap();
+        let k2 = encode_tag(&Op::FpMul(-1.5 * 8.0, 2.5 * 0.25), TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(k1, k2, "same mantissas must share a tag");
+        let k3 = encode_tag(&Op::FpMul(1.25, 2.5), TagPolicy::MantissaOnly).unwrap();
+        assert_ne!(k1, k3);
+    }
+
+    #[test]
+    fn mantissa_tags_bypass_non_normals() {
+        for op in [
+            Op::FpMul(0.0, 1.0),
+            Op::FpDiv(1.0, f64::NAN),
+            Op::FpSqrt(-4.0),
+            Op::FpSqrt(0.0),
+            Op::FpMul(f64::MIN_POSITIVE / 4.0, 2.0),
+        ] {
+            assert_eq!(encode_tag(&op, TagPolicy::MantissaOnly), None, "{op}");
+        }
+    }
+
+    #[test]
+    fn sqrt_tag_distinguishes_exponent_parity() {
+        // 2.0 = 1.0·2^1 (odd), 4.0 = 1.0·2^2 (even): same mantissa, different
+        // parity — must not share an entry, since sqrt(2)≠sqrt(4)/2 mantissa.
+        let k1 = encode_tag(&Op::FpSqrt(2.0), TagPolicy::MantissaOnly).unwrap();
+        let k2 = encode_tag(&Op::FpSqrt(4.0), TagPolicy::MantissaOnly).unwrap();
+        assert_ne!(k1, k2);
+        // 4.0 and 16.0 are both even-exponent with mantissa 1.0: shared.
+        let k3 = encode_tag(&Op::FpSqrt(16.0), TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(k2, k3);
+    }
+
+    #[test]
+    fn paper_index_xors_int_lsbs() {
+        let sets = 8;
+        let idx = set_index(&Op::IntMul(0b1011, 0b0110), sets, HashScheme::PaperXor);
+        assert_eq!(idx, (0b1011 ^ 0b0110) & 0b111);
+    }
+
+    #[test]
+    fn paper_index_xors_fp_mantissa_msbs() {
+        let sets = 8;
+        // 1.5 has fraction 0b100…, 1.25 has 0b010…; top-3 bits 100 ^ 010 = 110.
+        let idx = set_index(&Op::FpMul(1.5, 1.25), sets, HashScheme::PaperXor);
+        assert_eq!(idx, 0b110);
+    }
+
+    #[test]
+    fn index_is_in_range_for_all_schemes() {
+        for sets in [1usize, 2, 8, 1024] {
+            for scheme in [HashScheme::PaperXor, HashScheme::FoldMix] {
+                for op in [
+                    Op::IntMul(-7, 13),
+                    Op::FpMul(3.25, -0.125),
+                    Op::FpDiv(9.5, 3.0),
+                    Op::FpSqrt(7.0),
+                ] {
+                    assert!(set_index(&op, sets, scheme) < sets);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mantissa_value_roundtrip_mul() {
+        let op = Op::FpMul(1.7, 3.3);
+        let truth = op.compute();
+        let stored = encode_value(&op, truth, TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(decode_value(&op, stored, TagPolicy::MantissaOnly), Some(truth));
+
+        // Same mantissas at different exponents reconstruct exactly.
+        let op2 = Op::FpMul(1.7 * 1024.0, 3.3 / 65536.0);
+        let truth2 = op2.compute();
+        assert_eq!(decode_value(&op2, stored, TagPolicy::MantissaOnly), Some(truth2));
+    }
+
+    #[test]
+    fn mantissa_value_roundtrip_div_and_sqrt() {
+        let d = Op::FpDiv(10.0, 3.0);
+        let s = encode_value(&d, d.compute(), TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(decode_value(&d, s, TagPolicy::MantissaOnly), Some(d.compute()));
+
+        let q = Op::FpSqrt(7.0);
+        let s = encode_value(&q, q.compute(), TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(decode_value(&q, s, TagPolicy::MantissaOnly), Some(q.compute()));
+        // Even/odd exponent variants of the same mantissa reconstruct too.
+        let q2 = Op::FpSqrt(7.0 * 4.0);
+        let s2 = encode_value(&q2, q2.compute(), TagPolicy::MantissaOnly).unwrap();
+        assert_eq!(decode_value(&q2, s2, TagPolicy::MantissaOnly), Some(q2.compute()));
+    }
+
+    #[test]
+    fn mantissa_decode_rejects_overflowing_exponent() {
+        let op = Op::FpMul(1.5, 1.5);
+        let stored = encode_value(&op, op.compute(), TagPolicy::MantissaOnly).unwrap();
+        // Same mantissas, enormous exponents: the true product overflows, so
+        // the reconstruction must refuse (treated as a miss upstream).
+        let huge = Op::FpMul(1.5e300, 1.5e300);
+        assert_eq!(decode_value(&huge, stored, TagPolicy::MantissaOnly), None);
+    }
+
+    #[test]
+    fn mantissa_encode_rejects_non_normal_results() {
+        // Product underflows to subnormal: cannot be stored.
+        let op = Op::FpMul(1.5e-200, 1.5e-200);
+        assert_eq!(encode_value(&op, op.compute(), TagPolicy::MantissaOnly), None);
+    }
+}

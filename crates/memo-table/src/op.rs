@@ -1,0 +1,287 @@
+//! The operations a MEMO-TABLE can memoize.
+//!
+//! The paper instruments integer multiplication, floating-point
+//! multiplication and floating-point division (§3.1), and names square root
+//! as the first future extension (§4); all four are modelled here.
+
+use std::fmt;
+
+/// A single dynamic arithmetic operation, operands included.
+///
+/// `Op` is the unit of traffic presented to a memo table: the pair
+/// *(operation kind, operand values)*. Instruction addresses are
+/// deliberately absent — the paper memoizes *values*, not instructions
+/// (§1.1, contrast with Sodani & Sohi's reuse buffer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Op {
+    /// Integer multiplication (two's-complement, wrapping — as the SPARC
+    /// `smul` produces the low 64 bits).
+    IntMul(i64, i64),
+    /// IEEE-754 double-precision multiplication.
+    FpMul(f64, f64),
+    /// IEEE-754 double-precision division (dividend, divisor).
+    FpDiv(f64, f64),
+    /// IEEE-754 double-precision square root (future-work extension, §4).
+    FpSqrt(f64),
+}
+
+/// The kind of an [`Op`], without its operands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OpKind {
+    /// Integer multiplication.
+    IntMul,
+    /// Floating-point multiplication.
+    FpMul,
+    /// Floating-point division.
+    FpDiv,
+    /// Floating-point square root.
+    FpSqrt,
+}
+
+impl OpKind {
+    /// All kinds, in the order the paper reports them.
+    pub const ALL: [OpKind; 4] = [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv, OpKind::FpSqrt];
+
+    /// `true` for the commutative operations (multiplications), whose
+    /// lookups must compare operands in both orders (§2.2).
+    #[must_use]
+    pub fn is_commutative(self) -> bool {
+        matches!(self, OpKind::IntMul | OpKind::FpMul)
+    }
+
+    /// `true` if the operands and result are IEEE-754 doubles.
+    #[must_use]
+    pub fn is_fp(self) -> bool {
+        !matches!(self, OpKind::IntMul)
+    }
+
+    /// Short lowercase label used in experiment tables
+    /// (`imul`, `fmul`, `fdiv`, `fsqrt`).
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::IntMul => "imul",
+            OpKind::FpMul => "fmul",
+            OpKind::FpDiv => "fdiv",
+            OpKind::FpSqrt => "fsqrt",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The result of an [`Op`]: either an integer or a floating-point value.
+///
+/// Comparison is **bit-exact** for floating-point payloads (`-0.0 != 0.0`
+/// under `==` of `f64`, but the two are *different* `Value`s here, and two
+/// NaNs with the same payload are *equal*) because a memo table must be
+/// transparent at the bit level.
+#[derive(Debug, Clone, Copy)]
+pub enum Value {
+    /// An integer result.
+    Int(i64),
+    /// A floating-point result.
+    Fp(f64),
+}
+
+impl Value {
+    /// Raw 64-bit pattern: two's complement for integers, IEEE-754 bits for
+    /// floats. This is exactly what the hardware entry would store.
+    #[must_use]
+    pub fn to_bits(self) -> u64 {
+        match self {
+            Value::Int(i) => i as u64,
+            Value::Fp(f) => f.to_bits(),
+        }
+    }
+
+    /// Reconstruct a value of the kind produced by `kind` from raw bits.
+    #[must_use]
+    pub fn from_bits(kind: OpKind, bits: u64) -> Self {
+        if kind.is_fp() {
+            Value::Fp(f64::from_bits(bits))
+        } else {
+            Value::Int(bits as i64)
+        }
+    }
+
+    /// The floating-point payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer; use [`Value::as_i64`] for those.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Value::Fp(f) => f,
+            Value::Int(i) => panic!("expected fp value, found int {i}"),
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is floating-point; use [`Value::as_f64`] for those.
+    #[must_use]
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Value::Int(i) => i,
+            Value::Fp(f) => panic!("expected int value, found fp {f}"),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Fp(a), Value::Fp(b)) => a.to_bits() == b.to_bits(),
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Fp(x) => write!(f, "{x}"),
+        }
+    }
+}
+
+impl Op {
+    /// The kind of this operation.
+    #[must_use]
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::IntMul(..) => OpKind::IntMul,
+            Op::FpMul(..) => OpKind::FpMul,
+            Op::FpDiv(..) => OpKind::FpDiv,
+            Op::FpSqrt(..) => OpKind::FpSqrt,
+        }
+    }
+
+    /// Perform the operation on a conventional computation unit.
+    ///
+    /// This is the ground truth against which memoized execution must be
+    /// bit-exact (the crate's central invariant, enforced by property tests).
+    #[must_use]
+    pub fn compute(&self) -> Value {
+        match *self {
+            Op::IntMul(a, b) => Value::Int(a.wrapping_mul(b)),
+            Op::FpMul(a, b) => Value::Fp(a * b),
+            Op::FpDiv(a, b) => Value::Fp(a / b),
+            Op::FpSqrt(a) => Value::Fp(a.sqrt()),
+        }
+    }
+
+    /// The operands as raw 64-bit patterns `(first, second)`.
+    ///
+    /// Unary operations return the operand twice; together with the kind
+    /// tag this keeps unary and binary keys disjoint.
+    #[must_use]
+    pub fn operand_bits(&self) -> (u64, u64) {
+        match *self {
+            Op::IntMul(a, b) => (a as u64, b as u64),
+            Op::FpMul(a, b) | Op::FpDiv(a, b) => (a.to_bits(), b.to_bits()),
+            Op::FpSqrt(a) => (a.to_bits(), a.to_bits()),
+        }
+    }
+
+    /// The same operation with operands swapped, when it is commutative.
+    #[must_use]
+    pub fn swapped(&self) -> Option<Op> {
+        match *self {
+            Op::IntMul(a, b) => Some(Op::IntMul(b, a)),
+            Op::FpMul(a, b) => Some(Op::FpMul(b, a)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::IntMul(a, b) => write!(f, "imul {a}, {b}"),
+            Op::FpMul(a, b) => write!(f, "fmul {a}, {b}"),
+            Op::FpDiv(a, b) => write!(f, "fdiv {a}, {b}"),
+            Op::FpSqrt(a) => write!(f, "fsqrt {a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_match_constructors() {
+        assert_eq!(Op::IntMul(2, 3).kind(), OpKind::IntMul);
+        assert_eq!(Op::FpMul(2.0, 3.0).kind(), OpKind::FpMul);
+        assert_eq!(Op::FpDiv(2.0, 3.0).kind(), OpKind::FpDiv);
+        assert_eq!(Op::FpSqrt(2.0).kind(), OpKind::FpSqrt);
+    }
+
+    #[test]
+    fn compute_matches_native_semantics() {
+        assert_eq!(Op::IntMul(6, 7).compute(), Value::Int(42));
+        assert_eq!(Op::IntMul(i64::MAX, 2).compute(), Value::Int(i64::MAX.wrapping_mul(2)));
+        assert_eq!(Op::FpMul(1.5, 2.0).compute(), Value::Fp(3.0));
+        assert_eq!(Op::FpDiv(1.0, 3.0).compute(), Value::Fp(1.0 / 3.0));
+        assert_eq!(Op::FpSqrt(9.0).compute(), Value::Fp(3.0));
+    }
+
+    #[test]
+    fn value_equality_is_bitwise_for_fp() {
+        assert_ne!(Value::Fp(0.0), Value::Fp(-0.0));
+        assert_eq!(Value::Fp(f64::NAN), Value::Fp(f64::NAN));
+        assert_ne!(Value::Fp(2.0), Value::Int(2));
+    }
+
+    #[test]
+    fn value_bits_roundtrip() {
+        for v in [Value::Int(-5), Value::Int(i64::MIN), Value::Fp(-0.0), Value::Fp(1.25)] {
+            let kind = match v {
+                Value::Int(_) => OpKind::IntMul,
+                Value::Fp(_) => OpKind::FpMul,
+            };
+            assert_eq!(Value::from_bits(kind, v.to_bits()), v);
+        }
+    }
+
+    #[test]
+    fn swapped_only_for_commutative() {
+        assert_eq!(Op::IntMul(1, 2).swapped(), Some(Op::IntMul(2, 1)));
+        assert_eq!(Op::FpMul(1.0, 2.0).swapped(), Some(Op::FpMul(2.0, 1.0)));
+        assert_eq!(Op::FpDiv(1.0, 2.0).swapped(), None);
+        assert_eq!(Op::FpSqrt(1.0).swapped(), None);
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(OpKind::IntMul.is_commutative());
+        assert!(OpKind::FpMul.is_commutative());
+        assert!(!OpKind::FpDiv.is_commutative());
+        assert!(!OpKind::FpSqrt.is_commutative());
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(OpKind::IntMul.to_string(), "imul");
+        assert_eq!(Op::FpDiv(1.0, 2.0).to_string(), "fdiv 1, 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "expected fp value")]
+    fn as_f64_panics_on_int() {
+        let _ = Value::Int(3).as_f64();
+    }
+}

@@ -1,0 +1,160 @@
+//! Statistics collected by every memo-table flavour.
+
+use crate::config::TrivialPolicy;
+use std::fmt;
+use std::ops::AddAssign;
+
+/// Counters describing the traffic a memo table has seen.
+///
+/// The paper's two headline indicators derive from these: the **hit ratio**
+/// (how many multi-cycle operations were avoided) and, together with cycle
+/// accounting in `memo-sim`, the **speedup**.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Every operation presented, before any filtering.
+    pub ops_seen: u64,
+    /// Operations classified trivial by the detector (regardless of policy).
+    pub trivial_seen: u64,
+    /// Operations that actually probed the lookup table.
+    pub table_lookups: u64,
+    /// Probes that found a matching entry and reconstructed a result.
+    pub table_hits: u64,
+    /// Hits that matched on the *swapped* operand order (commutative probe).
+    pub commutative_hits: u64,
+    /// Probes that bypassed the table because the operands (or, at insert
+    /// time, the result) cannot be represented — only possible with
+    /// mantissa-only tags.
+    pub bypasses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Valid entries overwritten to make room.
+    pub evictions: u64,
+}
+
+impl MemoStats {
+    /// Fresh, all-zero statistics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Probes that missed (`table_lookups − table_hits`).
+    #[must_use]
+    pub fn table_misses(&self) -> u64 {
+        self.table_lookups - self.table_hits
+    }
+
+    /// Raw lookup hit ratio: `table_hits / table_lookups`.
+    ///
+    /// Returns 0 when the table was never probed.
+    #[must_use]
+    pub fn lookup_hit_ratio(&self) -> f64 {
+        ratio(self.table_hits, self.table_lookups)
+    }
+
+    /// The hit ratio *as the paper reports it* for a given trivial policy:
+    ///
+    /// * [`TrivialPolicy::Memoize`] — hits over all operations ("all");
+    /// * [`TrivialPolicy::Exclude`] — hits over non-trivial operations
+    ///   ("non", the paper's default);
+    /// * [`TrivialPolicy::Integrate`] — trivial detections count as hits
+    ///   over all operations ("intgr").
+    #[must_use]
+    pub fn hit_ratio(&self, policy: TrivialPolicy) -> f64 {
+        match policy {
+            TrivialPolicy::Memoize | TrivialPolicy::Exclude => self.lookup_hit_ratio(),
+            TrivialPolicy::Integrate => {
+                ratio(self.trivial_seen + self.table_hits, self.ops_seen)
+            }
+        }
+    }
+
+    /// Fraction of all operations that were trivial (the "trv" column of
+    /// Table 9).
+    #[must_use]
+    pub fn trivial_fraction(&self) -> f64 {
+        ratio(self.trivial_seen, self.ops_seen)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+impl AddAssign for MemoStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.ops_seen += rhs.ops_seen;
+        self.trivial_seen += rhs.trivial_seen;
+        self.table_lookups += rhs.table_lookups;
+        self.table_hits += rhs.table_hits;
+        self.commutative_hits += rhs.commutative_hits;
+        self.bypasses += rhs.bypasses;
+        self.insertions += rhs.insertions;
+        self.evictions += rhs.evictions;
+    }
+}
+
+impl fmt::Display for MemoStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops ({} trivial), {} lookups, {} hits ({:.1}%), {} insertions, {} evictions",
+            self.ops_seen,
+            self.trivial_seen,
+            self.table_lookups,
+            self.table_hits,
+            100.0 * self.lookup_hit_ratio(),
+            self.insertions,
+            self.evictions,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_have_zero_ratios() {
+        let s = MemoStats::new();
+        assert_eq!(s.lookup_hit_ratio(), 0.0);
+        assert_eq!(s.hit_ratio(TrivialPolicy::Integrate), 0.0);
+        assert_eq!(s.trivial_fraction(), 0.0);
+    }
+
+    #[test]
+    fn hit_ratio_per_policy() {
+        let s = MemoStats {
+            ops_seen: 100,
+            trivial_seen: 20,
+            table_lookups: 80,
+            table_hits: 40,
+            ..MemoStats::default()
+        };
+        // Exclude: 40 hits over 80 non-trivial lookups.
+        assert_eq!(s.hit_ratio(TrivialPolicy::Exclude), 0.5);
+        // Integrate: (20 trivial + 40 hits) / 100 ops.
+        assert_eq!(s.hit_ratio(TrivialPolicy::Integrate), 0.6);
+        assert_eq!(s.trivial_fraction(), 0.2);
+        assert_eq!(s.table_misses(), 40);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = MemoStats { ops_seen: 1, table_hits: 1, table_lookups: 1, ..Default::default() };
+        let b = MemoStats { ops_seen: 2, table_hits: 0, table_lookups: 2, ..Default::default() };
+        a += b;
+        assert_eq!(a.ops_seen, 3);
+        assert_eq!(a.table_lookups, 3);
+        assert!((a.lookup_hit_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!MemoStats::new().to_string().is_empty());
+    }
+}

@@ -1,0 +1,536 @@
+//! The finite, set-associative MEMO-TABLE (§2.1–§2.2).
+
+use crate::config::{MemoConfig, Replacement, TrivialPolicy};
+use crate::key::{decode_value, encode_tag, encode_value, set_index, Key};
+use crate::op::{Op, Value};
+use crate::stats::MemoStats;
+use crate::trivial::trivial_result;
+use crate::Memoizer;
+
+/// Result of presenting operands to a memo table (the lookup phase).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Probe {
+    /// The table holds the result: the computation unit can be aborted and
+    /// the value forwarded to write-back after a single cycle.
+    Hit(Value),
+    /// The integrated trivial-operation detector produced the result
+    /// (only under [`TrivialPolicy::Integrate`]).
+    Trivial(Value),
+    /// The operation is trivial and was filtered before the table (only
+    /// under [`TrivialPolicy::Exclude`]); the conventional unit computes it
+    /// and nothing is recorded.
+    Filtered,
+    /// No matching entry; the conventional computation proceeds and its
+    /// result should be offered to [`Memoizer::update`].
+    Miss,
+}
+
+/// How an operation was ultimately satisfied (the complete probe→compute→
+/// update cycle of [`Memoizer::execute`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Satisfied by the table in a single cycle.
+    Hit,
+    /// Satisfied by the integrated trivial detector in a single cycle.
+    Trivial,
+    /// Trivial, filtered before the table, computed conventionally.
+    Filtered,
+    /// Computed conventionally at full latency; result inserted.
+    Miss,
+}
+
+impl Outcome {
+    /// `true` when the operation completed in a single cycle instead of the
+    /// unit's full latency.
+    #[must_use]
+    pub fn avoided_computation(self) -> bool {
+        matches!(self, Outcome::Hit | Outcome::Trivial)
+    }
+}
+
+/// A fully executed operation: its (bit-exact) value and how it was served.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Executed {
+    /// The operation's result — always identical to [`Op::compute`].
+    pub value: Value,
+    /// How the result was obtained.
+    pub outcome: Outcome,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    key: Key,
+    value: u64,
+    last_use: u64,
+    inserted: u64,
+}
+
+/// A finite, set-associative memo table.
+///
+/// See the [crate docs](crate) for the big picture and [`MemoConfig`] for
+/// the design space. All state is owned; the table is `Send`.
+///
+/// # Examples
+///
+/// ```
+/// use memo_table::{Assoc, MemoConfig, MemoTable, Memoizer, Op, Outcome};
+///
+/// let cfg = MemoConfig::builder(16).assoc(Assoc::Ways(2)).build()?;
+/// let mut t = MemoTable::new(cfg);
+/// assert_eq!(t.execute(Op::IntMul(6, 7)).outcome, Outcome::Miss);
+/// assert_eq!(t.execute(Op::IntMul(6, 7)).outcome, Outcome::Hit);
+/// // Commutative probing: the swapped order also hits (§2.2).
+/// assert_eq!(t.execute(Op::IntMul(7, 6)).outcome, Outcome::Hit);
+/// # Ok::<(), memo_table::MemoConfigError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoTable {
+    cfg: MemoConfig,
+    slots: Vec<Option<Entry>>,
+    clock: u64,
+    stats: MemoStats,
+    rng: u64,
+}
+
+impl MemoTable {
+    /// Create an empty table with the given configuration.
+    #[must_use]
+    pub fn new(cfg: MemoConfig) -> Self {
+        MemoTable {
+            cfg,
+            slots: vec![None; cfg.entries()],
+            clock: 0,
+            stats: MemoStats::new(),
+            rng: 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// The table's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MemoConfig {
+        &self.cfg
+    }
+
+    /// Number of valid entries currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// `true` if no entries are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    /// Hit ratio under this table's own trivial policy — the number the
+    /// paper's tables report.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        self.stats.hit_ratio(self.cfg.trivial())
+    }
+
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    /// Search one set for `key`; on success refresh its LRU stamp and
+    /// return the stored payload.
+    fn lookup_in_set(&mut self, set: usize, key: Key) -> Option<u64> {
+        let ways = self.cfg.ways();
+        let base = set * ways;
+        let stamp = self.tick();
+        for entry in self.slots[base..base + ways].iter_mut().flatten() {
+            if entry.key == key {
+                entry.last_use = stamp;
+                return Some(entry.value);
+            }
+        }
+        None
+    }
+
+    fn next_random(&mut self) -> u64 {
+        // xorshift64* — deterministic, dependency-free.
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn insert(&mut self, set: usize, key: Key, value: u64) {
+        let ways = self.cfg.ways();
+        let base = set * ways;
+        let stamp = self.tick();
+
+        // Prefer an invalid slot.
+        if let Some(slot) = self.slots[base..base + ways].iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Entry { key, value, last_use: stamp, inserted: stamp });
+            self.stats.insertions += 1;
+            return;
+        }
+
+        // All ways valid: pick a victim.
+        let victim_way = match self.cfg.replacement() {
+            Replacement::Lru => (0..ways)
+                .min_by_key(|&w| self.slots[base + w].as_ref().map(|e| e.last_use))
+                .expect("ways >= 1"),
+            Replacement::Fifo => (0..ways)
+                .min_by_key(|&w| self.slots[base + w].as_ref().map(|e| e.inserted))
+                .expect("ways >= 1"),
+            Replacement::Random => (self.next_random() % ways as u64) as usize,
+        };
+        self.slots[base + victim_way] =
+            Some(Entry { key, value, last_use: stamp, inserted: stamp });
+        self.stats.insertions += 1;
+        self.stats.evictions += 1;
+    }
+
+    /// Probe for `op` under a specific operand order. Returns the decoded
+    /// value on a tag match whose result is reconstructible.
+    fn probe_order(&mut self, op: &Op) -> Option<Value> {
+        let key = encode_tag(op, self.cfg.tag())?;
+        let set = set_index(op, self.cfg.sets(), self.cfg.hash());
+        let stored = self.lookup_in_set(set, key)?;
+        match decode_value(op, stored, self.cfg.tag()) {
+            Some(v) => Some(v),
+            None => {
+                // Tag matched but the exponent path cannot reconstruct the
+                // result for these operands (mantissa mode only): the
+                // hardware falls back to the conventional unit.
+                self.stats.bypasses += 1;
+                None
+            }
+        }
+    }
+}
+
+impl Memoizer for MemoTable {
+    fn probe(&mut self, op: Op) -> Probe {
+        self.stats.ops_seen += 1;
+
+        if let Some((_, value)) = trivial_result(&op) {
+            self.stats.trivial_seen += 1;
+            match self.cfg.trivial() {
+                TrivialPolicy::Exclude => return Probe::Filtered,
+                TrivialPolicy::Integrate => return Probe::Trivial(value),
+                TrivialPolicy::Memoize => {} // falls through to the table
+            }
+        }
+
+        self.stats.table_lookups += 1;
+
+        if encode_tag(&op, self.cfg.tag()).is_none() {
+            // Operands not representable under the tag policy: the lookup
+            // simply misses (and `update` will decline to insert).
+            self.stats.bypasses += 1;
+            return Probe::Miss;
+        }
+
+        if let Some(v) = self.probe_order(&op) {
+            self.stats.table_hits += 1;
+            return Probe::Hit(v);
+        }
+
+        if self.cfg.commutative() {
+            if let Some(swapped) = op.swapped() {
+                if let Some(v) = self.probe_order(&swapped) {
+                    self.stats.table_hits += 1;
+                    self.stats.commutative_hits += 1;
+                    return Probe::Hit(v);
+                }
+            }
+        }
+
+        Probe::Miss
+    }
+
+    fn update(&mut self, op: Op, result: Value) {
+        debug_assert_eq!(result, op.compute(), "update must receive the true result");
+
+        if trivial_result(&op).is_some() && self.cfg.trivial() != TrivialPolicy::Memoize {
+            return;
+        }
+        let Some(key) = encode_tag(&op, self.cfg.tag()) else { return };
+        let Some(value) = encode_value(&op, result, self.cfg.tag()) else {
+            self.stats.bypasses += 1;
+            return;
+        };
+        let set = set_index(&op, self.cfg.sets(), self.cfg.hash());
+        self.insert(set, key, value);
+    }
+
+    fn stats(&self) -> MemoStats {
+        self.stats
+    }
+
+    fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = None);
+        self.clock = 0;
+        self.stats = MemoStats::new();
+        self.rng = 0x9E37_79B9_7F4A_7C15;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Assoc, HashScheme, TagPolicy};
+
+    fn table(entries: usize, ways: usize) -> MemoTable {
+        MemoTable::new(MemoConfig::builder(entries).assoc(Assoc::Ways(ways)).build().unwrap())
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        assert_eq!(t.execute(Op::FpMul(2.5, 4.0)).outcome, Outcome::Miss);
+        let e = t.execute(Op::FpMul(2.5, 4.0));
+        assert_eq!(e.outcome, Outcome::Hit);
+        assert_eq!(e.value, Value::Fp(10.0));
+        assert_eq!(t.stats().table_hits, 1);
+        assert_eq!(t.stats().insertions, 1);
+    }
+
+    #[test]
+    fn division_is_not_commutative() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        t.execute(Op::FpDiv(8.0, 2.0));
+        assert_eq!(t.execute(Op::FpDiv(2.0, 8.0)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn commutative_probe_hits_swapped_order() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        t.execute(Op::FpMul(3.0, 7.0));
+        let e = t.execute(Op::FpMul(7.0, 3.0));
+        assert_eq!(e.outcome, Outcome::Hit);
+        assert_eq!(e.value, Value::Fp(21.0));
+        assert_eq!(t.stats().commutative_hits, 1);
+    }
+
+    #[test]
+    fn commutative_probe_can_be_disabled() {
+        let cfg = MemoConfig::builder(32).commutative(false).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        t.execute(Op::FpMul(3.0, 7.0));
+        assert_eq!(t.execute(Op::FpMul(7.0, 3.0)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        // Fully associative 2-entry table isolates replacement behaviour.
+        let cfg = MemoConfig::builder(2).assoc(Assoc::Full).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        t.execute(Op::FpDiv(10.0, 2.0)); // A
+        t.execute(Op::FpDiv(20.0, 2.0)); // B
+        t.execute(Op::FpDiv(10.0, 2.0)); // touch A => B is LRU
+        t.execute(Op::FpDiv(30.0, 2.0)); // C evicts B
+        assert_eq!(t.execute(Op::FpDiv(10.0, 2.0)).outcome, Outcome::Hit, "A survives");
+        assert_eq!(t.execute(Op::FpDiv(20.0, 2.0)).outcome, Outcome::Miss, "B evicted");
+        assert!(t.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn fifo_evicts_oldest_insertion() {
+        let cfg = MemoConfig::builder(2)
+            .assoc(Assoc::Full)
+            .replacement(Replacement::Fifo)
+            .build()
+            .unwrap();
+        let mut t = MemoTable::new(cfg);
+        t.execute(Op::FpDiv(10.0, 2.0)); // A (oldest)
+        t.execute(Op::FpDiv(20.0, 2.0)); // B
+        t.execute(Op::FpDiv(10.0, 2.0)); // touch A — irrelevant to FIFO
+        t.execute(Op::FpDiv(30.0, 2.0)); // C evicts A
+        assert_eq!(t.execute(Op::FpDiv(20.0, 2.0)).outcome, Outcome::Hit, "B survives");
+        assert_eq!(t.execute(Op::FpDiv(10.0, 2.0)).outcome, Outcome::Miss, "A evicted");
+    }
+
+    #[test]
+    fn random_replacement_still_functions() {
+        let cfg = MemoConfig::builder(4)
+            .assoc(Assoc::Full)
+            .replacement(Replacement::Random)
+            .build()
+            .unwrap();
+        let mut t = MemoTable::new(cfg);
+        for i in 0..100 {
+            t.execute(Op::FpDiv(i as f64 + 2.0, 3.0));
+        }
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.stats().insertions, 100);
+        assert_eq!(t.stats().evictions, 96);
+    }
+
+    #[test]
+    fn direct_mapped_conflict_pathology() {
+        // §3.2: two values mapping to the same set alternate and conflict on
+        // every lookup when direct-mapped; 2 ways fix it. Engineer two fp
+        // pairs with identical mantissa MSBs (same index) but different tags.
+        let a = Op::FpDiv(1.5, 3.0); // mantissas 1.5/1.5: XOR of MSBs = 0
+        let b = Op::FpDiv(1.25, 2.5); // mantissas 1.25/1.25: XOR of MSBs = 0
+        let dm = MemoConfig::builder(4).assoc(Assoc::DirectMapped).build().unwrap();
+        let mut t = MemoTable::new(dm);
+        // Confirm they collide under the paper hash.
+        assert_eq!(
+            set_index(&a, 4, HashScheme::PaperXor),
+            set_index(&b, 4, HashScheme::PaperXor)
+        );
+        for _ in 0..10 {
+            t.execute(a);
+            t.execute(b);
+        }
+        assert_eq!(t.stats().table_hits, 0, "alternating conflicts: zero hits");
+
+        let two_way = MemoConfig::builder(4).assoc(Assoc::Ways(2)).build().unwrap();
+        let mut t = MemoTable::new(two_way);
+        for _ in 0..10 {
+            t.execute(a);
+            t.execute(b);
+        }
+        assert_eq!(t.stats().table_hits, 18, "2 ways absorb the alternation");
+    }
+
+    #[test]
+    fn trivial_exclude_filters_before_table() {
+        let mut t = MemoTable::new(MemoConfig::paper_default()); // Exclude default
+        let e = t.execute(Op::FpMul(1.0, 9.0));
+        assert_eq!(e.outcome, Outcome::Filtered);
+        assert_eq!(e.value, Value::Fp(9.0));
+        assert_eq!(t.stats().table_lookups, 0);
+        assert_eq!(t.stats().trivial_seen, 1);
+        assert!(t.is_empty(), "excluded trivials must not occupy entries");
+    }
+
+    #[test]
+    fn trivial_integrate_counts_as_hit() {
+        let cfg = MemoConfig::builder(32).trivial(TrivialPolicy::Integrate).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        assert_eq!(t.execute(Op::FpDiv(7.0, 1.0)).outcome, Outcome::Trivial);
+        assert_eq!(t.execute(Op::FpDiv(7.0, 2.0)).outcome, Outcome::Miss);
+        assert_eq!(t.execute(Op::FpDiv(7.0, 2.0)).outcome, Outcome::Hit);
+        // intgr ratio: (1 trivial + 1 hit) / 3 ops.
+        assert!((t.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trivial_memoize_sends_trivials_through_table() {
+        let cfg = MemoConfig::builder(32).trivial(TrivialPolicy::Memoize).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        assert_eq!(t.execute(Op::FpMul(1.0, 9.0)).outcome, Outcome::Miss);
+        assert_eq!(t.execute(Op::FpMul(1.0, 9.0)).outcome, Outcome::Hit);
+        assert_eq!(t.stats().trivial_seen, 2);
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn mantissa_mode_hits_across_exponents() {
+        let cfg = MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        assert_eq!(t.execute(Op::FpMul(1.7, 3.3)).outcome, Outcome::Miss);
+        // Same mantissas, scaled by powers of two (and one sign flip).
+        let op = Op::FpMul(-1.7 * 16.0, 3.3 / 4.0);
+        let e = t.execute(op);
+        assert_eq!(e.outcome, Outcome::Hit);
+        assert_eq!(e.value, op.compute(), "reconstruction must be bit-exact");
+    }
+
+    #[test]
+    fn full_mode_misses_across_exponents() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        t.execute(Op::FpMul(1.7, 3.3));
+        assert_eq!(t.execute(Op::FpMul(1.7 * 16.0, 3.3 / 4.0)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn mantissa_mode_bypasses_non_normals() {
+        let cfg = MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        let e = t.execute(Op::FpMul(f64::NAN, 3.0));
+        assert_eq!(e.outcome, Outcome::Miss);
+        assert!(e.value.as_f64().is_nan());
+        assert_eq!(t.stats().bypasses, 1);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn mantissa_mode_declines_unstorable_results() {
+        let cfg = MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        // Underflows to subnormal: operands normal, result not storable.
+        let e = t.execute(Op::FpMul(1.5e-200, 1.5e-200));
+        assert_eq!(e.outcome, Outcome::Miss);
+        assert_eq!(e.value, Op::FpMul(1.5e-200, 1.5e-200).compute());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn full_tags_memoize_nan_exactly() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        let op = Op::FpMul(f64::NAN, 3.0);
+        let first = t.execute(op);
+        assert_eq!(first.outcome, Outcome::Miss);
+        let again = t.execute(op);
+        assert_eq!(again.outcome, Outcome::Hit);
+        assert_eq!(again.value.to_bits(), first.value.to_bits());
+    }
+
+    #[test]
+    fn int_and_fp_entries_do_not_alias() {
+        // 2.0f64 bits and some integer could in principle produce equal tags;
+        // the kind field must keep them apart. Force full associativity so
+        // both land in the same set.
+        let cfg = MemoConfig::builder(8).assoc(Assoc::Full).build().unwrap();
+        let mut t = MemoTable::new(cfg);
+        let ibits = 2.0f64.to_bits() as i64;
+        t.execute(Op::FpMul(2.0, 2.0));
+        assert_eq!(t.execute(Op::IntMul(ibits, ibits)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn capacity_eviction_at_scale() {
+        let mut t = table(32, 4);
+        // 1000 distinct divisions cannot fit in 32 entries.
+        for i in 0..1000 {
+            t.execute(Op::FpDiv(i as f64 + 2.0, 1.000001 + i as f64));
+        }
+        assert!(t.len() <= 32);
+        assert_eq!(t.stats().table_hits, 0);
+        // Replay: the *last* few should still be resident.
+        let last = Op::FpDiv(999.0 + 2.0, 1.000001 + 999.0);
+        assert_eq!(t.execute(last).outcome, Outcome::Hit);
+    }
+
+    #[test]
+    fn reset_clears_entries_and_stats() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        t.execute(Op::FpDiv(9.0, 3.0));
+        t.execute(Op::FpDiv(9.0, 3.0));
+        t.reset();
+        assert!(t.is_empty());
+        assert_eq!(t.stats(), MemoStats::new());
+        assert_eq!(t.execute(Op::FpDiv(9.0, 3.0)).outcome, Outcome::Miss);
+    }
+
+    #[test]
+    fn hit_ratio_matches_paper_semantics() {
+        let mut t = MemoTable::new(MemoConfig::paper_default());
+        t.execute(Op::FpDiv(6.0, 1.0)); // trivial, filtered
+        t.execute(Op::FpDiv(6.0, 2.0)); // miss
+        t.execute(Op::FpDiv(6.0, 2.0)); // hit
+        t.execute(Op::FpDiv(6.0, 2.0)); // hit
+        // "non" ratio: 2 hits / 3 non-trivial lookups.
+        assert!((t.hit_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outcome_avoided_computation() {
+        assert!(Outcome::Hit.avoided_computation());
+        assert!(Outcome::Trivial.avoided_computation());
+        assert!(!Outcome::Filtered.avoided_computation());
+        assert!(!Outcome::Miss.avoided_computation());
+    }
+}

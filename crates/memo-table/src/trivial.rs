@@ -1,0 +1,146 @@
+//! Detection of trivial operations (§2.1, §3.2).
+//!
+//! Trivial operations — multiplying by 0 or 1, dividing by 1, dividing 0 —
+//! complete in a few cycles on a conventional unit, so the paper studies
+//! whether they should occupy memo-table entries at all (Table 9). A small
+//! detector in front of the table can recognise them and forward the result
+//! immediately.
+
+use crate::op::{Op, Value};
+
+/// Which trivial pattern an operation matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrivialKind {
+    /// One multiplication operand is zero (integer, or fp with the other
+    /// operand finite so the result is a well-defined signed zero).
+    MulByZero,
+    /// One multiplication operand is exactly one.
+    MulByOne,
+    /// Division by exactly one.
+    DivByOne,
+    /// Zero divided by a finite non-zero divisor.
+    ZeroDividend,
+    /// Square root of zero or one.
+    SqrtOfZeroOrOne,
+}
+
+/// Classify `op`, returning the matched pattern and the (exactly computed)
+/// result, or `None` if the operation is non-trivial.
+///
+/// The returned result is always bit-identical to [`Op::compute`]; the
+/// detector only *classifies*, it never changes semantics. Patterns are
+/// chosen so the fast-path hardware is simple: cases whose result depends
+/// on non-trivial arithmetic of the other operand (e.g. `0 × ∞ = NaN`) are
+/// deliberately *not* trivial.
+#[must_use]
+pub fn trivial_result(op: &Op) -> Option<(TrivialKind, Value)> {
+    match *op {
+        Op::IntMul(a, b) => {
+            if a == 0 || b == 0 {
+                Some((TrivialKind::MulByZero, Value::Int(0)))
+            } else if a == 1 {
+                Some((TrivialKind::MulByOne, Value::Int(b)))
+            } else if b == 1 {
+                Some((TrivialKind::MulByOne, Value::Int(a)))
+            } else {
+                None
+            }
+        }
+        Op::FpMul(a, b) => {
+            // ×1 preserves the other operand bit-exactly (even NaN payloads
+            // on common hardware; we forward the computed product to stay
+            // faithful to the host FPU).
+            if a == 1.0 || b == 1.0 {
+                Some((TrivialKind::MulByOne, op.compute()))
+            } else if (a == 0.0 && b.is_finite()) || (b == 0.0 && a.is_finite()) {
+                Some((TrivialKind::MulByZero, op.compute()))
+            } else {
+                None
+            }
+        }
+        Op::FpDiv(a, b) => {
+            if b == 1.0 {
+                Some((TrivialKind::DivByOne, op.compute()))
+            } else if a == 0.0 && b != 0.0 && !b.is_nan() {
+                Some((TrivialKind::ZeroDividend, op.compute()))
+            } else {
+                None
+            }
+        }
+        Op::FpSqrt(a) => {
+            if a == 0.0 || a == 1.0 {
+                Some((TrivialKind::SqrtOfZeroOrOne, op.compute()))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(op: Op, expect: Option<TrivialKind>) {
+        match (trivial_result(&op), expect) {
+            (Some((kind, value)), Some(want)) => {
+                assert_eq!(kind, want, "{op}");
+                assert_eq!(value, op.compute(), "trivial result must match compute: {op}");
+            }
+            (None, None) => {}
+            (got, want) => panic!("{op}: got {got:?}, want {want:?}"),
+        }
+    }
+
+    #[test]
+    fn int_mul_trivials() {
+        check(Op::IntMul(0, 42), Some(TrivialKind::MulByZero));
+        check(Op::IntMul(42, 0), Some(TrivialKind::MulByZero));
+        check(Op::IntMul(1, 42), Some(TrivialKind::MulByOne));
+        check(Op::IntMul(42, 1), Some(TrivialKind::MulByOne));
+        check(Op::IntMul(-1, 42), None);
+        check(Op::IntMul(6, 7), None);
+    }
+
+    #[test]
+    fn fp_mul_trivials() {
+        check(Op::FpMul(1.0, 3.5), Some(TrivialKind::MulByOne));
+        check(Op::FpMul(3.5, 1.0), Some(TrivialKind::MulByOne));
+        check(Op::FpMul(0.0, 3.5), Some(TrivialKind::MulByZero));
+        check(Op::FpMul(-0.0, 3.5), Some(TrivialKind::MulByZero));
+        check(Op::FpMul(2.0, 3.5), None);
+        // 0 × ∞ = NaN requires the full unit's special-case logic.
+        check(Op::FpMul(0.0, f64::INFINITY), None);
+        // ∞ × 1 is trivial: forward the other operand.
+        check(Op::FpMul(f64::INFINITY, 1.0), Some(TrivialKind::MulByOne));
+    }
+
+    #[test]
+    fn fp_div_trivials() {
+        check(Op::FpDiv(3.5, 1.0), Some(TrivialKind::DivByOne));
+        check(Op::FpDiv(0.0, 3.5), Some(TrivialKind::ZeroDividend));
+        check(Op::FpDiv(3.5, 2.0), None);
+        // 0 / 0 = NaN is not trivial.
+        check(Op::FpDiv(0.0, 0.0), None);
+        check(Op::FpDiv(0.0, f64::NAN), None);
+        // x / 0 = ±∞ handled by the unit's exception logic.
+        check(Op::FpDiv(3.5, 0.0), None);
+    }
+
+    #[test]
+    fn sqrt_trivials() {
+        check(Op::FpSqrt(0.0), Some(TrivialKind::SqrtOfZeroOrOne));
+        check(Op::FpSqrt(1.0), Some(TrivialKind::SqrtOfZeroOrOne));
+        check(Op::FpSqrt(4.0), None);
+        check(Op::FpSqrt(-1.0), None);
+    }
+
+    #[test]
+    fn trivial_results_are_bit_exact() {
+        // Signed-zero propagation: -0.0 × 3.0 = -0.0 exactly.
+        let (_, v) = trivial_result(&Op::FpMul(-0.0, 3.0)).unwrap();
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+        let (_, v) = trivial_result(&Op::FpDiv(-0.0, 2.0)).unwrap();
+        assert_eq!(v.to_bits(), (-0.0f64).to_bits());
+    }
+}

@@ -1,0 +1,238 @@
+//! A latency-aware computation unit with an attached memo table (§2.2).
+//!
+//! [`MemoizedUnit`] models the tandem *(computation unit, MEMO-TABLE)*
+//! pair: the operands are forwarded to both in parallel; a hit completes in
+//! **one** cycle and aborts the unit, a miss completes at the unit's full
+//! latency with the table updated in parallel with write-back (so a miss
+//! never adds cycles — the paper's "no penalty" property).
+
+use crate::op::{Op, Value};
+use crate::table::Outcome;
+use crate::Memoizer;
+
+/// How one operation executed on a [`MemoizedUnit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UnitExecution {
+    /// The (bit-exact) result.
+    pub value: Value,
+    /// Cycles the operation occupied the unit.
+    pub cycles: u32,
+    /// How the result was obtained.
+    pub outcome: Outcome,
+}
+
+/// A multi-cycle computation unit accelerated by a memo table.
+///
+/// `M` is any [`Memoizer`] — a private [`crate::MemoTable`], the
+/// [`crate::InfiniteMemoTable`] bound, or a [`crate::SharedMemoTable`]
+/// handle shared with sibling units.
+///
+/// # Examples
+///
+/// ```
+/// use memo_table::{MemoConfig, MemoTable, MemoizedUnit, Op, Outcome};
+///
+/// // An fp divider with a 20-cycle latency (cf. Table 1 of the paper).
+/// let mut div = MemoizedUnit::new(MemoTable::new(MemoConfig::paper_default()), 20);
+///
+/// let cold = div.execute(Op::FpDiv(1.0, 3.0));
+/// assert_eq!(cold.cycles, 20);
+///
+/// let warm = div.execute(Op::FpDiv(1.0, 3.0));
+/// assert_eq!(warm.cycles, 1); // served by the MEMO-TABLE
+/// assert_eq!(warm.value, cold.value);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoizedUnit<M> {
+    table: M,
+    latency: u32,
+    trivial_latency: u32,
+    busy_cycles: u64,
+    executed: u64,
+    single_cycle: u64,
+    filtered: u64,
+}
+
+impl<M: Memoizer> MemoizedUnit<M> {
+    /// A unit that takes `latency` cycles per conventional computation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` is zero — a unit needs at least one cycle.
+    #[must_use]
+    pub fn new(table: M, latency: u32) -> Self {
+        assert!(latency > 0, "unit latency must be at least one cycle");
+        MemoizedUnit {
+            table,
+            latency,
+            trivial_latency: latency,
+            busy_cycles: 0,
+            executed: 0,
+            single_cycle: 0,
+            filtered: 0,
+        }
+    }
+
+    /// Set a shorter latency for trivial operations that are filtered
+    /// before the table ([`crate::TrivialPolicy::Exclude`]): the paper
+    /// notes trivial operations "can complete in a few cycles anyhow".
+    #[must_use]
+    pub fn with_trivial_latency(mut self, cycles: u32) -> Self {
+        assert!(cycles > 0, "trivial latency must be at least one cycle");
+        self.trivial_latency = cycles;
+        self
+    }
+
+    /// The conventional latency.
+    #[must_use]
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Execute `op`, charging 1 cycle on a table (or integrated-trivial)
+    /// hit and the full latency otherwise.
+    pub fn execute(&mut self, op: Op) -> UnitExecution {
+        let executed = self.table.execute(op);
+        let cycles = match executed.outcome {
+            Outcome::Hit | Outcome::Trivial => {
+                self.single_cycle += 1;
+                1
+            }
+            Outcome::Filtered => {
+                self.filtered += 1;
+                self.trivial_latency
+            }
+            Outcome::Miss => self.latency,
+        };
+        self.busy_cycles += u64::from(cycles);
+        self.executed += 1;
+        UnitExecution { value: executed.value, cycles, outcome: executed.outcome }
+    }
+
+    /// Total cycles the unit has been busy.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Number of operations executed.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Cycles a plain, non-memoized unit would have needed for the same
+    /// stream (every operation at full latency, filtered trivials at the
+    /// trivial latency — a plain unit is assumed to have the same trivial
+    /// fast path).
+    #[must_use]
+    pub fn baseline_cycles(&self) -> u64 {
+        let regular = self.executed - self.filtered;
+        regular * u64::from(self.latency) + self.filtered * u64::from(self.trivial_latency)
+    }
+
+    /// The *Speedup Enhanced* of Amdahl's law for this unit (§3.3):
+    /// `dc / ((1 − hr)·dc + hr)` where `dc` is the unit latency and `hr`
+    /// the observed single-cycle (hit) ratio.
+    #[must_use]
+    pub fn speedup_enhanced(&self) -> f64 {
+        let dc = f64::from(self.latency);
+        let hr = self.observed_hit_ratio();
+        dc / ((1.0 - hr) * dc + hr)
+    }
+
+    /// Fraction of operations served in a single cycle (table hits plus
+    /// integrated trivial detections).
+    #[must_use]
+    pub fn observed_hit_ratio(&self) -> f64 {
+        if self.executed == 0 {
+            return 0.0;
+        }
+        self.single_cycle as f64 / self.executed as f64
+    }
+
+    /// Access the underlying memo table.
+    #[must_use]
+    pub fn table(&self) -> &M {
+        &self.table
+    }
+
+    /// Mutable access to the underlying memo table.
+    pub fn table_mut(&mut self) -> &mut M {
+        &mut self.table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MemoConfig, MemoTable, TrivialPolicy};
+
+    fn unit(latency: u32) -> MemoizedUnit<MemoTable> {
+        MemoizedUnit::new(MemoTable::new(MemoConfig::paper_default()), latency)
+    }
+
+    #[test]
+    fn hit_takes_one_cycle_miss_takes_latency() {
+        let mut div = unit(39);
+        assert_eq!(div.execute(Op::FpDiv(22.0, 7.0)).cycles, 39);
+        assert_eq!(div.execute(Op::FpDiv(22.0, 7.0)).cycles, 1);
+        assert_eq!(div.busy_cycles(), 40);
+        assert_eq!(div.executed(), 2);
+    }
+
+    #[test]
+    fn results_are_bit_exact() {
+        let mut div = unit(13);
+        let ops = [Op::FpDiv(1.0, 3.0), Op::FpDiv(-5.5, 0.3), Op::FpDiv(1.0, 3.0)];
+        for op in ops {
+            assert_eq!(div.execute(op).value, op.compute());
+        }
+    }
+
+    #[test]
+    fn baseline_vs_memoized_cycles() {
+        let mut div = unit(13);
+        for _ in 0..10 {
+            div.execute(Op::FpDiv(9.0, 7.0));
+        }
+        // 1 miss at 13 cycles + 9 hits at 1 cycle.
+        assert_eq!(div.busy_cycles(), 13 + 9);
+        assert_eq!(div.baseline_cycles(), 130);
+    }
+
+    #[test]
+    fn trivial_latency_charged_for_filtered_ops() {
+        let mut mul = unit(5).with_trivial_latency(2);
+        let e = mul.execute(Op::FpMul(1.0, 4.0));
+        assert_eq!(e.outcome, Outcome::Filtered);
+        assert_eq!(e.cycles, 2);
+    }
+
+    #[test]
+    fn integrated_trivials_take_one_cycle() {
+        let cfg = MemoConfig::builder(32).trivial(TrivialPolicy::Integrate).build().unwrap();
+        let mut mul = MemoizedUnit::new(MemoTable::new(cfg), 5);
+        let e = mul.execute(Op::FpMul(1.0, 4.0));
+        assert_eq!(e.outcome, Outcome::Trivial);
+        assert_eq!(e.cycles, 1);
+    }
+
+    #[test]
+    fn speedup_enhanced_matches_formula() {
+        let mut div = unit(13);
+        // 1 miss + 3 hits => hr = 0.75 over non-trivial stream.
+        for _ in 0..4 {
+            div.execute(Op::FpDiv(9.0, 7.0));
+        }
+        let hr: f64 = 0.75;
+        let expected = 13.0 / ((1.0 - hr) * 13.0 + hr);
+        assert!((div.speedup_enhanced() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "latency must be at least one cycle")]
+    fn zero_latency_rejected() {
+        let _ = unit(0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Property-based tests of the memo-table's central invariants.
+//!
+//! The paper's correctness claim is *transparency*: an execution through a
+//! (computation unit + MEMO-TABLE) tandem produces bit-identical results to
+//! the plain unit, for every configuration in the design space.
+
+use memo_table::{
+    Assoc, HashScheme, InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, Op, Replacement,
+    TagPolicy, TrivialPolicy,
+};
+use proptest::prelude::*;
+
+/// Operand pool small enough to force plenty of reuse.
+fn pooled_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        // Values with shared mantissas across exponents, signs, specials.
+        prop_oneof![
+            Just(0.0f64),
+            Just(-0.0),
+            Just(1.0),
+            Just(-1.0),
+            Just(1.5),
+            Just(3.0),
+            Just(-3.7),
+            Just(0.1),
+            Just(1.7e300),
+            Just(2.5e-300),
+            Just(f64::INFINITY),
+            Just(f64::NAN),
+            Just(f64::MIN_POSITIVE / 8.0), // subnormal
+        ],
+        any::<f64>(),
+        // Small grid: byte-like pixel values.
+        (0u8..=255).prop_map(f64::from),
+    ]
+}
+
+fn pooled_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![Just(0i64), Just(1), Just(-1), -20i64..20, any::<i64>()]
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (pooled_i64(), pooled_i64()).prop_map(|(a, b)| Op::IntMul(a, b)),
+        (pooled_f64(), pooled_f64()).prop_map(|(a, b)| Op::FpMul(a, b)),
+        (pooled_f64(), pooled_f64()).prop_map(|(a, b)| Op::FpDiv(a, b)),
+        pooled_f64().prop_map(Op::FpSqrt),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = MemoConfig> {
+    (
+        prop_oneof![Just(2usize), Just(8), Just(32), Just(64)],
+        prop_oneof![
+            Just(Assoc::DirectMapped),
+            Just(Assoc::Ways(2)),
+            Just(Assoc::Ways(4)),
+            Just(Assoc::Full)
+        ],
+        prop_oneof![Just(TagPolicy::FullValue), Just(TagPolicy::MantissaOnly)],
+        prop_oneof![
+            Just(TrivialPolicy::Memoize),
+            Just(TrivialPolicy::Exclude),
+            Just(TrivialPolicy::Integrate)
+        ],
+        prop_oneof![Just(Replacement::Lru), Just(Replacement::Fifo), Just(Replacement::Random)],
+        prop_oneof![Just(HashScheme::PaperXor), Just(HashScheme::FoldMix)],
+        any::<bool>(),
+    )
+        .prop_filter_map("valid geometry", |(e, a, t, tr, r, h, c)| {
+            MemoConfig::builder(e)
+                .assoc(a)
+                .tag(t)
+                .trivial(tr)
+                .replacement(r)
+                .hash(h)
+                .commutative(c)
+                .build()
+                .ok()
+        })
+}
+
+proptest! {
+    /// THE invariant: memoized execution is bit-exact vs. plain computation,
+    /// for every configuration and any operand stream.
+    #[test]
+    fn transparency(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut table = MemoTable::new(cfg);
+        for op in ops {
+            let memoized = table.execute(op);
+            let truth = op.compute();
+            prop_assert_eq!(
+                memoized.value.to_bits(),
+                truth.to_bits(),
+                "divergence on {} under {:?}",
+                op,
+                cfg
+            );
+        }
+    }
+
+    /// The infinite table is bit-exact too.
+    #[test]
+    fn transparency_infinite(
+        tag in prop_oneof![Just(TagPolicy::FullValue), Just(TagPolicy::MantissaOnly)],
+        ops in prop::collection::vec(arb_op(), 1..300),
+    ) {
+        let mut table = InfiniteMemoTable::with_policies(tag, TrivialPolicy::Exclude, true);
+        for op in ops {
+            prop_assert_eq!(table.execute(op).value.to_bits(), op.compute().to_bits());
+        }
+    }
+
+    /// An unbounded table never hits less often than any finite table with
+    /// the same policies.
+    #[test]
+    fn infinite_dominates_finite(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut inf = InfiniteMemoTable::with_policies(cfg.tag(), cfg.trivial(), cfg.commutative());
+        let mut fin = MemoTable::new(cfg);
+        for op in ops {
+            inf.execute(op);
+            fin.execute(op);
+        }
+        prop_assert!(inf.stats().table_hits >= fin.stats().table_hits);
+    }
+
+    /// Fully-associative LRU obeys the inclusion property: doubling the
+    /// capacity never loses hits.
+    #[test]
+    fn lru_full_assoc_inclusion(ops in prop::collection::vec(arb_op(), 1..400)) {
+        let mut small = MemoTable::new(
+            MemoConfig::builder(8).assoc(Assoc::Full).build().unwrap(),
+        );
+        let mut large = MemoTable::new(
+            MemoConfig::builder(16).assoc(Assoc::Full).build().unwrap(),
+        );
+        for op in ops {
+            small.execute(op);
+            large.execute(op);
+        }
+        prop_assert!(large.stats().table_hits >= small.stats().table_hits);
+    }
+
+    /// Bookkeeping invariants that must hold for any stream.
+    #[test]
+    fn stats_are_consistent(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
+        let mut table = MemoTable::new(cfg);
+        let n = ops.len() as u64;
+        for op in ops {
+            table.execute(op);
+        }
+        let s = table.stats();
+        prop_assert_eq!(s.ops_seen, n);
+        prop_assert!(s.table_hits <= s.table_lookups);
+        prop_assert!(s.commutative_hits <= s.table_hits);
+        prop_assert!(s.trivial_seen <= s.ops_seen);
+        prop_assert!(s.table_lookups <= s.ops_seen);
+        prop_assert!(s.evictions <= s.insertions);
+        prop_assert!(table.len() <= cfg.entries());
+        // Every insertion beyond capacity must have evicted.
+        prop_assert!(s.insertions - s.evictions <= cfg.entries() as u64);
+        let hr = table.hit_ratio();
+        prop_assert!((0.0..=1.0).contains(&hr));
+    }
+
+    /// Replaying the exact same stream after a reset gives the exact same
+    /// statistics (the table is deterministic).
+    #[test]
+    fn deterministic_replay(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut table = MemoTable::new(cfg);
+        for op in &ops {
+            table.execute(*op);
+        }
+        let first = table.stats();
+        table.reset();
+        for op in &ops {
+            table.execute(*op);
+        }
+        prop_assert_eq!(first, table.stats());
+    }
+
+    /// A second pass over a repeating stream on an infinite table hits on
+    /// every non-trivial operation that the tag policy can represent.
+    #[test]
+    fn infinite_second_pass_hits(ops in prop::collection::vec(arb_op(), 1..200)) {
+        let mut table = InfiniteMemoTable::new();
+        for op in &ops {
+            table.execute(*op);
+        }
+        let after_first = table.stats();
+        for op in &ops {
+            table.execute(*op);
+        }
+        let s = table.stats();
+        // Second-pass lookups that could be stored must all hit: misses can
+        // only grow by operations that were never inserted (none under
+        // full-value tags).
+        prop_assert_eq!(s.table_misses(), after_first.table_misses());
+    }
+}

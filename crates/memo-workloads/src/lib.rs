@@ -1,0 +1,64 @@
+//! # memo-workloads
+//!
+//! Instrumented re-implementations of the paper's three benchmark suites
+//! (§3.1, Tables 2–4):
+//!
+//! * [`mm`] — the eighteen Khoros multi-media (image / DSP) applications
+//!   of Table 4, from `vsqrt` to `venhpatch`;
+//! * [`sci::perfect`] — nine kernels standing in for the Perfect Club
+//!   applications of Table 2 (ADM … SPEC77);
+//! * [`sci::spec`] — ten kernels standing in for SPEC CFP95 (Table 3,
+//!   tomcatv … wave5).
+//!
+//! Every kernel is written against [`memo_sim::EventSink`]: each integer
+//! multiply, floating-point multiply/divide/sqrt goes through the sink
+//! (where a simulator may memoize it), and loads/stores/ALU/branches are
+//! emitted so the cycle accountant sees a full instruction stream. The
+//! kernels compute *real* outputs — `vgauss` really renders Gaussians,
+//! the FFT filters really transform — so the operand streams have the
+//! genuine value-locality structure the paper measured, rather than being
+//! synthetic traces.
+//!
+//! The [`suite`] module ties it together: registries of applications, the
+//! per-app input sets (each MM app runs over the Table 8 image corpus),
+//! and one-call helpers that produce hit-ratio and speedup measurements.
+//!
+//! ## Example
+//!
+//! ```
+//! use memo_sim::{CountingSink, EventSink};
+//! use memo_workloads::mm;
+//! use memo_imaging::synth;
+//!
+//! let image = &synth::corpus(16)[0].image; // small-scale mandrill stand-in
+//! let mut sink = CountingSink::new();
+//! mm::vgauss(&mut sink, image);
+//! assert!(sink.mix().fp_div > 0, "vgauss divides");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod math;
+pub mod mm;
+pub mod sci;
+pub mod suite;
+
+pub(crate) mod mem {
+    //! Synthetic address bases so the cache model sees distinct arrays.
+
+    /// Input array base.
+    pub const IN: u64 = 0x0010_0000;
+    /// Second input / auxiliary array base.
+    pub const AUX: u64 = 0x0210_0000;
+    /// Output array base.
+    pub const OUT: u64 = 0x0410_0000;
+    /// Scratch / table base.
+    pub const SCRATCH: u64 = 0x0610_0000;
+
+    /// Byte address of element `idx` (8-byte elements).
+    #[must_use]
+    pub fn at(base: u64, idx: usize) -> u64 {
+        base + (idx as u64) * 8
+    }
+}

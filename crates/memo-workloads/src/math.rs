@@ -1,0 +1,154 @@
+//! Instrumented math building blocks.
+//!
+//! 1990s image-processing codes computed `sqrt`, `exp`, `atan` in software
+//! from multiplies and divides — which is exactly why the paper's `vsqrt`
+//! application appears in the *division* speedup table (its Newton
+//! iteration divides), and why `vgauss` (exponentials) and `vrect2pol`
+//! (arctangents) are division-heavy. These helpers emit the same operation
+//! streams.
+
+use memo_sim::EventSink;
+
+/// Square root by Newton–Raphson: `x' = (x + a/x) / 2`.
+///
+/// Emits one `fdiv` and one `fmul` per iteration plus the seeding ops.
+/// Three iterations from a decent seed give ~1e-6 relative accuracy on
+/// pixel-range data — what a fast 90s library would ship.
+pub fn newton_sqrt<S: EventSink + ?Sized>(sink: &mut S, a: f64, iterations: u32) -> f64 {
+    if a <= 0.0 {
+        return if a == 0.0 { 0.0 } else { f64::NAN };
+    }
+    // Seed from the exponent (bit trick — integer work).
+    sink.int_ops(2);
+    let mut x = f64::from_bits((a.to_bits() >> 1) + (0x3FF0_0000_0000_0000 >> 1));
+    for _ in 0..iterations {
+        let q = sink.fdiv(a, x);
+        let s = sink.fadd(x, q);
+        x = sink.fmul(s, 0.5);
+        sink.branch();
+    }
+    x
+}
+
+/// `exp(x)` by scaling-and-squaring of `(1 + x/1024)^1024`.
+///
+/// Emits one `fdiv` (by the constant 1024 — highly memoizable when `x`
+/// repeats) and ten squarings (`fmul`).
+pub fn exp_approx<S: EventSink + ?Sized>(sink: &mut S, x: f64) -> f64 {
+    let scaled = sink.fdiv(x, 1024.0);
+    let mut y = sink.fadd(1.0, scaled);
+    for _ in 0..10 {
+        y = sink.fmul(y, y);
+    }
+    y
+}
+
+/// `atan2(y, x)` from the ratio `y/x` and a degree-7 odd polynomial.
+///
+/// Emits one `fdiv` plus four `fmul`s (Horner on `r²`), with quadrant
+/// fix-up in integer ops.
+pub fn atan2_approx<S: EventSink + ?Sized>(sink: &mut S, y: f64, x: f64) -> f64 {
+    use std::f64::consts::{FRAC_PI_2, PI};
+    sink.int_ops(2); // sign/quadrant tests
+    if x == 0.0 && y == 0.0 {
+        return 0.0;
+    }
+    // Reduce to |r| <= 1 by swapping the ratio.
+    let (num, den, swapped) = if y.abs() <= x.abs() { (y, x, false) } else { (x, y, true) };
+    let r = sink.fdiv(num, den);
+    let r2 = sink.fmul(r, r);
+    // atan(r) ≈ r·(c1 + r²·(c3 + r²·c5)) — odd minimax fit on [-1, 1].
+    let mut p = sink.fmul(r2, -0.046_496_474_9);
+    p = sink.fadd(p, 0.1593_1422);
+    p = sink.fmul(p, r2);
+    p = sink.fadd(p, -0.3276_2277);
+    p = sink.fmul(p, r2);
+    p = sink.fadd(p, 0.9999_9345);
+    let mut angle = sink.fmul(r, p);
+    if swapped {
+        angle = if r >= 0.0 { FRAC_PI_2 - angle } else { -FRAC_PI_2 - angle };
+        sink.branch();
+    }
+    if x < 0.0 {
+        angle = if y >= 0.0 { angle + PI } else { angle - PI };
+        sink.branch();
+    }
+    angle
+}
+
+/// Hypotenuse `sqrt(a² + b²)` — two multiplies, an add, and a Newton sqrt.
+pub fn hypot_approx<S: EventSink + ?Sized>(sink: &mut S, a: f64, b: f64) -> f64 {
+    let aa = sink.fmul(a, a);
+    let bb = sink.fmul(b, b);
+    let sum = sink.fadd(aa, bb);
+    newton_sqrt(sink, sum, 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_sim::{CountingSink, NullSink};
+
+    #[test]
+    fn newton_sqrt_converges() {
+        let mut sink = NullSink;
+        for a in [0.25, 1.0, 2.0, 100.0, 65025.0] {
+            let got = newton_sqrt(&mut sink, a, 4);
+            assert!((got - a.sqrt()).abs() / a.sqrt() < 1e-6, "sqrt({a}) ≈ {got}");
+        }
+        assert_eq!(newton_sqrt(&mut sink, 0.0, 3), 0.0);
+        assert!(newton_sqrt(&mut sink, -1.0, 3).is_nan());
+    }
+
+    #[test]
+    fn newton_sqrt_emits_divisions() {
+        let mut sink = CountingSink::new();
+        newton_sqrt(&mut sink, 2.0, 3);
+        assert_eq!(sink.mix().fp_div, 3);
+        assert_eq!(sink.mix().fp_mul, 3);
+    }
+
+    #[test]
+    fn exp_is_close_on_kernel_range() {
+        let mut sink = NullSink;
+        for x in [-4.0, -2.0, -0.5, 0.0, 0.5, 1.0] {
+            let got = exp_approx(&mut sink, x);
+            let want = x.exp();
+            assert!((got - want).abs() / want < 0.01, "exp({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp_emits_one_division_ten_multiplies() {
+        let mut sink = CountingSink::new();
+        exp_approx(&mut sink, -1.5);
+        assert_eq!(sink.mix().fp_div, 1);
+        assert_eq!(sink.mix().fp_mul, 10);
+    }
+
+    #[test]
+    fn atan2_quadrants() {
+        let mut sink = NullSink;
+        for &(y, x) in &[
+            (1.0, 1.0),
+            (1.0, -1.0),
+            (-1.0, -1.0),
+            (-1.0, 1.0),
+            (0.3, 2.0),
+            (2.0, 0.3),
+            (-2.0, 0.3),
+        ] {
+            let got = atan2_approx(&mut sink, y, x);
+            let want = f64::atan2(y, x);
+            assert!((got - want).abs() < 2e-3, "atan2({y},{x}): {got} vs {want}");
+        }
+        assert_eq!(atan2_approx(&mut sink, 0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn hypot_matches() {
+        let mut sink = NullSink;
+        let got = hypot_approx(&mut sink, 3.0, 4.0);
+        assert!((got - 5.0).abs() < 1e-6);
+    }
+}

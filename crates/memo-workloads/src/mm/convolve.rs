@@ -1,0 +1,236 @@
+//! Convolution-style applications: `vdiff`, `vgef`, `vgauss`.
+
+use memo_imaging::{Image, PixelType};
+use memo_sim::EventSink;
+
+use crate::math::exp_approx;
+use crate::mem;
+
+/// Sobel kernels — the paper's `vdiff (sobel)` row.
+const SOBEL_X: [[f64; 3]; 3] = [[-1.0, 0.0, 1.0], [-2.0, 0.0, 2.0], [-1.0, 0.0, 1.0]];
+const SOBEL_Y: [[f64; 3]; 3] = [[-1.0, -2.0, -1.0], [0.0, 0.0, 0.0], [1.0, 2.0, 1.0]];
+
+/// Apply a 3×3 weighted operator at `(x, y)` with clamped borders.
+///
+/// Zero taps are skipped (no instruction at all); ×±1 and ×±2 taps go
+/// through the multiplier — ×1 is trivial (the memo table's trivial
+/// detector sees it), ×2/×−1/×−2 are regular multiplies over byte pixels.
+fn conv3<S: EventSink + ?Sized>(
+    sink: &mut S,
+    img: &Image,
+    band: usize,
+    x: usize,
+    y: usize,
+    k: &[[f64; 3]; 3],
+) -> f64 {
+    let (w, h) = (img.width(), img.height());
+    let mut acc = 0.0;
+    for (ky, row) in k.iter().enumerate() {
+        for (kx, &coeff) in row.iter().enumerate() {
+            if coeff == 0.0 {
+                continue;
+            }
+            let sx = (x + kx).saturating_sub(1).min(w - 1);
+            let sy = (y + ky).saturating_sub(1).min(h - 1);
+            sink.load(mem::at(mem::IN, sy * w + sx));
+            let p = img.get(sx, sy, band);
+            let t = sink.fmul(p, coeff);
+            acc = sink.fadd(acc, t);
+        }
+    }
+    acc
+}
+
+/// `vdiff` — differentiation using two N×N weighted operators (Sobel).
+///
+/// Two 3×3 convolutions per pixel plus an L1 gradient magnitude. Index
+/// arithmetic mixes a row-invariant `y·width` multiply (hits often) with a
+/// per-pixel offset multiply (mostly missing) — the address-pattern blend
+/// behind the paper's mid-range `imul` hit ratios.
+pub fn vdiff<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut bands = Vec::new();
+    for b in 0..input.bands() {
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let row = sink.imul(y as i64, w as i64);
+                let off = sink.imul(x as i64, input.bands() as i64);
+                let _ = row + off;
+                let gx = conv3(sink, input, b, x, y, &SOBEL_X);
+                let gy = conv3(sink, input, b, x, y, &SOBEL_Y);
+                sink.int_ops(2); // abs + add
+                let mag = gx.abs() + gy.abs();
+                sink.store(mem::at(mem::OUT, y * w + x));
+                sink.branch();
+                out.push(mag);
+            }
+        }
+        bands.push(out);
+    }
+    Image::new(w, h, PixelType::Float, bands).expect("vdiff preserves dimensions")
+}
+
+/// `vgef` — gradient edge finder (Table 4's "edge detection").
+///
+/// A Prewitt-style operator with an extra smoothing tap and a threshold;
+/// all multiplies, no divisions (the paper's Table 7 shows `-` for fdiv).
+pub fn vgef<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    const PREWITT_X: [[f64; 3]; 3] = [[-1.0, 0.0, 1.0], [-1.0, 0.0, 1.0], [-1.0, 0.0, 1.0]];
+    const PREWITT_Y: [[f64; 3]; 3] = [[-1.0, -1.0, -1.0], [0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
+    let (w, h) = (input.width(), input.height());
+    let threshold = 48.0;
+    let mut bands = Vec::new();
+    for b in 0..input.bands() {
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let _ = sink.imul(y as i64, w as i64);
+                let _ = sink.imul(x as i64, 3);
+                let gx = conv3(sink, input, b, x, y, &PREWITT_X);
+                let gy = conv3(sink, input, b, x, y, &PREWITT_Y);
+                // Edge energy: gx² + gy² compared against threshold².
+                let exx = sink.fmul(gx, gx);
+                let eyy = sink.fmul(gy, gy);
+                let e = sink.fadd(exx, eyy);
+                sink.branch(); // threshold test
+                let v = if e > threshold * threshold { 255.0 } else { 0.0 };
+                sink.store(mem::at(mem::OUT, y * w + x));
+                sink.branch();
+                out.push(v);
+            }
+        }
+        bands.push(out);
+    }
+    Image::new(w, h, PixelType::Float, bands).expect("vgef preserves dimensions")
+}
+
+/// `vgauss` — generates Gaussian distributions (Table 4).
+///
+/// Renders a grid of Gaussian blobs whose amplitudes are sampled from the
+/// input image. The exponent argument `d²/2σ²` divides a small set of
+/// integer squared-distances by a per-blob constant, and the exponential
+/// itself divides by the scaling constant — a highly repetitive division
+/// stream (the paper measures `vgauss` fdiv hit ratios of ~0.8).
+pub fn vgauss<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let cell = 16usize; // one blob per 16×16 cell
+    let radius = 5i64;
+    let sigmas = [1.5, 2.5, 4.0]; // small parameter set, as a generator tool would offer
+    let mut out = vec![0.0f64; w * h];
+
+    let mut blob = 0usize;
+    let mut cy = cell / 2;
+    while cy < h {
+        let mut cx = cell / 2;
+        while cx < w {
+            sink.load(mem::at(mem::IN, cy * w + cx));
+            let amplitude = input.get(cx, cy, 0) + 1.0;
+            let sigma = sigmas[blob % sigmas.len()];
+            let two_sigma2 = 2.0 * sigma * sigma;
+            // Separable rendering: one axis table per blob (the classic
+            // optimization — exp over the tiny alphabet of 1-D squared
+            // offsets divided by the per-blob spread).
+            let axis: Vec<f64> = (0..=radius)
+                .map(|d| {
+                    let z = sink.fdiv((d * d) as f64, two_sigma2);
+                    exp_approx(sink, -z)
+                })
+                .collect();
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let x = cx as i64 + dx;
+                    let y = cy as i64 + dy;
+                    if x < 0 || y < 0 || x as usize >= w || y as usize >= h {
+                        sink.annulled();
+                        continue;
+                    }
+                    sink.int_ops(3); // |dx|, |dy|, bounds arithmetic
+                    // Elliptical support test: small-integer d² over the
+                    // per-blob constant — a dense, repetitive division.
+                    let d2 = (dx * dx + dy * dy) as f64;
+                    let r2 = sink.fdiv(d2, two_sigma2);
+                    sink.branch();
+                    if r2 > 9.0 {
+                        continue;
+                    }
+                    // g = gx·gy from the axis tables: within a row gy is
+                    // fixed, so the multiplier sees ~radius distinct pairs.
+                    let g = sink.fmul(
+                        axis[dx.unsigned_abs() as usize],
+                        axis[dy.unsigned_abs() as usize],
+                    );
+                    let v = sink.fmul(amplitude, g);
+                    let idx = y as usize * w + x as usize;
+                    sink.load(mem::at(mem::OUT, idx));
+                    out[idx] += v;
+                    sink.store(mem::at(mem::OUT, idx));
+                    sink.branch();
+                }
+            }
+            blob += 1;
+            cx += cell;
+        }
+        cy += cell;
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vgauss preserves dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_imaging::rng::SplitMix64;
+    use memo_imaging::synth;
+    use memo_sim::{CountingSink, NullSink};
+
+    fn input() -> Image {
+        let mut rng = SplitMix64::new(23);
+        synth::plasma(32, 32, 0.8, &mut rng)
+    }
+
+    #[test]
+    fn vdiff_detects_a_vertical_edge() {
+        // Left half 0, right half 200: Sobel-x fires along the boundary.
+        let img = Image::from_fn_byte(16, 8, |x, _| if x < 8 { 0 } else { 200 });
+        let out = vdiff(&mut NullSink, &img);
+        assert!(out.get(8, 4, 0) > out.get(2, 4, 0));
+        assert!(out.get(8, 4, 0) > out.get(14, 4, 0));
+    }
+
+    #[test]
+    fn vdiff_is_flat_on_constant_images() {
+        let img = Image::from_fn_byte(12, 12, |_, _| 77);
+        let out = vdiff(&mut NullSink, &img);
+        assert!(out.samples().all(|s| s == 0.0));
+    }
+
+    #[test]
+    fn vgef_binarizes() {
+        let out = vgef(&mut NullSink, &input());
+        assert!(out.samples().all(|s| s == 0.0 || s == 255.0));
+    }
+
+    #[test]
+    fn vgef_has_no_divisions() {
+        let mut sink = CountingSink::new();
+        vgef(&mut sink, &input());
+        assert_eq!(sink.mix().fp_div, 0, "Table 7 shows '-' for vgef fdiv");
+        assert!(sink.mix().int_mul > 0);
+    }
+
+    #[test]
+    fn vgauss_renders_blobs() {
+        let out = vgauss(&mut NullSink, &input());
+        // Blob centers (8,8), (24,8)… must dominate far-field points.
+        assert!(out.get(8, 8, 0) > out.get(0, 0, 0));
+        assert!(out.get(8, 8, 0) > 0.0);
+    }
+
+    #[test]
+    fn vgauss_emits_no_integer_multiplies() {
+        let mut sink = CountingSink::new();
+        vgauss(&mut sink, &input());
+        assert_eq!(sink.mix().int_mul, 0, "Table 7 shows '-' for vgauss imul");
+        assert!(sink.mix().fp_div > 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! Frequency-domain applications: `vbrf` (band-reject) and `vbpf`
+//! (band-pass).
+//!
+//! Both run a real radix-2 FFT along each image row, apply a frequency
+//! mask, and transform back. FFT butterflies multiply twiddle factors into
+//! continuously varying spectral data — nearly unmemoizable (the paper
+//! measures an fmul hit ratio of 0.01 for `vbrf`) — while the surrounding
+//! windowing / fixed-point stages reuse heavily, which is how `vbpf`
+//! reaches 0.54.
+
+use memo_imaging::{Image, PixelType};
+use memo_sim::EventSink;
+
+use crate::mem;
+
+/// Complex multiply-accumulate butterfly over one stage pair.
+fn butterfly<S: EventSink + ?Sized>(
+    sink: &mut S,
+    a: (f64, f64),
+    b: (f64, f64),
+    w: (f64, f64),
+) -> ((f64, f64), (f64, f64)) {
+    // t = w · b (4 multiplies, 2 adds)
+    let rr = sink.fmul(w.0, b.0);
+    let ii = sink.fmul(w.1, b.1);
+    let ri = sink.fmul(w.0, b.1);
+    let ir = sink.fmul(w.1, b.0);
+    let tr = sink.fsub(rr, ii);
+    let ti = sink.fadd(ri, ir);
+    let a_re = sink.fadd(a.0, tr);
+    let a_im = sink.fadd(a.1, ti);
+    let b_re = sink.fsub(a.0, tr);
+    let b_im = sink.fsub(a.1, ti);
+    ((a_re, a_im), (b_re, b_im))
+}
+
+/// In-place iterative radix-2 FFT (decimation in time).
+///
+/// `data.len()` must be a power of two. Twiddle factors come from a
+/// precomputed table (charged as loads, like the sine tables real DSP
+/// codes index). With `quantum = Some(q)` the transform runs in
+/// fixed-point mode: twiddles and butterfly outputs are rounded to the
+/// grid `q` — the block-floating-point FFT of 90s DSP pipelines, whose
+/// small operand alphabet is what makes `vbpf` memoizable.
+fn fft<S: EventSink + ?Sized>(
+    sink: &mut S,
+    data: &mut [(f64, f64)],
+    inverse: bool,
+    quantum: Option<f64>,
+) {
+    let n = data.len();
+    debug_assert!(n.is_power_of_two());
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        sink.int_ops(2);
+        if (j as usize) > i {
+            data.swap(i, j as usize);
+        }
+    }
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * std::f64::consts::TAU / len as f64;
+        for start in (0..n).step_by(len) {
+            for k in 0..len / 2 {
+                sink.load(mem::at(mem::SCRATCH, k)); // twiddle table
+                let mut w = ((ang * k as f64).cos(), (ang * k as f64).sin());
+                if quantum.is_some() {
+                    // Fixed-point twiddle table (1/64 steps is typical).
+                    w = ((w.0 * 64.0).round() / 64.0, (w.1 * 64.0).round() / 64.0);
+                }
+                let (a, b) = (data[start + k], data[start + k + len / 2]);
+                sink.load(mem::at(mem::AUX, start + k));
+                sink.load(mem::at(mem::AUX, start + k + len / 2));
+                let (mut na, mut nb) = butterfly(sink, a, b, w);
+                if let Some(q) = quantum {
+                    na = ((na.0 / q).round() * q, (na.1 / q).round() * q);
+                    nb = ((nb.0 / q).round() * q, (nb.1 / q).round() * q);
+                    sink.int_ops(4);
+                }
+                data[start + k] = na;
+                data[start + k + len / 2] = nb;
+                sink.store(mem::at(mem::AUX, start + k));
+                sink.store(mem::at(mem::AUX, start + k + len / 2));
+                sink.branch();
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Shared row-filter driver. `keep` decides which frequency bins survive;
+/// `quantum` switches the whole pipeline into fixed-point mode (windowing,
+/// butterflies, spectrum and the final scaling all operate on a small
+/// value grid, making the streams memoizable).
+fn row_filter<S: EventSink + ?Sized>(
+    sink: &mut S,
+    input: &Image,
+    keep: impl Fn(usize, usize) -> bool,
+    windowed: bool,
+    quantum: Option<f64>,
+) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let n = w.next_power_of_two().max(8);
+    // Quantized Hann window — a small coefficient set over byte pixels.
+    let window: Vec<f64> = (0..n)
+        .map(|i| {
+            let raw = 0.5 - 0.5 * (std::f64::consts::TAU * i as f64 / n as f64).cos();
+            (raw * 16.0).round() / 16.0
+        })
+        .collect();
+
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h {
+        let mut row: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for (x, &win) in window.iter().enumerate() {
+            let p = if x < w {
+                sink.load(mem::at(mem::IN, y * w + x));
+                input.get(x, y, 0)
+            } else {
+                0.0
+            };
+            let v = if windowed {
+                sink.load(mem::at(mem::SCRATCH, x));
+                sink.fmul(p, win)
+            } else {
+                p
+            };
+            row.push((v, 0.0));
+            sink.int_ops(1);
+        }
+        fft(sink, &mut row, false, quantum);
+        for (k, bin) in row.iter_mut().enumerate() {
+            let _ = sink.imul(y as i64, n as i64); // row base (hits)
+            let _ = sink.imul(y as i64, 2 * n as i64); // output row base (hits)
+            let _ = sink.imul(k as i64, 2); // complex-pair offset (misses)
+            sink.branch();
+            if !keep(k, n) {
+                // Mask multiply by zero: trivial, detected before the table.
+                bin.0 = sink.fmul(bin.0, 0.0);
+                bin.1 = sink.fmul(bin.1, 0.0);
+            }
+        }
+        if quantum.is_some() {
+            for bin in row.iter_mut() {
+                sink.int_ops(2);
+                bin.0 = bin.0.round();
+                bin.1 = bin.1.round();
+            }
+        }
+        fft(sink, &mut row, true, quantum);
+        for (x, bin) in row.iter().take(w).enumerate() {
+            // Inverse-FFT normalization: divide by the constant N.
+            let v = sink.fdiv(bin.0, n as f64);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            out.push(v);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("row filter preserves dimensions")
+}
+
+/// `vbrf` — band-reject filtering in the frequency domain (Table 4).
+///
+/// Rejects the middle octave of row frequencies. Raw floating-point
+/// pipeline: almost nothing repeats (fmul hit ≈ 0.01 in Table 7).
+pub fn vbrf<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    row_filter(
+        sink,
+        input,
+        |k, n| {
+            let f = k.min(n - k); // fold to positive frequency
+            !(n / 8..n / 3).contains(&f)
+        },
+        false,
+        None,
+    )
+}
+
+/// `vbpf` — band-pass filtering in the frequency domain (Table 4).
+///
+/// Keeps the low-mid band. The quantized analysis window and fixed-point
+/// spectrum give the multiplier and divider repetitive operand streams.
+pub fn vbpf<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    row_filter(
+        sink,
+        input,
+        |k, n| {
+            let f = k.min(n - k);
+            (n / 16..n / 4).contains(&f) || f == 0
+        },
+        true,
+        Some(0.0625),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_imaging::rng::SplitMix64;
+    use memo_imaging::synth;
+    use memo_sim::{CountingSink, NullSink};
+
+    #[test]
+    fn fft_roundtrip_recovers_signal() {
+        let mut sink = NullSink;
+        let src: Vec<(f64, f64)> =
+            (0..16).map(|i| ((i as f64 * 0.7).sin() * 10.0, 0.0)).collect();
+        let mut data = src.clone();
+        fft(&mut sink, &mut data, false, None);
+        fft(&mut sink, &mut data, true, None);
+        for (orig, got) in src.iter().zip(&data) {
+            assert!((orig.0 - got.0 / 16.0).abs() < 1e-9);
+            assert!((got.1 / 16.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut sink = NullSink;
+        let mut data = vec![(0.0, 0.0); 8];
+        data[0] = (1.0, 0.0);
+        fft(&mut sink, &mut data, false, None);
+        for bin in &data {
+            assert!((bin.0 - 1.0).abs() < 1e-12 && bin.1.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vbrf_preserves_dc() {
+        let img = memo_imaging::Image::from_fn_byte(16, 4, |_, _| 100);
+        let out = vbrf(&mut NullSink, &img);
+        // A constant image is pure DC: the reject band leaves it intact.
+        for x in 0..16 {
+            assert!((out.get(x, 2, 0) - 100.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn vbrf_attenuates_mid_band() {
+        // A mid-frequency cosine lands in the reject band [n/8, n/3).
+        let img = memo_imaging::Image::from_fn_byte(32, 4, |x, _| {
+            (128.0 + 100.0 * (std::f64::consts::TAU * 8.0 * x as f64 / 32.0).cos()) as u8
+        });
+        let out = vbrf(&mut NullSink, &img);
+        let energy: f64 = (0..32).map(|x| (out.get(x, 1, 0) - 128.0).powi(2)).sum();
+        let input_energy: f64 = (0..32).map(|x| (img.get(x, 1, 0) - 128.0).powi(2)).sum();
+        assert!(energy < input_energy * 0.1, "rejected: {energy} vs {input_energy}");
+    }
+
+    #[test]
+    fn vbpf_rejects_dc_ripple_less_than_band() {
+        let mut rng = SplitMix64::new(47);
+        let img = synth::noise(32, 8, 256, &mut rng);
+        let out = vbpf(&mut NullSink, &img);
+        assert_eq!((out.width(), out.height()), (32, 8));
+    }
+
+    #[test]
+    fn filters_emit_the_expected_mix() {
+        let mut rng = SplitMix64::new(53);
+        let img = synth::noise(32, 8, 64, &mut rng);
+        let mut s = CountingSink::new();
+        vbrf(&mut s, &img);
+        let brf = s.mix();
+        assert!(brf.fp_mul > 0 && brf.fp_div > 0 && brf.int_mul > 0);
+
+        let mut s = CountingSink::new();
+        vbpf(&mut s, &img);
+        let bpf = s.mix();
+        assert!(bpf.fp_mul > brf.fp_mul, "vbpf adds windowing multiplies");
+    }
+}

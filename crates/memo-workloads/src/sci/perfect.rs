@@ -1,0 +1,380 @@
+//! The nine Perfect Club stand-in kernels (Table 2 / Table 5).
+
+use memo_imaging::rng::SplitMix64;
+use memo_sim::EventSink;
+
+use crate::math::newton_sqrt;
+use crate::mem;
+
+/// Number of simulated timesteps / sweeps; enough for cross-sweep operand
+/// recurrence to show up in an unbounded table.
+const STEPS: usize = 4;
+
+/// Initial smooth field: a quantized double-sine, giving a mix of repeated
+/// and distinct cell values like a discretized physical initial condition.
+fn init_field(n: usize, seed: u64, quantum: f64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    let mut field = Vec::with_capacity(n * n);
+    for y in 0..n {
+        for x in 0..n {
+            let v = (x as f64 * 0.37).sin() * (y as f64 * 0.29).cos() * 40.0
+                + rng.next_range(-2.0, 2.0);
+            field.push(if quantum > 0.0 { (v / quantum).round() * quantum } else { v });
+        }
+    }
+    field
+}
+
+/// ADM — air-pollution transport (advection–diffusion on a 2-D grid).
+///
+/// Table 5 row: imul .98/.99, fmul .13/.41, fdiv .15/.56. The innermost
+/// loop re-multiplies the row index (near-perfect imul reuse); the
+/// diffusion coefficients come from a handful of stability classes
+/// (32-entry fp hits) plus a per-cell emission array multiplied by the
+/// constant timestep (unbounded-table hits only).
+pub fn adm<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let dt = 0.05;
+    // Eight stability classes — quantized diffusivities.
+    let classes = [0.10, 0.12, 0.15, 0.18, 0.22, 0.26, 0.30, 0.35];
+    let mut c = init_field(n, 0xAD0, 0.5);
+    let emission: Vec<f64> = init_field(n, 0xAD1, 0.25);
+    for _ in 0..STEPS {
+        let mut next = c.clone();
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                // Row-index multiply: identical operands across the row.
+                let row = sink.imul(y as i64, n as i64) as usize;
+                let i = row + x;
+                for d in [i - 1, i + 1, i - n, i + n, i] {
+                    sink.load(mem::at(mem::IN, d));
+                }
+                let lap = c[i - 1] + c[i + 1] + c[i - n] + c[i + n] - 4.0 * c[i];
+                sink.int_ops(4);
+                // Quantized class coefficient (one stability class per
+                // latitude row): dense 32-entry reuse.
+                let k = classes[y % classes.len()];
+                let lap_q = (lap / 2.0).round() * 2.0;
+                let diff = sink.fmul(lap_q, k);
+                // Per-cell emission × constant dt: recurs only across steps.
+                let emit = sink.fmul(emission[i], dt);
+                // Evolving advection term: effectively unique operands.
+                let adv = sink.fmul(c[i], 0.003 + c[i - 1] * 1e-6);
+                let dc1 = sink.fadd(diff, emit);
+                let dc = sink.fsub(dc1, adv);
+                // Deposition: divide quantized concentration by class constant.
+                let cq = (c[i] / 4.0).round() * 4.0;
+                let dep = sink.fdiv(cq, 1.0 + k);
+                let upd = sink.fsub(dc, dep);
+                next[i] = c[i] + upd * 0.01;
+                sink.store(mem::at(mem::OUT, i));
+                sink.branch();
+            }
+        }
+        c = next;
+    }
+}
+
+/// QCD — lattice-gauge Monte Carlo.
+///
+/// Table 5 row: essentially nothing repeats (imul .02/.07, fp ≈ 0): every
+/// operand is a fresh pseudo-random link value.
+pub fn qcd<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut rng = SplitMix64::new(0x9CD);
+    let mut action = 0.0f64;
+    for _ in 0..STEPS {
+        for site in 0..n * n {
+            sink.load(mem::at(mem::IN, site));
+            // Random integer offsets: imul operands rarely coincide.
+            let a = rng.next_below(997) as i64;
+            let b = rng.next_below(991) as i64;
+            let _ = sink.imul(a, b);
+            // Fresh random link values: fp operands never repeat.
+            let u = rng.next_range(-1.0, 1.0);
+            let v = rng.next_range(-1.0, 1.0);
+            let plaq = sink.fmul(u, v);
+            let staple = sink.fmul(plaq, 0.5 + rng.next_f64());
+            let w = 1.0 + staple.abs();
+            let boltz = sink.fdiv(plaq, w);
+            action = sink.fadd(action, boltz);
+            sink.int_ops(3);
+            sink.branch();
+        }
+    }
+}
+
+/// MDG — liquid-water molecular dynamics.
+///
+/// Table 5 row: no integer multiplies at all; fp hit ratios ≈ 0 even
+/// unbounded — continuously moving particle coordinates.
+pub fn mdg<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let molecules = (n * 2).max(16);
+    let mut rng = SplitMix64::new(0x3D6);
+    let mut pos: Vec<(f64, f64)> =
+        (0..molecules).map(|_| (rng.next_range(0.0, 10.0), rng.next_range(0.0, 10.0))).collect();
+    let mut vel: Vec<(f64, f64)> = vec![(0.0, 0.0); molecules];
+    let dt = 1e-3;
+    for _ in 0..STEPS {
+        for i in 0..molecules {
+            let (mut fx, mut fy) = (0.0, 0.0);
+            for j in 0..molecules {
+                if i == j {
+                    sink.annulled();
+                    continue;
+                }
+                sink.load(mem::at(mem::IN, j));
+                let dx = sink.fsub(pos[i].0, pos[j].0);
+                let dy = sink.fsub(pos[i].1, pos[j].1);
+                let dx2 = sink.fmul(dx, dx);
+                let dy2 = sink.fmul(dy, dy);
+                let r2 = sink.fadd(dx2, dy2).max(0.25);
+                // Lennard-Jones-ish 1/r² force kernel: unique operands.
+                let inv = sink.fdiv(1.0, r2);
+                let inv2 = sink.fmul(inv, inv);
+                let mag = sink.fsub(inv2, inv);
+                fx += mag * dx;
+                fy += mag * dy;
+                sink.int_ops(2);
+                sink.branch();
+            }
+            vel[i].0 = sink.fadd(vel[i].0, fx * dt);
+            vel[i].1 = sink.fadd(vel[i].1, fy * dt);
+            pos[i].0 += vel[i].0 * dt;
+            pos[i].1 += vel[i].1 * dt;
+            sink.store(mem::at(mem::OUT, i));
+        }
+    }
+}
+
+/// TRACK — missile tracking (α–β filter over quantized radar returns).
+///
+/// Table 5 row: imul .98 (per-target strides), fp mult .17/.46, fdiv
+/// .09/**.89** — the innovation divisors come from sensor-quantized
+/// measurements, so the same divisions recur scan after scan even though a
+/// 32-entry table can't hold a whole scan.
+pub fn track<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let targets = n.max(8);
+    let scans = STEPS * 8;
+    let mut rng = SplitMix64::new(0x7AC);
+    // Fixed trajectories; measurements quantized to the radar's 0.5-unit bins.
+    let traj: Vec<(f64, f64)> =
+        (0..targets).map(|_| (rng.next_range(0.0, 50.0), rng.next_range(0.5, 2.0))).collect();
+    let mut est: Vec<(f64, f64)> = traj.iter().map(|&(p, _)| (p, 1.0)).collect();
+    let (alpha, beta) = (0.85, 0.005);
+    let mut noise = SplitMix64::new(0x7AD);
+    for scan in 0..scans {
+        for (t, &(p0, v)) in traj.iter().enumerate() {
+            let row = sink.imul(t as i64, 8);
+            let _ = row;
+            sink.load(mem::at(mem::IN, t));
+            // Radar noise keeps the innovation alphabet wide within a scan
+            // (low 32-entry reuse) while quantization still lets the same
+            // measurements recur across the mission (high unbounded reuse).
+            let truth = p0 + v * scan as f64 + noise.next_range(-6.0, 6.0);
+            let meas = (truth * 2.0).round() / 2.0; // quantized return
+            let predicted = sink.fadd(est[t].0, est[t].1);
+            let innov = sink.fsub(meas, predicted);
+            let innov_q = (innov * 2.0).round() / 2.0;
+            // Normalized innovation: quantized ÷ quantized gate size.
+            let gate = 0.5 + (t % 4) as f64 * 0.25;
+            let norm = sink.fdiv(innov_q, gate);
+            let ag = sink.fmul(alpha, innov);
+            let bg = sink.fmul(beta, innov);
+            let _ = norm;
+            est[t].0 = sink.fadd(predicted, ag);
+            est[t].1 = sink.fadd(est[t].1, bg);
+            sink.store(mem::at(mem::OUT, t));
+            sink.int_ops(3);
+            sink.branch();
+        }
+    }
+}
+
+/// OCEAN — 2-D ocean circulation (Jacobi relaxation of a streamfunction).
+///
+/// Table 5 row: imul .15/.99 (inner-index multiplies, recurring only
+/// across sweeps), fmul .03/.30, fdiv .03/**.99** (per-cell diagonal
+/// divisors, fixed for the whole run).
+pub fn ocean<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut psi = init_field(n, 0x0CEA, 0.0);
+    let rhs = init_field(n, 0x0CEB, 1.0);
+    // Per-cell diagonal coefficients: computed once, divided by every sweep.
+    let diag: Vec<f64> = (0..n * n).map(|i| 4.0 + 0.01 * (i % 37) as f64).collect();
+    for _ in 0..STEPS {
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let i = y * n + x;
+                // Global-index multiply: the pair changes every iteration
+                // and only recurs on the next full sweep.
+                let _ = sink.imul(i as i64, 8);
+                for d in [i - 1, i + 1, i - n, i + n] {
+                    sink.load(mem::at(mem::IN, d));
+                }
+                let sum = psi[i - 1] + psi[i + 1] + psi[i - n] + psi[i + n];
+                sink.int_ops(3);
+                let relax = sink.fmul(psi[i], 0.1 + psi[i - 1] * 1e-7);
+                let res = sink.fsub(sum + rhs[i], relax);
+                // Division by the per-cell diagonal: recurs across sweeps…
+                let q = (res / 8.0).round() * 8.0;
+                let upd = sink.fdiv(q, diag[i]);
+                psi[i] = psi[i] * 0.999 + upd * 1e-3;
+                sink.store(mem::at(mem::OUT, i));
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// ARC2D — supersonic-reentry 2-D Euler stencil.
+///
+/// Table 5 row: imul .94, fmul .15/.45, fdiv .23/.26 — metric terms from a
+/// small set of grid-stretching factors (32-entry hits), plus per-cell
+/// Jacobian factors (unbounded hits), over an evolving state.
+pub fn arc2d<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let stretch = [1.0, 1.05, 1.1, 1.2, 1.35, 1.5];
+    let mut q = init_field(n, 0xA2C, 0.25);
+    let jac = init_field(n, 0xA2D, 0.125);
+    for _ in 0..STEPS {
+        let prev = q.clone();
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let row = sink.imul(y as i64, n as i64) as usize;
+                let i = row + x;
+                if x % 16 == 0 {
+                    let _ = sink.imul(i as i64, 8); // occasional scattered access
+                }
+                sink.load(mem::at(mem::IN, i));
+                sink.load(mem::at(mem::IN, i + 1));
+                // Quantized metric coefficient × quantized difference (the
+                // grid-stretching class is per row).
+                let m = stretch[y % stretch.len()];
+                let dq = ((prev[i + 1] - prev[i - 1]) / 2.0).round() * 2.0;
+                let flux = sink.fmul(dq, m);
+                // Per-cell Jacobian × constant CFL factor.
+                let jf = sink.fmul(jac[i], 0.45);
+                // Evolving nonlinear term.
+                let nl = sink.fmul(prev[i], prev[i + n] * 1e-3 + 0.2);
+                // Pressure ratio: quantized difference over a metric class.
+                let pr = sink.fdiv(dq, 1.0 + m);
+                // Sound-speed-like division on evolving data.
+                let _ = sink.fdiv(nl, 1.0 + prev[i].abs());
+                let t1 = sink.fadd(flux, jf);
+                let t2 = sink.fadd(nl, pr);
+                let upd = sink.fsub(t1, t2);
+                q[i] = prev[i] + upd * 5e-3;
+                sink.store(mem::at(mem::OUT, i));
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// FLO52 — transonic-flow multigrid Euler solver.
+///
+/// Table 5 row: imul .86, fmul .02/.11, fdiv .06/.20 — almost entirely
+/// evolving-state arithmetic; only sparse boundary work repeats.
+pub fn flo52<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut w = init_field(n, 0xF10, 0.0);
+    for step in 0..STEPS {
+        for y in 1..n - 1 {
+            for x in 1..n - 1 {
+                let row = sink.imul(y as i64, n as i64) as usize;
+                let i = row + x;
+                if x % 8 == 0 {
+                    let _ = sink.imul(i as i64, 8);
+                }
+                sink.load(mem::at(mem::IN, i));
+                let avg = (w[i - 1] + w[i + 1] + w[i - n] + w[i + n]) * 0.25;
+                sink.int_ops(3);
+                // Continuously evolving products and quotients.
+                let visc = sink.fmul(avg, w[i] * 1e-4 + 0.3);
+                let speed = sink.fdiv(visc, 1.0 + avg.abs());
+                // Occasional boundary-class work (repeats): only on edges.
+                if x == 1 || x == n - 2 {
+                    let bq = ((w[i] / 8.0).round()) * 8.0;
+                    let _ = sink.fmul(bq, 0.5);
+                    let _ = sink.fdiv(bq, 2.5);
+                }
+                w[i] += (speed - w[i] * 1e-3) * (0.01 + step as f64 * 1e-4);
+                sink.store(mem::at(mem::OUT, i));
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// TRFD — two-electron integral transformation.
+///
+/// Table 5 row: fdiv **.85**/.99 — the transformation divides by products
+/// of small integer indices `(i+j+2)` over and over; imul .60 from the
+/// index products themselves.
+pub fn trfd<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let basis = n.clamp(8, 24);
+    let mut acc = 0.0f64;
+    for _pass in 0..STEPS {
+        for i in 0..basis {
+            for j in 0..basis {
+                // Index products: the row factor repeats all along the
+                // inner loop, the pair product does not.
+                let _ = sink.imul((i + 1) as i64, basis as i64);
+                let ij = sink.imul((i + 1) as i64, (j + 1) as i64);
+                sink.load(mem::at(mem::IN, i * basis + j));
+                // Integral estimate: tiny integer alphabets — the paper's
+                // 0.85 fdiv hit ratio comes from exactly this index
+                // arithmetic recurring inside the transform's inner loops.
+                let numer = (((i + j) % 8) + 1) as f64;
+                let denom = ((j % 4) + 2) as f64;
+                let term = sink.fdiv(numer, denom);
+                // Contraction with a quantized coefficient.
+                let coeff = ((ij % 16) + 1) as f64 * 0.125;
+                let contrib = sink.fmul(term, coeff);
+                acc = sink.fadd(acc, contrib);
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// SPEC77 — spectral global weather model.
+///
+/// Table 5 row: imul .06 (fast-changing spectral indices), fmul .28/.37,
+/// fdiv .01/.15 — quantized Legendre-like coefficients multiply evolving
+/// spectral amplitudes.
+pub fn spec77<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let modes = n.max(8);
+    let mut rng = SplitMix64::new(0x577);
+    // Small set of quantized basis coefficients.
+    let legendre: Vec<f64> = (0..12).map(|k| ((k * k) as f64 / 12.0).round() / 4.0 + 0.25).collect();
+    let mut amp: Vec<f64> = (0..modes * modes).map(|_| rng.next_range(-1.0, 1.0)).collect();
+    for step in 0..STEPS {
+        for m in 0..modes {
+            for k in 0..modes {
+                let idx = m * modes + k;
+                // Spectral indices change every iteration: near-zero imul
+                // reuse in a small table, full reuse across timesteps.
+                let _ = sink.imul(idx as i64, 16);
+                sink.load(mem::at(mem::IN, idx));
+                // Quantized coefficient × quantized wavenumber factor: reuses.
+                let c = legendre[k % legendre.len()];
+                let wn = ((k % 4) + 1) as f64;
+                let cw = sink.fmul(c, wn);
+                // Evolving amplitude update: unique.
+                let tend = sink.fmul(amp[idx], 0.98 + step as f64 * 1e-3);
+                let flux = sink.fdiv(tend, 1.0 + amp[idx].abs() * 0.5);
+                amp[idx] = cw * 1e-3 + tend * 0.9 + flux * 0.01;
+                sink.store(mem::at(mem::OUT, idx));
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+    // Final energy norm.
+    let e2: f64 = amp.iter().map(|a| a * a).sum();
+    let _ = newton_sqrt(sink, e2.max(1e-12), 2);
+}

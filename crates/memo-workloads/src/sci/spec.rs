@@ -1,0 +1,353 @@
+//! The ten SPEC CFP95 stand-in kernels (Table 3 / Table 6).
+
+use memo_imaging::rng::SplitMix64;
+use memo_sim::EventSink;
+
+use crate::math::newton_sqrt;
+use crate::mem;
+
+const STEPS: usize = 4;
+
+fn init(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SplitMix64::new(seed);
+    (0..n * n)
+        .map(|i| ((i % 17) as f64 * 0.3).sin() * 20.0 + rng.next_range(-1.0, 1.0))
+        .collect()
+}
+
+/// tomcatv — vectorized mesh generation.
+///
+/// Table 6 row: imul .14/.99, fmul .01/.16, fdiv ≈ 0 everywhere — mesh
+/// coordinates relax continuously; virtually nothing repeats.
+pub fn tomcatv<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut xs = init(n, 0x70C0);
+    let mut ys = init(n, 0x70C1);
+    for _ in 0..STEPS {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let c = j * n + i;
+                // Mesh-point index arithmetic: both operands change every
+                // iteration (low small-table reuse, full cross-sweep reuse).
+                let _ = sink.imul(c as i64, 8);
+                sink.load(mem::at(mem::IN, c));
+                sink.load(mem::at(mem::AUX, c));
+                // Jacobian terms of the continuously relaxing mesh.
+                let xe = sink.fsub(xs[c + 1], xs[c - 1]);
+                let ye = sink.fsub(ys[c + 1], ys[c - 1]);
+                let a = sink.fmul(xe, xe);
+                let b = sink.fmul(ye, ye);
+                let alpha = sink.fadd(a, b);
+                let res = sink.fdiv(xe, 1.0 + alpha.abs());
+                xs[c] += res * 1e-3;
+                ys[c] += alpha * 1e-6;
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(3);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// swim — shallow-water equations.
+///
+/// Table 6 row: no imul; fmul .16/**.93**, fdiv .00/.74 — nearly every
+/// multiply is "array value × constant dt/dx", identical pairs every
+/// timestep (the paper's canonical unbounded-table success story).
+pub fn swim<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    // Quantized initial fields that the update rule perturbs only mildly,
+    // so most (value, constant) pairs recur across steps.
+    let mut u = init(n, 0x5317).iter().map(|v| (v * 2.0).round() / 2.0).collect::<Vec<_>>();
+    let mut h: Vec<f64> = init(n, 0x5318).iter().map(|v| (v * 2.0).round() / 2.0 + 50.0).collect();
+    let (dtdx, grav) = (0.125, 9.8125);
+    for _ in 0..STEPS {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let c = j * n + i;
+                sink.load(mem::at(mem::IN, c));
+                sink.load(mem::at(mem::AUX, c));
+                // Array × constant: the dominant, recurring multiply class.
+                let flux_u = sink.fmul(u[c], dtdx);
+                let flux_h = sink.fmul(h[c], dtdx);
+                let grad = sink.fmul(grav, h[c + 1] - h[c - 1]);
+                // Courant check: height over constant depth scale — the
+                // division stream that the unbounded table captures.
+                let cfl = sink.fdiv(h[c], 64.0);
+                let dun = sink.fsub(flux_u, grad * 1e-3);
+                // Tiny, quantized update keeps the value sets stable.
+                let du = (dun * 2.0).round() / 2.0;
+                u[c] += du * 0.5;
+                h[c] += ((flux_h + cfl) * 0.001 * 2.0).round() / 2.0;
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// su2cor — quantum-field Monte Carlo (the suite's integer-dominated
+/// member: Table 6 shows no fp multiply or divide at all).
+pub fn su2cor<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut rng = SplitMix64::new(0x5500);
+    let mut corr = 0.0f64;
+    for _ in 0..STEPS {
+        for site in 0..n * n {
+            sink.load(mem::at(mem::IN, site));
+            // Integer lattice arithmetic with mixed reuse.
+            let stride = sink.imul((site % (3 * n)) as i64, n as i64);
+            let spin = sink.imul((rng.next_below(4) as i64) - 2, (stride % 7) + 1);
+            corr = sink.fadd(corr, spin as f64);
+            sink.int_ops(4);
+            sink.branch();
+        }
+    }
+}
+
+/// hydro2d — Navier–Stokes with a flux limiter.
+///
+/// Table 6 row: fmul **.75**/.97, fdiv **.78**/.97 — the minmod-style
+/// limiter collapses flux ratios onto a tiny value set, so even a 32-entry
+/// table hits on three quarters of the fp traffic.
+pub fn hydro2d<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut rho: Vec<f64> = init(n, 0x42D0).iter().map(|v| (v / 4.0).round() * 4.0 + 30.0).collect();
+    for _ in 0..STEPS {
+        let prev = rho.clone();
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let c = j * n + i;
+                let _ = sink.imul(c as i64, 8);
+                sink.load(mem::at(mem::IN, c));
+                // Slope ratio of quantized differences: a tiny value set
+                // (the minmod limiter's whole point).
+                let dl = ((prev[c] - prev[c - 1]) / 8.0).round() * 8.0;
+                let dr = ((prev[c + 1] - prev[c]) / 8.0).round() * 8.0;
+                let r = if dr != 0.0 {
+                    sink.fdiv(dl, dr)
+                } else {
+                    sink.annulled();
+                    0.0
+                };
+                // Limiter output: clamped & quantized to eighths.
+                let phi = (r.clamp(0.0, 2.0) * 4.0).round() / 4.0;
+                let flux = sink.fmul(phi, dr);
+                // Quantized density over a constant sound speed.
+                let mach = sink.fdiv(prev[c], 8.0);
+                let visc = sink.fmul(flux, 0.25);
+                rho[c] = prev[c] + ((visc + mach * 1e-3) * 8.0).round() / 8.0 * 0.125;
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// mgrid — 3-D multigrid potential solver.
+///
+/// Table 6 row: imul .83, fmul .00/.01, **no divisions** — constant
+/// stencil weights times continuously varying field values: every multiply
+/// operand pair is effectively unique.
+pub fn mgrid<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut v = init(n, 0x36D0);
+    let weights = [0.5, 0.25, 0.125];
+    for _ in 0..STEPS {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let row = sink.imul(j as i64, n as i64) as usize;
+                let c = row + i;
+                if i % 4 == 0 {
+                    let _ = sink.imul(c as i64, 8); // residual-norm gather
+                }
+                for d in [c - 1, c + 1, c - n, c + n] {
+                    sink.load(mem::at(mem::IN, d));
+                }
+                // Constant weights × evolving residuals: unique pairs.
+                let r0 = sink.fmul(v[c], weights[0]);
+                let r1 = sink.fmul(v[c - 1] + v[c + 1], weights[1]);
+                let r2 = sink.fmul(v[c - n] + v[c + n], weights[2]);
+                let s1 = sink.fadd(r0, r1);
+                let sum = sink.fadd(s1, r2);
+                v[c] = v[c] * 0.9993 + sum * 1e-4;
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(3);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// applu — SSOR-based PDE solver.
+///
+/// Table 6 row: imul .97, fmul .25/.66, fdiv .25/.64 — quantized pivot
+/// classes plus per-cell factors over an evolving solution.
+pub fn applu<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let pivots = [1.5, 2.0, 2.5, 3.0, 4.0];
+    let mut u = init(n, 0xA991);
+    let factor = init(n, 0xA992);
+    for _ in 0..STEPS {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let row = sink.imul(j as i64, n as i64) as usize;
+                let c = row + i;
+                sink.load(mem::at(mem::IN, c));
+                // Quantized residual over a pivot class: 32-entry hits.
+                let rq = ((u[c - 1] + u[c + 1]) / 4.0).round() * 4.0;
+                let piv = pivots[j % pivots.len()];
+                let gs = sink.fdiv(rq, piv);
+                let wq = sink.fmul(rq, piv);
+                // Per-cell factor × constant relaxation: unbounded hits.
+                let fx = sink.fmul(factor[c], 1.2);
+                // Evolving terms: unique.
+                let nl = sink.fmul(u[c], 0.99 + u[c - n] * 1e-6);
+                let _ = sink.fdiv(nl, 1.0 + u[c].abs());
+                u[c] = u[c] * 0.999 + (gs + wq * 1e-3 + fx * 1e-3) * 1e-3;
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(2);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// turb3d — isotropic-turbulence pseudo-spectral step.
+///
+/// Table 6 row: imul .80, fmul .16/.86, fdiv .03/**.99** — wavenumber
+/// scalings recur exactly every step; the 1/k² divisions are per-mode
+/// constants captured only by the unbounded table.
+pub fn turb3d<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let mut spec = init(n, 0x7B3D);
+    // Per-mode wavenumber factors: fixed for the whole run.
+    let k2: Vec<f64> = (0..n * n).map(|i| 1.0 + ((i % n) * (i % n)) as f64).collect();
+    for step in 0..STEPS {
+        for m in 0..n * n {
+            let _ = sink.imul((m / n) as i64, n as i64);
+            if m % 4 == 0 {
+                let _ = sink.imul(m as i64, 16);
+            }
+            sink.load(mem::at(mem::IN, m));
+            // Mode amplitude × fixed wavenumber factor: recurs across steps
+            // while the amplitude is unchanged (the linear phase).
+            let lin = sink.fmul(spec[m], 1.0 - 1e-4 * (step % 2) as f64);
+            // Dissipation: amplitude over fixed k² — same pairs each step.
+            let diss = sink.fdiv(spec[m], k2[m]);
+            // Nonlinear convolution term: evolving, unique.
+            let nl = sink.fmul(spec[m], spec[(m + 1) % (n * n)] * 1e-3);
+            spec[m] = lin - diss * 1e-3 + nl * 1e-4;
+            // Keep most amplitudes exactly stable so pairs genuinely recur.
+            if m % 4 != 0 {
+                spec[m] = (spec[m] * 64.0).round() / 64.0;
+            }
+            sink.store(mem::at(mem::OUT, m));
+            sink.int_ops(2);
+            sink.branch();
+        }
+    }
+}
+
+/// apsi — mesoscale weather prediction.
+///
+/// Table 6 row: imul .95, fmul .16/.39, fdiv .13/.57 — lookup-table
+/// physics coefficients against evolving column state.
+pub fn apsi<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let n = n.max(8);
+    let lapse = [6.5, 7.0, 7.5, 8.0, 9.8]; // lapse-rate classes (K/km)
+    let mut t = init(n, 0xA951);
+    let pressure = init(n, 0xA952);
+    for _ in 0..STEPS {
+        for j in 1..n - 1 {
+            for i in 1..n - 1 {
+                let row = sink.imul(j as i64, n as i64) as usize;
+                let c = row + i;
+                sink.load(mem::at(mem::IN, c));
+                // Quantized temperature anomaly × lapse class.
+                let anom = ((t[c] - t[c - n]) / 2.0).round() * 2.0;
+                let lr = lapse[j % lapse.len()];
+                let adv = sink.fmul(anom, lr);
+                // Quantized anomaly over the lapse class.
+                let stab = sink.fdiv(anom, lr);
+                // Evolving radiation term.
+                let rad = sink.fmul(t[c], 0.002 + pressure[c] * 1e-6);
+                let _ = sink.fdiv(rad, 1.0 + t[c].abs() * 0.1);
+                t[c] += (adv * 1e-4 + stab * 1e-3 - rad * 1e-4).clamp(-0.5, 0.5);
+                sink.store(mem::at(mem::OUT, c));
+                sink.int_ops(3);
+                sink.branch();
+            }
+        }
+    }
+}
+
+/// fpppp — two-electron Gaussian integrals.
+///
+/// Table 6 row: imul .53, fmul .29/.55, fdiv .15/.62 — integer shell
+/// products and quantized contraction coefficients against continuous
+/// exponent arithmetic.
+pub fn fpppp<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let shells = n.clamp(8, 20);
+    let contraction = [0.25, 0.5, 0.75, 1.0, 1.25, 1.5];
+    let mut rng = SplitMix64::new(0xF999);
+    let exponents: Vec<f64> = (0..shells).map(|_| rng.next_range(0.2, 3.0)).collect();
+    let mut acc = 0.0f64;
+    for _ in 0..STEPS {
+        for i in 0..shells {
+            for j in 0..shells {
+                let _ = sink.imul(i as i64 + 1, shells as i64);
+                let ij = sink.imul(i as i64 + 1, j as i64 + 1);
+                sink.load(mem::at(mem::IN, i * shells + j));
+                // Continuous exponent combination: unique.
+                let zeta = sink.fadd(exponents[i], exponents[j]);
+                let overlap = sink.fmul(exponents[i], exponents[j]);
+                let ratio = sink.fdiv(overlap, zeta);
+                // Quantized contraction coefficient product: repeats.
+                let ci = contraction[i % contraction.len()];
+                let cj = contraction[j % contraction.len()];
+                let cc = sink.fmul(ci, cj);
+                // Normalization by small integer shell degeneracy.
+                let norm = sink.fdiv(cc, (ij % 8 + 1) as f64);
+                let integral = ratio * norm;
+                acc = sink.fadd(acc, integral);
+                sink.int_ops(3);
+                sink.branch();
+            }
+        }
+    }
+    let _ = newton_sqrt(sink, acc.abs().max(1e-12), 2);
+}
+
+/// wave5 — electromagnetic particle-in-cell.
+///
+/// Table 6 row: no imul; fmul .05/.11, fdiv .02/.16 — particle positions
+/// and field samples drift continuously; reuse is marginal everywhere.
+pub fn wave5<S: EventSink + ?Sized>(sink: &mut S, n: usize) {
+    let particles = (n * 4).max(32);
+    let mut rng = SplitMix64::new(0x3A7E);
+    let mut pos: Vec<f64> = (0..particles).map(|_| rng.next_range(0.0, n as f64)).collect();
+    let mut vel: Vec<f64> = (0..particles).map(|_| rng.next_range(-1.0, 1.0)).collect();
+    let field = init(n.max(8), 0x3A7F);
+    let nn = n.max(8);
+    for _ in 0..STEPS {
+        for p in 0..particles {
+            sink.load(mem::at(mem::IN, p));
+            let cell = (pos[p] as usize).min(nn - 1);
+            sink.load(mem::at(mem::AUX, cell));
+            // Field interpolation & Lorentz push: continuous operands.
+            let frac = pos[p] - pos[p].floor();
+            let e0 = field[cell * nn % (nn * nn)];
+            let accel = sink.fmul(e0, 1.0 - frac);
+            let drag = sink.fdiv(vel[p], 1.0 + vel[p].abs());
+            vel[p] += (accel - drag) * 1e-3;
+            let dv = sink.fmul(vel[p], 0.01);
+            pos[p] = (pos[p] + dv).rem_euclid(nn as f64);
+            sink.store(mem::at(mem::OUT, p));
+            sink.int_ops(3);
+            sink.branch();
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! Suite-level measurement drivers: run applications over their input
+//! sets and collect the statistics the paper's tables report.
+
+use memo_imaging::synth::{self, CorpusImage};
+use memo_imaging::Image;
+use memo_sim::{CpuModel, CycleAccountant, CycleReport, Event, EventSink, MemoBank, MemoryHierarchy};
+use memo_table::{MemoStats, OpKind};
+
+use crate::mm::MmApp;
+use crate::sci::SciApp;
+
+/// An [`EventSink`] that routes multi-cycle operations into a [`MemoBank`]
+/// and discards everything else — the fast path for pure hit-ratio
+/// experiments (Tables 5–10, Figures 2–4), where cycle accounting is not
+/// needed.
+#[derive(Debug)]
+pub struct MemoProbeSink {
+    bank: MemoBank,
+}
+
+impl MemoProbeSink {
+    /// Probe through the given bank.
+    #[must_use]
+    pub fn new(bank: MemoBank) -> Self {
+        MemoProbeSink { bank }
+    }
+
+    /// The bank, for reading statistics.
+    #[must_use]
+    pub fn bank(&self) -> &MemoBank {
+        &self.bank
+    }
+
+    /// Consume the sink and return its bank.
+    #[must_use]
+    pub fn into_bank(self) -> MemoBank {
+        self.bank
+    }
+}
+
+impl EventSink for MemoProbeSink {
+    fn record(&mut self, event: Event) {
+        if let Event::Arith(op) = event {
+            self.bank.execute(op);
+        }
+    }
+}
+
+/// Hit ratios per operation kind; `None` mirrors the paper's `-` cells
+/// (the application never issues that operation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HitRatios {
+    /// Integer multiplication hit ratio.
+    pub int_mul: Option<f64>,
+    /// Floating-point multiplication hit ratio.
+    pub fp_mul: Option<f64>,
+    /// Floating-point division hit ratio.
+    pub fp_div: Option<f64>,
+}
+
+impl HitRatios {
+    /// Extract the ratio for `kind`.
+    #[must_use]
+    pub fn get(&self, kind: OpKind) -> Option<f64> {
+        match kind {
+            OpKind::IntMul => self.int_mul,
+            OpKind::FpMul => self.fp_mul,
+            OpKind::FpDiv => self.fp_div,
+            OpKind::FpSqrt => None,
+        }
+    }
+
+    fn from_bank(bank: &MemoBank) -> Self {
+        let ratio = |kind| {
+            bank.stats(kind).and_then(|s: MemoStats| {
+                if s.table_lookups == 0 {
+                    None
+                } else {
+                    Some(s.lookup_hit_ratio())
+                }
+            })
+        };
+        HitRatios {
+            int_mul: ratio(OpKind::IntMul),
+            fp_mul: ratio(OpKind::FpMul),
+            fp_div: ratio(OpKind::FpDiv),
+        }
+    }
+}
+
+/// The image corpus an MM application is evaluated on (the paper ran each
+/// application "on 8 to 14 inputs"; we use the full 14-image Table 8
+/// corpus).
+#[must_use]
+pub fn mm_inputs(scale: usize) -> Vec<CorpusImage> {
+    synth::corpus(scale)
+}
+
+/// Run one MM application over `inputs` and report per-kind hit ratios
+/// from a fresh bank produced by `make_bank`.
+pub fn measure_mm_app(
+    app: &MmApp,
+    inputs: &[&Image],
+    make_bank: impl FnOnce() -> MemoBank,
+) -> HitRatios {
+    let mut sink = MemoProbeSink::new(make_bank());
+    for input in inputs {
+        app.run(&mut sink, input);
+    }
+    HitRatios::from_bank(sink.bank())
+}
+
+/// Run one scientific kernel at size `n` and report per-kind hit ratios.
+pub fn measure_sci_app(
+    app: &SciApp,
+    n: usize,
+    make_bank: impl FnOnce() -> MemoBank,
+) -> HitRatios {
+    let mut sink = MemoProbeSink::new(make_bank());
+    app.run(&mut sink, n);
+    HitRatios::from_bank(sink.bank())
+}
+
+/// Full cycle-level measurement of one MM application over its inputs —
+/// the machinery behind the paper's speedup tables (11–13).
+pub fn measure_mm_cycles(
+    app: &MmApp,
+    inputs: &[&Image],
+    cpu: CpuModel,
+    bank: MemoBank,
+) -> CycleReport {
+    let mut acc = CycleAccountant::new(cpu, MemoryHierarchy::typical_1997(), bank);
+    for input in inputs {
+        app.run(&mut acc, input);
+    }
+    acc.report()
+}
+
+/// Raw per-kind memo statistics after running an MM app over `inputs`.
+pub fn measure_mm_stats(
+    app: &MmApp,
+    inputs: &[&Image],
+    make_bank: impl FnOnce() -> MemoBank,
+) -> MemoBank {
+    let mut sink = MemoProbeSink::new(make_bank());
+    for input in inputs {
+        app.run(&mut sink, input);
+    }
+    sink.into_bank()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mm, sci};
+    use memo_table::MemoConfig;
+
+    fn small_inputs() -> Vec<Image> {
+        mm_inputs(16).into_iter().map(|c| c.image).take(4).collect()
+    }
+
+    #[test]
+    fn mm_hit_ratios_beat_sci_hit_ratios_at_32_entries() {
+        // The paper's central claim (Tables 5-7): MM applications reuse
+        // operands far better than scientific codes in a small table.
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().collect();
+
+        let mm_apps = ["vspatial", "vgauss", "vgpwl"];
+        let mut mm_div = Vec::new();
+        for name in mm_apps {
+            let app = mm::find(name).unwrap();
+            let r = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
+            if let Some(d) = r.fp_div {
+                mm_div.push(d);
+            }
+        }
+        let mm_avg = mm_div.iter().sum::<f64>() / mm_div.len() as f64;
+
+        let mut sci_div = Vec::new();
+        for app in sci::all_apps() {
+            let r = measure_sci_app(&app, 24, MemoBank::paper_default);
+            if let Some(d) = r.fp_div {
+                sci_div.push(d);
+            }
+        }
+        let sci_avg = sci_div.iter().sum::<f64>() / sci_div.len() as f64;
+
+        assert!(
+            mm_avg > sci_avg + 0.15,
+            "MM fdiv hit {mm_avg:.2} should clearly beat scientific {sci_avg:.2}"
+        );
+        assert!(mm_avg > 0.4, "MM suite fdiv average {mm_avg:.2}");
+    }
+
+    #[test]
+    fn infinite_bank_dominates_finite_bank() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().collect();
+        let app = mm::find("vcost").unwrap();
+        let finite = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
+        let infinite = measure_mm_app(&app, &input_refs, || {
+            MemoBank::infinite(&[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv])
+        });
+        for kind in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv] {
+            if let (Some(f), Some(i)) = (finite.get(kind), infinite.get(kind)) {
+                assert!(i + 1e-9 >= f, "{kind}: infinite {i:.3} >= finite {f:.3}");
+            }
+        }
+    }
+
+    #[test]
+    fn absent_ops_are_none() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().collect();
+        let app = mm::find("vgauss").unwrap();
+        let r = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
+        assert_eq!(r.int_mul, None, "vgauss has no imul (Table 7 '-')");
+        assert!(r.fp_div.is_some());
+    }
+
+    #[test]
+    fn cycle_measurement_produces_speedup() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
+        let app = mm::find("vspatial").unwrap();
+        let report = measure_mm_cycles(
+            &app,
+            &input_refs,
+            CpuModel::paper_slow(),
+            MemoBank::paper_default(),
+        );
+        assert!(report.speedup_measured() > 1.0, "vspatial must speed up");
+        let fe = report.fraction_enhanced(OpKind::FpDiv);
+        assert!(fe > 0.0 && fe < 0.6, "FE {fe}");
+    }
+
+    #[test]
+    fn uniform_bank_scales_with_size() {
+        // Bigger tables never hurt on a real workload (fully associative).
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
+        let app = mm::find("venhance").unwrap();
+        let small = measure_mm_app(&app, &input_refs, || {
+            MemoBank::uniform(
+                MemoConfig::builder(8)
+                    .assoc(memo_table::Assoc::Full)
+                    .build()
+                    .unwrap(),
+                &[OpKind::FpMul],
+            )
+        });
+        let large = measure_mm_app(&app, &input_refs, || {
+            MemoBank::uniform(
+                MemoConfig::builder(512)
+                    .assoc(memo_table::Assoc::Full)
+                    .build()
+                    .unwrap(),
+                &[OpKind::FpMul],
+            )
+        });
+        assert!(large.fp_mul.unwrap() + 1e-9 >= small.fp_mul.unwrap());
+    }
+}

@@ -1,0 +1,50 @@
+//! Run an assembly program on the miniature ISA under every Table 1
+//! processor model, with and without MEMO-TABLEs — the paper's
+//! measurement loop on a program you can read in ten lines.
+//!
+//! ```sh
+//! cargo run --release --example custom_processor
+//! ```
+
+use memo_repro::isa::{assemble, programs, Cpu};
+use memo_repro::sim::{CpuModel, CycleAccountant, MemoBank, MemoryHierarchy};
+
+fn main() {
+    // Newton square roots over a vector of byte-valued pixels: division
+    // heavy and highly repetitive — ideal memo-table food.
+    let n = 512;
+    let program = assemble(&programs::newton_sqrt(n)).expect("program assembles");
+
+    println!("newton_sqrt over {n} byte-valued doubles, per Table 1 processor:\n");
+    println!(
+        "{:<14} {:>14} {:>14} {:>9} {:>9}",
+        "processor", "baseline cyc", "memoized cyc", "speedup", "fdiv hit"
+    );
+
+    for cpu in CpuModel::table1_models() {
+        let mut machine = Cpu::new(64 * 1024);
+        for i in 0..n {
+            // A low-entropy scanline (6 grey levels, like a flat image
+            // region): only 6 distinct Newton chains — they all fit.
+            machine.write_f64((i * 8) as u64, f64::from((i % 6) as u32 * 40 + 8)).unwrap();
+        }
+        let mut accountant = CycleAccountant::new(
+            cpu,
+            MemoryHierarchy::typical_1997(),
+            MemoBank::paper_default(),
+        );
+        machine.run(&program, &mut accountant, 10_000_000).expect("program halts");
+
+        let report = accountant.report();
+        println!(
+            "{:<14} {:>14} {:>14} {:>8.3}x {:>9.2}",
+            report.cpu().name,
+            report.baseline().total(),
+            report.memoized().total(),
+            report.speedup_measured(),
+            report.hit_ratio(memo_repro::table::OpKind::FpDiv),
+        );
+    }
+
+    println!("\n(the slower the divider, the more a MEMO-TABLE helps — Table 11's point)");
+}

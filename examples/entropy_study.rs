@@ -1,0 +1,47 @@
+//! The paper's Figure 2 on your own terms: sweep image entropy with the
+//! synthetic generators, run one application, and fit the hit-ratio/
+//! entropy line with the Levenberg–Marquardt solver.
+//!
+//! ```sh
+//! cargo run --release --example entropy_study
+//! ```
+
+use memo_repro::fit::fit_line;
+use memo_repro::imaging::rng::SplitMix64;
+use memo_repro::imaging::{entropy, synth};
+use memo_repro::sim::MemoBank;
+use memo_repro::table::OpKind;
+use memo_repro::workloads::mm;
+use memo_repro::workloads::suite::measure_mm_app;
+
+fn main() {
+    let app = mm::find("vspatial").expect("registered application");
+    let mut rng = SplitMix64::new(42);
+
+    println!("vspatial fdiv hit ratio vs image entropy (64x64 synthetic inputs):\n");
+    println!("{:>10} {:>12} {:>10}", "levels", "entropy", "fdiv hit");
+
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for levels in [2u64, 4, 8, 16, 32, 64, 128, 256] {
+        let image = synth::quantize(&synth::plasma(64, 64, 0.85, &mut rng), levels);
+        let e = entropy::windowed_entropy(&image, 8).expect("byte image");
+        let hits = measure_mm_app(&app, &[&image], MemoBank::paper_default);
+        let hit = hits.get(OpKind::FpDiv).expect("vspatial divides");
+        println!("{levels:>10} {e:>12.3} {hit:>10.3}");
+        xs.push(e);
+        ys.push(hit);
+    }
+
+    let line = fit_line(&xs, &ys).expect("enough points");
+    println!(
+        "\nMarquardt-Levenberg fit: hit ≈ {:.3} {} {:.4}·entropy",
+        line.intercept,
+        if line.slope < 0.0 { "−" } else { "+" },
+        line.slope.abs()
+    );
+    println!(
+        "≈ {:.1}% hit-ratio change per entropy bit (the paper reports about −5%)",
+        100.0 * line.slope
+    );
+}

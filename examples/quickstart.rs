@@ -1,0 +1,48 @@
+//! Quickstart: attach MEMO-TABLEs to the multipliers and divider, run a
+//! real image-processing workload, and see how many multi-cycle
+//! operations a 32-entry table eliminates.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use memo_repro::imaging::synth;
+use memo_repro::sim::{CpuModel, CycleAccountant, MemoBank, MemoryHierarchy};
+use memo_repro::table::OpKind;
+use memo_repro::workloads::mm;
+
+fn main() {
+    // 1. A test image: the "mandrill" stand-in at quarter scale.
+    let corpus = synth::corpus(4);
+    let image = &corpus[0].image;
+    println!("input: {} ({}x{})", corpus[0].name, image.width(), image.height());
+
+    // 2. A late-90s processor (Table 1 profile) with the paper's default
+    //    32-entry, 4-way MEMO-TABLEs next to imul, fmul and fdiv.
+    let mut accountant = CycleAccountant::new(
+        CpuModel::paper_slow(),
+        MemoryHierarchy::typical_1997(),
+        MemoBank::paper_default(),
+    );
+
+    // 3. Run vgauss — Gaussian-distribution rendering — through it.
+    let app = mm::find("vgauss").expect("registered application");
+    let _output = app.run(&mut accountant, image);
+
+    // 4. Results.
+    let report = accountant.report();
+    println!("\nper-unit hit ratios (32-entry, 4-way):");
+    for kind in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv] {
+        let ops = report.mix().total();
+        let _ = ops;
+        println!(
+            "  {:5}  hit ratio {:.2}   fraction of baseline cycles {:.3}",
+            kind.label(),
+            report.hit_ratio(kind),
+            report.fraction_enhanced(kind),
+        );
+    }
+    println!("\nbaseline cycles : {:>12}", report.baseline().total());
+    println!("memoized cycles : {:>12}", report.memoized().total());
+    println!("speedup         : {:>12.3}x", report.speedup_measured());
+}

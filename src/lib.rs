@@ -1,0 +1,38 @@
+//! # memo-repro
+//!
+//! A complete reproduction of *"Accelerating Multi-Media Processing by
+//! Implementing Memoing in Multiplication and Division Units"* (Citron,
+//! Feitelson, Rudolph — ASPLOS 1998) as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`table`] (memo-table) | the MEMO-TABLE itself: finite/infinite/shared tables, policies, memoized units |
+//! | [`sim`] (memo-sim) | CPU latency models, two-level caches, event streams, cycle accounting, Amdahl math |
+//! | [`isa`] (memo-isa) | SPARC-flavoured mini ISA + assembler + tracing interpreter (the Shade substitute) |
+//! | [`imaging`] (memo-imaging) | images, entropy analysis, synthetic corpus, PNM IO |
+//! | [`workloads`] (memo-workloads) | 18 multi-media + 19 scientific instrumented kernels |
+//! | [`fit`] (memo-fit) | Levenberg–Marquardt least squares (Figure 2's best-fit line) |
+//! | [`experiments`] (memo-experiments) | regenerates every table and figure of the paper |
+//!
+//! See `README.md` for the quickstart, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use memo_repro::table::{MemoConfig, MemoTable, Memoizer, Op, Outcome};
+//!
+//! let mut fdiv_table = MemoTable::new(MemoConfig::paper_default());
+//! assert_eq!(fdiv_table.execute(Op::FpDiv(1.0, 3.0)).outcome, Outcome::Miss);
+//! assert_eq!(fdiv_table.execute(Op::FpDiv(1.0, 3.0)).outcome, Outcome::Hit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use memo_experiments as experiments;
+pub use memo_fit as fit;
+pub use memo_imaging as imaging;
+pub use memo_isa as isa;
+pub use memo_sim as sim;
+pub use memo_table as table;
+pub use memo_workloads as workloads;

@@ -1,0 +1,212 @@
+//! Cross-crate integration: images → workloads → memo tables → cycle
+//! accounting, plus the ISA path, all through the public facade.
+
+use memo_repro::imaging::synth;
+use memo_repro::isa::{assemble, programs, Cpu};
+use memo_repro::sim::{
+    CountingSink, CpuModel, CycleAccountant, MemoBank, MemoryHierarchy, TraceBuffer,
+};
+use memo_repro::table::{InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, OpKind};
+use memo_repro::workloads::suite::{measure_mm_app, mm_inputs};
+use memo_repro::workloads::{mm, sci};
+
+#[test]
+fn full_pipeline_from_image_to_speedup() {
+    let corpus = mm_inputs(16);
+    let image = &corpus[0].image;
+    let app = mm::find("vspatial").unwrap();
+
+    let mut accountant = CycleAccountant::new(
+        CpuModel::paper_slow(),
+        MemoryHierarchy::typical_1997(),
+        MemoBank::paper_default(),
+    );
+    let output = app.run(&mut accountant, image);
+    assert_eq!(output.width(), image.width());
+
+    let report = accountant.report();
+    assert!(report.baseline().total() > report.memoized().total());
+    assert!(report.speedup_measured() > 1.0);
+    assert!(report.l1_stats().accesses > 0, "cache model saw the loads");
+    // The Amdahl composition over all three memoized units reproduces the
+    // directly measured speedup exactly.
+    let analytic =
+        report.speedup_amdahl(&[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv]);
+    assert!((analytic - report.speedup_measured()).abs() < 1e-9);
+}
+
+#[test]
+fn workload_outputs_are_identical_with_and_without_memoization() {
+    // Memoization must be invisible to program semantics: running through
+    // a cycle accountant (with tables) and through a plain counter (no
+    // tables) must give bit-identical images.
+    let corpus = mm_inputs(16);
+    let image = &corpus[1].image;
+    for name in ["vsqrt", "vgauss", "vkmeans", "vbpf"] {
+        let app = mm::find(name).unwrap();
+        let mut plain = CountingSink::new();
+        let expected = app.run(&mut plain, image);
+        let mut memoized = CycleAccountant::new(
+            CpuModel::paper_fast(),
+            MemoryHierarchy::typical_1997(),
+            MemoBank::paper_default(),
+        );
+        let got = app.run(&mut memoized, image);
+        assert_eq!(expected, got, "{name} output must not depend on memoization");
+    }
+}
+
+#[test]
+fn trace_replay_reproduces_live_measurement() {
+    // Record a workload once, replay the trace into a fresh accountant:
+    // identical cycle totals (the trace carries everything that matters).
+    let corpus = mm_inputs(16);
+    let image = &corpus[2].image;
+    let app = mm::find("vcost").unwrap();
+
+    let mut live = CycleAccountant::new(
+        CpuModel::paper_slow(),
+        MemoryHierarchy::typical_1997(),
+        MemoBank::paper_default(),
+    );
+    app.run(&mut live, image);
+
+    let mut trace = TraceBuffer::new();
+    app.run(&mut trace, image);
+    let mut replayed = CycleAccountant::new(
+        CpuModel::paper_slow(),
+        MemoryHierarchy::typical_1997(),
+        MemoBank::paper_default(),
+    );
+    trace.replay_into(&mut replayed);
+
+    assert_eq!(live.report().baseline(), replayed.report().baseline());
+    assert_eq!(live.report().memoized(), replayed.report().memoized());
+}
+
+#[test]
+fn isa_program_and_rust_kernel_agree_through_the_same_sink() {
+    // The ISA path and the instrumented-kernel path are two producers of
+    // the same event language; both must drive the memo machinery alike.
+    let n = 64;
+    let program = assemble(&programs::normalize(n, 3.0)).unwrap();
+    let mut cpu = Cpu::new(16 * 1024);
+    for i in 0..n {
+        cpu.write_f64((i * 8) as u64, f64::from((i % 8) as u32 + 1)).unwrap();
+    }
+    let mut isa_sink = CountingSink::new();
+    cpu.run(&program, &mut isa_sink, 1_000_000).unwrap();
+    assert_eq!(isa_sink.mix().fp_div, n as u64);
+
+    // Memoized run: results must be bit-identical to plain division.
+    let mut cpu2 = Cpu::new(16 * 1024);
+    for i in 0..n {
+        cpu2.write_f64((i * 8) as u64, f64::from((i % 8) as u32 + 1)).unwrap();
+    }
+    let mut acc = CycleAccountant::new(
+        CpuModel::paper_slow(),
+        MemoryHierarchy::typical_1997(),
+        MemoBank::paper_default(),
+    );
+    cpu2.run(&program, &mut acc, 1_000_000).unwrap();
+    for i in 0..n {
+        let got = cpu2.read_f64((i * 8) as u64).unwrap();
+        assert_eq!(got, f64::from((i % 8) as u32 + 1) / 3.0);
+    }
+    // Eight distinct dividends over one divisor: 8 misses, the rest hits.
+    assert!(acc.report().hit_ratio(OpKind::FpDiv) > 0.8);
+}
+
+#[test]
+fn scientific_kernels_feed_infinite_tables_without_loss() {
+    // Cross-crate property: for any workload, an infinite table records
+    // one entry per distinct operand pair and hits on everything else.
+    let app = &sci::all_apps()[7]; // TRFD: dense small-alphabet divisions
+    let mut trace = TraceBuffer::new();
+    app.run(&mut trace, 16);
+
+    let mut inf = InfiniteMemoTable::new();
+    let mut fin = MemoTable::new(MemoConfig::paper_default());
+    let mut div_ops = 0u64;
+    for event in trace.events() {
+        if let memo_repro::sim::Event::Arith(op) = event {
+            if op.kind() == OpKind::FpDiv {
+                inf.execute(*op);
+                fin.execute(*op);
+                div_ops += 1;
+            }
+        }
+    }
+    assert!(div_ops > 0);
+    let inf_stats = inf.stats();
+    assert_eq!(
+        inf_stats.table_hits + inf_stats.insertions,
+        inf_stats.table_lookups,
+        "infinite table: every lookup either hits or inserts"
+    );
+    assert!(inf_stats.table_hits >= fin.stats().table_hits);
+}
+
+#[test]
+fn synthetic_corpus_round_trips_through_pnm() {
+    let corpus = synth::corpus(16);
+    for c in corpus.iter().filter(|c| c.image.bands() == 1) {
+        let byte = c.image.normalized_to_byte();
+        let mut buf = Vec::new();
+        memo_repro::imaging::io::write_pnm(&byte, &mut buf).unwrap();
+        let back = memo_repro::imaging::io::read_pnm(buf.as_slice()).unwrap();
+        assert_eq!(back, byte, "{}", c.name);
+    }
+}
+
+#[test]
+fn shared_table_for_dual_dividers() {
+    // §2.3: two dividers sharing one multi-ported table reuse each other's
+    // work. Simulate interleaved dispatch of the same division stream.
+    use memo_repro::table::SharedMemoTable;
+    let shared = SharedMemoTable::new(MemoConfig::paper_default(), 2);
+    let mut unit_a = shared.clone();
+    let mut unit_b = shared.clone();
+    let corpus = mm_inputs(16);
+    let image = &corpus[0].image;
+    let mut trace = TraceBuffer::new();
+    mm::find("vspatial").unwrap().run(&mut trace, image);
+
+    let mut private = MemoTable::new(MemoConfig::paper_default());
+    let mut issued = 0u64;
+    for (i, event) in trace.events().iter().enumerate() {
+        if let memo_repro::sim::Event::Arith(op) = event {
+            if op.kind() == OpKind::FpDiv {
+                // Round-robin dispatch to the two units.
+                if i % 2 == 0 {
+                    unit_a.execute(*op);
+                } else {
+                    unit_b.execute(*op);
+                }
+                private.execute(*op);
+                issued += 1;
+            }
+        }
+    }
+    assert!(issued > 16);
+    let shared_hits = shared.stats_snapshot().table_hits;
+    // With a private table per unit, each unit would have missed on work
+    // the other already did; the shared table cannot do worse than one
+    // private table seeing the whole stream.
+    assert!(
+        shared_hits + 4 >= private.stats().table_hits,
+        "shared {} vs private {}",
+        shared_hits,
+        private.stats().table_hits
+    );
+}
+
+#[test]
+fn hit_ratio_measurement_is_deterministic_across_runs() {
+    let corpus = mm_inputs(16);
+    let inputs: Vec<_> = corpus.iter().map(|c| &c.image).take(3).collect();
+    let app = mm::find("vgpwl").unwrap();
+    let a = measure_mm_app(&app, &inputs, MemoBank::paper_default);
+    let b = measure_mm_app(&app, &inputs, MemoBank::paper_default);
+    assert_eq!(a, b);
+}

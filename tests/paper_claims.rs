@@ -1,0 +1,193 @@
+//! The paper's headline claims, verified end-to-end at reduced scale.
+//!
+//! Each test names the section/table/figure it checks. Absolute values use
+//! generous bands (the substrate is synthetic); *orderings* — who wins,
+//! where curves flatten — are asserted tightly.
+
+use memo_repro::experiments::{figures, hits, mantissa, speedup, trivial, ExpConfig};
+use memo_repro::table::OpKind;
+
+fn cfg() -> ExpConfig {
+    ExpConfig::quick()
+}
+
+/// §3.2 / Tables 5–7: multi-media applications reuse operands far better
+/// than general scientific codes in a practically sized table.
+#[test]
+fn claim_mm_beats_scientific_suites() {
+    let t5 = hits::table5(cfg());
+    let t6 = hits::table6(cfg());
+    let t7 = hits::table7(cfg());
+    for kind in [OpKind::FpMul, OpKind::FpDiv] {
+        let mm = t7.averages.0.get(kind).unwrap();
+        let perfect = t5.averages.0.get(kind).unwrap();
+        let spec = t6.averages.0.get(kind).unwrap();
+        assert!(
+            mm > perfect && mm > spec,
+            "{kind}: MM {mm:.2} must beat Perfect {perfect:.2} and SPEC {spec:.2}"
+        );
+    }
+}
+
+/// §3.1: every suite shows a large reuse *potential* — the unbounded table
+/// dominates the 32-entry table everywhere.
+#[test]
+fn claim_infinite_tables_reveal_headroom() {
+    for table in [hits::table5(cfg()), hits::table6(cfg()), hits::table7(cfg())] {
+        for kind in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv] {
+            if let (Some(fin), Some(inf)) =
+                (table.averages.0.get(kind), table.averages.1.get(kind))
+            {
+                assert!(
+                    inf + 1e-9 >= fin,
+                    "{}: {kind} infinite {inf:.2} >= finite {fin:.2}",
+                    table.title
+                );
+            }
+        }
+    }
+}
+
+/// §3.2 / Figure 2: hit ratio falls as entropy rises, a few percent per
+/// bit.
+#[test]
+fn claim_entropy_predicts_hit_ratio() {
+    let fig = figures::figure2(cfg());
+    for (label, line) in [
+        ("fdiv vs 8x8", fig.fdiv_vs_win8),
+        ("fmul vs 8x8", fig.fmul_vs_win8),
+        ("fdiv vs full", fig.fdiv_vs_full),
+        ("fmul vs full", fig.fmul_vs_full),
+    ] {
+        assert!(line.slope < 0.0, "{label}: slope {:.4} must be negative", line.slope);
+        assert!(
+            (-0.20..-0.01).contains(&line.slope),
+            "{label}: slope {:.4} in a plausible per-bit band",
+            line.slope
+        );
+    }
+}
+
+/// §3.2 / Figure 3: hit ratio grows with table size and flattens out; a
+/// divider needs a smaller table than a multiplier.
+#[test]
+fn claim_size_curve_saturates() {
+    let [fmul, fdiv] = figures::figure3(cfg());
+    for curve in [&fmul, &fdiv] {
+        let first = curve.points.first().unwrap();
+        let mid = &curve.points[5]; // 256 entries
+        let last = curve.points.last().unwrap();
+        assert!(mid.avg >= first.avg);
+        assert!(last.avg + 1e-9 >= mid.avg);
+        assert!(
+            last.avg - mid.avg < 0.25,
+            "{}: most of the win arrives by 256 entries",
+            curve.kind
+        );
+    }
+    // The paper: an 8-entry table may already suffice for division, while
+    // multiplication needs at least 32 — division's small-table deficit
+    // (vs its own 32-entry point) is no worse than multiplication's.
+    let fdiv_deficit = fdiv.points[2].avg - fdiv.points[0].avg;
+    let fmul_deficit = fmul.points[2].avg - fmul.points[0].avg;
+    assert!(
+        fdiv_deficit <= fmul_deficit + 0.05,
+        "division tolerates small tables at least as well: fdiv {fdiv_deficit:.3} vs fmul {fmul_deficit:.3}"
+    );
+}
+
+/// §3.2 / Figure 4: direct-mapped tables suffer conflict misses; 2 ways
+/// suffice for division and nothing improves past 4 ways.
+#[test]
+fn claim_associativity_saturates_at_four_ways() {
+    let [fmul, fdiv] = figures::figure4(cfg());
+    for curve in [&fmul, &fdiv] {
+        let dm = curve.points[0].avg;
+        let two = curve.points[1].avg;
+        let four = curve.points[2].avg;
+        let eight = curve.points[3].avg;
+        assert!(two + 1e-9 >= dm, "{}: 2-way >= direct-mapped", curve.kind);
+        // "hardly improves": the 4→8 step is small next to the 1→4 step.
+        assert!(
+            (eight - four).abs() < (four - dm).max(0.04),
+            "{}: 4→8 gain {:.3} stays below the 1→4 gain {:.3}",
+            curve.kind,
+            eight - four,
+            four - dm
+        );
+    }
+    // 2 ways already get division close to its 4-way ratio.
+    let fdiv = &fdiv;
+    assert!(
+        fdiv.points[2].avg - fdiv.points[1].avg < 0.10,
+        "2 ways nearly suffice for division"
+    );
+}
+
+/// §3.2 / Table 9: integrated trivial-operation detection gives the
+/// highest hit ratios.
+#[test]
+fn claim_integrated_trivial_detection_wins() {
+    let rows = trivial::table9(cfg());
+    let mut dominated = 0;
+    let mut total = 0;
+    for r in &rows {
+        for c in [&r.int_mul, &r.fp_mul, &r.fp_div] {
+            if c.present {
+                total += 1;
+                if c.integrated + 1e-9 >= c.non && c.integrated + 1e-9 >= c.all {
+                    dominated += 1;
+                }
+            }
+        }
+    }
+    assert!(total > 10);
+    assert!(
+        dominated as f64 / total as f64 > 0.8,
+        "integration wins in {dominated}/{total} cells"
+    );
+}
+
+/// §3.2 / Table 10: storing only mantissas raises hit ratios, albeit not
+/// by much.
+#[test]
+fn claim_mantissa_tags_raise_hit_ratios_slightly() {
+    let rows = mantissa::table10(cfg());
+    for r in &rows {
+        assert!(r.fmul_mant + 0.02 >= r.fmul_full, "{}", r.suite);
+        assert!(r.fdiv_mant + 0.02 >= r.fdiv_full, "{}", r.suite);
+        // "albeit not by much": a bounded gain. (Our synthetic scientific
+        // value sets sit on power-of-two grids, which share mantissas
+        // across exponents more than the paper's Fortran data did, so the
+        // band is wider than the paper's ~0.04.)
+        assert!(r.fmul_mant - r.fmul_full < 0.25, "{}", r.suite);
+        assert!(r.fdiv_mant - r.fdiv_full < 0.25, "{}", r.suite);
+    }
+}
+
+/// §3.3 / Tables 11–13: memoizing division outpays memoizing
+/// multiplication; both together give the headline average speedup; the
+/// slow-FPU profile gains more than the fast one.
+#[test]
+fn claim_speedup_ordering() {
+    let c = cfg();
+    let t11 = speedup::averages(&speedup::table11(c));
+    let t12 = speedup::averages(&speedup::table12(c));
+    let t13 = speedup::averages(&speedup::table13(c));
+
+    assert!(t11.slow.speedup > t12.slow.speedup, "division beats multiplication");
+    assert!(t13.slow.speedup + 1e-9 >= t11.slow.speedup, "both beats division alone");
+    assert!(t13.slow.speedup >= t13.fast.speedup, "slow FPUs gain more");
+    // Headline: a clearly material average speedup on the slow profile
+    // (the paper reports 1.22; synthetic inputs land in the same region).
+    assert!(
+        t13.slow.speedup > 1.05,
+        "combined average speedup {:.3} is material",
+        t13.slow.speedup
+    );
+    // And every per-app Amdahl number is self-consistent with the direct
+    // cycle measurement.
+    for row in speedup::table13(c) {
+        assert!((row.slow.speedup - row.slow.measured).abs() < 1e-6, "{}", row.name);
+    }
+}
