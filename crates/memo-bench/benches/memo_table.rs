@@ -1,12 +1,10 @@
 //! Microbenchmarks of the MEMO-TABLE itself — the "cycle time" question
 //! of §2.4 translated to software: how cheap is a probe?
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
-use memo_table::{
-    Assoc, InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, Op, TagPolicy,
-};
+use memo_bench::bench;
+use memo_table::{Assoc, InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, Op, TagPolicy};
 
 /// A repetitive division stream (8 distinct pairs — all hits after warmup).
 fn hot_ops() -> Vec<Op> {
@@ -18,78 +16,44 @@ fn cold_ops() -> Vec<Op> {
     (0..1024).map(|i| Op::FpDiv(f64::from(i) + 0.5, 3.0)).collect()
 }
 
-fn bench_probe_paths(c: &mut Criterion) {
-    let mut group = c.benchmark_group("memo_table");
-
-    group.bench_function("probe_hit_32x4", |b| {
-        let mut table = MemoTable::new(MemoConfig::paper_default());
-        for op in hot_ops() {
-            table.execute(op);
+fn hot_probe_bench(name: &str, cfg: MemoConfig) {
+    let mut table = MemoTable::new(cfg);
+    let ops = hot_ops();
+    for &op in &ops {
+        table.execute(op);
+    }
+    bench("memo_table", name, 30, || {
+        for &op in &ops {
+            black_box(table.execute(black_box(op)));
         }
-        let ops = hot_ops();
-        b.iter(|| {
-            for &op in &ops {
-                black_box(table.execute(black_box(op)));
-            }
-        });
     });
-
-    group.bench_function("probe_miss_insert_32x4", |b| {
-        let ops = cold_ops();
-        b.iter_batched(
-            || MemoTable::new(MemoConfig::paper_default()),
-            |mut table| {
-                for &op in &ops {
-                    black_box(table.execute(black_box(op)));
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-
-    group.bench_function("probe_hit_mantissa_tags", |b| {
-        let cfg = MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap();
-        let mut table = MemoTable::new(cfg);
-        for op in hot_ops() {
-            table.execute(op);
-        }
-        let ops = hot_ops();
-        b.iter(|| {
-            for &op in &ops {
-                black_box(table.execute(black_box(op)));
-            }
-        });
-    });
-
-    group.bench_function("probe_hit_fully_associative_1k", |b| {
-        let cfg = MemoConfig::builder(1024).assoc(Assoc::Full).build().unwrap();
-        let mut table = MemoTable::new(cfg);
-        for op in hot_ops() {
-            table.execute(op);
-        }
-        let ops = hot_ops();
-        b.iter(|| {
-            for &op in &ops {
-                black_box(table.execute(black_box(op)));
-            }
-        });
-    });
-
-    group.bench_function("infinite_table_mixed", |b| {
-        let ops: Vec<Op> = hot_ops().into_iter().chain(cold_ops()).collect();
-        b.iter_batched(
-            InfiniteMemoTable::new,
-            |mut table| {
-                for &op in &ops {
-                    black_box(table.execute(black_box(op)));
-                }
-            },
-            BatchSize::SmallInput,
-        );
-    });
-
-    group.finish();
 }
 
-criterion_group!(benches, bench_probe_paths);
-criterion_main!(benches);
+fn main() {
+    hot_probe_bench("probe_hit_32x4", MemoConfig::paper_default());
+
+    let cold = cold_ops();
+    bench("memo_table", "probe_miss_insert_32x4", 30, || {
+        let mut table = MemoTable::new(MemoConfig::paper_default());
+        for &op in &cold {
+            black_box(table.execute(black_box(op)));
+        }
+    });
+
+    hot_probe_bench(
+        "probe_hit_mantissa_tags",
+        MemoConfig::builder(32).tag(TagPolicy::MantissaOnly).build().unwrap(),
+    );
+    hot_probe_bench(
+        "probe_hit_fully_associative_1k",
+        MemoConfig::builder(1024).assoc(Assoc::Full).build().unwrap(),
+    );
+
+    let mixed: Vec<Op> = hot_ops().into_iter().chain(cold_ops()).collect();
+    bench("memo_table", "infinite_table_mixed", 30, || {
+        let mut table = InfiniteMemoTable::new();
+        for &op in &mixed {
+            black_box(table.execute(black_box(op)));
+        }
+    });
+}

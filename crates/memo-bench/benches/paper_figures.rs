@@ -1,37 +1,29 @@
 //! One benchmark per evaluation figure (2, 3, 4), plus the
 //! Levenberg–Marquardt fitter on Figure 2-sized data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use memo_bench::bench_cfg;
+use memo_bench::{bench, bench_cfg};
 use memo_experiments::figures;
 use memo_fit::fit_line;
 
-fn bench_figures(c: &mut Criterion) {
+fn main() {
     let cfg = bench_cfg();
-    let mut group = c.benchmark_group("paper_figures");
-    group.sample_size(10);
 
-    group.bench_function("fig2_entropy_correlation", |b| {
-        b.iter(|| black_box(figures::figure2(cfg)));
+    bench("paper_figures", "fig2_entropy_correlation", 10, || {
+        black_box(figures::figure2(cfg).unwrap());
     });
-    group.bench_function("fig3_size_sweep", |b| {
-        b.iter(|| black_box(figures::figure3(cfg)));
+    bench("paper_figures", "fig3_size_sweep", 10, || {
+        black_box(figures::figure3(cfg).unwrap());
     });
-    group.bench_function("fig4_associativity_sweep", |b| {
-        b.iter(|| black_box(figures::figure4(cfg)));
+    bench("paper_figures", "fig4_associativity_sweep", 10, || {
+        black_box(figures::figure4(cfg).unwrap());
     });
 
     // The fitter alone, on a Figure 2-sized scatter.
     let xs: Vec<f64> = (0..200).map(|i| f64::from(i) * 0.04).collect();
     let ys: Vec<f64> = xs.iter().map(|x| 0.8 - 0.05 * x + (x * 7.0).sin() * 0.03).collect();
-    group.bench_function("levenberg_marquardt_line_fit", |b| {
-        b.iter(|| black_box(fit_line(black_box(&xs), black_box(&ys)).unwrap()));
+    bench("paper_figures", "levenberg_marquardt_line_fit", 30, || {
+        black_box(fit_line(black_box(&xs), black_box(&ys)).unwrap());
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_figures);
-criterion_main!(benches);

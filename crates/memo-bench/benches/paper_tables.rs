@@ -2,50 +2,42 @@
 //! corresponding table of the paper at reduced scale, so `cargo bench`
 //! doubles as the reproduction driver.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use memo_bench::bench_cfg;
+use memo_bench::{bench, bench_cfg};
 use memo_experiments::{hits, images, mantissa, speedup, table1, trivial};
 
-fn bench_tables(c: &mut Criterion) {
+fn main() {
     let cfg = bench_cfg();
-    let mut group = c.benchmark_group("paper_tables");
-    group.sample_size(10);
 
-    group.bench_function("table1_latencies", |b| {
-        b.iter(|| black_box(table1::render()));
+    bench("paper_tables", "table1_latencies", 10, || {
+        black_box(table1::render());
     });
-    group.bench_function("table5_perfect_hit_ratios", |b| {
-        b.iter(|| black_box(hits::table5(cfg)));
+    bench("paper_tables", "table5_perfect_hit_ratios", 10, || {
+        black_box(hits::table5(cfg));
     });
-    group.bench_function("table6_spec_hit_ratios", |b| {
-        b.iter(|| black_box(hits::table6(cfg)));
+    bench("paper_tables", "table6_spec_hit_ratios", 10, || {
+        black_box(hits::table6(cfg));
     });
-    group.bench_function("table7_mm_hit_ratios", |b| {
-        b.iter(|| black_box(hits::table7(cfg)));
+    bench("paper_tables", "table7_mm_hit_ratios", 10, || {
+        black_box(hits::table7(cfg));
     });
-    group.bench_function("table8_image_entropies", |b| {
-        b.iter(|| black_box(images::table8(cfg)));
+    bench("paper_tables", "table8_image_entropies", 10, || {
+        black_box(images::table8(cfg));
     });
-    group.bench_function("table9_trivial_policies", |b| {
-        b.iter(|| black_box(trivial::table9(cfg)));
+    bench("paper_tables", "table9_trivial_policies", 10, || {
+        black_box(trivial::table9(cfg).unwrap());
     });
-    group.bench_function("table10_mantissa_tags", |b| {
-        b.iter(|| black_box(mantissa::table10(cfg)));
+    bench("paper_tables", "table10_mantissa_tags", 10, || {
+        black_box(mantissa::table10(cfg));
     });
-    group.bench_function("table11_fdiv_speedup", |b| {
-        b.iter(|| black_box(speedup::table11(cfg)));
+    bench("paper_tables", "table11_fdiv_speedup", 10, || {
+        black_box(speedup::table11(cfg).unwrap());
     });
-    group.bench_function("table12_fmul_speedup", |b| {
-        b.iter(|| black_box(speedup::table12(cfg)));
+    bench("paper_tables", "table12_fmul_speedup", 10, || {
+        black_box(speedup::table12(cfg).unwrap());
     });
-    group.bench_function("table13_combined_speedup", |b| {
-        b.iter(|| black_box(speedup::table13(cfg)));
+    bench("paper_tables", "table13_combined_speedup", 10, || {
+        black_box(speedup::table13(cfg).unwrap());
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_tables);
-criterion_main!(benches);

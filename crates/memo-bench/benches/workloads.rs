@@ -1,59 +1,46 @@
 //! Event-stream throughput of representative kernels: how fast the
 //! instrumented workloads and the ISA interpreter feed the simulator.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use memo_bench::bench;
 use memo_imaging::synth;
 use memo_isa::{assemble, programs, Cpu};
 use memo_sim::{CountingSink, CpuModel, CycleAccountant, MemoBank, MemoryHierarchy, NullSink};
 use memo_workloads::mm;
 
-fn bench_workloads(c: &mut Criterion) {
+fn main() {
     let corpus = synth::corpus(8);
     let image = corpus[0].image.clone();
-    let mut group = c.benchmark_group("workloads");
-    group.sample_size(20);
 
     for name in ["vspatial", "vgauss", "vbpf", "vkmeans"] {
         let app = mm::find(name).expect("registered");
-        group.bench_function(format!("{name}_counting_sink"), |b| {
-            b.iter(|| {
-                let mut sink = CountingSink::new();
-                black_box(app.run(&mut sink, black_box(&image)));
-            });
+        bench("workloads", &format!("{name}_counting_sink"), 20, || {
+            let mut sink = CountingSink::new();
+            black_box(app.run(&mut sink, black_box(&image)));
         });
     }
 
     // Full cycle accounting (caches + memo bank) vs the bare counter.
     let app = mm::find("vspatial").expect("registered");
-    group.bench_function("vspatial_cycle_accountant", |b| {
-        b.iter(|| {
-            let mut acc = CycleAccountant::new(
-                CpuModel::paper_slow(),
-                MemoryHierarchy::typical_1997(),
-                MemoBank::paper_default(),
-            );
-            black_box(app.run(&mut acc, black_box(&image)));
-            black_box(acc.report().speedup_measured());
-        });
+    bench("workloads", "vspatial_cycle_accountant", 20, || {
+        let mut acc = CycleAccountant::new(
+            CpuModel::paper_slow(),
+            MemoryHierarchy::typical_1997(),
+            MemoBank::paper_default(),
+        );
+        black_box(app.run(&mut acc, black_box(&image)));
+        black_box(acc.report().speedup_measured());
     });
 
     // ISA interpreter throughput.
     let program = assemble(&programs::newton_sqrt(256)).expect("assembles");
-    group.bench_function("isa_newton_sqrt_256", |b| {
-        b.iter(|| {
-            let mut cpu = Cpu::new(64 * 1024);
-            for i in 0..256 {
-                cpu.write_f64((i * 8) as u64, f64::from((i % 13) as u32 + 1)).unwrap();
-            }
-            cpu.run(black_box(&program), &mut NullSink, 10_000_000).unwrap();
-            black_box(cpu.retired());
-        });
+    bench("workloads", "isa_newton_sqrt_256", 20, || {
+        let mut cpu = Cpu::new(64 * 1024);
+        for i in 0..256 {
+            cpu.write_f64((i * 8) as u64, f64::from((i % 13) as u32 + 1)).unwrap();
+        }
+        cpu.run(black_box(&program), &mut NullSink, 10_000_000).unwrap();
+        black_box(cpu.retired());
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench_workloads);
-criterion_main!(benches);

@@ -9,12 +9,12 @@ use memo_sim::{Event, EventSink, MemoBank};
 use memo_table::{
     HashScheme, MemoConfig, MemoTable, Memoizer, OpKind, Replacement, SharedMemoTable,
 };
-use memo_workloads::mm;
 use memo_workloads::suite::mm_inputs;
 
+use crate::error::find_mm;
 use crate::figures::{OpTrace, SAMPLE_APPS};
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// Hit ratios of one configuration, averaged over the five sample apps.
 #[derive(Debug, Clone, Copy)]
@@ -27,17 +27,17 @@ pub struct AblationPoint {
     pub fp_div: f64,
 }
 
-fn sample_traces(cfg: ExpConfig) -> Vec<OpTrace> {
+fn sample_traces(cfg: ExpConfig) -> Result<Vec<OpTrace>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     SAMPLE_APPS
         .iter()
         .map(|name| {
-            let app = mm::find(name).expect("sample apps are registered");
+            let app = find_mm(name)?;
             let mut trace = OpTrace::new();
             for c in &corpus {
                 app.run(&mut trace, &c.image);
             }
-            trace
+            Ok(trace)
         })
         .collect()
 }
@@ -55,10 +55,13 @@ fn replay_average(traces: &[OpTrace], table_cfg: MemoConfig, kind: OpKind) -> f6
 }
 
 /// Ablate the index hash: the paper's XOR scheme vs. a multiply-fold mix.
-#[must_use]
-pub fn hash_schemes(cfg: ExpConfig) -> Vec<AblationPoint> {
-    let traces = sample_traces(cfg);
-    [("paper XOR", HashScheme::PaperXor), ("fold-mix", HashScheme::FoldMix)]
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn hash_schemes(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
+    let traces = sample_traces(cfg)?;
+    Ok([("paper XOR", HashScheme::PaperXor), ("fold-mix", HashScheme::FoldMix)]
         .into_iter()
         .map(|(label, hash)| {
             let table_cfg = MemoConfig::builder(32).hash(hash).build().expect("valid");
@@ -68,14 +71,17 @@ pub fn hash_schemes(cfg: ExpConfig) -> Vec<AblationPoint> {
                 fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// Ablate the replacement policy within a set.
-#[must_use]
-pub fn replacement_policies(cfg: ExpConfig) -> Vec<AblationPoint> {
-    let traces = sample_traces(cfg);
-    [
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn replacement_policies(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
+    let traces = sample_traces(cfg)?;
+    Ok([
         ("LRU", Replacement::Lru),
         ("FIFO", Replacement::Fifo),
         ("random", Replacement::Random),
@@ -90,15 +96,18 @@ pub fn replacement_policies(cfg: ExpConfig) -> Vec<AblationPoint> {
             fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
         }
     })
-    .collect()
+    .collect())
 }
 
 /// Ablate commutative dual-order probing (§2.2) — multiplication only;
 /// the fdiv column doubles as the control (it must not move).
-#[must_use]
-pub fn commutative_probing(cfg: ExpConfig) -> Vec<AblationPoint> {
-    let traces = sample_traces(cfg);
-    [("both orders", true), ("as-written order", false)]
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn commutative_probing(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
+    let traces = sample_traces(cfg)?;
+    Ok([("both orders", true), ("as-written order", false)]
         .into_iter()
         .map(|(label, commutative)| {
             let table_cfg =
@@ -109,7 +118,7 @@ pub fn commutative_probing(cfg: ExpConfig) -> Vec<AblationPoint> {
                 fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
             }
         })
-        .collect()
+        .collect())
 }
 
 /// §2.3: two fp dividers. Compare (a) a private 32-entry table per
@@ -126,15 +135,18 @@ pub struct SharedVsPrivate {
 }
 
 /// Run the shared-vs-private comparison over the sample applications.
-#[must_use]
-pub fn shared_vs_private(cfg: ExpConfig) -> SharedVsPrivate {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn shared_vs_private(cfg: ExpConfig) -> Result<SharedVsPrivate, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
 
     // Gather the combined division stream of the sample apps.
     let mut trace = OpTrace::new();
     for name in SAMPLE_APPS {
-        let app = mm::find(name).expect("registered");
+        let app = find_mm(name)?;
         for input in &inputs {
             app.run(&mut trace, input);
         }
@@ -167,7 +179,7 @@ pub fn shared_vs_private(cfg: ExpConfig) -> SharedVsPrivate {
     let private_stats_hits = unit0.stats().table_hits + unit1.stats().table_hits;
     let private_lookups = unit0.stats().table_lookups + unit1.stats().table_lookups;
     let shared_stats = shared.stats_snapshot();
-    SharedVsPrivate {
+    Ok(SharedVsPrivate {
         private_hit: if private_lookups == 0 {
             0.0
         } else {
@@ -175,7 +187,7 @@ pub fn shared_vs_private(cfg: ExpConfig) -> SharedVsPrivate {
         },
         shared_hit: shared_stats.lookup_hit_ratio(),
         port_conflicts: shared.port_stats().conflicts,
-    }
+    })
 }
 
 /// `MemoProbeSink`-style helper so ablation traces can also be collected
@@ -192,14 +204,17 @@ impl EventSink for BankProbe {
 }
 
 /// Render all ablations as one report.
-#[must_use]
-pub fn render(cfg: ExpConfig) -> String {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
     let mut out = String::new();
 
     for (title, points) in [
-        ("Ablation: index hash scheme (32-entry, 4-way)", hash_schemes(cfg)),
-        ("Ablation: replacement policy (32-entry, 4-way)", replacement_policies(cfg)),
-        ("Ablation: commutative dual-order probing (32-entry, 4-way)", commutative_probing(cfg)),
+        ("Ablation: index hash scheme (32-entry, 4-way)", hash_schemes(cfg)?),
+        ("Ablation: replacement policy (32-entry, 4-way)", replacement_policies(cfg)?),
+        ("Ablation: commutative dual-order probing (32-entry, 4-way)", commutative_probing(cfg)?),
     ] {
         let mut t = TextTable::new(&["configuration", "fmul", "fdiv"]);
         for p in points {
@@ -208,7 +223,7 @@ pub fn render(cfg: ExpConfig) -> String {
         out.push_str(&format!("{title}\n{}\n", t.render()));
     }
 
-    let s = shared_vs_private(cfg);
+    let s = shared_vs_private(cfg)?;
     out.push_str(&format!(
         "Ablation: dual dividers, shared vs private tables (Section 2.3)\n\
          private 32-entry per divider : fdiv hit {}\n\
@@ -217,7 +232,7 @@ pub fn render(cfg: ExpConfig) -> String {
         ratio(Some(s.shared_hit)),
         s.port_conflicts,
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -226,7 +241,7 @@ mod tests {
 
     #[test]
     fn commutative_probing_helps_multiplication_only() {
-        let points = commutative_probing(ExpConfig::quick());
+        let points = commutative_probing(ExpConfig::quick()).unwrap();
         let both = &points[0];
         let single = &points[1];
         assert!(both.fp_mul + 1e-9 >= single.fp_mul, "dual-order probing never hurts fmul");
@@ -239,7 +254,7 @@ mod tests {
     #[test]
     fn shared_table_beats_private_tables() {
         // One divider reuses work performed by the other (§2.3).
-        let s = shared_vs_private(ExpConfig::quick());
+        let s = shared_vs_private(ExpConfig::quick()).unwrap();
         assert!(
             s.shared_hit > s.private_hit - 1e-9,
             "shared {} vs private {}",
@@ -250,7 +265,7 @@ mod tests {
 
     #[test]
     fn replacement_policies_are_all_functional() {
-        let points = replacement_policies(ExpConfig::quick());
+        let points = replacement_policies(ExpConfig::quick()).unwrap();
         assert_eq!(points.len(), 3);
         for p in &points {
             assert!(p.fp_div > 0.0, "{} produces hits", p.label);
@@ -263,7 +278,7 @@ mod tests {
 
     #[test]
     fn render_includes_all_sections(){
-        let s = render(ExpConfig::quick());
+        let s = render(ExpConfig::quick()).unwrap();
         assert!(s.contains("index hash"));
         assert!(s.contains("replacement"));
         assert!(s.contains("commutative"));

@@ -1,6 +1,7 @@
 //! Runs the design-choice ablations (hash, replacement, commutativity,
 //! shared-vs-private tables).
-use memo_experiments::{ablations, ExpConfig};
-fn main() {
-    println!("{}", ablations::render(ExpConfig::from_env()));
+use memo_experiments::{ablations, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    println!("{}", ablations::render(ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,24 +1,120 @@
 //! Runs every table and figure in sequence — the full reproduction.
-use memo_experiments::*;
+//!
+//! Each experiment runs inside its own catch barrier: a typed error or a
+//! panic in one experiment is reported and the run continues, so a single
+//! bad fit or missing registration no longer costs the whole evening. The
+//! binary ends with a pass/fail summary per experiment and exits nonzero
+//! if anything failed.
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use memo_experiments::{
+    ablations, extension, fault_tolerance, figures, hits, images, mantissa, related, speedup,
+    suites, summary, table1, trivial, ExpConfig, ExperimentError,
+};
+
+type Runner = fn(ExpConfig) -> Result<String, ExperimentError>;
+
+fn experiments() -> Vec<(&'static str, Runner)> {
+    vec![
+        ("table 1", |_| Ok(table1::render())),
+        ("tables 2-4", |_| {
+            Ok(format!(
+                "{}\n{}\n{}",
+                suites::render_table2(),
+                suites::render_table3(),
+                suites::render_table4()
+            ))
+        }),
+        ("table 5", |cfg| Ok(hits::table5(cfg).render())),
+        ("table 6", |cfg| Ok(hits::table6(cfg).render())),
+        ("table 7", |cfg| Ok(hits::table7(cfg).render())),
+        ("table 8", |cfg| Ok(images::render(&images::table8(cfg)))),
+        ("table 9", |cfg| Ok(trivial::render(&trivial::table9(cfg)?))),
+        ("table 10", |cfg| Ok(mantissa::render(&mantissa::table10(cfg)))),
+        ("table 11", |cfg| {
+            Ok(speedup::render(
+                "Table 11: Speedup, fp division memoized",
+                "13c",
+                "39c",
+                &speedup::table11(cfg)?,
+            ))
+        }),
+        ("table 12", |cfg| {
+            Ok(speedup::render(
+                "Table 12: Speedup, fp multiplication memoized",
+                "3c",
+                "5c",
+                &speedup::table12(cfg)?,
+            ))
+        }),
+        ("table 13", |cfg| {
+            Ok(speedup::render(
+                "Table 13: Speedup, fp mul+div memoized",
+                "3/13c",
+                "5/39c",
+                &speedup::table13(cfg)?,
+            ))
+        }),
+        ("figure 2", |cfg| Ok(figures::figure2(cfg)?.render())),
+        ("figure 3", |cfg| {
+            Ok(figures::render_sweep(
+                "Figure 3: Hit ratio vs LUT size (4-way)",
+                "entries",
+                &figures::figure3(cfg)?,
+            ))
+        }),
+        ("figure 4", |cfg| {
+            Ok(figures::render_sweep(
+                "Figure 4: Hit ratio vs associativity (32 entries)",
+                "ways",
+                &figures::figure4(cfg)?,
+            ))
+        }),
+        ("ablations", ablations::render),
+        ("related work", related::render),
+        ("future work", extension::render),
+        ("fault tolerance", fault_tolerance::render),
+        ("scorecard", summary::render),
+    ]
+}
+
 fn main() {
     let cfg = ExpConfig::from_env();
-    println!("{}", table1::render());
-    println!("{}", suites::render_table2());
-    println!("{}", suites::render_table3());
-    println!("{}", suites::render_table4());
-    println!("{}", hits::table5(cfg).render());
-    println!("{}", hits::table6(cfg).render());
-    println!("{}", hits::table7(cfg).render());
-    println!("{}", images::render(&images::table8(cfg)));
-    println!("{}", trivial::render(&trivial::table9(cfg)));
-    println!("{}", mantissa::render(&mantissa::table10(cfg)));
-    println!("{}", speedup::render("Table 11: Speedup, fp division memoized", "13c", "39c", &speedup::table11(cfg)));
-    println!("{}", speedup::render("Table 12: Speedup, fp multiplication memoized", "3c", "5c", &speedup::table12(cfg)));
-    println!("{}", speedup::render("Table 13: Speedup, fp mul+div memoized", "3/13c", "5/39c", &speedup::table13(cfg)));
-    println!("{}", figures::figure2(cfg).render());
-    println!("{}", figures::render_sweep("Figure 3: Hit ratio vs LUT size (4-way)", "entries", &figures::figure3(cfg)));
-    println!("{}", figures::render_sweep("Figure 4: Hit ratio vs associativity (32 entries)", "ways", &figures::figure4(cfg)));
-    println!("{}", ablations::render(cfg));
-    println!("{}", related::render(cfg));
-    println!("{}", extension::render(cfg));
+    let mut outcomes: Vec<(&'static str, Result<(), String>)> = Vec::new();
+
+    for (name, run) in experiments() {
+        let outcome = match catch_unwind(AssertUnwindSafe(|| run(cfg))) {
+            Ok(Ok(report)) => {
+                println!("{report}");
+                Ok(())
+            }
+            Ok(Err(e)) => Err(e.to_string()),
+            Err(panic) => {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| panic.downcast_ref::<&str>().copied())
+                    .unwrap_or("panic with non-string payload");
+                Err(format!("panicked: {msg}"))
+            }
+        };
+        if let Err(why) = &outcome {
+            eprintln!("[all_experiments] {name} FAILED: {why}");
+        }
+        outcomes.push((name, outcome));
+    }
+
+    let failed = outcomes.iter().filter(|(_, o)| o.is_err()).count();
+    println!("\n=== experiment summary ===");
+    for (name, outcome) in &outcomes {
+        match outcome {
+            Ok(()) => println!("  PASS  {name}"),
+            Err(why) => println!("  FAIL  {name} — {why}"),
+        }
+    }
+    println!("{} of {} experiments passed", outcomes.len() - failed, outcomes.len());
+
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,8 @@
+//! Runs the soft-error robustness study: the fault-rate × protection
+//! sweep, the protection cycle-cost table, the circuit-breaker
+//! demonstration, and the differential transparency checker.
+use memo_experiments::{fault_tolerance, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    println!("{}", fault_tolerance::render(ExpConfig::from_env())?);
+    Ok(())
+}

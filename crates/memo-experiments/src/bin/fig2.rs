@@ -1,10 +1,11 @@
 //! Regenerates Figure 2 (hit ratio vs entropy, LM best fit).
 //! Pass --csv to dump the scatter points.
-use memo_experiments::{figures, ExpConfig};
-fn main() {
-    let fig = figures::figure2(ExpConfig::from_env());
+use memo_experiments::{figures, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let fig = figures::figure2(ExpConfig::from_env())?;
     println!("{}", fig.render());
     if std::env::args().any(|a| a == "--csv") {
         println!("{}", fig.points_csv());
     }
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Regenerates Figure 3 (hit ratio vs LUT size).
-use memo_experiments::{figures, ExpConfig};
-fn main() {
-    let curves = figures::figure3(ExpConfig::from_env());
+use memo_experiments::{figures, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let curves = figures::figure3(ExpConfig::from_env())?;
     println!("{}", figures::render_sweep("Figure 3: Hit ratio vs LUT size (4-way)", "entries", &curves));
+    Ok(())
 }

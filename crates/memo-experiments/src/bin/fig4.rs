@@ -1,6 +1,7 @@
 //! Regenerates Figure 4 (hit ratio vs associativity, 32 entries).
-use memo_experiments::{figures, ExpConfig};
-fn main() {
-    let curves = figures::figure4(ExpConfig::from_env());
+use memo_experiments::{figures, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let curves = figures::figure4(ExpConfig::from_env())?;
     println!("{}", figures::render_sweep("Figure 4: Hit ratio vs associativity (32 entries)", "ways", &curves));
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Runs the paper's future-work studies: sqrt-unit memoization and the
 //! pipeline-hazard model.
-use memo_experiments::{extension, ExpConfig};
-fn main() {
-    println!("{}", extension::render(ExpConfig::from_env()));
+use memo_experiments::{extension, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    println!("{}", extension::render(ExpConfig::from_env())?);
+    Ok(())
 }

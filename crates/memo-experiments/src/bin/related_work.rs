@@ -1,6 +1,7 @@
 //! Compares MEMO-TABLEs against the related-work division-acceleration
 //! schemes (trivial-only detection, reciprocal caches).
-use memo_experiments::{related, ExpConfig};
-fn main() {
-    println!("{}", related::render(ExpConfig::from_env()));
+use memo_experiments::{related, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    println!("{}", related::render(ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Prints the live reproduction scorecard: every headline claim of the
 //! paper evaluated against fresh measurements.
-use memo_experiments::{summary, ExpConfig};
-fn main() {
-    println!("{}", summary::render(ExpConfig::from_env()));
+use memo_experiments::{summary, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    println!("{}", summary::render(ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table 11 (fp-division memoization speedups).
-use memo_experiments::{speedup, ExpConfig};
-fn main() {
-    let rows = speedup::table11(ExpConfig::from_env());
+use memo_experiments::{speedup, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let rows = speedup::table11(ExpConfig::from_env())?;
     println!("{}", speedup::render("Table 11: Speedup, fp division memoized", "13c", "39c", &rows));
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table 12 (fp-multiplication memoization speedups).
-use memo_experiments::{speedup, ExpConfig};
-fn main() {
-    let rows = speedup::table12(ExpConfig::from_env());
+use memo_experiments::{speedup, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let rows = speedup::table12(ExpConfig::from_env())?;
     println!("{}", speedup::render("Table 12: Speedup, fp multiplication memoized", "3c", "5c", &rows));
+    Ok(())
 }

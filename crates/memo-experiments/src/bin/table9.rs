@@ -1,6 +1,7 @@
 //! Regenerates Table 9 (trivial-operation policies).
-use memo_experiments::{trivial, ExpConfig};
-fn main() {
-    let rows = trivial::table9(ExpConfig::from_env());
+use memo_experiments::{trivial, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    let rows = trivial::table9(ExpConfig::from_env())?;
     println!("{}", trivial::render(&rows));
+    Ok(())
 }

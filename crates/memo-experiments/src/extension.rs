@@ -8,13 +8,13 @@ use memo_sim::{
     MemoryHierarchy, PipelineModel,
 };
 use memo_table::{MemoConfig, MemoTable, OpKind};
-use memo_workloads::mm;
 use memo_workloads::suite::mm_inputs;
 
+use crate::error::find_mm;
 use crate::figures::{OpTrace, SAMPLE_APPS};
 
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// A workload variant that uses the hardware square-root *instruction*
 /// instead of Newton iteration on the divider — per-pixel `fsqrt` over an
@@ -76,15 +76,18 @@ pub struct PipelineRow {
 /// §2.2–2.3: how much more a MEMO-TABLE buys once structural hazards are
 /// modelled — the non-pipelined divider blocks issue on the baseline
 /// machine but is freed by table hits.
-#[must_use]
-pub fn pipeline_study(cfg: ExpConfig) -> Vec<PipelineRow> {
+///
+/// # Errors
+///
+/// Fails if a studied app name is missing from the registry.
+pub fn pipeline_study(cfg: ExpConfig) -> Result<Vec<PipelineRow>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
 
     ["vspatial", "vgauss", "vgpwl", "vkmeans"]
         .iter()
         .map(|name| {
-            let app = mm::find(name).expect("registered");
+            let app = find_mm(name)?;
 
             // Latency model.
             let mut acc = CycleAccountant::new(
@@ -116,38 +119,44 @@ pub fn pipeline_study(cfg: ExpConfig) -> Vec<PipelineRow> {
             }
             let b = base.report();
             let m = memo.report();
-            PipelineRow {
+            Ok(PipelineRow {
                 name: name.to_string(),
                 latency_model,
                 pipeline_model: b.cycles as f64 / m.cycles as f64,
                 stalls_removed: b.fp_div_stalls.saturating_sub(m.fp_div_stalls),
-            }
+            })
         })
         .collect()
 }
 
 /// §2.3 / §4: one divider + MEMO-TABLE interface vs. a duplicated divider,
 /// on the pooled division stream of the sample applications.
-#[must_use]
-pub fn divider_farm_study(cfg: ExpConfig) -> FarmComparison {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn divider_farm_study(cfg: ExpConfig) -> Result<FarmComparison, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let mut trace = OpTrace::new();
     for name in SAMPLE_APPS {
-        let app = mm::find(name).expect("registered");
+        let app = find_mm(name)?;
         for c in &corpus {
             app.run(&mut trace, &c.image);
         }
     }
-    compare_divider_farms(
+    Ok(compare_divider_farms(
         &CpuModel::paper_slow(),
         MemoConfig::paper_default(),
         trace.ops(),
-    )
+    ))
 }
 
 /// Render both future-work studies.
-#[must_use]
-pub fn render(cfg: ExpConfig) -> String {
+///
+/// # Errors
+///
+/// Fails if a studied app name is missing from the registry.
+pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
     let s = sqrt_extension(cfg);
     let mut out = format!(
         "Future work (Section 4): memoizing the square-root unit\n\
@@ -158,7 +167,7 @@ pub fn render(cfg: ExpConfig) -> String {
     );
 
     let mut t = TextTable::new(&["app", "latency-model", "pipeline-model", "stalls removed"]);
-    for r in pipeline_study(cfg) {
+    for r in pipeline_study(cfg)? {
         t.row(vec![
             r.name,
             format!("{:.3}x", r.latency_model),
@@ -172,7 +181,7 @@ pub fn render(cfg: ExpConfig) -> String {
         t.render()
     ));
 
-    let farm = divider_farm_study(cfg);
+    let farm = divider_farm_study(cfg)?;
     out.push_str(&format!(
         "Divider farm (Section 2.3 / Section 4): draining {} divisions (39-cycle divider)\n\
          1 divider                    : {:>9} cycles ({:.3} div/cycle)\n\
@@ -187,7 +196,7 @@ pub fn render(cfg: ExpConfig) -> String {
         farm.dual.cycles,
         farm.dual.throughput(farm.divisions),
     ));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -206,7 +215,7 @@ mod tests {
 
     #[test]
     fn pipeline_model_amplifies_division_wins() {
-        let rows = pipeline_study(ExpConfig::quick());
+        let rows = pipeline_study(ExpConfig::quick()).unwrap();
         assert_eq!(rows.len(), 4);
         for r in &rows {
             assert!(r.latency_model >= 1.0, "{}", r.name);
@@ -219,7 +228,7 @@ mod tests {
 
     #[test]
     fn divider_farm_interface_is_worth_a_second_divider() {
-        let farm = divider_farm_study(ExpConfig::quick());
+        let farm = divider_farm_study(ExpConfig::quick()).unwrap();
         assert!(farm.divisions > 100);
         assert!(
             farm.with_interface.cycles < farm.single.cycles,
@@ -240,7 +249,7 @@ mod tests {
 
     #[test]
     fn render_mentions_all_studies() {
-        let s = render(ExpConfig::quick());
+        let s = render(ExpConfig::quick()).unwrap();
         assert!(s.contains("square-root"));
         assert!(s.contains("Pipeline integration"));
         assert!(s.contains("Divider farm"));

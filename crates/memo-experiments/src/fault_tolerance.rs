@@ -1,0 +1,578 @@
+//! Soft-error fault tolerance of the MEMO-TABLE (robustness study).
+//!
+//! The paper assumes the memo SRAM is perfect: a hit is served verbatim.
+//! A particle strike that flips a stored result bit breaks exactly the
+//! property the whole design rests on — bit-exact transparency — and does
+//! so *silently*, because the conventional unit never recomputes a hit.
+//!
+//! This module quantifies that exposure and the cost of closing it:
+//!
+//! * [`sweep`] — fault rate × [`Protection`] policy over the MM and
+//!   scientific suites, reporting end-to-end silent-data-corruption (SDC)
+//!   rates, hit ratios, and the injector/detector counters;
+//! * [`protection_speedups`] — how much of the memoization speedup each
+//!   policy retains once its per-hit cycle charge is accounted;
+//! * [`breaker_demo`] — the circuit breaker taking a faulty table slot
+//!   offline after repeated detections (graceful degradation to the
+//!   conventional unit);
+//! * [`check_transparency`] — the differential checker: every MM kernel
+//!   re-run with table-served arithmetic must produce a bit-identical
+//!   image, and every scientific kernel's served values must match native
+//!   computation op-for-op, whenever injection is disabled.
+
+use memo_imaging::Image;
+use memo_sim::{CpuModel, Event, EventSink, MemoBank, MemoizedSink, NullSink};
+use memo_table::{FaultConfig, FaultInjector, MemoConfig, MemoTable, OpKind, Protection};
+use memo_workloads::suite::{measure_mm_cycles, mm_inputs};
+use memo_workloads::{mm, sci};
+
+use crate::error::find_mm;
+use crate::format::{ratio, TextTable};
+use crate::{ExpConfig, ExperimentError};
+
+/// The operation kinds memoized throughout the fault studies.
+pub const MEMO_KINDS: [OpKind; 4] =
+    [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv, OpKind::FpSqrt];
+
+/// Per-lookup single-bit upset probabilities swept by [`sweep`]. Vastly
+/// above any physical rate, deliberately: the point is to separate the
+/// policies, not to model a particular altitude.
+pub const FAULT_RATES: [f64; 3] = [0.0, 0.01, 0.1];
+
+/// Division-heavy applications used for the speedup-retention study.
+pub const SPEEDUP_SAMPLE: [&str; 3] = ["vspatial", "vgauss", "vgpwl"];
+
+/// Human label for a protection policy.
+#[must_use]
+pub fn protection_label(p: Protection) -> String {
+    match p {
+        Protection::None => "none".to_string(),
+        Protection::ParityDetect => "parity".to_string(),
+        Protection::EccSecDed => "ecc sec-ded".to_string(),
+        Protection::VerifyOnHit { verify_cycles } => format!("verify({verify_cycles}c)"),
+    }
+}
+
+fn protected_config(protection: Protection) -> MemoConfig {
+    // 32-entry 4-way is the paper's default geometry; always valid.
+    MemoConfig::builder(32).protection(protection).build().expect("32/4 is valid")
+}
+
+/// Build a bank of protected tables, one per kind in [`MEMO_KINDS`], each
+/// with its own deterministic injector stream (the seed is split per slot
+/// so the streams are independent but replayable).
+#[must_use]
+pub fn faulty_bank(protection: Protection, rate: f64, seed: u64) -> MemoBank {
+    let mut bank = MemoBank::none();
+    for (i, &kind) in MEMO_KINDS.iter().enumerate() {
+        let fault_cfg = if rate > 0.0 {
+            FaultConfig::single_bit(
+                seed ^ 0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(i as u64 + 1),
+                rate,
+            )
+        } else {
+            FaultConfig::disabled()
+        };
+        let table = MemoTable::new(protected_config(protection))
+            .with_fault_injector(FaultInjector::new(fault_cfg));
+        bank = bank.with_table(kind, table);
+    }
+    bank
+}
+
+// ---------------------------------------------------------------------------
+// DiffSink — the differential observer
+// ---------------------------------------------------------------------------
+
+/// An [`EventSink`] that executes every multi-cycle operation twice — once
+/// through a memo bank, once natively — and counts bit-level divergence.
+/// The kernel always consumes the native result, so its control flow never
+/// depends on (possibly corrupted) table output: the sink is a pure
+/// observer of end-to-end silent corruption.
+#[derive(Debug)]
+pub struct DiffSink {
+    bank: MemoBank,
+    served: u64,
+    mismatches: u64,
+}
+
+impl DiffSink {
+    /// Wrap a bank.
+    #[must_use]
+    pub fn new(bank: MemoBank) -> Self {
+        DiffSink { bank, served: 0, mismatches: 0 }
+    }
+
+    /// Operations compared so far.
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// Operations whose table-served value differed from native.
+    #[must_use]
+    pub fn mismatches(&self) -> u64 {
+        self.mismatches
+    }
+
+    /// The bank (for fault statistics).
+    #[must_use]
+    pub fn bank(&self) -> &MemoBank {
+        &self.bank
+    }
+
+    /// Tear down the sink and keep the bank.
+    #[must_use]
+    pub fn into_bank(self) -> MemoBank {
+        self.bank
+    }
+}
+
+impl EventSink for DiffSink {
+    fn record(&mut self, event: Event) {
+        if let Event::Arith(op) = event {
+            self.served += 1;
+            if self.bank.execute(op).value != op.compute() {
+                self.mismatches += 1;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The fault-rate × protection sweep
+// ---------------------------------------------------------------------------
+
+/// One (protection, fault-rate) cell of the sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultCell {
+    /// Table protection policy.
+    pub protection: Protection,
+    /// Per-lookup single-bit upset probability.
+    pub fault_rate: f64,
+    /// End-to-end SDC rate: served operations whose value diverged from
+    /// native computation, over all served operations.
+    pub sdc_rate: f64,
+    /// Pooled hit ratio across the memoized kinds (hits / lookups).
+    pub hit_ratio: f64,
+    /// Bit flips the injector planted.
+    pub faults_injected: u64,
+    /// Corrupted hits the policy detected (entry invalidated, miss).
+    pub faults_detected: u64,
+    /// Corrupted hits ECC repaired in place.
+    pub faults_corrected: u64,
+    /// Corrupted hits served to the consumer unnoticed.
+    pub faults_silent: u64,
+}
+
+fn pooled_cell(protection: Protection, rate: f64, sink: &DiffSink) -> FaultCell {
+    let mut hits = 0;
+    let mut lookups = 0;
+    let (mut inj, mut det, mut corr, mut silent) = (0, 0, 0, 0);
+    for &kind in &MEMO_KINDS {
+        if let Some(s) = sink.bank().stats(kind) {
+            hits += s.table_hits;
+            lookups += s.table_lookups;
+            inj += s.faults_injected;
+            det += s.faults_detected;
+            corr += s.faults_corrected;
+            silent += s.faults_silent;
+        }
+    }
+    FaultCell {
+        protection,
+        fault_rate: rate,
+        sdc_rate: if sink.served() == 0 {
+            0.0
+        } else {
+            sink.mismatches() as f64 / sink.served() as f64
+        },
+        hit_ratio: if lookups == 0 { 0.0 } else { hits as f64 / lookups as f64 },
+        faults_injected: inj,
+        faults_detected: det,
+        faults_corrected: corr,
+        faults_silent: silent,
+    }
+}
+
+/// Sweep fault rate × protection policy over the full MM corpus and the
+/// scientific suites, measuring end-to-end SDC and hit-ratio impact.
+#[must_use]
+pub fn sweep(cfg: ExpConfig) -> Vec<FaultCell> {
+    let corpus = mm_inputs(cfg.image_scale);
+    let mm_apps = mm::apps();
+    let sci_apps = sci::all_apps();
+    let mut cells = Vec::new();
+    for protection in Protection::ALL {
+        for rate in FAULT_RATES {
+            let mut sink = DiffSink::new(faulty_bank(protection, rate, 0xFA17));
+            for app in &mm_apps {
+                for c in &corpus {
+                    let _ = app.run(&mut sink, &c.image);
+                }
+            }
+            for app in &sci_apps {
+                app.run(&mut sink, cfg.sci_n);
+            }
+            cells.push(pooled_cell(protection, rate, &sink));
+        }
+    }
+    cells
+}
+
+// ---------------------------------------------------------------------------
+// Speedup retained under protection
+// ---------------------------------------------------------------------------
+
+/// Speedup of the division-heavy sample under one protection policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtectionSpeedup {
+    /// The policy.
+    pub protection: Protection,
+    /// Mean measured speedup over [`SPEEDUP_SAMPLE`] (39-cycle divider).
+    pub speedup: f64,
+}
+
+/// Measure how much of the memoization speedup survives each policy's
+/// per-hit cycle charge (clean tables — the cost is the read-path logic,
+/// not the faults).
+///
+/// # Errors
+///
+/// Fails if a [`SPEEDUP_SAMPLE`] name is missing from the registry.
+pub fn protection_speedups(cfg: ExpConfig) -> Result<Vec<ProtectionSpeedup>, ExperimentError> {
+    let corpus = mm_inputs(cfg.image_scale);
+    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
+    Protection::ALL
+        .iter()
+        .map(|&protection| {
+            let mut total = 0.0;
+            for name in SPEEDUP_SAMPLE {
+                let app = find_mm(name)?;
+                let report = measure_mm_cycles(
+                    &app,
+                    &inputs,
+                    CpuModel::paper_slow(),
+                    faulty_bank(protection, 0.0, 0),
+                );
+                total += report.speedup_measured();
+            }
+            Ok(ProtectionSpeedup {
+                protection,
+                speedup: total / SPEEDUP_SAMPLE.len() as f64,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker
+// ---------------------------------------------------------------------------
+
+/// Outcome of the circuit-breaker demonstration.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerDemo {
+    /// Detections required to trip a slot.
+    pub threshold: u64,
+    /// How many of the four table slots tripped.
+    pub tripped_slots: usize,
+    /// Total detections across the bank when the run ended.
+    pub faults_detected: u64,
+}
+
+/// Drive parity-protected tables at an unrealistically hostile fault rate
+/// behind a circuit breaker: every slot should exceed the detection
+/// threshold and be taken offline, degrading to the conventional unit.
+#[must_use]
+pub fn breaker_demo(cfg: ExpConfig) -> BreakerDemo {
+    let threshold = 8;
+    let bank = faulty_bank(Protection::ParityDetect, 0.5, 0xB2EA).with_circuit_breaker(threshold);
+    let mut sink = DiffSink::new(bank);
+    let corpus = mm_inputs(cfg.image_scale);
+    for app in &mm::apps() {
+        for c in &corpus {
+            let _ = app.run(&mut sink, &c.image);
+        }
+    }
+    for app in &sci::all_apps() {
+        app.run(&mut sink, cfg.sci_n);
+    }
+    let bank = sink.into_bank();
+    let tripped = MEMO_KINDS.iter().filter(|&&k| bank.breaker_tripped(k)).count();
+    let detected = MEMO_KINDS
+        .iter()
+        .filter_map(|&k| bank.stats(k))
+        .map(|s| s.faults_detected)
+        .sum();
+    BreakerDemo { threshold, tripped_slots: tripped, faults_detected: detected }
+}
+
+// ---------------------------------------------------------------------------
+// Differential transparency
+// ---------------------------------------------------------------------------
+
+/// What the differential checker covered.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TransparencyReport {
+    /// MM kernels whose output images were bit-compared.
+    pub mm_apps: usize,
+    /// Scientific kernels whose served values were op-compared.
+    pub sci_apps: usize,
+    /// Total operations served through tables during the check.
+    pub ops_compared: u64,
+}
+
+/// The differential transparency checker. With injection disabled, every
+/// MM kernel must produce a bit-identical output image when its arithmetic
+/// is served by memo tables, and every scientific kernel's served values
+/// must match native computation op-for-op — under every protection
+/// policy's read path (the ECC corrector and parity checker must be
+/// no-ops on clean entries).
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Transparency`] naming the first diverging
+/// kernel.
+pub fn check_transparency(cfg: ExpConfig) -> Result<TransparencyReport, ExperimentError> {
+    let corpus = mm_inputs(cfg.image_scale);
+    let mut report = TransparencyReport::default();
+
+    for app in &mm::apps() {
+        for (protection, c) in Protection::ALL.iter().cycle().zip(&corpus) {
+            let expected = app.run(&mut NullSink, &c.image);
+            let mut memo = MemoizedSink::new(faulty_bank(*protection, 0.0, 0));
+            let got = app.run(&mut memo, &c.image);
+            if expected != got {
+                return Err(ExperimentError::Transparency {
+                    app: app.name.to_string(),
+                    detail: format!(
+                        "memoized output image differs from native under {} protection",
+                        protection_label(*protection)
+                    ),
+                });
+            }
+            report.ops_compared += MEMO_KINDS
+                .iter()
+                .filter_map(|&k| memo.bank().stats(k))
+                .map(|s| s.ops_seen)
+                .sum::<u64>();
+        }
+        report.mm_apps += 1;
+    }
+
+    for app in &sci::all_apps() {
+        let mut diff = DiffSink::new(faulty_bank(Protection::EccSecDed, 0.0, 0));
+        app.run(&mut diff, cfg.sci_n);
+        if diff.mismatches() > 0 {
+            return Err(ExperimentError::Transparency {
+                app: app.name.to_string(),
+                detail: format!(
+                    "{} of {} served values diverged from native computation",
+                    diff.mismatches(),
+                    diff.served()
+                ),
+            });
+        }
+        report.ops_compared += diff.served();
+        report.sci_apps += 1;
+    }
+
+    Ok(report)
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+/// Render the full fault-tolerance report.
+///
+/// # Errors
+///
+/// Fails if a sampled app is unregistered or transparency is violated.
+pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
+    let mut out = String::from(
+        "Fault tolerance: single-bit soft errors in the MEMO-TABLE SRAM\n\
+         (injection rates are per lookup, far above physical rates, to\n\
+         separate the policies; all streams are deterministic)\n\n",
+    );
+
+    let mut t = TextTable::new(&[
+        "protection",
+        "fault rate",
+        "hit",
+        "SDC rate",
+        "injected",
+        "detected",
+        "corrected",
+        "silent",
+    ]);
+    for cell in sweep(cfg) {
+        t.row(vec![
+            protection_label(cell.protection),
+            format!("{:.3}", cell.fault_rate),
+            ratio(Some(cell.hit_ratio)),
+            format!("{:.5}", cell.sdc_rate),
+            cell.faults_injected.to_string(),
+            cell.faults_detected.to_string(),
+            cell.faults_corrected.to_string(),
+            cell.faults_silent.to_string(),
+        ]);
+    }
+    out.push_str(&format!("SDC sweep (MM corpus + scientific suites)\n{}\n", t.render()));
+
+    let mut t = TextTable::new(&["protection", "speedup retained (39c divider)"]);
+    for p in protection_speedups(cfg)? {
+        t.row(vec![protection_label(p.protection), format!("{:.3}x", p.speedup)]);
+    }
+    out.push_str(&format!(
+        "Cost of protection (clean tables, division-heavy sample)\n{}\n",
+        t.render()
+    ));
+
+    let b = breaker_demo(cfg);
+    out.push_str(&format!(
+        "Circuit breaker: {}/{} slots taken offline after {} detections \
+         (threshold {} per slot)\n\n",
+        b.tripped_slots,
+        MEMO_KINDS.len(),
+        b.faults_detected,
+        b.threshold,
+    ));
+
+    let tr = check_transparency(cfg)?;
+    out.push_str(&format!(
+        "Differential transparency: {} MM kernels bit-identical, {} scientific \
+         kernels op-identical ({} table-served operations compared)\n",
+        tr.mm_apps, tr.sci_apps, tr.ops_compared,
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_sample(sink: &mut DiffSink) {
+        let corpus = mm_inputs(ExpConfig::quick().image_scale);
+        for name in SPEEDUP_SAMPLE {
+            let app = mm::find(name).expect("sample registered");
+            for c in &corpus {
+                let _ = app.run(sink, &c.image);
+            }
+        }
+    }
+
+    #[test]
+    fn unprotected_tables_suffer_silent_corruption() {
+        let mut sink = DiffSink::new(faulty_bank(Protection::None, 0.1, 3));
+        run_sample(&mut sink);
+        assert!(sink.mismatches() > 0, "faults must reach the consumer");
+        let cell = pooled_cell(Protection::None, 0.1, &sink);
+        assert!(cell.sdc_rate > 0.0);
+        assert!(cell.faults_silent > 0);
+        assert_eq!(cell.faults_detected, 0, "no detector fitted");
+    }
+
+    #[test]
+    fn parity_and_ecc_stop_single_bit_sdc() {
+        for protection in [Protection::ParityDetect, Protection::EccSecDed] {
+            let mut sink = DiffSink::new(faulty_bank(protection, 0.1, 3));
+            run_sample(&mut sink);
+            assert_eq!(
+                sink.mismatches(),
+                0,
+                "{} must stop single-bit SDC",
+                protection_label(protection)
+            );
+            let cell = pooled_cell(protection, 0.1, &sink);
+            assert!(cell.faults_injected > 0, "the injector must have fired");
+            assert!(
+                cell.faults_detected + cell.faults_corrected > 0,
+                "the policy must have acted"
+            );
+            assert_eq!(cell.faults_silent, 0);
+        }
+    }
+
+    #[test]
+    fn ecc_keeps_more_hits_than_parity() {
+        // Parity downgrades every detected fault to a miss; ECC repairs it
+        // and keeps the hit. Same injector seed, same stream.
+        let mut parity = DiffSink::new(faulty_bank(Protection::ParityDetect, 0.1, 3));
+        run_sample(&mut parity);
+        let mut ecc = DiffSink::new(faulty_bank(Protection::EccSecDed, 0.1, 3));
+        run_sample(&mut ecc);
+        let p = pooled_cell(Protection::ParityDetect, 0.1, &parity);
+        let e = pooled_cell(Protection::EccSecDed, 0.1, &ecc);
+        assert!(e.faults_corrected > 0);
+        assert!(
+            e.hit_ratio >= p.hit_ratio,
+            "ecc {} vs parity {}",
+            e.hit_ratio,
+            p.hit_ratio
+        );
+    }
+
+    #[test]
+    fn verification_cycles_tax_the_speedup() {
+        let speedups = protection_speedups(ExpConfig::quick()).unwrap();
+        let by = |p: Protection| {
+            speedups
+                .iter()
+                .find(|s| s.protection == p)
+                .map(|s| s.speedup)
+                .expect("policy swept")
+        };
+        let none = by(Protection::None);
+        let parity = by(Protection::ParityDetect);
+        let ecc = by(Protection::EccSecDed);
+        let verify = by(Protection::VerifyOnHit { verify_cycles: 4 });
+        // Parity overlaps the compare: free. ECC charges 1 cycle per hit,
+        // verify charges 4 — the ordering must be visible.
+        assert!((parity - none).abs() < 1e-9, "parity {parity} vs none {none}");
+        assert!(ecc < none, "ecc {ecc} must pay its read-path cycle vs {none}");
+        assert!(verify < ecc, "verify {verify} must cost more than ecc {ecc}");
+        assert!(verify > 1.0, "even verified memoing must still pay off: {verify}");
+    }
+
+    #[test]
+    fn breaker_takes_hostile_slots_offline() {
+        let b = breaker_demo(ExpConfig::quick());
+        assert!(b.tripped_slots > 0, "at least one slot must trip");
+        assert!(b.faults_detected >= b.threshold);
+    }
+
+    #[test]
+    fn transparency_holds_with_faults_disabled() {
+        let report = check_transparency(ExpConfig::quick()).unwrap();
+        assert_eq!(report.mm_apps, mm::apps().len());
+        assert_eq!(report.sci_apps, sci::all_apps().len());
+        assert!(report.ops_compared > 0);
+    }
+
+    #[test]
+    fn sweep_separates_the_policies() {
+        let cells = sweep(ExpConfig::quick());
+        assert_eq!(cells.len(), Protection::ALL.len() * FAULT_RATES.len());
+        for cell in &cells {
+            if cell.fault_rate == 0.0 {
+                assert_eq!(cell.faults_injected, 0);
+                assert_eq!(cell.sdc_rate, 0.0, "{}", protection_label(cell.protection));
+            }
+            match cell.protection {
+                Protection::None => assert_eq!(cell.faults_detected, 0),
+                _ => assert_eq!(
+                    cell.faults_silent, 0,
+                    "{} leaks under single-bit faults",
+                    protection_label(cell.protection)
+                ),
+            }
+        }
+        // The headline: unprotected tables corrupt results; parity doesn't.
+        let none_hot = cells
+            .iter()
+            .find(|c| c.protection == Protection::None && c.fault_rate == 0.1)
+            .expect("swept");
+        assert!(none_hot.sdc_rate > 0.0);
+    }
+}

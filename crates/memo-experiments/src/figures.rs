@@ -8,8 +8,9 @@ use memo_table::{Assoc, MemoConfig, MemoTable, Memoizer, Op, OpKind};
 use memo_workloads::mm;
 use memo_workloads::suite::{measure_mm_app, mm_inputs};
 
+use crate::error::find_mm;
 use crate::format::TextTable;
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// The five sample applications the paper uses for Figures 3 and 4.
 pub const SAMPLE_APPS: [&str; 5] = ["vcost", "venhance", "vgpwl", "vspatial", "vsurf"];
@@ -86,8 +87,11 @@ pub struct Figure2 {
 
 /// Compute Figure 2 over the corpus (byte/integer images only — FLOAT
 /// imagery has no defined entropy, as in the paper).
-#[must_use]
-pub fn figure2(cfg: ExpConfig) -> Figure2 {
+///
+/// # Errors
+///
+/// Fails if a panel's scatter is too small or degenerate to fit.
+pub fn figure2(cfg: ExpConfig) -> Result<Figure2, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let apps = mm::apps();
     let mut points = Vec::new();
@@ -107,22 +111,21 @@ pub fn figure2(cfg: ExpConfig) -> Figure2 {
         }
     }
 
-    let fit = |xs: Vec<f64>, ys: Vec<f64>| -> Line {
-        fit_line(&xs, &ys).expect("panel has enough points")
-    };
-    let panel = |fx: fn(&EntropyPoint) -> f64, fy: fn(&EntropyPoint) -> Option<f64>| {
+    let panel = |fx: fn(&EntropyPoint) -> f64,
+                 fy: fn(&EntropyPoint) -> Option<f64>|
+     -> Result<Line, ExperimentError> {
         let (xs, ys): (Vec<f64>, Vec<f64>) =
             points.iter().filter_map(|p| fy(p).map(|y| (fx(p), y))).unzip();
-        fit(xs, ys)
+        Ok(fit_line(&xs, &ys)?)
     };
 
-    Figure2 {
-        fdiv_vs_win8: panel(|p| p.entropy_8, |p| p.fp_div),
-        fdiv_vs_full: panel(|p| p.entropy_full, |p| p.fp_div),
-        fmul_vs_win8: panel(|p| p.entropy_8, |p| p.fp_mul),
-        fmul_vs_full: panel(|p| p.entropy_full, |p| p.fp_mul),
+    Ok(Figure2 {
+        fdiv_vs_win8: panel(|p| p.entropy_8, |p| p.fp_div)?,
+        fdiv_vs_full: panel(|p| p.entropy_full, |p| p.fp_div)?,
+        fmul_vs_win8: panel(|p| p.entropy_8, |p| p.fp_mul)?,
+        fmul_vs_full: panel(|p| p.entropy_full, |p| p.fp_mul)?,
         points,
-    }
+    })
 }
 
 impl Figure2 {
@@ -196,17 +199,17 @@ pub struct SweepCurve {
     pub points: Vec<SweepPoint>,
 }
 
-fn collect_traces(cfg: ExpConfig) -> Vec<OpTrace> {
+fn collect_traces(cfg: ExpConfig) -> Result<Vec<OpTrace>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     SAMPLE_APPS
         .iter()
         .map(|name| {
-            let app = mm::find(name).expect("sample apps are registered");
+            let app = find_mm(name)?;
             let mut trace = OpTrace::new();
             for c in &corpus {
                 app.run(&mut trace, &c.image);
             }
-            trace
+            Ok(trace)
         })
         .collect()
 }
@@ -236,9 +239,12 @@ fn sweep(traces: &[OpTrace], kind: OpKind, configs: &[(usize, MemoConfig)]) -> S
 
 /// Figure 3: hit ratio vs LUT size (8 → 8192 entries, 4-way), for fmul
 /// and fdiv, over the five sample applications.
-#[must_use]
-pub fn figure3(cfg: ExpConfig) -> [SweepCurve; 2] {
-    let traces = collect_traces(cfg);
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn figure3(cfg: ExpConfig) -> Result<[SweepCurve; 2], ExperimentError> {
+    let traces = collect_traces(cfg)?;
     let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
     let configs: Vec<(usize, MemoConfig)> = sizes
         .iter()
@@ -246,14 +252,17 @@ pub fn figure3(cfg: ExpConfig) -> [SweepCurve; 2] {
             (s, MemoConfig::builder(s).assoc(Assoc::Ways(4)).build().expect("size is valid"))
         })
         .collect();
-    [sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)]
+    Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
 }
 
 /// Figure 4: hit ratio vs associativity (direct-mapped → 8-way) at 32
 /// entries.
-#[must_use]
-pub fn figure4(cfg: ExpConfig) -> [SweepCurve; 2] {
-    let traces = collect_traces(cfg);
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn figure4(cfg: ExpConfig) -> Result<[SweepCurve; 2], ExperimentError> {
+    let traces = collect_traces(cfg)?;
     let ways = [1usize, 2, 4, 8];
     let configs: Vec<(usize, MemoConfig)> = ways
         .iter()
@@ -262,7 +271,7 @@ pub fn figure4(cfg: ExpConfig) -> [SweepCurve; 2] {
             (w, MemoConfig::builder(32).assoc(assoc).build().expect("geometry is valid"))
         })
         .collect();
-    [sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)]
+    Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
 }
 
 /// Render a sweep figure as a table of avg (min–max) per point.
@@ -289,7 +298,7 @@ mod tests {
 
     #[test]
     fn figure2_slopes_are_negative() {
-        let fig = figure2(ExpConfig::quick());
+        let fig = figure2(ExpConfig::quick()).unwrap();
         // The paper's takeaway: hit ratio falls with entropy, roughly 5 %
         // per bit on the windowed panels.
         assert!(fig.fdiv_vs_win8.slope < 0.0, "fdiv/8x8 slope {}", fig.fdiv_vs_win8.slope);
@@ -301,7 +310,7 @@ mod tests {
 
     #[test]
     fn figure3_grows_and_saturates() {
-        let curves = figure3(ExpConfig::quick());
+        let curves = figure3(ExpConfig::quick()).unwrap();
         for curve in &curves {
             let first = curve.points.first().unwrap().avg;
             let biggest = curve.points.last().unwrap().avg;
@@ -319,7 +328,7 @@ mod tests {
 
     #[test]
     fn figure4_direct_mapped_is_worst() {
-        let curves = figure4(ExpConfig::quick());
+        let curves = figure4(ExpConfig::quick()).unwrap();
         for curve in &curves {
             let dm = curve.points[0].avg;
             let four_way = curve.points[2].avg;
@@ -339,7 +348,7 @@ mod tests {
 
     #[test]
     fn render_sweep_formats() {
-        let curves = figure4(ExpConfig::quick());
+        let curves = figure4(ExpConfig::quick()).unwrap();
         let s = render_sweep("Figure 4", "ways", &curves);
         assert!(s.contains("Figure 4"));
         assert!(s.lines().count() >= 6);

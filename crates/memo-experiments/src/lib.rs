@@ -22,7 +22,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod error;
 pub mod extension;
+pub mod fault_tolerance;
 pub mod figures;
 pub mod format;
 pub mod hits;
@@ -34,6 +36,8 @@ pub mod suites;
 pub mod summary;
 pub mod table1;
 pub mod trivial;
+
+pub use error::ExperimentError;
 
 /// Problem-size configuration shared by all experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

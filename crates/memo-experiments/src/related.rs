@@ -17,12 +17,12 @@
 use memo_sim::{amdahl, CpuModel};
 use memo_table::baselines::ReciprocalCache;
 use memo_table::{trivial_result, MemoConfig, MemoTable, Memoizer, OpKind};
-use memo_workloads::mm;
 use memo_workloads::suite::mm_inputs;
 
+use crate::error::find_mm;
 use crate::figures::{OpTrace, SAMPLE_APPS};
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// One scheme's results on the pooled division stream.
 #[derive(Debug, Clone, Copy)]
@@ -39,14 +39,20 @@ pub struct SchemeResult {
 
 /// Compare the three schemes on the sample applications' divisions,
 /// using `cpu`'s latencies for the economics.
-#[must_use]
-pub fn compare_division_schemes(cfg: ExpConfig, cpu: CpuModel) -> Vec<SchemeResult> {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn compare_division_schemes(
+    cfg: ExpConfig,
+    cpu: CpuModel,
+) -> Result<Vec<SchemeResult>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
 
     // Pool the division stream of the five sample apps.
     let mut trace = OpTrace::new();
     for name in SAMPLE_APPS {
-        let app = mm::find(name).expect("registered");
+        let app = find_mm(name)?;
         for c in &corpus {
             app.run(&mut trace, &c.image);
         }
@@ -102,7 +108,7 @@ pub fn compare_division_schemes(cfg: ExpConfig, cpu: CpuModel) -> Vec<SchemeResu
     let intgr_hr = memo_intgr.hit_ratio();
     let intgr_se = amdahl::speedup_enhanced(dc, intgr_hr);
 
-    vec![
+    Ok(vec![
         SchemeResult {
             label: "trivial-only detection",
             hit_ratio: trivial_hr,
@@ -119,19 +125,22 @@ pub fn compare_division_schemes(cfg: ExpConfig, cpu: CpuModel) -> Vec<SchemeResu
             hit_ratio: intgr_hr,
             unit_speedup: intgr_se,
         },
-    ]
+    ])
 }
 
 /// Render the comparison for the fast and slow FPU profiles.
-#[must_use]
-pub fn render(cfg: ExpConfig) -> String {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
     let mut out = String::from(
         "Related-work comparison (Section 1.1): division acceleration schemes\n\
          on the pooled division stream of the five sample MM applications\n\n",
     );
     for cpu in [CpuModel::paper_fast(), CpuModel::paper_slow()] {
         let mut t = TextTable::new(&["scheme", "hit ratio", "division-unit speedup"]);
-        for r in compare_division_schemes(cfg, cpu) {
+        for r in compare_division_schemes(cfg, cpu)? {
             t.row(vec![
                 r.label.to_string(),
                 ratio(Some(r.hit_ratio)),
@@ -140,7 +149,7 @@ pub fn render(cfg: ExpConfig) -> String {
         }
         out.push_str(&format!("{} ({}-cycle divider):\n{}\n", cpu.name, cpu.fp_div, t.render()));
     }
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -150,7 +159,7 @@ mod tests {
     #[test]
     fn reciprocal_cache_hits_more_often_than_memo_table() {
         // Divisors repeat far more than full operand pairs.
-        let rows = compare_division_schemes(ExpConfig::quick(), CpuModel::paper_slow());
+        let rows = compare_division_schemes(ExpConfig::quick(), CpuModel::paper_slow()).unwrap();
         let recip = rows[1];
         let memo = rows[2];
         assert!(
@@ -166,7 +175,7 @@ mod tests {
         // Each memo hit saves dc−1 cycles; each reciprocal hit only dc−mc.
         // On the slow profile (5 vs 39 cycles) the memo table's per-hit
         // advantage keeps it within reach or ahead.
-        let rows = compare_division_schemes(ExpConfig::quick(), CpuModel::paper_slow());
+        let rows = compare_division_schemes(ExpConfig::quick(), CpuModel::paper_slow()).unwrap();
         let trivial = rows[0];
         let memo = rows[2];
         assert!(memo.unit_speedup > trivial.unit_speedup, "memoing beats trivial-only");
@@ -176,7 +185,7 @@ mod tests {
     #[test]
     fn all_schemes_report_valid_ratios() {
         for cpu in [CpuModel::paper_fast(), CpuModel::paper_slow()] {
-            for r in compare_division_schemes(ExpConfig::quick(), cpu) {
+            for r in compare_division_schemes(ExpConfig::quick(), cpu).unwrap() {
                 assert!((0.0..=1.0).contains(&r.hit_ratio), "{}", r.label);
                 assert!(r.unit_speedup >= 1.0 - 1e-9, "{}", r.label);
             }
@@ -185,7 +194,7 @@ mod tests {
 
     #[test]
     fn render_lists_all_schemes() {
-        let s = render(ExpConfig::quick());
+        let s = render(ExpConfig::quick()).unwrap();
         assert!(s.contains("trivial-only"));
         assert!(s.contains("reciprocal"));
         assert!(s.contains("MEMO-TABLE"));

@@ -4,11 +4,11 @@
 use memo_imaging::Image;
 use memo_sim::{CpuModel, MemoBank};
 use memo_table::{MemoConfig, OpKind};
-use memo_workloads::mm;
 use memo_workloads::suite::{measure_mm_cycles, mm_inputs};
 
+use crate::error::find_mm;
 use crate::format::{frac3, ratio, TextTable};
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// The nine applications of Tables 11–13.
 pub const SPEEDUP_APPS: [&str; 9] =
@@ -50,8 +50,8 @@ fn measure(
     inputs: &[&Image],
     cpu: CpuModel,
     kinds: &[OpKind],
-) -> SpeedupCells {
-    let app = mm::find(app_name).expect("speedup apps are registered");
+) -> Result<SpeedupCells, ExperimentError> {
+    let app = find_mm(app_name)?;
     let report = measure_mm_cycles(&app, inputs, cpu, bank_for(kinds));
     let fe: f64 = kinds.iter().map(|&k| report.fraction_enhanced(k)).sum();
     let scaled: f64 = kinds
@@ -69,31 +69,41 @@ fn measure(
         .map(|&k| report.hit_ratio(k))
         .collect();
     let hit_ratio = if hrs.is_empty() { 0.0 } else { hrs.iter().sum::<f64>() / hrs.len() as f64 };
-    SpeedupCells {
+    Ok(SpeedupCells {
         hit_ratio,
         fe,
         se,
         speedup: report.speedup_amdahl(kinds),
         measured: report.speedup_measured(),
-    }
+    })
 }
 
-fn build(cfg: ExpConfig, kinds: &[OpKind], fast: CpuModel, slow: CpuModel) -> Vec<SpeedupRow> {
+fn build(
+    cfg: ExpConfig,
+    kinds: &[OpKind],
+    fast: CpuModel,
+    slow: CpuModel,
+) -> Result<Vec<SpeedupRow>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
     SPEEDUP_APPS
         .iter()
-        .map(|name| SpeedupRow {
-            name: name.to_string(),
-            fast: measure(name, &inputs, fast, kinds),
-            slow: measure(name, &inputs, slow, kinds),
+        .map(|name| {
+            Ok(SpeedupRow {
+                name: name.to_string(),
+                fast: measure(name, &inputs, fast, kinds)?,
+                slow: measure(name, &inputs, slow, kinds)?,
+            })
         })
         .collect()
 }
 
 /// Table 11 — fp division memoized; 13- vs 39-cycle dividers.
-#[must_use]
-pub fn table11(cfg: ExpConfig) -> Vec<SpeedupRow> {
+///
+/// # Errors
+///
+/// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
+pub fn table11(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
     build(
         cfg,
         &[OpKind::FpDiv],
@@ -103,8 +113,11 @@ pub fn table11(cfg: ExpConfig) -> Vec<SpeedupRow> {
 }
 
 /// Table 12 — fp multiplication memoized; 3- vs 5-cycle multipliers.
-#[must_use]
-pub fn table12(cfg: ExpConfig) -> Vec<SpeedupRow> {
+///
+/// # Errors
+///
+/// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
+pub fn table12(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
     build(
         cfg,
         &[OpKind::FpMul],
@@ -114,8 +127,11 @@ pub fn table12(cfg: ExpConfig) -> Vec<SpeedupRow> {
 }
 
 /// Table 13 — both memoized; (3, 13) vs (5, 39) cycle profiles.
-#[must_use]
-pub fn table13(cfg: ExpConfig) -> Vec<SpeedupRow> {
+///
+/// # Errors
+///
+/// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
+pub fn table13(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
     build(
         cfg,
         &[OpKind::FpMul, OpKind::FpDiv],
@@ -177,8 +193,8 @@ mod tests {
     #[test]
     fn division_speedups_exceed_multiplication_speedups() {
         let cfg = ExpConfig::quick();
-        let t11 = averages(&table11(cfg));
-        let t12 = averages(&table12(cfg));
+        let t11 = averages(&table11(cfg).unwrap());
+        let t12 = averages(&table12(cfg).unwrap());
         // Paper: fdiv memoing averages 1.05–1.15, fmul only 1.02–1.03.
         assert!(
             t11.slow.speedup > t12.slow.speedup,
@@ -191,7 +207,7 @@ mod tests {
 
     #[test]
     fn slower_units_benefit_more() {
-        let rows = table11(ExpConfig::quick());
+        let rows = table11(ExpConfig::quick()).unwrap();
         for r in &rows {
             assert!(
                 r.slow.speedup + 1e-9 >= r.fast.speedup,
@@ -204,9 +220,9 @@ mod tests {
     #[test]
     fn combined_memoization_beats_either_alone() {
         let cfg = ExpConfig::quick();
-        let t11 = averages(&table11(cfg));
-        let t12 = averages(&table12(cfg));
-        let t13 = averages(&table13(cfg));
+        let t11 = averages(&table11(cfg).unwrap());
+        let t12 = averages(&table12(cfg).unwrap());
+        let t13 = averages(&table13(cfg).unwrap());
         assert!(t13.slow.speedup + 1e-9 >= t11.slow.speedup.max(t12.slow.speedup));
         // Paper's headline: average speedup up to ≈ 1.2 on the slow profile.
         assert!(t13.slow.speedup > 1.05, "combined speedup {}", t13.slow.speedup);
@@ -214,7 +230,7 @@ mod tests {
 
     #[test]
     fn amdahl_matches_direct_measurement() {
-        for r in table13(ExpConfig::quick()) {
+        for r in table13(ExpConfig::quick()).unwrap() {
             assert!(
                 (r.slow.speedup - r.slow.measured).abs() < 1e-6,
                 "{}: analytic {} vs measured {}",
@@ -227,7 +243,7 @@ mod tests {
 
     #[test]
     fn render_has_all_apps_and_average() {
-        let rows = table11(ExpConfig::quick());
+        let rows = table11(ExpConfig::quick()).unwrap();
         let s = render("Table 11", "13c", "39c", &rows);
         for app in SPEEDUP_APPS {
             assert!(s.contains(app));

@@ -5,7 +5,7 @@
 use memo_table::OpKind;
 
 use crate::format::TextTable;
-use crate::{figures, hits, mantissa, speedup, trivial, ExpConfig};
+use crate::{figures, hits, mantissa, speedup, trivial, ExpConfig, ExperimentError};
 
 /// One claim's evaluation.
 #[derive(Debug, Clone)]
@@ -22,8 +22,11 @@ pub struct Claim {
 
 /// Evaluate the full scorecard (runs the underlying experiments; several
 /// seconds at quick scale, a minute or two at default scale).
-#[must_use]
-pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
+///
+/// # Errors
+///
+/// Fails if any underlying experiment fails (unregistered app, bad fit).
+pub fn scorecard(cfg: ExpConfig) -> Result<Vec<Claim>, ExperimentError> {
     let mut claims = Vec::new();
 
     // --- Tables 5-7 ---
@@ -63,7 +66,7 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
     });
 
     // --- Figure 2 ---
-    let fig2 = figures::figure2(cfg);
+    let fig2 = figures::figure2(cfg)?;
     claims.push(Claim {
         source: "Figure 2",
         statement: "Hit ratio falls a few percent per entropy bit",
@@ -75,7 +78,7 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
     });
 
     // --- Figure 3 ---
-    let [fmul3, fdiv3] = figures::figure3(cfg);
+    let [fmul3, fdiv3] = figures::figure3(cfg)?;
     let tail = fdiv3.points[fdiv3.points.len() - 1].avg - fdiv3.points[fdiv3.points.len() - 2].avg;
     claims.push(Claim {
         source: "Figure 3",
@@ -102,7 +105,7 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
     });
 
     // --- Figure 4 ---
-    let [fmul4, fdiv4] = figures::figure4(cfg);
+    let [fmul4, fdiv4] = figures::figure4(cfg)?;
     claims.push(Claim {
         source: "Figure 4",
         statement: "Direct-mapped tables suffer conflicts; gains flatten past 4 ways",
@@ -116,7 +119,7 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
     });
 
     // --- Table 9 ---
-    let t9 = trivial::table9(cfg);
+    let t9 = trivial::table9(cfg)?;
     let mut wins = 0;
     let mut total = 0;
     for r in &t9 {
@@ -149,9 +152,9 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
     });
 
     // --- Tables 11-13 ---
-    let t11 = speedup::averages(&speedup::table11(cfg));
-    let t12 = speedup::averages(&speedup::table12(cfg));
-    let t13 = speedup::averages(&speedup::table13(cfg));
+    let t11 = speedup::averages(&speedup::table11(cfg)?);
+    let t12 = speedup::averages(&speedup::table12(cfg)?);
+    let t13 = speedup::averages(&speedup::table13(cfg)?);
     claims.push(Claim {
         source: "Tables 11-12",
         statement: "Memoizing division outpays memoizing multiplication",
@@ -171,14 +174,17 @@ pub fn scorecard(cfg: ExpConfig) -> Vec<Claim> {
         holds: t13.slow.speedup > 1.05 && t13.slow.speedup >= t13.fast.speedup,
     });
 
-    claims
+    Ok(claims)
 }
 
 /// Render the scorecard.
-#[must_use]
-pub fn render(cfg: ExpConfig) -> String {
+///
+/// # Errors
+///
+/// Fails if any underlying experiment fails (unregistered app, bad fit).
+pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
     let mut t = TextTable::new(&["source", "claim", "measured", "verdict"]);
-    let claims = scorecard(cfg);
+    let claims = scorecard(cfg)?;
     let all_hold = claims.iter().all(|c| c.holds);
     for c in &claims {
         t.row(vec![
@@ -188,12 +194,12 @@ pub fn render(cfg: ExpConfig) -> String {
             if c.holds { "HOLDS".to_string() } else { "FAILS".to_string() },
         ]);
     }
-    format!(
+    Ok(format!(
         "Reproduction scorecard ({} claims, {} hold)\n{}",
         claims.len(),
         if all_hold { "all".to_string() } else { "NOT all".to_string() },
         t.render()
-    )
+    ))
 }
 
 #[cfg(test)]
@@ -202,7 +208,7 @@ mod tests {
 
     #[test]
     fn every_claim_holds_at_quick_scale() {
-        let claims = scorecard(ExpConfig::quick());
+        let claims = scorecard(ExpConfig::quick()).unwrap();
         assert_eq!(claims.len(), 10);
         for c in &claims {
             assert!(c.holds, "{} — {} ({})", c.source, c.statement, c.evidence);
@@ -211,7 +217,7 @@ mod tests {
 
     #[test]
     fn render_shows_verdicts() {
-        let s = render(ExpConfig::quick());
+        let s = render(ExpConfig::quick()).unwrap();
         assert!(s.contains("HOLDS"));
         assert!(!s.contains("FAILS"));
     }

@@ -4,11 +4,11 @@
 use memo_imaging::Image;
 use memo_sim::MemoBank;
 use memo_table::{MemoConfig, OpKind, TrivialPolicy};
-use memo_workloads::mm;
 use memo_workloads::suite::{measure_mm_stats, mm_inputs};
 
+use crate::error::find_mm;
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{ExpConfig, ExperimentError};
 
 /// The applications the paper tabulates in Table 9.
 pub const TABLE9_APPS: [&str; 8] =
@@ -48,15 +48,18 @@ fn bank_with(policy: TrivialPolicy) -> MemoBank {
 }
 
 /// Compute Table 9 over the image corpus.
-#[must_use]
-pub fn table9(cfg: ExpConfig) -> Vec<TrivialRow> {
+///
+/// # Errors
+///
+/// Fails if a [`TABLE9_APPS`] name is missing from the registry.
+pub fn table9(cfg: ExpConfig) -> Result<Vec<TrivialRow>, ExperimentError> {
     let corpus = mm_inputs(cfg.image_scale);
     let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
 
     TABLE9_APPS
         .iter()
         .map(|name| {
-            let app = mm::find(name).expect("table 9 apps are registered");
+            let app = find_mm(name)?;
             let memoize =
                 measure_mm_stats(&app, &inputs, || bank_with(TrivialPolicy::Memoize));
             let exclude =
@@ -80,12 +83,12 @@ pub fn table9(cfg: ExpConfig) -> Vec<TrivialRow> {
                 }
             };
 
-            TrivialRow {
+            Ok(TrivialRow {
                 name: name.to_string(),
                 int_mul: cells(OpKind::IntMul),
                 fp_mul: cells(OpKind::FpMul),
                 fp_div: cells(OpKind::FpDiv),
-            }
+            })
         })
         .collect()
 }
@@ -134,7 +137,7 @@ mod tests {
     fn integrated_detection_wins_where_trivials_exist() {
         // The paper's point: "intgr" gives the highest hit ratios when the
         // trivial fraction is substantial.
-        let rows = table9(ExpConfig::quick());
+        let rows = table9(ExpConfig::quick()).unwrap();
         assert_eq!(rows.len(), 8);
         let mut checked = 0;
         for r in &rows {
@@ -158,7 +161,7 @@ mod tests {
     #[test]
     fn vdiff_has_substantial_trivial_multiplies() {
         // Sobel's ±1 taps are trivial multiplies (paper: trv .62 for fmul).
-        let rows = table9(ExpConfig::quick());
+        let rows = table9(ExpConfig::quick()).unwrap();
         let vdiff = rows.iter().find(|r| r.name == "vdiff").unwrap();
         assert!(
             vdiff.fp_mul.trivial_fraction > 0.3,
@@ -169,7 +172,7 @@ mod tests {
 
     #[test]
     fn absent_kinds_render_dashes() {
-        let rows = table9(ExpConfig::quick());
+        let rows = table9(ExpConfig::quick()).unwrap();
         let vdetilt = rows.iter().find(|r| r.name == "vdetilt").unwrap();
         assert!(!vdetilt.fp_div.present);
         let s = render(&rows);

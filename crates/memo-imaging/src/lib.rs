@@ -34,3 +34,4 @@ pub mod synth;
 
 pub use histogram::Histogram;
 pub use image::{Image, ImagingError, PixelType};
+pub use io::ImageIoError;

@@ -1,115 +1,142 @@
-//! Property tests for the image substrate: entropy bounds, generator
-//! invariants, and PNM round-trips over arbitrary images.
+//! Property-style tests for the image substrate: entropy bounds, generator
+//! invariants, and PNM round-trips over deterministic pseudo-random images
+//! (the repo builds offline, so SplitMix64 streams replace proptest).
 
 use memo_imaging::rng::SplitMix64;
 use memo_imaging::{entropy, io, synth, Histogram, Image, PixelType};
-use proptest::prelude::*;
 
-fn arb_dims() -> impl Strategy<Value = (usize, usize)> {
-    (1usize..40, 1usize..40)
+fn arb_byte_image(r: &mut SplitMix64) -> Image {
+    let w = 1 + r.next_below(39) as usize;
+    let h = 1 + r.next_below(39) as usize;
+    let mut rng = SplitMix64::new(r.next_u64());
+    Image::from_fn_byte(w, h, |_, _| rng.next_below(256) as u8)
 }
 
-fn arb_byte_image() -> impl Strategy<Value = Image> {
-    (arb_dims(), any::<u64>()).prop_map(|((w, h), seed)| {
-        let mut rng = SplitMix64::new(seed);
-        Image::from_fn_byte(w, h, |_, _| rng.next_below(256) as u8)
-    })
-}
+const ROUNDS: u64 = 32;
 
-proptest! {
-    /// Shannon entropy is bounded by the log of the alphabet size.
-    #[test]
-    fn entropy_is_bounded(samples in prop::collection::vec(0u8..=255, 1..2000)) {
+/// Shannon entropy is bounded by the log of the alphabet size.
+#[test]
+fn entropy_is_bounded() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("entropy");
+        let n = 1 + r.next_below(2000) as usize;
+        let samples: Vec<u8> = (0..n).map(|_| r.next_below(256) as u8).collect();
         let h = Histogram::from_samples(samples.iter().map(|&b| f64::from(b)));
         let e = h.entropy_bits();
-        prop_assert!(e >= 0.0);
-        prop_assert!(e <= 8.0 + 1e-9);
-        prop_assert!(e <= (h.distinct() as f64).log2() + 1e-9);
+        assert!(e >= 0.0);
+        assert!(e <= 8.0 + 1e-9);
+        assert!(e <= (h.distinct() as f64).log2() + 1e-9);
     }
+}
 
-    /// Windowed entropy never exceeds what the window alphabet allows and
-    /// full-image entropy never exceeds 8 bits for byte images.
-    #[test]
-    fn windowed_entropy_bounds(img in arb_byte_image()) {
+/// Windowed entropy never exceeds what the window alphabet allows and
+/// full-image entropy never exceeds 8 bits for byte images.
+#[test]
+fn windowed_entropy_bounds() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("windowed");
+        let img = arb_byte_image(&mut r);
         let full = entropy::full_entropy(&img).unwrap();
         let w8 = entropy::windowed_entropy(&img, 8).unwrap();
-        prop_assert!(full <= 8.0 + 1e-9);
+        assert!(full <= 8.0 + 1e-9);
         // An 8×8 window holds at most 64 samples: ≤ 6 bits.
-        prop_assert!(w8 <= 6.0 + 1e-9);
+        assert!(w8 <= 6.0 + 1e-9);
     }
+}
 
-    /// Quantization to `levels` bounds entropy by log2(levels) and is
-    /// idempotent.
-    #[test]
-    fn quantize_bounds_and_idempotence(img in arb_byte_image(), levels in 1u64..=256) {
+/// Quantization to `levels` bounds entropy by log2(levels) and is
+/// idempotent.
+#[test]
+fn quantize_bounds_and_idempotence() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("quantize");
+        let img = arb_byte_image(&mut r);
+        let levels = 1 + r.next_below(256);
         let q = synth::quantize(&img, levels);
         let e = entropy::full_entropy(&q).unwrap();
-        prop_assert!(e <= (levels as f64).log2() + 1e-9, "entropy {e} vs levels {levels}");
+        assert!(e <= (levels as f64).log2() + 1e-9, "entropy {e} vs levels {levels}");
         let qq = synth::quantize(&q, levels);
-        prop_assert_eq!(q, qq, "quantization must be idempotent");
+        assert_eq!(q, qq, "quantization must be idempotent");
     }
+}
 
-    /// PNM round-trips arbitrary single-band byte images exactly.
-    #[test]
-    fn pnm_roundtrip(img in arb_byte_image()) {
+/// PNM round-trips arbitrary single-band byte images exactly.
+#[test]
+fn pnm_roundtrip() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("pnm");
+        let img = arb_byte_image(&mut r);
         let mut buf = Vec::new();
         io::write_pnm(&img, &mut buf).unwrap();
         let back = io::read_pnm(buf.as_slice()).unwrap();
-        prop_assert_eq!(back, img);
+        assert_eq!(back, img);
     }
+}
 
-    /// Crop then read agrees with direct access; stacking preserves bands.
-    #[test]
-    fn crop_and_stack_are_consistent(
-        img in arb_byte_image(),
-        fx in 0.1f64..1.0,
-        fy in 0.1f64..1.0,
-    ) {
+/// Crop then read agrees with direct access; stacking preserves bands.
+#[test]
+fn crop_and_stack_are_consistent() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("crop");
+        let img = arb_byte_image(&mut r);
+        let fx = 0.1 + 0.9 * r.next_f64();
+        let fy = 0.1 + 0.9 * r.next_f64();
         let cw = ((img.width() as f64 * fx) as usize).max(1);
         let ch = ((img.height() as f64 * fy) as usize).max(1);
         let c = synth::crop(&img, cw, ch);
-        prop_assert_eq!((c.width(), c.height()), (cw, ch));
+        assert_eq!((c.width(), c.height()), (cw, ch));
         for y in (0..ch).step_by(3) {
             for x in (0..cw).step_by(3) {
-                prop_assert_eq!(c.get(x, y, 0), img.get(x, y, 0));
+                assert_eq!(c.get(x, y, 0), img.get(x, y, 0));
             }
         }
         let rgb = synth::stack_bands(&[c.clone(), c.clone(), c.clone()]);
-        prop_assert_eq!(rgb.bands(), 3);
-        prop_assert_eq!(rgb.get(0, 0, 2), c.get(0, 0, 0));
+        assert_eq!(rgb.bands(), 3);
+        assert_eq!(rgb.get(0, 0, 2), c.get(0, 0, 0));
     }
+}
 
-    /// The smooth operator is a contraction: the value range never grows.
-    #[test]
-    fn smooth_contracts_range(img in arb_byte_image()) {
+/// The smooth operator is a contraction: the value range never grows.
+#[test]
+fn smooth_contracts_range() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("smooth");
+        let img = arb_byte_image(&mut r);
         let s = synth::smooth(&img, 1);
         let (lo0, hi0) = img.min_max();
         let (lo1, hi1) = s.min_max();
-        prop_assert!(lo1 >= lo0 - 1e-9);
-        prop_assert!(hi1 <= hi0 + 1e-9);
+        assert!(lo1 >= lo0 - 1e-9);
+        assert!(hi1 <= hi0 + 1e-9);
     }
+}
 
-    /// Generators are deterministic functions of their seed.
-    #[test]
-    fn generators_are_seed_deterministic(seed in any::<u64>()) {
+/// Generators are deterministic functions of their seed.
+#[test]
+fn generators_are_seed_deterministic() {
+    for seed in 0..ROUNDS {
+        let seed = SplitMix64::new(seed).split("gen-seed").next_u64();
         let mut r1 = SplitMix64::new(seed);
         let mut r2 = SplitMix64::new(seed);
-        prop_assert_eq!(synth::plasma(17, 13, 0.8, &mut r1), synth::plasma(17, 13, 0.8, &mut r2));
-        prop_assert_eq!(synth::labels(9, 9, 4, &mut r1), synth::labels(9, 9, 4, &mut r2));
+        assert_eq!(synth::plasma(17, 13, 0.8, &mut r1), synth::plasma(17, 13, 0.8, &mut r2));
+        assert_eq!(synth::labels(9, 9, 4, &mut r1), synth::labels(9, 9, 4, &mut r2));
     }
+}
 
-    /// Normalization always produces a full-range byte image (unless the
-    /// input is constant).
-    #[test]
-    fn normalization_spans_byte_range(img in arb_byte_image()) {
+/// Normalization always produces a full-range byte image (unless the
+/// input is constant).
+#[test]
+fn normalization_spans_byte_range() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("normalize");
+        let img = arb_byte_image(&mut r);
         let n = img.normalized_to_byte();
-        prop_assert_eq!(n.pixel_type(), PixelType::Byte);
+        assert_eq!(n.pixel_type(), PixelType::Byte);
         let (lo, hi) = n.min_max();
         let (ilo, ihi) = img.min_max();
         if ihi > ilo {
-            prop_assert_eq!((lo, hi), (0.0, 255.0));
+            assert_eq!((lo, hi), (0.0, 255.0));
         } else {
-            prop_assert_eq!(lo, hi);
+            assert_eq!(lo, hi);
         }
     }
 }

@@ -1,45 +1,55 @@
-//! Property tests: the assembler/disassembler round-trip, and interpreter
-//! robustness over arbitrary programs.
+//! Property-style tests: the assembler/disassembler round-trip, and
+//! interpreter robustness over pseudo-random programs (SplitMix64 streams
+//! replace proptest; the repo builds offline).
 
 use memo_isa::{assemble, Cpu, Inst, IsaError};
 use memo_sim::{CountingSink, NullSink};
-use proptest::prelude::*;
+use memo_table::rng::SplitMix64;
 
-fn arb_reg() -> impl Strategy<Value = u8> {
-    0u8..32
+fn arb_reg(r: &mut SplitMix64) -> u8 {
+    r.next_below(32) as u8
 }
 
 /// Branch targets stay within a fixed window so regenerated labels exist.
-fn arb_inst(max_target: usize) -> impl Strategy<Value = Inst> {
-    let t = 0..=max_target;
-    prop_oneof![
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Add(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Sub(a, b, c)),
-        (arb_reg(), arb_reg(), -100i64..100).prop_map(|(a, b, i)| Inst::Addi(a, b, i)),
-        (arb_reg(), -1000i64..1000).prop_map(|(a, i)| Inst::Li(a, i)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Mul(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Xor(a, b, c)),
-        (arb_reg(), arb_reg(), 0i64..256).prop_map(|(a, b, o)| Inst::Ld(a, b, o * 8)),
-        (arb_reg(), arb_reg(), 0i64..256).prop_map(|(a, b, o)| Inst::St(a, b, o * 8)),
-        (arb_reg(), arb_reg(), 0i64..256).prop_map(|(a, b, o)| Inst::Ldf(a, b, o * 8)),
-        (arb_reg(), any::<f64>()).prop_map(|(a, v)| Inst::Lif(a, v)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Fadd(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Fmul(a, b, c)),
-        (arb_reg(), arb_reg(), arb_reg()).prop_map(|(a, b, c)| Inst::Fdiv(a, b, c)),
-        (arb_reg(), arb_reg()).prop_map(|(a, b)| Inst::Fsqrt(a, b)),
-        (arb_reg(), arb_reg(), t.clone()).prop_map(|(a, b, t)| Inst::Beq(a, b, t)),
-        (arb_reg(), arb_reg(), t.clone()).prop_map(|(a, b, t)| Inst::Blt(a, b, t)),
-        t.clone().prop_map(Inst::Jmp),
-        Just(Inst::Nop),
-        Just(Inst::Halt),
-    ]
+fn arb_inst(r: &mut SplitMix64, max_target: usize) -> Inst {
+    let t = r.next_below(max_target as u64 + 1) as usize;
+    match r.next_below(19) {
+        0 => Inst::Add(arb_reg(r), arb_reg(r), arb_reg(r)),
+        1 => Inst::Sub(arb_reg(r), arb_reg(r), arb_reg(r)),
+        2 => Inst::Addi(arb_reg(r), arb_reg(r), r.next_below(200) as i64 - 100),
+        3 => Inst::Li(arb_reg(r), r.next_below(2000) as i64 - 1000),
+        4 => Inst::Mul(arb_reg(r), arb_reg(r), arb_reg(r)),
+        5 => Inst::Xor(arb_reg(r), arb_reg(r), arb_reg(r)),
+        6 => Inst::Ld(arb_reg(r), arb_reg(r), r.next_below(256) as i64 * 8),
+        7 => Inst::St(arb_reg(r), arb_reg(r), r.next_below(256) as i64 * 8),
+        8 => Inst::Ldf(arb_reg(r), arb_reg(r), r.next_below(256) as i64 * 8),
+        9 => Inst::Lif(arb_reg(r), f64::from_bits(r.next_u64())),
+        10 => Inst::Fadd(arb_reg(r), arb_reg(r), arb_reg(r)),
+        11 => Inst::Fmul(arb_reg(r), arb_reg(r), arb_reg(r)),
+        12 => Inst::Fdiv(arb_reg(r), arb_reg(r), arb_reg(r)),
+        13 => Inst::Fsqrt(arb_reg(r), arb_reg(r)),
+        14 => Inst::Beq(arb_reg(r), arb_reg(r), t),
+        15 => Inst::Blt(arb_reg(r), arb_reg(r), t),
+        16 => Inst::Jmp(t),
+        17 => Inst::Nop,
+        _ => Inst::Halt,
+    }
 }
 
-proptest! {
-    /// Disassembling and reassembling reproduces the exact instruction
-    /// sequence (bit-exact floats included).
-    #[test]
-    fn assembler_roundtrip(insts in prop::collection::vec(arb_inst(20), 1..20)) {
+fn arb_insts(r: &mut SplitMix64, max_target: usize, max_len: u64) -> Vec<Inst> {
+    let n = 1 + r.next_below(max_len) as usize;
+    (0..n).map(|_| arb_inst(r, max_target)).collect()
+}
+
+const ROUNDS: u64 = 32;
+
+/// Disassembling and reassembling reproduces the exact instruction
+/// sequence (bit-exact floats included).
+#[test]
+fn assembler_roundtrip() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("roundtrip");
+        let insts = arb_insts(&mut r, 20, 19);
         // Build source by hand through Display (the disassembler).
         let program = {
             // Indirect construction: emit source first, then parse.
@@ -54,20 +64,24 @@ proptest! {
         };
         let regenerated = assemble(&program.to_source()).expect("roundtrip assembles");
         let n = program.len();
-        prop_assert_eq!(&regenerated.instructions()[..n], program.instructions());
+        assert_eq!(&regenerated.instructions()[..n], program.instructions());
 
         // Float payloads must round-trip bit-exactly.
         for (a, b) in program.instructions().iter().zip(regenerated.instructions()) {
             if let (Inst::Lif(_, x), Inst::Lif(_, y)) = (a, b) {
-                prop_assert_eq!(x.to_bits(), y.to_bits());
+                assert_eq!(x.to_bits(), y.to_bits());
             }
         }
     }
+}
 
-    /// The interpreter never panics on arbitrary (bounded-target) programs:
-    /// it either halts, faults cleanly, or runs out of fuel.
-    #[test]
-    fn interpreter_is_total(insts in prop::collection::vec(arb_inst(30), 1..30)) {
+/// The interpreter never panics on arbitrary (bounded-target) programs:
+/// it either halts, faults cleanly, or runs out of fuel.
+#[test]
+fn interpreter_is_total() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("total");
+        let insts = arb_insts(&mut r, 30, 29);
         let mut src = String::new();
         for (i, inst) in insts.iter().enumerate() {
             src.push_str(&format!("L{i}: {inst}\n"));
@@ -78,20 +92,23 @@ proptest! {
         let program = assemble(&src).expect("assembles");
         let mut cpu = Cpu::new(64 * 1024);
         match cpu.run(&program, &mut NullSink, 10_000) {
-            Ok(_) => {}
-            Err(
+            Ok(_)
+            | Err(
                 IsaError::MemoryFault { .. }
                 | IsaError::DivideByZero
                 | IsaError::OutOfFuel
                 | IsaError::RanOffEnd,
             ) => {}
-            Err(other) => prop_assert!(false, "unexpected error {other}"),
+            Err(other) => panic!("unexpected error {other}"),
         }
     }
+}
 
-    /// Event counts equal retired instruction counts by category.
-    #[test]
-    fn events_match_retirement(n in 1u64..50) {
+/// Event counts equal retired instruction counts by category.
+#[test]
+fn events_match_retirement() {
+    for seed in 0..ROUNDS {
+        let n = 1 + SplitMix64::new(seed).split("retire").next_below(49);
         let src = format!(
             "li r1, {n}\n li r2, 0\n lif f1, 3.0\n lif f2, 7.0\n \
              loop: fmul f3, f1, f2\n addi r2, r2, 1\n blt r2, r1, loop\n halt"
@@ -100,9 +117,9 @@ proptest! {
         let mut cpu = Cpu::new(1024);
         let mut sink = CountingSink::new();
         cpu.run(&program, &mut sink, 1_000_000).expect("halts");
-        prop_assert_eq!(sink.mix().fp_mul, n);
-        prop_assert_eq!(sink.mix().branches, n);
+        assert_eq!(sink.mix().fp_mul, n);
+        assert_eq!(sink.mix().branches, n);
         // Every retired instruction produced exactly one event except halt.
-        prop_assert_eq!(sink.mix().total(), cpu.retired() - 1);
+        assert_eq!(sink.mix().total(), cpu.retired() - 1);
     }
 }

@@ -252,7 +252,15 @@ impl EventSink for CycleAccountant {
                 let executed = self.bank.execute(op);
                 if executed.outcome.avoided_computation() {
                     self.arith_single[slot] += 1;
-                    self.memoized.arith[slot] += 1;
+                    // Table hits pay the protection policy's verify/correct
+                    // latency on top of the single cycle; trivial results
+                    // come from the detector, not the SRAM, and stay at 1.
+                    let penalty = if executed.outcome == memo_table::Outcome::Hit {
+                        u64::from(self.bank.hit_penalty(kind))
+                    } else {
+                        0
+                    };
+                    self.memoized.arith[slot] += 1 + penalty;
                 } else {
                     self.memoized.arith[slot] += full;
                 }
@@ -362,6 +370,30 @@ mod tests {
         let r = acc.report();
         assert_eq!(r.baseline().arith_cycles(OpKind::FpDiv), 39);
         assert_eq!(r.memoized().arith_cycles(OpKind::FpDiv), 39);
+    }
+
+    #[test]
+    fn protection_penalty_is_charged_per_hit() {
+        use memo_table::{MemoConfig, Protection};
+        let cfg = MemoConfig::builder(32)
+            .protection(Protection::VerifyOnHit { verify_cycles: 4 })
+            .build()
+            .unwrap();
+        let bank = MemoBank::none().with_table(OpKind::FpDiv, memo_table::MemoTable::new(cfg));
+        let mut acc = accountant(bank);
+        run_kernel(&mut acc, 100);
+        let r = acc.report();
+        // 8 misses at full latency, 92 hits at 1 + 4 verify cycles.
+        assert_eq!(r.memoized().arith_cycles(OpKind::FpDiv), 8 * 39 + 92 * 5);
+        // Slower than the unprotected machine, still faster than baseline.
+        assert!(r.speedup_measured() > 1.0);
+
+        let mut plain = accountant(MemoBank::uniform(
+            memo_table::MemoConfig::paper_default(),
+            &[OpKind::FpDiv],
+        ));
+        run_kernel(&mut plain, 100);
+        assert!(r.memoized().total() > plain.report().memoized().total());
     }
 
     #[test]

@@ -8,8 +8,18 @@
 use memo_table::{Executed, InfiniteMemoTable, MemoConfig, MemoStats, MemoTable, Memoizer, Op, OpKind};
 
 /// One memo table per operation kind (any kind may be left un-memoized).
+///
+/// With [`MemoBank::with_circuit_breaker`], each table is additionally
+/// watched for detected soft errors: once a table's protection logic has
+/// flagged the configured number of faults, the bank stops consulting it
+/// (degraded mode — every operation of that kind runs at full latency),
+/// modelling a safety controller that refuses to trust a failing SRAM.
 pub struct MemoBank {
     tables: [Option<Box<dyn Memoizer>>; 4],
+    /// Detected-fault count at which a table is taken offline (0 = never).
+    breaker_threshold: u64,
+    /// `true` once the breaker has tripped for the slot.
+    tripped: [bool; 4],
 }
 
 impl std::fmt::Debug for MemoBank {
@@ -36,7 +46,11 @@ impl MemoBank {
     /// No tables at all — the baseline machine.
     #[must_use]
     pub fn none() -> Self {
-        MemoBank { tables: [None, None, None, None] }
+        MemoBank {
+            tables: [None, None, None, None],
+            breaker_threshold: 0,
+            tripped: [false; 4],
+        }
     }
 
     /// The paper's simulated system: 32-entry 4-way tables on the integer
@@ -73,6 +87,15 @@ impl MemoBank {
     #[must_use]
     pub fn with_table(mut self, kind: OpKind, memoizer: impl Memoizer + 'static) -> Self {
         self.tables[Self::slot(kind)] = Some(Box::new(memoizer));
+        self.tripped[Self::slot(kind)] = false;
+        self
+    }
+
+    /// Trip a table offline once its protection logic has detected
+    /// `threshold` faults (0 disables the breaker, the default).
+    #[must_use]
+    pub fn with_circuit_breaker(mut self, threshold: u64) -> Self {
+        self.breaker_threshold = threshold;
         self
     }
 
@@ -82,11 +105,36 @@ impl MemoBank {
         self.tables[Self::slot(kind)].is_some()
     }
 
-    /// Execute `op` through its table if one is attached, natively
-    /// otherwise (reported as a miss-like full-latency execution).
+    /// `true` once the circuit breaker has taken `kind`'s table offline.
+    #[must_use]
+    pub fn breaker_tripped(&self, kind: OpKind) -> bool {
+        self.tripped[Self::slot(kind)]
+    }
+
+    /// Extra cycles charged per served hit by `kind`'s table (its
+    /// protection policy's verify/correct latency; 0 without a table).
+    #[must_use]
+    pub fn hit_penalty(&self, kind: OpKind) -> u32 {
+        self.tables[Self::slot(kind)].as_ref().map_or(0, |t| t.hit_penalty())
+    }
+
+    /// Execute `op` through its table if one is attached and not tripped,
+    /// natively otherwise (reported as a miss-like full-latency execution).
     pub fn execute(&mut self, op: Op) -> Executed {
-        match &mut self.tables[Self::slot(op.kind())] {
-            Some(table) => table.execute(op),
+        let slot = Self::slot(op.kind());
+        if self.tripped[slot] {
+            return Executed { value: op.compute(), outcome: memo_table::Outcome::Miss };
+        }
+        match &mut self.tables[slot] {
+            Some(table) => {
+                let executed = table.execute(op);
+                if self.breaker_threshold > 0
+                    && table.stats().faults_detected >= self.breaker_threshold
+                {
+                    self.tripped[slot] = true;
+                }
+                executed
+            }
             None => Executed { value: op.compute(), outcome: memo_table::Outcome::Miss },
         }
     }
@@ -105,11 +153,12 @@ impl MemoBank {
         self.stats(kind).map(|s| s.lookup_hit_ratio())
     }
 
-    /// Clear all tables and their statistics.
+    /// Clear all tables, their statistics, and any tripped breakers.
     pub fn reset(&mut self) {
         for table in self.tables.iter_mut().flatten() {
             table.reset();
         }
+        self.tripped = [false; 4];
     }
 }
 
@@ -188,5 +237,54 @@ mod tests {
         let bank = MemoBank::paper_default();
         let s = format!("{bank:?}");
         assert!(s.contains("imul") && s.contains("fdiv"));
+    }
+
+    #[test]
+    fn hit_penalty_reflects_table_protection() {
+        use memo_table::Protection;
+        let bank = MemoBank::paper_default().with_table(
+            OpKind::FpDiv,
+            MemoTable::new(
+                MemoConfig::builder(32)
+                    .protection(Protection::VerifyOnHit { verify_cycles: 4 })
+                    .build()
+                    .unwrap(),
+            ),
+        );
+        assert_eq!(bank.hit_penalty(OpKind::FpDiv), 4);
+        assert_eq!(bank.hit_penalty(OpKind::FpMul), 0);
+        assert_eq!(bank.hit_penalty(OpKind::FpSqrt), 0, "no table, no penalty");
+    }
+
+    #[test]
+    fn circuit_breaker_takes_a_faulty_table_offline() {
+        use memo_table::{FaultConfig, FaultInjector, Protection};
+        let cfg = MemoConfig::builder(32).protection(Protection::ParityDetect).build().unwrap();
+        let table = MemoTable::new(cfg)
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(7, 0.8)));
+        let mut bank =
+            MemoBank::none().with_table(OpKind::FpDiv, table).with_circuit_breaker(3);
+        for i in 0..500 {
+            bank.execute(Op::FpDiv(f64::from(i % 8) + 2.0, 3.0));
+        }
+        assert!(bank.breaker_tripped(OpKind::FpDiv));
+        let detected_at_trip = bank.stats(OpKind::FpDiv).unwrap().faults_detected;
+        assert!(detected_at_trip >= 3);
+        // Degraded mode: the table is no longer consulted.
+        bank.execute(Op::FpDiv(2.0, 3.0));
+        bank.execute(Op::FpDiv(2.0, 3.0));
+        assert_eq!(bank.stats(OpKind::FpDiv).unwrap().faults_detected, detected_at_trip);
+        // Reset re-arms the breaker.
+        bank.reset();
+        assert!(!bank.breaker_tripped(OpKind::FpDiv));
+    }
+
+    #[test]
+    fn breaker_never_trips_without_faults() {
+        let mut bank = MemoBank::paper_default().with_circuit_breaker(1);
+        for i in 0..1000 {
+            bank.execute(Op::FpDiv(f64::from(i % 8) + 2.0, 3.0));
+        }
+        assert!(!bank.breaker_tripped(OpKind::FpDiv));
     }
 }

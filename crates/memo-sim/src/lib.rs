@@ -58,11 +58,13 @@ mod bank;
 mod cache;
 mod cpu;
 mod event;
+mod memoized;
 
 pub use accountant::{CycleAccountant, CycleBreakdown, CycleReport};
 pub use bank::MemoBank;
 pub use cache::{Cache, CacheConfig, CacheStats, MemoryHierarchy};
 pub use cpu::CpuModel;
 pub use issue::{compare_divider_farms, DividerFarm, FarmComparison, FarmResult};
+pub use memoized::MemoizedSink;
 pub use pipeline::{PipelineModel, PipelineReport};
 pub use event::{CountingSink, Event, EventSink, InstrMix, NullSink, TraceBuffer};

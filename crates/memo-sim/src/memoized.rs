@@ -1,0 +1,153 @@
+//! An [`EventSink`] whose arithmetic answers come from a [`MemoBank`].
+//!
+//! The default `EventSink` instrumentation methods compute natively and
+//! merely *record* the multi-cycle operations, because memo tables are
+//! bit-transparent: serving a stored result cannot change program output.
+//! [`MemoizedSink`] makes that claim falsifiable. It routes every
+//! multi-cycle operation through a real bank of tables and returns
+//! whatever the table served — so a kernel run through it produces output
+//! computed *with* memoization. Differential runs against a plain sink
+//! then verify transparency end-to-end, and with a fault injector
+//! attached, corrupted table entries propagate into kernel outputs
+//! exactly as a soft error in a real MEMO-TABLE SRAM would.
+
+use memo_table::Op;
+
+use crate::bank::MemoBank;
+use crate::event::{Event, EventSink, InstrMix};
+
+/// Routes multi-cycle arithmetic through a [`MemoBank`] and returns the
+/// table-served values to the running kernel.
+#[derive(Debug)]
+pub struct MemoizedSink {
+    bank: MemoBank,
+    mix: InstrMix,
+}
+
+impl MemoizedSink {
+    /// Wrap a bank (memoizing whichever kinds it has tables for).
+    #[must_use]
+    pub fn new(bank: MemoBank) -> Self {
+        MemoizedSink { bank, mix: InstrMix::default() }
+    }
+
+    /// The bank, e.g. to read fault statistics after a run.
+    #[must_use]
+    pub fn bank(&self) -> &MemoBank {
+        &self.bank
+    }
+
+    /// The bank, mutably (attach injectors, reset between workloads).
+    pub fn bank_mut(&mut self) -> &mut MemoBank {
+        &mut self.bank
+    }
+
+    /// The accumulated instruction mix.
+    #[must_use]
+    pub fn mix(&self) -> InstrMix {
+        self.mix
+    }
+
+    /// Tear down the sink and keep the bank.
+    #[must_use]
+    pub fn into_bank(self) -> MemoBank {
+        self.bank
+    }
+
+    fn serve(&mut self, op: Op) -> memo_table::Value {
+        self.mix.count(&Event::Arith(op));
+        self.bank.execute(op).value
+    }
+}
+
+impl EventSink for MemoizedSink {
+    fn record(&mut self, event: Event) {
+        self.mix.count(&event);
+        if let Event::Arith(op) = event {
+            // Raw recorded arithmetic still exercises the tables so the
+            // fault/hit statistics cover trace-driven runs too.
+            self.bank.execute(op);
+        }
+    }
+
+    fn imul(&mut self, a: i64, b: i64) -> i64 {
+        self.serve(Op::IntMul(a, b)).as_i64()
+    }
+
+    fn fmul(&mut self, a: f64, b: f64) -> f64 {
+        self.serve(Op::FpMul(a, b)).as_f64()
+    }
+
+    fn fdiv(&mut self, a: f64, b: f64) -> f64 {
+        self.serve(Op::FpDiv(a, b)).as_f64()
+    }
+
+    fn fsqrt(&mut self, a: f64) -> f64 {
+        self.serve(Op::FpSqrt(a)).as_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_table::{FaultConfig, FaultInjector, MemoConfig, MemoTable, OpKind, Protection};
+
+    #[test]
+    fn serves_bit_exact_values_from_clean_tables() {
+        let mut sink = MemoizedSink::new(MemoBank::paper_default());
+        for i in 0..100i64 {
+            let a = (i % 8) as f64 + 2.0;
+            assert_eq!(sink.fdiv(a, 3.0).to_bits(), (a / 3.0).to_bits());
+            assert_eq!(sink.fmul(a, 1.5).to_bits(), (a * 1.5).to_bits());
+            assert_eq!(sink.imul(i, 7), i * 7);
+        }
+        assert!(sink.bank().stats(OpKind::FpDiv).unwrap().table_hits > 0);
+        assert_eq!(sink.mix().fp_div, 100);
+    }
+
+    #[test]
+    fn corrupted_tables_propagate_into_served_values() {
+        // Unprotected table + aggressive injector: some reuse must come
+        // back bit-different, which is exactly what the SDC experiments
+        // measure.
+        let table = MemoTable::new(MemoConfig::paper_default())
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(11, 0.9)));
+        let mut sink =
+            MemoizedSink::new(MemoBank::none().with_table(OpKind::FpDiv, table));
+        let mut corrupted = 0;
+        for i in 0..200 {
+            let a = f64::from(i % 8) + 2.0;
+            if sink.fdiv(a, 3.0).to_bits() != (a / 3.0).to_bits() {
+                corrupted += 1;
+            }
+        }
+        assert!(corrupted > 0, "faults must reach the consumer without protection");
+        assert!(sink.bank().stats(OpKind::FpDiv).unwrap().faults_silent > 0);
+    }
+
+    #[test]
+    fn protection_shields_served_values() {
+        let cfg = MemoConfig::builder(32).protection(Protection::ParityDetect).build().unwrap();
+        let table = MemoTable::new(cfg)
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(11, 0.9)));
+        let mut sink =
+            MemoizedSink::new(MemoBank::none().with_table(OpKind::FpDiv, table));
+        for i in 0..200 {
+            let a = f64::from(i % 8) + 2.0;
+            assert_eq!(sink.fdiv(a, 3.0).to_bits(), (a / 3.0).to_bits());
+        }
+        let stats = sink.into_bank().stats(OpKind::FpDiv).unwrap();
+        assert!(stats.faults_detected > 0);
+        assert_eq!(stats.faults_silent, 0);
+    }
+
+    #[test]
+    fn recorded_arith_events_reach_the_tables() {
+        let mut sink = MemoizedSink::new(MemoBank::paper_default());
+        sink.record(Event::Arith(Op::FpDiv(9.0, 4.0)));
+        sink.record(Event::Arith(Op::FpDiv(9.0, 4.0)));
+        let s = sink.bank().stats(OpKind::FpDiv).unwrap();
+        assert_eq!(s.table_hits, 1);
+        assert_eq!(sink.mix().fp_div, 2);
+    }
+}

@@ -1,76 +1,98 @@
-//! Property tests for the simulation substrate: cache invariants and
-//! cycle-accounting conservation laws.
+//! Property-style tests for the simulation substrate: cache invariants and
+//! cycle-accounting conservation laws, driven by deterministic SplitMix64
+//! streams (the repo builds offline, so no proptest).
 
 use memo_sim::{
     amdahl, Cache, CacheConfig, CpuModel, CycleAccountant, Event, EventSink, MemoBank,
     MemoryHierarchy,
 };
+use memo_table::rng::SplitMix64;
 use memo_table::Op;
-use proptest::prelude::*;
 
-fn arb_addr() -> impl Strategy<Value = u64> {
+fn arb_addr(r: &mut SplitMix64) -> u64 {
     // A few KB of hot area plus occasional far misses.
-    prop_oneof![4 => 0u64..4096, 1 => 0u64..1_000_000].prop_map(|a| a & !7)
+    let a = if r.next_below(5) < 4 { r.next_below(4096) } else { r.next_below(1_000_000) };
+    a & !7
 }
 
-fn arb_event() -> impl Strategy<Value = Event> {
-    prop_oneof![
-        Just(Event::IntAlu),
-        Just(Event::FpAdd),
-        Just(Event::Branch),
-        Just(Event::Annulled),
-        arb_addr().prop_map(Event::Load),
-        arb_addr().prop_map(Event::Store),
-        (0i64..32, 0i64..32).prop_map(|(a, b)| Event::Arith(Op::IntMul(a, b))),
-        (0u8..32, 1u8..16).prop_map(|(a, b)| Event::Arith(Op::FpMul(f64::from(a), f64::from(b)))),
-        (0u8..32, 1u8..16).prop_map(|(a, b)| Event::Arith(Op::FpDiv(f64::from(a), f64::from(b)))),
-    ]
+fn arb_addrs(r: &mut SplitMix64) -> Vec<u64> {
+    let n = 1 + r.next_below(500) as usize;
+    (0..n).map(|_| arb_addr(r)).collect()
 }
 
-proptest! {
-    /// LRU caches obey the inclusion property in associativity: with the
-    /// same set count, more ways never lose hits.
-    #[test]
-    fn cache_inclusion_in_ways(addrs in prop::collection::vec(arb_addr(), 1..500)) {
+fn arb_event(r: &mut SplitMix64) -> Event {
+    match r.next_below(9) {
+        0 => Event::IntAlu,
+        1 => Event::FpAdd,
+        2 => Event::Branch,
+        3 => Event::Annulled,
+        4 => Event::Load(arb_addr(r)),
+        5 => Event::Store(arb_addr(r)),
+        6 => Event::Arith(Op::IntMul(r.next_below(32) as i64, r.next_below(32) as i64)),
+        7 => Event::Arith(Op::FpMul(r.next_below(32) as f64, 1.0 + r.next_below(15) as f64)),
+        _ => Event::Arith(Op::FpDiv(r.next_below(32) as f64, 1.0 + r.next_below(15) as f64)),
+    }
+}
+
+const ROUNDS: u64 = 32;
+
+/// LRU caches obey the inclusion property in associativity: with the
+/// same set count, more ways never lose hits.
+#[test]
+fn cache_inclusion_in_ways() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("inclusion");
         let mut small = Cache::new(CacheConfig { size_bytes: 1024, line_bytes: 32, ways: 1 });
         let mut large = Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 32, ways: 2 });
-        for &a in &addrs {
+        for a in arb_addrs(&mut r) {
             small.access(a);
             large.access(a);
         }
-        prop_assert!(large.stats().hits >= small.stats().hits);
+        assert!(large.stats().hits >= small.stats().hits);
     }
+}
 
-    /// Basic cache bookkeeping holds for any address stream.
-    #[test]
-    fn cache_stats_are_consistent(addrs in prop::collection::vec(arb_addr(), 1..500)) {
+/// Basic cache bookkeeping holds for any address stream.
+#[test]
+fn cache_stats_are_consistent() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("cache-stats");
         let mut cache = Cache::new(CacheConfig { size_bytes: 4096, line_bytes: 64, ways: 4 });
+        let addrs = arb_addrs(&mut r);
         for &a in &addrs {
             cache.access(a);
         }
         let s = cache.stats();
-        prop_assert_eq!(s.accesses, addrs.len() as u64);
-        prop_assert!(s.hits <= s.accesses);
-        prop_assert!((0.0..=1.0).contains(&s.hit_ratio()));
+        assert_eq!(s.accesses, addrs.len() as u64);
+        assert!(s.hits <= s.accesses);
+        assert!((0.0..=1.0).contains(&s.hit_ratio()));
     }
+}
 
-    /// Hierarchy invariant: the L2 sees exactly the L1's misses, and every
-    /// access costs at least the L1 hit time.
-    #[test]
-    fn hierarchy_charges_are_layered(addrs in prop::collection::vec(arb_addr(), 1..500)) {
+/// Hierarchy invariant: the L2 sees exactly the L1's misses, and every
+/// access costs at least the L1 hit time.
+#[test]
+fn hierarchy_charges_are_layered() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("hierarchy");
         let mut m = MemoryHierarchy::typical_1997();
-        for &a in &addrs {
+        for a in arb_addrs(&mut r) {
             let cycles = m.access(a);
-            prop_assert!(cycles == 1 || cycles == 7 || cycles == 37, "cycles {cycles}");
+            assert!(cycles == 1 || cycles == 7 || cycles == 37, "cycles {cycles}");
         }
-        prop_assert_eq!(m.l2_stats().accesses, m.l1_stats().misses());
+        assert_eq!(m.l2_stats().accesses, m.l1_stats().misses());
     }
+}
 
-    /// Conservation laws of the one-pass accountant: the memoized machine
-    /// never spends more cycles than the baseline, memory costs are
-    /// identical on both, and removing the bank collapses the two.
-    #[test]
-    fn accountant_conservation(events in prop::collection::vec(arb_event(), 1..500)) {
+/// Conservation laws of the one-pass accountant: the memoized machine
+/// never spends more cycles than the baseline, memory costs are
+/// identical on both, and removing the bank collapses the two.
+#[test]
+fn accountant_conservation() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("accountant");
+        let events: Vec<Event> =
+            (0..1 + r.next_below(500)).map(|_| arb_event(&mut r)).collect();
         let mut with_bank = CycleAccountant::new(
             CpuModel::paper_slow(),
             MemoryHierarchy::typical_1997(),
@@ -87,24 +109,29 @@ proptest! {
         }
         let rb = with_bank.report();
         let rn = without.report();
-        prop_assert!(rb.memoized().total() <= rb.baseline().total());
-        prop_assert_eq!(rb.baseline().memory, rb.memoized().memory);
-        prop_assert_eq!(rb.baseline(), rn.baseline(), "baseline is bank-independent");
-        prop_assert_eq!(rn.baseline(), rn.memoized(), "no bank: machines coincide");
-        prop_assert!(rb.speedup_measured() >= 1.0 - 1e-12);
-        prop_assert_eq!(rb.mix().total(), events.len() as u64);
+        assert!(rb.memoized().total() <= rb.baseline().total());
+        assert_eq!(rb.baseline().memory, rb.memoized().memory);
+        assert_eq!(rb.baseline(), rn.baseline(), "baseline is bank-independent");
+        assert_eq!(rn.baseline(), rn.memoized(), "no bank: machines coincide");
+        assert!(rb.speedup_measured() >= 1.0 - 1e-12);
+        assert_eq!(rb.mix().total(), events.len() as u64);
     }
+}
 
-    /// Amdahl arithmetic: speedup is monotone in SE and bounded by the
-    /// serial fraction.
-    #[test]
-    fn amdahl_bounds(fe in 0.0f64..1.0, se in 1.0f64..100.0) {
+/// Amdahl arithmetic: speedup is monotone in SE and bounded by the
+/// serial fraction.
+#[test]
+fn amdahl_bounds() {
+    for seed in 0..ROUNDS * 4 {
+        let mut r = SplitMix64::new(seed).split("amdahl");
+        let fe = r.next_f64();
+        let se = 1.0 + 99.0 * r.next_f64();
         let s = amdahl::speedup(fe, se);
-        prop_assert!(s >= 1.0 - 1e-12);
-        prop_assert!(s <= 1.0 / (1.0 - fe) + 1e-9);
+        assert!(s >= 1.0 - 1e-12);
+        assert!(s <= 1.0 / (1.0 - fe) + 1e-9);
         let s_bigger = amdahl::speedup(fe, se * 2.0);
-        prop_assert!(s_bigger + 1e-12 >= s);
+        assert!(s_bigger + 1e-12 >= s);
         // Unit enhancement: identity.
-        prop_assert!((amdahl::speedup(fe, 1.0) - 1.0).abs() < 1e-12);
+        assert!((amdahl::speedup(fe, 1.0) - 1.0).abs() < 1e-12);
     }
 }

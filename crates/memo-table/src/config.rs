@@ -1,5 +1,6 @@
 //! Configuration of a MEMO-TABLE's geometry and policies.
 
+use crate::fault::Protection;
 use std::fmt;
 
 /// Set associativity of the table.
@@ -146,6 +147,7 @@ pub struct MemoConfig {
     replacement: Replacement,
     hash: HashScheme,
     commutative: bool,
+    protection: Protection,
 }
 
 impl MemoConfig {
@@ -160,6 +162,7 @@ impl MemoConfig {
             replacement: Replacement::default(),
             hash: HashScheme::default(),
             commutative: true,
+            protection: Protection::default(),
         }
     }
 
@@ -223,6 +226,12 @@ impl MemoConfig {
     pub fn commutative(&self) -> bool {
         self.commutative
     }
+
+    /// Soft-error protection policy for stored entries.
+    #[must_use]
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
 }
 
 impl Default for MemoConfig {
@@ -247,6 +256,7 @@ pub struct MemoConfigBuilder {
     replacement: Replacement,
     hash: HashScheme,
     commutative: bool,
+    protection: Protection,
 }
 
 impl MemoConfigBuilder {
@@ -293,6 +303,14 @@ impl MemoConfigBuilder {
         self
     }
 
+    /// Set the soft-error protection policy (default: none, the paper's
+    /// implicit assumption).
+    #[must_use]
+    pub fn protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
     /// Validate and produce the configuration.
     ///
     /// # Errors
@@ -315,6 +333,7 @@ impl MemoConfigBuilder {
             replacement: self.replacement,
             hash: self.hash,
             commutative: self.commutative,
+            protection: self.protection,
         })
     }
 }
@@ -332,6 +351,13 @@ mod tests {
         assert_eq!(cfg.tag(), TagPolicy::FullValue);
         assert_eq!(cfg.trivial(), TrivialPolicy::Exclude);
         assert!(cfg.commutative());
+        assert_eq!(cfg.protection(), Protection::None);
+    }
+
+    #[test]
+    fn protection_is_configurable() {
+        let cfg = MemoConfig::builder(32).protection(Protection::EccSecDed).build().unwrap();
+        assert_eq!(cfg.protection(), Protection::EccSecDed);
     }
 
     #[test]

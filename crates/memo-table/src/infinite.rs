@@ -9,12 +9,21 @@
 use std::collections::HashMap;
 
 use crate::config::{TagPolicy, TrivialPolicy};
+use crate::fault::{FaultInjector, Protection};
 use crate::key::{decode_value, encode_tag, encode_value, Key};
 use crate::op::{Op, Value};
 use crate::stats::MemoStats;
 use crate::table::Probe;
 use crate::trivial::trivial_result;
 use crate::Memoizer;
+
+#[derive(Debug, Clone, Copy)]
+struct Stored {
+    /// The payload as stored — may drift from `clean` under value faults.
+    value: u64,
+    /// The payload at insert time (the checker's reference).
+    clean: u64,
+}
 
 /// An unbounded memo table: the hit-ratio upper bound for a tag/trivial
 /// policy pair.
@@ -38,8 +47,10 @@ pub struct InfiniteMemoTable {
     tag: TagPolicy,
     trivial: TrivialPolicy,
     commutative: bool,
-    entries: HashMap<Key, u64>,
+    protection: Protection,
+    entries: HashMap<Key, Stored>,
     stats: MemoStats,
+    injector: Option<FaultInjector>,
 }
 
 impl InfiniteMemoTable {
@@ -57,9 +68,39 @@ impl InfiniteMemoTable {
             tag,
             trivial,
             commutative,
+            protection: Protection::None,
             entries: HashMap::new(),
             stats: MemoStats::new(),
+            injector: None,
         }
+    }
+
+    /// Set the soft-error protection policy (default: none).
+    #[must_use]
+    pub fn with_protection(mut self, protection: Protection) -> Self {
+        self.protection = protection;
+        self
+    }
+
+    /// The protection policy in force.
+    #[must_use]
+    pub fn protection(&self) -> Protection {
+        self.protection
+    }
+
+    /// Attach a soft-error process striking stored values on each probe.
+    ///
+    /// Only value flips apply: the unbounded reference table has neither
+    /// fixed slots (no stuck-at defect map) nor hardware tags to corrupt.
+    #[must_use]
+    pub fn with_fault_injector(mut self, injector: FaultInjector) -> Self {
+        self.injector = Some(injector);
+        self
+    }
+
+    /// Attach or detach the soft-error process in place.
+    pub fn set_fault_injector(&mut self, injector: Option<FaultInjector>) {
+        self.injector = injector;
     }
 
     /// Number of distinct operand pairs retained.
@@ -82,12 +123,84 @@ impl InfiniteMemoTable {
 
     fn probe_order(&mut self, op: &Op) -> Option<Value> {
         let key = encode_tag(op, self.tag)?;
-        let stored = *self.entries.get(&key)?;
-        match decode_value(op, stored, self.tag) {
-            Some(v) => Some(v),
+        if !self.entries.contains_key(&key) {
+            return None;
+        }
+        // New soft errors strike the cell itself: persist them.
+        if let Some(injector) = &mut self.injector {
+            if let Some(mask) = injector.value_strike() {
+                let entry = self.entries.get_mut(&key).expect("checked above");
+                entry.value ^= mask;
+                self.stats.faults_injected += 1;
+            }
+        }
+        let Stored { value: read, clean } = *self.entries.get(&key).expect("checked above");
+
+        let errs = (read ^ clean).count_ones();
+        if errs == 0 {
+            return match decode_value(op, read, self.tag) {
+                Some(v) => Some(v),
+                None => {
+                    self.stats.bypasses += 1;
+                    None
+                }
+            };
+        }
+
+        let truth = decode_value(op, clean, self.tag);
+        let serve_corrupted = |table: &mut Self, value: u64| match decode_value(op, value, table.tag)
+        {
+            Some(seen) => {
+                if Some(seen) != truth {
+                    table.stats.faults_silent += 1;
+                }
+                Some(seen)
+            }
             None => {
-                self.stats.bypasses += 1;
+                table.stats.bypasses += 1;
                 None
+            }
+        };
+
+        match self.protection {
+            Protection::None => serve_corrupted(self, read),
+            Protection::ParityDetect => {
+                if errs % 2 == 1 {
+                    self.stats.faults_detected += 1;
+                    self.entries.remove(&key);
+                    None
+                } else {
+                    serve_corrupted(self, read)
+                }
+            }
+            Protection::EccSecDed => match errs {
+                1 => {
+                    self.stats.faults_corrected += 1;
+                    self.entries.get_mut(&key).expect("checked above").value = clean;
+                    match decode_value(op, clean, self.tag) {
+                        Some(v) => Some(v),
+                        None => {
+                            self.stats.bypasses += 1;
+                            None
+                        }
+                    }
+                }
+                2 => {
+                    self.stats.faults_detected += 1;
+                    self.entries.remove(&key);
+                    None
+                }
+                _ => serve_corrupted(self, read),
+            },
+            Protection::VerifyOnHit { .. } => {
+                let seen = decode_value(op, read, self.tag);
+                if seen.is_some() && seen == truth {
+                    seen
+                } else {
+                    self.stats.faults_detected += 1;
+                    self.entries.remove(&key);
+                    None
+                }
             }
         }
     }
@@ -145,7 +258,7 @@ impl Memoizer for InfiniteMemoTable {
             self.stats.bypasses += 1;
             return;
         };
-        if self.entries.insert(key, value).is_none() {
+        if self.entries.insert(key, Stored { value, clean: value }).is_none() {
             self.stats.insertions += 1;
         }
     }
@@ -157,6 +270,11 @@ impl Memoizer for InfiniteMemoTable {
     fn reset(&mut self) {
         self.entries.clear();
         self.stats = MemoStats::new();
+        self.injector = self.injector.as_ref().map(|i| FaultInjector::new(i.config()));
+    }
+
+    fn hit_penalty(&self) -> u32 {
+        self.protection.hit_penalty()
     }
 }
 

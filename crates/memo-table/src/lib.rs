@@ -30,7 +30,10 @@
 //!   ([`InfiniteMemoTable`]);
 //! * a multi-ported table shared between several computation units (§2.3)
 //!   ([`SharedMemoTable`]);
-//! * a latency-aware memoized functional unit ([`MemoizedUnit`]).
+//! * a latency-aware memoized functional unit ([`MemoizedUnit`]);
+//! * soft-error fault injection and protection policies
+//!   ([`FaultInjector`], [`Protection`]) — parity, SEC-DED, or
+//!   recompute-and-verify guarding the stored entries.
 //!
 //! ## Quick start
 //!
@@ -55,10 +58,12 @@
 
 pub mod baselines;
 mod config;
+mod fault;
 mod infinite;
 mod key;
 mod op;
 mod ported;
+pub mod rng;
 mod stats;
 mod table;
 mod trivial;
@@ -68,6 +73,7 @@ pub use config::{
     Assoc, HashScheme, MemoConfig, MemoConfigBuilder, MemoConfigError, Replacement, TagPolicy,
     TrivialPolicy,
 };
+pub use fault::{Fault, FaultConfig, FaultInjector, Protection};
 pub use infinite::InfiniteMemoTable;
 pub use key::{fp_parts, is_normal_or_zero, Key};
 pub use op::{Op, OpKind, Value};
@@ -121,4 +127,14 @@ pub trait Memoizer {
 
     /// Clear both the stored entries and the statistics.
     fn reset(&mut self);
+
+    /// Extra cycles this table's protection policy adds to every served
+    /// hit (see [`Protection::hit_penalty`]); 0 for unprotected tables.
+    ///
+    /// Surfaced on the trait so latency models ([`MemoizedUnit`], the
+    /// cycle accountant in `memo-sim`) can charge protection without
+    /// knowing the concrete table type.
+    fn hit_penalty(&self) -> u32 {
+        0
+    }
 }

@@ -29,6 +29,19 @@ pub struct MemoStats {
     pub insertions: u64,
     /// Valid entries overwritten to make room.
     pub evictions: u64,
+    /// Faults applied to stored entries by the attached
+    /// [`FaultInjector`](crate::FaultInjector): bit flips in values or
+    /// tags, plus stuck-at reads that actually changed a read value.
+    pub faults_injected: u64,
+    /// Corruptions the protection policy detected (the entry was
+    /// invalidated and the hit downgraded to a miss).
+    pub faults_detected: u64,
+    /// Corruptions SEC-DED corrected in place (the hit survived).
+    pub faults_corrected: u64,
+    /// Corruptions served to the consumer undetected — silent data
+    /// corruption (always under [`Protection::None`](crate::Protection),
+    /// even-bit errors under parity).
+    pub faults_silent: u64,
 }
 
 impl MemoStats {
@@ -75,6 +88,21 @@ impl MemoStats {
     pub fn trivial_fraction(&self) -> f64 {
         ratio(self.trivial_seen, self.ops_seen)
     }
+
+    /// Total corruption events observed at read time
+    /// (`detected + corrected + silent`).
+    #[must_use]
+    pub fn faults_observed(&self) -> u64 {
+        self.faults_detected + self.faults_corrected + self.faults_silent
+    }
+
+    /// Silent-data-corruption rate: silent faults per table hit served.
+    ///
+    /// Returns 0 when no hits were served.
+    #[must_use]
+    pub fn sdc_rate(&self) -> f64 {
+        ratio(self.faults_silent, self.table_hits)
+    }
 }
 
 fn ratio(num: u64, den: u64) -> f64 {
@@ -95,6 +123,10 @@ impl AddAssign for MemoStats {
         self.bypasses += rhs.bypasses;
         self.insertions += rhs.insertions;
         self.evictions += rhs.evictions;
+        self.faults_injected += rhs.faults_injected;
+        self.faults_detected += rhs.faults_detected;
+        self.faults_corrected += rhs.faults_corrected;
+        self.faults_silent += rhs.faults_silent;
     }
 }
 
@@ -110,7 +142,18 @@ impl fmt::Display for MemoStats {
             100.0 * self.lookup_hit_ratio(),
             self.insertions,
             self.evictions,
-        )
+        )?;
+        if self.faults_injected > 0 || self.faults_observed() > 0 {
+            write!(
+                f,
+                ", faults: {} injected / {} detected / {} corrected / {} silent",
+                self.faults_injected,
+                self.faults_detected,
+                self.faults_corrected,
+                self.faults_silent,
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -156,5 +199,24 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!MemoStats::new().to_string().is_empty());
+    }
+
+    #[test]
+    fn fault_counters_accumulate_and_display() {
+        let mut a = MemoStats {
+            table_hits: 10,
+            faults_injected: 4,
+            faults_detected: 2,
+            faults_corrected: 1,
+            faults_silent: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.faults_observed(), 4);
+        assert!((a.sdc_rate() - 0.1).abs() < 1e-12);
+        a += a;
+        assert_eq!(a.faults_injected, 8);
+        assert_eq!(a.faults_silent, 2);
+        assert!(a.to_string().contains("faults: 8 injected"));
+        assert!(!MemoStats::new().to_string().contains("faults:"));
     }
 }

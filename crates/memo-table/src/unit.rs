@@ -89,12 +89,17 @@ impl<M: Memoizer> MemoizedUnit<M> {
         self.latency
     }
 
-    /// Execute `op`, charging 1 cycle on a table (or integrated-trivial)
-    /// hit and the full latency otherwise.
+    /// Execute `op`, charging 1 cycle (plus the protection policy's
+    /// per-hit penalty, if any) on a table hit, 1 cycle on an
+    /// integrated-trivial hit, and the full latency otherwise.
     pub fn execute(&mut self, op: Op) -> UnitExecution {
         let executed = self.table.execute(op);
         let cycles = match executed.outcome {
-            Outcome::Hit | Outcome::Trivial => {
+            Outcome::Hit => {
+                self.single_cycle += 1;
+                1 + self.table.hit_penalty()
+            }
+            Outcome::Trivial => {
                 self.single_cycle += 1;
                 1
             }

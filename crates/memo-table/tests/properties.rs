@@ -1,173 +1,268 @@
-//! Property-based tests of the memo-table's central invariants.
+//! Property-style tests of the memo-table's central invariants, driven by
+//! deterministic SplitMix64 operand streams (the repo builds offline, so
+//! the generators are hand-rolled rather than proptest strategies).
 //!
 //! The paper's correctness claim is *transparency*: an execution through a
 //! (computation unit + MEMO-TABLE) tandem produces bit-identical results to
-//! the plain unit, for every configuration in the design space.
+//! the plain unit, for every configuration in the design space — including,
+//! in this PR, every soft-error [`Protection`] policy.
 
+use memo_table::rng::SplitMix64;
 use memo_table::{
-    Assoc, HashScheme, InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, Op, Replacement,
-    TagPolicy, TrivialPolicy,
+    Assoc, FaultConfig, FaultInjector, HashScheme, InfiniteMemoTable, MemoConfig, MemoTable,
+    Memoizer, Op, Protection, Replacement, TagPolicy, TrivialPolicy,
 };
-use proptest::prelude::*;
 
-/// Operand pool small enough to force plenty of reuse.
-fn pooled_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        // Values with shared mantissas across exponents, signs, specials.
-        prop_oneof![
-            Just(0.0f64),
-            Just(-0.0),
-            Just(1.0),
-            Just(-1.0),
-            Just(1.5),
-            Just(3.0),
-            Just(-3.7),
-            Just(0.1),
-            Just(1.7e300),
-            Just(2.5e-300),
-            Just(f64::INFINITY),
-            Just(f64::NAN),
-            Just(f64::MIN_POSITIVE / 8.0), // subnormal
-        ],
-        any::<f64>(),
-        // Small grid: byte-like pixel values.
-        (0u8..=255).prop_map(f64::from),
-    ]
+/// Operand pool small enough to force plenty of reuse, wide enough to cover
+/// specials (signed zero, NaN, infinities, subnormals, huge/tiny exponents).
+fn pooled_f64(r: &mut SplitMix64) -> f64 {
+    const SPECIALS: [f64; 13] = [
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        1.5,
+        3.0,
+        -3.7,
+        0.1,
+        1.7e300,
+        2.5e-300,
+        f64::INFINITY,
+        f64::NAN,
+        f64::MIN_POSITIVE / 8.0, // subnormal
+    ];
+    match r.next_below(4) {
+        0 => SPECIALS[r.next_below(SPECIALS.len() as u64) as usize],
+        1 => f64::from_bits(r.next_u64()), // arbitrary bit pattern
+        _ => r.next_below(256) as f64,     // byte-like pixel values
+    }
 }
 
-fn pooled_i64() -> impl Strategy<Value = i64> {
-    prop_oneof![Just(0i64), Just(1), Just(-1), -20i64..20, any::<i64>()]
+fn pooled_i64(r: &mut SplitMix64) -> i64 {
+    match r.next_below(4) {
+        0 => [0i64, 1, -1][r.next_below(3) as usize],
+        1 => r.next_below(40) as i64 - 20,
+        _ => r.next_u64() as i64,
+    }
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (pooled_i64(), pooled_i64()).prop_map(|(a, b)| Op::IntMul(a, b)),
-        (pooled_f64(), pooled_f64()).prop_map(|(a, b)| Op::FpMul(a, b)),
-        (pooled_f64(), pooled_f64()).prop_map(|(a, b)| Op::FpDiv(a, b)),
-        pooled_f64().prop_map(Op::FpSqrt),
-    ]
+fn arb_op(r: &mut SplitMix64) -> Op {
+    match r.next_below(4) {
+        0 => Op::IntMul(pooled_i64(r), pooled_i64(r)),
+        1 => Op::FpMul(pooled_f64(r), pooled_f64(r)),
+        2 => Op::FpDiv(pooled_f64(r), pooled_f64(r)),
+        _ => Op::FpSqrt(pooled_f64(r)),
+    }
 }
 
-fn arb_config() -> impl Strategy<Value = MemoConfig> {
-    (
-        prop_oneof![Just(2usize), Just(8), Just(32), Just(64)],
-        prop_oneof![
-            Just(Assoc::DirectMapped),
-            Just(Assoc::Ways(2)),
-            Just(Assoc::Ways(4)),
-            Just(Assoc::Full)
-        ],
-        prop_oneof![Just(TagPolicy::FullValue), Just(TagPolicy::MantissaOnly)],
-        prop_oneof![
-            Just(TrivialPolicy::Memoize),
-            Just(TrivialPolicy::Exclude),
-            Just(TrivialPolicy::Integrate)
-        ],
-        prop_oneof![Just(Replacement::Lru), Just(Replacement::Fifo), Just(Replacement::Random)],
-        prop_oneof![Just(HashScheme::PaperXor), Just(HashScheme::FoldMix)],
-        any::<bool>(),
-    )
-        .prop_filter_map("valid geometry", |(e, a, t, tr, r, h, c)| {
-            MemoConfig::builder(e)
-                .assoc(a)
-                .tag(t)
-                .trivial(tr)
-                .replacement(r)
-                .hash(h)
-                .commutative(c)
-                .build()
-                .ok()
-        })
+fn arb_ops(r: &mut SplitMix64, max: u64) -> Vec<Op> {
+    let n = 1 + r.next_below(max) as usize;
+    (0..n).map(|_| arb_op(r)).collect()
 }
 
-proptest! {
-    /// THE invariant: memoized execution is bit-exact vs. plain computation,
-    /// for every configuration and any operand stream.
-    #[test]
-    fn transparency(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
+/// Draw a random valid configuration from the whole design space.
+fn arb_config(r: &mut SplitMix64) -> MemoConfig {
+    loop {
+        let entries = [2usize, 8, 32, 64][r.next_below(4) as usize];
+        let assoc = [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Ways(4), Assoc::Full]
+            [r.next_below(4) as usize];
+        let tag = [TagPolicy::FullValue, TagPolicy::MantissaOnly][r.next_below(2) as usize];
+        let trivial = [TrivialPolicy::Memoize, TrivialPolicy::Exclude, TrivialPolicy::Integrate]
+            [r.next_below(3) as usize];
+        let replacement =
+            [Replacement::Lru, Replacement::Fifo, Replacement::Random][r.next_below(3) as usize];
+        let hash = [HashScheme::PaperXor, HashScheme::FoldMix][r.next_below(2) as usize];
+        let commutative = r.next_below(2) == 0;
+        if let Ok(cfg) = MemoConfig::builder(entries)
+            .assoc(assoc)
+            .tag(tag)
+            .trivial(trivial)
+            .replacement(replacement)
+            .hash(hash)
+            .commutative(commutative)
+            .build()
+        {
+            return cfg;
+        }
+    }
+}
+
+const ROUNDS: u64 = 48;
+
+/// THE invariant: memoized execution is bit-exact vs. plain computation,
+/// for every configuration and any operand stream.
+#[test]
+fn transparency() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("transparency");
+        let cfg = arb_config(&mut r);
         let mut table = MemoTable::new(cfg);
-        for op in ops {
+        for op in arb_ops(&mut r, 300) {
             let memoized = table.execute(op);
             let truth = op.compute();
-            prop_assert_eq!(
+            assert_eq!(
                 memoized.value.to_bits(),
                 truth.to_bits(),
-                "divergence on {} under {:?}",
-                op,
-                cfg
+                "divergence on {op} under {cfg:?}"
             );
         }
     }
+}
 
-    /// The infinite table is bit-exact too.
-    #[test]
-    fn transparency_infinite(
-        tag in prop_oneof![Just(TagPolicy::FullValue), Just(TagPolicy::MantissaOnly)],
-        ops in prop::collection::vec(arb_op(), 1..300),
-    ) {
-        let mut table = InfiniteMemoTable::with_policies(tag, TrivialPolicy::Exclude, true);
-        for op in ops {
-            prop_assert_eq!(table.execute(op).value.to_bits(), op.compute().to_bits());
+/// Transparency holds under *every* protection policy when fault injection
+/// is disabled: the protection data path must be invisible on clean SRAM.
+#[test]
+fn transparency_under_every_protection_policy() {
+    for policy in Protection::ALL {
+        for seed in 0..ROUNDS / 2 {
+            let mut r = SplitMix64::new(seed).split("protected-transparency");
+            let entries = [8usize, 32][r.next_below(2) as usize];
+            let tag = [TagPolicy::FullValue, TagPolicy::MantissaOnly][r.next_below(2) as usize];
+            let cfg =
+                MemoConfig::builder(entries).tag(tag).protection(policy).build().unwrap();
+            // An attached-but-disabled injector must also be a no-op.
+            let mut table = MemoTable::new(cfg)
+                .with_fault_injector(FaultInjector::new(FaultConfig::disabled()));
+            for op in arb_ops(&mut r, 300) {
+                let memoized = table.execute(op);
+                assert_eq!(
+                    memoized.value.to_bits(),
+                    op.compute().to_bits(),
+                    "divergence on {op} under {policy}"
+                );
+            }
+            let s = table.stats();
+            assert_eq!(s.faults_injected, 0);
+            assert_eq!(s.faults_observed(), 0, "no faults: nothing to detect under {policy}");
         }
     }
+}
 
-    /// An unbounded table never hits less often than any finite table with
-    /// the same policies.
-    #[test]
-    fn infinite_dominates_finite(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
+/// Parity-protected tables never serve a corrupted value under single-bit
+/// faults: every flipped entry is detected and downgraded to a miss.
+#[test]
+fn parity_never_serves_single_bit_corruption() {
+    for seed in 0..ROUNDS / 2 {
+        let mut r = SplitMix64::new(seed).split("parity-faults");
+        let cfg = MemoConfig::builder(32).protection(Protection::ParityDetect).build().unwrap();
+        let mut table = MemoTable::new(cfg)
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(seed ^ 0xF00D, 0.5)));
+        for op in arb_ops(&mut r, 400) {
+            let memoized = table.execute(op);
+            assert_eq!(
+                memoized.value.to_bits(),
+                op.compute().to_bits(),
+                "parity served a corrupted value for {op}"
+            );
+        }
+        assert_eq!(table.stats().faults_silent, 0, "single-bit flips cannot escape parity");
+    }
+}
+
+/// SEC-DED likewise serves only exact values under single-bit faults — by
+/// correcting them rather than discarding the entry.
+#[test]
+fn ecc_never_serves_single_bit_corruption() {
+    for seed in 0..ROUNDS / 2 {
+        let mut r = SplitMix64::new(seed).split("ecc-faults");
+        let cfg = MemoConfig::builder(32).protection(Protection::EccSecDed).build().unwrap();
+        let mut table = MemoTable::new(cfg)
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(seed ^ 0xBEEF, 0.5)));
+        for op in arb_ops(&mut r, 400) {
+            let memoized = table.execute(op);
+            assert_eq!(memoized.value.to_bits(), op.compute().to_bits());
+        }
+        let s = table.stats();
+        assert_eq!(s.faults_silent, 0);
+        assert_eq!(s.faults_corrected, s.faults_injected, "every single flip is corrected");
+    }
+}
+
+/// The infinite table is bit-exact too.
+#[test]
+fn transparency_infinite() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("transparency-infinite");
+        let tag = [TagPolicy::FullValue, TagPolicy::MantissaOnly][r.next_below(2) as usize];
+        let mut table = InfiniteMemoTable::with_policies(tag, TrivialPolicy::Exclude, true);
+        for op in arb_ops(&mut r, 300) {
+            assert_eq!(table.execute(op).value.to_bits(), op.compute().to_bits());
+        }
+    }
+}
+
+/// An unbounded table never hits less often than any finite table with the
+/// same policies.
+#[test]
+fn infinite_dominates_finite() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("dominates");
+        let cfg = arb_config(&mut r);
         let mut inf = InfiniteMemoTable::with_policies(cfg.tag(), cfg.trivial(), cfg.commutative());
         let mut fin = MemoTable::new(cfg);
-        for op in ops {
+        for op in arb_ops(&mut r, 300) {
             inf.execute(op);
             fin.execute(op);
         }
-        prop_assert!(inf.stats().table_hits >= fin.stats().table_hits);
+        assert!(inf.stats().table_hits >= fin.stats().table_hits);
     }
+}
 
-    /// Fully-associative LRU obeys the inclusion property: doubling the
-    /// capacity never loses hits.
-    #[test]
-    fn lru_full_assoc_inclusion(ops in prop::collection::vec(arb_op(), 1..400)) {
-        let mut small = MemoTable::new(
-            MemoConfig::builder(8).assoc(Assoc::Full).build().unwrap(),
-        );
-        let mut large = MemoTable::new(
-            MemoConfig::builder(16).assoc(Assoc::Full).build().unwrap(),
-        );
-        for op in ops {
+/// Fully-associative LRU obeys the inclusion property: doubling the
+/// capacity never loses hits.
+#[test]
+fn lru_full_assoc_inclusion() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("inclusion");
+        let mut small =
+            MemoTable::new(MemoConfig::builder(8).assoc(Assoc::Full).build().unwrap());
+        let mut large =
+            MemoTable::new(MemoConfig::builder(16).assoc(Assoc::Full).build().unwrap());
+        for op in arb_ops(&mut r, 400) {
             small.execute(op);
             large.execute(op);
         }
-        prop_assert!(large.stats().table_hits >= small.stats().table_hits);
+        assert!(large.stats().table_hits >= small.stats().table_hits);
     }
+}
 
-    /// Bookkeeping invariants that must hold for any stream.
-    #[test]
-    fn stats_are_consistent(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..300)) {
-        let mut table = MemoTable::new(cfg);
+/// Bookkeeping invariants that must hold for any stream.
+#[test]
+fn stats_are_consistent() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("stats");
+        let cfg = arb_config(&mut r);
+        let ops = arb_ops(&mut r, 300);
         let n = ops.len() as u64;
+        let mut table = MemoTable::new(cfg);
         for op in ops {
             table.execute(op);
         }
         let s = table.stats();
-        prop_assert_eq!(s.ops_seen, n);
-        prop_assert!(s.table_hits <= s.table_lookups);
-        prop_assert!(s.commutative_hits <= s.table_hits);
-        prop_assert!(s.trivial_seen <= s.ops_seen);
-        prop_assert!(s.table_lookups <= s.ops_seen);
-        prop_assert!(s.evictions <= s.insertions);
-        prop_assert!(table.len() <= cfg.entries());
+        assert_eq!(s.ops_seen, n);
+        assert!(s.table_hits <= s.table_lookups);
+        assert!(s.commutative_hits <= s.table_hits);
+        assert!(s.trivial_seen <= s.ops_seen);
+        assert!(s.table_lookups <= s.ops_seen);
+        assert!(s.evictions <= s.insertions);
+        assert!(table.len() <= cfg.entries());
         // Every insertion beyond capacity must have evicted.
-        prop_assert!(s.insertions - s.evictions <= cfg.entries() as u64);
+        assert!(s.insertions - s.evictions <= cfg.entries() as u64);
         let hr = table.hit_ratio();
-        prop_assert!((0.0..=1.0).contains(&hr));
+        assert!((0.0..=1.0).contains(&hr));
     }
+}
 
-    /// Replaying the exact same stream after a reset gives the exact same
-    /// statistics (the table is deterministic).
-    #[test]
-    fn deterministic_replay(cfg in arb_config(), ops in prop::collection::vec(arb_op(), 1..200)) {
-        let mut table = MemoTable::new(cfg);
+/// Replaying the exact same stream after a reset gives the exact same
+/// statistics (the table is deterministic) — fault process included.
+#[test]
+fn deterministic_replay() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("replay");
+        let cfg = arb_config(&mut r);
+        let ops = arb_ops(&mut r, 200);
+        let mut table = MemoTable::new(cfg)
+            .with_fault_injector(FaultInjector::new(FaultConfig::single_bit(seed, 0.2)));
         for op in &ops {
             table.execute(*op);
         }
@@ -176,13 +271,17 @@ proptest! {
         for op in &ops {
             table.execute(*op);
         }
-        prop_assert_eq!(first, table.stats());
+        assert_eq!(first, table.stats());
     }
+}
 
-    /// A second pass over a repeating stream on an infinite table hits on
-    /// every non-trivial operation that the tag policy can represent.
-    #[test]
-    fn infinite_second_pass_hits(ops in prop::collection::vec(arb_op(), 1..200)) {
+/// A second pass over a repeating stream on an infinite table hits on every
+/// non-trivial operation that the tag policy can represent.
+#[test]
+fn infinite_second_pass_hits() {
+    for seed in 0..ROUNDS {
+        let mut r = SplitMix64::new(seed).split("second-pass");
+        let ops = arb_ops(&mut r, 200);
         let mut table = InfiniteMemoTable::new();
         for op in &ops {
             table.execute(*op);
@@ -195,6 +294,6 @@ proptest! {
         // Second-pass lookups that could be stored must all hit: misses can
         // only grow by operations that were never inserted (none under
         // full-value tags).
-        prop_assert_eq!(s.table_misses(), after_first.table_misses());
+        assert_eq!(s.table_misses(), after_first.table_misses());
     }
 }

@@ -1,100 +1,116 @@
-//! Property tests for the workload kernels: totality over arbitrary
-//! inputs, determinism, and event-stream sanity.
+//! Property-style tests for the workload kernels: totality over
+//! deterministic pseudo-random inputs, determinism, and event-stream
+//! sanity (SplitMix64 streams replace proptest; the repo builds offline).
 
 use memo_imaging::rng::SplitMix64;
 use memo_imaging::Image;
 use memo_sim::{CountingSink, NullSink};
 use memo_workloads::{mm, sci};
-use proptest::prelude::*;
 
-fn arb_image() -> impl Strategy<Value = Image> {
-    ((4usize..48, 4usize..48), any::<u64>(), 1u64..=256).prop_map(|((w, h), seed, levels)| {
-        let mut rng = SplitMix64::new(seed);
-        Image::from_fn_byte(w, h, |_, _| {
-            (rng.next_below(levels) * (256 / levels.max(1))).min(255) as u8
-        })
+fn arb_image(r: &mut SplitMix64) -> Image {
+    let w = 4 + r.next_below(44) as usize;
+    let h = 4 + r.next_below(44) as usize;
+    let levels = 1 + r.next_below(256);
+    let mut rng = SplitMix64::new(r.next_u64());
+    Image::from_fn_byte(w, h, |_, _| {
+        (rng.next_below(levels) * (256 / levels.max(1))).min(255) as u8
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every MM application accepts any byte image without panicking and
-    /// produces a finite-valued image of matching width/height.
-    #[test]
-    fn mm_apps_are_total_over_arbitrary_images(img in arb_image(), idx in 0usize..18) {
-        let app = mm::apps()[idx];
-        let out = app.run(&mut NullSink, &img);
-        prop_assert_eq!(out.width(), img.width(), "{}", app.name);
-        prop_assert_eq!(out.height(), img.height(), "{}", app.name);
-        for s in out.samples() {
-            prop_assert!(s.is_finite(), "{} produced {}", app.name, s);
+/// Every MM application accepts any byte image without panicking and
+/// produces a finite-valued image of matching width/height.
+#[test]
+fn mm_apps_are_total_over_arbitrary_images() {
+    for (idx, app) in mm::apps().iter().enumerate() {
+        let mut r = SplitMix64::new(idx as u64).split("mm-total");
+        for _ in 0..3 {
+            let img = arb_image(&mut r);
+            let out = app.run(&mut NullSink, &img);
+            assert_eq!(out.width(), img.width(), "{}", app.name);
+            assert_eq!(out.height(), img.height(), "{}", app.name);
+            for s in out.samples() {
+                assert!(s.is_finite(), "{} produced {}", app.name, s);
+            }
         }
     }
+}
 
-    /// Kernels are pure: identical images give identical outputs and
-    /// identical event mixes.
-    #[test]
-    fn mm_apps_are_deterministic(img in arb_image(), idx in 0usize..18) {
-        let app = mm::apps()[idx];
+/// Kernels are pure: identical images give identical outputs and
+/// identical event mixes.
+#[test]
+fn mm_apps_are_deterministic() {
+    for (idx, app) in mm::apps().iter().enumerate() {
+        let mut r = SplitMix64::new(idx as u64).split("mm-det");
+        let img = arb_image(&mut r);
         let mut s1 = CountingSink::new();
         let mut s2 = CountingSink::new();
         let o1 = app.run(&mut s1, &img);
         let o2 = app.run(&mut s2, &img);
-        prop_assert_eq!(o1, o2, "{}", app.name);
-        prop_assert_eq!(s1.mix(), s2.mix(), "{}", app.name);
+        assert_eq!(o1, o2, "{}", app.name);
+        assert_eq!(s1.mix(), s2.mix(), "{}", app.name);
     }
+}
 
-    /// Event volume scales with the pixel count (no hidden quadratic
-    /// blowups; at least one event per pixel).
-    #[test]
-    fn mm_event_volume_is_pixel_proportional(img in arb_image(), idx in 0usize..18) {
-        let app = mm::apps()[idx];
-        let mut sink = CountingSink::new();
-        app.run(&mut sink, &img);
-        let pixels = (img.pixels_per_band() * img.bands()) as u64;
-        let events = sink.mix().total();
-        // Tile-based generators (vgauss renders one blob per 16×16 cell)
-        // legitimately emit nothing on images smaller than a tile.
-        if img.width() >= 16 && img.height() >= 16 {
-            prop_assert!(events >= pixels, "{}: {} events for {} pixels", app.name, events, pixels);
+/// Event volume scales with the pixel count (no hidden quadratic
+/// blowups; at least one event per pixel).
+#[test]
+fn mm_event_volume_is_pixel_proportional() {
+    for (idx, app) in mm::apps().iter().enumerate() {
+        let mut r = SplitMix64::new(idx as u64).split("mm-volume");
+        for _ in 0..3 {
+            let img = arb_image(&mut r);
+            let mut sink = CountingSink::new();
+            app.run(&mut sink, &img);
+            let pixels = (img.pixels_per_band() * img.bands()) as u64;
+            let events = sink.mix().total();
+            // Tile-based generators (vgauss renders one blob per 16×16 cell)
+            // legitimately emit nothing on images smaller than a tile.
+            if img.width() >= 16 && img.height() >= 16 {
+                assert!(events >= pixels, "{}: {events} events for {pixels} pixels", app.name);
+            }
+            // Generous upper bound: FFT apps are O(n log n) per row, k-means
+            // iterates; nothing should exceed ~2k events per pixel.
+            assert!(
+                events < pixels.saturating_mul(2000) + 100_000,
+                "{}: {events} events for {pixels} pixels",
+                app.name
+            );
         }
-        // Generous upper bound: FFT apps are O(n log n) per row, k-means
-        // iterates; nothing should exceed ~2k events per pixel.
-        prop_assert!(
-            events < pixels.saturating_mul(2000) + 100_000,
-            "{}: {} events for {} pixels",
-            app.name,
-            events,
-            pixels
-        );
     }
+}
 
-    /// Scientific kernels run at any size without panicking, and their
-    /// event mixes are deterministic.
-    #[test]
-    fn sci_apps_are_total_and_deterministic(n in 8usize..40, idx in 0usize..19) {
-        let app = sci::all_apps()[idx];
+/// Scientific kernels run at any size without panicking, and their
+/// event mixes are deterministic.
+#[test]
+fn sci_apps_are_total_and_deterministic() {
+    for (idx, app) in sci::all_apps().iter().enumerate() {
+        let mut r = SplitMix64::new(idx as u64).split("sci");
+        let n = 8 + r.next_below(32) as usize;
         let mut s1 = CountingSink::new();
         let mut s2 = CountingSink::new();
         app.run(&mut s1, n);
         app.run(&mut s2, n);
-        prop_assert_eq!(s1.mix(), s2.mix(), "{}", app.name);
-        prop_assert!(s1.mix().total() > 0, "{}", app.name);
+        assert_eq!(s1.mix(), s2.mix(), "{}", app.name);
+        assert!(s1.mix().total() > 0, "{}", app.name);
     }
+}
 
-    /// The instrumented-math helpers stay close to libm over the domains
-    /// the kernels use.
-    #[test]
-    fn math_helpers_track_reference(a in 0.01f64..1e6, b in 0.01f64..1e6) {
-        use memo_workloads::math;
+/// The instrumented-math helpers stay close to libm over the domains
+/// the kernels use.
+#[test]
+fn math_helpers_track_reference() {
+    use memo_workloads::math;
+    for seed in 0..64 {
+        let mut r = SplitMix64::new(seed).split("math");
+        let a = 0.01 + (1e6 - 0.01) * r.next_f64();
+        let b = 0.01 + (1e6 - 0.01) * r.next_f64();
         let mut sink = NullSink;
         let s = math::newton_sqrt(&mut sink, a, 5);
-        prop_assert!((s - a.sqrt()).abs() / a.sqrt() < 1e-4, "sqrt({a}) = {s}");
+        assert!((s - a.sqrt()).abs() / a.sqrt() < 1e-4, "sqrt({a}) = {s}");
         let h = math::hypot_approx(&mut sink, a.min(1e3), b.min(1e3));
         let want = (a.min(1e3).powi(2) + b.min(1e3).powi(2)).sqrt();
-        prop_assert!((h - want).abs() / want < 1e-3, "hypot = {h} vs {want}");
+        assert!((h - want).abs() / want < 1e-3, "hypot = {h} vs {want}");
         let t = math::atan2_approx(&mut sink, b, a);
-        prop_assert!((t - f64::atan2(b, a)).abs() < 5e-3);
+        assert!((t - f64::atan2(b, a)).abs() < 5e-3);
     }
 }

@@ -52,7 +52,7 @@ fn claim_infinite_tables_reveal_headroom() {
 /// bit.
 #[test]
 fn claim_entropy_predicts_hit_ratio() {
-    let fig = figures::figure2(cfg());
+    let fig = figures::figure2(cfg()).unwrap();
     for (label, line) in [
         ("fdiv vs 8x8", fig.fdiv_vs_win8),
         ("fmul vs 8x8", fig.fmul_vs_win8),
@@ -72,7 +72,7 @@ fn claim_entropy_predicts_hit_ratio() {
 /// divider needs a smaller table than a multiplier.
 #[test]
 fn claim_size_curve_saturates() {
-    let [fmul, fdiv] = figures::figure3(cfg());
+    let [fmul, fdiv] = figures::figure3(cfg()).unwrap();
     for curve in [&fmul, &fdiv] {
         let first = curve.points.first().unwrap();
         let mid = &curve.points[5]; // 256 entries
@@ -100,7 +100,7 @@ fn claim_size_curve_saturates() {
 /// suffice for division and nothing improves past 4 ways.
 #[test]
 fn claim_associativity_saturates_at_four_ways() {
-    let [fmul, fdiv] = figures::figure4(cfg());
+    let [fmul, fdiv] = figures::figure4(cfg()).unwrap();
     for curve in [&fmul, &fdiv] {
         let dm = curve.points[0].avg;
         let two = curve.points[1].avg;
@@ -128,7 +128,7 @@ fn claim_associativity_saturates_at_four_ways() {
 /// highest hit ratios.
 #[test]
 fn claim_integrated_trivial_detection_wins() {
-    let rows = trivial::table9(cfg());
+    let rows = trivial::table9(cfg()).unwrap();
     let mut dominated = 0;
     let mut total = 0;
     for r in &rows {
@@ -171,9 +171,9 @@ fn claim_mantissa_tags_raise_hit_ratios_slightly() {
 #[test]
 fn claim_speedup_ordering() {
     let c = cfg();
-    let t11 = speedup::averages(&speedup::table11(c));
-    let t12 = speedup::averages(&speedup::table12(c));
-    let t13 = speedup::averages(&speedup::table13(c));
+    let t11 = speedup::averages(&speedup::table11(c).unwrap());
+    let t12 = speedup::averages(&speedup::table12(c).unwrap());
+    let t13 = speedup::averages(&speedup::table13(c).unwrap());
 
     assert!(t11.slow.speedup > t12.slow.speedup, "division beats multiplication");
     assert!(t13.slow.speedup + 1e-9 >= t11.slow.speedup, "both beats division alone");
@@ -187,7 +187,7 @@ fn claim_speedup_ordering() {
     );
     // And every per-app Amdahl number is self-consistent with the direct
     // cycle measurement.
-    for row in speedup::table13(c) {
+    for row in speedup::table13(c).unwrap() {
         assert!((row.slow.speedup - row.slow.measured).abs() < 1e-6, "{}", row.name);
     }
 }
