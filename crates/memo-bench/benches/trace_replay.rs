@@ -1,0 +1,71 @@
+//! Native re-execution vs. operand-trace replay — the record-once /
+//! replay-many economics. A sweep driver that replays a recorded
+//! [`memo_sim::OpTrace`] pays only the table probes; re-running the
+//! kernel pays the arithmetic, the addressing, and the event plumbing on
+//! every configuration.
+
+use std::hint::black_box;
+
+use memo_bench::{bench, bench_cfg};
+use memo_sim::{MemoBank, TraceRecorderSink};
+use memo_workloads::mm;
+use memo_workloads::suite::{mm_inputs, record_sci_trace, MemoProbeSink, SweepSpec};
+use memo_workloads::sci;
+
+fn main() {
+    let cfg = bench_cfg();
+    let corpus = mm_inputs(cfg.image_scale);
+    let inputs: Vec<_> = corpus.iter().map(|c| &c.image).collect();
+
+    // One MM kernel (vspatial: division-heavy, Figure 3/4 sample set).
+    let mm_app = mm::find("vspatial").expect("registered");
+    let mm_trace = {
+        let mut rec = TraceRecorderSink::new();
+        for input in &inputs {
+            mm_app.run(&mut rec, input);
+        }
+        rec.into_trace()
+    };
+
+    bench("trace_replay", "vspatial_native_rerun", 20, || {
+        let mut sink = MemoProbeSink::new(SweepSpec::paper_default());
+        for input in &inputs {
+            black_box(mm_app.run(&mut sink, input));
+        }
+        black_box(sink.bank().stats(memo_table::OpKind::FpDiv));
+    });
+    bench("trace_replay", "vspatial_trace_replay", 20, || {
+        let mut bank = MemoBank::paper_default();
+        mm_trace.replay(&mut bank);
+        black_box(bank.stats(memo_table::OpKind::FpDiv));
+    });
+
+    // One scientific kernel (first of the Perfect suite).
+    let sci_app = *sci::perfect_apps().first().expect("suite is non-empty");
+    let sci_trace = record_sci_trace(&sci_app, cfg.sci_n);
+
+    bench("trace_replay", "sci_native_rerun", 20, || {
+        let mut sink = MemoProbeSink::new(SweepSpec::paper_default());
+        sci_app.run(&mut sink, cfg.sci_n);
+        black_box(sink.bank().stats(memo_table::OpKind::FpMul));
+    });
+    bench("trace_replay", "sci_trace_replay", 20, || {
+        let mut bank = MemoBank::paper_default();
+        sci_trace.replay(&mut bank);
+        black_box(bank.stats(memo_table::OpKind::FpMul));
+    });
+
+    // Recording cost, for completeness: record once, replay many.
+    bench("trace_replay", "vspatial_record_once", 20, || {
+        let mut rec = TraceRecorderSink::new();
+        for input in &inputs {
+            black_box(mm_app.run(&mut rec, input));
+        }
+        black_box(rec.trace().len());
+    });
+    println!(
+        "trace_replay/vspatial_trace_bytes_per_op    {:.2} B/op over {} ops",
+        mm_trace.approx_bytes() as f64 / mm_trace.len().max(1) as f64,
+        mm_trace.len()
+    );
+}

@@ -4,17 +4,16 @@
 //! table vs. private per-unit tables (§2.3, also named as future work in
 //! §4).
 
-use memo_imaging::Image;
+use std::sync::Arc;
+
 use memo_sim::{Event, EventSink, MemoBank};
 use memo_table::{
     HashScheme, MemoConfig, MemoTable, Memoizer, OpKind, Replacement, SharedMemoTable,
 };
-use memo_workloads::suite::mm_inputs;
 
-use crate::error::find_mm;
-use crate::figures::{OpTrace, SAMPLE_APPS};
+use crate::figures::{sample_traces, OpTrace};
 use crate::format::{ratio, TextTable};
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, ExpConfig, ExperimentError};
 
 /// Hit ratios of one configuration, averaged over the five sample apps.
 #[derive(Debug, Clone, Copy)]
@@ -27,31 +26,31 @@ pub struct AblationPoint {
     pub fp_div: f64,
 }
 
-fn sample_traces(cfg: ExpConfig) -> Result<Vec<OpTrace>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    SAMPLE_APPS
-        .iter()
-        .map(|name| {
-            let app = find_mm(name)?;
-            let mut trace = OpTrace::new();
-            for c in &corpus {
-                app.run(&mut trace, &c.image);
-            }
-            Ok(trace)
-        })
-        .collect()
-}
-
-fn replay_average(traces: &[OpTrace], table_cfg: MemoConfig, kind: OpKind) -> f64 {
+fn replay_average(traces: &[Arc<Vec<OpTrace>>], table_cfg: MemoConfig, kind: OpKind) -> f64 {
     let ratios: Vec<f64> = traces
         .iter()
-        .map(|t| {
+        .map(|app_traces| {
             let mut table = MemoTable::new(table_cfg);
-            t.replay_kind(kind, &mut table);
+            for t in app_traces.iter() {
+                t.replay_kind(kind, &mut table);
+            }
             table.hit_ratio()
         })
         .collect();
     ratios.iter().sum::<f64>() / ratios.len() as f64
+}
+
+/// Replay the sample traces against each labelled configuration in
+/// parallel, keeping input order.
+fn ablate(
+    traces: &[Arc<Vec<OpTrace>>],
+    configs: Vec<(&'static str, MemoConfig)>,
+) -> Vec<AblationPoint> {
+    parallel::par_map(configs, |(label, table_cfg)| AblationPoint {
+        label,
+        fp_mul: replay_average(traces, table_cfg, OpKind::FpMul),
+        fp_div: replay_average(traces, table_cfg, OpKind::FpDiv),
+    })
 }
 
 /// Ablate the index hash: the paper's XOR scheme vs. a multiply-fold mix.
@@ -61,17 +60,13 @@ fn replay_average(traces: &[OpTrace], table_cfg: MemoConfig, kind: OpKind) -> f6
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn hash_schemes(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
     let traces = sample_traces(cfg)?;
-    Ok([("paper XOR", HashScheme::PaperXor), ("fold-mix", HashScheme::FoldMix)]
+    let configs = [("paper XOR", HashScheme::PaperXor), ("fold-mix", HashScheme::FoldMix)]
         .into_iter()
         .map(|(label, hash)| {
-            let table_cfg = MemoConfig::builder(32).hash(hash).build().expect("valid");
-            AblationPoint {
-                label,
-                fp_mul: replay_average(&traces, table_cfg, OpKind::FpMul),
-                fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
-            }
+            (label, MemoConfig::builder(32).hash(hash).build().expect("valid"))
         })
-        .collect())
+        .collect();
+    Ok(ablate(&traces, configs))
 }
 
 /// Ablate the replacement policy within a set.
@@ -81,22 +76,17 @@ pub fn hash_schemes(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentErro
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn replacement_policies(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
     let traces = sample_traces(cfg)?;
-    Ok([
+    let configs = [
         ("LRU", Replacement::Lru),
         ("FIFO", Replacement::Fifo),
         ("random", Replacement::Random),
     ]
     .into_iter()
     .map(|(label, replacement)| {
-        let table_cfg =
-            MemoConfig::builder(32).replacement(replacement).build().expect("valid");
-        AblationPoint {
-            label,
-            fp_mul: replay_average(&traces, table_cfg, OpKind::FpMul),
-            fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
-        }
+        (label, MemoConfig::builder(32).replacement(replacement).build().expect("valid"))
     })
-    .collect())
+    .collect();
+    Ok(ablate(&traces, configs))
 }
 
 /// Ablate commutative dual-order probing (§2.2) — multiplication only;
@@ -107,18 +97,13 @@ pub fn replacement_policies(cfg: ExpConfig) -> Result<Vec<AblationPoint>, Experi
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn commutative_probing(cfg: ExpConfig) -> Result<Vec<AblationPoint>, ExperimentError> {
     let traces = sample_traces(cfg)?;
-    Ok([("both orders", true), ("as-written order", false)]
+    let configs = [("both orders", true), ("as-written order", false)]
         .into_iter()
         .map(|(label, commutative)| {
-            let table_cfg =
-                MemoConfig::builder(32).commutative(commutative).build().expect("valid");
-            AblationPoint {
-                label,
-                fp_mul: replay_average(&traces, table_cfg, OpKind::FpMul),
-                fp_div: replay_average(&traces, table_cfg, OpKind::FpDiv),
-            }
+            (label, MemoConfig::builder(32).commutative(commutative).build().expect("valid"))
         })
-        .collect())
+        .collect();
+    Ok(ablate(&traces, configs))
 }
 
 /// §2.3: two fp dividers. Compare (a) a private 32-entry table per
@@ -140,17 +125,14 @@ pub struct SharedVsPrivate {
 ///
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn shared_vs_private(cfg: ExpConfig) -> Result<SharedVsPrivate, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-
-    // Gather the combined division stream of the sample apps.
-    let mut trace = OpTrace::new();
-    for name in SAMPLE_APPS {
-        let app = find_mm(name)?;
-        for input in &inputs {
-            app.run(&mut trace, input);
-        }
-    }
+    // The combined division stream of the sample apps, replayed from the
+    // shared recordings in app-major, corpus order.
+    let traces = sample_traces(cfg)?;
+    let stream = traces
+        .iter()
+        .flat_map(|app_traces| app_traces.iter())
+        .flat_map(|trace| trace.iter())
+        .filter(|op| op.kind() == OpKind::FpDiv);
 
     // Private tables, round-robin dispatch.
     let mut unit0 = MemoTable::new(MemoConfig::paper_default());
@@ -161,10 +143,7 @@ pub fn shared_vs_private(cfg: ExpConfig) -> Result<SharedVsPrivate, ExperimentEr
     let mut shared1 = shared.clone();
 
     let mut toggle = false;
-    for &op in trace.ops() {
-        if op.kind() != OpKind::FpDiv {
-            continue;
-        }
+    for op in stream {
         shared.begin_cycle();
         if toggle {
             unit0.execute(op);

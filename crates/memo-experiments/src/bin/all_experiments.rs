@@ -6,6 +6,7 @@
 //! binary ends with a pass/fail summary per experiment and exits nonzero
 //! if anything failed.
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
 
 use memo_experiments::{
     ablations, extension, fault_tolerance, figures, hits, images, mantissa, related, speedup,
@@ -80,9 +81,11 @@ fn experiments() -> Vec<(&'static str, Runner)> {
 
 fn main() {
     let cfg = ExpConfig::from_env();
-    let mut outcomes: Vec<(&'static str, Result<(), String>)> = Vec::new();
+    let total_start = Instant::now();
+    let mut outcomes: Vec<(&'static str, Result<(), String>, u128)> = Vec::new();
 
     for (name, run) in experiments() {
+        let start = Instant::now();
         let outcome = match catch_unwind(AssertUnwindSafe(|| run(cfg))) {
             Ok(Ok(report)) => {
                 println!("{report}");
@@ -101,18 +104,23 @@ fn main() {
         if let Err(why) = &outcome {
             eprintln!("[all_experiments] {name} FAILED: {why}");
         }
-        outcomes.push((name, outcome));
+        outcomes.push((name, outcome, start.elapsed().as_millis()));
     }
 
-    let failed = outcomes.iter().filter(|(_, o)| o.is_err()).count();
+    let failed = outcomes.iter().filter(|(_, o, _)| o.is_err()).count();
     println!("\n=== experiment summary ===");
-    for (name, outcome) in &outcomes {
+    for (name, outcome, ms) in &outcomes {
         match outcome {
-            Ok(()) => println!("  PASS  {name}"),
-            Err(why) => println!("  FAIL  {name} — {why}"),
+            Ok(()) => println!("  PASS  {name:<16} {ms:>7} ms"),
+            Err(why) => println!("  FAIL  {name:<16} {ms:>7} ms — {why}"),
         }
     }
-    println!("{} of {} experiments passed", outcomes.len() - failed, outcomes.len());
+    println!(
+        "{} of {} experiments passed in {} ms",
+        outcomes.len() - failed,
+        outcomes.len(),
+        total_start.elapsed().as_millis()
+    );
 
     if failed > 0 {
         std::process::exit(1);

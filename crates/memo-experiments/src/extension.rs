@@ -7,14 +7,12 @@ use memo_sim::{
     compare_divider_farms, CpuModel, CycleAccountant, EventSink, FarmComparison, MemoBank,
     MemoryHierarchy, PipelineModel,
 };
-use memo_table::{MemoConfig, MemoTable, OpKind};
-use memo_workloads::suite::mm_inputs;
+use memo_table::{MemoConfig, MemoTable, Op, OpKind};
 
 use crate::error::find_mm;
-use crate::figures::{OpTrace, SAMPLE_APPS};
-
+use crate::figures::sample_traces;
 use crate::format::{ratio, TextTable};
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, traces, ExpConfig, ExperimentError};
 
 /// A workload variant that uses the hardware square-root *instruction*
 /// instead of Newton iteration on the divider — per-pixel `fsqrt` over an
@@ -44,12 +42,12 @@ pub struct SqrtExtension {
 /// Run the sqrt future-work experiment over the image corpus.
 #[must_use]
 pub fn sqrt_extension(cfg: ExpConfig) -> SqrtExtension {
-    let corpus = mm_inputs(cfg.image_scale);
+    let corpus = traces::corpus(cfg.image_scale);
     let bank = MemoBank::none()
         .with_table(OpKind::FpSqrt, MemoTable::new(MemoConfig::paper_default()));
     let mut acc =
         CycleAccountant::new(CpuModel::paper_slow(), MemoryHierarchy::typical_1997(), bank);
-    for c in &corpus {
+    for c in corpus.iter() {
         sqrt_image(&mut acc, &c.image);
     }
     let report = acc.report();
@@ -81,52 +79,46 @@ pub struct PipelineRow {
 ///
 /// Fails if a studied app name is missing from the registry.
 pub fn pipeline_study(cfg: ExpConfig) -> Result<Vec<PipelineRow>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-
-    ["vspatial", "vgauss", "vgpwl", "vkmeans"]
+    let apps = ["vspatial", "vgauss", "vgpwl", "vkmeans"]
         .iter()
-        .map(|name| {
-            let app = find_mm(name)?;
+        .map(|name| find_mm(name))
+        .collect::<Result<Vec<_>, _>>()?;
 
-            // Latency model.
-            let mut acc = CycleAccountant::new(
-                CpuModel::paper_slow(),
-                MemoryHierarchy::typical_1997(),
-                MemoBank::paper_default(),
-            );
-            for input in &inputs {
-                app.run(&mut acc, input);
-            }
-            let latency_model = acc.report().speedup_measured();
+    Ok(parallel::par_map(apps, |app| {
+        // One native run per app; all three machine models replay it.
+        let trace = traces::mm_event_trace(cfg, &app);
 
-            // Pipeline model: baseline vs memoized.
-            let mut base = PipelineModel::new(
-                CpuModel::paper_slow(),
-                MemoryHierarchy::typical_1997(),
-                MemoBank::none(),
-            );
-            for input in &inputs {
-                app.run(&mut base, input);
-            }
-            let mut memo = PipelineModel::new(
-                CpuModel::paper_slow(),
-                MemoryHierarchy::typical_1997(),
-                MemoBank::paper_default(),
-            );
-            for input in &inputs {
-                app.run(&mut memo, input);
-            }
-            let b = base.report();
-            let m = memo.report();
-            Ok(PipelineRow {
-                name: name.to_string(),
-                latency_model,
-                pipeline_model: b.cycles as f64 / m.cycles as f64,
-                stalls_removed: b.fp_div_stalls.saturating_sub(m.fp_div_stalls),
-            })
-        })
-        .collect()
+        // Latency model.
+        let mut acc = CycleAccountant::new(
+            CpuModel::paper_slow(),
+            MemoryHierarchy::typical_1997(),
+            MemoBank::paper_default(),
+        );
+        trace.replay_into(&mut acc);
+        let latency_model = acc.report().speedup_measured();
+
+        // Pipeline model: baseline vs memoized.
+        let mut base = PipelineModel::new(
+            CpuModel::paper_slow(),
+            MemoryHierarchy::typical_1997(),
+            MemoBank::none(),
+        );
+        trace.replay_into(&mut base);
+        let mut memo = PipelineModel::new(
+            CpuModel::paper_slow(),
+            MemoryHierarchy::typical_1997(),
+            MemoBank::paper_default(),
+        );
+        trace.replay_into(&mut memo);
+        let b = base.report();
+        let m = memo.report();
+        PipelineRow {
+            name: app.name.to_string(),
+            latency_model,
+            pipeline_model: b.cycles as f64 / m.cycles as f64,
+            stalls_removed: b.fp_div_stalls.saturating_sub(m.fp_div_stalls),
+        }
+    }))
 }
 
 /// §2.3 / §4: one divider + MEMO-TABLE interface vs. a duplicated divider,
@@ -136,19 +128,12 @@ pub fn pipeline_study(cfg: ExpConfig) -> Result<Vec<PipelineRow>, ExperimentErro
 ///
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn divider_farm_study(cfg: ExpConfig) -> Result<FarmComparison, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let mut trace = OpTrace::new();
-    for name in SAMPLE_APPS {
-        let app = find_mm(name)?;
-        for c in &corpus {
-            app.run(&mut trace, &c.image);
-        }
-    }
-    Ok(compare_divider_farms(
-        &CpuModel::paper_slow(),
-        MemoConfig::paper_default(),
-        trace.ops(),
-    ))
+    let ops: Vec<Op> = sample_traces(cfg)?
+        .iter()
+        .flat_map(|app_traces| app_traces.iter())
+        .flat_map(|trace| trace.iter())
+        .collect();
+    Ok(compare_divider_farms(&CpuModel::paper_slow(), MemoConfig::paper_default(), &ops))
 }
 
 /// Render both future-work studies.

@@ -20,15 +20,17 @@
 //!   image, and every scientific kernel's served values must match native
 //!   computation op-for-op, whenever injection is disabled.
 
-use memo_imaging::Image;
-use memo_sim::{CpuModel, Event, EventSink, MemoBank, MemoizedSink, NullSink};
+use memo_sim::{
+    CpuModel, CycleAccountant, Event, EventSink, MemoBank, MemoizedSink, MemoryHierarchy,
+    NullSink,
+};
 use memo_table::{FaultConfig, FaultInjector, MemoConfig, MemoTable, OpKind, Protection};
-use memo_workloads::suite::{measure_mm_cycles, mm_inputs};
+use memo_workloads::suite::mm_inputs;
 use memo_workloads::{mm, sci};
 
 use crate::error::find_mm;
 use crate::format::{ratio, TextTable};
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, traces, ExpConfig, ExperimentError};
 
 /// The operation kinds memoized throughout the fault studies.
 pub const MEMO_KINDS: [OpKind; 4] =
@@ -195,29 +197,56 @@ fn pooled_cell(protection: Protection, rate: f64, sink: &DiffSink) -> FaultCell 
     }
 }
 
-/// Sweep fault rate × protection policy over the full MM corpus and the
-/// scientific suites, measuring end-to-end SDC and hit-ratio impact.
-#[must_use]
-pub fn sweep(cfg: ExpConfig) -> Vec<FaultCell> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let mm_apps = mm::apps();
-    let sci_apps = sci::all_apps();
-    let mut cells = Vec::new();
-    for protection in Protection::ALL {
-        for rate in FAULT_RATES {
-            let mut sink = DiffSink::new(faulty_bank(protection, rate, 0xFA17));
-            for app in &mm_apps {
-                for c in &corpus {
-                    let _ = app.run(&mut sink, &c.image);
-                }
-            }
-            for app in &sci_apps {
-                app.run(&mut sink, cfg.sci_n);
-            }
-            cells.push(pooled_cell(protection, rate, &sink));
+/// Replay every kernel of both suites — recorded once, process-wide —
+/// into `sink`, in the same order the native loops ran them (MM apps over
+/// the corpus, then the scientific suites). The [`DiffSink`] only
+/// observes arithmetic events, so an operand-trace replay reproduces its
+/// counters exactly.
+fn replay_suites(cfg: ExpConfig, sink: &mut impl EventSink) {
+    for app in &mm::apps() {
+        for trace in traces::mm_traces(cfg, app).iter() {
+            trace.replay_events(sink);
         }
     }
-    cells
+    for app in &sci::all_apps() {
+        traces::sci_trace(cfg, app).replay_events(sink);
+    }
+}
+
+/// Sweep fault rate × protection policy over the full MM corpus and the
+/// scientific suites, measuring end-to-end SDC and hit-ratio impact.
+/// Each nonzero cell replays the shared recordings against its own faulty
+/// bank. At rate 0 the injector is disabled and every policy's read path
+/// is a no-op on clean entries — parity always passes, ECC never
+/// corrects, verification always matches — so the four clean cells are
+/// provably identical and share one replay.
+#[must_use]
+pub fn sweep(cfg: ExpConfig) -> Vec<FaultCell> {
+    let mut grid: Vec<(Protection, f64)> = vec![(Protection::None, 0.0)];
+    grid.extend(
+        Protection::ALL
+            .iter()
+            .flat_map(|&protection| FAULT_RATES.iter().map(move |&rate| (protection, rate)))
+            .filter(|&(_, rate)| rate > 0.0),
+    );
+    let computed = parallel::par_map(grid, |(protection, rate)| {
+        let mut sink = DiffSink::new(faulty_bank(protection, rate, 0xFA17));
+        replay_suites(cfg, &mut sink);
+        pooled_cell(protection, rate, &sink)
+    });
+    let clean = computed[0];
+    let mut nonzero = computed.into_iter().skip(1);
+    let mut out = Vec::with_capacity(Protection::ALL.len() * FAULT_RATES.len());
+    for &protection in &Protection::ALL {
+        for &rate in &FAULT_RATES {
+            out.push(if rate > 0.0 {
+                nonzero.next().expect("one computed cell per nonzero grid point")
+            } else {
+                FaultCell { protection, ..clean }
+            });
+        }
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -237,32 +266,48 @@ pub struct ProtectionSpeedup {
 /// per-hit cycle charge (clean tables — the cost is the read-path logic,
 /// not the faults).
 ///
+/// On clean tables a policy changes *only* the per-hit cycle charge
+/// ([`Protection::hit_penalty`]) — the hit pattern itself is identical,
+/// since parity always passes, ECC never corrects, and verification
+/// always matches. One unprotected replay per application therefore
+/// yields every policy's cycle count exactly: the protected machine's
+/// total is the unprotected total plus `table hits × penalty`.
+///
 /// # Errors
 ///
 /// Fails if a [`SPEEDUP_SAMPLE`] name is missing from the registry.
 pub fn protection_speedups(cfg: ExpConfig) -> Result<Vec<ProtectionSpeedup>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-    Protection::ALL
+    let apps =
+        SPEEDUP_SAMPLE.iter().map(|name| find_mm(name)).collect::<Result<Vec<_>, _>>()?;
+    // (baseline cycles, unprotected memoized cycles, table hits) per app.
+    let measured: Vec<(u64, u64, u64)> = parallel::par_map(apps, |app| {
+        let mut acc = CycleAccountant::new(
+            CpuModel::paper_slow(),
+            MemoryHierarchy::typical_1997(),
+            faulty_bank(Protection::None, 0.0, 0),
+        );
+        traces::mm_event_trace(cfg, &app).replay_into(&mut acc);
+        let hits = MEMO_KINDS
+            .iter()
+            .filter_map(|&k| acc.bank().stats(k))
+            .map(|s| s.table_hits)
+            .sum();
+        let report = acc.report();
+        (report.baseline().total(), report.memoized().total(), hits)
+    });
+    Ok(Protection::ALL
         .iter()
         .map(|&protection| {
-            let mut total = 0.0;
-            for name in SPEEDUP_SAMPLE {
-                let app = find_mm(name)?;
-                let report = measure_mm_cycles(
-                    &app,
-                    &inputs,
-                    CpuModel::paper_slow(),
-                    faulty_bank(protection, 0.0, 0),
-                );
-                total += report.speedup_measured();
-            }
-            Ok(ProtectionSpeedup {
-                protection,
-                speedup: total / SPEEDUP_SAMPLE.len() as f64,
-            })
+            let penalty = u64::from(protection.hit_penalty());
+            let total: f64 = measured
+                .iter()
+                .map(|&(baseline, memoized, hits)| {
+                    baseline as f64 / (memoized + hits * penalty) as f64
+                })
+                .sum();
+            ProtectionSpeedup { protection, speedup: total / SPEEDUP_SAMPLE.len() as f64 }
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -288,15 +333,7 @@ pub fn breaker_demo(cfg: ExpConfig) -> BreakerDemo {
     let threshold = 8;
     let bank = faulty_bank(Protection::ParityDetect, 0.5, 0xB2EA).with_circuit_breaker(threshold);
     let mut sink = DiffSink::new(bank);
-    let corpus = mm_inputs(cfg.image_scale);
-    for app in &mm::apps() {
-        for c in &corpus {
-            let _ = app.run(&mut sink, &c.image);
-        }
-    }
-    for app in &sci::all_apps() {
-        app.run(&mut sink, cfg.sci_n);
-    }
+    replay_suites(cfg, &mut sink);
     let bank = sink.into_bank();
     let tripped = MEMO_KINDS.iter().filter(|&&k| bank.breaker_tripped(k)).count();
     let detected = MEMO_KINDS
@@ -453,11 +490,11 @@ mod tests {
     use super::*;
 
     fn run_sample(sink: &mut DiffSink) {
-        let corpus = mm_inputs(ExpConfig::quick().image_scale);
+        let cfg = ExpConfig::quick();
         for name in SPEEDUP_SAMPLE {
             let app = mm::find(name).expect("sample registered");
-            for c in &corpus {
-                let _ = app.run(sink, &c.image);
+            for trace in traces::mm_traces(cfg, &app).iter() {
+                trace.replay_events(sink);
             }
         }
     }

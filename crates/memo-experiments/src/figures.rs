@@ -1,57 +1,24 @@
 //! Figures 2, 3, 4 — the entropy correlation, the table-size sweep, and
 //! the associativity sweep.
 
+use std::sync::Arc;
+
 use memo_fit::{fit_line, Line};
 use memo_imaging::entropy;
-use memo_sim::{Event, EventSink, MemoBank};
-use memo_table::{Assoc, MemoConfig, MemoTable, Memoizer, Op, OpKind};
+use memo_table::{Assoc, MemoConfig, MemoTable, OpKind};
 use memo_workloads::mm;
-use memo_workloads::suite::{measure_mm_app, mm_inputs};
+use memo_workloads::suite::{replay_ratios, SweepSpec};
 
-use crate::error::find_mm;
 use crate::format::TextTable;
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, results, traces, ExpConfig, ExperimentError};
+
+// The compact structure-of-arrays operand trace now lives in `memo_sim`
+// (recorded once per kernel/input by the process-wide cache in
+// [`crate::traces`]); re-exported here for sweep consumers.
+pub use memo_sim::OpTrace;
 
 /// The five sample applications the paper uses for Figures 3 and 4.
 pub const SAMPLE_APPS: [&str; 5] = ["vcost", "venhance", "vgpwl", "vspatial", "vsurf"];
-
-/// Records only the multi-cycle operations — a compact trace that can be
-/// replayed into many table configurations without re-running the kernel.
-#[derive(Debug, Default)]
-pub struct OpTrace {
-    ops: Vec<Op>,
-}
-
-impl OpTrace {
-    /// An empty trace.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Recorded operations.
-    #[must_use]
-    pub fn ops(&self) -> &[Op] {
-        &self.ops
-    }
-
-    /// Replay into a memoizer, filtering by kind.
-    pub fn replay_kind<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
-        for &op in &self.ops {
-            if op.kind() == kind {
-                table.execute(op);
-            }
-        }
-    }
-}
-
-impl EventSink for OpTrace {
-    fn record(&mut self, event: Event) {
-        if let Event::Arith(op) = event {
-            self.ops.push(op);
-        }
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Figure 2 — hit ratio vs entropy
@@ -92,13 +59,22 @@ pub struct Figure2 {
 ///
 /// Fails if a panel's scatter is too small or degenerate to fit.
 pub fn figure2(cfg: ExpConfig) -> Result<Figure2, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
+    results::cached("figure2", cfg, || figure2_uncached(cfg))
+}
+
+fn figure2_uncached(cfg: ExpConfig) -> Result<Figure2, ExperimentError> {
+    let corpus = traces::corpus(cfg.image_scale);
     let apps = mm::apps();
-    let mut points = Vec::new();
-    for c in &corpus {
-        let Some(report) = entropy::report(&c.image) else { continue };
-        for app in &apps {
-            let hits = measure_mm_app(app, &[&c.image], MemoBank::paper_default);
+    // One recording per (app, image) — shared with Tables 7 and 8.
+    let app_traces: Vec<_> = apps.iter().map(|app| traces::mm_traces(cfg, app)).collect();
+    let spec = SweepSpec::paper_default();
+    let per_image = parallel::par_map((0..corpus.len()).collect(), |i| {
+        let Some(report) = entropy::report(&corpus[i].image) else {
+            return Vec::new();
+        };
+        let mut points = Vec::new();
+        for app_traces in &app_traces {
+            let hits = replay_ratios([&app_traces[i]], spec);
             if hits.fp_mul.is_none() && hits.fp_div.is_none() {
                 continue;
             }
@@ -109,7 +85,9 @@ pub fn figure2(cfg: ExpConfig) -> Result<Figure2, ExperimentError> {
                 fp_div: hits.fp_div,
             });
         }
-    }
+        points
+    });
+    let points: Vec<EntropyPoint> = per_image.into_iter().flatten().collect();
 
     let panel = |fx: fn(&EntropyPoint) -> f64,
                  fy: fn(&EntropyPoint) -> Option<f64>|
@@ -199,41 +177,35 @@ pub struct SweepCurve {
     pub points: Vec<SweepPoint>,
 }
 
-fn collect_traces(cfg: ExpConfig) -> Result<Vec<OpTrace>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
+/// The cached per-image traces of the five sample apps, one `Vec` per app
+/// in [`SAMPLE_APPS`] order.
+pub(crate) fn sample_traces(cfg: ExpConfig) -> Result<Vec<Arc<Vec<OpTrace>>>, ExperimentError> {
     SAMPLE_APPS
         .iter()
-        .map(|name| {
-            let app = find_mm(name)?;
-            let mut trace = OpTrace::new();
-            for c in &corpus {
-                app.run(&mut trace, &c.image);
-            }
-            Ok(trace)
-        })
+        .map(|name| Ok(traces::mm_traces(cfg, &crate::error::find_mm(name)?)))
         .collect()
 }
 
-fn sweep(traces: &[OpTrace], kind: OpKind, configs: &[(usize, MemoConfig)]) -> SweepCurve {
-    let points = configs
-        .iter()
-        .map(|&(x, table_cfg)| {
-            let ratios: Vec<f64> = traces
-                .iter()
-                .map(|trace| {
-                    let mut table = MemoTable::new(table_cfg);
+fn sweep(traces: &[Arc<Vec<OpTrace>>], kind: OpKind, configs: &[(usize, MemoConfig)]) -> SweepCurve {
+    // Each sweep point owns its tables; the recorded traces are shared.
+    let points = parallel::par_map(configs.to_vec(), |(x, table_cfg)| {
+        let ratios: Vec<f64> = traces
+            .iter()
+            .map(|app_traces| {
+                let mut table = MemoTable::new(table_cfg);
+                for trace in app_traces.iter() {
                     trace.replay_kind(kind, &mut table);
-                    table.hit_ratio()
-                })
-                .collect();
-            SweepPoint {
-                x,
-                avg: ratios.iter().sum::<f64>() / ratios.len() as f64,
-                min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
-                max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-            }
-        })
-        .collect();
+                }
+                table.hit_ratio()
+            })
+            .collect();
+        SweepPoint {
+            x,
+            avg: ratios.iter().sum::<f64>() / ratios.len() as f64,
+            min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+            max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    });
     SweepCurve { kind, points }
 }
 
@@ -244,15 +216,17 @@ fn sweep(traces: &[OpTrace], kind: OpKind, configs: &[(usize, MemoConfig)]) -> S
 ///
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn figure3(cfg: ExpConfig) -> Result<[SweepCurve; 2], ExperimentError> {
-    let traces = collect_traces(cfg)?;
-    let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
-    let configs: Vec<(usize, MemoConfig)> = sizes
-        .iter()
-        .map(|&s| {
-            (s, MemoConfig::builder(s).assoc(Assoc::Ways(4)).build().expect("size is valid"))
-        })
-        .collect();
-    Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
+    results::cached("figure3", cfg, || {
+        let traces = sample_traces(cfg)?;
+        let sizes = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192];
+        let configs: Vec<(usize, MemoConfig)> = sizes
+            .iter()
+            .map(|&s| {
+                (s, MemoConfig::builder(s).assoc(Assoc::Ways(4)).build().expect("size is valid"))
+            })
+            .collect();
+        Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
+    })
 }
 
 /// Figure 4: hit ratio vs associativity (direct-mapped → 8-way) at 32
@@ -262,16 +236,18 @@ pub fn figure3(cfg: ExpConfig) -> Result<[SweepCurve; 2], ExperimentError> {
 ///
 /// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
 pub fn figure4(cfg: ExpConfig) -> Result<[SweepCurve; 2], ExperimentError> {
-    let traces = collect_traces(cfg)?;
-    let ways = [1usize, 2, 4, 8];
-    let configs: Vec<(usize, MemoConfig)> = ways
-        .iter()
-        .map(|&w| {
-            let assoc = if w == 1 { Assoc::DirectMapped } else { Assoc::Ways(w) };
-            (w, MemoConfig::builder(32).assoc(assoc).build().expect("geometry is valid"))
-        })
-        .collect();
-    Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
+    results::cached("figure4", cfg, || {
+        let traces = sample_traces(cfg)?;
+        let ways = [1usize, 2, 4, 8];
+        let configs: Vec<(usize, MemoConfig)> = ways
+            .iter()
+            .map(|&w| {
+                let assoc = if w == 1 { Assoc::DirectMapped } else { Assoc::Ways(w) };
+                (w, MemoConfig::builder(32).assoc(assoc).build().expect("geometry is valid"))
+            })
+            .collect();
+        Ok([sweep(&traces, OpKind::FpMul, &configs), sweep(&traces, OpKind::FpDiv, &configs)])
+    })
 }
 
 /// Render a sweep figure as a table of avg (min–max) per point.

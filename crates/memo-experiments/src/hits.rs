@@ -1,14 +1,14 @@
 //! Tables 5, 6, 7 — hit ratios per application, 32-entry 4-way vs.
 //! "infinite" MEMO-TABLEs.
 
-use memo_imaging::Image;
-use memo_sim::MemoBank;
 use memo_table::OpKind;
-use memo_workloads::suite::{measure_mm_app, measure_sci_app, mm_inputs, HitRatios};
+use memo_workloads::mm::MmApp;
+use memo_workloads::sci::SciApp;
+use memo_workloads::suite::{replay_ratios, HitRatios, SweepSpec};
 use memo_workloads::{mm, sci};
 
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{parallel, results, traces, ExpConfig};
 
 /// One application's row: finite-table and infinite-table hit ratios.
 #[derive(Debug, Clone)]
@@ -34,12 +34,22 @@ pub struct HitTable {
 
 const KINDS: [OpKind; 3] = [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv];
 
-fn finite_bank() -> MemoBank {
-    MemoBank::paper_default()
+fn finite_spec() -> SweepSpec {
+    SweepSpec::paper_default()
 }
 
-fn infinite_bank() -> MemoBank {
-    MemoBank::infinite(&KINDS)
+fn infinite_spec() -> SweepSpec {
+    SweepSpec::infinite(&KINDS)
+}
+
+/// One sci row: record the kernel once, replay against both table shapes.
+fn sci_row(cfg: ExpConfig, app: &SciApp, upper: bool) -> HitRow {
+    let trace = traces::sci_trace(cfg, app);
+    HitRow {
+        name: if upper { app.name.to_uppercase() } else { app.name.to_string() },
+        finite: replay_ratios([&*trace], finite_spec()),
+        infinite: replay_ratios([&*trace], infinite_spec()),
+    }
 }
 
 fn average(rows: &[HitRow], pick: impl Fn(&HitRow) -> HitRatios) -> HitRatios {
@@ -61,45 +71,35 @@ fn build(title: &str, rows: Vec<HitRow>) -> HitTable {
 /// Table 5 — the Perfect Club suite.
 #[must_use]
 pub fn table5(cfg: ExpConfig) -> HitTable {
-    let rows = sci::perfect_apps()
-        .iter()
-        .map(|app| HitRow {
-            name: app.name.to_uppercase(),
-            finite: measure_sci_app(app, cfg.sci_n, finite_bank),
-            infinite: measure_sci_app(app, cfg.sci_n, infinite_bank),
-        })
-        .collect();
-    build("Table 5: Hit ratios for the Perfect benchmarks", rows)
+    results::cached("table5", cfg, || {
+        let rows = parallel::par_map(sci::perfect_apps(), |app| sci_row(cfg, &app, true));
+        build("Table 5: Hit ratios for the Perfect benchmarks", rows)
+    })
 }
 
 /// Table 6 — SPEC CFP95.
 #[must_use]
 pub fn table6(cfg: ExpConfig) -> HitTable {
-    let rows = sci::spec_apps()
-        .iter()
-        .map(|app| HitRow {
-            name: app.name.to_string(),
-            finite: measure_sci_app(app, cfg.sci_n, finite_bank),
-            infinite: measure_sci_app(app, cfg.sci_n, infinite_bank),
-        })
-        .collect();
-    build("Table 6: Hit ratios for the SPEC CFP95 benchmarks", rows)
+    results::cached("table6", cfg, || {
+        let rows = parallel::par_map(sci::spec_apps(), |app| sci_row(cfg, &app, false));
+        build("Table 6: Hit ratios for the SPEC CFP95 benchmarks", rows)
+    })
 }
 
 /// Table 7 — the multi-media suite over the Table 8 image corpus.
 #[must_use]
 pub fn table7(cfg: ExpConfig) -> HitTable {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-    let rows = mm::apps()
-        .iter()
-        .map(|app| HitRow {
-            name: app.name.to_string(),
-            finite: measure_mm_app(app, &inputs, finite_bank),
-            infinite: measure_mm_app(app, &inputs, infinite_bank),
-        })
-        .collect();
-    build("Table 7: Hit ratios for Multi-Media applications", rows)
+    results::cached("table7", cfg, || {
+        let rows = parallel::par_map(mm::apps(), |app: MmApp| {
+            let app_traces = traces::mm_traces(cfg, &app);
+            HitRow {
+                name: app.name.to_string(),
+                finite: replay_ratios(app_traces.iter(), finite_spec()),
+                infinite: replay_ratios(app_traces.iter(), infinite_spec()),
+            }
+        });
+        build("Table 7: Hit ratios for Multi-Media applications", rows)
+    })
 }
 
 impl HitTable {

@@ -4,13 +4,12 @@
 
 use memo_imaging::entropy;
 use memo_imaging::synth::CorpusImage;
-use memo_sim::MemoBank;
 use memo_table::OpKind;
 use memo_workloads::mm;
-use memo_workloads::suite::{measure_mm_app, mm_inputs, HitRatios};
+use memo_workloads::suite::{measure_mm_app, replay_ratios, HitRatios, SweepSpec};
 
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{parallel, traces, ExpConfig};
 
 /// One Table 8 row.
 #[derive(Debug, Clone)]
@@ -33,47 +32,59 @@ pub struct ImageRow {
     pub hits: HitRatios,
 }
 
-/// Compute Table 8 for the synthetic corpus.
+/// Average each kind over the applications that issue it, then describe
+/// the image.
+fn row(c: &CorpusImage, per_app_hits: &[HitRatios]) -> ImageRow {
+    let mut sums = [0.0f64; 3];
+    let mut counts = [0u32; 3];
+    for r in per_app_hits {
+        for (slot, kind) in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv].iter().enumerate() {
+            if let Some(v) = r.get(*kind) {
+                sums[slot] += v;
+                counts[slot] += 1;
+            }
+        }
+    }
+    let avg = |slot: usize| (counts[slot] > 0).then(|| sums[slot] / f64::from(counts[slot]));
+    ImageRow {
+        name: c.name.to_string(),
+        size: (c.image.width(), c.image.height()),
+        pixel_type: c.image.pixel_type().to_string(),
+        bands: c.image.bands(),
+        entropy_full: entropy::full_entropy(&c.image),
+        entropy_16: entropy::windowed_entropy(&c.image, 16),
+        entropy_8: entropy::windowed_entropy(&c.image, 8),
+        hits: HitRatios { int_mul: avg(0), fp_mul: avg(1), fp_div: avg(2) },
+    }
+}
+
+/// Compute Table 8 for the synthetic corpus — replayed from the shared
+/// per-image recordings (one native run per application and image).
 #[must_use]
 pub fn table8(cfg: ExpConfig) -> Vec<ImageRow> {
-    table8_for(&mm_inputs(cfg.image_scale))
+    let corpus = traces::corpus(cfg.image_scale);
+    let apps = mm::apps();
+    let app_traces: Vec<_> = apps.iter().map(|app| traces::mm_traces(cfg, app)).collect();
+    let spec = SweepSpec::paper_default();
+    parallel::par_map((0..corpus.len()).collect(), |i| {
+        let hits: Vec<HitRatios> =
+            app_traces.iter().map(|t| replay_ratios([&t[i]], spec)).collect();
+        row(&corpus[i], &hits)
+    })
 }
 
 /// Compute Table 8 rows for an arbitrary corpus (e.g. user-supplied PNM
-/// images).
+/// images) by running the applications natively.
 #[must_use]
 pub fn table8_for(corpus: &[CorpusImage]) -> Vec<ImageRow> {
     let apps = mm::apps();
+    let spec = SweepSpec::paper_default();
     corpus
         .iter()
         .map(|c| {
-            // Average each kind over the applications that issue it.
-            let mut sums = [0.0f64; 3];
-            let mut counts = [0u32; 3];
-            for app in &apps {
-                let r = measure_mm_app(app, &[&c.image], MemoBank::paper_default);
-                for (slot, kind) in
-                    [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv].iter().enumerate()
-                {
-                    if let Some(v) = r.get(*kind) {
-                        sums[slot] += v;
-                        counts[slot] += 1;
-                    }
-                }
-            }
-            let avg = |slot: usize| {
-                (counts[slot] > 0).then(|| sums[slot] / f64::from(counts[slot]))
-            };
-            ImageRow {
-                name: c.name.to_string(),
-                size: (c.image.width(), c.image.height()),
-                pixel_type: c.image.pixel_type().to_string(),
-                bands: c.image.bands(),
-                entropy_full: entropy::full_entropy(&c.image),
-                entropy_16: entropy::windowed_entropy(&c.image, 16),
-                entropy_8: entropy::windowed_entropy(&c.image, 8),
-                hits: HitRatios { int_mul: avg(0), fp_mul: avg(1), fp_div: avg(2) },
-            }
+            let hits: Vec<HitRatios> =
+                apps.iter().map(|app| measure_mm_app(app, &[&c.image], spec)).collect();
+            row(c, &hits)
         })
         .collect()
 }

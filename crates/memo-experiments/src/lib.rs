@@ -30,11 +30,14 @@ pub mod format;
 pub mod hits;
 pub mod images;
 pub mod mantissa;
+pub mod parallel;
 pub mod related;
+pub mod results;
 pub mod speedup;
 pub mod suites;
 pub mod summary;
 pub mod table1;
+pub mod traces;
 pub mod trivial;
 
 pub use error::ExperimentError;

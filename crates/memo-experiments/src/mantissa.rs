@@ -1,14 +1,12 @@
 //! Table 10 — storing only the mantissas vs. the whole floating-point
 //! number (suite averages, 32-entry 4-way tables).
 
-use memo_imaging::Image;
-use memo_sim::MemoBank;
 use memo_table::{MemoConfig, OpKind, TagPolicy};
-use memo_workloads::suite::{measure_mm_app, measure_sci_app, mm_inputs};
+use memo_workloads::suite::{replay_ratios, HitRatios, SweepSpec};
 use memo_workloads::{mm, sci};
 
 use crate::format::{ratio, TextTable};
-use crate::ExpConfig;
+use crate::{parallel, results, traces, ExpConfig};
 
 /// One suite's Table 10 row.
 #[derive(Debug, Clone, Copy)]
@@ -25,34 +23,44 @@ pub struct MantissaRow {
     pub fdiv_mant: f64,
 }
 
-fn bank_with(tag: TagPolicy) -> MemoBank {
+fn spec_with(tag: TagPolicy) -> SweepSpec {
     let cfg = MemoConfig::builder(32).tag(tag).build().expect("32/4 is valid");
-    MemoBank::uniform(cfg, &[OpKind::FpMul, OpKind::FpDiv])
+    SweepSpec::finite(cfg, &[OpKind::FpMul, OpKind::FpDiv])
 }
 
 /// Compute Table 10: Perfect and Multi-Media suite averages under both
-/// tag policies.
+/// tag policies. Each application is recorded once and replayed against
+/// both policies.
 #[must_use]
 pub fn table10(cfg: ExpConfig) -> [MantissaRow; 2] {
-    // Perfect suite.
-    let mut perfect = SuiteAvg::default();
-    for app in sci::perfect_apps() {
-        for (tag, acc) in [(TagPolicy::FullValue, 0), (TagPolicy::MantissaOnly, 1)] {
-            let r = measure_sci_app(&app, cfg.sci_n, || bank_with(tag));
-            perfect.add(acc, r.fp_mul, r.fp_div);
-        }
-    }
+    results::cached("table10", cfg, || table10_uncached(cfg))
+}
 
-    // Multi-media suite.
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-    let mut media = SuiteAvg::default();
-    for app in mm::apps() {
-        for (tag, acc) in [(TagPolicy::FullValue, 0), (TagPolicy::MantissaOnly, 1)] {
-            let r = measure_mm_app(&app, &inputs, || bank_with(tag));
-            media.add(acc, r.fp_mul, r.fp_div);
+fn table10_uncached(cfg: ExpConfig) -> [MantissaRow; 2] {
+    let accumulate = |pairs: Vec<[HitRatios; 2]>| {
+        let mut avg = SuiteAvg::default();
+        for [full, mant] in pairs {
+            avg.add(0, full.fp_mul, full.fp_div);
+            avg.add(1, mant.fp_mul, mant.fp_div);
         }
-    }
+        avg
+    };
+
+    let perfect = accumulate(parallel::par_map(sci::perfect_apps(), |app| {
+        let trace = traces::sci_trace(cfg, &app);
+        [
+            replay_ratios([&*trace], spec_with(TagPolicy::FullValue)),
+            replay_ratios([&*trace], spec_with(TagPolicy::MantissaOnly)),
+        ]
+    }));
+
+    let media = accumulate(parallel::par_map(mm::apps(), |app| {
+        let app_traces = traces::mm_traces(cfg, &app);
+        [
+            replay_ratios(app_traces.iter(), spec_with(TagPolicy::FullValue)),
+            replay_ratios(app_traces.iter(), spec_with(TagPolicy::MantissaOnly)),
+        ]
+    }));
 
     [perfect.row("Perfect"), media.row("Multi-Media")]
 }

@@ -1,0 +1,139 @@
+//! A dependency-free parallel sweep executor.
+//!
+//! Sweep drivers fan independent tasks (one bank per task, traces shared
+//! immutably) over a [`std::thread::scope`] worker pool. Results are
+//! written into per-index slots, so the output order — and therefore every
+//! rendered table — is **byte-identical** to the serial path regardless of
+//! worker count or scheduling (asserted by the `parallel_equivalence`
+//! integration test).
+//!
+//! The worker count comes from the `MEMO_JOBS` environment variable,
+//! falling back to [`std::thread::available_parallelism`]. `MEMO_JOBS=1`
+//! forces the serial path.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count: `MEMO_JOBS` if set and valid, else the machine's
+/// available parallelism, else 1.
+#[must_use]
+pub fn jobs() -> usize {
+    if let Ok(s) = std::env::var("MEMO_JOBS") {
+        if let Ok(n) = s.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Apply `f` to every item on the [`jobs`] worker pool, returning results
+/// in input order.
+pub fn par_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    par_map_jobs(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count (`1` runs inline on the
+/// calling thread). Workers claim items from a shared queue and deposit
+/// each result in its item's slot — deterministic output order with
+/// dynamic load balancing.
+pub fn par_map_jobs<T, R, F>(jobs: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = jobs.max(1).min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+
+    let tasks: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = tasks[i]
+                    .lock()
+                    .expect("task mutex poisoned")
+                    .take()
+                    .expect("each index is claimed exactly once");
+                let result = f(item);
+                *results[i].lock().expect("result mutex poisoned") = Some(result);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result mutex poisoned")
+                .expect("worker filled every claimed slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let serial: Vec<usize> = items.clone().into_iter().map(|i| i * i).collect();
+        for workers in [1, 2, 4, 8] {
+            let parallel = par_map_jobs(workers, items.clone(), |i| i * i);
+            assert_eq!(parallel, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        assert_eq!(par_map_jobs::<usize, usize, _>(4, vec![], |i| i), vec![]);
+        assert_eq!(par_map_jobs(4, vec![7], |i: usize| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        assert_eq!(par_map_jobs(64, vec![1, 2, 3], |i: usize| i * 10), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn jobs_is_at_least_one() {
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn stateful_tasks_stay_independent() {
+        // Each task owns its state (as sweep tasks own their banks); results
+        // must not depend on scheduling.
+        let items: Vec<u64> = (0..32).collect();
+        let expect: Vec<u64> = items.iter().map(|&seed| {
+            let mut x = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            x
+        }).collect();
+        let got = par_map_jobs(8, items, |seed| {
+            let mut x = seed.wrapping_mul(0x9E37_79B9).wrapping_add(1);
+            for _ in 0..1000 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            }
+            x
+        });
+        assert_eq!(got, expect);
+    }
+}

@@ -17,10 +17,8 @@
 use memo_sim::{amdahl, CpuModel};
 use memo_table::baselines::ReciprocalCache;
 use memo_table::{trivial_result, MemoConfig, MemoTable, Memoizer, OpKind};
-use memo_workloads::suite::mm_inputs;
 
-use crate::error::find_mm;
-use crate::figures::{OpTrace, SAMPLE_APPS};
+use crate::figures::sample_traces;
 use crate::format::{ratio, TextTable};
 use crate::{ExpConfig, ExperimentError};
 
@@ -47,20 +45,13 @@ pub fn compare_division_schemes(
     cfg: ExpConfig,
     cpu: CpuModel,
 ) -> Result<Vec<SchemeResult>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-
-    // Pool the division stream of the five sample apps.
-    let mut trace = OpTrace::new();
-    for name in SAMPLE_APPS {
-        let app = find_mm(name)?;
-        for c in &corpus {
-            app.run(&mut trace, &c.image);
-        }
-    }
-    let divisions: Vec<_> = trace
-        .ops()
+    // Pool the division stream of the five sample apps, replayed from the
+    // shared recordings in app-major, corpus order.
+    let traces = sample_traces(cfg)?;
+    let divisions: Vec<_> = traces
         .iter()
-        .copied()
+        .flat_map(|app_traces| app_traces.iter())
+        .flat_map(|trace| trace.iter())
         .filter(|op| op.kind() == OpKind::FpDiv)
         .collect();
 

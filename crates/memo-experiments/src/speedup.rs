@@ -1,18 +1,22 @@
 //! Tables 11, 12, 13 — application speedups from Amdahl's law over the
 //! cycle-accounting simulator (§3.3).
 
-use memo_imaging::Image;
-use memo_sim::{CpuModel, MemoBank};
+use memo_sim::{CpuModel, CycleAccountant, CycleReport, MemoBank, MemoryHierarchy};
 use memo_table::{MemoConfig, OpKind};
-use memo_workloads::suite::{measure_mm_cycles, mm_inputs};
 
 use crate::error::find_mm;
 use crate::format::{frac3, ratio, TextTable};
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, results, traces, ExpConfig, ExperimentError};
 
 /// The nine applications of Tables 11–13.
 pub const SPEEDUP_APPS: [&str; 9] =
     ["venhance", "vbrf", "vsqrt", "vslope", "vbpf", "vkmeans", "vspatial", "vgauss", "vgpwl"];
+
+/// The union of units any of Tables 11–13 memoizes. One replay per
+/// (application, CPU profile) against a bank covering the union yields
+/// every table's cells: per-kind tables are independent, so each table's
+/// subset is derived exactly ([`CycleReport::speedup_measured_for`]).
+const SPEEDUP_KINDS: [OpKind; 2] = [OpKind::FpMul, OpKind::FpDiv];
 
 /// One (application, latency-profile) measurement.
 #[derive(Debug, Clone, Copy)]
@@ -41,18 +45,31 @@ pub struct SpeedupRow {
     pub slow: SpeedupCells,
 }
 
-fn bank_for(kinds: &[OpKind]) -> MemoBank {
-    MemoBank::uniform(MemoConfig::paper_default(), kinds)
+/// The cycle reports of all nine applications under one CPU profile —
+/// computed once per process (cached event trace, one replay per app) and
+/// shared by Tables 11, 12, 13 and the scorecard.
+fn profile_reports(
+    cfg: ExpConfig,
+    key: &'static str,
+    cpu: CpuModel,
+) -> Result<Vec<CycleReport>, ExperimentError> {
+    results::cached(key, cfg, || {
+        let apps =
+            SPEEDUP_APPS.iter().map(|name| find_mm(name)).collect::<Result<Vec<_>, _>>()?;
+        Ok(parallel::par_map(apps, |app| {
+            let trace = traces::mm_event_trace(cfg, &app);
+            let mut acc = CycleAccountant::new(
+                cpu,
+                MemoryHierarchy::typical_1997(),
+                MemoBank::uniform(MemoConfig::paper_default(), &SPEEDUP_KINDS),
+            );
+            trace.replay_into(&mut acc);
+            acc.report()
+        }))
+    })
 }
 
-fn measure(
-    app_name: &str,
-    inputs: &[&Image],
-    cpu: CpuModel,
-    kinds: &[OpKind],
-) -> Result<SpeedupCells, ExperimentError> {
-    let app = find_mm(app_name)?;
-    let report = measure_mm_cycles(&app, inputs, cpu, bank_for(kinds));
+fn cells(report: &CycleReport, kinds: &[OpKind]) -> SpeedupCells {
     let fe: f64 = kinds.iter().map(|&k| report.fraction_enhanced(k)).sum();
     let scaled: f64 = kinds
         .iter()
@@ -69,33 +86,27 @@ fn measure(
         .map(|&k| report.hit_ratio(k))
         .collect();
     let hit_ratio = if hrs.is_empty() { 0.0 } else { hrs.iter().sum::<f64>() / hrs.len() as f64 };
-    Ok(SpeedupCells {
+    SpeedupCells {
         hit_ratio,
         fe,
         se,
         speedup: report.speedup_amdahl(kinds),
-        measured: report.speedup_measured(),
-    })
+        measured: report.speedup_measured_for(kinds),
+    }
 }
 
-fn build(
-    cfg: ExpConfig,
-    kinds: &[OpKind],
-    fast: CpuModel,
-    slow: CpuModel,
-) -> Result<Vec<SpeedupRow>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
-    SPEEDUP_APPS
+fn build(cfg: ExpConfig, kinds: &[OpKind]) -> Result<Vec<SpeedupRow>, ExperimentError> {
+    let fast = profile_reports(cfg, "speedup-reports-fast", CpuModel::paper_fast())?;
+    let slow = profile_reports(cfg, "speedup-reports-slow", CpuModel::paper_slow())?;
+    Ok(SPEEDUP_APPS
         .iter()
-        .map(|name| {
-            Ok(SpeedupRow {
-                name: name.to_string(),
-                fast: measure(name, &inputs, fast, kinds)?,
-                slow: measure(name, &inputs, slow, kinds)?,
-            })
+        .zip(fast.iter().zip(&slow))
+        .map(|(name, (f, s))| SpeedupRow {
+            name: (*name).to_string(),
+            fast: cells(f, kinds),
+            slow: cells(s, kinds),
         })
-        .collect()
+        .collect())
 }
 
 /// Table 11 — fp division memoized; 13- vs 39-cycle dividers.
@@ -104,12 +115,7 @@ fn build(
 ///
 /// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
 pub fn table11(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
-    build(
-        cfg,
-        &[OpKind::FpDiv],
-        CpuModel::paper_fast(),
-        CpuModel::paper_slow(),
-    )
+    build(cfg, &[OpKind::FpDiv])
 }
 
 /// Table 12 — fp multiplication memoized; 3- vs 5-cycle multipliers.
@@ -118,12 +124,7 @@ pub fn table11(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
 ///
 /// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
 pub fn table12(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
-    build(
-        cfg,
-        &[OpKind::FpMul],
-        CpuModel::paper_fast(),
-        CpuModel::paper_slow(),
-    )
+    build(cfg, &[OpKind::FpMul])
 }
 
 /// Table 13 — both memoized; (3, 13) vs (5, 39) cycle profiles.
@@ -132,12 +133,7 @@ pub fn table12(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
 ///
 /// Fails if a [`SPEEDUP_APPS`] name is missing from the registry.
 pub fn table13(cfg: ExpConfig) -> Result<Vec<SpeedupRow>, ExperimentError> {
-    build(
-        cfg,
-        &[OpKind::FpMul, OpKind::FpDiv],
-        CpuModel::paper_fast(),
-        CpuModel::paper_slow(),
-    )
+    build(cfg, &SPEEDUP_KINDS)
 }
 
 /// Column-mean row ("average" line of the paper's tables).

@@ -1,14 +1,12 @@
 //! Table 9 — trivial-operation policies: memoize them, exclude them, or
 //! integrate their detection into the MEMO-TABLE front end.
 
-use memo_imaging::Image;
-use memo_sim::MemoBank;
 use memo_table::{MemoConfig, OpKind, TrivialPolicy};
-use memo_workloads::suite::{measure_mm_stats, mm_inputs};
+use memo_workloads::suite::{replay_stats, SweepSpec};
 
 use crate::error::find_mm;
 use crate::format::{ratio, TextTable};
-use crate::{ExpConfig, ExperimentError};
+use crate::{parallel, results, traces, ExpConfig, ExperimentError};
 
 /// The applications the paper tabulates in Table 9.
 pub const TABLE9_APPS: [&str; 8] =
@@ -42,55 +40,52 @@ pub struct TrivialRow {
     pub fp_div: TrivialCells,
 }
 
-fn bank_with(policy: TrivialPolicy) -> MemoBank {
+fn spec_with(policy: TrivialPolicy) -> SweepSpec {
     let cfg = MemoConfig::builder(32).trivial(policy).build().expect("32/4 is valid");
-    MemoBank::uniform(cfg, &[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv])
+    SweepSpec::finite(cfg, &[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv])
 }
 
-/// Compute Table 9 over the image corpus.
+/// Compute Table 9 over the image corpus — each application is recorded
+/// once and replayed against the three trivial policies.
 ///
 /// # Errors
 ///
 /// Fails if a [`TABLE9_APPS`] name is missing from the registry.
 pub fn table9(cfg: ExpConfig) -> Result<Vec<TrivialRow>, ExperimentError> {
-    let corpus = mm_inputs(cfg.image_scale);
-    let inputs: Vec<&Image> = corpus.iter().map(|c| &c.image).collect();
+    results::cached("table9", cfg, || table9_uncached(cfg))
+}
 
-    TABLE9_APPS
-        .iter()
-        .map(|name| {
-            let app = find_mm(name)?;
-            let memoize =
-                measure_mm_stats(&app, &inputs, || bank_with(TrivialPolicy::Memoize));
-            let exclude =
-                measure_mm_stats(&app, &inputs, || bank_with(TrivialPolicy::Exclude));
-            let integrate =
-                measure_mm_stats(&app, &inputs, || bank_with(TrivialPolicy::Integrate));
+fn table9_uncached(cfg: ExpConfig) -> Result<Vec<TrivialRow>, ExperimentError> {
+    let apps = TABLE9_APPS.iter().map(|name| find_mm(name)).collect::<Result<Vec<_>, _>>()?;
+    Ok(parallel::par_map(apps, |app| {
+        let app_traces = traces::mm_traces(cfg, &app);
+        let memoize = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Memoize));
+        let exclude = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Exclude));
+        let integrate = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Integrate));
 
-            let cells = |kind: OpKind| {
-                let m = memoize.stats(kind).expect("bank covers kind");
-                if m.ops_seen == 0 {
-                    return TrivialCells::default();
-                }
-                let e = exclude.stats(kind).expect("bank covers kind");
-                let i = integrate.stats(kind).expect("bank covers kind");
-                TrivialCells {
-                    present: true,
-                    trivial_fraction: m.trivial_fraction(),
-                    all: m.hit_ratio(TrivialPolicy::Memoize),
-                    non: e.hit_ratio(TrivialPolicy::Exclude),
-                    integrated: i.hit_ratio(TrivialPolicy::Integrate),
-                }
-            };
+        let cells = |kind: OpKind| {
+            let m = memoize.stats(kind).expect("bank covers kind");
+            if m.ops_seen == 0 {
+                return TrivialCells::default();
+            }
+            let e = exclude.stats(kind).expect("bank covers kind");
+            let i = integrate.stats(kind).expect("bank covers kind");
+            TrivialCells {
+                present: true,
+                trivial_fraction: m.trivial_fraction(),
+                all: m.hit_ratio(TrivialPolicy::Memoize),
+                non: e.hit_ratio(TrivialPolicy::Exclude),
+                integrated: i.hit_ratio(TrivialPolicy::Integrate),
+            }
+        };
 
-            Ok(TrivialRow {
-                name: name.to_string(),
-                int_mul: cells(OpKind::IntMul),
-                fp_mul: cells(OpKind::FpMul),
-                fp_div: cells(OpKind::FpDiv),
-            })
-        })
-        .collect()
+        TrivialRow {
+            name: app.name.to_string(),
+            int_mul: cells(OpKind::IntMul),
+            fp_mul: cells(OpKind::FpMul),
+            fp_div: cells(OpKind::FpDiv),
+        }
+    }))
 }
 
 /// Render the Table 9 layout.

@@ -124,6 +124,32 @@ impl CycleReport {
         self.baseline.total() as f64 / self.memoized.total() as f64
     }
 
+    /// Measured speedup when only `kinds` keep their table savings.
+    ///
+    /// Per-kind tables are independent — each sees the full operand stream
+    /// of its kind regardless of which other units are memoized — so a run
+    /// whose bank covers a *superset* of `kinds` accumulates, per kind,
+    /// exactly the cycles a `kinds`-only bank would. The subset machine's
+    /// total is then the baseline total minus the savings of precisely the
+    /// kinds in `kinds` (savings can be negative when a protection penalty
+    /// exceeds the unit latency). One replay therefore serves every
+    /// memoized-unit selection of Tables 11–13.
+    #[must_use]
+    pub fn speedup_measured_for(&self, kinds: &[OpKind]) -> f64 {
+        let total = self.baseline.total() as i128;
+        if total == 0 {
+            return 1.0;
+        }
+        let saved: i128 = kinds
+            .iter()
+            .map(|&k| {
+                i128::from(self.baseline.arith_cycles(k))
+                    - i128::from(self.memoized.arith_cycles(k))
+            })
+            .sum();
+        total as f64 / (total - saved) as f64
+    }
+
     /// *Fraction Enhanced* for `kind`: its share of baseline cycles.
     #[must_use]
     pub fn fraction_enhanced(&self, kind: OpKind) -> f64 {
@@ -348,6 +374,44 @@ mod tests {
         assert!(
             (analytic - measured).abs() < 1e-9,
             "analytic {analytic} vs measured {measured}"
+        );
+    }
+
+    /// Mixed fdiv/fmul kernel for the subset-derivation test.
+    fn run_mixed_kernel(acc: &mut CycleAccountant, n: u64) {
+        for i in 0..n {
+            let a = f64::from(2 + (i % 8) as u32);
+            let _ = acc.fdiv(a, 3.0);
+            let _ = acc.fmul(a, 0.5);
+            acc.int_ops(1);
+        }
+    }
+
+    #[test]
+    fn subset_speedup_from_superset_bank_matches_dedicated_bank() {
+        use memo_table::MemoConfig;
+        // One run with both units memoized…
+        let mut both = accountant(MemoBank::uniform(
+            MemoConfig::paper_default(),
+            &[OpKind::FpMul, OpKind::FpDiv],
+        ));
+        run_mixed_kernel(&mut both, 300);
+        let superset = both.report();
+        // …must yield, for each unit alone, exactly the measured speedup of
+        // a run whose bank holds only that unit's table.
+        for kinds in [&[OpKind::FpDiv][..], &[OpKind::FpMul][..]] {
+            let mut alone = accountant(MemoBank::uniform(MemoConfig::paper_default(), kinds));
+            run_mixed_kernel(&mut alone, 300);
+            assert_eq!(
+                superset.speedup_measured_for(kinds),
+                alone.report().speedup_measured(),
+                "{kinds:?}"
+            );
+        }
+        // The full set reduces to the plain measurement.
+        assert_eq!(
+            superset.speedup_measured_for(&[OpKind::FpMul, OpKind::FpDiv]),
+            superset.speedup_measured()
         );
     }
 

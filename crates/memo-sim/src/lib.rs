@@ -59,6 +59,7 @@ mod cache;
 mod cpu;
 mod event;
 mod memoized;
+mod trace;
 
 pub use accountant::{CycleAccountant, CycleBreakdown, CycleReport};
 pub use bank::MemoBank;
@@ -68,3 +69,4 @@ pub use issue::{compare_divider_farms, DividerFarm, FarmComparison, FarmResult};
 pub use memoized::MemoizedSink;
 pub use pipeline::{PipelineModel, PipelineReport};
 pub use event::{CountingSink, Event, EventSink, InstrMix, NullSink, TraceBuffer};
+pub use trace::{EventTrace, OpIter, OpTrace, TraceRecorderSink};

@@ -1,0 +1,556 @@
+//! Record-once / replay-many operand traces.
+//!
+//! The paper's evaluation sweeps table geometry and policy over a *fixed*
+//! dynamic operand stream — Shade recorded each benchmark once and every
+//! MEMO-TABLE configuration was evaluated against the same trace (§3.1).
+//! Our harness originally re-executed every kernel natively per sweep
+//! point; the structures here restore the paper's record-once model:
+//!
+//! * [`OpTrace`] — the arithmetic operand stream (the traffic MEMO-TABLEs
+//!   see), stored as a structure-of-arrays buffer: run-length-encoded
+//!   [`OpKind`] discriminants plus packed `u64` operand columns. No
+//!   per-event allocation; ≤ 16 bytes per operation.
+//! * [`TraceRecorderSink`] — an [`EventSink`] that captures the `Arith`
+//!   events of a kernel run into an `OpTrace` and discards the rest.
+//! * [`EventTrace`] — the *full* event stream (loads, branches, ALU ops,
+//!   arithmetic) in the same SoA style, for cycle-accounting experiments
+//!   that need the memory hierarchy and instruction mix, not just the
+//!   arithmetic traffic.
+//!
+//! Replay is exact: operands are stored as raw bit patterns
+//! ([`Op::operand_bits`]) and reconstructed bit-identically, so a replayed
+//! probe stream drives a [`MemoBank`] through precisely the operand values,
+//! order, and kinds of the native run — hit ratios and statistics are
+//! bit-identical (asserted by the equivalence tests in `memo-workloads`).
+
+use memo_table::{Memoizer, Op, OpKind};
+
+use crate::bank::MemoBank;
+use crate::event::{Event, EventSink};
+
+/// One run of consecutive same-kind operations, packed into 4 bytes:
+/// kind index in the top 2 bits, run length in the low 30.
+#[derive(Debug, Clone, Copy)]
+struct KindRun(u32);
+
+const RUN_LEN_BITS: u32 = 30;
+const MAX_RUN_LEN: u32 = (1 << RUN_LEN_BITS) - 1;
+
+impl KindRun {
+    fn new(kind: OpKind, len: u32) -> Self {
+        let idx = match kind {
+            OpKind::IntMul => 0u32,
+            OpKind::FpMul => 1,
+            OpKind::FpDiv => 2,
+            OpKind::FpSqrt => 3,
+        };
+        KindRun(idx << RUN_LEN_BITS | len)
+    }
+
+    fn kind(self) -> OpKind {
+        match self.0 >> RUN_LEN_BITS {
+            0 => OpKind::IntMul,
+            1 => OpKind::FpMul,
+            2 => OpKind::FpDiv,
+            _ => OpKind::FpSqrt,
+        }
+    }
+
+    fn len(self) -> u32 {
+        self.0 & MAX_RUN_LEN
+    }
+}
+
+/// A compact structure-of-arrays trace of the arithmetic operand stream.
+///
+/// Layout: kinds are run-length encoded (`KindRun`), first operands live in
+/// column `a`, second operands of binary operations in column `b` (square
+/// root consumes only `a`). Binary operations therefore cost 16 bytes,
+/// square roots 8, plus a few bytes amortized over each kind run.
+#[derive(Debug, Clone, Default)]
+pub struct OpTrace {
+    runs: Vec<KindRun>,
+    a: Vec<u64>,
+    b: Vec<u64>,
+    len: usize,
+}
+
+impl OpTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one operation.
+    pub fn push(&mut self, op: Op) {
+        let kind = op.kind();
+        let (a, b) = op.operand_bits();
+        self.a.push(a);
+        if kind != OpKind::FpSqrt {
+            self.b.push(b);
+        }
+        match self.runs.last_mut() {
+            Some(run) if run.kind() == kind && run.len() < MAX_RUN_LEN => run.0 += 1,
+            _ => self.runs.push(KindRun::new(kind, 1)),
+        }
+        self.len += 1;
+    }
+
+    /// Number of recorded operations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of recorded operations of `kind`.
+    #[must_use]
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.runs.iter().filter(|r| r.kind() == kind).map(|r| r.len() as usize).sum()
+    }
+
+    /// Approximate heap footprint in bytes (operand columns + run index).
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.a.len() * 8 + self.b.len() * 8 + self.runs.len() * std::mem::size_of::<KindRun>()
+    }
+
+    /// Iterate the operations in recorded order, reconstructed bit-exactly.
+    pub fn iter(&self) -> OpIter<'_> {
+        OpIter { trace: self, run: 0, left: 0, kind: OpKind::IntMul, ai: 0, bi: 0 }
+    }
+
+    /// The trace as a contiguous operation list (for consumers that need a
+    /// slice, e.g. the divider-farm comparison).
+    #[must_use]
+    pub fn to_ops(&self) -> Vec<Op> {
+        self.iter().collect()
+    }
+
+    /// Replay every operation into `bank`, exactly as
+    /// [`MemoBank::execute`] would see them from a native run.
+    pub fn replay(&self, bank: &mut MemoBank) {
+        self.for_each(|op| {
+            bank.execute(op);
+        });
+    }
+
+    /// Replay only the operations of `kind` into a single memoizer — the
+    /// per-unit sweep used by the size/associativity figures.
+    pub fn replay_kind<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for run in &self.runs {
+            let n = run.len() as usize;
+            if run.kind() == kind {
+                for i in 0..n {
+                    table.execute(rebuild(kind, self.a[ai + i], &self.b, bi + i));
+                }
+            }
+            ai += n;
+            if run.kind() != OpKind::FpSqrt {
+                bi += n;
+            }
+        }
+    }
+
+    /// Replay the trace as [`Event::Arith`] events into an arbitrary sink
+    /// (e.g. the fault-tolerance differential checker).
+    pub fn replay_events<S: EventSink>(&self, sink: &mut S) {
+        self.for_each(|op| sink.record(Event::Arith(op)));
+    }
+
+    fn for_each(&self, mut f: impl FnMut(Op)) {
+        let (mut ai, mut bi) = (0usize, 0usize);
+        for run in &self.runs {
+            let n = run.len() as usize;
+            let kind = run.kind();
+            for i in 0..n {
+                f(rebuild(kind, self.a[ai + i], &self.b, bi + i));
+            }
+            ai += n;
+            if kind != OpKind::FpSqrt {
+                bi += n;
+            }
+        }
+    }
+}
+
+/// Rebuild an [`Op`] from its stored bit patterns.
+#[inline]
+fn rebuild(kind: OpKind, a: u64, b: &[u64], bi: usize) -> Op {
+    match kind {
+        OpKind::IntMul => Op::IntMul(a as i64, b[bi] as i64),
+        OpKind::FpMul => Op::FpMul(f64::from_bits(a), f64::from_bits(b[bi])),
+        OpKind::FpDiv => Op::FpDiv(f64::from_bits(a), f64::from_bits(b[bi])),
+        OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a)),
+    }
+}
+
+/// Iterator over the operations of an [`OpTrace`].
+#[derive(Debug)]
+pub struct OpIter<'a> {
+    trace: &'a OpTrace,
+    run: usize,
+    left: u32,
+    kind: OpKind,
+    ai: usize,
+    bi: usize,
+}
+
+impl Iterator for OpIter<'_> {
+    type Item = Op;
+
+    fn next(&mut self) -> Option<Op> {
+        if self.left == 0 {
+            let run = self.trace.runs.get(self.run)?;
+            self.run += 1;
+            self.left = run.len();
+            self.kind = run.kind();
+        }
+        self.left -= 1;
+        let op = rebuild(self.kind, self.trace.a[self.ai], &self.trace.b, self.bi);
+        self.ai += 1;
+        if self.kind != OpKind::FpSqrt {
+            self.bi += 1;
+        }
+        Some(op)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.trace.len - self.ai;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for OpIter<'_> {}
+
+/// Records the arithmetic operand stream of a kernel run; every other
+/// event is discarded. Use [`EventTrace`] when the full stream matters.
+#[derive(Debug, Clone, Default)]
+pub struct TraceRecorderSink {
+    trace: OpTrace,
+}
+
+impl TraceRecorderSink {
+    /// A recorder with an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Finish recording and take the trace.
+    #[must_use]
+    pub fn into_trace(self) -> OpTrace {
+        self.trace
+    }
+
+    /// The trace recorded so far.
+    #[must_use]
+    pub fn trace(&self) -> &OpTrace {
+        &self.trace
+    }
+}
+
+impl EventSink for TraceRecorderSink {
+    fn record(&mut self, event: Event) {
+        if let Event::Arith(op) = event {
+            self.trace.push(op);
+        }
+    }
+}
+
+/// Event-class discriminant for [`EventTrace`] runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EvClass {
+    IntAlu,
+    FpAdd,
+    Branch,
+    Annulled,
+    Load,
+    Store,
+    Arith(OpKind),
+}
+
+impl EvClass {
+    fn of(event: &Event) -> Self {
+        match event {
+            Event::IntAlu => EvClass::IntAlu,
+            Event::FpAdd => EvClass::FpAdd,
+            Event::Branch => EvClass::Branch,
+            Event::Annulled => EvClass::Annulled,
+            Event::Load(_) => EvClass::Load,
+            Event::Store(_) => EvClass::Store,
+            Event::Arith(op) => EvClass::Arith(op.kind()),
+        }
+    }
+
+    /// `u64` payload words one event of this class consumes.
+    fn payload_words(self) -> usize {
+        match self {
+            EvClass::IntAlu | EvClass::FpAdd | EvClass::Branch | EvClass::Annulled => 0,
+            EvClass::Load | EvClass::Store | EvClass::Arith(OpKind::FpSqrt) => 1,
+            EvClass::Arith(_) => 2,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EvRun {
+    class: EvClass,
+    len: u32,
+}
+
+/// The complete dynamic event stream of one kernel run, in SoA form.
+///
+/// Cycle-accounting experiments (Tables 11–13, the protection-overhead
+/// study, the pipeline models) need loads, branches, and the instruction
+/// mix — not just the arithmetic traffic. `EventTrace` records the full
+/// stream once and replays it into any number of [`EventSink`]s (cycle
+/// accountants with different CPU profiles, banks with different
+/// protection policies) without re-running the kernel.
+///
+/// Payload-free events (ALU ops, branches, FP adds, annulled slots) cost
+/// only their share of a run header; loads/stores and square roots cost
+/// 8 bytes; binary arithmetic costs 16.
+#[derive(Debug, Clone, Default)]
+pub struct EventTrace {
+    runs: Vec<EvRun>,
+    payload: Vec<u64>,
+    len: usize,
+}
+
+impl EventTrace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate heap footprint in bytes.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.payload.len() * 8 + self.runs.len() * std::mem::size_of::<EvRun>()
+    }
+
+    /// Replay the stream into `sink`, reconstructing each event
+    /// bit-identically in recorded order.
+    pub fn replay_into<S: EventSink>(&self, sink: &mut S) {
+        let mut pi = 0usize;
+        for run in &self.runs {
+            let n = run.len as usize;
+            match run.class {
+                EvClass::IntAlu => (0..n).for_each(|_| sink.record(Event::IntAlu)),
+                EvClass::FpAdd => (0..n).for_each(|_| sink.record(Event::FpAdd)),
+                EvClass::Branch => (0..n).for_each(|_| sink.record(Event::Branch)),
+                EvClass::Annulled => (0..n).for_each(|_| sink.record(Event::Annulled)),
+                EvClass::Load => {
+                    for i in 0..n {
+                        sink.record(Event::Load(self.payload[pi + i]));
+                    }
+                    pi += n;
+                }
+                EvClass::Store => {
+                    for i in 0..n {
+                        sink.record(Event::Store(self.payload[pi + i]));
+                    }
+                    pi += n;
+                }
+                EvClass::Arith(kind) => {
+                    let words = EvClass::Arith(kind).payload_words();
+                    for i in 0..n {
+                        let a = self.payload[pi + i * words];
+                        let op = match kind {
+                            OpKind::IntMul => {
+                                Op::IntMul(a as i64, self.payload[pi + i * words + 1] as i64)
+                            }
+                            OpKind::FpMul => Op::FpMul(
+                                f64::from_bits(a),
+                                f64::from_bits(self.payload[pi + i * words + 1]),
+                            ),
+                            OpKind::FpDiv => Op::FpDiv(
+                                f64::from_bits(a),
+                                f64::from_bits(self.payload[pi + i * words + 1]),
+                            ),
+                            OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a)),
+                        };
+                        sink.record(Event::Arith(op));
+                    }
+                    pi += n * words;
+                }
+            }
+        }
+    }
+}
+
+impl EventSink for EventTrace {
+    fn record(&mut self, event: Event) {
+        let class = EvClass::of(&event);
+        match event {
+            Event::Load(addr) | Event::Store(addr) => self.payload.push(addr),
+            Event::Arith(op) => {
+                let (a, b) = op.operand_bits();
+                self.payload.push(a);
+                if op.kind() != OpKind::FpSqrt {
+                    self.payload.push(b);
+                }
+            }
+            _ => {}
+        }
+        match self.runs.last_mut() {
+            Some(run) if run.class == class && run.len < u32::MAX => run.len += 1,
+            _ => self.runs.push(EvRun { class, len: 1 }),
+        }
+        self.len += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{CountingSink, TraceBuffer};
+    use memo_table::{MemoConfig, MemoTable};
+
+    fn sample_ops() -> Vec<Op> {
+        vec![
+            Op::FpDiv(355.0, 113.0),
+            Op::FpDiv(355.0, 113.0),
+            Op::FpMul(1.5, -0.0),
+            Op::IntMul(-7, 6),
+            Op::IntMul(i64::MIN, -1),
+            Op::FpSqrt(2.0),
+            Op::FpMul(f64::NAN, 1.0),
+            Op::FpDiv(1.0, 0.0),
+        ]
+    }
+
+    #[test]
+    fn roundtrips_ops_bit_exactly() {
+        let mut trace = OpTrace::new();
+        for &op in &sample_ops() {
+            trace.push(op);
+        }
+        assert_eq!(trace.len(), 8);
+        let back = trace.to_ops();
+        for (orig, got) in sample_ops().iter().zip(&back) {
+            assert_eq!(orig.kind(), got.kind());
+            assert_eq!(orig.operand_bits(), got.operand_bits());
+        }
+    }
+
+    #[test]
+    fn recorder_keeps_only_arith() {
+        let mut rec = TraceRecorderSink::new();
+        let _ = rec.fdiv(10.0, 4.0);
+        rec.load(0x40);
+        rec.branch();
+        let _ = rec.imul(3, 4);
+        rec.int_ops(5);
+        let trace = rec.into_trace();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.count(OpKind::FpDiv), 1);
+        assert_eq!(trace.count(OpKind::IntMul), 1);
+    }
+
+    #[test]
+    fn replay_matches_native_bank_stats() {
+        let ops = sample_ops();
+        let mut native = MemoBank::paper_default();
+        let mut trace = OpTrace::new();
+        for &op in &ops {
+            native.execute(op);
+            trace.push(op);
+        }
+        let mut replayed = MemoBank::paper_default();
+        trace.replay(&mut replayed);
+        for kind in OpKind::ALL {
+            assert_eq!(native.stats(kind), replayed.stats(kind), "{kind}");
+        }
+    }
+
+    #[test]
+    fn replay_kind_filters() {
+        let mut trace = OpTrace::new();
+        for &op in &sample_ops() {
+            trace.push(op);
+        }
+        let mut table = MemoTable::new(MemoConfig::paper_default());
+        trace.replay_kind(OpKind::FpDiv, &mut table);
+        assert_eq!(table.stats().ops_seen, 3);
+    }
+
+    #[test]
+    fn memory_bound_is_16_bytes_per_op() {
+        // Kernel inner loops emit bursts of same-kind operations; the run
+        // index amortizes to well under a byte per op.
+        let mut trace = OpTrace::new();
+        for burst in 0..200i64 {
+            for i in 0..64 {
+                trace.push(Op::IntMul(burst, i));
+            }
+            for i in 0..64 {
+                trace.push(Op::FpMul(burst as f64, i as f64));
+            }
+        }
+        let per_op = trace.approx_bytes() as f64 / trace.len() as f64;
+        assert!(per_op <= 16.1, "got {per_op} bytes/op");
+    }
+
+    #[test]
+    fn event_trace_replays_full_stream() {
+        let mut native = TraceBuffer::new();
+        let mut trace = EventTrace::new();
+        for sink in [&mut native as &mut dyn EventSink, &mut trace as &mut dyn EventSink] {
+            let _ = sink.fmul(2.0, 3.0);
+            sink.load(0x100);
+            sink.int_ops(4);
+            sink.branch();
+            let _ = sink.fsqrt(2.0);
+            sink.store(0x200);
+            sink.annulled();
+            let _ = sink.fadd(1.0, 1.0);
+            let _ = sink.imul(5, 9);
+        }
+        assert_eq!(trace.len(), native.len());
+
+        let mut replayed = TraceBuffer::new();
+        trace.replay_into(&mut replayed);
+        assert_eq!(replayed.events(), native.events());
+
+        let mut mix = CountingSink::new();
+        trace.replay_into(&mut mix);
+        assert_eq!(mix.mix().int_alu, 4);
+        assert_eq!(mix.mix().loads, 1);
+        assert_eq!(mix.mix().fp_sqrt, 1);
+    }
+
+    #[test]
+    fn op_iter_is_exact_size() {
+        let mut trace = OpTrace::new();
+        for &op in &sample_ops() {
+            trace.push(op);
+        }
+        let mut iter = trace.iter();
+        assert_eq!(iter.len(), 8);
+        iter.next();
+        assert_eq!(iter.len(), 7);
+        assert_eq!(iter.count(), 7);
+    }
+}

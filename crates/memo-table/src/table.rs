@@ -268,11 +268,18 @@ impl MemoTable {
 
         let Some(injector) = &mut self.injector else { return };
         let Some((way_draw, bit)) = injector.tag_strike() else { return };
-        let victims: Vec<usize> = (base..base + ways).filter(|&i| self.slots[i].is_some()).collect();
-        if victims.is_empty() {
+        // Pick the n-th valid entry without collecting indices — this runs
+        // on every probed set when an injector is attached, so it must not
+        // allocate.
+        let valid = self.slots[base..base + ways].iter().filter(|s| s.is_some()).count();
+        if valid == 0 {
             return;
         }
-        let victim = victims[(way_draw % victims.len() as u64) as usize];
+        let target = (way_draw % valid as u64) as usize;
+        let victim = (base..base + ways)
+            .filter(|&i| self.slots[i].is_some())
+            .nth(target)
+            .expect("target < valid count");
         let entry = self.slots[victim].as_mut().expect("victim slot is valid");
         entry.key.tag ^= 1u128 << bit;
         self.stats.faults_injected += 1;
@@ -382,58 +389,104 @@ impl MemoTable {
         }
     }
 
-    /// Probe for `op` under a specific operand order. Returns the decoded
-    /// value on a tag match whose result is reconstructible and survives
-    /// the protection policy's corruption check.
-    fn probe_order(&mut self, op: &Op) -> Option<Value> {
-        let key = encode_tag(op, self.cfg.tag())?;
-        let set = set_index(op, self.cfg.sets(), self.cfg.hash());
+    /// Probe for `op` with its tag and set already derived. Returns the
+    /// decoded value on a tag match whose result is reconstructible and
+    /// survives the protection policy's corruption check.
+    ///
+    /// Tag encoding and set hashing happen exactly once per operand order
+    /// (in the callers) — not once for the existence check and again for
+    /// the lookup, and not a third time for the insert after a miss.
+    fn probe_keyed(&mut self, op: &Op, key: Key, set: usize) -> Option<Value> {
         if self.injector.is_some() || self.cfg.protection() != Protection::None {
             self.scrub_and_strike_tags(set);
         }
         let slot = self.lookup_in_set(set, key)?;
         self.read_protected(op, slot)
     }
-}
 
-impl Memoizer for MemoTable {
-    fn probe(&mut self, op: Op) -> Probe {
+    /// Probe the swapped operand order of a commutative operation (§2.2).
+    fn probe_commutative(&mut self, op: &Op) -> Option<Value> {
+        if !self.cfg.commutative() {
+            return None;
+        }
+        let swapped = op.swapped()?;
+        let key = encode_tag(&swapped, self.cfg.tag())?;
+        let set = set_index(&swapped, self.cfg.sets(), self.cfg.hash());
+        let v = self.probe_keyed(&swapped, key, set)?;
+        self.stats.table_hits += 1;
+        self.stats.commutative_hits += 1;
+        Some(v)
+    }
+
+    /// Shared front half of [`Memoizer::probe`] and the overridden
+    /// [`Memoizer::execute`]: trivial handling, tag encoding, and the
+    /// lookup. `Err(probe)` is an early decision; `Ok((key, set))` means
+    /// the lookup missed and the derived key/set are reusable for insert.
+    fn probe_front(&mut self, op: &Op) -> Result<(Key, usize), Probe> {
         self.stats.ops_seen += 1;
 
-        if let Some((_, value)) = trivial_result(&op) {
+        if let Some((_, value)) = trivial_result(op) {
             self.stats.trivial_seen += 1;
             match self.cfg.trivial() {
-                TrivialPolicy::Exclude => return Probe::Filtered,
-                TrivialPolicy::Integrate => return Probe::Trivial(value),
+                TrivialPolicy::Exclude => return Err(Probe::Filtered),
+                TrivialPolicy::Integrate => return Err(Probe::Trivial(value)),
                 TrivialPolicy::Memoize => {} // falls through to the table
             }
         }
 
         self.stats.table_lookups += 1;
 
-        if encode_tag(&op, self.cfg.tag()).is_none() {
+        let Some(key) = encode_tag(op, self.cfg.tag()) else {
             // Operands not representable under the tag policy: the lookup
-            // simply misses (and `update` will decline to insert).
+            // simply misses (and the insert path declines to store).
             self.stats.bypasses += 1;
-            return Probe::Miss;
-        }
+            return Err(Probe::Miss);
+        };
+        let set = set_index(op, self.cfg.sets(), self.cfg.hash());
 
-        if let Some(v) = self.probe_order(&op) {
+        if let Some(v) = self.probe_keyed(op, key, set) {
             self.stats.table_hits += 1;
-            return Probe::Hit(v);
+            return Err(Probe::Hit(v));
         }
+        if let Some(v) = self.probe_commutative(op) {
+            return Err(Probe::Hit(v));
+        }
+        Ok((key, set))
+    }
+}
 
-        if self.cfg.commutative() {
-            if let Some(swapped) = op.swapped() {
-                if let Some(v) = self.probe_order(&swapped) {
-                    self.stats.table_hits += 1;
-                    self.stats.commutative_hits += 1;
-                    return Probe::Hit(v);
+impl Memoizer for MemoTable {
+    fn probe(&mut self, op: Op) -> Probe {
+        match self.probe_front(&op) {
+            Err(probe) => probe,
+            Ok(_) => Probe::Miss,
+        }
+    }
+
+    /// Specialized probe→compute→insert cycle: the tag and set index
+    /// derived during the probe are reused by the insert after a miss,
+    /// instead of being recomputed by [`Memoizer::update`]. This is the
+    /// sweep hot path — every replayed trace operation lands here.
+    fn execute(&mut self, op: Op) -> Executed {
+        match self.probe_front(&op) {
+            Err(Probe::Hit(v)) => Executed { value: v, outcome: Outcome::Hit },
+            Err(Probe::Trivial(v)) => Executed { value: v, outcome: Outcome::Trivial },
+            Err(Probe::Filtered) => {
+                Executed { value: op.compute(), outcome: Outcome::Filtered }
+            }
+            Err(Probe::Miss) => {
+                // Tag not encodable: computed conventionally, never stored.
+                Executed { value: op.compute(), outcome: Outcome::Miss }
+            }
+            Ok((key, set)) => {
+                let value = op.compute();
+                match encode_value(&op, value, self.cfg.tag()) {
+                    Some(stored) => self.insert(set, key, stored),
+                    None => self.stats.bypasses += 1,
                 }
+                Executed { value, outcome: Outcome::Miss }
             }
         }
-
-        Probe::Miss
     }
 
     fn update(&mut self, op: Op, result: Value) {

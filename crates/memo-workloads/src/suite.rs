@@ -1,13 +1,102 @@
 //! Suite-level measurement drivers: run applications over their input
 //! sets and collect the statistics the paper's tables report.
+//!
+//! Two measurement paths produce bit-identical results (asserted by the
+//! `trace_equivalence` integration tests):
+//!
+//! * **native** — run the kernel with a [`MemoProbeSink`] attached, as the
+//!   paper ran binaries under Shade;
+//! * **record / replay** — record the kernel's operand stream once with
+//!   [`record_mm_trace`] / [`record_sci_trace`] and replay the
+//!   [`OpTrace`] against any number of configurations with
+//!   [`replay_stats`] / [`replay_ratios`]. Sweeps use this path: one
+//!   native execution, N memory-speed replays.
+//!
+//! Bank construction lives in one place — [`SweepSpec`] — instead of
+//! being re-closed at every call site.
 
 use memo_imaging::synth::{self, CorpusImage};
 use memo_imaging::Image;
-use memo_sim::{CpuModel, CycleAccountant, CycleReport, Event, EventSink, MemoBank, MemoryHierarchy};
-use memo_table::{MemoStats, OpKind};
+use memo_sim::{
+    CpuModel, CycleAccountant, CycleReport, Event, EventSink, MemoBank, MemoryHierarchy, OpTrace,
+    TraceRecorderSink,
+};
+use memo_table::{MemoConfig, MemoStats, OpKind};
 
 use crate::mm::MmApp;
 use crate::sci::SciApp;
+
+/// The table shape a sweep point evaluates: a finite geometry or the
+/// "infinitely large, fully associative" reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TableShape {
+    /// Identical finite tables built from one [`MemoConfig`].
+    Finite(MemoConfig),
+    /// The infinite reference table.
+    Infinite,
+}
+
+/// One sweep point's bank recipe: a [`TableShape`] plus the operation
+/// kinds that get a table. `Copy`, comparable, and buildable anywhere —
+/// the single place bank construction happens in the sweep drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepSpec {
+    shape: TableShape,
+    kinds: [bool; 4],
+}
+
+impl SweepSpec {
+    /// The paper's simulated system: 32-entry 4-way tables on the integer
+    /// multiplier, fp multiplier, and fp divider.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::finite(
+            MemoConfig::paper_default(),
+            &[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv],
+        )
+    }
+
+    /// Identical finite tables from `cfg` on each of `kinds`.
+    #[must_use]
+    pub fn finite(cfg: MemoConfig, kinds: &[OpKind]) -> Self {
+        SweepSpec { shape: TableShape::Finite(cfg), kinds: Self::mask(kinds) }
+    }
+
+    /// Infinite reference tables on each of `kinds`.
+    #[must_use]
+    pub fn infinite(kinds: &[OpKind]) -> Self {
+        SweepSpec { shape: TableShape::Infinite, kinds: Self::mask(kinds) }
+    }
+
+    fn mask(kinds: &[OpKind]) -> [bool; 4] {
+        let mut mask = [false; 4];
+        for &kind in kinds {
+            mask[kind as usize] = true;
+        }
+        mask
+    }
+
+    /// The shape of this spec's tables.
+    #[must_use]
+    pub fn shape(&self) -> TableShape {
+        self.shape
+    }
+
+    /// The kinds that receive a table, in [`OpKind::ALL`] order.
+    pub fn kinds(&self) -> impl Iterator<Item = OpKind> + '_ {
+        OpKind::ALL.into_iter().filter(|&k| self.kinds[k as usize])
+    }
+
+    /// Construct the bank this spec describes.
+    #[must_use]
+    pub fn build(&self) -> MemoBank {
+        let kinds: Vec<OpKind> = self.kinds().collect();
+        match self.shape {
+            TableShape::Finite(cfg) => MemoBank::uniform(cfg, &kinds),
+            TableShape::Infinite => MemoBank::infinite(&kinds),
+        }
+    }
+}
 
 /// An [`EventSink`] that routes multi-cycle operations into a [`MemoBank`]
 /// and discards everything else — the fast path for pure hit-ratio
@@ -19,9 +108,16 @@ pub struct MemoProbeSink {
 }
 
 impl MemoProbeSink {
-    /// Probe through the given bank.
+    /// Probe through a fresh bank built from `spec`.
     #[must_use]
-    pub fn new(bank: MemoBank) -> Self {
+    pub fn new(spec: SweepSpec) -> Self {
+        Self::with_bank(spec.build())
+    }
+
+    /// Probe through an existing bank (custom constructions — fault
+    /// injection, circuit breakers — that [`SweepSpec`] doesn't describe).
+    #[must_use]
+    pub fn with_bank(bank: MemoBank) -> Self {
         MemoProbeSink { bank }
     }
 
@@ -70,7 +166,9 @@ impl HitRatios {
         }
     }
 
-    fn from_bank(bank: &MemoBank) -> Self {
+    /// Read the per-kind lookup hit ratios out of a bank.
+    #[must_use]
+    pub fn from_bank(bank: &MemoBank) -> Self {
         let ratio = |kind| {
             bank.stats(kind).and_then(|s: MemoStats| {
                 if s.table_lookups == 0 {
@@ -96,14 +194,54 @@ pub fn mm_inputs(scale: usize) -> Vec<CorpusImage> {
     synth::corpus(scale)
 }
 
-/// Run one MM application over `inputs` and report per-kind hit ratios
-/// from a fresh bank produced by `make_bank`.
-pub fn measure_mm_app(
-    app: &MmApp,
-    inputs: &[&Image],
-    make_bank: impl FnOnce() -> MemoBank,
+/// Record the operand stream of one MM application over `inputs` —
+/// executed natively exactly once; the trace replays against any number
+/// of configurations.
+#[must_use]
+pub fn record_mm_trace(app: &MmApp, inputs: &[&Image]) -> OpTrace {
+    let mut rec = TraceRecorderSink::new();
+    for input in inputs {
+        app.run(&mut rec, input);
+    }
+    rec.into_trace()
+}
+
+/// Record the operand stream of one scientific kernel at size `n`.
+#[must_use]
+pub fn record_sci_trace(app: &SciApp, n: usize) -> OpTrace {
+    let mut rec = TraceRecorderSink::new();
+    app.run(&mut rec, n);
+    rec.into_trace()
+}
+
+/// Replay one or more traces, in order, through a fresh bank built from
+/// `spec` and return the bank (per-kind statistics are bit-identical to a
+/// native run of the same stream).
+#[must_use]
+pub fn replay_stats<'a>(
+    traces: impl IntoIterator<Item = &'a OpTrace>,
+    spec: SweepSpec,
+) -> MemoBank {
+    let mut bank = spec.build();
+    for trace in traces {
+        trace.replay(&mut bank);
+    }
+    bank
+}
+
+/// Replay one or more traces through a fresh bank and report hit ratios.
+#[must_use]
+pub fn replay_ratios<'a>(
+    traces: impl IntoIterator<Item = &'a OpTrace>,
+    spec: SweepSpec,
 ) -> HitRatios {
-    let mut sink = MemoProbeSink::new(make_bank());
+    HitRatios::from_bank(&replay_stats(traces, spec))
+}
+
+/// Run one MM application over `inputs` and report per-kind hit ratios
+/// from a fresh bank built from `spec`.
+pub fn measure_mm_app(app: &MmApp, inputs: &[&Image], spec: SweepSpec) -> HitRatios {
+    let mut sink = MemoProbeSink::new(spec);
     for input in inputs {
         app.run(&mut sink, input);
     }
@@ -111,12 +249,8 @@ pub fn measure_mm_app(
 }
 
 /// Run one scientific kernel at size `n` and report per-kind hit ratios.
-pub fn measure_sci_app(
-    app: &SciApp,
-    n: usize,
-    make_bank: impl FnOnce() -> MemoBank,
-) -> HitRatios {
-    let mut sink = MemoProbeSink::new(make_bank());
+pub fn measure_sci_app(app: &SciApp, n: usize, spec: SweepSpec) -> HitRatios {
+    let mut sink = MemoProbeSink::new(spec);
     app.run(&mut sink, n);
     HitRatios::from_bank(sink.bank())
 }
@@ -137,12 +271,8 @@ pub fn measure_mm_cycles(
 }
 
 /// Raw per-kind memo statistics after running an MM app over `inputs`.
-pub fn measure_mm_stats(
-    app: &MmApp,
-    inputs: &[&Image],
-    make_bank: impl FnOnce() -> MemoBank,
-) -> MemoBank {
-    let mut sink = MemoProbeSink::new(make_bank());
+pub fn measure_mm_stats(app: &MmApp, inputs: &[&Image], spec: SweepSpec) -> MemoBank {
+    let mut sink = MemoProbeSink::new(spec);
     for input in inputs {
         app.run(&mut sink, input);
     }
@@ -153,7 +283,6 @@ pub fn measure_mm_stats(
 mod tests {
     use super::*;
     use crate::{mm, sci};
-    use memo_table::MemoConfig;
 
     fn small_inputs() -> Vec<Image> {
         mm_inputs(16).into_iter().map(|c| c.image).take(4).collect()
@@ -170,7 +299,7 @@ mod tests {
         let mut mm_div = Vec::new();
         for name in mm_apps {
             let app = mm::find(name).unwrap();
-            let r = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
+            let r = measure_mm_app(&app, &input_refs, SweepSpec::paper_default());
             if let Some(d) = r.fp_div {
                 mm_div.push(d);
             }
@@ -179,7 +308,7 @@ mod tests {
 
         let mut sci_div = Vec::new();
         for app in sci::all_apps() {
-            let r = measure_sci_app(&app, 24, MemoBank::paper_default);
+            let r = measure_sci_app(&app, 24, SweepSpec::paper_default());
             if let Some(d) = r.fp_div {
                 sci_div.push(d);
             }
@@ -198,10 +327,12 @@ mod tests {
         let inputs = small_inputs();
         let input_refs: Vec<&Image> = inputs.iter().collect();
         let app = mm::find("vcost").unwrap();
-        let finite = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
-        let infinite = measure_mm_app(&app, &input_refs, || {
-            MemoBank::infinite(&[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv])
-        });
+        let finite = measure_mm_app(&app, &input_refs, SweepSpec::paper_default());
+        let infinite = measure_mm_app(
+            &app,
+            &input_refs,
+            SweepSpec::infinite(&[OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv]),
+        );
         for kind in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv] {
             if let (Some(f), Some(i)) = (finite.get(kind), infinite.get(kind)) {
                 assert!(i + 1e-9 >= f, "{kind}: infinite {i:.3} >= finite {f:.3}");
@@ -214,7 +345,7 @@ mod tests {
         let inputs = small_inputs();
         let input_refs: Vec<&Image> = inputs.iter().collect();
         let app = mm::find("vgauss").unwrap();
-        let r = measure_mm_app(&app, &input_refs, MemoBank::paper_default);
+        let r = measure_mm_app(&app, &input_refs, SweepSpec::paper_default());
         assert_eq!(r.int_mul, None, "vgauss has no imul (Table 7 '-')");
         assert!(r.fp_div.is_some());
     }
@@ -241,24 +372,54 @@ mod tests {
         let inputs = small_inputs();
         let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
         let app = mm::find("venhance").unwrap();
-        let small = measure_mm_app(&app, &input_refs, || {
-            MemoBank::uniform(
-                MemoConfig::builder(8)
-                    .assoc(memo_table::Assoc::Full)
-                    .build()
-                    .unwrap(),
+        let small = measure_mm_app(
+            &app,
+            &input_refs,
+            SweepSpec::finite(
+                MemoConfig::builder(8).assoc(memo_table::Assoc::Full).build().unwrap(),
                 &[OpKind::FpMul],
-            )
-        });
-        let large = measure_mm_app(&app, &input_refs, || {
-            MemoBank::uniform(
-                MemoConfig::builder(512)
-                    .assoc(memo_table::Assoc::Full)
-                    .build()
-                    .unwrap(),
+            ),
+        );
+        let large = measure_mm_app(
+            &app,
+            &input_refs,
+            SweepSpec::finite(
+                MemoConfig::builder(512).assoc(memo_table::Assoc::Full).build().unwrap(),
                 &[OpKind::FpMul],
-            )
-        });
+            ),
+        );
         assert!(large.fp_mul.unwrap() + 1e-9 >= small.fp_mul.unwrap());
+    }
+
+    #[test]
+    fn spec_build_matches_bank_constructors() {
+        // SweepSpec::paper_default() must describe MemoBank::paper_default().
+        let spec = SweepSpec::paper_default();
+        let from_spec = spec.build();
+        let direct = MemoBank::paper_default();
+        for kind in OpKind::ALL {
+            assert_eq!(from_spec.stats(kind).is_some(), direct.stats(kind).is_some(), "{kind}");
+        }
+        assert_eq!(spec.kinds().count(), 3);
+        assert!(matches!(spec.shape(), TableShape::Finite(_)));
+    }
+
+    #[test]
+    fn replay_is_bit_identical_to_native() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
+        let app = mm::find("vspatial").unwrap();
+        let spec = SweepSpec::paper_default();
+
+        let native = measure_mm_stats(&app, &input_refs, spec);
+        let trace = record_mm_trace(&app, &input_refs);
+        let replayed = replay_stats([&trace], spec);
+        for kind in OpKind::ALL {
+            assert_eq!(native.stats(kind), replayed.stats(kind), "{kind}");
+        }
+        assert_eq!(
+            measure_mm_app(&app, &input_refs, spec),
+            replay_ratios([&trace], spec)
+        );
     }
 }

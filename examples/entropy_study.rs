@@ -9,10 +9,9 @@
 use memo_repro::fit::fit_line;
 use memo_repro::imaging::rng::SplitMix64;
 use memo_repro::imaging::{entropy, synth};
-use memo_repro::sim::MemoBank;
 use memo_repro::table::OpKind;
 use memo_repro::workloads::mm;
-use memo_repro::workloads::suite::measure_mm_app;
+use memo_repro::workloads::suite::{measure_mm_app, SweepSpec};
 
 fn main() {
     let app = mm::find("vspatial").expect("registered application");
@@ -26,7 +25,7 @@ fn main() {
     for levels in [2u64, 4, 8, 16, 32, 64, 128, 256] {
         let image = synth::quantize(&synth::plasma(64, 64, 0.85, &mut rng), levels);
         let e = entropy::windowed_entropy(&image, 8).expect("byte image");
-        let hits = measure_mm_app(&app, &[&image], MemoBank::paper_default);
+        let hits = measure_mm_app(&app, &[&image], SweepSpec::paper_default());
         let hit = hits.get(OpKind::FpDiv).expect("vspatial divides");
         println!("{levels:>10} {e:>12.3} {hit:>10.3}");
         xs.push(e);

@@ -7,7 +7,7 @@ use memo_repro::sim::{
     CountingSink, CpuModel, CycleAccountant, MemoBank, MemoryHierarchy, TraceBuffer,
 };
 use memo_repro::table::{InfiniteMemoTable, MemoConfig, MemoTable, Memoizer, OpKind};
-use memo_repro::workloads::suite::{measure_mm_app, mm_inputs};
+use memo_repro::workloads::suite::{measure_mm_app, mm_inputs, SweepSpec};
 use memo_repro::workloads::{mm, sci};
 
 #[test]
@@ -206,7 +206,7 @@ fn hit_ratio_measurement_is_deterministic_across_runs() {
     let corpus = mm_inputs(16);
     let inputs: Vec<_> = corpus.iter().map(|c| &c.image).take(3).collect();
     let app = mm::find("vgpwl").unwrap();
-    let a = measure_mm_app(&app, &inputs, MemoBank::paper_default);
-    let b = measure_mm_app(&app, &inputs, MemoBank::paper_default);
+    let a = measure_mm_app(&app, &inputs, SweepSpec::paper_default());
+    let b = measure_mm_app(&app, &inputs, SweepSpec::paper_default());
     assert_eq!(a, b);
 }
