@@ -1,0 +1,99 @@
+//! Fused single-pass sweep vs per-configuration trace replay — the
+//! tentpole economics of the stack-distance engine. A G-point hit-ratio
+//! grid costs G full replays on the direct path and one shared pass on
+//! the fused path; this bench times both over the paper's two grid
+//! shapes (Figure 3's size sweep, Figure 4's associativity sweep plus
+//! the infinite column) and writes the medians and fused-vs-direct
+//! ratios to `BENCH_sweep.json` for CI to archive.
+
+use std::hint::black_box;
+use std::fmt::Write as _;
+
+use memo_bench::{bench_cfg, bench_median};
+use memo_sim::{OpTrace, TraceRecorderSink};
+use memo_table::{Assoc, MemoConfig, OpKind};
+use memo_workloads::mm;
+use memo_workloads::suite::{mm_inputs, replay_stats, replay_stats_fused, SweepSpec};
+
+const KINDS: [OpKind; 3] = [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv];
+
+struct GridResult {
+    name: &'static str,
+    points: usize,
+    fused_ms: f64,
+    direct_ms: f64,
+}
+
+fn time_grid(name: &'static str, trace: &OpTrace, specs: &[SweepSpec]) -> GridResult {
+    let fused = bench_median("sweep_fusion", name, 10, || {
+        black_box(replay_stats_fused([trace], specs));
+    });
+    let direct_name = format!("{name}_direct");
+    let direct = bench_median("sweep_fusion", &direct_name, 10, || {
+        for spec in specs {
+            black_box(replay_stats([trace], *spec));
+        }
+    });
+    GridResult { name, points: specs.len(), fused_ms: fused * 1e3, direct_ms: direct * 1e3 }
+}
+
+fn main() {
+    let cfg = bench_cfg();
+    let corpus = mm_inputs(cfg.image_scale);
+    let inputs: Vec<_> = corpus.iter().map(|c| &c.image).collect();
+    let app = mm::find("vspatial").expect("registered");
+    let trace = {
+        let mut rec = TraceRecorderSink::new();
+        for input in &inputs {
+            app.run(&mut rec, input);
+        }
+        rec.into_trace()
+    };
+
+    // Figure 3's shape: the size sweep at 4 ways.
+    let size_specs: Vec<SweepSpec> = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&entries| {
+            SweepSpec::finite(MemoConfig::builder(entries).build().expect("valid"), &KINDS)
+        })
+        .collect();
+
+    // Figure 4's shape: the associativity sweep at 32 entries, plus the
+    // infinite-table column Tables 5-7 report alongside.
+    let mut assoc_specs: Vec<SweepSpec> =
+        [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Ways(4), Assoc::Ways(8), Assoc::Full]
+            .iter()
+            .map(|&assoc| {
+                SweepSpec::finite(
+                    MemoConfig::builder(32).assoc(assoc).build().expect("valid"),
+                    &KINDS,
+                )
+            })
+            .collect();
+    assoc_specs.push(SweepSpec::infinite(&KINDS));
+
+    let results = [
+        time_grid("figure3_size_grid", &trace, &size_specs),
+        time_grid("figure4_assoc_grid", &trace, &assoc_specs),
+    ];
+
+    let mut json = String::from("{\n  \"bench\": \"sweep_fusion\",\n  \"grids\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let ratio = if r.fused_ms > 0.0 { r.direct_ms / r.fused_ms } else { 0.0 };
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"points\": {}, \"fused_ms\": {:.3}, \
+             \"direct_ms\": {:.3}, \"direct_over_fused\": {:.2}}}{comma}",
+            r.name, r.points, r.fused_ms, r.direct_ms, ratio
+        );
+        println!(
+            "sweep_fusion/{}: {} points, fused {:.3} ms vs direct {:.3} ms ({:.2}x)",
+            r.name, r.points, r.fused_ms, r.direct_ms, ratio
+        );
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_sweep.json";
+    std::fs::write(path, json).expect("write BENCH_sweep.json");
+    println!("wrote {path}");
+}

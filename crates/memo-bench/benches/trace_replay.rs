@@ -8,6 +8,7 @@ use std::hint::black_box;
 
 use memo_bench::{bench, bench_cfg};
 use memo_sim::{MemoBank, TraceRecorderSink};
+use memo_table::{MemoConfig, MemoTable, Memoizer, OpKind};
 use memo_workloads::mm;
 use memo_workloads::suite::{mm_inputs, record_sci_trace, MemoProbeSink, SweepSpec};
 use memo_workloads::sci;
@@ -53,6 +54,22 @@ fn main() {
         let mut bank = MemoBank::paper_default();
         sci_trace.replay(&mut bank);
         black_box(bank.stats(memo_table::OpKind::FpMul));
+    });
+
+    // Per-kind decode: the pull iterator rebuilds one op per `next()`
+    // call; the batched walker decodes whole runs with zipped slice
+    // loops and no per-op bounds checks.
+    bench("trace_replay", "vspatial_replay_kind_iter", 20, || {
+        let mut table = MemoTable::new(MemoConfig::paper_default());
+        for op in mm_trace.iter().filter(|op| op.kind() == OpKind::FpDiv) {
+            table.execute(op);
+        }
+        black_box(table.stats());
+    });
+    bench("trace_replay", "vspatial_replay_kind_batched", 20, || {
+        let mut table = MemoTable::new(MemoConfig::paper_default());
+        mm_trace.replay_kind_batched(OpKind::FpDiv, &mut table);
+        black_box(table.stats());
     });
 
     // Recording cost, for completeness: record once, replay many.

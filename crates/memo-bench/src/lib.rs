@@ -7,7 +7,10 @@
 //! * `paper_tables` — end-to-end regeneration of Tables 5–13 at reduced
 //!   scale;
 //! * `paper_figures` — Figures 2–4;
-//! * `workloads` — event-stream throughput of representative kernels.
+//! * `workloads` — event-stream throughput of representative kernels;
+//! * `trace_replay` — native re-execution vs. operand-trace replay;
+//! * `sweep_fusion` — fused single-pass sweep vs. per-configuration
+//!   replay, emitting machine-readable `BENCH_sweep.json`.
 //!
 //! Run `cargo bench --workspace`; each bench is a plain `harness = false`
 //! binary (the repo builds offline, so no criterion) that prints one
@@ -27,7 +30,13 @@ pub fn bench_cfg() -> ExpConfig {
 
 /// Time `f` for a handful of samples after one warmup call and print the
 /// median wall-clock time per call, benchmark-harness style.
-pub fn bench<F: FnMut()>(group: &str, name: &str, samples: usize, mut f: F) {
+pub fn bench<F: FnMut()>(group: &str, name: &str, samples: usize, f: F) {
+    bench_median(group, name, samples, f);
+}
+
+/// Like [`bench`], but also return the median seconds per call so
+/// callers can emit machine-readable results (e.g. `BENCH_sweep.json`).
+pub fn bench_median<F: FnMut()>(group: &str, name: &str, samples: usize, mut f: F) -> f64 {
     f(); // warmup
     let mut times: Vec<f64> = Vec::with_capacity(samples.max(1));
     for _ in 0..samples.max(1) {
@@ -44,6 +53,7 @@ pub fn bench<F: FnMut()>(group: &str, name: &str, samples: usize, mut f: F) {
         fmt_time(lo),
         fmt_time(hi)
     );
+    median
 }
 
 fn fmt_time(secs: f64) -> String {

@@ -10,6 +10,7 @@ use memo_sim::{Event, EventSink, MemoBank};
 use memo_table::{
     HashScheme, MemoConfig, MemoTable, Memoizer, OpKind, Replacement, SharedMemoTable,
 };
+use memo_workloads::suite::{replay_stats_fused, SweepSpec};
 
 use crate::figures::{sample_traces, OpTrace};
 use crate::format::{ratio, TextTable};
@@ -27,14 +28,17 @@ pub struct AblationPoint {
 }
 
 fn replay_average(traces: &[Arc<Vec<OpTrace>>], table_cfg: MemoConfig, kind: OpKind) -> f64 {
+    // Each ablation point differs in exactly the policy axis under
+    // study, so no two share a pass; the helper replays each
+    // single-point grid directly (and counts it as such).
+    let spec = [SweepSpec::finite(table_cfg, &[kind])];
     let ratios: Vec<f64> = traces
         .iter()
         .map(|app_traces| {
-            let mut table = MemoTable::new(table_cfg);
-            for t in app_traces.iter() {
-                t.replay_kind(kind, &mut table);
-            }
-            table.hit_ratio()
+            replay_stats_fused(app_traces.iter(), &spec)[0]
+                .stats(kind)
+                .expect("spec attaches a table to kind")
+                .hit_ratio(table_cfg.trivial())
         })
         .collect();
     ratios.iter().sum::<f64>() / ratios.len() as f64

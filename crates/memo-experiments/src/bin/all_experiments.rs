@@ -108,6 +108,15 @@ fn main() {
     }
 
     let failed = outcomes.iter().filter(|(_, o, _)| o.is_err()).count();
+    let fusion = memo_workloads::suite::fusion_counters();
+    println!(
+        "\nsweep fusion: {} grids fused covering {} sweep points \
+         ({} full replays avoided); {} direct replays (stateful/unfusable paths)",
+        fusion.grids_fused,
+        fusion.points_fused,
+        fusion.points_fused.saturating_sub(fusion.grids_fused),
+        fusion.direct_replays
+    );
     println!("\n=== experiment summary ===");
     for (name, outcome, ms) in &outcomes {
         match outcome {

@@ -5,9 +5,9 @@ use std::sync::Arc;
 
 use memo_fit::{fit_line, Line};
 use memo_imaging::entropy;
-use memo_table::{Assoc, MemoConfig, MemoTable, OpKind};
+use memo_table::{Assoc, MemoConfig, OpKind};
 use memo_workloads::mm;
-use memo_workloads::suite::{replay_ratios, SweepSpec};
+use memo_workloads::suite::{replay_ratios, replay_stats_fused, SweepSpec};
 
 use crate::format::TextTable;
 use crate::{parallel, results, traces, ExpConfig, ExperimentError};
@@ -187,25 +187,32 @@ pub(crate) fn sample_traces(cfg: ExpConfig) -> Result<Vec<Arc<Vec<OpTrace>>>, Ex
 }
 
 fn sweep(traces: &[Arc<Vec<OpTrace>>], kind: OpKind, configs: &[(usize, MemoConfig)]) -> SweepCurve {
-    // Each sweep point owns its tables; the recorded traces are shared.
-    let points = parallel::par_map(configs.to_vec(), |(x, table_cfg)| {
-        let ratios: Vec<f64> = traces
+    // One fused stack pass per application serves the entire grid
+    // (applications fan out across cores; the recorded traces are shared).
+    let specs: Vec<SweepSpec> =
+        configs.iter().map(|&(_, c)| SweepSpec::finite(c, &[kind])).collect();
+    let per_app: Vec<Vec<f64>> = parallel::par_map(traces.to_vec(), |app_traces| {
+        replay_stats_fused(app_traces.iter(), &specs)
             .iter()
-            .map(|app_traces| {
-                let mut table = MemoTable::new(table_cfg);
-                for trace in app_traces.iter() {
-                    trace.replay_kind(kind, &mut table);
-                }
-                table.hit_ratio()
+            .zip(configs)
+            .map(|(ks, &(_, c))| {
+                ks.stats(kind).expect("spec attaches a table to kind").hit_ratio(c.trivial())
             })
-            .collect();
-        SweepPoint {
-            x,
-            avg: ratios.iter().sum::<f64>() / ratios.len() as f64,
-            min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
-            max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
-        }
+            .collect()
     });
+    let points = configs
+        .iter()
+        .enumerate()
+        .map(|(i, &(x, _))| {
+            let ratios: Vec<f64> = per_app.iter().map(|app| app[i]).collect();
+            SweepPoint {
+                x,
+                avg: ratios.iter().sum::<f64>() / ratios.len() as f64,
+                min: ratios.iter().cloned().fold(f64::INFINITY, f64::min),
+                max: ratios.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            }
+        })
+        .collect();
     SweepCurve { kind, points }
 }
 

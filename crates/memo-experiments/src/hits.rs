@@ -4,7 +4,7 @@
 use memo_table::OpKind;
 use memo_workloads::mm::MmApp;
 use memo_workloads::sci::SciApp;
-use memo_workloads::suite::{replay_ratios, HitRatios, SweepSpec};
+use memo_workloads::suite::{replay_stats_fused, HitRatios, SweepSpec};
 use memo_workloads::{mm, sci};
 
 use crate::format::{ratio, TextTable};
@@ -42,13 +42,15 @@ fn infinite_spec() -> SweepSpec {
     SweepSpec::infinite(&KINDS)
 }
 
-/// One sci row: record the kernel once, replay against both table shapes.
+/// One sci row: record the kernel once; one fused pass per kind serves
+/// the finite point and the infinite column together.
 fn sci_row(cfg: ExpConfig, app: &SciApp, upper: bool) -> HitRow {
     let trace = traces::sci_trace(cfg, app);
+    let both = replay_stats_fused([&*trace], &[finite_spec(), infinite_spec()]);
     HitRow {
         name: if upper { app.name.to_uppercase() } else { app.name.to_string() },
-        finite: replay_ratios([&*trace], finite_spec()),
-        infinite: replay_ratios([&*trace], infinite_spec()),
+        finite: both[0].ratios(),
+        infinite: both[1].ratios(),
     }
 }
 
@@ -92,10 +94,11 @@ pub fn table7(cfg: ExpConfig) -> HitTable {
     results::cached("table7", cfg, || {
         let rows = parallel::par_map(mm::apps(), |app: MmApp| {
             let app_traces = traces::mm_traces(cfg, &app);
+            let both = replay_stats_fused(app_traces.iter(), &[finite_spec(), infinite_spec()]);
             HitRow {
                 name: app.name.to_string(),
-                finite: replay_ratios(app_traces.iter(), finite_spec()),
-                infinite: replay_ratios(app_traces.iter(), infinite_spec()),
+                finite: both[0].ratios(),
+                infinite: both[1].ratios(),
             }
         });
         build("Table 7: Hit ratios for Multi-Media applications", rows)

@@ -2,7 +2,7 @@
 //! number (suite averages, 32-entry 4-way tables).
 
 use memo_table::{MemoConfig, OpKind, TagPolicy};
-use memo_workloads::suite::{replay_ratios, HitRatios, SweepSpec};
+use memo_workloads::suite::{replay_stats_fused, HitRatios, SweepSpec};
 use memo_workloads::{mm, sci};
 
 use crate::format::{ratio, TextTable};
@@ -46,20 +46,24 @@ fn table10_uncached(cfg: ExpConfig) -> [MantissaRow; 2] {
         avg
     };
 
+    // The two tag policies see different table traffic (mantissa-only
+    // bypasses non-normal operands), so they cannot share one pass; the
+    // helper replays each single-point grid directly.
+    let ratios_for = |tag| move |traces: &[&memo_sim::OpTrace]| {
+        replay_stats_fused(traces.iter().copied(), &[spec_with(tag)])[0].ratios()
+    };
+    let full = ratios_for(TagPolicy::FullValue);
+    let mant = ratios_for(TagPolicy::MantissaOnly);
+
     let perfect = accumulate(parallel::par_map(sci::perfect_apps(), |app| {
         let trace = traces::sci_trace(cfg, &app);
-        [
-            replay_ratios([&*trace], spec_with(TagPolicy::FullValue)),
-            replay_ratios([&*trace], spec_with(TagPolicy::MantissaOnly)),
-        ]
+        [full(&[&*trace]), mant(&[&*trace])]
     }));
 
     let media = accumulate(parallel::par_map(mm::apps(), |app| {
         let app_traces = traces::mm_traces(cfg, &app);
-        [
-            replay_ratios(app_traces.iter(), spec_with(TagPolicy::FullValue)),
-            replay_ratios(app_traces.iter(), spec_with(TagPolicy::MantissaOnly)),
-        ]
+        let refs: Vec<&memo_sim::OpTrace> = app_traces.iter().collect();
+        [full(&refs), mant(&refs)]
     }));
 
     [perfect.row("Perfect"), media.row("Multi-Media")]

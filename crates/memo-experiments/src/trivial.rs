@@ -2,7 +2,7 @@
 //! integrate their detection into the MEMO-TABLE front end.
 
 use memo_table::{MemoConfig, OpKind, TrivialPolicy};
-use memo_workloads::suite::{replay_stats, SweepSpec};
+use memo_workloads::suite::{replay_stats_fused, SweepSpec};
 
 use crate::error::find_mm;
 use crate::format::{ratio, TextTable};
@@ -59,9 +59,15 @@ fn table9_uncached(cfg: ExpConfig) -> Result<Vec<TrivialRow>, ExperimentError> {
     let apps = TABLE9_APPS.iter().map(|name| find_mm(name)).collect::<Result<Vec<_>, _>>()?;
     Ok(parallel::par_map(apps, |app| {
         let app_traces = traces::mm_traces(cfg, &app);
-        let memoize = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Memoize));
-        let exclude = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Exclude));
-        let integrate = replay_stats(app_traces.iter(), spec_with(TrivialPolicy::Integrate));
+        // Exclude and Integrate keep trivials out of the table and see
+        // identical traffic, so they share one fused pass; Memoize routes
+        // trivials through the table and needs its own.
+        let filtered = replay_stats_fused(
+            app_traces.iter(),
+            &[spec_with(TrivialPolicy::Exclude), spec_with(TrivialPolicy::Integrate)],
+        );
+        let through = replay_stats_fused(app_traces.iter(), &[spec_with(TrivialPolicy::Memoize)]);
+        let (memoize, exclude, integrate) = (&through[0], &filtered[0], &filtered[1]);
 
         let cells = |kind: OpKind| {
             let m = memoize.stats(kind).expect("bank covers kind");

@@ -59,6 +59,7 @@ mod cache;
 mod cpu;
 mod event;
 mod memoized;
+mod sweep;
 mod trace;
 
 pub use accountant::{CycleAccountant, CycleBreakdown, CycleReport};
@@ -68,5 +69,6 @@ pub use cpu::CpuModel;
 pub use issue::{compare_divider_farms, DividerFarm, FarmComparison, FarmResult};
 pub use memoized::MemoizedSink;
 pub use pipeline::{PipelineModel, PipelineReport};
+pub use sweep::sweep_kind;
 pub use event::{CountingSink, Event, EventSink, InstrMix, NullSink, TraceBuffer};
 pub use trace::{EventTrace, OpIter, OpTrace, TraceRecorderSink};

@@ -130,7 +130,9 @@ impl OpTrace {
     /// slice, e.g. the divider-farm comparison).
     #[must_use]
     pub fn to_ops(&self) -> Vec<Op> {
-        self.iter().collect()
+        let mut ops = Vec::with_capacity(self.len());
+        ops.extend(self.iter());
+        ops
     }
 
     /// Replay every operation into `bank`, exactly as
@@ -144,13 +146,27 @@ impl OpTrace {
     /// Replay only the operations of `kind` into a single memoizer — the
     /// per-unit sweep used by the size/associativity figures.
     pub fn replay_kind<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
+        self.replay_kind_batched(kind, table);
+    }
+
+    /// Chunked per-kind replay: each RLE run is decoded through operand
+    /// slices (one bounds check per run instead of one per operand) with
+    /// the kind dispatched once per run.
+    pub fn replay_kind_batched<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
+        self.for_each_kind(kind, |op| {
+            table.execute(op);
+        });
+    }
+
+    /// Visit the operations of `kind` in recorded order, decoded through
+    /// the chunked run path (this is how the single-pass sweep engine in
+    /// `memo-table` consumes a trace).
+    pub fn for_each_kind(&self, kind: OpKind, mut f: impl FnMut(Op)) {
         let (mut ai, mut bi) = (0usize, 0usize);
         for run in &self.runs {
             let n = run.len() as usize;
             if run.kind() == kind {
-                for i in 0..n {
-                    table.execute(rebuild(kind, self.a[ai + i], &self.b, bi + i));
-                }
+                decode_run(kind, &self.a[ai..ai + n], &self.b[bi..], &mut f);
             }
             ai += n;
             if run.kind() != OpKind::FpSqrt {
@@ -170,12 +186,39 @@ impl OpTrace {
         for run in &self.runs {
             let n = run.len() as usize;
             let kind = run.kind();
-            for i in 0..n {
-                f(rebuild(kind, self.a[ai + i], &self.b, bi + i));
-            }
+            decode_run(kind, &self.a[ai..ai + n], &self.b[bi..], &mut f);
             ai += n;
             if kind != OpKind::FpSqrt {
                 bi += n;
+            }
+        }
+    }
+}
+
+/// Decode one same-kind run from its operand slices. The kind match is
+/// hoisted out of the operand loop and the zipped slices elide the
+/// per-operand bounds checks of indexed decoding.
+#[inline]
+fn decode_run(kind: OpKind, a: &[u64], b: &[u64], f: &mut impl FnMut(Op)) {
+    match kind {
+        OpKind::IntMul => {
+            for (&a, &b) in a.iter().zip(b) {
+                f(Op::IntMul(a as i64, b as i64));
+            }
+        }
+        OpKind::FpMul => {
+            for (&a, &b) in a.iter().zip(b) {
+                f(Op::FpMul(f64::from_bits(a), f64::from_bits(b)));
+            }
+        }
+        OpKind::FpDiv => {
+            for (&a, &b) in a.iter().zip(b) {
+                f(Op::FpDiv(f64::from_bits(a), f64::from_bits(b)));
+            }
+        }
+        OpKind::FpSqrt => {
+            for &a in a {
+                f(Op::FpSqrt(f64::from_bits(a)));
             }
         }
     }
@@ -206,6 +249,7 @@ pub struct OpIter<'a> {
 impl Iterator for OpIter<'_> {
     type Item = Op;
 
+    #[inline]
     fn next(&mut self) -> Option<Op> {
         if self.left == 0 {
             let run = self.trace.runs.get(self.run)?;

@@ -30,6 +30,9 @@
 //!   ([`InfiniteMemoTable`]);
 //! * a multi-ported table shared between several computation units (§2.3)
 //!   ([`SharedMemoTable`]);
+//! * a single-pass stack-distance sweep engine that evaluates an entire
+//!   size × associativity grid (plus the infinite column) in one pass over
+//!   an operand stream ([`StackSimulator`], [`SweepGrid`]);
 //! * a latency-aware memoized functional unit ([`MemoizedUnit`]);
 //! * soft-error fault injection and protection policies
 //!   ([`FaultInjector`], [`Protection`]) — parity, SEC-DED, or
@@ -64,6 +67,7 @@ mod key;
 mod op;
 mod ported;
 pub mod rng;
+mod stack;
 mod stats;
 mod table;
 mod trivial;
@@ -78,6 +82,7 @@ pub use infinite::InfiniteMemoTable;
 pub use key::{fp_parts, is_normal_or_zero, Key};
 pub use op::{Op, OpKind, Value};
 pub use ported::{PortStats, SharedMemoTable};
+pub use stack::{StackSimulator, SweepGrid, SweepGridError, SweepOutcome};
 pub use stats::MemoStats;
 pub use table::{Executed, MemoTable, Outcome, Probe};
 pub use trivial::{trivial_result, TrivialKind};

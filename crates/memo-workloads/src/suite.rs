@@ -15,13 +15,15 @@
 //! Bank construction lives in one place — [`SweepSpec`] — instead of
 //! being re-closed at every call site.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use memo_imaging::synth::{self, CorpusImage};
 use memo_imaging::Image;
 use memo_sim::{
-    CpuModel, CycleAccountant, CycleReport, Event, EventSink, MemoBank, MemoryHierarchy, OpTrace,
-    TraceRecorderSink,
+    sweep_kind, CpuModel, CycleAccountant, CycleReport, Event, EventSink, MemoBank,
+    MemoryHierarchy, OpTrace, TraceRecorderSink,
 };
-use memo_table::{MemoConfig, MemoStats, OpKind};
+use memo_table::{MemoConfig, MemoStats, OpKind, SweepGrid};
 
 use crate::mm::MmApp;
 use crate::sci::SciApp;
@@ -222,11 +224,151 @@ pub fn replay_stats<'a>(
     traces: impl IntoIterator<Item = &'a OpTrace>,
     spec: SweepSpec,
 ) -> MemoBank {
+    DIRECT_REPLAYS.fetch_add(1, Ordering::Relaxed);
     let mut bank = spec.build();
     for trace in traces {
         trace.replay(&mut bank);
     }
     bank
+}
+
+// Process-wide accounting of how sweep points were evaluated, surfaced in
+// the `all_experiments` summary so the fused-pass win is visible in CI.
+static GRIDS_FUSED: AtomicU64 = AtomicU64::new(0);
+static POINTS_FUSED: AtomicU64 = AtomicU64::new(0);
+static DIRECT_REPLAYS: AtomicU64 = AtomicU64::new(0);
+
+/// How many sweep evaluations went through the fused single-pass engine
+/// versus direct per-configuration replay.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FusionCounters {
+    /// Fused passes executed (one [`replay_stats_fused`] call that fused).
+    pub grids_fused: u64,
+    /// Sweep points those passes served; `points_fused - grids_fused`
+    /// full-trace replays were avoided.
+    pub points_fused: u64,
+    /// Full-trace replays performed directly ([`replay_stats`] calls).
+    pub direct_replays: u64,
+}
+
+/// Snapshot the process-wide fusion accounting.
+#[must_use]
+pub fn fusion_counters() -> FusionCounters {
+    FusionCounters {
+        grids_fused: GRIDS_FUSED.load(Ordering::Relaxed),
+        points_fused: POINTS_FUSED.load(Ordering::Relaxed),
+        direct_replays: DIRECT_REPLAYS.load(Ordering::Relaxed),
+    }
+}
+
+/// Per-kind [`MemoStats`] of one sweep point, however it was evaluated.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KindStats {
+    stats: [Option<MemoStats>; 4],
+}
+
+impl KindStats {
+    /// Read a bank's per-kind statistics (the direct-path constructor).
+    #[must_use]
+    pub fn from_bank(bank: &MemoBank) -> Self {
+        let mut stats = [None; 4];
+        for kind in OpKind::ALL {
+            stats[kind as usize] = bank.stats(kind);
+        }
+        KindStats { stats }
+    }
+
+    /// Statistics of `kind`'s table (`None` when the spec attached none).
+    #[must_use]
+    pub fn stats(&self, kind: OpKind) -> Option<MemoStats> {
+        self.stats[kind as usize]
+    }
+
+    /// Per-kind lookup hit ratios, with the same `None` semantics as
+    /// [`HitRatios::from_bank`] (no table, or no lookups).
+    #[must_use]
+    pub fn ratios(&self) -> HitRatios {
+        let ratio = |kind: OpKind| {
+            self.stats(kind).and_then(|s| {
+                if s.table_lookups == 0 {
+                    None
+                } else {
+                    Some(s.lookup_hit_ratio())
+                }
+            })
+        };
+        HitRatios {
+            int_mul: ratio(OpKind::IntMul),
+            fp_mul: ratio(OpKind::FpMul),
+            fp_div: ratio(OpKind::FpDiv),
+        }
+    }
+}
+
+/// Evaluate every spec in `specs` over the same traces, fusing them into
+/// one stack pass per op kind when the family qualifies ([`SweepGrid`]'s
+/// preconditions: shared policies, LRU, unprotected). Falls back to
+/// direct per-spec replay — bit-identical either way — when the family
+/// is not fusable or a mantissa-mode pass loses exactness.
+///
+/// Returns one [`KindStats`] per spec, in order.
+#[must_use]
+pub fn replay_stats_fused<'a>(
+    traces: impl IntoIterator<Item = &'a OpTrace>,
+    specs: &[SweepSpec],
+) -> Vec<KindStats> {
+    let traces: Vec<&OpTrace> = traces.into_iter().collect();
+    if let Some(fused) = try_fused(&traces, specs) {
+        GRIDS_FUSED.fetch_add(1, Ordering::Relaxed);
+        POINTS_FUSED.fetch_add(specs.len() as u64, Ordering::Relaxed);
+        return fused;
+    }
+    specs
+        .iter()
+        .map(|&spec| KindStats::from_bank(&replay_stats(traces.iter().copied(), spec)))
+        .collect()
+}
+
+fn try_fused(traces: &[&OpTrace], specs: &[SweepSpec]) -> Option<Vec<KindStats>> {
+    // A one-point "grid" has no replays to avoid: direct replay is both
+    // exact and cheaper than the stack engine's shared bookkeeping.
+    if specs.len() < 2 {
+        return None;
+    }
+    let first = specs.first()?;
+    if specs.iter().any(|s| s.kinds != first.kinds) {
+        return None;
+    }
+    // Split the grid into finite points and the infinite column, keeping
+    // each spec's position in the finite point list.
+    let mut configs = Vec::new();
+    let mut slots = Vec::with_capacity(specs.len());
+    for spec in specs {
+        match spec.shape {
+            TableShape::Finite(cfg) => {
+                slots.push(Some(configs.len()));
+                configs.push(cfg);
+            }
+            TableShape::Infinite => slots.push(None),
+        }
+    }
+    let include_infinite = slots.iter().any(Option::is_none);
+    let grid = SweepGrid::new(&configs, include_infinite).ok()?;
+
+    let mut results = vec![KindStats::default(); specs.len()];
+    for kind in first.kinds() {
+        let out = sweep_kind(traces.iter().copied(), kind, &grid);
+        if !out.exact {
+            return None;
+        }
+        for (slot, result) in slots.iter().zip(&mut results) {
+            result.stats[kind as usize] = Some(match slot {
+                Some(p) => out.finite[*p],
+                None => out.infinite.expect("grid includes the infinite column"),
+            });
+        }
+    }
+    Some(results)
 }
 
 /// Replay one or more traces through a fresh bank and report hit ratios.
@@ -402,6 +544,50 @@ mod tests {
         }
         assert_eq!(spec.kinds().count(), 3);
         assert!(matches!(spec.shape(), TableShape::Finite(_)));
+    }
+
+    #[test]
+    fn fused_replay_matches_direct_and_counts_itself() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
+        let app = mm::find("vspatial").unwrap();
+        let trace = record_mm_trace(&app, &input_refs);
+        let kinds = [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv];
+        let specs: Vec<SweepSpec> = [8usize, 32, 128]
+            .iter()
+            .map(|&e| SweepSpec::finite(MemoConfig::builder(e).build().unwrap(), &kinds))
+            .chain(std::iter::once(SweepSpec::infinite(&kinds)))
+            .collect();
+        let before = fusion_counters();
+        let fused = replay_stats_fused([&trace], &specs);
+        let after = fusion_counters();
+        assert_eq!(after.grids_fused, before.grids_fused + 1, "grid must fuse");
+        assert_eq!(after.points_fused, before.points_fused + 4);
+        for (spec, ks) in specs.iter().zip(&fused) {
+            let bank = replay_stats([&trace], *spec);
+            assert_eq!(*ks, KindStats::from_bank(&bank), "{spec:?}");
+        }
+    }
+
+    #[test]
+    fn unfusable_specs_fall_back_to_direct() {
+        let inputs = small_inputs();
+        let input_refs: Vec<&Image> = inputs.iter().take(2).collect();
+        let app = mm::find("vcost").unwrap();
+        let trace = record_mm_trace(&app, &input_refs);
+        // FIFO replacement has no inclusion property: the helper must
+        // quietly take the direct path and still be bit-identical.
+        let cfg = MemoConfig::builder(32)
+            .replacement(memo_table::Replacement::Fifo)
+            .build()
+            .unwrap();
+        let spec = SweepSpec::finite(cfg, &[OpKind::FpMul]);
+        let before = fusion_counters();
+        let fused = replay_stats_fused([&trace], &[spec]);
+        let after = fusion_counters();
+        assert_eq!(after.grids_fused, before.grids_fused, "FIFO must not fuse");
+        assert!(after.direct_replays > before.direct_replays);
+        assert_eq!(fused[0], KindStats::from_bank(&replay_stats([&trace], spec)));
     }
 
     #[test]
