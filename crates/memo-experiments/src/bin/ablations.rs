@@ -1,7 +1,7 @@
-//! Runs the design-choice ablations (hash, replacement, commutativity,
-//! shared-vs-private tables).
-use memo_experiments::{ablations, ExpConfig, ExperimentError};
+//! Runs the design-choice ablations (hash, replacement, commutativity, shared-vs-private tables).
+use memo_experiments::{cli, ablations, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
+    cli::enforce("ablations", "Runs the design-choice ablations (hash, replacement, commutativity, shared-vs-private tables).", &[]);
     println!("{}", ablations::render(ExpConfig::from_env())?);
     Ok(())
 }

@@ -1,113 +1,34 @@
 //! Runs every table and figure in sequence — the full reproduction.
 //!
-//! Each experiment runs inside its own catch barrier: a typed error or a
-//! panic in one experiment is reported and the run continues, so a single
-//! bad fit or missing registration no longer costs the whole evening. The
-//! binary ends with a pass/fail summary per experiment and exits nonzero
-//! if anything failed.
-use std::panic::{catch_unwind, AssertUnwindSafe};
+//! Each experiment runs inside its own catch barrier (see
+//! `memo_experiments::runner`): a typed error or a panic in one
+//! experiment is reported and the run continues, so a single bad fit or
+//! missing registration no longer costs the whole evening. The binary
+//! ends with a pass/fail summary per experiment and exits nonzero if
+//! anything failed — including a scorecard claim that does not hold.
+
 use std::time::Instant;
 
-use memo_experiments::{
-    ablations, extension, fault_tolerance, figures, hits, images, mantissa, related, speedup,
-    suites, summary, table1, trivial, ExpConfig, ExperimentError,
-};
-
-type Runner = fn(ExpConfig) -> Result<String, ExperimentError>;
-
-fn experiments() -> Vec<(&'static str, Runner)> {
-    vec![
-        ("table 1", |_| Ok(table1::render())),
-        ("tables 2-4", |_| {
-            Ok(format!(
-                "{}\n{}\n{}",
-                suites::render_table2(),
-                suites::render_table3(),
-                suites::render_table4()
-            ))
-        }),
-        ("table 5", |cfg| Ok(hits::table5(cfg).render())),
-        ("table 6", |cfg| Ok(hits::table6(cfg).render())),
-        ("table 7", |cfg| Ok(hits::table7(cfg).render())),
-        ("table 8", |cfg| Ok(images::render(&images::table8(cfg)))),
-        ("table 9", |cfg| Ok(trivial::render(&trivial::table9(cfg)?))),
-        ("table 10", |cfg| Ok(mantissa::render(&mantissa::table10(cfg)))),
-        ("table 11", |cfg| {
-            Ok(speedup::render(
-                "Table 11: Speedup, fp division memoized",
-                "13c",
-                "39c",
-                &speedup::table11(cfg)?,
-            ))
-        }),
-        ("table 12", |cfg| {
-            Ok(speedup::render(
-                "Table 12: Speedup, fp multiplication memoized",
-                "3c",
-                "5c",
-                &speedup::table12(cfg)?,
-            ))
-        }),
-        ("table 13", |cfg| {
-            Ok(speedup::render(
-                "Table 13: Speedup, fp mul+div memoized",
-                "3/13c",
-                "5/39c",
-                &speedup::table13(cfg)?,
-            ))
-        }),
-        ("figure 2", |cfg| Ok(figures::figure2(cfg)?.render())),
-        ("figure 3", |cfg| {
-            Ok(figures::render_sweep(
-                "Figure 3: Hit ratio vs LUT size (4-way)",
-                "entries",
-                &figures::figure3(cfg)?,
-            ))
-        }),
-        ("figure 4", |cfg| {
-            Ok(figures::render_sweep(
-                "Figure 4: Hit ratio vs associativity (32 entries)",
-                "ways",
-                &figures::figure4(cfg)?,
-            ))
-        }),
-        ("ablations", ablations::render),
-        ("related work", related::render),
-        ("future work", extension::render),
-        ("fault tolerance", fault_tolerance::render),
-        ("scorecard", summary::render),
-    ]
-}
+use memo_experiments::{cli, runner, ExpConfig};
 
 fn main() {
+    cli::enforce(
+        "all_experiments",
+        "Runs every table and figure in sequence - the full reproduction.",
+        &[],
+    );
     let cfg = ExpConfig::from_env();
     let total_start = Instant::now();
-    let mut outcomes: Vec<(&'static str, Result<(), String>, u128)> = Vec::new();
 
-    for (name, run) in experiments() {
-        let start = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| run(cfg))) {
-            Ok(Ok(report)) => {
-                println!("{report}");
-                Ok(())
-            }
-            Ok(Err(e)) => Err(e.to_string()),
-            Err(panic) => {
-                let msg = panic
-                    .downcast_ref::<String>()
-                    .map(String::as_str)
-                    .or_else(|| panic.downcast_ref::<&str>().copied())
-                    .unwrap_or("panic with non-string payload");
-                Err(format!("panicked: {msg}"))
-            }
-        };
-        if let Err(why) = &outcome {
-            eprintln!("[all_experiments] {name} FAILED: {why}");
+    let registry = runner::experiments();
+    let outcomes = runner::run_registry(cfg, &registry, |report| println!("{report}"));
+    for o in &outcomes {
+        if let Err(why) = &o.result {
+            eprintln!("[all_experiments] {} FAILED: {why}", o.name);
         }
-        outcomes.push((name, outcome, start.elapsed().as_millis()));
     }
 
-    let failed = outcomes.iter().filter(|(_, o, _)| o.is_err()).count();
+    let failed = runner::failed(&outcomes);
     let fusion = memo_workloads::suite::fusion_counters();
     println!(
         "\nsweep fusion: {} grids fused covering {} sweep points \
@@ -118,10 +39,10 @@ fn main() {
         fusion.direct_replays
     );
     println!("\n=== experiment summary ===");
-    for (name, outcome, ms) in &outcomes {
-        match outcome {
-            Ok(()) => println!("  PASS  {name:<16} {ms:>7} ms"),
-            Err(why) => println!("  FAIL  {name:<16} {ms:>7} ms — {why}"),
+    for o in &outcomes {
+        match &o.result {
+            Ok(()) => println!("  PASS  {:<16} {:>7} ms", o.name, o.ms),
+            Err(why) => println!("  FAIL  {:<16} {:>7} ms — {why}", o.name, o.ms),
         }
     }
     println!(

@@ -1,8 +1,7 @@
-//! Runs the soft-error robustness study: the fault-rate × protection
-//! sweep, the protection cycle-cost table, the circuit-breaker
-//! demonstration, and the differential transparency checker.
-use memo_experiments::{fault_tolerance, ExpConfig, ExperimentError};
+//! Runs the soft-error robustness study: fault-rate x protection sweep, protection cycle costs, circuit breaker, transparency checker.
+use memo_experiments::{cli, fault_tolerance, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
+    cli::enforce("fault_tolerance", "Runs the soft-error robustness study: fault-rate x protection sweep, protection cycle costs, circuit breaker, transparency checker.", &[]);
     println!("{}", fault_tolerance::render(ExpConfig::from_env())?);
     Ok(())
 }

@@ -1,7 +1,12 @@
 //! Regenerates Figure 2 (hit ratio vs entropy, LM best fit).
 //! Pass --csv to dump the scatter points.
-use memo_experiments::{figures, ExpConfig, ExperimentError};
+use memo_experiments::{cli, figures, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
+    cli::enforce(
+        "fig2",
+        "Regenerates Figure 2 (hit ratio vs entropy, LM best fit).",
+        &[("--csv", "also dump the scatter points as CSV")],
+    );
     let fig = figures::figure2(ExpConfig::from_env())?;
     println!("{}", fig.render());
     if std::env::args().any(|a| a == "--csv") {

@@ -1,7 +1,7 @@
 //! Regenerates Figure 3 (hit ratio vs LUT size).
-use memo_experiments::{figures, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let curves = figures::figure3(ExpConfig::from_env())?;
-    println!("{}", figures::render_sweep("Figure 3: Hit ratio vs LUT size (4-way)", "entries", &curves));
+    cli::enforce("fig3", "Regenerates Figure 3 (hit ratio vs LUT size).", &[]);
+    println!("{}", runner::figure(3, ExpConfig::from_env())?);
     Ok(())
 }

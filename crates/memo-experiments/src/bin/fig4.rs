@@ -1,7 +1,7 @@
 //! Regenerates Figure 4 (hit ratio vs associativity, 32 entries).
-use memo_experiments::{figures, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let curves = figures::figure4(ExpConfig::from_env())?;
-    println!("{}", figures::render_sweep("Figure 4: Hit ratio vs associativity (32 entries)", "ways", &curves));
+    cli::enforce("fig4", "Regenerates Figure 4 (hit ratio vs associativity, 32 entries).", &[]);
+    println!("{}", runner::figure(4, ExpConfig::from_env())?);
     Ok(())
 }

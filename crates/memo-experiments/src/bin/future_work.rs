@@ -1,7 +1,7 @@
-//! Runs the paper's future-work studies: sqrt-unit memoization and the
-//! pipeline-hazard model.
-use memo_experiments::{extension, ExpConfig, ExperimentError};
+//! Runs the paper's future-work studies: sqrt-unit memoization and the pipeline-hazard model.
+use memo_experiments::{cli, extension, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
+    cli::enforce("future_work", "Runs the paper's future-work studies: sqrt-unit memoization and the pipeline-hazard model.", &[]);
     println!("{}", extension::render(ExpConfig::from_env())?);
     Ok(())
 }

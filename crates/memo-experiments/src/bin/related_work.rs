@@ -1,7 +1,7 @@
-//! Compares MEMO-TABLEs against the related-work division-acceleration
-//! schemes (trivial-only detection, reciprocal caches).
-use memo_experiments::{related, ExpConfig, ExperimentError};
+//! Compares MEMO-TABLEs against the related-work division-acceleration schemes.
+use memo_experiments::{cli, related, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
+    cli::enforce("related_work", "Compares MEMO-TABLEs against the related-work division-acceleration schemes.", &[]);
     println!("{}", related::render(ExpConfig::from_env())?);
     Ok(())
 }

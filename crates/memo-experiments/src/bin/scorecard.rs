@@ -1,7 +1,13 @@
 //! Prints the live reproduction scorecard: every headline claim of the
-//! paper evaluated against fresh measurements.
-use memo_experiments::{summary, ExpConfig, ExperimentError};
+//! paper evaluated against fresh measurements. Exits nonzero if a claim
+//! fails to hold.
+use memo_experiments::{cli, summary, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    println!("{}", summary::render(ExpConfig::from_env())?);
+    cli::enforce(
+        "scorecard",
+        "Prints the live reproduction scorecard; exits nonzero if any claim fails.",
+        &[],
+    );
+    println!("{}", summary::render_strict(ExpConfig::from_env())?);
     Ok(())
 }

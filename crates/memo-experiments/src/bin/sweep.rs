@@ -1,0 +1,23 @@
+//! Runs a caller-chosen hit-ratio sweep over the five sample
+//! applications (the custom-grid sibling of Figures 3 and 4, and the
+//! direct runner behind `memo-serve`'s `/v1/sweep`).
+use memo_experiments::runner::SweepQuery;
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+
+const FLAGS: [(&str, &str); 2] = [
+    ("--entries=", "comma-separated entry counts (default 32)"),
+    ("--ways=", "comma-separated associativities: direct, full, or a way count (default 4)"),
+];
+
+fn value_of(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("sweep", "Runs a custom hit-ratio sweep over the sample applications.", &FLAGS);
+    let entries = value_of("--entries=");
+    let ways = value_of("--ways=");
+    let query = SweepQuery::parse(entries.as_deref(), ways.as_deref())?;
+    println!("{}", runner::sweep(ExpConfig::from_env(), &query)?);
+    Ok(())
+}

@@ -1,4 +1,7 @@
 //! Regenerates Table 1 (processor cycle times).
-fn main() {
-    println!("{}", memo_experiments::table1::render());
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table1", "Regenerates Table 1 (processor cycle times).", &[]);
+    println!("{}", runner::table(1, ExpConfig::from_env())?);
+    Ok(())
 }

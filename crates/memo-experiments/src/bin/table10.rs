@@ -1,6 +1,7 @@
 //! Regenerates Table 10 (mantissa-only vs full-value tags).
-use memo_experiments::{mantissa, ExpConfig};
-fn main() {
-    let rows = mantissa::table10(ExpConfig::from_env());
-    println!("{}", mantissa::render(&rows));
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table10", "Regenerates Table 10 (mantissa-only vs full-value tags).", &[]);
+    println!("{}", runner::table(10, ExpConfig::from_env())?);
+    Ok(())
 }

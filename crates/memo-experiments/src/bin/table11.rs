@@ -1,7 +1,7 @@
 //! Regenerates Table 11 (fp-division memoization speedups).
-use memo_experiments::{speedup, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let rows = speedup::table11(ExpConfig::from_env())?;
-    println!("{}", speedup::render("Table 11: Speedup, fp division memoized", "13c", "39c", &rows));
+    cli::enforce("table11", "Regenerates Table 11 (fp-division memoization speedups).", &[]);
+    println!("{}", runner::table(11, ExpConfig::from_env())?);
     Ok(())
 }

@@ -1,7 +1,7 @@
 //! Regenerates Table 12 (fp-multiplication memoization speedups).
-use memo_experiments::{speedup, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let rows = speedup::table12(ExpConfig::from_env())?;
-    println!("{}", speedup::render("Table 12: Speedup, fp multiplication memoized", "3c", "5c", &rows));
+    cli::enforce("table12", "Regenerates Table 12 (fp-multiplication memoization speedups).", &[]);
+    println!("{}", runner::table(12, ExpConfig::from_env())?);
     Ok(())
 }

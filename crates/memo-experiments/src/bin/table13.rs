@@ -1,7 +1,7 @@
 //! Regenerates Table 13 (combined memoization speedups).
-use memo_experiments::{speedup, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let rows = speedup::table13(ExpConfig::from_env())?;
-    println!("{}", speedup::render("Table 13: Speedup, fp mul+div memoized", "3/13c", "5/39c", &rows));
+    cli::enforce("table13", "Regenerates Table 13 (combined memoization speedups).", &[]);
+    println!("{}", runner::table(13, ExpConfig::from_env())?);
     Ok(())
 }

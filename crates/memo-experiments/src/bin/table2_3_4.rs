@@ -1,6 +1,10 @@
 //! Regenerates Tables 2-4 (benchmark-suite inventories).
-fn main() {
-    println!("{}", memo_experiments::suites::render_table2());
-    println!("{}", memo_experiments::suites::render_table3());
-    println!("{}", memo_experiments::suites::render_table4());
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table2_3_4", "Regenerates Tables 2-4 (benchmark-suite inventories).", &[]);
+    let cfg = ExpConfig::from_env();
+    for n in 2..=4 {
+        println!("{}", runner::table(n, cfg)?);
+    }
+    Ok(())
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table 5 (Perfect-suite hit ratios).
-use memo_experiments::{hits, ExpConfig};
-fn main() {
-    println!("{}", hits::table5(ExpConfig::from_env()).render());
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table5", "Regenerates Table 5 (Perfect-suite hit ratios).", &[]);
+    println!("{}", runner::table(5, ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table 6 (SPEC CFP95 hit ratios).
-use memo_experiments::{hits, ExpConfig};
-fn main() {
-    println!("{}", hits::table6(ExpConfig::from_env()).render());
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table6", "Regenerates Table 6 (SPEC CFP95 hit ratios).", &[]);
+    println!("{}", runner::table(6, ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,5 +1,7 @@
 //! Regenerates Table 7 (multi-media hit ratios).
-use memo_experiments::{hits, ExpConfig};
-fn main() {
-    println!("{}", hits::table7(ExpConfig::from_env()).render());
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table7", "Regenerates Table 7 (multi-media hit ratios).", &[]);
+    println!("{}", runner::table(7, ExpConfig::from_env())?);
+    Ok(())
 }

@@ -1,6 +1,7 @@
 //! Regenerates Table 8 (image entropies and per-image hit ratios).
-use memo_experiments::{images, ExpConfig};
-fn main() {
-    let rows = images::table8(ExpConfig::from_env());
-    println!("{}", images::render(&rows));
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("table8", "Regenerates Table 8 (image entropies and per-image hit ratios).", &[]);
+    println!("{}", runner::table(8, ExpConfig::from_env())?);
+    Ok(())
 }

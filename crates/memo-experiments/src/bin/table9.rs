@@ -1,7 +1,7 @@
 //! Regenerates Table 9 (trivial-operation policies).
-use memo_experiments::{trivial, ExpConfig, ExperimentError};
+use memo_experiments::{cli, runner, ExpConfig, ExperimentError};
 fn main() -> Result<(), ExperimentError> {
-    let rows = trivial::table9(ExpConfig::from_env())?;
-    println!("{}", trivial::render(&rows));
+    cli::enforce("table9", "Regenerates Table 9 (trivial-operation policies).", &[]);
+    println!("{}", runner::table(9, ExpConfig::from_env())?);
     Ok(())
 }

@@ -1,0 +1,316 @@
+//! A sharded, capacity-bounded, single-flight memoization cache.
+//!
+//! This is the paper's memo-table idea lifted to the request level: a
+//! small associative store in front of an expensive unit that returns a
+//! previously computed result without re-running the computation. The
+//! process-wide experiment cache ([`crate::results`]) and the
+//! `memo-serve` response cache are both instances of this one type.
+//!
+//! Three properties the call sites need:
+//!
+//! * **sharded** — the key space is split across independently locked
+//!   shards, so unrelated computations never contend on one mutex;
+//! * **single-flight** — each key holds a [`OnceLock`] cell, so
+//!   concurrent requests for the *same* key block on one computation
+//!   instead of redundantly computing (the request-level analogue of the
+//!   table returning a hit in one cycle);
+//! * **bounded** — each shard evicts its least-recently-used *completed*
+//!   entry once over capacity. In-flight entries are never evicted, so
+//!   single-flight coalescing cannot be defeated by pressure.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Monotonic cache counters (cumulative since construction; `clear` does
+/// not reset them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from a completed entry.
+    pub hits: u64,
+    /// Lookups that created a new entry and ran the computation.
+    pub misses: u64,
+    /// Lookups that joined another request's in-flight computation.
+    pub coalesced: u64,
+    /// Completed entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries currently resident (completed or in flight).
+    pub len: usize,
+}
+
+/// A deterministic FNV-1a hasher: shard selection must not depend on the
+/// process's random `HashMap` seed, so cache behaviour is reproducible.
+#[derive(Debug, Default)]
+pub struct Fnv1a(u64);
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+struct Entry<V> {
+    cell: Arc<OnceLock<Arc<V>>>,
+    /// Recency stamp from the shard clock; smallest = coldest.
+    stamp: u64,
+}
+
+struct Shard<K, V> {
+    map: HashMap<K, Entry<V>>,
+    clock: u64,
+}
+
+/// The cache. `K` must hash deterministically (it is hashed with FNV-1a
+/// for shard selection); `V` is stored behind an [`Arc`] so readers keep
+/// their result across evictions.
+pub struct ShardedLru<K, V> {
+    shards: Box<[Mutex<Shard<K, V>>]>,
+    /// Max completed entries per shard; `usize::MAX` when unbounded.
+    per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
+    /// A cache with `shards` shards holding at most `capacity` completed
+    /// entries in total (rounded up to a multiple of the shard count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` or `capacity` is zero.
+    #[must_use]
+    pub fn new(shards: usize, capacity: usize) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        assert!(capacity > 0, "a zero-capacity cache cannot hold results");
+        let per_shard = if capacity == usize::MAX {
+            usize::MAX
+        } else {
+            capacity.div_ceil(shards)
+        };
+        let shards = (0..shards)
+            .map(|_| Mutex::new(Shard { map: HashMap::new(), clock: 0 }))
+            .collect();
+        ShardedLru {
+            shards,
+            per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// An unbounded cache (the experiment-result store: every key is
+    /// eventually re-requested, so eviction would only cost recomputes).
+    #[must_use]
+    pub fn unbounded(shards: usize) -> Self {
+        Self::new(shards, usize::MAX)
+    }
+
+    fn shard_of(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let h = BuildHasherDefault::<Fnv1a>::default().hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
+    }
+
+    /// Return the value for `key`, computing it on first request.
+    ///
+    /// The shard lock is held only to fetch or create the per-key cell;
+    /// `compute` runs under the cell's [`OnceLock`], so distinct keys
+    /// compute concurrently while concurrent requests for one key block
+    /// on a single computation.
+    pub fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
+        let (cell, fresh) = {
+            let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+            shard.clock += 1;
+            let stamp = shard.clock;
+            match shard.map.get_mut(key) {
+                Some(entry) => {
+                    entry.stamp = stamp;
+                    let complete = entry.cell.get().is_some();
+                    let counter = if complete { &self.hits } else { &self.coalesced };
+                    counter.fetch_add(1, Ordering::Relaxed);
+                    (Arc::clone(&entry.cell), false)
+                }
+                None => {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    let cell = Arc::new(OnceLock::new());
+                    shard.map.insert(key.clone(), Entry { cell: Arc::clone(&cell), stamp });
+                    (cell, true)
+                }
+            }
+        };
+
+        let value = Arc::clone(cell.get_or_init(|| Arc::new(compute())));
+
+        if fresh && self.per_shard != usize::MAX {
+            self.evict_over_capacity(key);
+        }
+        value
+    }
+
+    /// Return the value for `key` only if it is already resident and
+    /// complete (no computation, counted as a hit), else `None`.
+    #[must_use]
+    pub fn peek(&self, key: &K) -> Option<Arc<V>> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        let entry = shard.map.get_mut(key)?;
+        entry.stamp = stamp;
+        let value = entry.cell.get().map(Arc::clone)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(value)
+    }
+
+    /// Drop the coldest completed entries of `key`'s shard until it is
+    /// back under capacity. In-flight entries never leave; if the shard
+    /// is over capacity purely with in-flight work it temporarily
+    /// overflows (bounded by the caller's concurrency).
+    fn evict_over_capacity(&self, key: &K) {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        while shard.map.len() > self.per_shard {
+            let coldest = shard
+                .map
+                .iter()
+                .filter(|(_, e)| e.cell.get().is_some())
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone());
+            let Some(coldest) = coldest else { break };
+            shard.map.remove(&coldest);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Forget every entry (counters keep accumulating).
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("cache shard poisoned").map.clear();
+        }
+    }
+
+    /// Resident entry count across shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").map.len())
+            .sum()
+    }
+
+    /// `true` when no entries are resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            coalesced: self.coalesced.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+}
+
+impl<K, V> std::fmt::Debug for ShardedLru<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedLru")
+            .field("shards", &self.shards.len())
+            .field("per_shard", &self.per_shard)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn computes_once_per_key() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(4);
+        let runs = AtomicUsize::new(0);
+        for _ in 0..3 {
+            let v = cache.get_or_compute(&7, || {
+                runs.fetch_add(1, Ordering::Relaxed);
+                49
+            });
+            assert_eq!(*v, 49);
+        }
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    #[test]
+    fn concurrent_requests_single_flight() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(4);
+        let runs = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let v = cache.get_or_compute(&1, || {
+                        runs.fetch_add(1, Ordering::Relaxed);
+                        // Widen the race window so other threads arrive
+                        // while this computation is in flight.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        11
+                    });
+                    assert_eq!(*v, 11);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "exactly one thread computes");
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits + stats.coalesced, 7);
+    }
+
+    #[test]
+    fn capacity_evicts_least_recently_used() {
+        // One shard so the capacity bound is exact.
+        let cache: ShardedLru<u32, u32> = ShardedLru::new(1, 2);
+        cache.get_or_compute(&1, || 1);
+        cache.get_or_compute(&2, || 2);
+        cache.get_or_compute(&1, || unreachable!("still resident")); // touch 1: now 2 is coldest
+        cache.get_or_compute(&3, || 3); // evicts 2
+        assert_eq!(cache.len(), 2);
+        assert!(cache.peek(&2).is_none(), "LRU key evicted");
+        assert_eq!(*cache.get_or_compute(&1, || unreachable!("recently used survives")), 1);
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn clear_forgets_but_counters_accumulate() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(2);
+        cache.get_or_compute(&1, || 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        cache.get_or_compute(&1, || 2);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn values_survive_eviction_for_holders() {
+        let cache: ShardedLru<u32, Vec<u8>> = ShardedLru::new(1, 1);
+        let held = cache.get_or_compute(&1, || vec![9; 3]);
+        cache.get_or_compute(&2, || vec![8; 3]); // evicts 1
+        assert_eq!(*held, vec![9; 3], "Arc keeps the evicted value alive");
+    }
+}

@@ -1,0 +1,127 @@
+//! Shared command-line handling for the experiment binaries.
+//!
+//! The twenty-odd table/figure binaries take no positional arguments and
+//! at most a couple of flags; before this module an unknown flag was
+//! silently ignored, so `table5 --sacle=2` happily ran at default scale.
+//! Every binary now calls [`enforce`] first: `--help`/`-h` prints usage
+//! and exits 0, anything unrecognized prints usage to stderr and exits 2
+//! (the conventional usage-error code).
+
+/// What to do with a parsed argument list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Decision {
+    /// All arguments recognized — run the binary.
+    Run,
+    /// `--help`/`-h` requested.
+    Help,
+    /// An argument was not recognized.
+    Reject(String),
+}
+
+/// Classify `args` (without the program name) against `flags`, the
+/// binary's accepted flags. A flag spec ending in `=` accepts an inline
+/// value (`--entries=8,16`); any other spec must match exactly.
+pub fn validate<I: IntoIterator<Item = String>>(flags: &[(&str, &str)], args: I) -> Decision {
+    for arg in args {
+        if arg == "--help" || arg == "-h" {
+            return Decision::Help;
+        }
+        let known = flags.iter().any(|(spec, _)| {
+            if let Some(prefix) = spec.strip_suffix('=') {
+                arg.strip_prefix(prefix).is_some_and(|rest| rest.starts_with('='))
+            } else {
+                arg == *spec
+            }
+        });
+        if !known {
+            return Decision::Reject(arg);
+        }
+    }
+    Decision::Run
+}
+
+/// Render the usage text for `bin`.
+#[must_use]
+pub fn usage(bin: &str, about: &str, flags: &[(&str, &str)]) -> String {
+    let mut out = format!("{about}\n\nUsage: {bin} [OPTIONS]\n\nOptions:\n");
+    for (spec, help) in flags.iter().chain(&[("--help, -h", "print this help and exit")]) {
+        let spec = spec.strip_suffix('=').map_or_else(|| spec.to_string(), |p| format!("{p}=<v>"));
+        out.push_str(&format!("  {spec:<18} {help}\n"));
+    }
+    out.push_str(
+        "\nEnvironment:\n  MEMO_SCALE=<n>     image downscale divisor (default 4)\n  \
+         MEMO_SCI_N=<n>     scientific-kernel problem size (default 32)\n  \
+         MEMO_JOBS=<n>      sweep-executor worker count (default: all cores)\n",
+    );
+    out
+}
+
+/// Validate the process arguments, exiting on `--help` (code 0) or on an
+/// unknown flag (usage to stderr, code 2). Call first thing in `main`.
+pub fn enforce(bin: &str, about: &str, flags: &[(&str, &str)]) {
+    match validate(flags, std::env::args().skip(1)) {
+        Decision::Run => {}
+        Decision::Help => {
+            println!("{}", usage(bin, about, flags));
+            std::process::exit(0);
+        }
+        Decision::Reject(arg) => {
+            eprintln!("{bin}: unrecognized argument {arg:?}\n\n{}", usage(bin, about, flags));
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn empty_args_run() {
+        assert_eq!(validate(&[], strings(&[])), Decision::Run);
+    }
+
+    #[test]
+    fn help_beats_unknown() {
+        assert_eq!(validate(&[], strings(&["--help"])), Decision::Help);
+        assert_eq!(validate(&[], strings(&["-h", "--bogus"])), Decision::Help);
+    }
+
+    #[test]
+    fn unknown_flag_rejected_with_its_spelling() {
+        assert_eq!(
+            validate(&[("--csv", "")], strings(&["--sacle=2"])),
+            Decision::Reject("--sacle=2".to_string())
+        );
+    }
+
+    #[test]
+    fn exact_and_value_flags() {
+        let flags = [("--csv", ""), ("--entries=", "")];
+        assert_eq!(validate(&flags, strings(&["--csv"])), Decision::Run);
+        assert_eq!(validate(&flags, strings(&["--entries=8,16"])), Decision::Run);
+        // A value flag still needs its `=`.
+        assert_eq!(
+            validate(&flags, strings(&["--entries"])),
+            Decision::Reject("--entries".to_string())
+        );
+        // An exact flag does not take a value.
+        assert_eq!(
+            validate(&flags, strings(&["--csv=yes"])),
+            Decision::Reject("--csv=yes".to_string())
+        );
+    }
+
+    #[test]
+    fn usage_lists_flags_and_env() {
+        let text = usage("table5", "Regenerates Table 5.", &[("--entries=", "sweep sizes")]);
+        assert!(text.contains("Usage: table5"));
+        assert!(text.contains("--entries=<v>"));
+        assert!(text.contains("MEMO_SCALE"));
+        assert!(text.contains("--help"));
+    }
+}

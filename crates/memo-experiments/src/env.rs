@@ -1,0 +1,47 @@
+//! Shared environment-variable parsing.
+//!
+//! Every knob the harness reads from the environment (`MEMO_SCALE`,
+//! `MEMO_SCI_N`, `MEMO_JOBS`, and the serving knobs built on top) parses
+//! the same way: trimmed, base-10, silently ignored when absent or
+//! malformed. This module is the one implementation; the sweep executor
+//! ([`crate::parallel`]), [`crate::ExpConfig::from_env`], and the
+//! `memo-serve` worker pool all call it.
+
+/// Parse `name` as a `usize`, returning `None` when the variable is
+/// unset, empty, or not a base-10 integer.
+#[must_use]
+pub fn usize_var(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// The worker count shared by the sweep executor and the `memo-serve`
+/// worker pool: `MEMO_JOBS` if set and valid (clamped to at least 1),
+/// else the machine's available parallelism, else 1.
+#[must_use]
+pub fn jobs() -> usize {
+    usize_var("MEMO_JOBS").map_or_else(
+        || std::thread::available_parallelism().map_or(1, |n| n.get()),
+        |n| n.max(1),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absent_variable_is_none_and_jobs_stays_positive() {
+        // The test harness does not define this variable.
+        assert_eq!(usize_var("MEMO_NO_SUCH_VARIABLE"), None);
+        assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn parses_trimmed_base10() {
+        std::env::set_var("MEMO_ENV_TEST_USIZE", " 42 ");
+        assert_eq!(usize_var("MEMO_ENV_TEST_USIZE"), Some(42));
+        std::env::set_var("MEMO_ENV_TEST_USIZE", "not-a-number");
+        assert_eq!(usize_var("MEMO_ENV_TEST_USIZE"), None);
+        std::env::remove_var("MEMO_ENV_TEST_USIZE");
+    }
+}

@@ -30,6 +30,23 @@ pub enum ExperimentError {
         /// What diverged, human-readable.
         detail: String,
     },
+    /// A paper artifact number outside the reproduced set (tables 1–13,
+    /// figures 2–4).
+    UnknownArtifact {
+        /// `"table"` or `"figure"`.
+        kind: &'static str,
+        /// The rejected number.
+        n: usize,
+    },
+    /// A custom sweep request named an invalid grid (bad axis values,
+    /// unbuildable geometry, or two axes at once).
+    InvalidSweep(String),
+    /// The scorecard ran but one or more claims do not hold — partial
+    /// failure that must not exit 0.
+    Scorecard {
+        /// `source — statement` of every failing claim.
+        failing: Vec<String>,
+    },
 }
 
 impl fmt::Display for ExperimentError {
@@ -41,6 +58,13 @@ impl fmt::Display for ExperimentError {
             ExperimentError::Fit(e) => write!(f, "regression fit failed: {e}"),
             ExperimentError::Transparency { app, detail } => {
                 write!(f, "transparency violated in {app}: {detail}")
+            }
+            ExperimentError::UnknownArtifact { kind, n } => {
+                write!(f, "no {kind} {n} in the reproduction (tables 1-13, figures 2-4)")
+            }
+            ExperimentError::InvalidSweep(why) => write!(f, "invalid sweep request: {why}"),
+            ExperimentError::Scorecard { failing } => {
+                write!(f, "{} scorecard claim(s) FAIL: {}", failing.len(), failing.join("; "))
             }
         }
     }

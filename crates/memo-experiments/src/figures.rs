@@ -179,11 +179,28 @@ pub struct SweepCurve {
 
 /// The cached per-image traces of the five sample apps, one `Vec` per app
 /// in [`SAMPLE_APPS`] order.
-pub(crate) fn sample_traces(cfg: ExpConfig) -> Result<Vec<Arc<Vec<OpTrace>>>, ExperimentError> {
+///
+/// # Errors
+///
+/// Fails if a [`SAMPLE_APPS`] name is missing from the registry.
+pub fn sample_traces(cfg: ExpConfig) -> Result<Vec<Arc<Vec<OpTrace>>>, ExperimentError> {
     SAMPLE_APPS
         .iter()
         .map(|name| Ok(traces::mm_traces(cfg, &crate::error::find_mm(name)?)))
         .collect()
+}
+
+/// Measure one operation kind's hit-ratio curve over an arbitrary
+/// configuration grid (Figures 3/4 are instances; `runner::sweep` serves
+/// caller-chosen grids through the same fused path). Each `(x, config)`
+/// pair becomes one [`SweepPoint`] at coordinate `x`.
+#[must_use]
+pub fn sweep_curve(
+    traces: &[Arc<Vec<OpTrace>>],
+    kind: OpKind,
+    configs: &[(usize, MemoConfig)],
+) -> SweepCurve {
+    sweep(traces, kind, configs)
 }
 
 fn sweep(traces: &[Arc<Vec<OpTrace>>], kind: OpKind, configs: &[(usize, MemoConfig)]) -> SweepCurve {

@@ -22,6 +22,9 @@
 #![warn(rust_2018_idioms)]
 
 pub mod ablations;
+pub mod cache;
+pub mod cli;
+pub mod env;
 pub mod error;
 pub mod extension;
 pub mod fault_tolerance;
@@ -33,6 +36,7 @@ pub mod mantissa;
 pub mod parallel;
 pub mod related;
 pub mod results;
+pub mod runner;
 pub mod speedup;
 pub mod suites;
 pub mod summary;
@@ -69,15 +73,11 @@ impl ExpConfig {
     #[must_use]
     pub fn from_env() -> Self {
         let mut cfg = ExpConfig::default();
-        if let Ok(s) = std::env::var("MEMO_SCALE") {
-            if let Ok(v) = s.parse::<usize>() {
-                cfg.image_scale = v.max(1);
-            }
+        if let Some(v) = env::usize_var("MEMO_SCALE") {
+            cfg.image_scale = v.max(1);
         }
-        if let Ok(s) = std::env::var("MEMO_SCI_N") {
-            if let Ok(v) = s.parse::<usize>() {
-                cfg.sci_n = v.max(8);
-            }
+        if let Some(v) = env::usize_var("MEMO_SCI_N") {
+            cfg.sci_n = v.max(8);
         }
         cfg
     }

@@ -15,15 +15,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The worker count: `MEMO_JOBS` if set and valid, else the machine's
-/// available parallelism, else 1.
+/// available parallelism, else 1 (shared with the `memo-serve` worker
+/// pool via [`crate::env::jobs`]).
 #[must_use]
 pub fn jobs() -> usize {
-    if let Ok(s) = std::env::var("MEMO_JOBS") {
-        if let Ok(n) = s.trim().parse::<usize>() {
-            return n.max(1);
-        }
-    }
-    std::thread::available_parallelism().map_or(1, |n| n.get())
+    crate::env::jobs()
 }
 
 /// Apply `f` to every item on the [`jobs`] worker pool, returning results

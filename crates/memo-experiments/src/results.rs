@@ -16,33 +16,32 @@
 //! error would simply be recomputed into the same error.
 
 use std::any::Any;
-use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::OnceLock;
 
+use crate::cache::{CacheStats, ShardedLru};
 use crate::ExpConfig;
 
 type Key = (&'static str, usize, usize);
-type Cell = Arc<OnceLock<Box<dyn Any + Send + Sync>>>;
+type Stored = Box<dyn Any + Send + Sync>;
 
-fn cache() -> &'static Mutex<HashMap<Key, Cell>> {
-    static CACHE: OnceLock<Mutex<HashMap<Key, Cell>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static ShardedLru<Key, Stored> {
+    static CACHE: OnceLock<ShardedLru<Key, Stored>> = OnceLock::new();
+    // Unbounded: every key is a paper artifact that will be re-requested,
+    // so eviction would only trade memory for recomputation.
+    CACHE.get_or_init(|| ShardedLru::unbounded(8))
 }
 
 /// Return the cached result of `name` at `cfg`, computing it on first
-/// request. The outer map lock is held only to fetch the per-key cell;
-/// `compute` runs under the per-key [`OnceLock`], so different experiments
-/// can compute concurrently while the same experiment computes once.
+/// request. Sharding, recency, and single-flight deduplication come from
+/// [`ShardedLru`]: different experiments compute concurrently while
+/// concurrent requests for the same experiment compute once.
 pub(crate) fn cached<T: Clone + Send + Sync + 'static>(
     name: &'static str,
     cfg: ExpConfig,
     compute: impl FnOnce() -> T,
 ) -> T {
-    let cell = {
-        let mut map = cache().lock().expect("result cache poisoned");
-        Arc::clone(map.entry((name, cfg.image_scale, cfg.sci_n)).or_default())
-    };
-    cell.get_or_init(|| Box::new(compute()))
+    cache()
+        .get_or_compute(&(name, cfg.image_scale, cfg.sci_n), || Box::new(compute()) as Stored)
         .downcast_ref::<T>()
         .expect("result cache key reused with a different type")
         .clone()
@@ -52,7 +51,14 @@ pub(crate) fn cached<T: Clone + Send + Sync + 'static>(
 /// For measurements that must recompute — the equivalence tests clear the
 /// cache between serial and parallel renders so both really run.
 pub fn clear() {
-    cache().lock().expect("result cache poisoned").clear();
+    cache().clear();
+}
+
+/// Snapshot the experiment-cache counters (exposed by `memo-serve`'s
+/// `/metrics` alongside its own response-cache counters).
+#[must_use]
+pub fn stats() -> CacheStats {
+    cache().stats()
 }
 
 #[cfg(test)]

@@ -183,10 +183,41 @@ pub fn scorecard(cfg: ExpConfig) -> Result<Vec<Claim>, ExperimentError> {
 ///
 /// Fails if any underlying experiment fails (unregistered app, bad fit).
 pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
-    let mut t = TextTable::new(&["source", "claim", "measured", "verdict"]);
     let claims = scorecard(cfg)?;
+    Ok(render_claims(&claims))
+}
+
+/// [`render`], but failing claims are an error: prints nothing less, yet
+/// lets `all_experiments` (and CI behind it) exit nonzero on a partial
+/// failure instead of reporting PASS around a `FAILS` verdict.
+///
+/// # Errors
+///
+/// Fails if an underlying experiment fails, or — as
+/// [`ExperimentError::Scorecard`] — if any evaluated claim does not hold.
+pub fn render_strict(cfg: ExpConfig) -> Result<String, ExperimentError> {
+    let claims = scorecard(cfg)?;
+    let failing: Vec<String> = claims
+        .iter()
+        .filter(|c| !c.holds)
+        .map(|c| format!("{} — {}", c.source, c.statement))
+        .collect();
+    if failing.is_empty() {
+        Ok(render_claims(&claims))
+    } else {
+        // The table itself still reaches the user: print it before
+        // surfacing the error, since the error names only the claims.
+        println!("{}", render_claims(&claims));
+        Err(ExperimentError::Scorecard { failing })
+    }
+}
+
+/// Render an already-evaluated claim list in the scorecard layout.
+#[must_use]
+pub fn render_claims(claims: &[Claim]) -> String {
+    let mut t = TextTable::new(&["source", "claim", "measured", "verdict"]);
     let all_hold = claims.iter().all(|c| c.holds);
-    for c in &claims {
+    for c in claims {
         t.row(vec![
             c.source.to_string(),
             c.statement.to_string(),
@@ -194,12 +225,12 @@ pub fn render(cfg: ExpConfig) -> Result<String, ExperimentError> {
             if c.holds { "HOLDS".to_string() } else { "FAILS".to_string() },
         ]);
     }
-    Ok(format!(
+    format!(
         "Reproduction scorecard ({} claims, {} hold)\n{}",
         claims.len(),
         if all_hold { "all".to_string() } else { "NOT all".to_string() },
         t.render()
-    ))
+    )
 }
 
 #[cfg(test)]
@@ -220,5 +251,18 @@ mod tests {
         let s = render(ExpConfig::quick()).unwrap();
         assert!(s.contains("HOLDS"));
         assert!(!s.contains("FAILS"));
+    }
+
+    #[test]
+    fn render_claims_flags_failures() {
+        let claims = vec![Claim {
+            source: "Table 0",
+            statement: "water flows uphill",
+            evidence: "it does not".to_string(),
+            holds: false,
+        }];
+        let s = render_claims(&claims);
+        assert!(s.contains("FAILS"));
+        assert!(s.contains("NOT all"));
     }
 }

@@ -1,0 +1,86 @@
+//! `memo-load`: deterministic load generator for a running memo-serve.
+//!
+//! Exits nonzero when any request failed (transport error or a 5xx other
+//! than the server's deliberate 503 shedding), so CI can use it as a
+//! smoke gate. Writes `BENCH_serve.json` with throughput and cold vs
+//! cached latency quantiles.
+
+use std::time::Duration;
+
+use memo_experiments::cli;
+use memo_serve::load::{self, LoadConfig, Mode};
+
+const FLAGS: [(&str, &str); 7] = [
+    ("--addr=", "server address (default 127.0.0.1:7070)"),
+    ("--connections=", "concurrent connections (default 32)"),
+    ("--duration-s=", "run length in seconds (default 15)"),
+    ("--mode=", "closed (default) or open"),
+    ("--rate=", "per-connection requests/sec in open mode (default 50)"),
+    ("--seed=", "request-mix seed (default 1998)"),
+    ("--out=", "report path (default BENCH_serve.json)"),
+];
+
+fn value_of(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn main() {
+    cli::enforce(
+        "memo-load",
+        "Generates deterministic load against a running memo-serve and reports latency.",
+        &FLAGS,
+    );
+    let mut config = LoadConfig::default();
+    if let Some(addr) = value_of("--addr=") {
+        config.addr = addr;
+    }
+    if let Some(v) = value_of("--connections=").and_then(|v| v.parse::<usize>().ok()) {
+        config.connections = v.max(1);
+    }
+    if let Some(v) = value_of("--duration-s=").and_then(|v| v.parse::<u64>().ok()) {
+        config.duration = Duration::from_secs(v.max(1));
+    }
+    if let Some(v) = value_of("--seed=").and_then(|v| v.parse::<u64>().ok()) {
+        config.seed = v;
+    }
+    let rate = value_of("--rate=").and_then(|v| v.parse::<u32>().ok()).unwrap_or(50);
+    match value_of("--mode=").as_deref() {
+        None | Some("closed") => config.mode = Mode::Closed,
+        Some("open") => config.mode = Mode::Open { rate },
+        Some(other) => {
+            eprintln!("memo-load: --mode must be 'closed' or 'open', got {other:?}");
+            std::process::exit(2);
+        }
+    }
+    let out_path = value_of("--out=").unwrap_or_else(|| "BENCH_serve.json".to_string());
+
+    println!(
+        "memo-load: {} connections against {} for {:?} ({} mode, seed {})",
+        config.connections,
+        config.addr,
+        config.duration,
+        match config.mode {
+            Mode::Closed => "closed".to_string(),
+            Mode::Open { rate } => format!("open@{rate}rps"),
+        },
+        config.seed
+    );
+    let report = load::run(&config);
+    println!("{}", report.summary());
+
+    let json = report.to_json(&config);
+    if let Err(err) = std::fs::write(&out_path, &json) {
+        eprintln!("memo-load: could not write {out_path}: {err}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+
+    if report.requests == 0 {
+        eprintln!("memo-load: no request completed — is the server up at {}?", config.addr);
+        std::process::exit(1);
+    }
+    if report.errors > 0 {
+        eprintln!("memo-load: {} request(s) failed", report.errors);
+        std::process::exit(1);
+    }
+}

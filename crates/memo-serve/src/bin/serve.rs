@@ -1,0 +1,70 @@
+//! `memo-serve`: serve the reproduction's tables, figures, and sweeps
+//! over HTTP, with a bounded queue, a worker pool, and a result cache.
+
+use std::time::Duration;
+
+use memo_experiments::cli;
+use memo_serve::server::{self, ServerConfig};
+
+const FLAGS: [(&str, &str); 6] = [
+    ("--addr=", "bind address (default 127.0.0.1:7070; port 0 = ephemeral)"),
+    ("--workers=", "worker threads (default: MEMO_JOBS or all cores)"),
+    ("--queue-cap=", "queued connections before shedding 503 (default 128)"),
+    ("--cache-cap=", "rendered results kept in cache (default 256)"),
+    ("--read-timeout-ms=", "per-connection read timeout (default 10000)"),
+    ("--write-timeout-ms=", "per-connection write timeout (default 10000)"),
+];
+
+fn value_of(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn usize_flag(prefix: &str) -> Option<usize> {
+    value_of(prefix).and_then(|v| v.parse().ok())
+}
+
+fn main() {
+    cli::enforce(
+        "memo-serve",
+        "Serves tables, figures, and custom sweeps over HTTP with a memoizing result cache.",
+        &FLAGS,
+    );
+    let mut config = ServerConfig::default();
+    if let Some(addr) = value_of("--addr=") {
+        config.addr = addr;
+    }
+    if let Some(v) = usize_flag("--workers=") {
+        config.workers = v.max(1);
+    }
+    if let Some(v) = usize_flag("--queue-cap=") {
+        config.queue_capacity = v.max(1);
+    }
+    if let Some(v) = usize_flag("--cache-cap=") {
+        config.cache_capacity = v.max(8);
+    }
+    if let Some(ms) = usize_flag("--read-timeout-ms=") {
+        config.read_timeout = Duration::from_millis(ms.max(1) as u64);
+    }
+    if let Some(ms) = usize_flag("--write-timeout-ms=") {
+        config.write_timeout = Duration::from_millis(ms.max(1) as u64);
+    }
+
+    match server::start(&config) {
+        Ok(handle) => {
+            println!(
+                "memo-serve listening on http://{} ({} workers, queue {}, cache {})",
+                handle.addr(),
+                config.workers.max(1),
+                config.queue_capacity,
+                config.cache_capacity
+            );
+            println!("endpoints: /healthz /metrics /v1/table/{{1..13}} /v1/figure/{{2..4}} /v1/sweep /quitquitquit");
+            handle.wait();
+            println!("memo-serve drained; bye");
+        }
+        Err(err) => {
+            eprintln!("memo-serve: failed to bind {}: {err}", config.addr);
+            std::process::exit(1);
+        }
+    }
+}

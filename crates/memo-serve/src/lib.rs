@@ -1,0 +1,34 @@
+//! Memoization-as-a-service: an HTTP front end over the reproduction.
+//!
+//! The paper puts a memo table in front of a multiply/divide unit so
+//! repeated operands skip the computation. This crate does the same one
+//! level up: a dependency-free HTTP/1.1 service (std `TcpListener` only)
+//! puts a sharded, single-flight result cache in front of the experiment
+//! suite, so repeated requests for a table, figure, or sweep skip the
+//! replay entirely. The moving parts mirror the hardware shape:
+//!
+//! - [`queue`]: a bounded reservation queue with explicit shedding
+//!   (503 + `Retry-After`) instead of unbounded buffering;
+//! - [`pool`]: a fixed set of workers — the functional units;
+//! - [`routes`]: the lookup table — canonical `(experiment, config)`
+//!   keys into a sharded LRU with single-flight dedup;
+//! - [`http`]: a strict, bounded HTTP/1.1 parser/serializer;
+//! - [`metrics`] + [`hist`]: counters and lock-free latency histograms
+//!   behind `/metrics`;
+//! - [`server`]: accept loop, timeouts, graceful drain;
+//! - [`load`]: a deterministic load generator (`memo-load`) writing
+//!   `BENCH_serve.json`.
+//!
+//! Endpoints: `GET /healthz`, `GET /metrics`, `GET /v1/table/{1..13}`,
+//! `GET /v1/figure/{2..4}`, `GET /v1/sweep?entries=..&ways=..`, and
+//! `GET /quitquitquit` (graceful drain). Artifact bodies are the CLI
+//! binaries' stdout bytes — same renderer, plus the trailing newline.
+
+pub mod hist;
+pub mod http;
+pub mod load;
+pub mod metrics;
+pub mod pool;
+pub mod queue;
+pub mod routes;
+pub mod server;

@@ -1,0 +1,497 @@
+//! A deterministic load generator for the memo-serve endpoint space.
+//!
+//! N connection threads replay a weighted request mix drawn from a
+//! [`SplitMix64`] stream (seeded, split per connection — two runs with
+//! the same seed issue the same requests), in closed-loop (next request
+//! after the previous response) or open-loop (fixed per-connection
+//! request rate) mode. Latencies land in cold/cached histograms keyed
+//! off the server's `x-memo-cache` header, and the summary is written as
+//! `BENCH_serve.json` next to the bench artifacts the repo already
+//! produces.
+
+use std::fmt::Write as _;
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use memo_table::rng::SplitMix64;
+
+use crate::hist::Histogram;
+
+/// Open vs closed loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Issue the next request as soon as the previous response lands.
+    Closed,
+    /// Issue requests at a fixed per-connection rate (per second),
+    /// sleeping between sends; measures latency under a set demand.
+    Open {
+        /// Requests per second per connection.
+        rate: u32,
+    },
+}
+
+/// Load-run parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, e.g. `127.0.0.1:7070`.
+    pub addr: String,
+    /// Concurrent connections (threads).
+    pub connections: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// Open or closed loop.
+    pub mode: Mode,
+    /// PRNG seed; same seed → same request sequence.
+    pub seed: u64,
+}
+
+impl Default for LoadConfig {
+    fn default() -> Self {
+        LoadConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            connections: 32,
+            duration: Duration::from_secs(15),
+            mode: Mode::Closed,
+            seed: 1998, // the paper's year
+        }
+    }
+}
+
+/// The weighted request mix. Tables dominate (they are the paper's
+/// artifacts), a hot table gives the cache an easy win, sweeps exercise
+/// the fused replay path, and healthz/metrics model probes.
+fn pick_target(rng: &mut SplitMix64) -> String {
+    let roll = rng.next_below(100);
+    match roll {
+        // 35%: a uniformly random table.
+        0..=34 => format!("/v1/table/{}", 1 + rng.next_below(13)),
+        // 10%: the hot table — repeated key, guaranteed cache traffic.
+        35..=44 => "/v1/table/1".to_string(),
+        // 15%: a figure.
+        45..=59 => format!("/v1/figure/{}", 2 + rng.next_below(3)),
+        // 20%: one of a few canned sweeps.
+        60..=79 => match rng.next_below(3) {
+            0 => "/v1/sweep?entries=8,16,32".to_string(),
+            1 => "/v1/sweep?ways=1,2,4".to_string(),
+            _ => "/v1/sweep".to_string(),
+        },
+        // 10%: health probe.
+        80..=89 => "/healthz".to_string(),
+        // 10%: metrics scrape.
+        _ => "/metrics".to_string(),
+    }
+}
+
+/// One parsed (enough) HTTP response.
+struct MiniResponse {
+    status: u16,
+    cache_hit: Option<bool>,
+}
+
+/// Read exactly one response off `stream`: status line, headers,
+/// `content-length` body. Returns `Err` on protocol surprises.
+fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<MiniResponse> {
+    scratch.clear();
+    let mut chunk = [0u8; 4096];
+    // Read until the full header block is present.
+    let header_end = loop {
+        if let Some(pos) = scratch.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
+        }
+        scratch.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&scratch[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut content_length = 0usize;
+    let mut cache_hit = None;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match name.to_ascii_lowercase().as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+            }
+            "x-memo-cache" => cache_hit = Some(value == "hit"),
+            _ => {}
+        }
+    }
+    // Drain the body.
+    let mut remaining = (header_end + 4 + content_length).saturating_sub(scratch.len());
+    while remaining > 0 {
+        let take = remaining.min(chunk.len());
+        let n = stream.read(&mut chunk[..take])?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
+        }
+        remaining -= n;
+    }
+    Ok(MiniResponse { status, cache_hit })
+}
+
+/// Shared tallies across connection threads.
+#[derive(Default)]
+struct Tally {
+    requests: AtomicU64,
+    /// Transport/protocol failures plus 5xx other than backpressure.
+    errors: AtomicU64,
+    status_2xx: AtomicU64,
+    status_4xx: AtomicU64,
+    backpressure_503: AtomicU64,
+    other_5xx: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+/// The final report, serialized into `BENCH_serve.json`.
+#[derive(Debug)]
+pub struct LoadReport {
+    /// Requests completed (a response was read).
+    pub requests: u64,
+    /// Transport/protocol failures plus non-backpressure 5xx.
+    pub errors: u64,
+    /// 2xx responses.
+    pub status_2xx: u64,
+    /// 4xx responses.
+    pub status_4xx: u64,
+    /// 503s (shed load — expected under pressure, not an error).
+    pub backpressure_503: u64,
+    /// Other 5xx responses (these count as errors).
+    pub other_5xx: u64,
+    /// Responses tagged `x-memo-cache: hit`.
+    pub cache_hits: u64,
+    /// Responses tagged `x-memo-cache: miss`.
+    pub cache_misses: u64,
+    /// Connection re-establishments after transport errors.
+    pub reconnects: u64,
+    /// Wall-clock seconds the run took.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Latency of cache-miss (cold) artifact requests, microseconds.
+    pub cold: LatencySummary,
+    /// Latency of cache-hit artifact requests, microseconds.
+    pub cached: LatencySummary,
+    /// Latency of everything else (healthz/metrics/errors).
+    pub uncached: LatencySummary,
+}
+
+/// Quantiles pulled from one histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct LatencySummary {
+    /// Samples.
+    pub count: u64,
+    /// Median, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile, microseconds.
+    pub p90_us: u64,
+    /// 99th percentile, microseconds.
+    pub p99_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    /// Mean, microseconds.
+    pub mean_us: f64,
+}
+
+impl LatencySummary {
+    fn from(h: &Histogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            p50_us: h.quantile(0.50),
+            p90_us: h.quantile(0.90),
+            p99_us: h.quantile(0.99),
+            max_us: h.max(),
+            mean_us: h.mean(),
+        }
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"count\": {}, \"p50_us\": {}, \"p90_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"mean_us\": {:.1}}}",
+            self.count, self.p50_us, self.p90_us, self.p99_us, self.max_us, self.mean_us
+        )
+    }
+}
+
+impl LoadReport {
+    /// Render as JSON in the style of the repo's other BENCH artifacts.
+    #[must_use]
+    pub fn to_json(&self, config: &LoadConfig) -> String {
+        let mode = match config.mode {
+            Mode::Closed => "\"closed\"".to_string(),
+            Mode::Open { rate } => format!("{{\"open_rate_per_conn\": {rate}}}"),
+        };
+        let mut out = String::new();
+        let _ = writeln!(out, "{{");
+        let _ = writeln!(out, "  \"bench\": \"memo_serve_load\",");
+        let _ = writeln!(out, "  \"addr\": \"{}\",", config.addr);
+        let _ = writeln!(out, "  \"connections\": {},", config.connections);
+        let _ = writeln!(out, "  \"duration_s\": {:.1},", config.duration.as_secs_f64());
+        let _ = writeln!(out, "  \"mode\": {mode},");
+        let _ = writeln!(out, "  \"seed\": {},", config.seed);
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"errors\": {},", self.errors);
+        let _ = writeln!(out, "  \"status_2xx\": {},", self.status_2xx);
+        let _ = writeln!(out, "  \"status_4xx\": {},", self.status_4xx);
+        let _ = writeln!(out, "  \"backpressure_503\": {},", self.backpressure_503);
+        let _ = writeln!(out, "  \"other_5xx\": {},", self.other_5xx);
+        let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
+        let _ = writeln!(out, "  \"reconnects\": {},", self.reconnects);
+        let _ = writeln!(out, "  \"elapsed_secs\": {:.2},", self.elapsed_secs);
+        let _ = writeln!(out, "  \"throughput_rps\": {:.1},", self.throughput_rps);
+        let _ = writeln!(out, "  \"latency_us\": {{");
+        let _ = writeln!(out, "    \"cold\": {},", self.cold.to_json());
+        let _ = writeln!(out, "    \"cached\": {},", self.cached.to_json());
+        let _ = writeln!(out, "    \"uncached\": {}", self.uncached.to_json());
+        let _ = writeln!(out, "  }}");
+        let _ = writeln!(out, "}}");
+        out
+    }
+
+    /// One-paragraph human summary for stdout.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} requests in {:.1}s ({:.0} rps), {} errors; \
+             2xx={} 4xx={} shed-503={} other-5xx={}; \
+             cache hits={} misses={}; \
+             cold p50/p99 = {}/{} us, cached p50/p99 = {}/{} us",
+            self.requests,
+            self.elapsed_secs,
+            self.throughput_rps,
+            self.errors,
+            self.status_2xx,
+            self.status_4xx,
+            self.backpressure_503,
+            self.other_5xx,
+            self.cache_hits,
+            self.cache_misses,
+            self.cold.p50_us,
+            self.cold.p99_us,
+            self.cached.p50_us,
+            self.cached.p99_us,
+        )
+    }
+}
+
+fn connect(addr: &str) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    Ok(stream)
+}
+
+/// Run the load according to `config` and collect the report.
+#[must_use]
+pub fn run(config: &LoadConfig) -> LoadReport {
+    let tally = Arc::new(Tally::default());
+    let cold = Arc::new(Histogram::new());
+    let cached = Arc::new(Histogram::new());
+    let uncached = Arc::new(Histogram::new());
+    let started = Instant::now();
+    let deadline = started + config.duration;
+
+    let root = SplitMix64::new(config.seed);
+    let handles: Vec<_> = (0..config.connections.max(1))
+        .map(|conn_id| {
+            let addr = config.addr.clone();
+            let mode = config.mode;
+            let mut rng = root.split(&format!("conn-{conn_id}"));
+            let tally = Arc::clone(&tally);
+            let cold = Arc::clone(&cold);
+            let cached = Arc::clone(&cached);
+            let uncached = Arc::clone(&uncached);
+            thread::spawn(move || {
+                let mut stream = None;
+                let mut scratch = Vec::with_capacity(8192);
+                let gap = match mode {
+                    Mode::Closed => Duration::ZERO,
+                    Mode::Open { rate } => Duration::from_secs(1) / rate.max(1),
+                };
+                let mut next_send = Instant::now();
+                while Instant::now() < deadline {
+                    if gap > Duration::ZERO {
+                        let now = Instant::now();
+                        if next_send > now {
+                            thread::sleep((next_send - now).min(Duration::from_millis(50)));
+                            continue;
+                        }
+                        next_send += gap;
+                    }
+                    let target = pick_target(&mut rng);
+                    let s = match stream.take() {
+                        Some(s) => s,
+                        None => match connect(&addr) {
+                            Ok(s) => s,
+                            Err(_) => {
+                                tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                                thread::sleep(Duration::from_millis(20));
+                                continue;
+                            }
+                        },
+                    };
+                    let mut s = s;
+                    let raw = format!("GET {target} HTTP/1.1\r\nhost: memo-serve\r\n\r\n");
+                    let send = Instant::now();
+                    if s.write_all(raw.as_bytes()).is_err() {
+                        tally.errors.fetch_add(1, Ordering::Relaxed);
+                        tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                        continue; // stream dropped; reconnect next round
+                    }
+                    match read_response(&mut s, &mut scratch) {
+                        Ok(resp) => {
+                            let micros =
+                                u64::try_from(send.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            tally.requests.fetch_add(1, Ordering::Relaxed);
+                            match resp.status {
+                                200..=299 => tally.status_2xx.fetch_add(1, Ordering::Relaxed),
+                                400..=499 => tally.status_4xx.fetch_add(1, Ordering::Relaxed),
+                                503 => tally.backpressure_503.fetch_add(1, Ordering::Relaxed),
+                                _ => {
+                                    tally.other_5xx.fetch_add(1, Ordering::Relaxed);
+                                    tally.errors.fetch_add(1, Ordering::Relaxed)
+                                }
+                            };
+                            match resp.cache_hit {
+                                Some(true) => {
+                                    tally.cache_hits.fetch_add(1, Ordering::Relaxed);
+                                    cached.record(micros);
+                                }
+                                Some(false) => {
+                                    tally.cache_misses.fetch_add(1, Ordering::Relaxed);
+                                    cold.record(micros);
+                                }
+                                None => uncached.record(micros),
+                            }
+                            if resp.status == 503 {
+                                // Shed: the server closed this socket.
+                                thread::sleep(Duration::from_millis(10));
+                            } else {
+                                stream = Some(s);
+                            }
+                        }
+                        Err(_) => {
+                            tally.errors.fetch_add(1, Ordering::Relaxed);
+                            tally.reconnects.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let elapsed = started.elapsed().as_secs_f64();
+    let requests = tally.requests.load(Ordering::Relaxed);
+    #[allow(clippy::cast_precision_loss)]
+    let throughput = if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 };
+    LoadReport {
+        requests,
+        errors: tally.errors.load(Ordering::Relaxed),
+        status_2xx: tally.status_2xx.load(Ordering::Relaxed),
+        status_4xx: tally.status_4xx.load(Ordering::Relaxed),
+        backpressure_503: tally.backpressure_503.load(Ordering::Relaxed),
+        other_5xx: tally.other_5xx.load(Ordering::Relaxed),
+        cache_hits: tally.cache_hits.load(Ordering::Relaxed),
+        cache_misses: tally.cache_misses.load(Ordering::Relaxed),
+        reconnects: tally.reconnects.load(Ordering::Relaxed),
+        elapsed_secs: elapsed,
+        throughput_rps: throughput,
+        cold: LatencySummary::from(&cold),
+        cached: LatencySummary::from(&cached),
+        uncached: LatencySummary::from(&uncached),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_mix_is_deterministic_per_seed() {
+        let a: Vec<String> = {
+            let mut rng = SplitMix64::new(7).split("conn-0");
+            (0..50).map(|_| pick_target(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = SplitMix64::new(7).split("conn-0");
+            (0..50).map(|_| pick_target(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<String> = {
+            let mut rng = SplitMix64::new(8).split("conn-0");
+            (0..50).map(|_| pick_target(&mut rng)).collect()
+        };
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn request_mix_targets_are_valid_routes() {
+        let mut rng = SplitMix64::new(3).split("conn-1");
+        for _ in 0..500 {
+            let t = pick_target(&mut rng);
+            assert!(
+                t == "/healthz"
+                    || t == "/metrics"
+                    || t.starts_with("/v1/table/")
+                    || t.starts_with("/v1/figure/")
+                    || t.starts_with("/v1/sweep"),
+                "unexpected target {t}"
+            );
+            if let Some(n) = t.strip_prefix("/v1/table/") {
+                let n: usize = n.parse().unwrap();
+                assert!((1..=13).contains(&n));
+            }
+            if let Some(n) = t.strip_prefix("/v1/figure/") {
+                let n: usize = n.parse().unwrap();
+                assert!((2..=4).contains(&n));
+            }
+        }
+    }
+
+    #[test]
+    fn report_json_is_structurally_sound() {
+        let report = LoadReport {
+            requests: 10,
+            errors: 0,
+            status_2xx: 10,
+            status_4xx: 0,
+            backpressure_503: 0,
+            other_5xx: 0,
+            cache_hits: 4,
+            cache_misses: 6,
+            reconnects: 0,
+            elapsed_secs: 1.5,
+            throughput_rps: 6.7,
+            cold: LatencySummary { count: 6, p50_us: 100, p90_us: 200, p99_us: 300, max_us: 400, mean_us: 150.0 },
+            cached: LatencySummary { count: 4, p50_us: 10, p90_us: 20, p99_us: 30, max_us: 40, mean_us: 15.0 },
+            uncached: LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0, mean_us: 0.0 },
+        };
+        let json = report.to_json(&LoadConfig::default());
+        assert!(json.contains("\"bench\": \"memo_serve_load\""));
+        assert!(json.contains("\"cache_hits\": 4"));
+        assert!(json.contains("\"p99_us\": 300"));
+        // Balanced braces — cheap structural sanity without a parser.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(report.summary().contains("10 requests"));
+    }
+}

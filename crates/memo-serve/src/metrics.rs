@@ -1,0 +1,299 @@
+//! Service-wide counters and the `/metrics` text exposition.
+//!
+//! Everything is atomics and [`Histogram`]s — recording never takes a
+//! lock on the request path. The exposition follows the Prometheus text
+//! format (`# TYPE` lines plus `name{label="…"} value`), rendered with
+//! deterministic label ordering so tests can assert on substrings.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use memo_experiments::results;
+
+use crate::hist::Histogram;
+
+/// Route classes tracked independently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// `/healthz`
+    Healthz,
+    /// `/metrics`
+    Metrics,
+    /// `/v1/table/{n}`
+    Table,
+    /// `/v1/figure/{n}`
+    Figure,
+    /// `/v1/sweep`
+    Sweep,
+    /// Anything else (404s, bad methods, …).
+    Other,
+}
+
+impl Endpoint {
+    /// All endpoint classes, in exposition order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::Healthz,
+        Endpoint::Metrics,
+        Endpoint::Table,
+        Endpoint::Figure,
+        Endpoint::Sweep,
+        Endpoint::Other,
+    ];
+
+    /// Stable label value for the exposition.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Healthz => "healthz",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Table => "table",
+            Endpoint::Figure => "figure",
+            Endpoint::Sweep => "sweep",
+            Endpoint::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Endpoint::Healthz => 0,
+            Endpoint::Metrics => 1,
+            Endpoint::Table => 2,
+            Endpoint::Figure => 3,
+            Endpoint::Sweep => 4,
+            Endpoint::Other => 5,
+        }
+    }
+}
+
+/// How the result cache treated a request (label `cache`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Served from the sharded result cache.
+    Hit,
+    /// Computed fresh (includes coalesced waiters).
+    Miss,
+    /// The endpoint has no cacheable result (healthz, metrics, errors).
+    Uncached,
+}
+
+impl CacheOutcome {
+    fn index(self) -> usize {
+        match self {
+            CacheOutcome::Hit => 0,
+            CacheOutcome::Miss | CacheOutcome::Uncached => 1,
+        }
+    }
+}
+
+struct EndpointStats {
+    requests: AtomicU64,
+    responses_2xx: AtomicU64,
+    responses_4xx: AtomicU64,
+    responses_5xx: AtomicU64,
+    // [0] = cache hits, [1] = misses/uncached.
+    latency: [Histogram; 2],
+}
+
+impl EndpointStats {
+    fn new() -> Self {
+        EndpointStats {
+            requests: AtomicU64::new(0),
+            responses_2xx: AtomicU64::new(0),
+            responses_4xx: AtomicU64::new(0),
+            responses_5xx: AtomicU64::new(0),
+            latency: [Histogram::new(), Histogram::new()],
+        }
+    }
+}
+
+/// All counters for one server instance.
+pub struct Metrics {
+    endpoints: Vec<EndpointStats>,
+    /// Connections rejected with 503 because the request queue was full.
+    pub queue_rejections: AtomicU64,
+    /// Connections accepted off the listener.
+    pub connections_accepted: AtomicU64,
+    /// Requests that hit the server-side result cache.
+    pub cache_hits: AtomicU64,
+    /// Requests that computed (or waited on) a fresh result.
+    pub cache_misses: AtomicU64,
+    /// Requests closed early by a read/write timeout.
+    pub timeouts: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh zeroed metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics {
+            endpoints: Endpoint::ALL.iter().map(|_| EndpointStats::new()).collect(),
+            queue_rejections: AtomicU64::new(0),
+            connections_accepted: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one finished request: status class, cache outcome, and
+    /// handling latency in microseconds.
+    pub fn observe(&self, endpoint: Endpoint, status: u16, cache: CacheOutcome, micros: u64) {
+        let stats = &self.endpoints[endpoint.index()];
+        stats.requests.fetch_add(1, Ordering::Relaxed);
+        match status {
+            200..=299 => stats.responses_2xx.fetch_add(1, Ordering::Relaxed),
+            400..=499 => stats.responses_4xx.fetch_add(1, Ordering::Relaxed),
+            _ => stats.responses_5xx.fetch_add(1, Ordering::Relaxed),
+        };
+        stats.latency[cache.index()].record(micros);
+        match cache {
+            CacheOutcome::Hit => {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Miss => {
+                self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            CacheOutcome::Uncached => {}
+        }
+    }
+
+    /// Total requests across all endpoints.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints.iter().map(|e| e.requests.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Render the Prometheus-style text exposition.
+    ///
+    /// `queue_depth` and `draining` are point-in-time server state the
+    /// metrics struct does not own.
+    #[must_use]
+    pub fn render(&self, queue_depth: usize, workers: usize, draining: bool) -> String {
+        let mut out = String::with_capacity(4096);
+        let g = |v: u64| v.to_string();
+
+        out.push_str("# TYPE memo_serve_requests_total counter\n");
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep.index()];
+            out.push_str(&format!(
+                "memo_serve_requests_total{{endpoint=\"{}\"}} {}\n",
+                ep.label(),
+                s.requests.load(Ordering::Relaxed)
+            ));
+        }
+        out.push_str("# TYPE memo_serve_responses_total counter\n");
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep.index()];
+            for (class, count) in [
+                ("2xx", &s.responses_2xx),
+                ("4xx", &s.responses_4xx),
+                ("5xx", &s.responses_5xx),
+            ] {
+                out.push_str(&format!(
+                    "memo_serve_responses_total{{endpoint=\"{}\",class=\"{class}\"}} {}\n",
+                    ep.label(),
+                    count.load(Ordering::Relaxed)
+                ));
+            }
+        }
+
+        out.push_str("# TYPE memo_serve_latency_seconds summary\n");
+        for ep in Endpoint::ALL {
+            let s = &self.endpoints[ep.index()];
+            for (cache, hist) in [("hit", &s.latency[0]), ("miss", &s.latency[1])] {
+                if hist.count() == 0 {
+                    continue;
+                }
+                for (q, qs) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+                    #[allow(clippy::cast_precision_loss)]
+                    let secs = hist.quantile(q) as f64 / 1e6;
+                    out.push_str(&format!(
+                        "memo_serve_latency_seconds{{endpoint=\"{}\",cache=\"{cache}\",quantile=\"{qs}\"}} {secs:.6}\n",
+                        ep.label(),
+                    ));
+                }
+                out.push_str(&format!(
+                    "memo_serve_latency_seconds_count{{endpoint=\"{}\",cache=\"{cache}\"}} {}\n",
+                    ep.label(),
+                    hist.count()
+                ));
+            }
+        }
+
+        out.push_str("# TYPE memo_serve_queue_depth gauge\n");
+        out.push_str(&format!("memo_serve_queue_depth {queue_depth}\n"));
+        out.push_str("# TYPE memo_serve_workers gauge\n");
+        out.push_str(&format!("memo_serve_workers {workers}\n"));
+        out.push_str("# TYPE memo_serve_draining gauge\n");
+        out.push_str(&format!("memo_serve_draining {}\n", u8::from(draining)));
+        out.push_str("# TYPE memo_serve_queue_rejections_total counter\n");
+        out.push_str(&format!(
+            "memo_serve_queue_rejections_total {}\n",
+            g(self.queue_rejections.load(Ordering::Relaxed))
+        ));
+        out.push_str("# TYPE memo_serve_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "memo_serve_connections_accepted_total {}\n",
+            g(self.connections_accepted.load(Ordering::Relaxed))
+        ));
+        out.push_str("# TYPE memo_serve_timeouts_total counter\n");
+        out.push_str(&format!("memo_serve_timeouts_total {}\n", g(self.timeouts.load(Ordering::Relaxed))));
+        out.push_str("# TYPE memo_serve_cache_hits_total counter\n");
+        out.push_str(&format!("memo_serve_cache_hits_total {}\n", g(self.cache_hits.load(Ordering::Relaxed))));
+        out.push_str("# TYPE memo_serve_cache_misses_total counter\n");
+        out.push_str(&format!(
+            "memo_serve_cache_misses_total {}\n",
+            g(self.cache_misses.load(Ordering::Relaxed))
+        ));
+
+        // The process-wide experiment result cache (memo-experiments).
+        let exp = results::stats();
+        out.push_str("# TYPE memo_experiments_cache_hits_total counter\n");
+        out.push_str(&format!("memo_experiments_cache_hits_total {}\n", exp.hits));
+        out.push_str("# TYPE memo_experiments_cache_misses_total counter\n");
+        out.push_str(&format!("memo_experiments_cache_misses_total {}\n", exp.misses));
+        out.push_str("# TYPE memo_experiments_cache_coalesced_total counter\n");
+        out.push_str(&format!("memo_experiments_cache_coalesced_total {}\n", exp.coalesced));
+        out.push_str("# TYPE memo_experiments_cache_entries gauge\n");
+        out.push_str(&format!("memo_experiments_cache_entries {}\n", exp.len));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_rolls_up_by_endpoint_and_class() {
+        let m = Metrics::new();
+        m.observe(Endpoint::Table, 200, CacheOutcome::Miss, 1500);
+        m.observe(Endpoint::Table, 200, CacheOutcome::Hit, 30);
+        m.observe(Endpoint::Sweep, 400, CacheOutcome::Uncached, 90);
+        m.observe(Endpoint::Other, 503, CacheOutcome::Uncached, 10);
+        assert_eq!(m.total_requests(), 4);
+        assert_eq!(m.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_misses.load(Ordering::Relaxed), 1);
+
+        let text = m.render(3, 4, false);
+        assert!(text.contains("memo_serve_requests_total{endpoint=\"table\"} 2"));
+        assert!(text.contains("memo_serve_responses_total{endpoint=\"sweep\",class=\"4xx\"} 1"));
+        assert!(text.contains("memo_serve_responses_total{endpoint=\"other\",class=\"5xx\"} 1"));
+        assert!(text.contains("memo_serve_queue_depth 3"));
+        assert!(text.contains("memo_serve_workers 4"));
+        assert!(text.contains("memo_serve_cache_hits_total 1"));
+        assert!(text.contains("memo_serve_latency_seconds{endpoint=\"table\",cache=\"hit\",quantile=\"0.5\"}"));
+    }
+
+    #[test]
+    fn render_reports_draining_flag() {
+        let m = Metrics::new();
+        assert!(m.render(0, 1, true).contains("memo_serve_draining 1"));
+        assert!(m.render(0, 1, false).contains("memo_serve_draining 0"));
+    }
+}

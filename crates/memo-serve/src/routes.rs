@@ -1,0 +1,292 @@
+//! Request routing and the server-side result cache.
+//!
+//! Every artifact endpoint resolves through the same
+//! `memo_experiments::runner` entry points the CLI binaries use, so the
+//! HTTP bytes are the CLI bytes plus a trailing newline (the binaries
+//! `println!`). Results are cached in a [`ShardedLru`] keyed by the
+//! canonical `(experiment, config)` string, with single-flight dedup so
+//! a thundering herd on a cold table computes it exactly once.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use memo_experiments::cache::ShardedLru;
+use memo_experiments::{runner, ExpConfig, ExperimentError};
+
+use crate::http::{Request, Response};
+use crate::metrics::{CacheOutcome, Endpoint, Metrics};
+
+/// Shared state behind every worker.
+pub struct AppState {
+    /// Base experiment config (query params may override per request).
+    pub cfg: ExpConfig,
+    /// Rendered-result cache: canonical key → (status, body).
+    pub cache: ShardedLru<String, (u16, String)>,
+    /// Service counters.
+    pub metrics: Metrics,
+    /// Set by `/quitquitquit` (and the server's shutdown path); the
+    /// accept loop exits when it observes this.
+    pub draining: AtomicBool,
+    /// Worker count, reported in `/metrics`.
+    pub workers: usize,
+}
+
+impl AppState {
+    /// State with `cache_capacity` cached renders across 8 shards.
+    #[must_use]
+    pub fn new(cfg: ExpConfig, cache_capacity: usize, workers: usize) -> Self {
+        AppState {
+            cfg,
+            cache: ShardedLru::new(8, cache_capacity.max(8)),
+            metrics: Metrics::new(),
+            draining: AtomicBool::new(false),
+            workers,
+        }
+    }
+
+    /// True once a drain has been requested.
+    #[must_use]
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Request a graceful drain.
+    pub fn start_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+    }
+}
+
+/// Per-request experiment config: the base config with optional
+/// `scale` / `sci_n` query overrides, clamped to sane ranges.
+fn effective_cfg(state: &AppState, req: &Request) -> ExpConfig {
+    let mut cfg = state.cfg;
+    if let Some(v) = req.query_param("scale").and_then(|v| v.parse::<usize>().ok()) {
+        cfg.image_scale = v.clamp(1, 64);
+    }
+    if let Some(v) = req.query_param("sci_n").and_then(|v| v.parse::<usize>().ok()) {
+        cfg.sci_n = v.clamp(8, 64);
+    }
+    cfg
+}
+
+fn cfg_suffix(cfg: ExpConfig) -> String {
+    format!("@scale={};sci_n={}", cfg.image_scale, cfg.sci_n)
+}
+
+fn error_response(err: &ExperimentError) -> (u16, String) {
+    let status = match err {
+        ExperimentError::UnknownArtifact { .. } => 404,
+        ExperimentError::InvalidSweep(_) => 400,
+        _ => 500,
+    };
+    (status, format!("{err}\n"))
+}
+
+/// Resolve a cacheable artifact through the result cache, reporting
+/// whether this request was served from cache.
+fn cached_artifact(
+    state: &AppState,
+    key: String,
+    compute: impl FnOnce() -> Result<String, ExperimentError>,
+) -> (u16, String, CacheOutcome) {
+    if let Some(entry) = state.cache.peek(&key) {
+        let (status, body) = entry.as_ref().clone();
+        return (status, body, CacheOutcome::Hit);
+    }
+    let entry = state.cache.get_or_compute(&key, || match compute() {
+        // Bodies get the trailing newline the CLI's `println!` adds, so
+        // HTTP bytes == CLI stdout bytes.
+        Ok(rendered) => (200, format!("{rendered}\n")),
+        Err(err) => error_response(&err),
+    });
+    let (status, body) = entry.as_ref().clone();
+    (status, body, CacheOutcome::Miss)
+}
+
+/// The routing result: what to send, plus labels for metrics.
+pub struct Routed {
+    /// The response to serialize.
+    pub response: Response,
+    /// Which endpoint class handled it.
+    pub endpoint: Endpoint,
+    /// Whether the result cache served it.
+    pub cache: CacheOutcome,
+}
+
+fn routed(response: Response, endpoint: Endpoint, cache: CacheOutcome) -> Routed {
+    Routed { response, endpoint, cache }
+}
+
+/// Dispatch one parsed request. `queue_depth` is the current request
+/// queue length, surfaced through `/metrics`.
+#[must_use]
+pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
+    if req.method != "GET" && req.method != "HEAD" {
+        return routed(
+            Response::text(405, "only GET and HEAD are supported\n").with_header("allow", "GET, HEAD"),
+            Endpoint::Other,
+            CacheOutcome::Uncached,
+        );
+    }
+
+    match req.path.as_str() {
+        "/healthz" => {
+            let body = if state.draining() { "draining\n" } else { "ok\n" };
+            routed(Response::text(200, body), Endpoint::Healthz, CacheOutcome::Uncached)
+        }
+        "/metrics" => {
+            let text = state.metrics.render(queue_depth, state.workers, state.draining());
+            routed(Response::text(200, text), Endpoint::Metrics, CacheOutcome::Uncached)
+        }
+        "/quitquitquit" => {
+            state.start_drain();
+            routed(Response::text(200, "draining\n"), Endpoint::Other, CacheOutcome::Uncached)
+        }
+        "/v1/sweep" => {
+            let cfg = effective_cfg(state, req);
+            match runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")) {
+                Err(err) => {
+                    let (status, body) = error_response(&err);
+                    routed(Response::text(status, body), Endpoint::Sweep, CacheOutcome::Uncached)
+                }
+                Ok(q) => {
+                    let key = format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg));
+                    let (status, body, outcome) =
+                        cached_artifact(state, key, || runner::sweep(cfg, &q));
+                    routed(
+                        Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
+                        Endpoint::Sweep,
+                        outcome,
+                    )
+                }
+            }
+        }
+        path => {
+            if let Some(n) = path.strip_prefix("/v1/table/") {
+                artifact(state, req, Endpoint::Table, "table", n, runner::table)
+            } else if let Some(n) = path.strip_prefix("/v1/figure/") {
+                artifact(state, req, Endpoint::Figure, "figure", n, runner::figure)
+            } else {
+                routed(
+                    Response::text(404, format!("no route for {path}\n")),
+                    Endpoint::Other,
+                    CacheOutcome::Uncached,
+                )
+            }
+        }
+    }
+}
+
+fn cache_label(outcome: CacheOutcome) -> &'static str {
+    match outcome {
+        CacheOutcome::Hit => "hit",
+        _ => "miss",
+    }
+}
+
+fn artifact(
+    state: &AppState,
+    req: &Request,
+    endpoint: Endpoint,
+    kind: &'static str,
+    raw_n: &str,
+    run: fn(usize, ExpConfig) -> Result<String, ExperimentError>,
+) -> Routed {
+    let Ok(n) = raw_n.parse::<usize>() else {
+        return routed(
+            Response::text(404, format!("{kind} number must be an integer, got {raw_n:?}\n")),
+            endpoint,
+            CacheOutcome::Uncached,
+        );
+    };
+    let cfg = effective_cfg(state, req);
+    let key = format!("{kind}/{n}{}", cfg_suffix(cfg));
+    let (status, body, outcome) = cached_artifact(state, key, || run(n, cfg));
+    routed(
+        Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
+        endpoint,
+        outcome,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::parse_request;
+
+    fn get(path: &str) -> Request {
+        let raw = format!("GET {path} HTTP/1.1\r\n\r\n");
+        parse_request(raw.as_bytes()).unwrap().unwrap().0
+    }
+
+    fn state() -> AppState {
+        AppState::new(ExpConfig::quick(), 64, 2)
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let s = state();
+        let r = handle(&s, &get("/healthz"), 0);
+        assert_eq!(r.response.status, 200);
+        assert_eq!(r.response.body, b"ok\n");
+        assert_eq!(r.endpoint, Endpoint::Healthz);
+
+        let r = handle(&s, &get("/nope"), 0);
+        assert_eq!(r.response.status, 404);
+    }
+
+    #[test]
+    fn non_get_rejected() {
+        let s = state();
+        let raw = b"PUT /healthz HTTP/1.1\r\n\r\n";
+        let req = parse_request(raw).unwrap().unwrap().0;
+        let r = handle(&s, &req, 0);
+        assert_eq!(r.response.status, 405);
+    }
+
+    #[test]
+    fn table_matches_runner_bytes_and_caches() {
+        let s = state();
+        let direct = runner::table(1, ExpConfig::quick()).unwrap();
+        let r = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(r.response.status, 200);
+        assert_eq!(r.response.body, format!("{direct}\n").into_bytes());
+        assert_eq!(r.cache, CacheOutcome::Miss);
+
+        let r2 = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(r2.cache, CacheOutcome::Hit);
+        assert_eq!(r2.response.body, r.response.body);
+        assert!(r2.response.headers.iter().any(|(k, v)| k == "x-memo-cache" && v == "hit"));
+    }
+
+    #[test]
+    fn unknown_table_is_404_and_bad_sweep_is_400() {
+        let s = state();
+        assert_eq!(handle(&s, &get("/v1/table/99"), 0).response.status, 404);
+        assert_eq!(handle(&s, &get("/v1/table/abc"), 0).response.status, 404);
+        assert_eq!(handle(&s, &get("/v1/sweep?entries=nope"), 0).response.status, 400);
+        assert_eq!(handle(&s, &get("/v1/sweep?entries=8,16&ways=2,4"), 0).response.status, 400);
+    }
+
+    #[test]
+    fn scale_override_changes_the_cache_key() {
+        let s = state();
+        let a = handle(&s, &get("/v1/table/5"), 0);
+        let b = handle(&s, &get("/v1/table/5?sci_n=24"), 0);
+        // Different configs must not alias in the cache.
+        assert_eq!(b.cache, CacheOutcome::Miss);
+        let b2 = handle(&s, &get("/v1/table/5?sci_n=24"), 0);
+        assert_eq!(b2.cache, CacheOutcome::Hit);
+        let _ = a;
+    }
+
+    #[test]
+    fn quitquitquit_flips_draining() {
+        let s = state();
+        assert!(!s.draining());
+        let r = handle(&s, &get("/quitquitquit"), 0);
+        assert_eq!(r.response.status, 200);
+        assert!(s.draining());
+        let h = handle(&s, &get("/healthz"), 0);
+        assert_eq!(h.response.body, b"draining\n");
+    }
+}

@@ -1,0 +1,311 @@
+//! The TCP front end: accept loop → bounded queue → worker pool.
+//!
+//! The shape deliberately mirrors the paper's memo unit: a bounded
+//! reservation queue in front of a fixed set of execution resources,
+//! with explicit shedding (503 + `Retry-After`) instead of unbounded
+//! buffering when demand exceeds capacity. Shutdown is a drain: the
+//! accept loop stops, queued connections are still served, workers exit
+//! when the queue runs dry.
+
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use memo_experiments::{env, ExpConfig};
+
+use crate::http::{parse_request, Response, MAX_HEADER_BYTES, MAX_BODY};
+use crate::metrics::{CacheOutcome, Endpoint};
+use crate::pool::WorkerPool;
+use crate::queue::{Bounded, PushError};
+use crate::routes::{self, AppState};
+
+/// Everything configurable about one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads (default: `MEMO_JOBS` or available parallelism).
+    pub workers: usize,
+    /// Connections queued before shedding with 503.
+    pub queue_capacity: usize,
+    /// Rendered results kept in the in-process cache.
+    pub cache_capacity: usize,
+    /// Per-connection socket read timeout.
+    pub read_timeout: Duration,
+    /// Per-connection socket write timeout.
+    pub write_timeout: Duration,
+    /// Base experiment configuration.
+    pub cfg: ExpConfig,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:7070".to_string(),
+            workers: env::jobs(),
+            queue_capacity: 128,
+            cache_capacity: 256,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            cfg: ExpConfig::from_env(),
+        }
+    }
+}
+
+/// A running server. Dropping the handle does not stop it; call
+/// [`shutdown`](ServerHandle::shutdown) then [`wait`](ServerHandle::wait).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    queue: Arc<Bounded<TcpStream>>,
+    accept_thread: JoinHandle<()>,
+    pool: WorkerPool,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared state, for inspection in tests.
+    #[must_use]
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Connections currently queued for a worker.
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Begin a graceful drain: stop accepting, serve what is queued.
+    pub fn shutdown(&self) {
+        self.state.start_drain();
+    }
+
+    /// Block until the accept loop and all workers have exited. Call
+    /// after [`shutdown`](Self::shutdown) (or a `/quitquitquit` hit).
+    pub fn wait(self) {
+        if self.accept_thread.join().is_err() {
+            eprintln!("[memo-serve] accept thread panicked");
+        }
+        self.pool.join();
+    }
+}
+
+/// How often the accept loop re-checks the drain flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(5);
+
+/// Bind and start serving.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+
+    let workers = config.workers.max(1);
+    let state = Arc::new(AppState::new(config.cfg, config.cache_capacity, workers));
+    let queue = Arc::new(Bounded::new(config.queue_capacity));
+
+    let worker_state = Arc::clone(&state);
+    let worker_queue = Arc::clone(&queue);
+    let (read_timeout, write_timeout) = (config.read_timeout, config.write_timeout);
+    let pool = WorkerPool::spawn(workers, Arc::clone(&queue), move |stream: TcpStream| {
+        handle_connection(&worker_state, &worker_queue, stream, read_timeout);
+    });
+
+    let accept_state = Arc::clone(&state);
+    let accept_queue = Arc::clone(&queue);
+    let accept_thread = thread::Builder::new()
+        .name("memo-serve-accept".to_string())
+        .spawn(move || {
+            accept_loop(&listener, &accept_state, &accept_queue, read_timeout, write_timeout);
+            // No new connections past this point; let the workers drain.
+            accept_queue.close();
+        })
+        .expect("spawn accept thread");
+
+    Ok(ServerHandle { addr, state, queue, accept_thread, pool })
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &AppState,
+    queue: &Bounded<TcpStream>,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
+    while !state.draining() {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                state.metrics.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                // The listener is nonblocking; the accepted stream must
+                // not be, or reads would spin instead of blocking with a
+                // timeout.
+                let configured = stream.set_nonblocking(false).is_ok()
+                    && stream.set_read_timeout(Some(read_timeout)).is_ok()
+                    && stream.set_write_timeout(Some(write_timeout)).is_ok();
+                if !configured {
+                    continue; // peer is gone; nothing to shed
+                }
+                if let Err(err) = queue.try_push(stream) {
+                    let (PushError::Full(mut stream) | PushError::Closed(mut stream)) = err;
+                    state.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
+                    state.metrics.observe(Endpoint::Other, 503, CacheOutcome::Uncached, 0);
+                    let _ = Response::text(503, "request queue full, retry shortly\n")
+                        .with_header("retry-after", "1")
+                        .write_to(&mut stream, false, false);
+                }
+            }
+            Err(ref e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// Serve one connection until close, drain, timeout, or protocol error.
+fn handle_connection(
+    state: &AppState,
+    queue: &Bounded<TcpStream>,
+    mut stream: TcpStream,
+    read_timeout: Duration,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    // An idle keep-alive connection may not outlive the read timeout by
+    // much even across multiple short reads.
+    let idle_deadline = Instant::now() + read_timeout.max(Duration::from_millis(1)) * 2;
+
+    loop {
+        // Serve every complete pipelined request already buffered.
+        loop {
+            match parse_request(&buf) {
+                Ok(Some((req, consumed))) => {
+                    buf.drain(..consumed);
+                    let start = Instant::now();
+                    let routed = routes::handle(state, &req, queue.len());
+                    let keep_alive = req.keep_alive && !state.draining();
+                    let head_only = req.method == "HEAD";
+                    let micros = u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    state.metrics.observe(routed.endpoint, routed.response.status, routed.cache, micros);
+                    if routed.response.write_to(&mut stream, keep_alive, head_only).is_err() {
+                        return;
+                    }
+                    if !keep_alive {
+                        return;
+                    }
+                }
+                Ok(None) => break, // need more bytes
+                Err(err) => {
+                    let resp = Response::from_parse_error(&err);
+                    state.metrics.observe(Endpoint::Other, resp.status, CacheOutcome::Uncached, 0);
+                    let _ = resp.write_to(&mut stream, false, false);
+                    return;
+                }
+            }
+        }
+
+        if state.draining() && buf.is_empty() {
+            return; // no partial request in flight; drop the idle conn
+        }
+        if buf.len() > MAX_HEADER_BYTES + MAX_BODY {
+            return; // defensive: parser should have rejected long ago
+        }
+
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // peer closed
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(ref e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                state.metrics.timeouts.fetch_add(1, Ordering::Relaxed);
+                if !buf.is_empty() {
+                    // Mid-request stall: tell the peer before hanging up.
+                    let resp = Response::text(408, "timed out waiting for the full request\n");
+                    let _ = resp.write_to(&mut stream, false, false);
+                }
+                return;
+            }
+            Err(_) => return,
+        }
+        if Instant::now() > idle_deadline && buf.is_empty() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn test_config() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 4,
+            cache_capacity: 32,
+            read_timeout: Duration::from_millis(300),
+            write_timeout: Duration::from_millis(300),
+            cfg: ExpConfig::quick(),
+        }
+    }
+
+    fn roundtrip(addr: SocketAddr, raw: &str) -> String {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(raw.as_bytes()).unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_healthz_then_drains_cleanly() {
+        let handle = start(&test_config()).unwrap();
+        let addr = handle.addr();
+        let resp = roundtrip(addr, "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200 OK\r\n"), "{resp}");
+        assert!(resp.ends_with("ok\n"), "{resp}");
+
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn malformed_request_gets_400_class() {
+        let handle = start(&test_config()).unwrap();
+        let resp = roundtrip(handle.addr(), "BOGUS\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn slow_partial_request_times_out_with_408() {
+        let handle = start(&test_config()).unwrap();
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost:").unwrap(); // never finish
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn quitquitquit_drains_the_server() {
+        let handle = start(&test_config()).unwrap();
+        let resp = roundtrip(handle.addr(), "GET /quitquitquit HTTP/1.1\r\nConnection: close\r\n\r\n");
+        assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+        handle.wait(); // returns because the drain flag stops the accept loop
+    }
+}

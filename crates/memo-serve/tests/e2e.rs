@@ -1,0 +1,224 @@
+//! End-to-end: boot the real server on an ephemeral port, speak real
+//! HTTP over real sockets, and hold the service to its core promises —
+//! artifact bytes identical to the CLI runners, cache hits on repeats,
+//! backpressure instead of queueing without bound, and a clean drain.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use memo_experiments::{runner, ExpConfig};
+use memo_serve::server::{self, ServerConfig, ServerHandle};
+
+fn boot(workers: usize, queue_capacity: usize) -> ServerHandle {
+    // MEMO_SCALE/MEMO_SCI_N from the environment must not skew the
+    // byte-identity comparison, so pin the config explicitly.
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_capacity,
+        cache_capacity: 64,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        cfg: ExpConfig::quick(),
+    };
+    server::start(&config).expect("bind ephemeral port")
+}
+
+/// One full HTTP exchange on a fresh connection; returns (status,
+/// headers, body).
+fn get(handle: &ServerHandle, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let header_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .expect("complete header block");
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[header_end + 4..].to_vec())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn table_bytes_match_the_direct_runner_and_repeat_hits_cache() {
+    let handle = boot(2, 16);
+    let expected = format!("{}\n", runner::table(1, ExpConfig::quick()).unwrap());
+
+    let (status, headers, body) = get(&handle, "/v1/table/1");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-memo-cache"), Some("miss"));
+    assert_eq!(
+        body,
+        expected.as_bytes(),
+        "HTTP body must be byte-identical to the table1 runner output"
+    );
+
+    let (status, headers, body) = get(&handle, "/v1/table/1");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-memo-cache"), Some("hit"), "repeat must be served from cache");
+    assert_eq!(body, expected.as_bytes());
+
+    // The hit is visible in the metrics counters, not just the header.
+    let hits = handle.state().metrics.cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+    assert!(hits >= 1, "cache hit counter must have incremented, got {hits}");
+
+    let (status, _, metrics_body) = get(&handle, "/metrics");
+    assert_eq!(status, 200);
+    let text = String::from_utf8(metrics_body).unwrap();
+    assert!(
+        text.contains("memo_serve_cache_hits_total 1"),
+        "metrics must report the cache hit:\n{text}"
+    );
+    assert!(text.contains("memo_serve_requests_total{endpoint=\"table\"} 2"));
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn sweep_bytes_match_the_direct_runner() {
+    let handle = boot(2, 16);
+    let q = runner::SweepQuery::parse(Some("8,16"), Some("2")).unwrap();
+    let expected = format!("{}\n", runner::sweep(ExpConfig::quick(), &q).unwrap());
+
+    let (status, headers, body) = get(&handle, "/v1/sweep?entries=8,16&ways=2");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-memo-cache"), Some("miss"));
+    assert_eq!(body, expected.as_bytes(), "sweep bytes must match the sweep runner");
+
+    // Same query spelled through the other axis default still hits the
+    // canonicalized cache key.
+    let (status, headers, body) = get(&handle, "/v1/sweep?ways=2&entries=8,16");
+    assert_eq!(status, 200);
+    assert_eq!(header(&headers, "x-memo-cache"), Some("hit"));
+    assert_eq!(body, expected.as_bytes());
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn figure_bytes_match_and_errors_map_to_http_statuses() {
+    let handle = boot(2, 16);
+    let expected = format!("{}\n", runner::figure(4, ExpConfig::quick()).unwrap());
+    let (status, _, body) = get(&handle, "/v1/figure/4");
+    assert_eq!(status, 200);
+    assert_eq!(body, expected.as_bytes());
+
+    let (status, _, _) = get(&handle, "/v1/table/99");
+    assert_eq!(status, 404, "unknown table number");
+    let (status, _, _) = get(&handle, "/v1/figure/1");
+    assert_eq!(status, 404, "figure 1 is not reproduced");
+    let (status, _, _) = get(&handle, "/v1/sweep?entries=8,16&ways=2,4");
+    assert_eq!(status, 400, "two multi-value axes");
+    let (status, _, _) = get(&handle, "/no/such/route");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn pipelined_requests_on_one_connection_all_answer() {
+    let handle = boot(2, 16);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    // Two pipelined requests, then close.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n",
+        )
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert_eq!(raw.matches("HTTP/1.1 200 OK").count(), 2, "both pipelined requests answered:\n{raw}");
+    assert_eq!(raw.matches("ok\n").count(), 2);
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn saturated_queue_sheds_with_503_and_retry_after() {
+    // One worker, one queue slot: park the worker on a slow request,
+    // fill the slot, and every further connection must be shed.
+    let handle = boot(1, 1);
+
+    // Park the worker: open a connection and complete a request slowly
+    // enough that follow-up connections pile into the queue. Easiest
+    // reliable way: issue a request but never finish it — the worker
+    // blocks in read until the 2 s timeout.
+    let mut parked = TcpStream::connect(handle.addr()).expect("connect");
+    parked.write_all(b"GET /healthz HTTP/1.1\r\n").expect("send partial");
+    std::thread::sleep(Duration::from_millis(100)); // let a worker claim it
+
+    // Occupy the single queue slot with another idle connection.
+    let mut queued = TcpStream::connect(handle.addr()).expect("connect");
+    queued.write_all(b"GET /healthz HTTP/1").expect("send partial");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Now the queue is full: this connection must get a 503 + Retry-After.
+    let mut shed = false;
+    for _ in 0..10 {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+            .expect("send");
+        let mut raw = String::new();
+        let _ = stream.read_to_string(&mut raw);
+        if raw.starts_with("HTTP/1.1 503") {
+            assert!(
+                raw.to_ascii_lowercase().contains("retry-after: 1"),
+                "503 must carry Retry-After:\n{raw}"
+            );
+            shed = true;
+            break;
+        }
+    }
+    assert!(shed, "a saturated queue must shed at least one connection with 503");
+    let rejections = handle
+        .state()
+        .metrics
+        .queue_rejections
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(rejections >= 1, "rejection counter must count the shed connection");
+
+    drop(parked);
+    drop(queued);
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
+fn head_requests_get_headers_without_body() {
+    let handle = boot(2, 16);
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(b"HEAD /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n")
+        .expect("send");
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read");
+    assert!(raw.starts_with("HTTP/1.1 200 OK\r\n"), "{raw}");
+    assert!(raw.contains("content-length: 3\r\n"), "HEAD keeps the true length:\n{raw}");
+    assert!(raw.ends_with("\r\n\r\n"), "HEAD must not carry a body:\n{raw}");
+
+    handle.shutdown();
+    handle.wait();
+}

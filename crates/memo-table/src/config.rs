@@ -24,6 +24,32 @@ impl Assoc {
             Assoc::Full => entries,
         }
     }
+
+    /// Parse the textual forms used by query strings and CLI flags:
+    /// `"direct"` or `"1"` is direct-mapped, `"full"` is fully
+    /// associative, and a bare integer `n > 1` is `n`-way.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Assoc> {
+        match s {
+            "direct" | "1" => Some(Assoc::DirectMapped),
+            "full" => Some(Assoc::Full),
+            _ => match s.parse::<usize>() {
+                Ok(n) if n > 1 => Some(Assoc::Ways(n)),
+                _ => None,
+            },
+        }
+    }
+
+    /// Stable short form, the inverse of [`Assoc::parse`]: `direct`,
+    /// `full`, or the way count.
+    #[must_use]
+    pub fn canonical(self) -> String {
+        match self {
+            Assoc::DirectMapped => "direct".to_string(),
+            Assoc::Ways(n) => n.to_string(),
+            Assoc::Full => "full".to_string(),
+        }
+    }
 }
 
 impl fmt::Display for Assoc {
@@ -232,6 +258,24 @@ impl MemoConfig {
     pub fn protection(&self) -> Protection {
         self.protection
     }
+
+    /// A stable, human-readable canonical form covering every field —
+    /// two configurations render identically iff they are equal, so the
+    /// string can serve as a cache or map key across processes.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        format!(
+            "entries={};assoc={};tag={:?};trivial={:?};repl={:?};hash={:?};comm={};prot={:?}",
+            self.entries,
+            self.assoc.canonical(),
+            self.tag,
+            self.trivial,
+            self.replacement,
+            self.hash,
+            self.commutative,
+            self.protection,
+        )
+    }
 }
 
 impl Default for MemoConfig {
@@ -378,6 +422,27 @@ mod tests {
         assert_eq!(err, MemoConfigError::BadAssociativity { entries: 32, ways: 3 });
         // 32 / 6 isn't integral.
         assert!(MemoConfig::builder(32).assoc(Assoc::Ways(6)).build().is_err());
+    }
+
+    #[test]
+    fn assoc_parse_inverts_canonical() {
+        for assoc in [Assoc::DirectMapped, Assoc::Ways(4), Assoc::Full] {
+            assert_eq!(Assoc::parse(&assoc.canonical()), Some(assoc));
+        }
+        assert_eq!(Assoc::parse("1"), Some(Assoc::DirectMapped));
+        assert_eq!(Assoc::parse("0"), None);
+        assert_eq!(Assoc::parse("sideways"), None);
+    }
+
+    #[test]
+    fn canonical_distinguishes_configurations() {
+        let a = MemoConfig::paper_default();
+        let b = MemoConfig::builder(32).assoc(Assoc::Full).build().unwrap();
+        let c = MemoConfig::builder(32).commutative(false).build().unwrap();
+        assert_eq!(a.canonical(), MemoConfig::paper_default().canonical());
+        assert_ne!(a.canonical(), b.canonical());
+        assert_ne!(a.canonical(), c.canonical());
+        assert!(a.canonical().contains("entries=32"));
     }
 
     #[test]

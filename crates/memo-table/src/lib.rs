@@ -80,7 +80,7 @@ pub use config::{
 pub use fault::{Fault, FaultConfig, FaultInjector, Protection};
 pub use infinite::InfiniteMemoTable;
 pub use key::{fp_parts, is_normal_or_zero, Key};
-pub use op::{Op, OpKind, Value};
+pub use op::{Op, OpKind, ParseOpKindError, Value};
 pub use ported::{PortStats, SharedMemoTable};
 pub use stack::{StackSimulator, SweepGrid, SweepGridError, SweepOutcome};
 pub use stats::MemoStats;

@@ -74,6 +74,41 @@ impl fmt::Display for OpKind {
     }
 }
 
+/// A string did not name an [`OpKind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseOpKindError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseOpKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown operation kind {:?} (expected imul, fmul, fdiv or fsqrt)",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseOpKindError {}
+
+impl std::str::FromStr for OpKind {
+    type Err = ParseOpKindError;
+
+    /// Parse the [`OpKind::label`] form — the spelling query strings and
+    /// CLI flags use.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "imul" => Ok(OpKind::IntMul),
+            "fmul" => Ok(OpKind::FpMul),
+            "fdiv" => Ok(OpKind::FpDiv),
+            "fsqrt" => Ok(OpKind::FpSqrt),
+            other => Err(ParseOpKindError { input: other.to_string() }),
+        }
+    }
+}
+
 /// The result of an [`Op`]: either an integer or a floating-point value.
 ///
 /// Comparison is **bit-exact** for floating-point payloads (`-0.0 != 0.0`
@@ -221,6 +256,15 @@ impl fmt::Display for Op {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn op_kind_parses_its_own_labels() {
+        for kind in OpKind::ALL {
+            assert_eq!(kind.label().parse::<OpKind>(), Ok(kind));
+        }
+        let err = "mul".parse::<OpKind>().unwrap_err();
+        assert!(err.to_string().contains("mul"));
+    }
 
     #[test]
     fn kinds_match_constructors() {

@@ -33,6 +33,7 @@ pub use memo_experiments as experiments;
 pub use memo_fit as fit;
 pub use memo_imaging as imaging;
 pub use memo_isa as isa;
+pub use memo_serve as serve;
 pub use memo_sim as sim;
 pub use memo_table as table;
 pub use memo_workloads as workloads;
