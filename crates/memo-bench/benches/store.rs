@@ -1,0 +1,105 @@
+//! Throughput of the persistent tier's building blocks: WAL-backed puts,
+//! memtable flushes into sorted segments, point gets against segment
+//! files, and crash recovery (reopen + WAL replay). Medians land in
+//! `BENCH_store.json` so CI can archive the store's cost profile next to
+//! the serve and sweep benchmarks.
+//!
+//! Runs without fsync — the interesting costs here are framing,
+//! checksumming, and the segment index, not the device sync latency.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+use memo_bench::bench_median;
+use memo_store::{Store, StoreConfig};
+
+/// Keys/values sized like the workload the serve layer actually stores:
+/// short path-style keys, table-render-sized bodies.
+const BATCH: usize = 1000;
+const VALUE_LEN: usize = 256;
+
+fn bench_config() -> StoreConfig {
+    StoreConfig {
+        // Large enough that a batch never auto-flushes mid-measurement.
+        memtable_max_bytes: 64 << 20,
+        fsync: false,
+        compact_at_segments: usize::MAX,
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("memo-bench-store-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn key(i: usize) -> Vec<u8> {
+    format!("results/bench/{i:06}").into_bytes()
+}
+
+fn main() {
+    let value = vec![0x5au8; VALUE_LEN];
+
+    // Puts: append to the WAL and insert into the memtable.
+    let dir = fresh_dir("put");
+    let store = Store::open(&dir, bench_config()).expect("open");
+    let mut next = 0usize;
+    let put_s = bench_median("store", "put_wal_memtable_1k", 10, || {
+        for i in next..next + BATCH {
+            store.put(&key(i), &value).expect("put");
+        }
+        next += BATCH;
+    });
+
+    // Flush: write a batch and drain it into a sorted segment. Each
+    // sample refills the memtable first (a bare flush of an empty
+    // memtable is a no-op), so this times put + sort + segment write.
+    let flush_s = bench_median("store", "put_1k_then_flush", 10, || {
+        for i in next..next + BATCH {
+            store.put(&key(i), &value).expect("put");
+        }
+        next += BATCH;
+        store.flush().expect("flush");
+    });
+
+    // Segment gets: every key written above now lives in segment files.
+    let get_s = bench_median("store", "get_from_segments_1k", 10, || {
+        for i in 0..BATCH {
+            black_box(store.get(&key(i)).expect("get"));
+        }
+    });
+    let stats = store.stats();
+    drop(store);
+
+    // Recovery: reopen a store whose WAL holds one unflushed batch.
+    let recover_dir = fresh_dir("recover");
+    {
+        let store = Store::open(&recover_dir, bench_config()).expect("open");
+        for i in 0..BATCH {
+            store.put(&key(i), &value).expect("put");
+        }
+        // Dropped without flush: everything stays in the WAL.
+    }
+    let recover_s = bench_median("store", "reopen_replay_1k_wal_ops", 10, || {
+        let store = Store::open(&recover_dir, bench_config()).expect("reopen");
+        black_box(store.stats().recovered_ops);
+    });
+
+    let mut json = String::from("{\n  \"bench\": \"memo_store\",\n");
+    let _ = writeln!(json, "  \"batch\": {BATCH},");
+    let _ = writeln!(json, "  \"value_len\": {VALUE_LEN},");
+    let _ = writeln!(json, "  \"put_1k_ms\": {:.3},", put_s * 1e3);
+    let _ = writeln!(json, "  \"put_1k_then_flush_ms\": {:.3},", flush_s * 1e3);
+    let _ = writeln!(json, "  \"get_segment_1k_ms\": {:.3},", get_s * 1e3);
+    let _ = writeln!(json, "  \"recover_1k_ms\": {:.3},", recover_s * 1e3);
+    let _ = writeln!(json, "  \"segments\": {},", stats.segments);
+    let _ = writeln!(json, "  \"segment_bytes\": {}", stats.segment_bytes);
+    json.push_str("}\n");
+    let path = "BENCH_store.json";
+    std::fs::write(path, json).expect("write BENCH_store.json");
+    println!("wrote {path}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&recover_dir);
+}

@@ -33,10 +33,31 @@ pub struct CacheStats {
     pub misses: u64,
     /// Lookups that joined another request's in-flight computation.
     pub coalesced: u64,
+    /// Tiered lookups whose value was loaded from the persistent tier
+    /// instead of computed (see [`ShardedLru::get_or_compute_tiered`]).
+    pub disk_hits: u64,
     /// Completed entries evicted by the capacity bound.
     pub evictions: u64,
     /// Entries currently resident (completed or in flight).
     pub len: usize,
+    /// Approximate bytes held by resident completed values, as measured
+    /// by the configured weigher (0 when no weigher is set). Approximate:
+    /// the gauge is updated outside the shard locks, so a racing eviction
+    /// can transiently skew it; it is eventually consistent.
+    pub approx_bytes: u64,
+}
+
+/// Which tier satisfied a [`ShardedLru::get_or_compute_tiered`] lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TierOutcome {
+    /// The value was already resident and complete in memory.
+    Memory,
+    /// The value was loaded from the persistent tier (no computation).
+    Disk,
+    /// The value was computed (and offered to the persistent tier).
+    /// Coalesced waiters that joined an in-flight lookup also report
+    /// `Computed` — they cannot know which tier the flight leader used.
+    Computed,
 }
 
 /// A deterministic FNV-1a hasher: shard selection must not depend on the
@@ -77,10 +98,14 @@ pub struct ShardedLru<K, V> {
     shards: Box<[Mutex<Shard<K, V>>]>,
     /// Max completed entries per shard; `usize::MAX` when unbounded.
     per_shard: usize,
+    /// Measures a completed value's footprint for the byte gauge.
+    weigher: fn(&V) -> usize,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    disk_hits: AtomicU64,
     evictions: AtomicU64,
+    bytes: AtomicU64,
 }
 
 impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
@@ -105,11 +130,24 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
         ShardedLru {
             shards,
             per_shard,
+            weigher: |_| 0,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            disk_hits: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
         }
+    }
+
+    /// Install a weigher measuring each completed value's approximate
+    /// footprint; the aggregate is exposed as [`CacheStats::approx_bytes`].
+    /// Set before the cache holds values (weights of values already
+    /// resident are not retroactively measured).
+    #[must_use]
+    pub fn with_weigher(mut self, weigher: fn(&V) -> usize) -> Self {
+        self.weigher = weigher;
+        self
     }
 
     /// An unbounded cache (the experiment-result store: every key is
@@ -131,33 +169,99 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
     /// compute concurrently while concurrent requests for one key block
     /// on a single computation.
     pub fn get_or_compute(&self, key: &K, compute: impl FnOnce() -> V) -> Arc<V> {
-        let (cell, fresh) = {
-            let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
-            shard.clock += 1;
-            let stamp = shard.clock;
-            match shard.map.get_mut(key) {
-                Some(entry) => {
-                    entry.stamp = stamp;
-                    let complete = entry.cell.get().is_some();
-                    let counter = if complete { &self.hits } else { &self.coalesced };
-                    counter.fetch_add(1, Ordering::Relaxed);
-                    (Arc::clone(&entry.cell), false)
-                }
-                None => {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
-                    let cell = Arc::new(OnceLock::new());
-                    shard.map.insert(key.clone(), Entry { cell: Arc::clone(&cell), stamp });
-                    (cell, true)
-                }
-            }
-        };
+        let (cell, fresh) = self.lookup_cell(key);
 
-        let value = Arc::clone(cell.get_or_init(|| Arc::new(compute())));
+        let mut ran = false;
+        let value = Arc::clone(cell.get_or_init(|| {
+            ran = true;
+            Arc::new(compute())
+        }));
+        if ran {
+            self.bytes.fetch_add((self.weigher)(&value) as u64, Ordering::Relaxed);
+        }
 
         if fresh && self.per_shard != usize::MAX {
             self.evict_over_capacity(key);
         }
         value
+    }
+
+    /// Like [`get_or_compute`](Self::get_or_compute), but with a
+    /// persistent tier between memory and computation: on a memory miss,
+    /// `load` is consulted first; only if it returns `None` does `compute`
+    /// run, and the fresh value is offered to `persist`. All of this
+    /// happens inside the per-key single-flight cell, so concurrent
+    /// requests for one key share a single load *or* computation, and
+    /// `persist` is called at most once per computed value.
+    ///
+    /// The returned [`TierOutcome`] says which tier answered for *this*
+    /// caller; coalesced waiters report [`TierOutcome::Computed`].
+    pub fn get_or_compute_tiered(
+        &self,
+        key: &K,
+        load: impl FnOnce() -> Option<V>,
+        persist: impl FnOnce(&V),
+        compute: impl FnOnce() -> V,
+    ) -> (Arc<V>, TierOutcome) {
+        let (cell, fresh) = self.lookup_cell(key);
+        if let Some(value) = cell.get() {
+            // Complete before we arrived (the lookup counted the hit).
+            return (Arc::clone(value), TierOutcome::Memory);
+        }
+
+        let mut ran = None;
+        let value = Arc::clone(cell.get_or_init(|| {
+            let (value, outcome) = match load() {
+                Some(value) => (value, TierOutcome::Disk),
+                None => {
+                    let value = compute();
+                    persist(&value);
+                    (value, TierOutcome::Computed)
+                }
+            };
+            ran = Some(outcome);
+            Arc::new(value)
+        }));
+        let outcome = match ran {
+            Some(outcome) => {
+                if outcome == TierOutcome::Disk {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.bytes.fetch_add((self.weigher)(&value) as u64, Ordering::Relaxed);
+                outcome
+            }
+            // Someone else's flight satisfied us while we raced to the
+            // cell; we did no tier probing ourselves.
+            None => TierOutcome::Computed,
+        };
+
+        if fresh && self.per_shard != usize::MAX {
+            self.evict_over_capacity(key);
+        }
+        (value, outcome)
+    }
+
+    /// Fetch or create the single-flight cell for `key`, updating recency
+    /// and the hit/coalesced/miss counters. Returns `(cell, fresh)`.
+    fn lookup_cell(&self, key: &K) -> (Arc<OnceLock<Arc<V>>>, bool) {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        shard.clock += 1;
+        let stamp = shard.clock;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = stamp;
+                let complete = entry.cell.get().is_some();
+                let counter = if complete { &self.hits } else { &self.coalesced };
+                counter.fetch_add(1, Ordering::Relaxed);
+                (Arc::clone(&entry.cell), false)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                let cell = Arc::new(OnceLock::new());
+                shard.map.insert(key.clone(), Entry { cell: Arc::clone(&cell), stamp });
+                (cell, true)
+            }
+        }
     }
 
     /// Return the value for `key` only if it is already resident and
@@ -188,15 +292,26 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
                 .min_by_key(|(_, e)| e.stamp)
                 .map(|(k, _)| k.clone());
             let Some(coldest) = coldest else { break };
-            shard.map.remove(&coldest);
+            if let Some(entry) = shard.map.remove(&coldest) {
+                if let Some(value) = entry.cell.get() {
+                    self.bytes.fetch_sub((self.weigher)(value) as u64, Ordering::Relaxed);
+                }
+            }
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
 
-    /// Forget every entry (counters keep accumulating).
+    /// Forget every entry (counters keep accumulating; the byte gauge
+    /// returns to zero, in-flight values excepted).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard.lock().expect("cache shard poisoned").map.clear();
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            for entry in shard.map.values() {
+                if let Some(value) = entry.cell.get() {
+                    self.bytes.fetch_sub((self.weigher)(value) as u64, Ordering::Relaxed);
+                }
+            }
+            shard.map.clear();
         }
     }
 
@@ -222,8 +337,10 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             coalesced: self.coalesced.load(Ordering::Relaxed),
+            disk_hits: self.disk_hits.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             len: self.len(),
+            approx_bytes: self.bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -304,6 +421,60 @@ mod tests {
         assert!(cache.is_empty());
         cache.get_or_compute(&1, || 2);
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn tiered_lookup_reports_the_answering_tier() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(2);
+        // First request: no disk copy → computed (and persisted).
+        let persisted = AtomicUsize::new(0);
+        let (v, outcome) = cache.get_or_compute_tiered(
+            &1,
+            || None,
+            |_| {
+                persisted.fetch_add(1, Ordering::Relaxed);
+            },
+            || 10,
+        );
+        assert_eq!((*v, outcome), (10, TierOutcome::Computed));
+        assert_eq!(persisted.load(Ordering::Relaxed), 1);
+        // Second request for the same key: memory.
+        let (v, outcome) = cache.get_or_compute_tiered(
+            &1,
+            || unreachable!("memory hit must not probe disk"),
+            |_| unreachable!(),
+            || unreachable!(),
+        );
+        assert_eq!((*v, outcome), (10, TierOutcome::Memory));
+        // A key the disk knows: loaded, not computed.
+        let (v, outcome) = cache.get_or_compute_tiered(
+            &2,
+            || Some(20),
+            |_| unreachable!("loaded values are not re-persisted"),
+            || unreachable!("loaded values are not computed"),
+        );
+        assert_eq!((*v, outcome), (20, TierOutcome::Disk));
+        let stats = cache.stats();
+        assert_eq!(stats.disk_hits, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn weigher_tracks_resident_bytes_through_eviction_and_clear() {
+        let cache: ShardedLru<u32, Vec<u8>> =
+            ShardedLru::new(1, 2).with_weigher(Vec::len);
+        cache.get_or_compute(&1, || vec![0; 100]);
+        cache.get_or_compute(&2, || vec![0; 50]);
+        assert_eq!(cache.stats().approx_bytes, 150);
+        cache.get_or_compute(&3, || vec![0; 7]); // evicts key 1 (coldest)
+        assert_eq!(cache.stats().approx_bytes, 57);
+        cache.clear();
+        assert_eq!(cache.stats().approx_bytes, 0);
+        // The tiered path weighs loaded values too.
+        let (_, outcome) = cache.get_or_compute_tiered(&4, || Some(vec![0; 9]), |_| {}, Vec::new);
+        assert_eq!(outcome, TierOutcome::Disk);
+        assert_eq!(cache.stats().approx_bytes, 9);
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub mod related;
 pub mod results;
 pub mod runner;
 pub mod speedup;
+pub mod store;
 pub mod suites;
 pub mod summary;
 pub mod table1;

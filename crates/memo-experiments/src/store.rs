@@ -1,0 +1,234 @@
+//! The process-global persistent tier.
+//!
+//! `memo-store` is a plain bytes→bytes store; this module is the typed
+//! glue the rest of the workspace uses:
+//!
+//! * a **global handle** — installed once (by `memo-serve` start-up or an
+//!   experiment driver), consulted by the trace cache and the serving
+//!   layer. Installable and removable so tests can run isolated stores.
+//! * a **format guard** — the store carries a `meta/format` key encoding
+//!   every serialization version it depends on (result codec, trace
+//!   archive, `OpTrace`, the `MemoConfig` stable key encoding — probed by
+//!   an actual encoding canary, not just a version constant). A mismatch
+//!   wipes the store: stale blobs invalidate instead of misdecoding.
+//! * **typed load/save helpers** — rendered result blobs and operand
+//!   trace archives. Load failures (IO, corruption, decode) degrade to
+//!   `None`, i.e. "recompute"; save failures are swallowed after
+//!   recording the event, because persistence is an accelerator here,
+//!   never a correctness dependency.
+
+use std::path::Path;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use memo_sim::{OpTrace, OP_TRACE_VERSION};
+use memo_store::codec::{self, RESULT_VERSION, TRACE_ARCHIVE_VERSION};
+use memo_store::{ResultBlob, Store, StoreConfig, StoreError};
+use memo_table::{MemoConfig, STABLE_ENCODING_VERSION};
+
+/// The key under which the format marker lives.
+const FORMAT_KEY: &[u8] = b"meta/format";
+
+fn global() -> &'static Mutex<Option<Arc<Store>>> {
+    static GLOBAL: OnceLock<Mutex<Option<Arc<Store>>>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(None))
+}
+
+/// The format marker this build writes: every version the persisted
+/// blobs depend on, plus a canary of the actual `MemoConfig` stable
+/// encoding so an encoding change that forgot its version bump still
+/// invalidates.
+#[must_use]
+pub fn format_tag() -> String {
+    let canary = MemoConfig::paper_default().to_stable_bytes();
+    let canary_hex: String = canary.iter().map(|b| format!("{b:02x}")).collect();
+    format!(
+        "result=v{RESULT_VERSION};archive=v{TRACE_ARCHIVE_VERSION};optrace=v{OP_TRACE_VERSION};\
+         cfgkey=v{STABLE_ENCODING_VERSION};canary={canary_hex}"
+    )
+}
+
+/// Open (or create) a store at `dir` and guard its format: if the
+/// directory carries a marker from a different format generation, the
+/// store is wiped and re-marked — previously persisted blobs would not
+/// decode anyway.
+///
+/// # Errors
+///
+/// [`StoreError`] when the directory cannot be opened or is corrupt.
+pub fn open_guarded(dir: &Path, config: StoreConfig) -> Result<Arc<Store>, StoreError> {
+    let store = Store::open(dir, config)?;
+    let expected = format_tag();
+    match store.get(FORMAT_KEY)? {
+        Some(found) if found == expected.as_bytes() => {}
+        found => {
+            if found.is_some() {
+                // Format changed underneath a populated store: wipe.
+                store.clear()?;
+            }
+            store.put(FORMAT_KEY, expected.as_bytes())?;
+        }
+    }
+    Ok(Arc::new(store))
+}
+
+/// Install `store` as the process-global persistent tier (replacing any
+/// previous one). The trace cache and serving layer pick it up on their
+/// next access.
+pub fn install(store: Arc<Store>) {
+    *global().lock().expect("store handle poisoned") = Some(store);
+}
+
+/// Remove the global store (tests; shutdown). In-flight users holding an
+/// `Arc` finish against the old store harmlessly.
+pub fn uninstall() {
+    *global().lock().expect("store handle poisoned") = None;
+}
+
+/// The currently installed store, if any.
+#[must_use]
+pub fn installed() -> Option<Arc<Store>> {
+    global().lock().expect("store handle poisoned").clone()
+}
+
+/// Load a rendered result blob. Any failure — no store, IO error,
+/// corrupt or foreign-format blob — is `None`: recompute.
+#[must_use]
+pub fn load_result(key: &str) -> Option<ResultBlob> {
+    let store = installed()?;
+    let bytes = store.get(key.as_bytes()).ok()??;
+    ResultBlob::from_bytes(&bytes).ok()
+}
+
+/// Persist a rendered result blob under `key`. Failures are swallowed:
+/// the disk tier accelerates restarts, it never gates a response.
+pub fn save_result(key: &str, blob: &ResultBlob) {
+    if let Some(store) = installed() {
+        let _ = store.put(key.as_bytes(), &blob.to_bytes());
+    }
+}
+
+/// Load an operand-trace archive (one `OpTrace` per part). `None` on any
+/// failure, including a version-tag mismatch in any part.
+#[must_use]
+pub fn load_traces(key: &str) -> Option<Vec<OpTrace>> {
+    let store = installed()?;
+    let bytes = store.get(key.as_bytes()).ok()??;
+    let parts = codec::decode_trace_archive(&bytes).ok()?;
+    parts.iter().map(|p| OpTrace::from_bytes(p).ok()).collect()
+}
+
+/// Persist an operand-trace archive under `key`; failures are swallowed.
+pub fn save_traces(key: &str, traces: &[OpTrace]) {
+    if let Some(store) = installed() {
+        let parts: Vec<Vec<u8>> = traces.iter().map(OpTrace::to_bytes).collect();
+        let _ = store.put(key.as_bytes(), &codec::encode_trace_archive(&parts));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_table::Op;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("memo-expstore-{tag}-{}-{n}", std::process::id()))
+    }
+
+    // The global handle is process-wide state; serialize the tests that
+    // install/uninstall it so they do not clobber each other.
+    fn handle_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    #[test]
+    fn format_guard_wipes_foreign_generations() {
+        let _guard = handle_lock();
+        let dir = tmp_dir("format");
+        {
+            let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+            store.put(FORMAT_KEY, b"result=v0;ancient").unwrap();
+            store.put(b"old-blob", b"stale bytes").unwrap();
+            store.flush().unwrap();
+        }
+        let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
+        assert_eq!(store.get(b"old-blob").unwrap(), None, "foreign-format store is wiped");
+        assert_eq!(store.get(FORMAT_KEY).unwrap(), Some(format_tag().into_bytes()));
+        // Same generation: contents survive a reopen.
+        store.put(b"blob", b"bytes").unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
+        assert_eq!(store.get(b"blob").unwrap(), Some(b"bytes".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn typed_helpers_roundtrip_through_the_global_handle() {
+        let _guard = handle_lock();
+        let dir = tmp_dir("typed");
+        let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
+        install(store);
+
+        assert_eq!(load_result("results/x"), None);
+        let blob = ResultBlob { status: 200, body: b"| table |".to_vec() };
+        save_result("results/x", &blob);
+        assert_eq!(load_result("results/x"), Some(blob));
+
+        let mut trace = OpTrace::new();
+        trace.push(Op::FpDiv(355.0, 113.0));
+        trace.push(Op::IntMul(6, 7));
+        save_traces("traces/k", &[trace.clone(), OpTrace::new()]);
+        let back = load_traces("traces/k").unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].len(), 2);
+        assert!(back[1].is_empty());
+
+        uninstall();
+        assert_eq!(load_result("results/x"), None, "no store, no disk tier");
+        save_result("results/x", &ResultBlob { status: 200, body: vec![] }); // no-op, no panic
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_cache_consults_the_store_before_recording() {
+        let _guard = handle_lock();
+        let dir = tmp_dir("traces");
+        let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
+        install(store);
+        // A scale no other test uses, so the per-process trace cache has
+        // no entry and must go through the store path.
+        let cfg = crate::ExpConfig { image_scale: 17, sci_n: 17 };
+        let app = memo_workloads::mm::find("vgpwl").unwrap();
+        let n_images = crate::traces::corpus(17).len();
+        // Pre-seed a recognizable archive of the right arity: mm_traces
+        // must serve it instead of re-recording the kernel.
+        let mut fake = OpTrace::new();
+        fake.push(Op::IntMul(41, 2));
+        let fakes: Vec<OpTrace> = (0..n_images).map(|_| fake.clone()).collect();
+        save_traces("traces/mm/vgpwl/17", &fakes);
+        let got = crate::traces::mm_traces(cfg, &app);
+        assert_eq!(got.len(), n_images);
+        assert!(got.iter().all(|t| t.len() == 1), "served from disk, not re-recorded");
+        // Sci path: no archive yet → records natively and writes back.
+        let sci_app = *memo_workloads::sci::all_apps().first().unwrap();
+        let t = crate::traces::sci_trace(cfg, &sci_app);
+        assert!(!t.is_empty());
+        let back = load_traces(&format!("traces/sci/{}/17", sci_app.name)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].len(), t.len());
+        uninstall();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn format_tag_is_stable_and_self_describing() {
+        assert_eq!(format_tag(), format_tag());
+        assert!(format_tag().contains("optrace=v1"));
+        assert!(format_tag().contains("canary="));
+    }
+}

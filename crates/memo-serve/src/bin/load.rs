@@ -10,7 +10,7 @@ use std::time::Duration;
 use memo_experiments::cli;
 use memo_serve::load::{self, LoadConfig, Mode};
 
-const FLAGS: [(&str, &str); 7] = [
+const FLAGS: [(&str, &str); 8] = [
     ("--addr=", "server address (default 127.0.0.1:7070)"),
     ("--connections=", "concurrent connections (default 32)"),
     ("--duration-s=", "run length in seconds (default 15)"),
@@ -18,6 +18,7 @@ const FLAGS: [(&str, &str); 7] = [
     ("--rate=", "per-connection requests/sec in open mode (default 50)"),
     ("--seed=", "request-mix seed (default 1998)"),
     ("--out=", "report path (default BENCH_serve.json)"),
+    ("--expect-warm", "fail unless some responses came from cache (memory or disk)"),
 ];
 
 fn value_of(prefix: &str) -> Option<String> {
@@ -81,6 +82,14 @@ fn main() {
     }
     if report.errors > 0 {
         eprintln!("memo-load: {} request(s) failed", report.errors);
+        std::process::exit(1);
+    }
+    let expect_warm = std::env::args().any(|a| a == "--expect-warm");
+    if expect_warm && report.cache_hits + report.cache_disk_hits == 0 {
+        eprintln!(
+            "memo-load: --expect-warm, but every artifact response was computed fresh \
+             (memory hits = 0, disk hits = 0) — is the cache or store wired up?"
+        );
         std::process::exit(1);
     }
 }

@@ -6,13 +6,14 @@ use std::time::Duration;
 use memo_experiments::cli;
 use memo_serve::server::{self, ServerConfig};
 
-const FLAGS: [(&str, &str); 6] = [
+const FLAGS: [(&str, &str); 7] = [
     ("--addr=", "bind address (default 127.0.0.1:7070; port 0 = ephemeral)"),
     ("--workers=", "worker threads (default: MEMO_JOBS or all cores)"),
     ("--queue-cap=", "queued connections before shedding 503 (default 128)"),
     ("--cache-cap=", "rendered results kept in cache (default 256)"),
     ("--read-timeout-ms=", "per-connection read timeout (default 10000)"),
     ("--write-timeout-ms=", "per-connection write timeout (default 10000)"),
+    ("--store-dir=", "persist results and traces here; serve them across restarts"),
 ];
 
 fn value_of(prefix: &str) -> Option<String> {
@@ -48,15 +49,22 @@ fn main() {
     if let Some(ms) = usize_flag("--write-timeout-ms=") {
         config.write_timeout = Duration::from_millis(ms.max(1) as u64);
     }
+    if let Some(dir) = value_of("--store-dir=") {
+        config.store_dir = Some(dir.into());
+    }
 
     match server::start(&config) {
         Ok(handle) => {
             println!(
-                "memo-serve listening on http://{} ({} workers, queue {}, cache {})",
+                "memo-serve listening on http://{} ({} workers, queue {}, cache {}{})",
                 handle.addr(),
                 config.workers.max(1),
                 config.queue_capacity,
-                config.cache_capacity
+                config.cache_capacity,
+                config.store_dir.as_ref().map_or(String::new(), |d| format!(
+                    ", store {}",
+                    d.display()
+                ))
             );
             println!("endpoints: /healthz /metrics /v1/table/{{1..13}} /v1/figure/{{2..4}} /v1/sweep /quitquitquit");
             handle.wait();

@@ -4,10 +4,10 @@
 //! [`SplitMix64`] stream (seeded, split per connection — two runs with
 //! the same seed issue the same requests), in closed-loop (next request
 //! after the previous response) or open-loop (fixed per-connection
-//! request rate) mode. Latencies land in cold/cached histograms keyed
-//! off the server's `x-memo-cache` header, and the summary is written as
-//! `BENCH_serve.json` next to the bench artifacts the repo already
-//! produces.
+//! request rate) mode. Latencies land in cold/warm/disk histograms keyed
+//! off the server's `x-memo-cache` header (`miss`, `hit`, `disk`), and
+//! the summary is written as `BENCH_serve.json` next to the bench
+//! artifacts the repo already produces.
 
 use std::fmt::Write as _;
 use std::io::{self, Read, Write};
@@ -86,10 +86,33 @@ fn pick_target(rng: &mut SplitMix64) -> String {
     }
 }
 
+/// How the server's `x-memo-cache` header classified one response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CacheClass {
+    /// `x-memo-cache: hit` — served from the in-memory result cache.
+    Memory,
+    /// `x-memo-cache: disk` — loaded from the persistent store.
+    Disk,
+    /// Any other `x-memo-cache` value — computed fresh.
+    Miss,
+    /// No header: the endpoint is not cacheable (healthz, metrics, …).
+    Uncached,
+}
+
+impl CacheClass {
+    fn from_header(value: &str) -> CacheClass {
+        match value {
+            "hit" => CacheClass::Memory,
+            "disk" => CacheClass::Disk,
+            _ => CacheClass::Miss,
+        }
+    }
+}
+
 /// One parsed (enough) HTTP response.
 struct MiniResponse {
     status: u16,
-    cache_hit: Option<bool>,
+    cache: CacheClass,
 }
 
 /// Read exactly one response off `stream`: status line, headers,
@@ -117,7 +140,7 @@ fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<Mi
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
     let mut content_length = 0usize;
-    let mut cache_hit = None;
+    let mut cache = CacheClass::Uncached;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
@@ -127,7 +150,7 @@ fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<Mi
                     .parse()
                     .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
             }
-            "x-memo-cache" => cache_hit = Some(value == "hit"),
+            "x-memo-cache" => cache = CacheClass::from_header(value),
             _ => {}
         }
     }
@@ -141,7 +164,7 @@ fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<Mi
         }
         remaining -= n;
     }
-    Ok(MiniResponse { status, cache_hit })
+    Ok(MiniResponse { status, cache })
 }
 
 /// Shared tallies across connection threads.
@@ -155,6 +178,7 @@ struct Tally {
     backpressure_503: AtomicU64,
     other_5xx: AtomicU64,
     cache_hits: AtomicU64,
+    cache_disk_hits: AtomicU64,
     cache_misses: AtomicU64,
     reconnects: AtomicU64,
 }
@@ -174,8 +198,10 @@ pub struct LoadReport {
     pub backpressure_503: u64,
     /// Other 5xx responses (these count as errors).
     pub other_5xx: u64,
-    /// Responses tagged `x-memo-cache: hit`.
+    /// Responses tagged `x-memo-cache: hit` (in-memory warm).
     pub cache_hits: u64,
+    /// Responses tagged `x-memo-cache: disk` (persistent-store warm).
+    pub cache_disk_hits: u64,
     /// Responses tagged `x-memo-cache: miss`.
     pub cache_misses: u64,
     /// Connection re-establishments after transport errors.
@@ -186,8 +212,12 @@ pub struct LoadReport {
     pub throughput_rps: f64,
     /// Latency of cache-miss (cold) artifact requests, microseconds.
     pub cold: LatencySummary,
-    /// Latency of cache-hit artifact requests, microseconds.
+    /// Latency of in-memory cache-hit (warm) artifact requests,
+    /// microseconds.
     pub cached: LatencySummary,
+    /// Latency of persistent-store hits (warm after a restart),
+    /// microseconds.
+    pub disk: LatencySummary,
     /// Latency of everything else (healthz/metrics/errors).
     pub uncached: LatencySummary,
 }
@@ -252,6 +282,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"backpressure_503\": {},", self.backpressure_503);
         let _ = writeln!(out, "  \"other_5xx\": {},", self.other_5xx);
         let _ = writeln!(out, "  \"cache_hits\": {},", self.cache_hits);
+        let _ = writeln!(out, "  \"cache_disk_hits\": {},", self.cache_disk_hits);
         let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
         let _ = writeln!(out, "  \"reconnects\": {},", self.reconnects);
         let _ = writeln!(out, "  \"elapsed_secs\": {:.2},", self.elapsed_secs);
@@ -259,6 +290,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"latency_us\": {{");
         let _ = writeln!(out, "    \"cold\": {},", self.cold.to_json());
         let _ = writeln!(out, "    \"cached\": {},", self.cached.to_json());
+        let _ = writeln!(out, "    \"disk\": {},", self.disk.to_json());
         let _ = writeln!(out, "    \"uncached\": {}", self.uncached.to_json());
         let _ = writeln!(out, "  }}");
         let _ = writeln!(out, "}}");
@@ -271,8 +303,8 @@ impl LoadReport {
         format!(
             "{} requests in {:.1}s ({:.0} rps), {} errors; \
              2xx={} 4xx={} shed-503={} other-5xx={}; \
-             cache hits={} misses={}; \
-             cold p50/p99 = {}/{} us, cached p50/p99 = {}/{} us",
+             cache hits={} disk={} misses={}; \
+             cold p50/p99 = {}/{} us, cached p50/p99 = {}/{} us, disk p50/p99 = {}/{} us",
             self.requests,
             self.elapsed_secs,
             self.throughput_rps,
@@ -282,11 +314,14 @@ impl LoadReport {
             self.backpressure_503,
             self.other_5xx,
             self.cache_hits,
+            self.cache_disk_hits,
             self.cache_misses,
             self.cold.p50_us,
             self.cold.p99_us,
             self.cached.p50_us,
             self.cached.p99_us,
+            self.disk.p50_us,
+            self.disk.p99_us,
         )
     }
 }
@@ -304,6 +339,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let tally = Arc::new(Tally::default());
     let cold = Arc::new(Histogram::new());
     let cached = Arc::new(Histogram::new());
+    let disk = Arc::new(Histogram::new());
     let uncached = Arc::new(Histogram::new());
     let started = Instant::now();
     let deadline = started + config.duration;
@@ -317,6 +353,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
             let tally = Arc::clone(&tally);
             let cold = Arc::clone(&cold);
             let cached = Arc::clone(&cached);
+            let disk = Arc::clone(&disk);
             let uncached = Arc::clone(&uncached);
             thread::spawn(move || {
                 let mut stream = None;
@@ -369,16 +406,20 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                                     tally.errors.fetch_add(1, Ordering::Relaxed)
                                 }
                             };
-                            match resp.cache_hit {
-                                Some(true) => {
+                            match resp.cache {
+                                CacheClass::Memory => {
                                     tally.cache_hits.fetch_add(1, Ordering::Relaxed);
                                     cached.record(micros);
                                 }
-                                Some(false) => {
+                                CacheClass::Disk => {
+                                    tally.cache_disk_hits.fetch_add(1, Ordering::Relaxed);
+                                    disk.record(micros);
+                                }
+                                CacheClass::Miss => {
                                     tally.cache_misses.fetch_add(1, Ordering::Relaxed);
                                     cold.record(micros);
                                 }
-                                None => uncached.record(micros),
+                                CacheClass::Uncached => uncached.record(micros),
                             }
                             if resp.status == 503 {
                                 // Shed: the server closed this socket.
@@ -412,12 +453,14 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         backpressure_503: tally.backpressure_503.load(Ordering::Relaxed),
         other_5xx: tally.other_5xx.load(Ordering::Relaxed),
         cache_hits: tally.cache_hits.load(Ordering::Relaxed),
+        cache_disk_hits: tally.cache_disk_hits.load(Ordering::Relaxed),
         cache_misses: tally.cache_misses.load(Ordering::Relaxed),
         reconnects: tally.reconnects.load(Ordering::Relaxed),
         elapsed_secs: elapsed,
         throughput_rps: throughput,
         cold: LatencySummary::from(&cold),
         cached: LatencySummary::from(&cached),
+        disk: LatencySummary::from(&disk),
         uncached: LatencySummary::from(&uncached),
     }
 }
@@ -477,21 +520,34 @@ mod tests {
             status_4xx: 0,
             backpressure_503: 0,
             other_5xx: 0,
-            cache_hits: 4,
+            cache_hits: 3,
+            cache_disk_hits: 1,
             cache_misses: 6,
             reconnects: 0,
             elapsed_secs: 1.5,
             throughput_rps: 6.7,
             cold: LatencySummary { count: 6, p50_us: 100, p90_us: 200, p99_us: 300, max_us: 400, mean_us: 150.0 },
-            cached: LatencySummary { count: 4, p50_us: 10, p90_us: 20, p99_us: 30, max_us: 40, mean_us: 15.0 },
+            cached: LatencySummary { count: 3, p50_us: 10, p90_us: 20, p99_us: 30, max_us: 40, mean_us: 15.0 },
+            disk: LatencySummary { count: 1, p50_us: 55, p90_us: 55, p99_us: 55, max_us: 55, mean_us: 55.0 },
             uncached: LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0, mean_us: 0.0 },
         };
         let json = report.to_json(&LoadConfig::default());
         assert!(json.contains("\"bench\": \"memo_serve_load\""));
-        assert!(json.contains("\"cache_hits\": 4"));
+        assert!(json.contains("\"cache_hits\": 3"));
+        assert!(json.contains("\"cache_disk_hits\": 1"));
+        assert!(json.contains("\"disk\": {\"count\": 1"));
         assert!(json.contains("\"p99_us\": 300"));
         // Balanced braces — cheap structural sanity without a parser.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.summary().contains("10 requests"));
+        assert!(report.summary().contains("disk=1"));
+    }
+
+    #[test]
+    fn cache_header_values_classify_three_ways() {
+        assert_eq!(CacheClass::from_header("hit"), CacheClass::Memory);
+        assert_eq!(CacheClass::from_header("disk"), CacheClass::Disk);
+        assert_eq!(CacheClass::from_header("miss"), CacheClass::Miss);
+        assert_eq!(CacheClass::from_header("anything-else"), CacheClass::Miss);
     }
 }

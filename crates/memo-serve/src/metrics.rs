@@ -67,8 +67,10 @@ impl Endpoint {
 /// How the result cache treated a request (label `cache`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CacheOutcome {
-    /// Served from the sharded result cache.
+    /// Served from the in-memory sharded result cache.
     Hit,
+    /// Loaded from the persistent store — no computation ran.
+    Disk,
     /// Computed fresh (includes coalesced waiters).
     Miss,
     /// The endpoint has no cacheable result (healthz, metrics, errors).
@@ -79,7 +81,8 @@ impl CacheOutcome {
     fn index(self) -> usize {
         match self {
             CacheOutcome::Hit => 0,
-            CacheOutcome::Miss | CacheOutcome::Uncached => 1,
+            CacheOutcome::Disk => 1,
+            CacheOutcome::Miss | CacheOutcome::Uncached => 2,
         }
     }
 }
@@ -89,8 +92,8 @@ struct EndpointStats {
     responses_2xx: AtomicU64,
     responses_4xx: AtomicU64,
     responses_5xx: AtomicU64,
-    // [0] = cache hits, [1] = misses/uncached.
-    latency: [Histogram; 2],
+    // [0] = memory hits, [1] = disk hits, [2] = misses/uncached.
+    latency: [Histogram; 3],
 }
 
 impl EndpointStats {
@@ -100,7 +103,7 @@ impl EndpointStats {
             responses_2xx: AtomicU64::new(0),
             responses_4xx: AtomicU64::new(0),
             responses_5xx: AtomicU64::new(0),
-            latency: [Histogram::new(), Histogram::new()],
+            latency: [Histogram::new(), Histogram::new(), Histogram::new()],
         }
     }
 }
@@ -112,8 +115,10 @@ pub struct Metrics {
     pub queue_rejections: AtomicU64,
     /// Connections accepted off the listener.
     pub connections_accepted: AtomicU64,
-    /// Requests that hit the server-side result cache.
+    /// Requests that hit the server-side result cache in memory.
     pub cache_hits: AtomicU64,
+    /// Requests served by loading a persisted result from the store.
+    pub cache_disk_hits: AtomicU64,
     /// Requests that computed (or waited on) a fresh result.
     pub cache_misses: AtomicU64,
     /// Requests closed early by a read/write timeout.
@@ -135,6 +140,7 @@ impl Metrics {
             queue_rejections: AtomicU64::new(0),
             connections_accepted: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            cache_disk_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
         }
@@ -155,6 +161,9 @@ impl Metrics {
             CacheOutcome::Hit => {
                 self.cache_hits.fetch_add(1, Ordering::Relaxed);
             }
+            CacheOutcome::Disk => {
+                self.cache_disk_hits.fetch_add(1, Ordering::Relaxed);
+            }
             CacheOutcome::Miss => {
                 self.cache_misses.fetch_add(1, Ordering::Relaxed);
             }
@@ -171,9 +180,18 @@ impl Metrics {
     /// Render the Prometheus-style text exposition.
     ///
     /// `queue_depth` and `draining` are point-in-time server state the
-    /// metrics struct does not own.
+    /// metrics struct does not own; `serve_cache` is a snapshot of the
+    /// rendered-result cache and `store` of the persistent tier, when one
+    /// is attached.
     #[must_use]
-    pub fn render(&self, queue_depth: usize, workers: usize, draining: bool) -> String {
+    pub fn render(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        draining: bool,
+        serve_cache: &memo_experiments::cache::CacheStats,
+        store: Option<&memo_store::StoreStats>,
+    ) -> String {
         let mut out = String::with_capacity(4096);
         let g = |v: u64| v.to_string();
 
@@ -205,7 +223,9 @@ impl Metrics {
         out.push_str("# TYPE memo_serve_latency_seconds summary\n");
         for ep in Endpoint::ALL {
             let s = &self.endpoints[ep.index()];
-            for (cache, hist) in [("hit", &s.latency[0]), ("miss", &s.latency[1])] {
+            for (cache, hist) in
+                [("hit", &s.latency[0]), ("disk", &s.latency[1]), ("miss", &s.latency[2])]
+            {
                 if hist.count() == 0 {
                     continue;
                 }
@@ -245,11 +265,20 @@ impl Metrics {
         out.push_str(&format!("memo_serve_timeouts_total {}\n", g(self.timeouts.load(Ordering::Relaxed))));
         out.push_str("# TYPE memo_serve_cache_hits_total counter\n");
         out.push_str(&format!("memo_serve_cache_hits_total {}\n", g(self.cache_hits.load(Ordering::Relaxed))));
+        out.push_str("# TYPE memo_serve_cache_disk_hits_total counter\n");
+        out.push_str(&format!(
+            "memo_serve_cache_disk_hits_total {}\n",
+            g(self.cache_disk_hits.load(Ordering::Relaxed))
+        ));
         out.push_str("# TYPE memo_serve_cache_misses_total counter\n");
         out.push_str(&format!(
             "memo_serve_cache_misses_total {}\n",
             g(self.cache_misses.load(Ordering::Relaxed))
         ));
+        out.push_str("# TYPE memo_serve_cache_entries gauge\n");
+        out.push_str(&format!("memo_serve_cache_entries {}\n", serve_cache.len));
+        out.push_str("# TYPE memo_serve_cache_bytes gauge\n");
+        out.push_str(&format!("memo_serve_cache_bytes {}\n", serve_cache.approx_bytes));
 
         // The process-wide experiment result cache (memo-experiments).
         let exp = results::stats();
@@ -261,6 +290,33 @@ impl Metrics {
         out.push_str(&format!("memo_experiments_cache_coalesced_total {}\n", exp.coalesced));
         out.push_str("# TYPE memo_experiments_cache_entries gauge\n");
         out.push_str(&format!("memo_experiments_cache_entries {}\n", exp.len));
+
+        // The persistent store, when one backs this server.
+        out.push_str("# TYPE memo_store_attached gauge\n");
+        out.push_str(&format!("memo_store_attached {}\n", u8::from(store.is_some())));
+        if let Some(st) = store {
+            for (name, value) in [
+                ("memo_store_memtable_hits_total", st.memtable_hits),
+                ("memo_store_segment_hits_total", st.segment_hits),
+                ("memo_store_misses_total", st.misses),
+                ("memo_store_writes_total", st.writes),
+                ("memo_store_flushes_total", st.flushes),
+                ("memo_store_compactions_total", st.compactions),
+                ("memo_store_bytes_read_total", st.bytes_read),
+                ("memo_store_bytes_written_total", st.bytes_written),
+                ("memo_store_recovered_ops_total", st.recovered_ops),
+            ] {
+                out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
+            }
+            for (name, value) in [
+                ("memo_store_segments", st.segments),
+                ("memo_store_segment_bytes", st.segment_bytes),
+                ("memo_store_memtable_entries", st.memtable_entries),
+                ("memo_store_memtable_bytes", st.memtable_bytes),
+            ] {
+                out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
+            }
+        }
         out
     }
 }
@@ -268,32 +324,59 @@ impl Metrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use memo_experiments::cache::CacheStats;
+
+    fn render(m: &Metrics, queue_depth: usize, workers: usize, draining: bool) -> String {
+        m.render(queue_depth, workers, draining, &CacheStats::default(), None)
+    }
 
     #[test]
     fn observe_rolls_up_by_endpoint_and_class() {
         let m = Metrics::new();
         m.observe(Endpoint::Table, 200, CacheOutcome::Miss, 1500);
         m.observe(Endpoint::Table, 200, CacheOutcome::Hit, 30);
+        m.observe(Endpoint::Figure, 200, CacheOutcome::Disk, 200);
         m.observe(Endpoint::Sweep, 400, CacheOutcome::Uncached, 90);
         m.observe(Endpoint::Other, 503, CacheOutcome::Uncached, 10);
-        assert_eq!(m.total_requests(), 4);
+        assert_eq!(m.total_requests(), 5);
         assert_eq!(m.cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(m.cache_disk_hits.load(Ordering::Relaxed), 1);
         assert_eq!(m.cache_misses.load(Ordering::Relaxed), 1);
 
-        let text = m.render(3, 4, false);
+        let text = render(&m, 3, 4, false);
         assert!(text.contains("memo_serve_requests_total{endpoint=\"table\"} 2"));
         assert!(text.contains("memo_serve_responses_total{endpoint=\"sweep\",class=\"4xx\"} 1"));
         assert!(text.contains("memo_serve_responses_total{endpoint=\"other\",class=\"5xx\"} 1"));
         assert!(text.contains("memo_serve_queue_depth 3"));
         assert!(text.contains("memo_serve_workers 4"));
         assert!(text.contains("memo_serve_cache_hits_total 1"));
+        assert!(text.contains("memo_serve_cache_disk_hits_total 1"));
         assert!(text.contains("memo_serve_latency_seconds{endpoint=\"table\",cache=\"hit\",quantile=\"0.5\"}"));
+        assert!(text.contains("memo_serve_latency_seconds{endpoint=\"figure\",cache=\"disk\",quantile=\"0.5\"}"));
     }
 
     #[test]
     fn render_reports_draining_flag() {
         let m = Metrics::new();
-        assert!(m.render(0, 1, true).contains("memo_serve_draining 1"));
-        assert!(m.render(0, 1, false).contains("memo_serve_draining 0"));
+        assert!(render(&m, 0, 1, true).contains("memo_serve_draining 1"));
+        assert!(render(&m, 0, 1, false).contains("memo_serve_draining 0"));
+    }
+
+    #[test]
+    fn render_exposes_cache_gauges_and_store_stats_when_attached() {
+        let m = Metrics::new();
+        let cache = CacheStats { len: 3, approx_bytes: 512, ..CacheStats::default() };
+        let without = m.render(0, 1, false, &cache, None);
+        assert!(without.contains("memo_serve_cache_entries 3"));
+        assert!(without.contains("memo_serve_cache_bytes 512"));
+        assert!(without.contains("memo_store_attached 0"));
+        assert!(!without.contains("memo_store_segments"));
+
+        let store =
+            memo_store::StoreStats { segment_hits: 7, segments: 2, ..Default::default() };
+        let with = m.render(0, 1, false, &cache, Some(&store));
+        assert!(with.contains("memo_store_attached 1"));
+        assert!(with.contains("memo_store_segment_hits_total 7"));
+        assert!(with.contains("memo_store_segments 2"));
     }
 }

@@ -5,12 +5,18 @@
 //! HTTP bytes are the CLI bytes plus a trailing newline (the binaries
 //! `println!`). Results are cached in a [`ShardedLru`] keyed by the
 //! canonical `(experiment, config)` string, with single-flight dedup so
-//! a thundering herd on a cold table computes it exactly once.
+//! a thundering herd on a cold table computes it exactly once. With a
+//! persistent store attached (`--store-dir`), a memory miss consults the
+//! store before computing, and successful renders are written through —
+//! a restarted server answers from disk (`x-memo-cache: disk`) without
+//! re-running any experiment.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
-use memo_experiments::cache::ShardedLru;
+use memo_experiments::cache::{ShardedLru, TierOutcome};
 use memo_experiments::{runner, ExpConfig, ExperimentError};
+use memo_store::{ResultBlob, Store};
 
 use crate::http::{Request, Response};
 use crate::metrics::{CacheOutcome, Endpoint, Metrics};
@@ -21,6 +27,8 @@ pub struct AppState {
     pub cfg: ExpConfig,
     /// Rendered-result cache: canonical key → (status, body).
     pub cache: ShardedLru<String, (u16, String)>,
+    /// The persistent tier behind the result cache, when configured.
+    pub store: Option<Arc<Store>>,
     /// Service counters.
     pub metrics: Metrics,
     /// Set by `/quitquitquit` (and the server's shutdown path); the
@@ -36,7 +44,10 @@ impl AppState {
     pub fn new(cfg: ExpConfig, cache_capacity: usize, workers: usize) -> Self {
         AppState {
             cfg,
-            cache: ShardedLru::new(8, cache_capacity.max(8)),
+            // Status line + body is what a cached render keeps alive.
+            cache: ShardedLru::new(8, cache_capacity.max(8))
+                .with_weigher(|(_, body): &(u16, String)| body.len() + std::mem::size_of::<u16>()),
+            store: None,
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             workers,
@@ -81,8 +92,16 @@ fn error_response(err: &ExperimentError) -> (u16, String) {
     (status, format!("{err}\n"))
 }
 
-/// Resolve a cacheable artifact through the result cache, reporting
-/// whether this request was served from cache.
+/// The store key a rendered artifact persists under.
+fn store_key(key: &str) -> String {
+    format!("results/{key}")
+}
+
+/// Resolve a cacheable artifact through the tiered result cache,
+/// reporting which tier served this request: memory, the persistent
+/// store, or a fresh computation. Only successful renders are written
+/// through to the store — errors stay in memory so a transient failure
+/// never becomes a persisted one.
 fn cached_artifact(
     state: &AppState,
     key: String,
@@ -92,14 +111,36 @@ fn cached_artifact(
         let (status, body) = entry.as_ref().clone();
         return (status, body, CacheOutcome::Hit);
     }
-    let entry = state.cache.get_or_compute(&key, || match compute() {
-        // Bodies get the trailing newline the CLI's `println!` adds, so
-        // HTTP bytes == CLI stdout bytes.
-        Ok(rendered) => (200, format!("{rendered}\n")),
-        Err(err) => error_response(&err),
-    });
+    let (entry, tier) = state.cache.get_or_compute_tiered(
+        &key,
+        || {
+            let store = state.store.as_ref()?;
+            let blob = store.get(store_key(&key).as_bytes()).ok()??;
+            let blob = ResultBlob::from_bytes(&blob).ok()?;
+            Some((blob.status, String::from_utf8(blob.body).ok()?))
+        },
+        |(status, body)| {
+            if *status == 200 {
+                if let Some(store) = state.store.as_ref() {
+                    let blob = ResultBlob { status: *status, body: body.clone().into_bytes() };
+                    let _ = store.put(store_key(&key).as_bytes(), &blob.to_bytes());
+                }
+            }
+        },
+        || match compute() {
+            // Bodies get the trailing newline the CLI's `println!` adds,
+            // so HTTP bytes == CLI stdout bytes.
+            Ok(rendered) => (200, format!("{rendered}\n")),
+            Err(err) => error_response(&err),
+        },
+    );
+    let outcome = match tier {
+        TierOutcome::Memory => CacheOutcome::Hit,
+        TierOutcome::Disk => CacheOutcome::Disk,
+        TierOutcome::Computed => CacheOutcome::Miss,
+    };
     let (status, body) = entry.as_ref().clone();
-    (status, body, CacheOutcome::Miss)
+    (status, body, outcome)
 }
 
 /// The routing result: what to send, plus labels for metrics.
@@ -134,7 +175,14 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
             routed(Response::text(200, body), Endpoint::Healthz, CacheOutcome::Uncached)
         }
         "/metrics" => {
-            let text = state.metrics.render(queue_depth, state.workers, state.draining());
+            let store_stats = state.store.as_ref().map(|s| s.stats());
+            let text = state.metrics.render(
+                queue_depth,
+                state.workers,
+                state.draining(),
+                &state.cache.stats(),
+                store_stats.as_ref(),
+            );
             routed(Response::text(200, text), Endpoint::Metrics, CacheOutcome::Uncached)
         }
         "/quitquitquit" => {
@@ -179,6 +227,7 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
 fn cache_label(outcome: CacheOutcome) -> &'static str {
     match outcome {
         CacheOutcome::Hit => "hit",
+        CacheOutcome::Disk => "disk",
         _ => "miss",
     }
 }
@@ -277,6 +326,61 @@ mod tests {
         let b2 = handle(&s, &get("/v1/table/5?sci_n=24"), 0);
         assert_eq!(b2.cache, CacheOutcome::Hit);
         let _ = a;
+    }
+
+    #[test]
+    fn disk_tier_serves_persisted_renders_and_writes_through() {
+        use memo_store::{Store, StoreConfig};
+        let dir = std::env::temp_dir()
+            .join(format!("memo-serve-routes-disk-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir, StoreConfig::small_for_tests()).unwrap());
+
+        // Pre-seed a recognizably fake render: if the request answers
+        // with these bytes, it came from the store, not the runner.
+        let fake = ResultBlob { status: 200, body: b"fake table from disk\n".to_vec() };
+        store
+            .put(b"results/table/1@scale=16;sci_n=16", &fake.to_bytes())
+            .unwrap();
+
+        let mut s = state();
+        s.store = Some(Arc::clone(&store));
+        let r = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(r.cache, CacheOutcome::Disk);
+        assert_eq!(r.response.body, b"fake table from disk\n");
+        assert!(r.response.headers.iter().any(|(k, v)| k == "x-memo-cache" && v == "disk"));
+        // Now resident: the repeat is a plain memory hit.
+        assert_eq!(handle(&s, &get("/v1/table/1"), 0).cache, CacheOutcome::Hit);
+
+        // A key the store has never seen computes and writes through…
+        let r = handle(&s, &get("/v1/table/2"), 0);
+        assert_eq!(r.cache, CacheOutcome::Miss);
+        let persisted = store.get(b"results/table/2@scale=16;sci_n=16").unwrap().unwrap();
+        assert_eq!(ResultBlob::from_bytes(&persisted).unwrap().body, r.response.body);
+        // …but error responses are never persisted.
+        assert_eq!(handle(&s, &get("/v1/table/99"), 0).response.status, 404);
+        assert_eq!(store.get(b"results/table/99@scale=16;sci_n=16").unwrap(), None);
+
+        // The cache counted the disk hit, and /metrics shows the store.
+        // (`memo_serve_cache_disk_hits_total` is incremented by the
+        // connection handler's observe(), which unit tests bypass; the
+        // restart e2e test covers it end to end.)
+        assert_eq!(s.cache.stats().disk_hits, 1);
+        let m = handle(&s, &get("/metrics"), 0);
+        let text = String::from_utf8(m.response.body.clone()).unwrap();
+        assert!(text.contains("memo_store_attached 1"), "{text}");
+        assert!(text.contains("memo_store_segment_hits_total"));
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_bytes_gauge_tracks_resident_renders() {
+        let s = state();
+        assert_eq!(s.cache.stats().approx_bytes, 0);
+        let r = handle(&s, &get("/v1/table/1"), 0);
+        let expected = (r.response.body.len() + std::mem::size_of::<u16>()) as u64;
+        assert_eq!(s.cache.stats().approx_bytes, expected);
     }
 
     #[test]

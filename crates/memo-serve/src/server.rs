@@ -9,12 +9,14 @@
 
 use std::io::{self, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use memo_experiments::{env, ExpConfig};
+use memo_experiments::{env, store, ExpConfig};
+use memo_store::StoreConfig;
 
 use crate::http::{parse_request, Response, MAX_HEADER_BYTES, MAX_BODY};
 use crate::metrics::{CacheOutcome, Endpoint};
@@ -39,6 +41,9 @@ pub struct ServerConfig {
     pub write_timeout: Duration,
     /// Base experiment configuration.
     pub cfg: ExpConfig,
+    /// Directory of the persistent result/trace store. `None` (the
+    /// default) serves memory-only, exactly as before the store existed.
+    pub store_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +56,7 @@ impl Default for ServerConfig {
             read_timeout: Duration::from_secs(10),
             write_timeout: Duration::from_secs(10),
             cfg: ExpConfig::from_env(),
+            store_dir: None,
         }
     }
 }
@@ -91,11 +97,18 @@ impl ServerHandle {
 
     /// Block until the accept loop and all workers have exited. Call
     /// after [`shutdown`](Self::shutdown) (or a `/quitquitquit` hit).
+    /// Flushes the persistent store once the last worker is done, so a
+    /// drained server leaves everything it rendered on disk.
     pub fn wait(self) {
         if self.accept_thread.join().is_err() {
             eprintln!("[memo-serve] accept thread panicked");
         }
         self.pool.join();
+        if let Some(store) = &self.state.store {
+            if let Err(err) = store.flush() {
+                eprintln!("[memo-serve] store flush on drain failed: {err}");
+            }
+        }
     }
 }
 
@@ -113,7 +126,16 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
 
     let workers = config.workers.max(1);
-    let state = Arc::new(AppState::new(config.cfg, config.cache_capacity, workers));
+    let mut state = AppState::new(config.cfg, config.cache_capacity, workers);
+    if let Some(dir) = &config.store_dir {
+        let opened = store::open_guarded(dir, StoreConfig::default())
+            .map_err(|e| io::Error::other(format!("open store at {}: {e}", dir.display())))?;
+        // Install globally too, so the trace cache records once across
+        // restarts, not just the rendered results.
+        store::install(Arc::clone(&opened));
+        state.store = Some(opened);
+    }
+    let state = Arc::new(state);
     let queue = Arc::new(Bounded::new(config.queue_capacity));
 
     let worker_state = Arc::clone(&state);
@@ -257,6 +279,7 @@ mod tests {
             read_timeout: Duration::from_millis(300),
             write_timeout: Duration::from_millis(300),
             cfg: ExpConfig::quick(),
+            store_dir: None,
         }
     }
 

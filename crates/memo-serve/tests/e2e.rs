@@ -21,6 +21,7 @@ fn boot(workers: usize, queue_capacity: usize) -> ServerHandle {
         read_timeout: Duration::from_secs(2),
         write_timeout: Duration::from_secs(2),
         cfg: ExpConfig::quick(),
+        store_dir: None,
     };
     server::start(&config).expect("bind ephemeral port")
 }

@@ -1,0 +1,114 @@
+//! Warm restart: a server backed by `--store-dir` must, after a full
+//! drain and reboot on the same directory, serve byte-identical artifact
+//! responses from the persistent tier (`x-memo-cache: disk`) without
+//! recomputing them.
+//!
+//! This lives in its own integration-test binary (not `e2e.rs`) because
+//! attaching a store also installs it process-globally for the trace
+//! cache; keeping it in a separate process keeps the store-less e2e
+//! tests honest.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use memo_experiments::{runner, store, ExpConfig};
+use memo_serve::server::{self, ServerConfig, ServerHandle};
+
+fn boot(store_dir: PathBuf) -> ServerHandle {
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 16,
+        cache_capacity: 64,
+        read_timeout: Duration::from_secs(2),
+        write_timeout: Duration::from_secs(2),
+        cfg: ExpConfig::quick(),
+        store_dir: Some(store_dir),
+    };
+    server::start(&config).expect("bind ephemeral port")
+}
+
+fn get(handle: &ServerHandle, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("complete header block");
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[header_end + 4..].to_vec())
+}
+
+fn cache_header(headers: &[(String, String)]) -> Option<&str> {
+    headers.iter().find(|(k, _)| k == "x-memo-cache").map(|(_, v)| v.as_str())
+}
+
+#[test]
+fn restarted_server_serves_byte_identical_renders_from_disk() {
+    let dir = std::env::temp_dir().join(format!("memo-serve-restart-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Round 1: cold boot. The first fetch computes and writes through;
+    // the repeat is an in-memory hit.
+    let handle = boot(dir.clone());
+    let expected = format!("{}\n", runner::table(1, ExpConfig::quick()).unwrap());
+    let (status, headers, body) = get(&handle, "/v1/table/1");
+    assert_eq!(status, 200);
+    assert_eq!(cache_header(&headers), Some("miss"));
+    assert_eq!(body, expected.as_bytes());
+    let (_, headers, _) = get(&handle, "/v1/table/1");
+    assert_eq!(cache_header(&headers), Some("hit"));
+
+    // Errors must not be persisted — round 2 asserts this stays a miss.
+    let (status, _, _) = get(&handle, "/v1/table/99");
+    assert_eq!(status, 404);
+
+    handle.shutdown();
+    handle.wait(); // drains and flushes the store
+
+    // Between rounds, wipe the process-wide experiment result cache so a
+    // compute in round 2 could not be satisfied by this process's memory
+    // — only the `disk` header below proves no compute ran at all.
+    memo_experiments::results::clear();
+
+    // Round 2: reboot on the same directory. The serve cache is empty,
+    // so the first fetch must come from the persistent tier, bit-exact.
+    let handle = boot(dir.clone());
+    let (status, headers, body) = get(&handle, "/v1/table/1");
+    assert_eq!(status, 200);
+    assert_eq!(cache_header(&headers), Some("disk"), "warm restart must answer from the store");
+    assert_eq!(body, expected.as_bytes(), "persisted render must be byte-identical");
+    // Once loaded it is resident: the repeat is a memory hit again.
+    let (_, headers, _) = get(&handle, "/v1/table/1");
+    assert_eq!(cache_header(&headers), Some("hit"));
+
+    // The 404 was never persisted, so it recomputes.
+    let (status, headers, _) = get(&handle, "/v1/table/99");
+    assert_eq!(status, 404);
+    assert_eq!(cache_header(&headers), Some("miss"));
+
+    // The disk hit and the attached store are visible in /metrics.
+    let (_, _, metrics) = get(&handle, "/metrics");
+    let text = String::from_utf8(metrics).unwrap();
+    assert!(text.contains("memo_serve_cache_disk_hits_total 1"), "{text}");
+    assert!(text.contains("memo_store_attached 1"));
+    assert!(text.contains("memo_serve_cache_bytes"));
+
+    handle.shutdown();
+    handle.wait();
+    store::uninstall();
+    let _ = std::fs::remove_dir_all(&dir);
+}

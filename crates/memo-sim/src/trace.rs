@@ -195,6 +195,141 @@ impl OpTrace {
     }
 }
 
+/// Why [`OpTrace::from_bytes`] rejected a buffer. Callers treat any
+/// variant as "not a usable trace" and fall back to native recording.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The magic bytes do not mark an `OpTrace`.
+    WrongMagic,
+    /// The version tag is not the one this build encodes — the format
+    /// changed, so the trace must be re-recorded, not reinterpreted.
+    WrongVersion {
+        /// The version found in the header.
+        found: u16,
+    },
+    /// The buffer is shorter than its own headers claim.
+    Truncated,
+    /// The decoded structure is internally inconsistent (run lengths do
+    /// not sum to the operation count, or operand columns are missized).
+    Inconsistent,
+}
+
+impl std::fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceDecodeError::WrongMagic => write!(f, "not an OpTrace blob"),
+            TraceDecodeError::WrongVersion { found } => {
+                write!(f, "OpTrace format v{found} (this build reads v{OP_TRACE_VERSION})")
+            }
+            TraceDecodeError::Truncated => write!(f, "OpTrace blob truncated"),
+            TraceDecodeError::Inconsistent => write!(f, "OpTrace blob internally inconsistent"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+/// Serialization format version written by [`OpTrace::to_bytes`]. Bump on
+/// any layout change so stale persisted traces invalidate cleanly.
+pub const OP_TRACE_VERSION: u16 = 1;
+
+const OP_TRACE_MAGIC: &[u8; 4] = b"MTRV";
+
+impl OpTrace {
+    /// Serialize to a self-describing byte buffer: magic, version tag,
+    /// then the SoA columns verbatim (RLE kind runs, operand columns).
+    /// The encoding is little-endian and platform-independent.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(26 + self.runs.len() * 4 + (self.a.len() + self.b.len()) * 8);
+        out.extend_from_slice(OP_TRACE_MAGIC);
+        out.extend_from_slice(&OP_TRACE_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.len as u64).to_le_bytes());
+        out.extend_from_slice(&(u32::try_from(self.runs.len()).expect("runs fit u32")).to_le_bytes());
+        out.extend_from_slice(&(u32::try_from(self.a.len()).expect("column fits u32")).to_le_bytes());
+        out.extend_from_slice(&(u32::try_from(self.b.len()).expect("column fits u32")).to_le_bytes());
+        for run in &self.runs {
+            out.extend_from_slice(&run.0.to_le_bytes());
+        }
+        for &a in &self.a {
+            out.extend_from_slice(&a.to_le_bytes());
+        }
+        for &b in &self.b {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+        out
+    }
+
+    /// Deserialize a buffer produced by [`to_bytes`](Self::to_bytes),
+    /// validating the version tag and the structural invariants (run
+    /// lengths sum to the operation count, operand columns are exactly
+    /// the sizes the runs imply).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceDecodeError`] on any mismatch — treat as "record natively".
+    pub fn from_bytes(bytes: &[u8]) -> Result<OpTrace, TraceDecodeError> {
+        if bytes.len() < 6 {
+            return Err(TraceDecodeError::Truncated);
+        }
+        if &bytes[..4] != OP_TRACE_MAGIC {
+            return Err(TraceDecodeError::WrongMagic);
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != OP_TRACE_VERSION {
+            return Err(TraceDecodeError::WrongVersion { found: version });
+        }
+        let rest = &bytes[6..];
+        if rest.len() < 20 {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let len = u64::from_le_bytes(rest[..8].try_into().expect("8 bytes"));
+        let len = usize::try_from(len).map_err(|_| TraceDecodeError::Inconsistent)?;
+        let nruns = u32::from_le_bytes(rest[8..12].try_into().expect("4 bytes")) as usize;
+        let na = u32::from_le_bytes(rest[12..16].try_into().expect("4 bytes")) as usize;
+        let nb = u32::from_le_bytes(rest[16..20].try_into().expect("4 bytes")) as usize;
+        let body = &rest[20..];
+        let need = nruns
+            .checked_mul(4)
+            .and_then(|r| (na + nb).checked_mul(8).map(|c| (r, c)))
+            .and_then(|(r, c)| r.checked_add(c))
+            .ok_or(TraceDecodeError::Inconsistent)?;
+        if body.len() != need {
+            return Err(TraceDecodeError::Truncated);
+        }
+        let runs: Vec<KindRun> = body[..nruns * 4]
+            .chunks_exact(4)
+            .map(|c| KindRun(u32::from_le_bytes(c.try_into().expect("4 bytes"))))
+            .collect();
+        let a: Vec<u64> = body[nruns * 4..nruns * 4 + na * 8]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let b: Vec<u64> = body[nruns * 4 + na * 8..]
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        // Structural invariants: run lengths sum to `len`, column sizes
+        // are exactly what the runs imply (sqrt consumes only column a).
+        let mut total = 0usize;
+        let mut binary = 0usize;
+        for run in &runs {
+            let n = run.len() as usize;
+            if n == 0 {
+                return Err(TraceDecodeError::Inconsistent);
+            }
+            total += n;
+            if run.kind() != OpKind::FpSqrt {
+                binary += n;
+            }
+        }
+        if total != len || a.len() != len || b.len() != binary {
+            return Err(TraceDecodeError::Inconsistent);
+        }
+        Ok(OpTrace { runs, a, b, len })
+    }
+}
+
 /// Decode one same-kind run from its operand slices. The kind match is
 /// hoisted out of the operand loop and the zipped slices elide the
 /// per-operand bounds checks of indexed decoding.
@@ -583,6 +718,60 @@ mod tests {
         assert_eq!(mix.mix().int_alu, 4);
         assert_eq!(mix.mix().loads, 1);
         assert_eq!(mix.mix().fp_sqrt, 1);
+    }
+
+    #[test]
+    fn serialization_roundtrips_bit_exactly() {
+        let mut trace = OpTrace::new();
+        for &op in &sample_ops() {
+            trace.push(op);
+        }
+        let bytes = trace.to_bytes();
+        let back = OpTrace::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), trace.len());
+        for (orig, got) in trace.iter().zip(back.iter()) {
+            assert_eq!(orig.kind(), got.kind());
+            assert_eq!(orig.operand_bits(), got.operand_bits());
+        }
+        // Replay equivalence: the decoded trace drives a bank identically.
+        let mut native = MemoBank::paper_default();
+        trace.replay(&mut native);
+        let mut decoded = MemoBank::paper_default();
+        back.replay(&mut decoded);
+        for kind in OpKind::ALL {
+            assert_eq!(native.stats(kind), decoded.stats(kind), "{kind}");
+        }
+        // Empty trace roundtrips too.
+        let empty = OpTrace::from_bytes(&OpTrace::new().to_bytes()).unwrap();
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn deserialization_rejects_damage() {
+        let mut trace = OpTrace::new();
+        for &op in &sample_ops() {
+            trace.push(op);
+        }
+        let bytes = trace.to_bytes();
+        assert!(matches!(OpTrace::from_bytes(b"xx"), Err(TraceDecodeError::Truncated)));
+        assert!(matches!(OpTrace::from_bytes(b"NOPE\x01\x00"), Err(TraceDecodeError::WrongMagic)));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 9;
+        assert!(matches!(
+            OpTrace::from_bytes(&wrong_version),
+            Err(TraceDecodeError::WrongVersion { found: 9 })
+        ));
+        assert!(matches!(
+            OpTrace::from_bytes(&bytes[..bytes.len() - 1]),
+            Err(TraceDecodeError::Truncated)
+        ));
+        // Corrupt the op count so runs no longer sum to it.
+        let mut inconsistent = bytes.clone();
+        inconsistent[6] ^= 0x01;
+        assert!(matches!(
+            OpTrace::from_bytes(&inconsistent),
+            Err(TraceDecodeError::Inconsistent)
+        ));
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Typed payloads over the raw byte store.
+//!
+//! Two blob families get persisted: rendered `(experiment, config)`
+//! result blobs and operand-trace archives. Both are wrapped in a small
+//! versioned envelope — `magic | version | payload` — so a format bump
+//! *invalidates* old blobs (decode fails, caller recomputes) instead of
+//! misdecoding them. The store's own integrity is byte-level (WAL CRC,
+//! segment CRC); this layer is about meaning, not corruption.
+
+use std::fmt;
+
+/// Envelope version for [`ResultBlob`]. Bump on any layout change.
+pub const RESULT_VERSION: u16 = 1;
+/// Envelope version for trace archives. Bump on any layout change.
+pub const TRACE_ARCHIVE_VERSION: u16 = 1;
+
+const RESULT_MAGIC: &[u8; 4] = b"MRES";
+const TRACE_MAGIC: &[u8; 4] = b"MTRC";
+
+/// Why a blob failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic bytes do not match — not this blob family at all.
+    WrongMagic,
+    /// The version is not the one this build encodes. Treat as a cache
+    /// miss: recompute and overwrite.
+    WrongVersion {
+        /// Version found in the envelope.
+        found: u16,
+        /// Version this build reads.
+        expected: u16,
+    },
+    /// The payload is shorter than its own length fields claim.
+    Truncated,
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::WrongMagic => write!(f, "blob magic mismatch"),
+            CodecError::WrongVersion { found, expected } => {
+                write!(f, "blob version {found} (this build reads {expected})")
+            }
+            CodecError::Truncated => write!(f, "blob truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// A rendered experiment artifact: the HTTP-ish status it rendered with
+/// and the response body bytes. Exactly what the serving layer needs to
+/// replay a response without rerunning the kernel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultBlob {
+    /// Status code the render produced (only 200s are worth caching, but
+    /// the codec does not enforce policy).
+    pub status: u16,
+    /// The rendered body.
+    pub body: Vec<u8>,
+}
+
+impl ResultBlob {
+    /// Encode into the versioned envelope.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(12 + self.body.len());
+        out.extend_from_slice(RESULT_MAGIC);
+        out.extend_from_slice(&RESULT_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.status.to_le_bytes());
+        out.extend_from_slice(
+            &(u32::try_from(self.body.len()).expect("body fits u32")).to_le_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Decode from the versioned envelope.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError`] on magic/version/length mismatch — callers treat
+    /// any error as a miss and recompute.
+    pub fn from_bytes(bytes: &[u8]) -> Result<ResultBlob, CodecError> {
+        let payload = open_envelope(bytes, RESULT_MAGIC, RESULT_VERSION)?;
+        if payload.len() < 6 {
+            return Err(CodecError::Truncated);
+        }
+        let status = u16::from_le_bytes(payload[..2].try_into().expect("2 bytes"));
+        let blen = u32::from_le_bytes(payload[2..6].try_into().expect("4 bytes")) as usize;
+        let body = payload.get(6..6 + blen).ok_or(CodecError::Truncated)?.to_vec();
+        if payload.len() != 6 + blen {
+            return Err(CodecError::Truncated); // trailing garbage is not ours
+        }
+        Ok(ResultBlob { status, body })
+    }
+}
+
+/// Encode an archive of opaque parts (one per recorded kernel trace —
+/// the parts themselves are `OpTrace::to_bytes` output, which carries
+/// its own version tag).
+#[must_use]
+pub fn encode_trace_archive(parts: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = parts.iter().map(|p| 4 + p.len()).sum();
+    let mut out = Vec::with_capacity(10 + total);
+    out.extend_from_slice(TRACE_MAGIC);
+    out.extend_from_slice(&TRACE_ARCHIVE_VERSION.to_le_bytes());
+    out.extend_from_slice(&(u32::try_from(parts.len()).expect("parts fit u32")).to_le_bytes());
+    for part in parts {
+        out.extend_from_slice(&(u32::try_from(part.len()).expect("part fits u32")).to_le_bytes());
+        out.extend_from_slice(part);
+    }
+    out
+}
+
+/// Decode a trace archive back into its opaque parts.
+///
+/// # Errors
+///
+/// [`CodecError`] on magic/version/length mismatch.
+pub fn decode_trace_archive(bytes: &[u8]) -> Result<Vec<Vec<u8>>, CodecError> {
+    let payload = open_envelope(bytes, TRACE_MAGIC, TRACE_ARCHIVE_VERSION)?;
+    if payload.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let count = u32::from_le_bytes(payload[..4].try_into().expect("4 bytes")) as usize;
+    let mut parts = Vec::with_capacity(count.min(1024));
+    let mut at = 4usize;
+    for _ in 0..count {
+        let plen = payload
+            .get(at..at + 4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+            .ok_or(CodecError::Truncated)?;
+        let part = payload.get(at + 4..at + 4 + plen).ok_or(CodecError::Truncated)?.to_vec();
+        parts.push(part);
+        at += 4 + plen;
+    }
+    if at != payload.len() {
+        return Err(CodecError::Truncated);
+    }
+    Ok(parts)
+}
+
+fn open_envelope<'a>(
+    bytes: &'a [u8],
+    magic: &[u8; 4],
+    version: u16,
+) -> Result<&'a [u8], CodecError> {
+    if bytes.len() < 6 {
+        return Err(CodecError::Truncated);
+    }
+    if &bytes[..4] != magic {
+        return Err(CodecError::WrongMagic);
+    }
+    let found = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+    if found != version {
+        return Err(CodecError::WrongVersion { found, expected: version });
+    }
+    Ok(&bytes[6..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_blob_roundtrips() {
+        let blob = ResultBlob { status: 200, body: b"| config | speedup |\n".to_vec() };
+        let bytes = blob.to_bytes();
+        assert_eq!(ResultBlob::from_bytes(&bytes).unwrap(), blob);
+        let empty = ResultBlob { status: 404, body: Vec::new() };
+        assert_eq!(ResultBlob::from_bytes(&empty.to_bytes()).unwrap(), empty);
+    }
+
+    #[test]
+    fn result_blob_rejects_damage_and_foreign_versions() {
+        let bytes = ResultBlob { status: 200, body: vec![7u8; 32] }.to_bytes();
+        assert_eq!(ResultBlob::from_bytes(&bytes[..10]), Err(CodecError::Truncated));
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] = b'X';
+        assert_eq!(ResultBlob::from_bytes(&wrong_magic), Err(CodecError::WrongMagic));
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert_eq!(
+            ResultBlob::from_bytes(&wrong_version),
+            Err(CodecError::WrongVersion { found: 99, expected: RESULT_VERSION })
+        );
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert_eq!(ResultBlob::from_bytes(&trailing), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn trace_archive_roundtrips() {
+        let parts = vec![b"trace-one".to_vec(), Vec::new(), vec![0xAB; 100]];
+        let bytes = encode_trace_archive(&parts);
+        assert_eq!(decode_trace_archive(&bytes).unwrap(), parts);
+        assert_eq!(decode_trace_archive(&encode_trace_archive(&[])).unwrap(), Vec::<Vec<u8>>::new());
+        assert_eq!(decode_trace_archive(&bytes[..8]), Err(CodecError::Truncated));
+        assert_eq!(decode_trace_archive(b"MRESxx"), Err(CodecError::WrongMagic));
+    }
+}

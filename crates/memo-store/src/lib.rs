@@ -1,0 +1,153 @@
+//! # memo-store
+//!
+//! A log-structured, crash-safe key-value store — the persistent tier
+//! under the reproduction's in-memory memo caches.
+//!
+//! The paper's argument is that recomputation is waste: a memo table
+//! turns a multi-cycle multiply into a one-cycle lookup. The in-memory
+//! caches (`ShardedLru`, the per-process trace caches) apply that idea
+//! within one process; this crate applies it *across* processes, so a
+//! server restart or a fresh experiment run serves previously computed
+//! artifacts from disk instead of replaying kernels.
+//!
+//! The shape is the classic LSM triad, deliberately mirroring the
+//! paper's hit/miss/insert protocol one level up:
+//!
+//! * [`wal`] — a checksummed append-only write-ahead log. Every write is
+//!   durable before it is acknowledged; recovery replays the committed
+//!   prefix and detects torn or corrupt tails by length framing + CRC-32.
+//! * [`memtable`] — the mutable in-memory tier (a sorted map with byte
+//!   accounting), populated by writes and by WAL recovery.
+//! * [`segment`] — immutable sorted segment files flushed from the
+//!   memtable, each carrying a sparse in-memory index and whole-region
+//!   checksums. Lookups consult the memtable first, then segments newest
+//!   to oldest (the same "probe the table before the unit" protocol).
+//! * compaction (explicit [`Store::compact`] or automatic once the
+//!   segment count passes a threshold) merges all segments into one,
+//!   reclaiming superseded keys and dropping tombstones.
+//! * [`codec`] — the typed payload layer for the two blob families the
+//!   reproduction persists: rendered `(experiment, config)` result blobs
+//!   and RLE operand-trace archives, both behind a versioned envelope so
+//!   a format bump invalidates cleanly instead of misdecoding.
+//!
+//! Everything is `std`-only. The store assumes a single writing process
+//! per directory (the serving deployment shape); concurrent readers in
+//! the same process are fine — [`Store`] is `Sync`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod codec;
+pub mod memtable;
+pub mod segment;
+pub mod store;
+pub mod wal;
+
+pub use codec::{CodecError, ResultBlob};
+pub use store::{Store, StoreConfig, StoreStats};
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
+/// guarding WAL records and segment regions. Table-driven, no deps.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+            }
+            *slot = crc;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Everything that can go wrong opening or operating a [`Store`].
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// What the store was doing.
+        context: String,
+        /// The OS error.
+        source: io::Error,
+    },
+    /// A segment file failed validation (bad magic, version, or checksum).
+    /// Segments are written to a temp file and renamed, so this indicates
+    /// bit rot or external tampering — never a crash mid-write.
+    CorruptSegment {
+        /// The offending file.
+        path: PathBuf,
+        /// What failed to validate.
+        detail: String,
+    },
+    /// The directory carries a store format marker from an incompatible
+    /// version of this crate.
+    FormatMismatch {
+        /// The marker found on disk.
+        found: String,
+        /// The marker this build writes.
+        expected: String,
+    },
+}
+
+impl StoreError {
+    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
+        StoreError::Io { context: context.into(), source }
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { context, source } => write!(f, "{context}: {source}"),
+            StoreError::CorruptSegment { path, detail } => {
+                write!(f, "corrupt segment {}: {detail}", path.display())
+            }
+            StoreError::FormatMismatch { found, expected } => {
+                write!(f, "store format {found:?} is not this build's {expected:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn error_display_names_the_failure() {
+        let e = StoreError::FormatMismatch { found: "v0".into(), expected: "v1".into() };
+        assert!(e.to_string().contains("v0") && e.to_string().contains("v1"));
+        let e = StoreError::CorruptSegment { path: "/x/seg".into(), detail: "bad crc".into() };
+        assert!(e.to_string().contains("bad crc"));
+    }
+}

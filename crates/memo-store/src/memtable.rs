@@ -1,0 +1,125 @@
+//! The mutable in-memory tier: a sorted map with byte accounting.
+//!
+//! Writes land here (after the WAL has made them durable) and reads
+//! check here first — the memtable always holds the newest version of
+//! any key it contains. Deletes are tombstones (`None`) so a flush can
+//! shadow older segment versions; compaction reclaims them for good.
+
+use std::collections::BTreeMap;
+
+/// Fixed per-entry overhead charged on top of key/value bytes, so the
+/// flush threshold tracks real memory pressure, not just payload size.
+const ENTRY_OVERHEAD: usize = 64;
+
+/// The in-memory write buffer. Not thread-safe by itself — the store
+/// serializes access.
+#[derive(Debug, Default)]
+pub struct MemTable {
+    map: BTreeMap<Vec<u8>, Option<Vec<u8>>>,
+    bytes: usize,
+}
+
+impl MemTable {
+    /// An empty memtable.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        self.insert(key, Some(value));
+    }
+
+    /// Record a tombstone for `key`.
+    pub fn delete(&mut self, key: Vec<u8>) {
+        self.insert(key, None);
+    }
+
+    fn insert(&mut self, key: Vec<u8>, value: Option<Vec<u8>>) {
+        let key_len = key.len();
+        self.bytes += key_len + value.as_ref().map_or(0, Vec::len) + ENTRY_OVERHEAD;
+        if let Some(old) = self.map.insert(key, value) {
+            // Replacement: the old version's account (the map keeps the
+            // original key allocation, but the charge is symmetric).
+            self.bytes -= key_len + old.map_or(0, |v| v.len()) + ENTRY_OVERHEAD;
+        }
+    }
+
+    /// The newest version of `key`: `Some(Some(v))` live, `Some(None)`
+    /// deleted, `None` unknown here (check the segments).
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<Option<&[u8]>> {
+        self.map.get(key).map(|v| v.as_deref())
+    }
+
+    /// Entries (live + tombstones) currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when nothing is buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Approximate bytes buffered (keys + values + per-entry overhead) —
+    /// the flush trigger.
+    #[must_use]
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Iterate entries in key order — the segment writer's input.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], Option<&[u8]>)> {
+        self.map.iter().map(|(k, v)| (k.as_slice(), v.as_deref()))
+    }
+
+    /// Drop everything (after a successful flush).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn newest_version_wins_and_tombstones_are_visible() {
+        let mut mt = MemTable::new();
+        mt.put(b"k".to_vec(), b"v1".to_vec());
+        mt.put(b"k".to_vec(), b"v2".to_vec());
+        assert_eq!(mt.get(b"k"), Some(Some(b"v2".as_slice())));
+        mt.delete(b"k".to_vec());
+        assert_eq!(mt.get(b"k"), Some(None), "tombstone, not absence");
+        assert_eq!(mt.get(b"other"), None);
+        assert_eq!(mt.len(), 1);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_replacements() {
+        let mut mt = MemTable::new();
+        mt.put(b"key".to_vec(), vec![0u8; 100]);
+        let first = mt.approx_bytes();
+        assert!(first >= 103);
+        mt.put(b"key".to_vec(), vec![0u8; 10]);
+        assert!(mt.approx_bytes() < first, "smaller replacement shrinks the account");
+        mt.clear();
+        assert_eq!(mt.approx_bytes(), 0);
+        assert!(mt.is_empty());
+    }
+
+    #[test]
+    fn iterates_in_key_order() {
+        let mut mt = MemTable::new();
+        mt.put(b"b".to_vec(), b"2".to_vec());
+        mt.put(b"a".to_vec(), b"1".to_vec());
+        mt.delete(b"c".to_vec());
+        let keys: Vec<&[u8]> = mt.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_slice(), b"b", b"c"]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Immutable sorted segment files with a sparse in-memory index.
+//!
+//! A segment is one memtable flush (or one compaction output), laid out
+//! for cheap point lookups without loading the data into memory:
+//!
+//! ```text
+//! header : magic "MSEG" | version u16 LE | reserved u16
+//! data   : entries sorted by key, each
+//!          [op: u8 (1 = put, 2 = tombstone)]
+//!          [klen: u32 LE] [key] (put only: [vlen: u32 LE] [value])
+//! index  : [count: u32 LE] then, for every SPARSE_EVERY-th entry,
+//!          [klen: u32 LE] [key] [file offset: u64 LE]
+//! footer : [data_off u64][index_off u64][entry_count u64]
+//!          [data_crc u32][index_crc u32][index_count u32] | magic "GESM"
+//! ```
+//!
+//! Writers stream to `<name>.tmp` and `rename` into place, so a crash
+//! mid-flush never leaves a half-segment under a live name; `open`
+//! validates both region checksums and the footer framing, so bit rot is
+//! detected rather than served. Lookups binary-search the sparse index
+//! for the greatest indexed key ≤ target, then scan forward at most
+//! `SPARSE_EVERY` entries — the classic SSTable read path.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::{crc32, StoreError};
+
+const MAGIC_HEAD: &[u8; 4] = b"MSEG";
+const MAGIC_FOOT: &[u8; 4] = b"GESM";
+const VERSION: u16 = 1;
+const HEADER_LEN: u64 = 8;
+const FOOTER_LEN: u64 = 8 + 8 + 8 + 4 + 4 + 4 + 4; // 3 offsets, 3 u32s, magic
+
+/// Every how many entries the sparse index records a (key, offset) pair.
+pub const SPARSE_EVERY: usize = 16;
+
+/// Lookup result: `Some(Some(v))` live value, `Some(None)` tombstone,
+/// `None` not present in this segment.
+pub type Lookup = Option<Option<Vec<u8>>>;
+
+/// Full segment contents in key order; `None` values are tombstones.
+pub type Entries = Vec<(Vec<u8>, Option<Vec<u8>>)>;
+
+const OP_PUT: u8 = 1;
+const OP_TOMBSTONE: u8 = 2;
+
+/// Serialize one data entry.
+fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
+    match value {
+        Some(v) => {
+            out.push(OP_PUT);
+            out.extend_from_slice(&(u32::try_from(key.len()).expect("key fits u32")).to_le_bytes());
+            out.extend_from_slice(key);
+            out.extend_from_slice(&(u32::try_from(v.len()).expect("value fits u32")).to_le_bytes());
+            out.extend_from_slice(v);
+        }
+        None => {
+            out.push(OP_TOMBSTONE);
+            out.extend_from_slice(&(u32::try_from(key.len()).expect("key fits u32")).to_le_bytes());
+            out.extend_from_slice(key);
+        }
+    }
+}
+
+/// Write a segment from `entries` (must be sorted by key, newest version
+/// only) to `path` atomically. Returns the entry count and file size.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on filesystem failures.
+pub fn write<'a>(
+    path: &Path,
+    entries: impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)>,
+    fsync: bool,
+) -> Result<(u64, u64), StoreError> {
+    let mut data = Vec::new();
+    let mut index: Vec<u8> = Vec::new();
+    let mut index_count: u32 = 0;
+    let mut entry_count: u64 = 0;
+    for (key, value) in entries {
+        if entry_count.is_multiple_of(SPARSE_EVERY as u64) {
+            index.extend_from_slice(
+                &(u32::try_from(key.len()).expect("key fits u32")).to_le_bytes(),
+            );
+            index.extend_from_slice(key);
+            index.extend_from_slice(&(HEADER_LEN + data.len() as u64).to_le_bytes());
+            index_count += 1;
+        }
+        encode_entry(&mut data, key, value);
+        entry_count += 1;
+    }
+
+    let tmp = path.with_extension("tmp");
+    let mut file = File::create(&tmp)
+        .map_err(|e| StoreError::io(format!("create segment {}", tmp.display()), e))?;
+    let mut out = Vec::with_capacity(HEADER_LEN as usize + data.len() + index.len() + 64);
+    out.extend_from_slice(MAGIC_HEAD);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&[0u8; 2]);
+    let data_off = out.len() as u64;
+    out.extend_from_slice(&data);
+    let index_off = out.len() as u64;
+    out.extend_from_slice(&index_count.to_le_bytes());
+    out.extend_from_slice(&index);
+    out.extend_from_slice(&data_off.to_le_bytes());
+    out.extend_from_slice(&index_off.to_le_bytes());
+    out.extend_from_slice(&entry_count.to_le_bytes());
+    out.extend_from_slice(&crc32(&data).to_le_bytes());
+    out.extend_from_slice(&crc32(&index).to_le_bytes());
+    out.extend_from_slice(&index_count.to_le_bytes()); // footer copy, framing check
+    out.extend_from_slice(MAGIC_FOOT);
+    file.write_all(&out).map_err(|e| StoreError::io("write segment", e))?;
+    if fsync {
+        file.sync_all().map_err(|e| StoreError::io("fsync segment", e))?;
+    }
+    drop(file);
+    std::fs::rename(&tmp, path)
+        .map_err(|e| StoreError::io(format!("rename segment into {}", path.display()), e))?;
+    Ok((entry_count, out.len() as u64))
+}
+
+/// One sparse-index point.
+#[derive(Debug, Clone)]
+struct IndexPoint {
+    key: Vec<u8>,
+    offset: u64,
+}
+
+/// An open, validated segment: sparse index in memory, data on disk.
+#[derive(Debug)]
+pub struct Segment {
+    path: PathBuf,
+    file: Mutex<File>,
+    index: Vec<IndexPoint>,
+    data_off: u64,
+    index_off: u64,
+    entries: u64,
+    file_len: u64,
+}
+
+impl Segment {
+    fn corrupt(path: &Path, detail: impl Into<String>) -> StoreError {
+        StoreError::CorruptSegment { path: path.to_path_buf(), detail: detail.into() }
+    }
+
+    /// Open and validate the segment at `path` (checks magic, version,
+    /// and both region CRCs — a full read once, then lookups seek).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::CorruptSegment`] when validation fails;
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn open(path: &Path) -> Result<Segment, StoreError> {
+        let mut file = File::open(path)
+            .map_err(|e| StoreError::io(format!("open segment {}", path.display()), e))?;
+        let mut bytes = Vec::new();
+        file.read_to_end(&mut bytes)
+            .map_err(|e| StoreError::io(format!("read segment {}", path.display()), e))?;
+        let len = bytes.len() as u64;
+        if len < HEADER_LEN + FOOTER_LEN || &bytes[..4] != MAGIC_HEAD {
+            return Err(Self::corrupt(path, "missing header"));
+        }
+        let version = u16::from_le_bytes(bytes[4..6].try_into().expect("2 bytes"));
+        if version != VERSION {
+            return Err(Self::corrupt(path, format!("unknown version {version}")));
+        }
+        let foot = &bytes[(len - FOOTER_LEN) as usize..];
+        if &foot[FOOTER_LEN as usize - 4..] != MAGIC_FOOT {
+            return Err(Self::corrupt(path, "missing footer magic"));
+        }
+        let u64_at = |b: &[u8], at: usize| u64::from_le_bytes(b[at..at + 8].try_into().expect("8"));
+        let u32_at = |b: &[u8], at: usize| u32::from_le_bytes(b[at..at + 4].try_into().expect("4"));
+        let data_off = u64_at(foot, 0);
+        let index_off = u64_at(foot, 8);
+        let entries = u64_at(foot, 16);
+        let data_crc = u32_at(foot, 24);
+        let index_crc = u32_at(foot, 28);
+        let index_count_footer = u32_at(foot, 32);
+        if data_off != HEADER_LEN || index_off < data_off || index_off > len - FOOTER_LEN {
+            return Err(Self::corrupt(path, "offsets out of range"));
+        }
+        let data = &bytes[data_off as usize..index_off as usize];
+        if crc32(data) != data_crc {
+            return Err(Self::corrupt(path, "data checksum mismatch"));
+        }
+        let index_bytes = &bytes[index_off as usize + 4..(len - FOOTER_LEN) as usize];
+        if crc32(index_bytes) != index_crc {
+            return Err(Self::corrupt(path, "index checksum mismatch"));
+        }
+        let index_count = u32_at(&bytes, index_off as usize);
+        if index_count != index_count_footer {
+            return Err(Self::corrupt(path, "index count mismatch"));
+        }
+
+        // Decode the sparse index.
+        let mut index = Vec::with_capacity(index_count as usize);
+        let mut at = 0usize;
+        for _ in 0..index_count {
+            let klen = *index_bytes
+                .get(at..at + 4)
+                .and_then(|b| Some(u32::from_le_bytes(b.try_into().ok()?)))
+                .as_ref()
+                .ok_or_else(|| Self::corrupt(path, "index truncated"))?
+                as usize;
+            let key = index_bytes
+                .get(at + 4..at + 4 + klen)
+                .ok_or_else(|| Self::corrupt(path, "index key truncated"))?
+                .to_vec();
+            let offset = index_bytes
+                .get(at + 4 + klen..at + 12 + klen)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| Self::corrupt(path, "index offset truncated"))?;
+            if offset < data_off || offset > index_off {
+                return Err(Self::corrupt(path, "index offset out of range"));
+            }
+            index.push(IndexPoint { key, offset });
+            at += 12 + klen;
+        }
+        if at != index_bytes.len() {
+            return Err(Self::corrupt(path, "index trailing bytes"));
+        }
+
+        Ok(Segment {
+            path: path.to_path_buf(),
+            file: Mutex::new(file),
+            index,
+            data_off,
+            index_off,
+            entries,
+            file_len: len,
+        })
+    }
+
+    /// Number of entries (live + tombstones).
+    #[must_use]
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// On-disk size in bytes.
+    #[must_use]
+    pub fn file_len(&self) -> u64 {
+        self.file_len
+    }
+
+    /// The file path (for deletion after compaction).
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Look up `key`: `Some(Some(v))` live value, `Some(None)` tombstone,
+    /// `None` not present in this segment. Also returns bytes read from
+    /// disk for the caller's accounting.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on read failures, [`StoreError::CorruptSegment`]
+    /// if the data region does not parse (defense in depth — the CRC was
+    /// already verified at open).
+    pub fn get(&self, key: &[u8]) -> Result<(Lookup, u64), StoreError> {
+        // Greatest indexed key <= target.
+        let slot = self.index.partition_point(|p| p.key.as_slice() <= key);
+        if slot == 0 {
+            return Ok((None, 0)); // target sorts before the first key
+        }
+        let start = self.index[slot - 1].offset;
+        let end = self.index.get(slot).map_or(self.index_off, |p| p.offset);
+        let span = usize::try_from(end - start).expect("segment spans fit usize");
+        let mut buf = vec![0u8; span];
+        {
+            let mut file = self.file.lock().expect("segment file poisoned");
+            file.seek(SeekFrom::Start(start)).map_err(|e| StoreError::io("seek segment", e))?;
+            file.read_exact(&mut buf).map_err(|e| StoreError::io("read segment span", e))?;
+        }
+        let mut at = 0usize;
+        while at < buf.len() {
+            let (op, rest) = (buf[at], at + 1);
+            let klen = buf
+                .get(rest..rest + 4)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .ok_or_else(|| Self::corrupt(&self.path, "entry truncated"))?;
+            let kend = rest + 4 + klen;
+            let k = buf.get(rest + 4..kend).ok_or_else(|| Self::corrupt(&self.path, "key truncated"))?;
+            match op {
+                OP_TOMBSTONE => {
+                    if k == key {
+                        return Ok((Some(None), (at + 5 + klen) as u64));
+                    }
+                    if k > key {
+                        return Ok((None, at as u64));
+                    }
+                    at = kend;
+                }
+                OP_PUT => {
+                    let vlen = buf
+                        .get(kend..kend + 4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                        .ok_or_else(|| Self::corrupt(&self.path, "value length truncated"))?;
+                    if k == key {
+                        let v = buf
+                            .get(kend + 4..kend + 4 + vlen)
+                            .ok_or_else(|| Self::corrupt(&self.path, "value truncated"))?;
+                        return Ok((Some(Some(v.to_vec())), (kend + 4 + vlen) as u64));
+                    }
+                    if k > key {
+                        return Ok((None, at as u64));
+                    }
+                    at = kend + 4 + vlen;
+                }
+                other => {
+                    return Err(Self::corrupt(&self.path, format!("unknown entry op {other}")))
+                }
+            }
+        }
+        Ok((None, buf.len() as u64))
+    }
+
+    /// Stream every entry in key order — compaction's input.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::CorruptSegment`] as in [`get`](Self::get).
+    pub fn scan_all(&self) -> Result<Entries, StoreError> {
+        let span = usize::try_from(self.index_off - self.data_off).expect("span fits usize");
+        let mut buf = vec![0u8; span];
+        {
+            let mut file = self.file.lock().expect("segment file poisoned");
+            file.seek(SeekFrom::Start(self.data_off))
+                .map_err(|e| StoreError::io("seek segment", e))?;
+            file.read_exact(&mut buf).map_err(|e| StoreError::io("read segment data", e))?;
+        }
+        let mut out = Vec::with_capacity(usize::try_from(self.entries).unwrap_or(0));
+        let mut at = 0usize;
+        while at < buf.len() {
+            let op = buf[at];
+            let klen = buf
+                .get(at + 1..at + 5)
+                .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                .ok_or_else(|| Self::corrupt(&self.path, "entry truncated"))?;
+            let kend = at + 5 + klen;
+            let key = buf
+                .get(at + 5..kend)
+                .ok_or_else(|| Self::corrupt(&self.path, "key truncated"))?
+                .to_vec();
+            match op {
+                OP_TOMBSTONE => {
+                    out.push((key, None));
+                    at = kend;
+                }
+                OP_PUT => {
+                    let vlen = buf
+                        .get(kend..kend + 4)
+                        .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+                        .ok_or_else(|| Self::corrupt(&self.path, "value length truncated"))?;
+                    let value = buf
+                        .get(kend + 4..kend + 4 + vlen)
+                        .ok_or_else(|| Self::corrupt(&self.path, "value truncated"))?
+                        .to_vec();
+                    out.push((key, Some(value)));
+                    at = kend + 4 + vlen;
+                }
+                other => {
+                    return Err(Self::corrupt(&self.path, format!("unknown entry op {other}")))
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("memo-seg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Vec<(Vec<u8>, Option<Vec<u8>>)> {
+        // > SPARSE_EVERY entries so multiple index points exist.
+        let mut entries: Vec<(Vec<u8>, Option<Vec<u8>>)> = (0..50u32)
+            .map(|i| (format!("key-{i:04}").into_bytes(), Some(vec![i as u8; 10 + i as usize])))
+            .collect();
+        entries[7].1 = None; // a tombstone mid-run
+        entries
+    }
+
+    #[test]
+    fn roundtrips_every_entry_through_the_sparse_index() {
+        let path = tmp("roundtrip.seg");
+        let entries = sample();
+        let (count, size) =
+            write(&path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), true).unwrap();
+        assert_eq!(count, 50);
+        assert!(size > 0);
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.entries(), 50);
+        assert!(seg.index.len() >= 2, "50 entries need >1 sparse point");
+        for (k, v) in &entries {
+            let (found, _bytes) = seg.get(k).unwrap();
+            assert_eq!(found, Some(v.clone()), "key {:?}", String::from_utf8_lossy(k));
+        }
+        // Absent keys: before the first, between entries, after the last.
+        assert_eq!(seg.get(b"aaa").unwrap().0, None);
+        assert_eq!(seg.get(b"key-0007x").unwrap().0, None);
+        assert_eq!(seg.get(b"zzz").unwrap().0, None);
+        assert_eq!(seg.scan_all().unwrap(), entries);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn detects_corruption_anywhere() {
+        let path = tmp("corrupt.seg");
+        let entries = sample();
+        write(&path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), false).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one byte at a spread of offsets; every variant must be
+        // rejected at open (magic, version, data crc, index crc, footer).
+        for at in [0usize, 5, 9, clean.len() / 2, clean.len() - 30, clean.len() - 1] {
+            let mut bad = clean.clone();
+            bad[at] ^= 0x01;
+            std::fs::write(&path, &bad).unwrap();
+            assert!(
+                matches!(Segment::open(&path), Err(StoreError::CorruptSegment { .. })),
+                "corruption at byte {at} must be detected"
+            );
+        }
+        // Truncation too.
+        std::fs::write(&path, &clean[..clean.len() - 10]).unwrap();
+        assert!(Segment::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_segment_is_valid() {
+        let path = tmp("empty.seg");
+        write(&path, std::iter::empty(), false).unwrap();
+        let seg = Segment::open(&path).unwrap();
+        assert_eq!(seg.entries(), 0);
+        assert_eq!(seg.get(b"anything").unwrap().0, None);
+        let _ = std::fs::remove_file(&path);
+    }
+}

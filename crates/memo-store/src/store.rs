@@ -1,0 +1,500 @@
+//! The store proper: WAL + memtable + segments + compaction behind one
+//! thread-safe handle.
+//!
+//! Read path (the paper's probe protocol, one level up): memtable first
+//! (newest), then segments newest → oldest; the first tier that knows the
+//! key answers, with tombstones shadowing older live values. Write path:
+//! WAL append (durability point), then memtable; when the memtable
+//! passes its byte threshold it is flushed to a new immutable segment
+//! and the WAL is reset. Crash ordering is segment-then-WAL-reset, so
+//! the log is always at least as new as every segment and replaying it
+//! after a crash between the two steps is idempotent.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::memtable::MemTable;
+use crate::segment::{self, Segment};
+use crate::wal::{Wal, WalOp};
+use crate::StoreError;
+
+/// Tuning knobs for [`Store::open`].
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Flush the memtable to a segment once it holds this many bytes.
+    pub memtable_max_bytes: usize,
+    /// `fsync` after every WAL append and segment write. Turn off only in
+    /// tests and benchmarks where the OS page cache is durability enough.
+    pub fsync: bool,
+    /// Run a full compaction automatically once this many segments exist.
+    pub compact_at_segments: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig { memtable_max_bytes: 4 << 20, fsync: true, compact_at_segments: 8 }
+    }
+}
+
+impl StoreConfig {
+    /// A config suited to tests: tiny memtable, no fsync.
+    #[must_use]
+    pub fn small_for_tests() -> Self {
+        StoreConfig { memtable_max_bytes: 256, fsync: false, compact_at_segments: 4 }
+    }
+}
+
+/// Operation counters, all monotonic since open.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// `get` calls answered from the memtable.
+    pub memtable_hits: u64,
+    /// `get` calls answered from a segment file.
+    pub segment_hits: u64,
+    /// `get` calls that found nothing (or a tombstone).
+    pub misses: u64,
+    /// `put`/`delete` calls accepted.
+    pub writes: u64,
+    /// Memtable flushes performed.
+    pub flushes: u64,
+    /// Compactions performed.
+    pub compactions: u64,
+    /// Bytes read from segment files while serving gets.
+    pub bytes_read: u64,
+    /// Bytes appended to the WAL.
+    pub bytes_written: u64,
+    /// Live segment files right now.
+    pub segments: u64,
+    /// Total bytes across live segment files.
+    pub segment_bytes: u64,
+    /// Entries currently buffered in the memtable.
+    pub memtable_entries: u64,
+    /// Approximate bytes currently buffered in the memtable.
+    pub memtable_bytes: u64,
+    /// Operations replayed from the WAL at open.
+    pub recovered_ops: u64,
+    /// `true` when open found (and truncated) a torn or corrupt WAL tail.
+    pub recovered_torn_tail: bool,
+}
+
+#[derive(Default)]
+struct Counters {
+    memtable_hits: AtomicU64,
+    segment_hits: AtomicU64,
+    misses: AtomicU64,
+    writes: AtomicU64,
+    flushes: AtomicU64,
+    compactions: AtomicU64,
+    bytes_read: AtomicU64,
+    bytes_written: AtomicU64,
+}
+
+struct Inner {
+    wal: Wal,
+    memtable: MemTable,
+    /// Newest first — lookup order.
+    segments: Vec<Segment>,
+    /// Sequence number for the next segment file name.
+    next_seq: u64,
+}
+
+/// A log-structured, crash-safe KV store rooted at one directory.
+/// All methods take `&self`; a single `Mutex` serializes mutation (the
+/// workload is coarse blobs, not hot small keys).
+pub struct Store {
+    dir: PathBuf,
+    config: StoreConfig,
+    inner: Mutex<Inner>,
+    counters: Counters,
+    recovered_ops: u64,
+    recovered_torn_tail: bool,
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Store").field("dir", &self.dir).finish_non_exhaustive()
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:08}.seg"))
+}
+
+impl Store {
+    /// Open (creating if needed) the store rooted at `dir`: load and
+    /// validate every segment, recover the WAL into a fresh memtable,
+    /// truncate any damaged log tail.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures and
+    /// [`StoreError::CorruptSegment`] when a segment fails validation —
+    /// segments are written atomically, so corruption means bit rot, and
+    /// refusing to open beats silently serving damage.
+    pub fn open(dir: &Path, config: StoreConfig) -> Result<Store, StoreError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| StoreError::io(format!("create store dir {}", dir.display()), e))?;
+
+        // Collect `seg-*.seg` files; ignore stray `.tmp` leftovers from a
+        // crash mid-flush (their rename never happened, so they are dead).
+        let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
+        let entries = std::fs::read_dir(dir)
+            .map_err(|e| StoreError::io(format!("list store dir {}", dir.display()), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| StoreError::io("read store dir entry", e))?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if name.ends_with(".tmp") {
+                let _ = std::fs::remove_file(entry.path());
+                continue;
+            }
+            if let Some(seq) = name
+                .strip_prefix("seg-")
+                .and_then(|rest| rest.strip_suffix(".seg"))
+                .and_then(|digits| digits.parse::<u64>().ok())
+            {
+                seg_files.push((seq, entry.path()));
+            }
+        }
+        // Newest (highest seq) first: lookup order.
+        seg_files.sort_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+        let next_seq = seg_files.first().map_or(0, |(seq, _)| seq + 1);
+        let mut segments = Vec::with_capacity(seg_files.len());
+        for (_, path) in &seg_files {
+            segments.push(Segment::open(path)?);
+        }
+
+        let (wal, recovery) = Wal::open(&dir.join("wal.log"), config.fsync)?;
+        let mut memtable = MemTable::new();
+        for op in &recovery.ops {
+            match op {
+                WalOp::Put { key, value } => memtable.put(key.clone(), value.clone()),
+                WalOp::Delete { key } => memtable.delete(key.clone()),
+            }
+        }
+
+        Ok(Store {
+            dir: dir.to_path_buf(),
+            config,
+            inner: Mutex::new(Inner { wal, memtable, segments, next_seq }),
+            counters: Counters::default(),
+            recovered_ops: recovery.ops.len() as u64,
+            recovered_torn_tail: recovery.tail_damaged,
+        })
+    }
+
+    /// Look up `key` across all tiers. `Ok(None)` covers both "never
+    /// written" and "deleted".
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::CorruptSegment`] from the
+    /// segment read path.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>, StoreError> {
+        let inner = self.inner.lock().expect("store poisoned");
+        if let Some(hit) = inner.memtable.get(key) {
+            return match hit {
+                Some(v) => {
+                    self.counters.memtable_hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(Some(v.to_vec()))
+                }
+                None => {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    Ok(None) // tombstone shadows older segments
+                }
+            };
+        }
+        for seg in &inner.segments {
+            let (found, bytes) = seg.get(key)?;
+            self.counters.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+            match found {
+                Some(Some(v)) => {
+                    self.counters.segment_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Some(v));
+                }
+                Some(None) => {
+                    self.counters.misses.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None); // tombstone
+                }
+                None => {} // keep probing older segments
+            }
+        }
+        self.counters.misses.fetch_add(1, Ordering::Relaxed);
+        Ok(None)
+    }
+
+    /// Write `key` → `value` durably (WAL first, then memtable); flushes
+    /// and compacts automatically when thresholds are crossed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] — on error the write must be treated as not
+    /// committed.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<(), StoreError> {
+        self.write(WalOp::Put { key: key.to_vec(), value: value.to_vec() })
+    }
+
+    /// Record a tombstone for `key`.
+    ///
+    /// # Errors
+    ///
+    /// As [`put`](Self::put).
+    pub fn delete(&self, key: &[u8]) -> Result<(), StoreError> {
+        self.write(WalOp::Delete { key: key.to_vec() })
+    }
+
+    fn write(&self, op: WalOp) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        let written = inner.wal.append(&op)?;
+        self.counters.bytes_written.fetch_add(written as u64, Ordering::Relaxed);
+        self.counters.writes.fetch_add(1, Ordering::Relaxed);
+        match op {
+            WalOp::Put { key, value } => inner.memtable.put(key, value),
+            WalOp::Delete { key } => inner.memtable.delete(key),
+        }
+        if inner.memtable.approx_bytes() >= self.config.memtable_max_bytes {
+            self.flush_locked(&mut inner)?;
+            if inner.segments.len() >= self.config.compact_at_segments {
+                self.compact_locked(&mut inner)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Flush the memtable to a new segment and reset the WAL. No-op when
+    /// the memtable is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn flush(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        self.flush_locked(&mut inner)
+    }
+
+    fn flush_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        if inner.memtable.is_empty() {
+            return Ok(());
+        }
+        let seq = inner.next_seq;
+        let path = segment_path(&self.dir, seq);
+        segment::write(&path, inner.memtable.iter(), self.config.fsync)?;
+        let seg = Segment::open(&path)?;
+        inner.segments.insert(0, seg); // newest first
+        inner.next_seq = seq + 1;
+        inner.memtable.clear();
+        // Only now is the WAL superseded. A crash before this reset
+        // replays the same ops into the memtable — idempotent, since the
+        // flushed segment is older than the replayed memtable in lookup
+        // order... and identical in content anyway.
+        inner.wal.reset()?;
+        self.counters.flushes.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Merge every segment into one, keeping only the newest version of
+    /// each key and dropping tombstones (safe in a full merge: nothing
+    /// older survives for a tombstone to shadow). Flushes the memtable
+    /// first so the result is the complete state.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] / [`StoreError::CorruptSegment`].
+    pub fn compact(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        self.flush_locked(&mut inner)?;
+        self.compact_locked(&mut inner)
+    }
+
+    fn compact_locked(&self, inner: &mut Inner) -> Result<(), StoreError> {
+        if inner.segments.len() <= 1 {
+            return Ok(());
+        }
+        // Newest-wins merge: scan oldest → newest into a map so later
+        // (newer) versions overwrite earlier ones.
+        let mut merged: HashMap<Vec<u8>, Option<Vec<u8>>> = HashMap::new();
+        for seg in inner.segments.iter().rev() {
+            for (key, value) in seg.scan_all()? {
+                merged.insert(key, value);
+            }
+        }
+        let mut live: Vec<(Vec<u8>, Vec<u8>)> =
+            merged.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect();
+        live.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let seq = inner.next_seq;
+        let path = segment_path(&self.dir, seq);
+        segment::write(
+            &path,
+            live.iter().map(|(k, v)| (k.as_slice(), Some(v.as_slice()))),
+            self.config.fsync,
+        )?;
+        let seg = Segment::open(&path)?;
+        // The new segment is durable under a newer sequence number than
+        // everything it replaces; a crash while deleting the old files
+        // leaves shadowed-but-consistent duplicates that the next
+        // compaction reclaims.
+        let old = std::mem::replace(&mut inner.segments, vec![seg]);
+        inner.next_seq = seq + 1;
+        for seg in old {
+            let _ = std::fs::remove_file(seg.path());
+        }
+        self.counters.compactions.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Delete every key and segment — the format-bump invalidation path.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on filesystem failures.
+    pub fn clear(&self) -> Result<(), StoreError> {
+        let mut inner = self.inner.lock().expect("store poisoned");
+        inner.memtable.clear();
+        inner.wal.reset()?;
+        let old = std::mem::take(&mut inner.segments);
+        for seg in old {
+            std::fs::remove_file(seg.path())
+                .map_err(|e| StoreError::io("remove segment on clear", e))?;
+        }
+        Ok(())
+    }
+
+    /// The store directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A snapshot of all counters and gauges.
+    #[must_use]
+    pub fn stats(&self) -> StoreStats {
+        let inner = self.inner.lock().expect("store poisoned");
+        let c = &self.counters;
+        StoreStats {
+            memtable_hits: c.memtable_hits.load(Ordering::Relaxed),
+            segment_hits: c.segment_hits.load(Ordering::Relaxed),
+            misses: c.misses.load(Ordering::Relaxed),
+            writes: c.writes.load(Ordering::Relaxed),
+            flushes: c.flushes.load(Ordering::Relaxed),
+            compactions: c.compactions.load(Ordering::Relaxed),
+            bytes_read: c.bytes_read.load(Ordering::Relaxed),
+            bytes_written: c.bytes_written.load(Ordering::Relaxed),
+            segments: inner.segments.len() as u64,
+            segment_bytes: inner.segments.iter().map(Segment::file_len).sum(),
+            memtable_entries: inner.memtable.len() as u64,
+            memtable_bytes: inner.memtable.approx_bytes() as u64,
+            recovered_ops: self.recovered_ops,
+            recovered_torn_tail: self.recovered_torn_tail,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU32 = AtomicU32::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("memo-store-{tag}-{}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn survives_reopen_through_wal_and_segments() {
+        let dir = tmp_dir("reopen");
+        {
+            let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+            for i in 0..40u32 {
+                store.put(format!("k{i:03}").as_bytes(), &[i as u8; 40]).unwrap();
+            }
+            store.delete(b"k005").unwrap();
+            // No explicit flush: some state is in segments (auto-flush at
+            // 256 bytes), the rest only in the WAL.
+        }
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        assert_eq!(store.get(b"k003").unwrap(), Some(vec![3u8; 40]));
+        assert_eq!(store.get(b"k039").unwrap(), Some(vec![39u8; 40]));
+        assert_eq!(store.get(b"k005").unwrap(), None, "tombstone survives reopen");
+        assert_eq!(store.get(b"absent").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn newest_version_wins_across_tiers() {
+        let dir = tmp_dir("versions");
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        store.put(b"k", b"old").unwrap();
+        store.flush().unwrap(); // "old" now lives in a segment
+        store.put(b"k", b"new").unwrap(); // memtable shadows it
+        assert_eq!(store.get(b"k").unwrap(), Some(b"new".to_vec()));
+        store.flush().unwrap(); // both versions in segments, newest first
+        assert_eq!(store.get(b"k").unwrap(), Some(b"new".to_vec()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_reclaims_superseded_keys_and_tombstones() {
+        let dir = tmp_dir("compact");
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        for round in 0..3 {
+            for i in 0..10u32 {
+                store.put(format!("k{i}").as_bytes(), &[round; 64]).unwrap();
+            }
+            store.flush().unwrap();
+        }
+        store.delete(b"k9").unwrap();
+        store.compact().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.segments, 1, "full compaction leaves one segment");
+        for i in 0..9u32 {
+            assert_eq!(store.get(format!("k{i}").as_bytes()).unwrap(), Some(vec![2u8; 64]));
+        }
+        assert_eq!(store.get(b"k9").unwrap(), None, "tombstone dropped, key gone");
+        // Reopen sees the compacted state.
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        assert_eq!(store.get(b"k0").unwrap(), Some(vec![2u8; 64]));
+        assert_eq!(store.get(b"k9").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stats_track_tiers_and_bytes() {
+        let dir = tmp_dir("stats");
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        store.put(b"mem", b"v").unwrap();
+        assert_eq!(store.get(b"mem").unwrap(), Some(b"v".to_vec()));
+        store.flush().unwrap();
+        assert_eq!(store.get(b"mem").unwrap(), Some(b"v".to_vec()));
+        assert_eq!(store.get(b"gone").unwrap(), None);
+        let stats = store.stats();
+        assert_eq!(stats.memtable_hits, 1);
+        assert_eq!(stats.segment_hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.writes, 1);
+        assert_eq!(stats.flushes, 1);
+        assert!(stats.bytes_written > 0);
+        assert!(stats.segment_bytes > 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn clear_wipes_everything() {
+        let dir = tmp_dir("clear");
+        let store = Store::open(&dir, StoreConfig::small_for_tests()).unwrap();
+        store.put(b"a", b"1").unwrap();
+        store.flush().unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.clear().unwrap();
+        assert_eq!(store.get(b"a").unwrap(), None);
+        assert_eq!(store.get(b"b").unwrap(), None);
+        drop(store);
+        let store = Store::open(&dir, StoreConfig::default()).unwrap();
+        assert_eq!(store.get(b"a").unwrap(), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

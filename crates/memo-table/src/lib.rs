@@ -75,7 +75,7 @@ mod unit;
 
 pub use config::{
     Assoc, HashScheme, MemoConfig, MemoConfigBuilder, MemoConfigError, Replacement, TagPolicy,
-    TrivialPolicy,
+    TrivialPolicy, STABLE_ENCODED_LEN, STABLE_ENCODING_VERSION,
 };
 pub use fault::{Fault, FaultConfig, FaultInjector, Protection};
 pub use infinite::InfiniteMemoTable;
