@@ -10,8 +10,10 @@
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use memo_bench::bench_median;
+use memo_experiments::cache::{ShardedLru, TierBreaker};
 use memo_store::{Store, StoreConfig};
 
 /// Keys/values sized like the workload the serve layer actually stores:
@@ -69,6 +71,41 @@ fn main() {
             black_box(store.get(&key(i)).expect("get"));
         }
     });
+    // Degraded path: the tiered lookup the serve layer runs, with the
+    // disk-tier breaker closed (every cold key loads from the segment
+    // files) vs open (disk skipped entirely, straight to compute). The
+    // gap is what an outage costs — and what the breaker saves by not
+    // waiting on a dead disk.
+    let tiered_closed_s = bench_median("store", "tiered_get_breaker_closed_1k", 10, || {
+        let cache: ShardedLru<usize, Vec<u8>> = ShardedLru::new(8, 2 * BATCH);
+        let breaker = TierBreaker::new(5, Duration::from_secs(60));
+        for i in 0..BATCH {
+            let (v, _) = cache.get_or_compute_tiered_guarded(
+                &i,
+                &breaker,
+                || store.get(&key(i)).map_err(|_| ()),
+                |_| Ok(()),
+                || value.clone(),
+            );
+            black_box(v);
+        }
+    });
+    let tiered_open_s = bench_median("store", "tiered_get_breaker_open_1k", 10, || {
+        let cache: ShardedLru<usize, Vec<u8>> = ShardedLru::new(8, 2 * BATCH);
+        let breaker = TierBreaker::new(1, Duration::from_secs(3600));
+        breaker.record_failure(); // threshold 1: tripped before the loop
+        for i in 0..BATCH {
+            let (v, _) = cache.get_or_compute_tiered_guarded(
+                &i,
+                &breaker,
+                || store.get(&key(i)).map_err(|_| ()),
+                |_| Ok(()),
+                || value.clone(),
+            );
+            black_box(v);
+        }
+    });
+
     let stats = store.stats();
     drop(store);
 
@@ -93,6 +130,8 @@ fn main() {
     let _ = writeln!(json, "  \"put_1k_then_flush_ms\": {:.3},", flush_s * 1e3);
     let _ = writeln!(json, "  \"get_segment_1k_ms\": {:.3},", get_s * 1e3);
     let _ = writeln!(json, "  \"recover_1k_ms\": {:.3},", recover_s * 1e3);
+    let _ = writeln!(json, "  \"tiered_get_breaker_closed_1k_ms\": {:.3},", tiered_closed_s * 1e3);
+    let _ = writeln!(json, "  \"tiered_get_breaker_open_1k_ms\": {:.3},", tiered_open_s * 1e3);
     let _ = writeln!(json, "  \"segments\": {},", stats.segments);
     let _ = writeln!(json, "  \"segment_bytes\": {}", stats.segment_bytes);
     json.push_str("}\n");

@@ -22,6 +22,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, BuildHasherDefault, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
 
 /// Monotonic cache counters (cumulative since construction; `clear` does
 /// not reset them).
@@ -58,6 +59,173 @@ pub enum TierOutcome {
     /// Coalesced waiters that joined an in-flight lookup also report
     /// `Computed` — they cannot know which tier the flight leader used.
     Computed,
+}
+
+/// Circuit-breaker state for a persistent tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: every lookup may probe the tier.
+    Closed,
+    /// Tripped: the tier is skipped entirely until the cooldown elapses.
+    Open,
+    /// Cooling down: exactly one probe is allowed through; its outcome
+    /// closes or re-opens the breaker.
+    HalfOpen,
+}
+
+/// A snapshot of a [`TierBreaker`]'s counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TierBreakerStats {
+    /// Current state.
+    pub state: BreakerState,
+    /// Closed → Open transitions (including half-open probes that failed).
+    pub trips: u64,
+    /// Failures recorded, cumulative.
+    pub failures: u64,
+    /// Half-open probes admitted.
+    pub probes: u64,
+}
+
+#[derive(Debug)]
+struct BreakerInner {
+    state: BreakerState,
+    /// Consecutive failures while closed; reset by any success.
+    consecutive: u32,
+    opened_at: Option<Instant>,
+    probe_in_flight: bool,
+}
+
+/// A circuit breaker for the disk tier of
+/// [`ShardedLru::get_or_compute_tiered_guarded`] — the same
+/// trip/degrade/probe protocol the `MemoBank` soft-error breaker applies
+/// to a faulty memo table, one level up: after `threshold` *consecutive*
+/// store failures the tier is skipped (lookups degrade to
+/// memory → compute), and after `cooldown` a single probe is let through
+/// to test recovery.
+///
+/// A `threshold` of 0 disables the breaker: it never trips.
+#[derive(Debug)]
+pub struct TierBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<BreakerInner>,
+    trips: AtomicU64,
+    failures: AtomicU64,
+    probes: AtomicU64,
+}
+
+impl TierBreaker {
+    /// A closed breaker tripping after `threshold` consecutive failures,
+    /// probing again `cooldown` after each trip.
+    #[must_use]
+    pub fn new(threshold: u32, cooldown: Duration) -> Self {
+        TierBreaker {
+            threshold,
+            cooldown,
+            inner: Mutex::new(BreakerInner {
+                state: BreakerState::Closed,
+                consecutive: 0,
+                opened_at: None,
+                probe_in_flight: false,
+            }),
+            trips: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            probes: AtomicU64::new(0),
+        }
+    }
+
+    /// May the caller touch the tier right now? Open breakers start a
+    /// half-open probe once the cooldown has elapsed; in half-open, only
+    /// one probe is admitted at a time. A `true` answer obligates the
+    /// caller to report [`record_success`](Self::record_success) or
+    /// [`record_failure`](Self::record_failure).
+    pub fn allow(&self) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                let cooled =
+                    inner.opened_at.is_none_or(|at| at.elapsed() >= self.cooldown);
+                if cooled {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.probe_in_flight = true;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    true
+                } else {
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                if inner.probe_in_flight {
+                    false
+                } else {
+                    inner.probe_in_flight = true;
+                    self.probes.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+            }
+        }
+    }
+
+    /// The tier answered (a hit *or* a clean miss): close the breaker and
+    /// forget the failure streak.
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.state = BreakerState::Closed;
+        inner.consecutive = 0;
+        inner.opened_at = None;
+        inner.probe_in_flight = false;
+    }
+
+    /// The tier failed. Closed breakers trip once the streak reaches the
+    /// threshold; a failed half-open probe re-opens immediately.
+    pub fn record_failure(&self) {
+        self.failures.fetch_add(1, Ordering::Relaxed);
+        if self.threshold == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive += 1;
+                if inner.consecutive >= self.threshold {
+                    inner.state = BreakerState::Open;
+                    inner.opened_at = Some(Instant::now());
+                    self.trips.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.state = BreakerState::Open;
+                inner.opened_at = Some(Instant::now());
+                inner.probe_in_flight = false;
+                self.trips.fetch_add(1, Ordering::Relaxed);
+            }
+            // Failures reported while open (e.g. a persist that was
+            // already in flight when the breaker tripped) don't extend
+            // the cooldown — recovery probing must not starve.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> BreakerState {
+        self.inner.lock().expect("breaker poisoned").state
+    }
+
+    /// Snapshot the counters.
+    #[must_use]
+    pub fn stats(&self) -> TierBreakerStats {
+        TierBreakerStats {
+            state: self.state(),
+            trips: self.trips.load(Ordering::Relaxed),
+            failures: self.failures.load(Ordering::Relaxed),
+            probes: self.probes.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A deterministic FNV-1a hasher: shard selection must not depend on the
@@ -232,6 +400,84 @@ impl<K: Eq + Hash + Clone, V> ShardedLru<K, V> {
             }
             // Someone else's flight satisfied us while we raced to the
             // cell; we did no tier probing ourselves.
+            None => TierOutcome::Computed,
+        };
+
+        if fresh && self.per_shard != usize::MAX {
+            self.evict_over_capacity(key);
+        }
+        (value, outcome)
+    }
+
+    /// [`get_or_compute_tiered`](Self::get_or_compute_tiered) with a
+    /// fallible persistent tier behind a [`TierBreaker`].
+    ///
+    /// The degraded-mode ladder, per lookup:
+    ///
+    /// * breaker closed (or half-open with this caller as the probe):
+    ///   `load` runs; `Ok(Some)` is a disk hit, `Ok(None)` a clean miss
+    ///   (both record success), `Err` records a failure and falls through
+    ///   to `compute`;
+    /// * breaker open: `load` and `persist` are skipped entirely —
+    ///   memory → compute, the store is not touched;
+    /// * `persist` failures record on the breaker but never fail the
+    ///   lookup (the value is already computed and cached in memory).
+    ///
+    /// The lookup itself is therefore infallible: a broken disk degrades
+    /// to recomputation, never to an error.
+    pub fn get_or_compute_tiered_guarded(
+        &self,
+        key: &K,
+        breaker: &TierBreaker,
+        load: impl FnOnce() -> Result<Option<V>, ()>,
+        persist: impl FnOnce(&V) -> Result<(), ()>,
+        compute: impl FnOnce() -> V,
+    ) -> (Arc<V>, TierOutcome) {
+        let (cell, fresh) = self.lookup_cell(key);
+        if let Some(value) = cell.get() {
+            return (Arc::clone(value), TierOutcome::Memory);
+        }
+
+        let mut ran = None;
+        let value = Arc::clone(cell.get_or_init(|| {
+            let loaded = if breaker.allow() {
+                match load() {
+                    Ok(found) => {
+                        breaker.record_success();
+                        found
+                    }
+                    Err(()) => {
+                        breaker.record_failure();
+                        None
+                    }
+                }
+            } else {
+                None // tier skipped: degrade to memory → compute
+            };
+            let (value, outcome) = match loaded {
+                Some(value) => (value, TierOutcome::Disk),
+                None => {
+                    let value = compute();
+                    if breaker.allow() {
+                        match persist(&value) {
+                            Ok(()) => breaker.record_success(),
+                            Err(()) => breaker.record_failure(),
+                        }
+                    }
+                    (value, TierOutcome::Computed)
+                }
+            };
+            ran = Some(outcome);
+            Arc::new(value)
+        }));
+        let outcome = match ran {
+            Some(outcome) => {
+                if outcome == TierOutcome::Disk {
+                    self.disk_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                self.bytes.fetch_add((self.weigher)(&value) as u64, Ordering::Relaxed);
+                outcome
+            }
             None => TierOutcome::Computed,
         };
 
@@ -483,5 +729,112 @@ mod tests {
         let held = cache.get_or_compute(&1, || vec![9; 3]);
         cache.get_or_compute(&2, || vec![8; 3]); // evicts 1
         assert_eq!(*held, vec![9; 3], "Arc keeps the evicted value alive");
+    }
+
+    #[test]
+    fn breaker_trips_after_consecutive_failures_and_recovers_via_probe() {
+        let breaker = TierBreaker::new(3, Duration::from_millis(10));
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // Two failures, then a success: the streak resets.
+        for _ in 0..2 {
+            assert!(breaker.allow());
+            breaker.record_failure();
+        }
+        assert!(breaker.allow());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        // Three consecutive failures trip it.
+        for _ in 0..3 {
+            assert!(breaker.allow());
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Open);
+        assert!(!breaker.allow(), "open: the tier is skipped");
+        // After the cooldown, exactly one probe goes through.
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(breaker.allow(), "cooldown elapsed: half-open probe admitted");
+        assert_eq!(breaker.state(), BreakerState::HalfOpen);
+        assert!(!breaker.allow(), "only one probe at a time");
+        breaker.record_failure();
+        assert_eq!(breaker.state(), BreakerState::Open, "failed probe re-opens");
+        std::thread::sleep(Duration::from_millis(15));
+        assert!(breaker.allow());
+        breaker.record_success();
+        assert_eq!(breaker.state(), BreakerState::Closed, "successful probe closes");
+        let stats = breaker.stats();
+        assert_eq!(stats.trips, 2);
+        assert_eq!(stats.probes, 2);
+        assert_eq!(stats.failures, 6);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let breaker = TierBreaker::new(0, Duration::ZERO);
+        for _ in 0..10 {
+            assert!(breaker.allow());
+            breaker.record_failure();
+        }
+        assert_eq!(breaker.state(), BreakerState::Closed);
+        assert_eq!(breaker.stats().trips, 0);
+    }
+
+    #[test]
+    fn guarded_lookup_degrades_to_compute_and_skips_a_tripped_tier() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(2);
+        let breaker = TierBreaker::new(2, Duration::from_secs(60));
+        // Failing loads: the value is still served (computed), and two
+        // failures trip the breaker (the skipped persist can't succeed
+        // either once the breaker is open).
+        let (v, outcome) =
+            cache.get_or_compute_tiered_guarded(&1, &breaker, || Err(()), |_| Err(()), || 10);
+        assert_eq!((*v, outcome), (10, TierOutcome::Computed));
+        let (v, outcome) =
+            cache.get_or_compute_tiered_guarded(&2, &breaker, || Err(()), |_| Err(()), || 20);
+        assert_eq!((*v, outcome), (20, TierOutcome::Computed));
+        assert_eq!(breaker.state(), BreakerState::Open);
+        // Open: neither load nor persist must run.
+        let (v, outcome) = cache.get_or_compute_tiered_guarded(
+            &3,
+            &breaker,
+            || unreachable!("open breaker must skip the load"),
+            |_| unreachable!("open breaker must skip the persist"),
+            || 30,
+        );
+        assert_eq!((*v, outcome), (30, TierOutcome::Computed));
+        // Memory hits bypass the breaker entirely.
+        let (v, outcome) = cache.get_or_compute_tiered_guarded(
+            &1,
+            &breaker,
+            || unreachable!(),
+            |_| unreachable!(),
+            || unreachable!(),
+        );
+        assert_eq!((*v, outcome), (10, TierOutcome::Memory));
+    }
+
+    #[test]
+    fn guarded_lookup_serves_disk_hits_and_persists_when_healthy() {
+        let cache: ShardedLru<u32, u32> = ShardedLru::unbounded(2);
+        let breaker = TierBreaker::new(2, Duration::ZERO);
+        let (v, outcome) =
+            cache.get_or_compute_tiered_guarded(&1, &breaker, || Ok(Some(11)), |_| unreachable!(), || {
+                unreachable!()
+            });
+        assert_eq!((*v, outcome), (11, TierOutcome::Disk));
+        assert_eq!(cache.stats().disk_hits, 1);
+        let persisted = AtomicUsize::new(0);
+        let (v, outcome) = cache.get_or_compute_tiered_guarded(
+            &2,
+            &breaker,
+            || Ok(None),
+            |_| {
+                persisted.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            },
+            || 22,
+        );
+        assert_eq!((*v, outcome), (22, TierOutcome::Computed));
+        assert_eq!(persisted.load(Ordering::Relaxed), 1);
+        assert_eq!(breaker.state(), BreakerState::Closed);
     }
 }

@@ -52,11 +52,29 @@ pub fn format_tag() -> String {
 /// store is wiped and re-marked — previously persisted blobs would not
 /// decode anyway.
 ///
+/// Corruption in the marker's own storage is handled the same way, not
+/// surfaced: a torn `meta/format` WAL record is truncated away by WAL
+/// recovery (the marker is then missing → rewritten), and a corrupt
+/// segment holding the marker fails validation at open → the directory
+/// is wiped and restarted fresh. The store is a cache; losing it must
+/// never keep the process from starting.
+///
 /// # Errors
 ///
-/// [`StoreError`] when the directory cannot be opened or is corrupt.
+/// [`StoreError::Io`] when the directory cannot be opened, wiped, or
+/// re-marked.
 pub fn open_guarded(dir: &Path, config: StoreConfig) -> Result<Arc<Store>, StoreError> {
-    let store = Store::open(dir, config)?;
+    let store = match Store::open(dir, config.clone()) {
+        Ok(store) => store,
+        Err(StoreError::CorruptSegment { .. }) => {
+            // Segments are written atomically, so this is bit rot (or
+            // tampering), not a crash artifact. Start over.
+            std::fs::remove_dir_all(dir)
+                .map_err(|e| StoreError::io("wipe corrupt store dir", e))?;
+            Store::open(dir, config)?
+        }
+        Err(e) => return Err(e),
+    };
     let expected = format_tag();
     match store.get(FORMAT_KEY)? {
         Some(found) if found == expected.as_bytes() => {}
@@ -165,6 +183,90 @@ mod tests {
         let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
         assert_eq!(store.get(b"blob").unwrap(), Some(b"bytes".to_vec()));
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A config that keeps everything in the WAL (no auto-flush), so the
+    /// guard-corruption tests control where the marker lives.
+    fn wal_only_config() -> StoreConfig {
+        StoreConfig { memtable_max_bytes: 1 << 20, fsync: false, compact_at_segments: 100 }
+    }
+
+    #[test]
+    fn guard_recovers_when_the_format_marker_wal_record_is_damaged() {
+        let _guard = handle_lock();
+        for (tag, damage) in [
+            ("torn", &(|bytes: &mut Vec<u8>| bytes.truncate(10)) as &dyn Fn(&mut Vec<u8>)),
+            ("corrupt", &|bytes: &mut Vec<u8>| bytes[10] ^= 0xFF),
+        ] {
+            let dir = tmp_dir(&format!("marker-wal-{tag}"));
+            {
+                let store = open_guarded(&dir, wal_only_config()).unwrap();
+                store.put(b"blob", b"payload").unwrap();
+                // No flush: the marker and the blob live only in the WAL.
+            }
+            let wal = dir.join("wal.log");
+            let mut bytes = std::fs::read(&wal).unwrap();
+            damage(&mut bytes);
+            std::fs::write(&wal, &bytes).unwrap();
+            // The marker record itself is damaged: recovery truncates it
+            // (and everything after it) away, and the guard re-marks the
+            // now-empty store instead of failing.
+            let store = open_guarded(&dir, wal_only_config()).unwrap();
+            assert_eq!(
+                store.get(FORMAT_KEY).unwrap(),
+                Some(format_tag().into_bytes()),
+                "{tag}: marker must be restored"
+            );
+            assert_eq!(store.get(b"blob").unwrap(), None, "{tag}: data after the tear is lost");
+            store.put(b"fresh", b"works").unwrap();
+            assert_eq!(store.get(b"fresh").unwrap(), Some(b"works".to_vec()));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn guard_wipes_and_restarts_when_the_marker_segment_is_damaged() {
+        let _guard = handle_lock();
+        for (tag, damage) in [
+            ("corrupt", &(|bytes: &mut Vec<u8>| {
+                let mid = bytes.len() / 2;
+                bytes[mid] ^= 0xFF;
+            }) as &dyn Fn(&mut Vec<u8>)),
+            ("truncated", &|bytes: &mut Vec<u8>| {
+                let keep = bytes.len() - 20;
+                bytes.truncate(keep);
+            }),
+        ] {
+            let dir = tmp_dir(&format!("marker-seg-{tag}"));
+            {
+                let store = open_guarded(&dir, wal_only_config()).unwrap();
+                store.put(b"blob", b"payload").unwrap();
+                store.flush().unwrap(); // marker + blob now live in a segment
+            }
+            let seg = dir.join("seg-00000000.seg");
+            let mut bytes = std::fs::read(&seg).unwrap();
+            damage(&mut bytes);
+            std::fs::write(&seg, &bytes).unwrap();
+            // Plain open refuses to serve the damage...
+            assert!(matches!(
+                Store::open(&dir, wal_only_config()),
+                Err(StoreError::CorruptSegment { .. })
+            ));
+            // ...but the guarded open wipes and restarts fresh.
+            let store = open_guarded(&dir, wal_only_config()).unwrap();
+            assert_eq!(
+                store.get(FORMAT_KEY).unwrap(),
+                Some(format_tag().into_bytes()),
+                "{tag}: marker must be restored"
+            );
+            assert_eq!(store.get(b"blob").unwrap(), None, "{tag}: the wiped blob is gone");
+            store.put(b"fresh", b"works").unwrap();
+            store.flush().unwrap();
+            drop(store);
+            let store = open_guarded(&dir, wal_only_config()).unwrap();
+            assert_eq!(store.get(b"fresh").unwrap(), Some(b"works".to_vec()));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

@@ -1,8 +1,12 @@
 //! `memo-load`: deterministic load generator for a running memo-serve.
 //!
-//! Exits nonzero when any request failed (transport error or a 5xx other
-//! than the server's deliberate 503 shedding), so CI can use it as a
-//! smoke gate. Writes `BENCH_serve.json` with throughput and cold vs
+//! Exits nonzero when any request failed, with the failure class in the
+//! code so CI can tell a sick server from a sick network: 1 for 5xx
+//! responses other than the server's deliberate 503 shedding (or for no
+//! request completing at all), 3 for transport failures (connection
+//! reset, EOF mid-response, protocol garbage). Shed 503s alone exit 0 —
+//! backpressure is the server working as designed. Writes
+//! `BENCH_serve.json` with throughput, an error breakdown, and cold vs
 //! cached latency quantiles.
 
 use std::time::Duration;
@@ -80,9 +84,21 @@ fn main() {
         eprintln!("memo-load: no request completed — is the server up at {}?", config.addr);
         std::process::exit(1);
     }
-    if report.errors > 0 {
-        eprintln!("memo-load: {} request(s) failed", report.errors);
+    // Server-side failures (unexpected 5xx) outrank transport ones:
+    // exit 1 points at the server, exit 3 at the path to it.
+    if report.other_5xx > 0 {
+        eprintln!(
+            "memo-load: {} request(s) got a non-backpressure 5xx response",
+            report.other_5xx
+        );
         std::process::exit(1);
+    }
+    if report.transport_errors > 0 {
+        eprintln!(
+            "memo-load: {} request(s) failed in transport (no HTTP response)",
+            report.transport_errors
+        );
+        std::process::exit(3);
     }
     let expect_warm = std::env::args().any(|a| a == "--expect-warm");
     if expect_warm && report.cache_hits + report.cache_disk_hits == 0 {

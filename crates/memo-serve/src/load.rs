@@ -173,6 +173,9 @@ struct Tally {
     requests: AtomicU64,
     /// Transport/protocol failures plus 5xx other than backpressure.
     errors: AtomicU64,
+    /// Connection-level failures only: write errors, EOF mid-response,
+    /// protocol garbage. Disjoint from `other_5xx`.
+    transport_errors: AtomicU64,
     status_2xx: AtomicU64,
     status_4xx: AtomicU64,
     backpressure_503: AtomicU64,
@@ -190,6 +193,11 @@ pub struct LoadReport {
     pub requests: u64,
     /// Transport/protocol failures plus non-backpressure 5xx.
     pub errors: u64,
+    /// Transport/protocol failures alone (no HTTP response landed):
+    /// write errors, EOF mid-response, unparseable bytes. The server
+    /// shedding load with 503 is deliberately NOT in this bucket — see
+    /// [`backpressure_503`](Self::backpressure_503).
+    pub transport_errors: u64,
     /// 2xx responses.
     pub status_2xx: u64,
     /// 4xx responses.
@@ -277,6 +285,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"seed\": {},", config.seed);
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"errors\": {},", self.errors);
+        let _ = writeln!(out, "  \"transport_errors\": {},", self.transport_errors);
         let _ = writeln!(out, "  \"status_2xx\": {},", self.status_2xx);
         let _ = writeln!(out, "  \"status_4xx\": {},", self.status_4xx);
         let _ = writeln!(out, "  \"backpressure_503\": {},", self.backpressure_503);
@@ -301,7 +310,7 @@ impl LoadReport {
     #[must_use]
     pub fn summary(&self) -> String {
         format!(
-            "{} requests in {:.1}s ({:.0} rps), {} errors; \
+            "{} requests in {:.1}s ({:.0} rps), {} errors ({} transport); \
              2xx={} 4xx={} shed-503={} other-5xx={}; \
              cache hits={} disk={} misses={}; \
              cold p50/p99 = {}/{} us, cached p50/p99 = {}/{} us, disk p50/p99 = {}/{} us",
@@ -309,6 +318,7 @@ impl LoadReport {
             self.elapsed_secs,
             self.throughput_rps,
             self.errors,
+            self.transport_errors,
             self.status_2xx,
             self.status_4xx,
             self.backpressure_503,
@@ -389,6 +399,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                     let send = Instant::now();
                     if s.write_all(raw.as_bytes()).is_err() {
                         tally.errors.fetch_add(1, Ordering::Relaxed);
+                        tally.transport_errors.fetch_add(1, Ordering::Relaxed);
                         tally.reconnects.fetch_add(1, Ordering::Relaxed);
                         continue; // stream dropped; reconnect next round
                     }
@@ -430,6 +441,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                         }
                         Err(_) => {
                             tally.errors.fetch_add(1, Ordering::Relaxed);
+                            tally.transport_errors.fetch_add(1, Ordering::Relaxed);
                             tally.reconnects.fetch_add(1, Ordering::Relaxed);
                         }
                     }
@@ -448,6 +460,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     LoadReport {
         requests,
         errors: tally.errors.load(Ordering::Relaxed),
+        transport_errors: tally.transport_errors.load(Ordering::Relaxed),
         status_2xx: tally.status_2xx.load(Ordering::Relaxed),
         status_4xx: tally.status_4xx.load(Ordering::Relaxed),
         backpressure_503: tally.backpressure_503.load(Ordering::Relaxed),
@@ -516,6 +529,7 @@ mod tests {
         let report = LoadReport {
             requests: 10,
             errors: 0,
+            transport_errors: 0,
             status_2xx: 10,
             status_4xx: 0,
             backpressure_503: 0,
@@ -533,6 +547,7 @@ mod tests {
         };
         let json = report.to_json(&LoadConfig::default());
         assert!(json.contains("\"bench\": \"memo_serve_load\""));
+        assert!(json.contains("\"transport_errors\": 0"));
         assert!(json.contains("\"cache_hits\": 3"));
         assert!(json.contains("\"cache_disk_hits\": 1"));
         assert!(json.contains("\"disk\": {\"count\": 1"));

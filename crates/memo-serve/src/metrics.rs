@@ -7,6 +7,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use memo_experiments::cache::{BreakerState, TierBreakerStats};
 use memo_experiments::results;
 
 use crate::hist::Histogram;
@@ -123,6 +124,15 @@ pub struct Metrics {
     pub cache_misses: AtomicU64,
     /// Requests closed early by a read/write timeout.
     pub timeouts: AtomicU64,
+    /// Store operations (load or persist) that ultimately failed after
+    /// retries — each one also charged the disk-tier breaker.
+    pub store_io_errors: AtomicU64,
+    /// Retries spent on transient store errors (attempts beyond the
+    /// first, summed over all store operations).
+    pub store_retries: AtomicU64,
+    /// Requests answered 503 because their deadline budget ran out
+    /// (in the queue or before rendering) instead of stalling a worker.
+    pub deadline_exceeded: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -143,6 +153,9 @@ impl Metrics {
             cache_disk_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
+            store_io_errors: AtomicU64::new(0),
+            store_retries: AtomicU64::new(0),
+            deadline_exceeded: AtomicU64::new(0),
         }
     }
 
@@ -181,8 +194,9 @@ impl Metrics {
     ///
     /// `queue_depth` and `draining` are point-in-time server state the
     /// metrics struct does not own; `serve_cache` is a snapshot of the
-    /// rendered-result cache and `store` of the persistent tier, when one
-    /// is attached.
+    /// rendered-result cache, `store` of the persistent tier when one is
+    /// attached, and `breaker` of the disk-tier circuit breaker guarding
+    /// that tier.
     #[must_use]
     pub fn render(
         &self,
@@ -191,6 +205,7 @@ impl Metrics {
         draining: bool,
         serve_cache: &memo_experiments::cache::CacheStats,
         store: Option<&memo_store::StoreStats>,
+        breaker: &TierBreakerStats,
     ) -> String {
         let mut out = String::with_capacity(4096);
         let g = |v: u64| v.to_string();
@@ -263,6 +278,37 @@ impl Metrics {
         ));
         out.push_str("# TYPE memo_serve_timeouts_total counter\n");
         out.push_str(&format!("memo_serve_timeouts_total {}\n", g(self.timeouts.load(Ordering::Relaxed))));
+        out.push_str("# TYPE memo_serve_deadline_exceeded_total counter\n");
+        out.push_str(&format!(
+            "memo_serve_deadline_exceeded_total {}\n",
+            g(self.deadline_exceeded.load(Ordering::Relaxed))
+        ));
+        out.push_str("# TYPE memo_store_io_errors_total counter\n");
+        out.push_str(&format!(
+            "memo_store_io_errors_total {}\n",
+            g(self.store_io_errors.load(Ordering::Relaxed))
+        ));
+        out.push_str("# TYPE memo_store_retries_total counter\n");
+        out.push_str(&format!(
+            "memo_store_retries_total {}\n",
+            g(self.store_retries.load(Ordering::Relaxed))
+        ));
+
+        // The disk-tier circuit breaker: 0 = closed (healthy), 1 =
+        // half-open (probing), 2 = open (tier skipped).
+        let breaker_state = match breaker.state {
+            BreakerState::Closed => 0,
+            BreakerState::HalfOpen => 1,
+            BreakerState::Open => 2,
+        };
+        out.push_str("# TYPE memo_tier_breaker_state gauge\n");
+        out.push_str(&format!("memo_tier_breaker_state {breaker_state}\n"));
+        out.push_str("# TYPE memo_tier_breaker_trips_total counter\n");
+        out.push_str(&format!("memo_tier_breaker_trips_total {}\n", breaker.trips));
+        out.push_str("# TYPE memo_tier_breaker_failures_total counter\n");
+        out.push_str(&format!("memo_tier_breaker_failures_total {}\n", breaker.failures));
+        out.push_str("# TYPE memo_tier_breaker_probes_total counter\n");
+        out.push_str(&format!("memo_tier_breaker_probes_total {}\n", breaker.probes));
         out.push_str("# TYPE memo_serve_cache_hits_total counter\n");
         out.push_str(&format!("memo_serve_cache_hits_total {}\n", g(self.cache_hits.load(Ordering::Relaxed))));
         out.push_str("# TYPE memo_serve_cache_disk_hits_total counter\n");
@@ -326,8 +372,12 @@ mod tests {
     use super::*;
     use memo_experiments::cache::CacheStats;
 
+    fn closed_breaker() -> TierBreakerStats {
+        TierBreakerStats { state: BreakerState::Closed, trips: 0, failures: 0, probes: 0 }
+    }
+
     fn render(m: &Metrics, queue_depth: usize, workers: usize, draining: bool) -> String {
-        m.render(queue_depth, workers, draining, &CacheStats::default(), None)
+        m.render(queue_depth, workers, draining, &CacheStats::default(), None, &closed_breaker())
     }
 
     #[test]
@@ -366,7 +416,7 @@ mod tests {
     fn render_exposes_cache_gauges_and_store_stats_when_attached() {
         let m = Metrics::new();
         let cache = CacheStats { len: 3, approx_bytes: 512, ..CacheStats::default() };
-        let without = m.render(0, 1, false, &cache, None);
+        let without = m.render(0, 1, false, &cache, None, &closed_breaker());
         assert!(without.contains("memo_serve_cache_entries 3"));
         assert!(without.contains("memo_serve_cache_bytes 512"));
         assert!(without.contains("memo_store_attached 0"));
@@ -374,9 +424,32 @@ mod tests {
 
         let store =
             memo_store::StoreStats { segment_hits: 7, segments: 2, ..Default::default() };
-        let with = m.render(0, 1, false, &cache, Some(&store));
+        let with = m.render(0, 1, false, &cache, Some(&store), &closed_breaker());
         assert!(with.contains("memo_store_attached 1"));
         assert!(with.contains("memo_store_segment_hits_total 7"));
         assert!(with.contains("memo_store_segments 2"));
+    }
+
+    #[test]
+    fn render_exposes_breaker_and_resilience_counters() {
+        let m = Metrics::new();
+        m.store_io_errors.fetch_add(4, Ordering::Relaxed);
+        m.store_retries.fetch_add(9, Ordering::Relaxed);
+        m.deadline_exceeded.fetch_add(2, Ordering::Relaxed);
+        let tripped =
+            TierBreakerStats { state: BreakerState::Open, trips: 1, failures: 5, probes: 0 };
+        let text = m.render(0, 1, false, &CacheStats::default(), None, &tripped);
+        assert!(text.contains("memo_store_io_errors_total 4"));
+        assert!(text.contains("memo_store_retries_total 9"));
+        assert!(text.contains("memo_serve_deadline_exceeded_total 2"));
+        assert!(text.contains("memo_tier_breaker_state 2"));
+        assert!(text.contains("memo_tier_breaker_trips_total 1"));
+        assert!(text.contains("memo_tier_breaker_failures_total 5"));
+
+        let half =
+            TierBreakerStats { state: BreakerState::HalfOpen, trips: 1, failures: 5, probes: 1 };
+        let text = m.render(0, 1, false, &CacheStats::default(), None, &half);
+        assert!(text.contains("memo_tier_breaker_state 1"));
+        assert!(text.contains("memo_tier_breaker_probes_total 1"));
     }
 }

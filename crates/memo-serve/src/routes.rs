@@ -13,10 +13,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use memo_experiments::cache::{ShardedLru, TierOutcome};
+use memo_experiments::cache::{BreakerState, ShardedLru, TierBreaker, TierOutcome};
 use memo_experiments::{runner, ExpConfig, ExperimentError};
-use memo_store::{ResultBlob, Store};
+use memo_store::{ResultBlob, RetryPolicy, Store};
 
 use crate::http::{Request, Response};
 use crate::metrics::{CacheOutcome, Endpoint, Metrics};
@@ -29,6 +30,16 @@ pub struct AppState {
     pub cache: ShardedLru<String, (u16, String)>,
     /// The persistent tier behind the result cache, when configured.
     pub store: Option<Arc<Store>>,
+    /// Circuit breaker guarding the persistent tier: after enough
+    /// consecutive store failures the disk is skipped entirely and the
+    /// server degrades to memory → compute until a probe succeeds.
+    pub disk_breaker: TierBreaker,
+    /// Retry policy for transient store errors (both loads and
+    /// write-through persists).
+    pub store_retry: RetryPolicy,
+    /// Per-request time budget. A request still waiting past this is
+    /// shed with 503 instead of stalling a worker.
+    pub deadline: Duration,
     /// Service counters.
     pub metrics: Metrics,
     /// Set by `/quitquitquit` (and the server's shutdown path); the
@@ -48,6 +59,9 @@ impl AppState {
             cache: ShardedLru::new(8, cache_capacity.max(8))
                 .with_weigher(|(_, body): &(u16, String)| body.len() + std::mem::size_of::<u16>()),
             store: None,
+            disk_breaker: TierBreaker::new(5, Duration::from_secs(2)),
+            store_retry: RetryPolicy::default(),
+            deadline: Duration::from_secs(30),
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             workers,
@@ -102,28 +116,70 @@ fn store_key(key: &str) -> String {
 /// store, or a fresh computation. Only successful renders are written
 /// through to the store — errors stay in memory so a transient failure
 /// never becomes a persisted one.
+///
+/// The store sits behind [`AppState::disk_breaker`]: transient I/O
+/// errors are retried per [`AppState::store_retry`], a persistent
+/// failure streak trips the breaker and the server degrades to
+/// memory → compute. A request that has already burned its deadline
+/// budget is shed with 503 before any rendering starts.
 fn cached_artifact(
     state: &AppState,
     key: String,
+    deadline: Instant,
     compute: impl FnOnce() -> Result<String, ExperimentError>,
 ) -> (u16, String, CacheOutcome) {
     if let Some(entry) = state.cache.peek(&key) {
         let (status, body) = entry.as_ref().clone();
         return (status, body, CacheOutcome::Hit);
     }
-    let (entry, tier) = state.cache.get_or_compute_tiered(
+    if Instant::now() >= deadline {
+        state.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        return (
+            503,
+            "deadline exceeded before rendering began; retry\n".to_string(),
+            CacheOutcome::Uncached,
+        );
+    }
+    let (entry, tier) = state.cache.get_or_compute_tiered_guarded(
         &key,
+        &state.disk_breaker,
         || {
-            let store = state.store.as_ref()?;
-            let blob = store.get(store_key(&key).as_bytes()).ok()??;
-            let blob = ResultBlob::from_bytes(&blob).ok()?;
-            Some((blob.status, String::from_utf8(blob.body).ok()?))
+            let Some(store) = state.store.as_ref() else { return Ok(None) };
+            // Out of budget: skip the disk probe rather than spend what
+            // little time remains on I/O that may block.
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            let (result, retries) =
+                state.store_retry.run(|| store.get(store_key(&key).as_bytes()));
+            state.metrics.store_retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+            match result {
+                // A blob that fails to decode is a clean miss, not a tier
+                // failure: the disk answered, the payload was stale junk.
+                Ok(Some(bytes)) => Ok(ResultBlob::from_bytes(&bytes).ok().and_then(|blob| {
+                    Some((blob.status, String::from_utf8(blob.body).ok()?))
+                })),
+                Ok(None) => Ok(None),
+                Err(_) => {
+                    state.metrics.store_io_errors.fetch_add(1, Ordering::Relaxed);
+                    Err(())
+                }
+            }
         },
         |(status, body)| {
-            if *status == 200 {
-                if let Some(store) = state.store.as_ref() {
-                    let blob = ResultBlob { status: *status, body: body.clone().into_bytes() };
-                    let _ = store.put(store_key(&key).as_bytes(), &blob.to_bytes());
+            let Some(store) = state.store.as_ref() else { return Ok(()) };
+            if *status != 200 {
+                return Ok(());
+            }
+            let blob = ResultBlob { status: *status, body: body.clone().into_bytes() };
+            let (result, retries) =
+                state.store_retry.run(|| store.put(store_key(&key).as_bytes(), &blob.to_bytes()));
+            state.metrics.store_retries.fetch_add(u64::from(retries), Ordering::Relaxed);
+            match result {
+                Ok(()) => Ok(()),
+                Err(_) => {
+                    state.metrics.store_io_errors.fetch_add(1, Ordering::Relaxed);
+                    Err(())
                 }
             }
         },
@@ -161,6 +217,9 @@ fn routed(response: Response, endpoint: Endpoint, cache: CacheOutcome) -> Routed
 /// queue length, surfaced through `/metrics`.
 #[must_use]
 pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
+    // The rendering budget starts ticking here; queue time is policed
+    // separately by the worker before it parses the request.
+    let deadline = Instant::now() + state.deadline;
     if req.method != "GET" && req.method != "HEAD" {
         return routed(
             Response::text(405, "only GET and HEAD are supported\n").with_header("allow", "GET, HEAD"),
@@ -171,7 +230,15 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
 
     match req.path.as_str() {
         "/healthz" => {
-            let body = if state.draining() { "draining\n" } else { "ok\n" };
+            let body = if state.draining() {
+                "draining\n"
+            } else if state.disk_breaker.state() != BreakerState::Closed {
+                // Serving continues (memory → compute) but the disk tier
+                // is out: surface it without failing the health check.
+                "degraded:disk-breaker-open\n"
+            } else {
+                "ok\n"
+            };
             routed(Response::text(200, body), Endpoint::Healthz, CacheOutcome::Uncached)
         }
         "/metrics" => {
@@ -182,6 +249,7 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
                 state.draining(),
                 &state.cache.stats(),
                 store_stats.as_ref(),
+                &state.disk_breaker.stats(),
             );
             routed(Response::text(200, text), Endpoint::Metrics, CacheOutcome::Uncached)
         }
@@ -199,7 +267,7 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
                 Ok(q) => {
                     let key = format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg));
                     let (status, body, outcome) =
-                        cached_artifact(state, key, || runner::sweep(cfg, &q));
+                        cached_artifact(state, key, deadline, || runner::sweep(cfg, &q));
                     routed(
                         Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
                         Endpoint::Sweep,
@@ -210,9 +278,9 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
         }
         path => {
             if let Some(n) = path.strip_prefix("/v1/table/") {
-                artifact(state, req, Endpoint::Table, "table", n, runner::table)
+                artifact(state, req, deadline, Endpoint::Table, "table", n, runner::table)
             } else if let Some(n) = path.strip_prefix("/v1/figure/") {
-                artifact(state, req, Endpoint::Figure, "figure", n, runner::figure)
+                artifact(state, req, deadline, Endpoint::Figure, "figure", n, runner::figure)
             } else {
                 routed(
                     Response::text(404, format!("no route for {path}\n")),
@@ -235,6 +303,7 @@ fn cache_label(outcome: CacheOutcome) -> &'static str {
 fn artifact(
     state: &AppState,
     req: &Request,
+    deadline: Instant,
     endpoint: Endpoint,
     kind: &'static str,
     raw_n: &str,
@@ -249,7 +318,7 @@ fn artifact(
     };
     let cfg = effective_cfg(state, req);
     let key = format!("{kind}/{n}{}", cfg_suffix(cfg));
-    let (status, body, outcome) = cached_artifact(state, key, || run(n, cfg));
+    let (status, body, outcome) = cached_artifact(state, key, deadline, || run(n, cfg));
     routed(
         Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
         endpoint,
@@ -381,6 +450,81 @@ mod tests {
         let r = handle(&s, &get("/v1/table/1"), 0);
         let expected = (r.response.body.len() + std::mem::size_of::<u16>()) as u64;
         assert_eq!(s.cache.stats().approx_bytes, expected);
+    }
+
+    #[test]
+    fn zero_deadline_sheds_artifact_requests_with_503() {
+        let mut s = state();
+        s.deadline = Duration::ZERO;
+        let r = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(r.response.status, 503);
+        assert_eq!(r.cache, CacheOutcome::Uncached);
+        assert_eq!(s.metrics.deadline_exceeded.load(Ordering::Relaxed), 1);
+        // The shed response was never cached: with budget restored the
+        // same request renders normally.
+        s.deadline = Duration::from_secs(30);
+        let r = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(r.response.status, 200);
+        assert_eq!(r.cache, CacheOutcome::Miss);
+    }
+
+    #[test]
+    fn broken_disk_degrades_to_compute_and_trips_the_breaker() {
+        use memo_store::{FaultConfig, FaultVfs, Store, StoreConfig};
+        let dir = std::env::temp_dir()
+            .join(format!("memo-serve-routes-chaos-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let vfs = Arc::new(FaultVfs::new(FaultConfig::quiet(7)));
+        let store = Arc::new(
+            Store::open_with_vfs(&dir, StoreConfig::small_for_tests(), vfs.clone()).unwrap(),
+        );
+
+        // Seed the request keys into a segment so lookups really touch
+        // the disk — a get that misses an empty store does no I/O and
+        // would never observe a fault.
+        let fake = ResultBlob { status: 200, body: b"seeded\n".to_vec() };
+        for n in 1..=2 {
+            store
+                .put(format!("results/table/{n}@scale=16;sci_n=16").as_bytes(), &fake.to_bytes())
+                .unwrap();
+        }
+        store.flush().unwrap();
+
+        let mut s = state();
+        s.store = Some(store);
+        s.disk_breaker = TierBreaker::new(2, Duration::from_secs(60));
+        // From here on every read, write, and fsync the store issues fails.
+        vfs.set_config(FaultConfig {
+            read_error_permille: 1000,
+            write_error_permille: 1000,
+            fsync_error_permille: 1000,
+            ..FaultConfig::quiet(7)
+        });
+
+        // The store fails on every touch, yet requests still render.
+        for n in 1..=2 {
+            let r = handle(&s, &get(&format!("/v1/table/{n}")), 0);
+            assert_eq!(r.response.status, 200);
+            assert_eq!(r.cache, CacheOutcome::Miss);
+        }
+        assert_eq!(s.disk_breaker.state(), BreakerState::Open);
+        assert!(s.disk_breaker.stats().trips >= 1);
+        assert!(s.metrics.store_io_errors.load(Ordering::Relaxed) >= 2);
+        assert!(s.metrics.store_retries.load(Ordering::Relaxed) >= 2);
+
+        // Health reports the degraded tier; serving continues, disk
+        // untouched (breaker open means no further store calls).
+        let h = handle(&s, &get("/healthz"), 0);
+        assert_eq!(h.response.body, b"degraded:disk-breaker-open\n");
+        let r = handle(&s, &get("/v1/table/3"), 0);
+        assert_eq!(r.response.status, 200);
+        assert_eq!(r.cache, CacheOutcome::Miss);
+
+        let m = handle(&s, &get("/metrics"), 0);
+        let text = String::from_utf8(m.response.body).unwrap();
+        assert!(text.contains("memo_tier_breaker_state 2"), "{text}");
+        assert!(text.contains("memo_store_io_errors_total"));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -15,8 +15,9 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use memo_experiments::cache::TierBreaker;
 use memo_experiments::{env, store, ExpConfig};
-use memo_store::StoreConfig;
+use memo_store::{Store, StoreConfig};
 
 use crate::http::{parse_request, Response, MAX_HEADER_BYTES, MAX_BODY};
 use crate::metrics::{CacheOutcome, Endpoint};
@@ -44,6 +45,18 @@ pub struct ServerConfig {
     /// Directory of the persistent result/trace store. `None` (the
     /// default) serves memory-only, exactly as before the store existed.
     pub store_dir: Option<PathBuf>,
+    /// A pre-opened store to serve from, taking precedence over
+    /// [`store_dir`](Self::store_dir). This is how chaos tests hand the
+    /// server a [`memo_store::FaultVfs`]-backed store.
+    pub store: Option<Arc<Store>>,
+    /// Consecutive store failures before the disk tier is bypassed
+    /// (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// How long a tripped breaker waits before admitting a probe.
+    pub breaker_cooldown: Duration,
+    /// Per-request time budget, counted from accept. Requests that age
+    /// past it in the queue (or mid-render) are shed with 503.
+    pub request_deadline: Duration,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +70,10 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             cfg: ExpConfig::from_env(),
             store_dir: None,
+            store: None,
+            breaker_threshold: 5,
+            breaker_cooldown: Duration::from_secs(2),
+            request_deadline: Duration::from_secs(30),
         }
     }
 }
@@ -66,7 +83,7 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     state: Arc<AppState>,
-    queue: Arc<Bounded<TcpStream>>,
+    queue: Arc<Bounded<(TcpStream, Instant)>>,
     accept_thread: JoinHandle<()>,
     pool: WorkerPool,
 }
@@ -127,7 +144,14 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
 
     let workers = config.workers.max(1);
     let mut state = AppState::new(config.cfg, config.cache_capacity, workers);
-    if let Some(dir) = &config.store_dir {
+    state.disk_breaker = TierBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+    state.deadline = config.request_deadline;
+    if let Some(opened) = &config.store {
+        // A pre-opened store (chaos tests inject FaultVfs-backed ones
+        // this way) takes precedence over store_dir.
+        store::install(Arc::clone(opened));
+        state.store = Some(Arc::clone(opened));
+    } else if let Some(dir) = &config.store_dir {
         let opened = store::open_guarded(dir, StoreConfig::default())
             .map_err(|e| io::Error::other(format!("open store at {}: {e}", dir.display())))?;
         // Install globally too, so the trace cache records once across
@@ -141,9 +165,10 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     let worker_state = Arc::clone(&state);
     let worker_queue = Arc::clone(&queue);
     let (read_timeout, write_timeout) = (config.read_timeout, config.write_timeout);
-    let pool = WorkerPool::spawn(workers, Arc::clone(&queue), move |stream: TcpStream| {
-        handle_connection(&worker_state, &worker_queue, stream, read_timeout);
-    });
+    let pool =
+        WorkerPool::spawn(workers, Arc::clone(&queue), move |(stream, accepted): (TcpStream, Instant)| {
+            handle_connection(&worker_state, &worker_queue, stream, accepted, read_timeout);
+        });
 
     let accept_state = Arc::clone(&state);
     let accept_queue = Arc::clone(&queue);
@@ -162,7 +187,7 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
 fn accept_loop(
     listener: &TcpListener,
     state: &AppState,
-    queue: &Bounded<TcpStream>,
+    queue: &Bounded<(TcpStream, Instant)>,
     read_timeout: Duration,
     write_timeout: Duration,
 ) {
@@ -179,8 +204,9 @@ fn accept_loop(
                 if !configured {
                     continue; // peer is gone; nothing to shed
                 }
-                if let Err(err) = queue.try_push(stream) {
-                    let (PushError::Full(mut stream) | PushError::Closed(mut stream)) = err;
+                if let Err(err) = queue.try_push((stream, Instant::now())) {
+                    let (PushError::Full((mut stream, _)) | PushError::Closed((mut stream, _))) =
+                        err;
                     state.metrics.queue_rejections.fetch_add(1, Ordering::Relaxed);
                     state.metrics.observe(Endpoint::Other, 503, CacheOutcome::Uncached, 0);
                     let _ = Response::text(503, "request queue full, retry shortly\n")
@@ -195,12 +221,26 @@ fn accept_loop(
 }
 
 /// Serve one connection until close, drain, timeout, or protocol error.
+///
+/// `accepted` is when the accept loop queued the connection: one that
+/// sat in the queue past the request deadline is shed with 503 before
+/// any bytes are read — a stalled disk must not turn the queue into an
+/// unbounded latency amplifier.
 fn handle_connection(
     state: &AppState,
-    queue: &Bounded<TcpStream>,
+    queue: &Bounded<(TcpStream, Instant)>,
     mut stream: TcpStream,
+    accepted: Instant,
     read_timeout: Duration,
 ) {
+    if accepted.elapsed() > state.deadline {
+        state.metrics.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+        state.metrics.observe(Endpoint::Other, 503, CacheOutcome::Uncached, 0);
+        let _ = Response::text(503, "spent too long queued; retry shortly\n")
+            .with_header("retry-after", "1")
+            .write_to(&mut stream, false, false);
+        return;
+    }
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
     let mut chunk = [0u8; 4096];
     // An idle keep-alive connection may not outlive the read timeout by
@@ -280,6 +320,7 @@ mod tests {
             write_timeout: Duration::from_millis(300),
             cfg: ExpConfig::quick(),
             store_dir: None,
+            ..ServerConfig::default()
         }
     }
 
@@ -320,6 +361,24 @@ mod tests {
         let mut out = String::new();
         s.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.1 408"), "{out}");
+        handle.shutdown();
+        handle.wait();
+    }
+
+    #[test]
+    fn zero_deadline_sheds_connections_before_reading() {
+        let mut cfg = test_config();
+        cfg.request_deadline = Duration::ZERO;
+        let handle = start(&cfg).unwrap();
+        // Send nothing: the shed happens before the request is read, and
+        // an unread request would RST the connection on the server's
+        // close instead of delivering the 503.
+        let mut s = TcpStream::connect(handle.addr()).unwrap();
+        let mut resp = String::new();
+        s.read_to_string(&mut resp).unwrap();
+        assert!(resp.starts_with("HTTP/1.1 503"), "{resp}");
+        assert!(resp.contains("retry-after: 1"), "{resp}");
+        assert!(handle.state().metrics.deadline_exceeded.load(Ordering::Relaxed) >= 1);
         handle.shutdown();
         handle.wait();
     }

@@ -1,0 +1,244 @@
+//! Chaos end-to-end: serve real HTTP while the persistent tier's
+//! filesystem misbehaves underneath it, and hold the server to the
+//! degraded-mode contract:
+//!
+//! * **no injected disk fault ever surfaces as a 5xx** — every artifact
+//!   response is 200 with bytes identical to a fault-free run;
+//! * a sustained outage trips the disk-tier circuit breaker (visible in
+//!   `/metrics` and as `degraded:disk-breaker-open` on `/healthz`), and
+//!   the server keeps serving memory → compute;
+//! * once the disk heals, the half-open probe closes the breaker and
+//!   `/healthz` returns to `ok`.
+//!
+//! The fault stream is deterministic: `MEMO_CHAOS_SEED` (default 1998)
+//! seeds the injector, so a CI failure replays exactly. A summary of the
+//! run is written to `CHAOS_report.json` for the CI artifact.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use memo_experiments::{runner, ExpConfig};
+use memo_serve::server::{self, ServerConfig, ServerHandle};
+use memo_store::{FaultConfig, FaultVfs, ResultBlob, Store, StoreConfig};
+
+fn chaos_seed() -> u64 {
+    std::env::var("MEMO_CHAOS_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(1998)
+}
+
+/// One full HTTP exchange on a fresh connection.
+fn get(handle: &ServerHandle, path: &str) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n").as_bytes())
+        .expect("send");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read");
+    let header_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("complete header block");
+    let head = String::from_utf8_lossy(&raw[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .expect("status line");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[header_end + 4..].to_vec())
+}
+
+/// Pull one `name value` sample out of a Prometheus text exposition.
+fn metric(text: &str, name: &str) -> u64 {
+    text.lines()
+        .find_map(|l| l.strip_prefix(name).and_then(|rest| rest.trim().parse().ok()))
+        .unwrap_or_else(|| panic!("metric {name} not found in:\n{text}"))
+}
+
+fn fetch_metrics(handle: &ServerHandle) -> String {
+    let (status, _, body) = get(handle, "/metrics");
+    assert_eq!(status, 200);
+    String::from_utf8(body).expect("metrics are text")
+}
+
+/// The `(table, sci_n)` pairs each phase requests. All distinct, so
+/// every request exercises the full tier ladder instead of the
+/// in-memory cache.
+const PHASE1: &[(usize, usize)] = &[(1, 8), (1, 10), (2, 8), (2, 10), (3, 8), (3, 10)];
+const PHASE2: &[(usize, usize)] = &[(1, 30), (1, 32), (2, 30), (2, 32), (3, 30), (3, 32)];
+const PHASE3: &[(usize, usize)] = &[(1, 36), (2, 36), (3, 36)];
+
+fn store_key(table: usize, sci_n: usize) -> String {
+    format!("results/table/{table}@scale=16;sci_n={sci_n}")
+}
+
+fn request_path(table: usize, sci_n: usize) -> String {
+    format!("/v1/table/{table}?sci_n={sci_n}")
+}
+
+#[test]
+fn serving_survives_disk_chaos_byte_identically_and_recovers() {
+    let seed = chaos_seed();
+    let dir = std::env::temp_dir()
+        .join(format!("memo-serve-chaos-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Fault-free baselines, computed before any server exists: the
+    // responses under chaos must match these byte for byte.
+    let mut baseline: BTreeMap<(usize, usize), String> = BTreeMap::new();
+    for &(table, sci_n) in PHASE1.iter().chain(PHASE2).chain(PHASE3) {
+        let mut cfg = ExpConfig::quick();
+        cfg.sci_n = sci_n;
+        let rendered = runner::table(table, cfg).expect("baseline render");
+        baseline.insert((table, sci_n), format!("{rendered}\n"));
+    }
+
+    // The store opens quiet, gets every baseline pre-seeded and flushed
+    // into a segment (so lookups really read the disk), and only then
+    // does the injector arm.
+    let vfs = Arc::new(FaultVfs::new(FaultConfig::quiet(seed)));
+    let store = Arc::new(
+        Store::open_with_vfs(&dir, StoreConfig::default(), vfs.clone() as Arc<dyn memo_store::Vfs>)
+            .expect("open store"),
+    );
+    for (&(table, sci_n), body) in &baseline {
+        let blob = ResultBlob { status: 200, body: body.clone().into_bytes() };
+        store.put(store_key(table, sci_n).as_bytes(), &blob.to_bytes()).expect("seed");
+    }
+    store.flush().expect("flush seeds to a segment");
+
+    let breaker_cooldown = Duration::from_millis(250);
+    let config = ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_capacity: 32,
+        cache_capacity: 256,
+        read_timeout: Duration::from_secs(5),
+        write_timeout: Duration::from_secs(5),
+        cfg: ExpConfig::quick(),
+        store_dir: None,
+        store: Some(Arc::clone(&store)),
+        breaker_threshold: 3,
+        breaker_cooldown,
+        request_deadline: Duration::from_secs(30),
+    };
+    let handle = server::start(&config).expect("bind ephemeral port");
+    let mut non_degraded_errors = 0u64;
+
+    // ---- Phase 1: moderate faults. Reads, writes, and fsyncs fail at
+    // ~8% each, some write faults manifest as ENOSPC or short writes,
+    // and a sprinkle of latency. Retries absorb most of it; anything
+    // they don't, the tier ladder does.
+    vfs.set_config(FaultConfig {
+        read_error_permille: 80,
+        write_error_permille: 80,
+        fsync_error_permille: 80,
+        enospc_permille: 300,
+        short_write_permille: 300,
+        latency_permille: 100,
+        latency: Duration::from_millis(1),
+        ..FaultConfig::quiet(seed)
+    });
+    for &(table, sci_n) in PHASE1 {
+        let (status, _, body) = get(&handle, &request_path(table, sci_n));
+        if status >= 500 {
+            non_degraded_errors += 1;
+        }
+        assert_eq!(status, 200, "phase 1: injected faults must not surface");
+        assert_eq!(
+            body,
+            baseline[&(table, sci_n)].as_bytes(),
+            "phase 1: table {table} sci_n {sci_n} diverged from the fault-free bytes"
+        );
+    }
+
+    // ---- Phase 2: total outage. Every read, write, and fsync fails.
+    // Fresh keys force the server through the broken disk; the breaker
+    // trips and serving degrades to memory → compute, still correct.
+    vfs.set_config(FaultConfig {
+        read_error_permille: 1000,
+        write_error_permille: 1000,
+        fsync_error_permille: 1000,
+        ..FaultConfig::quiet(seed)
+    });
+    for &(table, sci_n) in PHASE2 {
+        let (status, _, body) = get(&handle, &request_path(table, sci_n));
+        if status >= 500 {
+            non_degraded_errors += 1;
+        }
+        assert_eq!(status, 200, "phase 2: a dead disk must degrade, not fail");
+        assert_eq!(
+            body,
+            baseline[&(table, sci_n)].as_bytes(),
+            "phase 2: table {table} sci_n {sci_n} diverged during the outage"
+        );
+    }
+    let (status, _, body) = get(&handle, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"degraded:disk-breaker-open\n", "healthz must surface the open breaker");
+    let outage = fetch_metrics(&handle);
+    assert_eq!(metric(&outage, "memo_tier_breaker_state"), 2, "breaker should be open");
+    assert!(metric(&outage, "memo_tier_breaker_trips_total") >= 1);
+    assert!(metric(&outage, "memo_store_io_errors_total") > 0);
+    assert!(metric(&outage, "memo_store_retries_total") > 0);
+    let trips_after_outage = metric(&outage, "memo_tier_breaker_trips_total");
+
+    // ---- Phase 3: the disk heals. After the cooldown, the next lookup
+    // is admitted as a half-open probe, succeeds, and closes the breaker.
+    vfs.quiesce();
+    std::thread::sleep(breaker_cooldown + Duration::from_millis(100));
+    for &(table, sci_n) in PHASE3 {
+        let (status, _, body) = get(&handle, &request_path(table, sci_n));
+        if status >= 500 {
+            non_degraded_errors += 1;
+        }
+        assert_eq!(status, 200);
+        assert_eq!(
+            body,
+            baseline[&(table, sci_n)].as_bytes(),
+            "phase 3: table {table} sci_n {sci_n} diverged after recovery"
+        );
+    }
+    let (status, _, body) = get(&handle, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n", "healthz must recover once the probe closes the breaker");
+    let healed = fetch_metrics(&handle);
+    assert_eq!(metric(&healed, "memo_tier_breaker_state"), 0, "breaker should have closed");
+    assert!(metric(&healed, "memo_tier_breaker_probes_total") >= 1);
+
+    assert_eq!(non_degraded_errors, 0, "chaos must never surface a 5xx");
+
+    // ---- Report for the CI artifact.
+    let stats = vfs.stats();
+    let report = format!(
+        "{{\n  \"bench\": \"memo_serve_chaos\",\n  \"seed\": {seed},\n  \
+         \"requests\": {},\n  \"non_degraded_errors\": {non_degraded_errors},\n  \
+         \"fault_ops\": {:?},\n  \"faults_injected\": {:?},\n  \
+         \"short_writes\": {},\n  \"enospc\": {},\n  \"delays\": {},\n  \
+         \"store_io_errors\": {},\n  \"store_retries\": {},\n  \
+         \"breaker_trips\": {},\n  \"breaker_probes\": {},\n  \
+         \"recovered\": true\n}}\n",
+        PHASE1.len() + PHASE2.len() + PHASE3.len(),
+        stats.ops,
+        stats.injected,
+        stats.short_writes,
+        stats.enospc,
+        stats.delays,
+        metric(&healed, "memo_store_io_errors_total"),
+        metric(&healed, "memo_store_retries_total"),
+        trips_after_outage,
+        metric(&healed, "memo_tier_breaker_probes_total"),
+    );
+    if let Err(err) = std::fs::write("CHAOS_report.json", &report) {
+        eprintln!("chaos: could not write CHAOS_report.json: {err}");
+    }
+
+    handle.shutdown();
+    handle.wait();
+    memo_experiments::store::uninstall();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -22,6 +22,7 @@ fn boot(workers: usize, queue_capacity: usize) -> ServerHandle {
         write_timeout: Duration::from_secs(2),
         cfg: ExpConfig::quick(),
         store_dir: None,
+        ..ServerConfig::default()
     };
     server::start(&config).expect("bind ephemeral port")
 }

@@ -26,6 +26,7 @@ fn boot(store_dir: PathBuf) -> ServerHandle {
         write_timeout: Duration::from_secs(2),
         cfg: ExpConfig::quick(),
         store_dir: Some(store_dir),
+        ..ServerConfig::default()
     };
     server::start(&config).expect("bind ephemeral port")
 }

@@ -25,6 +25,12 @@
 //! * compaction (explicit [`Store::compact`] or automatic once the
 //!   segment count passes a threshold) merges all segments into one,
 //!   reclaiming superseded keys and dropping tombstones.
+//! * [`vfs`] — the virtual filesystem every byte of store I/O goes
+//!   through: [`RealVfs`] in production, [`FaultVfs`] (deterministic
+//!   seeded fault injection — errors, ENOSPC, short writes, latency)
+//!   in chaos tests.
+//! * [`retry`] — bounded retry-with-backoff for transient I/O errors,
+//!   used by callers that sit between a flaky disk and a deadline.
 //! * [`codec`] — the typed payload layer for the two blob families the
 //!   reproduction persists: rendered `(experiment, config)` result blobs
 //!   and RLE operand-trace archives, both behind a versioned envelope so
@@ -39,12 +45,16 @@
 
 pub mod codec;
 pub mod memtable;
+pub mod retry;
 pub mod segment;
 pub mod store;
+pub mod vfs;
 pub mod wal;
 
 pub use codec::{CodecError, ResultBlob};
+pub use retry::RetryPolicy;
 pub use store::{Store, StoreConfig, StoreStats};
+pub use vfs::{FaultConfig, FaultKind, FaultOp, FaultStats, FaultVfs, RealVfs, ScheduledFault, Vfs};
 
 use std::fmt;
 use std::io;
@@ -103,7 +113,10 @@ pub enum StoreError {
 }
 
 impl StoreError {
-    pub(crate) fn io(context: impl Into<String>, source: io::Error) -> Self {
+    /// An [`StoreError::Io`] with its context in one call — used
+    /// throughout this crate and by layers wrapping store operations.
+    #[must_use]
+    pub fn io(context: impl Into<String>, source: io::Error) -> Self {
         StoreError::Io { context: context.into(), source }
     }
 }

@@ -1,0 +1,132 @@
+//! Bounded retry with exponential backoff for transient store errors.
+//!
+//! Only [`StoreError::Io`] is retried — a flaky disk often answers on
+//! the second try, and the fault-injection suite proves the loop
+//! converges. Corruption and format errors are deterministic: retrying
+//! them would re-read the same damage, so they surface immediately.
+
+use std::time::Duration;
+
+use crate::StoreError;
+
+/// Backoff doubles per retry but never exceeds this, so a tight
+/// policy cannot stall a request for longer than its deadline budget.
+const MAX_BACKOFF: Duration = Duration::from_millis(250);
+
+/// A bounded retry policy: at most `attempts` tries total, sleeping
+/// `base_backoff * 2^n` between them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total tries (1 = no retries).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each subsequent retry.
+    pub base_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { attempts: 3, base_backoff: Duration::from_millis(5) }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    #[must_use]
+    pub fn none() -> Self {
+        RetryPolicy { attempts: 1, base_backoff: Duration::ZERO }
+    }
+
+    /// Run `op` under this policy. Returns the final outcome plus how
+    /// many retries were spent (0 when the first try settled it), so
+    /// callers can feed a retry counter.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut() -> Result<T, StoreError>,
+    ) -> (Result<T, StoreError>, u32) {
+        let attempts = self.attempts.max(1);
+        let mut retries = 0u32;
+        let mut backoff = self.base_backoff;
+        loop {
+            match op() {
+                Ok(v) => return (Ok(v), retries),
+                Err(e) if retries + 1 < attempts && e.is_transient() => {
+                    retries += 1;
+                    if !backoff.is_zero() {
+                        std::thread::sleep(backoff.min(MAX_BACKOFF));
+                        backoff = backoff.saturating_mul(2);
+                    }
+                }
+                Err(e) => return (Err(e), retries),
+            }
+        }
+    }
+}
+
+impl StoreError {
+    /// Is a retry worth anything? Only I/O errors are — corruption and
+    /// format mismatches are deterministic.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn io_err() -> StoreError {
+        StoreError::io("test", std::io::Error::other("flaky"))
+    }
+
+    #[test]
+    fn succeeds_without_retries_on_a_healthy_op() {
+        let (result, retries) = RetryPolicy::default().run(|| Ok::<_, StoreError>(7));
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn retries_transient_errors_up_to_the_budget() {
+        let mut calls = 0;
+        let policy = RetryPolicy { attempts: 3, base_backoff: Duration::ZERO };
+        let (result, retries) = policy.run(|| {
+            calls += 1;
+            if calls < 3 { Err(io_err()) } else { Ok(calls) }
+        });
+        assert_eq!(result.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        let mut calls = 0;
+        let (result, retries) = policy.run(|| -> Result<(), _> {
+            calls += 1;
+            Err(io_err())
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 3, "the budget bounds the tries");
+        assert_eq!(retries, 2);
+    }
+
+    #[test]
+    fn deterministic_errors_are_not_retried() {
+        let mut calls = 0;
+        let (result, retries) = RetryPolicy::default().run(|| -> Result<(), _> {
+            calls += 1;
+            Err(StoreError::CorruptSegment { path: "/x".into(), detail: "bad crc".into() })
+        });
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "corruption is deterministic; retrying re-reads the damage");
+        assert_eq!(retries, 0);
+    }
+
+    #[test]
+    fn none_policy_is_a_single_try() {
+        let mut calls = 0;
+        let (result, retries) = RetryPolicy::none().run(|| -> Result<(), _> {
+            calls += 1;
+            Err(io_err())
+        });
+        assert!(result.is_err());
+        assert_eq!((calls, retries), (1, 0));
+    }
+}

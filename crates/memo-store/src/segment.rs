@@ -21,11 +21,10 @@
 //! for the greatest indexed key ≤ target, then scan forward at most
 //! `SPARSE_EVERY` entries — the classic SSTable read path.
 
-use std::fs::File;
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+use crate::vfs::{Vfs, VfsFile};
 use crate::{crc32, StoreError};
 
 const MAGIC_HEAD: &[u8; 4] = b"MSEG";
@@ -68,10 +67,16 @@ fn encode_entry(out: &mut Vec<u8>, key: &[u8], value: Option<&[u8]>) {
 /// Write a segment from `entries` (must be sorted by key, newest version
 /// only) to `path` atomically. Returns the entry count and file size.
 ///
+/// A failed write never leaves anything visible: the temp file is
+/// removed on every error path (write, fsync, or rename failure), so a
+/// faulting disk cannot strand a half-segment for the next open to trip
+/// over.
+///
 /// # Errors
 ///
 /// [`StoreError::Io`] on filesystem failures.
 pub fn write<'a>(
+    vfs: &dyn Vfs,
     path: &Path,
     entries: impl Iterator<Item = (&'a [u8], Option<&'a [u8]>)>,
     fsync: bool,
@@ -93,9 +98,6 @@ pub fn write<'a>(
         entry_count += 1;
     }
 
-    let tmp = path.with_extension("tmp");
-    let mut file = File::create(&tmp)
-        .map_err(|e| StoreError::io(format!("create segment {}", tmp.display()), e))?;
     let mut out = Vec::with_capacity(HEADER_LEN as usize + data.len() + index.len() + 64);
     out.extend_from_slice(MAGIC_HEAD);
     out.extend_from_slice(&VERSION.to_le_bytes());
@@ -112,13 +114,24 @@ pub fn write<'a>(
     out.extend_from_slice(&crc32(&index).to_le_bytes());
     out.extend_from_slice(&index_count.to_le_bytes()); // footer copy, framing check
     out.extend_from_slice(MAGIC_FOOT);
-    file.write_all(&out).map_err(|e| StoreError::io("write segment", e))?;
-    if fsync {
-        file.sync_all().map_err(|e| StoreError::io("fsync segment", e))?;
+
+    let tmp = path.with_extension("tmp");
+    let publish = || -> Result<(), StoreError> {
+        let mut file = vfs
+            .create(&tmp)
+            .map_err(|e| StoreError::io(format!("create segment {}", tmp.display()), e))?;
+        file.append(&out).map_err(|e| StoreError::io("write segment", e))?;
+        if fsync {
+            file.sync().map_err(|e| StoreError::io("fsync segment", e))?;
+        }
+        drop(file);
+        vfs.rename(&tmp, path)
+            .map_err(|e| StoreError::io(format!("rename segment into {}", path.display()), e))
+    };
+    if let Err(e) = publish() {
+        let _ = vfs.remove_file(&tmp);
+        return Err(e);
     }
-    drop(file);
-    std::fs::rename(&tmp, path)
-        .map_err(|e| StoreError::io(format!("rename segment into {}", path.display()), e))?;
     Ok((entry_count, out.len() as u64))
 }
 
@@ -130,15 +143,24 @@ struct IndexPoint {
 }
 
 /// An open, validated segment: sparse index in memory, data on disk.
-#[derive(Debug)]
 pub struct Segment {
     path: PathBuf,
-    file: Mutex<File>,
+    file: Mutex<Box<dyn VfsFile>>,
     index: Vec<IndexPoint>,
     data_off: u64,
     index_off: u64,
     entries: u64,
     file_len: u64,
+}
+
+impl std::fmt::Debug for Segment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Segment")
+            .field("path", &self.path)
+            .field("entries", &self.entries)
+            .field("file_len", &self.file_len)
+            .finish_non_exhaustive()
+    }
 }
 
 impl Segment {
@@ -153,11 +175,12 @@ impl Segment {
     ///
     /// [`StoreError::CorruptSegment`] when validation fails;
     /// [`StoreError::Io`] on filesystem failures.
-    pub fn open(path: &Path) -> Result<Segment, StoreError> {
-        let mut file = File::open(path)
+    pub fn open(vfs: &dyn Vfs, path: &Path) -> Result<Segment, StoreError> {
+        let mut file = vfs
+            .open_read(path)
             .map_err(|e| StoreError::io(format!("open segment {}", path.display()), e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
+        let bytes = file
+            .read_all()
             .map_err(|e| StoreError::io(format!("read segment {}", path.display()), e))?;
         let len = bytes.len() as u64;
         if len < HEADER_LEN + FOOTER_LEN || &bytes[..4] != MAGIC_HEAD {
@@ -273,8 +296,8 @@ impl Segment {
         let mut buf = vec![0u8; span];
         {
             let mut file = self.file.lock().expect("segment file poisoned");
-            file.seek(SeekFrom::Start(start)).map_err(|e| StoreError::io("seek segment", e))?;
-            file.read_exact(&mut buf).map_err(|e| StoreError::io("read segment span", e))?;
+            file.read_exact_at(start, &mut buf)
+                .map_err(|e| StoreError::io("read segment span", e))?;
         }
         let mut at = 0usize;
         while at < buf.len() {
@@ -329,9 +352,8 @@ impl Segment {
         let mut buf = vec![0u8; span];
         {
             let mut file = self.file.lock().expect("segment file poisoned");
-            file.seek(SeekFrom::Start(self.data_off))
-                .map_err(|e| StoreError::io("seek segment", e))?;
-            file.read_exact(&mut buf).map_err(|e| StoreError::io("read segment data", e))?;
+            file.read_exact_at(self.data_off, &mut buf)
+                .map_err(|e| StoreError::io("read segment data", e))?;
         }
         let mut out = Vec::with_capacity(usize::try_from(self.entries).unwrap_or(0));
         let mut at = 0usize;
@@ -375,6 +397,7 @@ impl Segment {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::{FaultConfig, FaultKind, FaultOp, FaultVfs, RealVfs, ScheduledFault};
 
     fn tmp(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("memo-seg-test-{}", std::process::id()));
@@ -396,10 +419,11 @@ mod tests {
         let path = tmp("roundtrip.seg");
         let entries = sample();
         let (count, size) =
-            write(&path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), true).unwrap();
+            write(&RealVfs, &path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), true)
+                .unwrap();
         assert_eq!(count, 50);
         assert!(size > 0);
-        let seg = Segment::open(&path).unwrap();
+        let seg = Segment::open(&RealVfs, &path).unwrap();
         assert_eq!(seg.entries(), 50);
         assert!(seg.index.len() >= 2, "50 entries need >1 sparse point");
         for (k, v) in &entries {
@@ -418,7 +442,8 @@ mod tests {
     fn detects_corruption_anywhere() {
         let path = tmp("corrupt.seg");
         let entries = sample();
-        write(&path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), false).unwrap();
+        write(&RealVfs, &path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), false)
+            .unwrap();
         let clean = std::fs::read(&path).unwrap();
         // Flip one byte at a spread of offsets; every variant must be
         // rejected at open (magic, version, data crc, index crc, footer).
@@ -427,23 +452,57 @@ mod tests {
             bad[at] ^= 0x01;
             std::fs::write(&path, &bad).unwrap();
             assert!(
-                matches!(Segment::open(&path), Err(StoreError::CorruptSegment { .. })),
+                matches!(Segment::open(&RealVfs, &path), Err(StoreError::CorruptSegment { .. })),
                 "corruption at byte {at} must be detected"
             );
         }
         // Truncation too.
         std::fs::write(&path, &clean[..clean.len() - 10]).unwrap();
-        assert!(Segment::open(&path).is_err());
+        assert!(Segment::open(&RealVfs, &path).is_err());
         let _ = std::fs::remove_file(&path);
     }
 
     #[test]
     fn empty_segment_is_valid() {
         let path = tmp("empty.seg");
-        write(&path, std::iter::empty(), false).unwrap();
-        let seg = Segment::open(&path).unwrap();
+        write(&RealVfs, &path, std::iter::empty(), false).unwrap();
+        let seg = Segment::open(&RealVfs, &path).unwrap();
         assert_eq!(seg.entries(), 0);
         assert_eq!(seg.get(b"anything").unwrap().0, None);
         let _ = std::fs::remove_file(&path);
+    }
+
+    /// Satellite: a failed publish (rename, fsync, or body write) must
+    /// leave neither the temp file nor a visible segment behind.
+    #[test]
+    fn failed_publish_cleans_up_the_temp_file() {
+        let entries = sample();
+        let faults = [
+            ("rename", ScheduledFault { op: FaultOp::Rename, nth: 1, kind: FaultKind::Error }),
+            ("fsync", ScheduledFault { op: FaultOp::Fsync, nth: 1, kind: FaultKind::Error }),
+            ("write", ScheduledFault { op: FaultOp::Write, nth: 1, kind: FaultKind::Enospc }),
+            ("short", ScheduledFault { op: FaultOp::Write, nth: 1, kind: FaultKind::ShortWrite }),
+        ];
+        for (tag, fault) in faults {
+            let path = tmp(&format!("cleanup-{tag}.seg"));
+            let _ = std::fs::remove_file(&path);
+            let vfs =
+                FaultVfs::new(FaultConfig { scheduled: vec![fault], ..FaultConfig::quiet(2) });
+            let err = write(
+                &vfs,
+                &path,
+                entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())),
+                true,
+            );
+            assert!(err.is_err(), "{tag}: the injected fault must surface");
+            assert!(!path.exists(), "{tag}: no half-segment may become visible");
+            assert!(!path.with_extension("tmp").exists(), "{tag}: the temp file must be removed");
+            // The same writer succeeds once the disk behaves again.
+            write(&vfs, &path, entries.iter().map(|(k, v)| (k.as_slice(), v.as_deref())), true)
+                .unwrap();
+            let seg = Segment::open(&vfs, &path).unwrap();
+            assert_eq!(seg.entries(), 50);
+            let _ = std::fs::remove_file(&path);
+        }
     }
 }

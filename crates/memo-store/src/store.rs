@@ -13,10 +13,11 @@
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use crate::memtable::MemTable;
 use crate::segment::{self, Segment};
+use crate::vfs::{RealVfs, Vfs};
 use crate::wal::{Wal, WalOp};
 use crate::StoreError;
 
@@ -106,6 +107,7 @@ struct Inner {
 pub struct Store {
     dir: PathBuf,
     config: StoreConfig,
+    vfs: Arc<dyn Vfs>,
     inner: Mutex<Inner>,
     counters: Counters,
     recovered_ops: u64,
@@ -134,20 +136,34 @@ impl Store {
     /// segments are written atomically, so corruption means bit rot, and
     /// refusing to open beats silently serving damage.
     pub fn open(dir: &Path, config: StoreConfig) -> Result<Store, StoreError> {
-        std::fs::create_dir_all(dir)
+        Self::open_with_vfs(dir, config, Arc::new(RealVfs))
+    }
+
+    /// [`open`](Self::open) on an explicit [`Vfs`] — the chaos-testing
+    /// entry point: hand in a `FaultVfs` and every byte of store I/O
+    /// runs through the injector.
+    ///
+    /// # Errors
+    ///
+    /// As [`open`](Self::open).
+    pub fn open_with_vfs(
+        dir: &Path,
+        config: StoreConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Store, StoreError> {
+        vfs.create_dir_all(dir)
             .map_err(|e| StoreError::io(format!("create store dir {}", dir.display()), e))?;
 
         // Collect `seg-*.seg` files; ignore stray `.tmp` leftovers from a
         // crash mid-flush (their rename never happened, so they are dead).
         let mut seg_files: Vec<(u64, PathBuf)> = Vec::new();
-        let entries = std::fs::read_dir(dir)
+        let entries = vfs
+            .list_dir(dir)
             .map_err(|e| StoreError::io(format!("list store dir {}", dir.display()), e))?;
-        for entry in entries {
-            let entry = entry.map_err(|e| StoreError::io("read store dir entry", e))?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for path in entries {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else { continue };
             if name.ends_with(".tmp") {
-                let _ = std::fs::remove_file(entry.path());
+                let _ = vfs.remove_file(&path);
                 continue;
             }
             if let Some(seq) = name
@@ -155,7 +171,7 @@ impl Store {
                 .and_then(|rest| rest.strip_suffix(".seg"))
                 .and_then(|digits| digits.parse::<u64>().ok())
             {
-                seg_files.push((seq, entry.path()));
+                seg_files.push((seq, path));
             }
         }
         // Newest (highest seq) first: lookup order.
@@ -163,10 +179,10 @@ impl Store {
         let next_seq = seg_files.first().map_or(0, |(seq, _)| seq + 1);
         let mut segments = Vec::with_capacity(seg_files.len());
         for (_, path) in &seg_files {
-            segments.push(Segment::open(path)?);
+            segments.push(Segment::open(vfs.as_ref(), path)?);
         }
 
-        let (wal, recovery) = Wal::open(&dir.join("wal.log"), config.fsync)?;
+        let (wal, recovery) = Wal::open(vfs.as_ref(), &dir.join("wal.log"), config.fsync)?;
         let mut memtable = MemTable::new();
         for op in &recovery.ops {
             match op {
@@ -178,6 +194,7 @@ impl Store {
         Ok(Store {
             dir: dir.to_path_buf(),
             config,
+            vfs,
             inner: Mutex::new(Inner { wal, memtable, segments, next_seq }),
             counters: Counters::default(),
             recovered_ops: recovery.ops.len() as u64,
@@ -280,8 +297,8 @@ impl Store {
         }
         let seq = inner.next_seq;
         let path = segment_path(&self.dir, seq);
-        segment::write(&path, inner.memtable.iter(), self.config.fsync)?;
-        let seg = Segment::open(&path)?;
+        segment::write(self.vfs.as_ref(), &path, inner.memtable.iter(), self.config.fsync)?;
+        let seg = Segment::open(self.vfs.as_ref(), &path)?;
         inner.segments.insert(0, seg); // newest first
         inner.next_seq = seq + 1;
         inner.memtable.clear();
@@ -327,11 +344,12 @@ impl Store {
         let seq = inner.next_seq;
         let path = segment_path(&self.dir, seq);
         segment::write(
+            self.vfs.as_ref(),
             &path,
             live.iter().map(|(k, v)| (k.as_slice(), Some(v.as_slice()))),
             self.config.fsync,
         )?;
-        let seg = Segment::open(&path)?;
+        let seg = Segment::open(self.vfs.as_ref(), &path)?;
         // The new segment is durable under a newer sequence number than
         // everything it replaces; a crash while deleting the old files
         // leaves shadowed-but-consistent duplicates that the next
@@ -339,7 +357,7 @@ impl Store {
         let old = std::mem::replace(&mut inner.segments, vec![seg]);
         inner.next_seq = seq + 1;
         for seg in old {
-            let _ = std::fs::remove_file(seg.path());
+            let _ = self.vfs.remove_file(seg.path());
         }
         self.counters.compactions.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -356,7 +374,8 @@ impl Store {
         inner.wal.reset()?;
         let old = std::mem::take(&mut inner.segments);
         for seg in old {
-            std::fs::remove_file(seg.path())
+            self.vfs
+                .remove_file(seg.path())
                 .map_err(|e| StoreError::io("remove segment on clear", e))?;
         }
         Ok(())

@@ -19,10 +19,9 @@
 //! truncation and single-byte corruption at every offset of a synthetic
 //! log.
 
-use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
+use crate::vfs::{Vfs, VfsFile};
 use crate::{crc32, StoreError};
 
 /// One recovered WAL operation.
@@ -157,39 +156,42 @@ pub fn scan(bytes: &[u8]) -> Recovery {
 }
 
 /// The write-ahead log file: append + fsync per operation, recover on
-/// open, truncate after a successful memtable flush.
-#[derive(Debug)]
+/// open, truncate after a successful memtable flush. All I/O goes
+/// through the [`Vfs`] the log was opened with.
 pub struct Wal {
-    file: File,
+    file: Box<dyn VfsFile>,
     path: PathBuf,
     fsync: bool,
 }
 
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("path", &self.path)
+            .field("fsync", &self.fsync)
+            .finish_non_exhaustive()
+    }
+}
+
 impl Wal {
-    /// Open (creating if absent) the log at `path`, recovering the
-    /// committed prefix and truncating any damaged tail.
+    /// Open (creating if absent) the log at `path` on `vfs`, recovering
+    /// the committed prefix and truncating any damaged tail.
     ///
     /// # Errors
     ///
     /// [`StoreError::Io`] on filesystem failures.
-    pub fn open(path: &Path, fsync: bool) -> Result<(Wal, Recovery), StoreError> {
-        let mut file = OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(path)
+    pub fn open(vfs: &dyn Vfs, path: &Path, fsync: bool) -> Result<(Wal, Recovery), StoreError> {
+        let mut file = vfs
+            .open_rw(path)
             .map_err(|e| StoreError::io(format!("open wal {}", path.display()), e))?;
-        let mut bytes = Vec::new();
-        file.read_to_end(&mut bytes)
+        let bytes = file
+            .read_all()
             .map_err(|e| StoreError::io(format!("read wal {}", path.display()), e))?;
         let recovery = scan(&bytes);
-        if recovery.tail_damaged {
-            file.set_len(recovery.committed_bytes)
-                .map_err(|e| StoreError::io("truncate damaged wal tail", e))?;
-        }
-        file.seek(SeekFrom::Start(recovery.committed_bytes))
-            .map_err(|e| StoreError::io("seek wal end", e))?;
+        // Cut any damaged tail (truncate also positions the cursor at the
+        // committed end, where fresh appends belong).
+        file.truncate(recovery.committed_bytes)
+            .map_err(|e| StoreError::io("truncate damaged wal tail", e))?;
         let wal = Wal { file, path: path.to_path_buf(), fsync };
         Ok((wal, recovery))
     }
@@ -203,10 +205,10 @@ impl Wal {
     pub fn append(&mut self, op: &WalOp) -> Result<usize, StoreError> {
         let rec = encode_record(op);
         self.file
-            .write_all(&rec)
+            .append(&rec)
             .map_err(|e| StoreError::io(format!("append wal {}", self.path.display()), e))?;
         if self.fsync {
-            self.file.sync_data().map_err(|e| StoreError::io("fsync wal", e))?;
+            self.file.sync().map_err(|e| StoreError::io("fsync wal", e))?;
         }
         Ok(rec.len())
     }
@@ -218,10 +220,9 @@ impl Wal {
     ///
     /// [`StoreError::Io`] on truncate/sync failure.
     pub fn reset(&mut self) -> Result<(), StoreError> {
-        self.file.set_len(0).map_err(|e| StoreError::io("truncate wal", e))?;
-        self.file.seek(SeekFrom::Start(0)).map_err(|e| StoreError::io("rewind wal", e))?;
+        self.file.truncate(0).map_err(|e| StoreError::io("truncate wal", e))?;
         if self.fsync {
-            self.file.sync_data().map_err(|e| StoreError::io("fsync wal", e))?;
+            self.file.sync().map_err(|e| StoreError::io("fsync wal", e))?;
         }
         Ok(())
     }
@@ -230,6 +231,7 @@ impl Wal {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::vfs::RealVfs;
 
     fn ops() -> Vec<WalOp> {
         vec![
@@ -277,7 +279,7 @@ mod tests {
         let path = dir.join("wal.log");
         let _ = std::fs::remove_file(&path);
 
-        let (mut wal, rec) = Wal::open(&path, true).unwrap();
+        let (mut wal, rec) = Wal::open(&RealVfs, &path, true).unwrap();
         assert!(rec.ops.is_empty());
         for op in ops() {
             wal.append(&op).unwrap();
@@ -288,7 +290,7 @@ mod tests {
         let mut bytes = std::fs::read(&path).unwrap();
         bytes.pop();
         std::fs::write(&path, &bytes).unwrap();
-        let (mut wal, rec) = Wal::open(&path, true).unwrap();
+        let (mut wal, rec) = Wal::open(&RealVfs, &path, true).unwrap();
         assert_eq!(rec.ops, ops()[..2]);
         assert!(rec.tail_damaged);
         // The truncated log accepts fresh appends cleanly.
@@ -307,7 +309,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("wal.log");
         let _ = std::fs::remove_file(&path);
-        let (mut wal, _) = Wal::open(&path, false).unwrap();
+        let (mut wal, _) = Wal::open(&RealVfs, &path, false).unwrap();
         wal.append(&WalOp::Delete { key: b"k".to_vec() }).unwrap();
         wal.reset().unwrap();
         wal.append(&WalOp::Put { key: b"a".to_vec(), value: b"b".to_vec() }).unwrap();

@@ -8,9 +8,10 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
 
 use memo_store::wal::{self, encode_record, WalOp};
-use memo_store::{Store, StoreConfig};
+use memo_store::{FaultConfig, FaultKind, FaultOp, FaultVfs, ScheduledFault, Store, StoreConfig};
 
 fn tmp_dir(tag: &str) -> PathBuf {
     static N: AtomicU32 = AtomicU32::new(0);
@@ -147,6 +148,145 @@ fn store_reopen_after_corruption_rejects_via_checksum_and_truncates() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The every-byte truncation suite, re-run with every store I/O routed
+/// through `FaultVfs` (quiet — a counting passthrough). The recovery
+/// invariant must be bit-identical to the direct-filesystem run, and the
+/// injector must actually have seen the traffic.
+#[test]
+fn every_byte_truncation_recovers_identically_through_fault_vfs() {
+    let ops = synthetic_ops();
+    let (log, bounds) = boundaries(&ops);
+    let dir = tmp_dir("vfs-truncate");
+    std::fs::create_dir_all(&dir).unwrap();
+    let wal_path = dir.join("wal.log");
+    let vfs = Arc::new(FaultVfs::new(FaultConfig::quiet(1998)));
+    for cut in 0..=log.len() {
+        std::fs::write(&wal_path, &log[..cut]).unwrap();
+        let store =
+            Store::open_with_vfs(&dir, StoreConfig::small_for_tests(), vfs.clone()).unwrap();
+        let expect = committed_prefix(&bounds, cut);
+        let stats = store.stats();
+        assert_eq!(stats.recovered_ops as usize, expect, "cut at {cut}");
+        assert_eq!(stats.recovered_torn_tail, cut != bounds[expect], "cut at {cut}");
+        drop(store);
+        let on_disk = std::fs::read(&wal_path).unwrap();
+        assert!(!wal::scan(&on_disk).tail_damaged, "cut at {cut} left damage on disk");
+    }
+    let stats = vfs.stats();
+    assert!(stats.ops[0] > 0, "the injector must have carried the reads");
+    assert_eq!(stats.injected, [0; 4], "a quiet config must inject nothing");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An injected short write at every possible append: the k-th operation
+/// tears mid-record, the put fails, and a crash+reopen recovers exactly
+/// the k acknowledged operations — never the torn one.
+#[test]
+fn short_write_at_every_append_recovers_the_acknowledged_prefix() {
+    let ops = synthetic_ops();
+    // Large memtable + no fsync: the only Write-class ops are WAL appends.
+    let config =
+        StoreConfig { memtable_max_bytes: usize::MAX, fsync: false, compact_at_segments: 100 };
+    for k in 0..ops.len() {
+        let dir = tmp_dir("short-write");
+        std::fs::create_dir_all(&dir).unwrap();
+        let vfs = Arc::new(FaultVfs::new(FaultConfig {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::Write,
+                nth: k as u64 + 1,
+                kind: FaultKind::ShortWrite,
+            }],
+            ..FaultConfig::quiet(k as u64)
+        }));
+        let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+        for (i, op) in ops.iter().enumerate() {
+            let outcome = match op {
+                WalOp::Put { key, value } => store.put(key, value),
+                WalOp::Delete { key } => store.delete(key),
+            };
+            if i == k {
+                assert!(outcome.is_err(), "append {k} tears and must fail");
+                break;
+            }
+            outcome.unwrap();
+        }
+        drop(store); // crash
+
+        let store = Store::open(&dir, config.clone()).unwrap();
+        assert_eq!(
+            store.stats().recovered_ops as usize,
+            k,
+            "short write at append {k}: only acknowledged ops recover"
+        );
+        // The torn op's key reflects only operations before it.
+        let mut expect: Option<Vec<u8>> = None;
+        for op in &ops[..k] {
+            if op.key() == ops[k].key() {
+                expect = match op {
+                    WalOp::Put { value, .. } => Some(value.clone()),
+                    WalOp::Delete { .. } => None,
+                };
+            }
+        }
+        assert_eq!(store.get(ops[k].key()).unwrap(), expect, "torn op {k} must not be visible");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Fsync-failure-then-crash ordering: a put whose fsync fails is
+/// unacknowledged; after a flush and a crash it must not resurrect —
+/// the flush carries only acknowledged state and the WAL reset discards
+/// the failed record's bytes.
+#[test]
+fn fsync_failure_then_crash_never_resurrects_the_unacknowledged_put() {
+    let keys: Vec<String> = (0..5).map(|i| format!("key-{i}")).collect();
+    let config =
+        StoreConfig { memtable_max_bytes: usize::MAX, fsync: true, compact_at_segments: 100 };
+    for k in 0..keys.len() {
+        let dir = tmp_dir("fsync-crash");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Each put is one Write then one Fsync; a clean baseline put goes
+        // first (so the flush below always has state to carry), then the
+        // (k+2)-th fsync — put k of the loop — fails.
+        let vfs = Arc::new(FaultVfs::new(FaultConfig {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::Fsync,
+                nth: k as u64 + 2,
+                kind: FaultKind::Error,
+            }],
+            ..FaultConfig::quiet(7)
+        }));
+        let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+        store.put(b"base", b"acknowledged").unwrap();
+        for (i, key) in keys.iter().enumerate() {
+            let outcome = store.put(key.as_bytes(), format!("val-{i}").as_bytes());
+            if i == k {
+                assert!(outcome.is_err(), "put {k}: the failed fsync must surface");
+                break;
+            }
+            outcome.unwrap();
+        }
+        // The store keeps serving: flush the acknowledged state to a
+        // segment (later fsyncs are clean), then crash.
+        store.flush().unwrap();
+        drop(store);
+
+        let store = Store::open(&dir, config.clone()).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.recovered_ops, 0, "put {k}: the flush reset the WAL");
+        assert_eq!(store.get(b"base").unwrap(), Some(b"acknowledged".to_vec()));
+        for (i, key) in keys.iter().enumerate() {
+            let expect = (i < k).then(|| format!("val-{i}").into_bytes());
+            assert_eq!(
+                store.get(key.as_bytes()).unwrap(),
+                expect,
+                "put {k}: key {i} — unacknowledged writes must stay dead"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 #[test]
