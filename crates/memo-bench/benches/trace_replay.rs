@@ -1,88 +1,224 @@
-//! Native re-execution vs. operand-trace replay — the record-once /
-//! replay-many economics. A sweep driver that replays a recorded
-//! [`memo_sim::OpTrace`] pays only the table probes; re-running the
-//! kernel pays the arithmetic, the addressing, and the event plumbing on
-//! every configuration.
+//! Scalar vs batched trace replay — the economics of the warp-style
+//! execution engine. The scalar path pulls one [`memo_table::Op`] at a
+//! time through `MemoBank::execute` (a virtual call, an enum build, and a
+//! policy cascade per operation); the batched path decodes each RLE run
+//! once into structure-of-arrays lane tiles and drives the memo tables'
+//! lane-parallel probe front end (`execute_batch`).
+//!
+//! Results are written to `BENCH_replay.json`: one scalar/batched median
+//! pair per kernel (every MM application and both scientific suites), a
+//! geometric-mean speedup, and a scalar-vs-batched timing of the fused
+//! Figure 3/4 sweep grids in the same run. CI archives the file and fails
+//! if any batched median is slower than its scalar baseline.
 
+use std::fmt::Write as _;
 use std::hint::black_box;
 
-use memo_bench::{bench, bench_cfg};
-use memo_sim::{MemoBank, TraceRecorderSink};
-use memo_table::{MemoConfig, MemoTable, Memoizer, OpKind};
+use memo_bench::{bench_cfg, bench_median};
+use memo_sim::{sweep_kind, MemoBank, OpTrace, TraceRecorderSink};
+use memo_table::{
+    batch_width, Assoc, MemoConfig, OpKind, StackSimulator, SweepGrid,
+};
 use memo_workloads::mm;
-use memo_workloads::suite::{mm_inputs, record_sci_trace, MemoProbeSink, SweepSpec};
 use memo_workloads::sci;
+use memo_workloads::suite::{mm_inputs, record_sci_trace, MemoProbeSink, SweepSpec};
+
+const KINDS: [OpKind; 3] = [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv];
+const SAMPLES: usize = 12;
+
+struct KernelRow {
+    name: &'static str,
+    suite: &'static str,
+    ops: usize,
+    scalar_ms: f64,
+    batched_ms: f64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        if self.batched_ms > 0.0 { self.scalar_ms / self.batched_ms } else { 0.0 }
+    }
+}
+
+fn time_kernel(
+    name: &'static str,
+    suite: &'static str,
+    traces: &[&OpTrace],
+) -> KernelRow {
+    let ops = traces.iter().map(|t| t.len()).sum();
+    let scalar = bench_median("trace_replay", &format!("{name}_scalar"), SAMPLES, || {
+        let mut bank = MemoBank::paper_default();
+        for trace in traces {
+            trace.replay_scalar(&mut bank);
+        }
+        black_box(bank.stats(OpKind::FpMul));
+    });
+    let batched = bench_median("trace_replay", &format!("{name}_batched"), SAMPLES, || {
+        let mut bank = MemoBank::paper_default();
+        for trace in traces {
+            trace.replay(&mut bank);
+        }
+        black_box(bank.stats(OpKind::FpMul));
+    });
+    KernelRow { name, suite, ops, scalar_ms: scalar * 1e3, batched_ms: batched * 1e3 }
+}
+
+struct SweepRow {
+    name: &'static str,
+    points: usize,
+    scalar_ms: f64,
+    batched_ms: f64,
+}
+
+impl SweepRow {
+    fn speedup(&self) -> f64 {
+        if self.batched_ms > 0.0 { self.scalar_ms / self.batched_ms } else { 0.0 }
+    }
+}
+
+/// Time one fused sweep grid with the stack engine fed per-op (`access`)
+/// vs tiled (`access_batch` via [`sweep_kind`]) — same grid, same trace,
+/// same pass structure, so the delta is exactly the lane-parallel front
+/// end.
+fn time_sweep(
+    name: &'static str,
+    trace: &OpTrace,
+    configs: &[MemoConfig],
+    include_infinite: bool,
+) -> SweepRow {
+    let grid = SweepGrid::new(configs, include_infinite).expect("fusable grid");
+    let scalar = bench_median("sweep_grids", &format!("{name}_scalar"), SAMPLES, || {
+        for kind in KINDS {
+            let mut sim = StackSimulator::new(&grid);
+            trace.for_each_kind(kind, |op| sim.access(op));
+            black_box(sim.finish().exact);
+        }
+    });
+    let batched = bench_median("sweep_grids", &format!("{name}_batched"), SAMPLES, || {
+        for kind in KINDS {
+            black_box(sweep_kind([trace], kind, &grid).exact);
+        }
+    });
+    SweepRow { name, points: configs.len(), scalar_ms: scalar * 1e3, batched_ms: batched * 1e3 }
+}
 
 fn main() {
     let cfg = bench_cfg();
     let corpus = mm_inputs(cfg.image_scale);
     let inputs: Vec<_> = corpus.iter().map(|c| &c.image).collect();
 
-    // One MM kernel (vspatial: division-heavy, Figure 3/4 sample set).
-    let mm_app = mm::find("vspatial").expect("registered");
-    let mm_trace = {
+    // Record every kernel once; replays reuse the recordings.
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for app in mm::apps() {
         let mut rec = TraceRecorderSink::new();
         for input in &inputs {
-            mm_app.run(&mut rec, input);
+            app.run(&mut rec, input);
+        }
+        let trace = rec.into_trace();
+        kernels.push(time_kernel(app.name, "mm", &[&trace]));
+    }
+    for app in sci::all_apps() {
+        let trace = record_sci_trace(&app, cfg.sci_n);
+        kernels.push(time_kernel(app.name, "sci", &[&trace]));
+    }
+
+    let geomean = {
+        let speedups: Vec<f64> = kernels.iter().map(KernelRow::speedup).collect();
+        (speedups.iter().map(|s| s.ln()).sum::<f64>() / speedups.len() as f64).exp()
+    };
+
+    // The record-once economics line, for continuity with earlier runs:
+    // replaying beats re-running the kernel natively.
+    let app = mm::find("vspatial").expect("registered");
+    let vspatial_trace = {
+        let mut rec = TraceRecorderSink::new();
+        for input in &inputs {
+            app.run(&mut rec, input);
         }
         rec.into_trace()
     };
-
-    bench("trace_replay", "vspatial_native_rerun", 20, || {
+    bench_median("trace_replay", "vspatial_native_rerun", SAMPLES, || {
         let mut sink = MemoProbeSink::new(SweepSpec::paper_default());
         for input in &inputs {
-            black_box(mm_app.run(&mut sink, input));
+            black_box(app.run(&mut sink, input));
         }
-        black_box(sink.bank().stats(memo_table::OpKind::FpDiv));
-    });
-    bench("trace_replay", "vspatial_trace_replay", 20, || {
-        let mut bank = MemoBank::paper_default();
-        mm_trace.replay(&mut bank);
-        black_box(bank.stats(memo_table::OpKind::FpDiv));
+        black_box(sink.bank().stats(OpKind::FpDiv));
     });
 
-    // One scientific kernel (first of the Perfect suite).
-    let sci_app = *sci::perfect_apps().first().expect("suite is non-empty");
-    let sci_trace = record_sci_trace(&sci_app, cfg.sci_n);
+    // Figure 3/4 grid shapes, timed scalar-vs-batched in the same run.
+    let size_configs: Vec<MemoConfig> = [8usize, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+        .iter()
+        .map(|&entries| MemoConfig::builder(entries).build().expect("valid"))
+        .collect();
+    let assoc_configs: Vec<MemoConfig> =
+        [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Ways(4), Assoc::Ways(8), Assoc::Full]
+            .iter()
+            .map(|&assoc| MemoConfig::builder(32).assoc(assoc).build().expect("valid"))
+            .collect();
+    let sweeps = [
+        time_sweep("figure3_size_grid", &vspatial_trace, &size_configs, false),
+        time_sweep("figure4_assoc_grid", &vspatial_trace, &assoc_configs, true),
+    ];
 
-    bench("trace_replay", "sci_native_rerun", 20, || {
-        let mut sink = MemoProbeSink::new(SweepSpec::paper_default());
-        sci_app.run(&mut sink, cfg.sci_n);
-        black_box(sink.bank().stats(memo_table::OpKind::FpMul));
-    });
-    bench("trace_replay", "sci_trace_replay", 20, || {
-        let mut bank = MemoBank::paper_default();
-        sci_trace.replay(&mut bank);
-        black_box(bank.stats(memo_table::OpKind::FpMul));
-    });
+    let mut json = String::from("{\n  \"bench\": \"trace_replay\",\n");
+    let _ = writeln!(json, "  \"batch_width\": {},", batch_width());
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        let comma = if i + 1 < kernels.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"suite\": \"{}\", \"ops\": {}, \"scalar_ms\": {:.4}, \
+             \"batched_ms\": {:.4}, \"speedup\": {:.2}}}{comma}",
+            r.name,
+            r.suite,
+            r.ops,
+            r.scalar_ms,
+            r.batched_ms,
+            r.speedup()
+        );
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(json, "  \"geomean_speedup\": {geomean:.2},");
+    json.push_str("  \"sweeps\": [\n");
+    for (i, r) in sweeps.iter().enumerate() {
+        let comma = if i + 1 < sweeps.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"points\": {}, \"scalar_ms\": {:.3}, \
+             \"batched_ms\": {:.3}, \"speedup\": {:.2}}}{comma}",
+            r.name,
+            r.points,
+            r.scalar_ms,
+            r.batched_ms,
+            r.speedup()
+        );
+    }
+    json.push_str("  ]\n}\n");
 
-    // Per-kind decode: the pull iterator rebuilds one op per `next()`
-    // call; the batched walker decodes whole runs with zipped slice
-    // loops and no per-op bounds checks.
-    bench("trace_replay", "vspatial_replay_kind_iter", 20, || {
-        let mut table = MemoTable::new(MemoConfig::paper_default());
-        for op in mm_trace.iter().filter(|op| op.kind() == OpKind::FpDiv) {
-            table.execute(op);
-        }
-        black_box(table.stats());
-    });
-    bench("trace_replay", "vspatial_replay_kind_batched", 20, || {
-        let mut table = MemoTable::new(MemoConfig::paper_default());
-        mm_trace.replay_kind_batched(OpKind::FpDiv, &mut table);
-        black_box(table.stats());
-    });
+    for r in &kernels {
+        println!(
+            "trace_replay/{} ({}): {} ops, scalar {:.3} ms vs batched {:.3} ms ({:.2}x)",
+            r.name,
+            r.suite,
+            r.ops,
+            r.scalar_ms,
+            r.batched_ms,
+            r.speedup()
+        );
+    }
+    println!("trace_replay/geomean_speedup: {geomean:.2}x over {} kernels", kernels.len());
+    for r in &sweeps {
+        println!(
+            "sweep_grids/{}: {} points, scalar {:.3} ms vs batched {:.3} ms ({:.2}x)",
+            r.name,
+            r.points,
+            r.scalar_ms,
+            r.batched_ms,
+            r.speedup()
+        );
+    }
 
-    // Recording cost, for completeness: record once, replay many.
-    bench("trace_replay", "vspatial_record_once", 20, || {
-        let mut rec = TraceRecorderSink::new();
-        for input in &inputs {
-            black_box(mm_app.run(&mut rec, input));
-        }
-        black_box(rec.trace().len());
-    });
-    println!(
-        "trace_replay/vspatial_trace_bytes_per_op    {:.2} B/op over {} ops",
-        mm_trace.approx_bytes() as f64 / mm_trace.len().max(1) as f64,
-        mm_trace.len()
-    );
+    let path = "BENCH_replay.json";
+    std::fs::write(path, json).expect("write BENCH_replay.json");
+    println!("wrote {path}");
 }

@@ -59,6 +59,52 @@ fn every_sci_kernel_replays_bit_identically() {
     }
 }
 
+/// The batched replay engine (lane-parallel probes, tiled decode) must be
+/// bit-identical to the scalar per-op path on the operand stream of
+/// **every** kernel in the evaluation — at the default tile width and at
+/// the narrowest supported one (maximum partial-tail pressure).
+#[test]
+fn batched_replay_matches_scalar_replay_on_every_kernel() {
+    fn check(name: &str, app_traces: &[&memo_sim::OpTrace]) {
+        for spec in specs() {
+            let mut scalar = spec.build();
+            let mut batched = spec.build();
+            let mut narrow = spec.build();
+            for trace in app_traces {
+                trace.replay_scalar(&mut scalar);
+                trace.replay(&mut batched);
+                trace.replay_batched(&mut narrow, memo_table::MIN_BATCH_WIDTH);
+            }
+            for kind in OpKind::ALL {
+                assert_eq!(
+                    batched.stats(kind),
+                    scalar.stats(kind),
+                    "{name}: {kind} batched != scalar"
+                );
+                assert_eq!(
+                    narrow.stats(kind),
+                    scalar.stats(kind),
+                    "{name}: {kind} width-8 batched != scalar"
+                );
+            }
+        }
+    }
+
+    let cfg = ExpConfig::quick();
+    let mut covered = 0usize;
+    for app in mm::apps() {
+        let app_traces = traces::mm_traces(cfg, &app);
+        check(app.name, &app_traces.iter().collect::<Vec<_>>());
+        covered += 1;
+    }
+    for app in sci::all_apps() {
+        let trace = traces::sci_trace(cfg, &app);
+        check(app.name, &[&trace]);
+        covered += 1;
+    }
+    assert_eq!(covered, 37, "the comparison must cover every kernel");
+}
+
 #[test]
 fn the_suites_cover_the_papers_37_kernels() {
     assert_eq!(mm::apps().len() + sci::all_apps().len(), 37);

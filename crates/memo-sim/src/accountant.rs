@@ -12,7 +12,7 @@
 //! measured speedup isolates exactly the cycles the MEMO-TABLEs avoid —
 //! the paper's "number of superfluous cycles avoided".
 
-use memo_table::OpKind;
+use memo_table::{OpBatch, OpKind};
 
 use crate::bank::MemoBank;
 use crate::cache::{CacheStats, MemoryHierarchy};
@@ -292,6 +292,62 @@ impl EventSink for CycleAccountant {
                 }
             }
         }
+    }
+
+    /// Bulk charge for a run of identical payload-free events: the cost of
+    /// one event of these classes is state-independent, so `n` of them cost
+    /// exactly `n ×` the single-event charge. Loads/stores (cache state)
+    /// and arithmetic (table state) fall back to per-event recording.
+    fn record_repeated(&mut self, event: Event, n: u64) {
+        match event {
+            Event::IntAlu => {
+                self.mix.int_alu += n;
+                let c = u64::from(self.cpu.int_alu) * n;
+                self.baseline.int_alu += c;
+                self.memoized.int_alu += c;
+            }
+            Event::FpAdd => {
+                self.mix.fp_add += n;
+                let c = u64::from(self.cpu.fp_add) * n;
+                self.baseline.fp_add += c;
+                self.memoized.fp_add += c;
+            }
+            Event::Branch => {
+                self.mix.branches += n;
+                let c = u64::from(self.cpu.branch) * n;
+                self.baseline.branch += c;
+                self.memoized.branch += c;
+            }
+            Event::Annulled => {
+                self.mix.annulled += n;
+                self.baseline.annulled += n;
+                self.memoized.annulled += n;
+            }
+            Event::Load(_) | Event::Store(_) | Event::Arith(_) => {
+                for _ in 0..n {
+                    self.record(event);
+                }
+            }
+        }
+    }
+
+    /// Batch charge for a same-kind arithmetic tile: one pass through the
+    /// bank's lane-parallel probe path, then per-run cycle arithmetic —
+    /// hits cost `1 + penalty`, trivials 1, everything else full latency,
+    /// exactly as the per-op path charges them.
+    fn record_arith_batch(&mut self, batch: &OpBatch<'_>) {
+        let kind = batch.kind();
+        let slot = kind_slot(kind);
+        let n = batch.len() as u64;
+        self.mix.count_arith(kind, n);
+        let full = u64::from(self.cpu.latency(kind));
+        self.arith_count[slot] += n;
+        self.baseline.arith[slot] += full * n;
+        let out = self.bank.execute_batch(batch);
+        let avoided = out.avoided();
+        self.arith_single[slot] += avoided;
+        let penalty = u64::from(self.bank.hit_penalty(kind));
+        self.memoized.arith[slot] += avoided + out.hits * penalty + (n - avoided) * full;
     }
 }
 

@@ -5,7 +5,10 @@
 //! collection, with an optional fourth table for square root (the paper's
 //! first named future extension).
 
-use memo_table::{Executed, InfiniteMemoTable, MemoConfig, MemoStats, MemoTable, Memoizer, Op, OpKind};
+use memo_table::{
+    BatchOutcome, Executed, InfiniteMemoTable, MemoConfig, MemoStats, MemoTable, Memoizer, Op,
+    OpBatch, OpKind, Outcome,
+};
 
 /// One memo table per operation kind (any kind may be left un-memoized).
 ///
@@ -137,6 +140,44 @@ impl MemoBank {
             }
             None => Executed { value: op.compute(), outcome: memo_table::Outcome::Miss },
         }
+    }
+
+    /// Execute a same-kind operand tile through its table, returning the
+    /// hit/trivial tally — the bulk path used by trace replay and cycle
+    /// accounting (the per-op values are recomputable and discarded).
+    ///
+    /// Observably identical to [`execute`](Self::execute) per lane: an
+    /// untabled or tripped kind contributes nothing to the tally, and an
+    /// armed circuit breaker is checked op-by-op so a mid-batch trip stops
+    /// consulting the table on exactly the lane the scalar loop would.
+    pub fn execute_batch(&mut self, batch: &OpBatch<'_>) -> BatchOutcome {
+        let slot = Self::slot(batch.kind());
+        if self.tripped[slot] {
+            return BatchOutcome::default();
+        }
+        let Some(table) = &mut self.tables[slot] else {
+            return BatchOutcome::default();
+        };
+        if self.breaker_threshold == 0 {
+            return table.execute_batch(batch);
+        }
+        let mut out = BatchOutcome::default();
+        let mut tripped = false;
+        for i in 0..batch.len() {
+            match table.execute(batch.op(i)).outcome {
+                Outcome::Hit => out.hits += 1,
+                Outcome::Trivial => out.trivials += 1,
+                Outcome::Filtered | Outcome::Miss => {}
+            }
+            if table.stats().faults_detected >= self.breaker_threshold {
+                tripped = true;
+                break;
+            }
+        }
+        if tripped {
+            self.tripped[slot] = true;
+        }
+        out
     }
 
     /// Statistics of the table attached to `kind`.

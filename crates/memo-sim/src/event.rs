@@ -6,7 +6,7 @@
 //! with operand values for the multi-cycle operations. Anything that
 //! consumes this stream implements [`EventSink`].
 
-use memo_table::Op;
+use memo_table::{Op, OpBatch, OpKind};
 
 /// One dynamic instruction event.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -39,6 +39,32 @@ pub enum Event {
 pub trait EventSink {
     /// Consume one event.
     fn record(&mut self, event: Event);
+
+    /// Consume `n` identical events.
+    ///
+    /// Trace replay calls this for whole runs of payload-free events (ALU
+    /// ops, branches, FP adds, annulled slots). The default forwards each
+    /// event to [`record`](Self::record); sinks whose handling of an event
+    /// is state-independent (the cycle accountant, mix counters) override
+    /// it to charge the run in O(1).
+    fn record_repeated(&mut self, event: Event, n: u64) {
+        for _ in 0..n {
+            self.record(event);
+        }
+    }
+
+    /// Consume a same-kind tile of arithmetic events in lane (recorded)
+    /// order.
+    ///
+    /// Must be observably identical to calling [`record`](Self::record)
+    /// with `Event::Arith` per lane; the default does exactly that.
+    /// Batching-aware sinks override it to push the whole tile through a
+    /// memo table's lane-parallel probe path.
+    fn record_arith_batch(&mut self, batch: &OpBatch<'_>) {
+        for i in 0..batch.len() {
+            self.record(Event::Arith(batch.op(i)));
+        }
+    }
 
     /// Integer multiply.
     fn imul(&mut self, a: i64, b: i64) -> i64 {
@@ -79,9 +105,7 @@ pub trait EventSink {
     /// A batch of `n` single-cycle integer operations (index arithmetic,
     /// comparisons — kernels emit these in bulk).
     fn int_ops(&mut self, n: u64) {
-        for _ in 0..n {
-            self.record(Event::IntAlu);
-        }
+        self.record_repeated(Event::IntAlu, n);
     }
 
     /// A data load; the address drives the cache model (the workload keeps
@@ -109,6 +133,14 @@ pub trait EventSink {
 impl<S: EventSink + ?Sized> EventSink for &mut S {
     fn record(&mut self, event: Event) {
         (**self).record(event);
+    }
+
+    fn record_repeated(&mut self, event: Event, n: u64) {
+        (**self).record_repeated(event, n);
+    }
+
+    fn record_arith_batch(&mut self, batch: &OpBatch<'_>) {
+        (**self).record_arith_batch(batch);
     }
 }
 
@@ -165,20 +197,30 @@ impl InstrMix {
 
     /// Count one event.
     pub fn count(&mut self, event: &Event) {
-        use memo_table::OpKind;
+        self.count_repeated(event, 1);
+    }
+
+    /// Count `n` identical events at once (the bulk path trace replay
+    /// takes for run-length-encoded streams).
+    pub fn count_repeated(&mut self, event: &Event, n: u64) {
         match event {
-            Event::IntAlu => self.int_alu += 1,
-            Event::FpAdd => self.fp_add += 1,
-            Event::Branch => self.branches += 1,
-            Event::Annulled => self.annulled += 1,
-            Event::Load(_) => self.loads += 1,
-            Event::Store(_) => self.stores += 1,
-            Event::Arith(op) => match op.kind() {
-                OpKind::IntMul => self.int_mul += 1,
-                OpKind::FpMul => self.fp_mul += 1,
-                OpKind::FpDiv => self.fp_div += 1,
-                OpKind::FpSqrt => self.fp_sqrt += 1,
-            },
+            Event::IntAlu => self.int_alu += n,
+            Event::FpAdd => self.fp_add += n,
+            Event::Branch => self.branches += n,
+            Event::Annulled => self.annulled += n,
+            Event::Load(_) => self.loads += n,
+            Event::Store(_) => self.stores += n,
+            Event::Arith(op) => self.count_arith(op.kind(), n),
+        }
+    }
+
+    /// Count `n` arithmetic operations of `kind`.
+    pub fn count_arith(&mut self, kind: OpKind, n: u64) {
+        match kind {
+            OpKind::IntMul => self.int_mul += n,
+            OpKind::FpMul => self.fp_mul += n,
+            OpKind::FpDiv => self.fp_div += n,
+            OpKind::FpSqrt => self.fp_sqrt += n,
         }
     }
 }
@@ -206,6 +248,14 @@ impl CountingSink {
 impl EventSink for CountingSink {
     fn record(&mut self, event: Event) {
         self.mix.count(&event);
+    }
+
+    fn record_repeated(&mut self, event: Event, n: u64) {
+        self.mix.count_repeated(&event, n);
+    }
+
+    fn record_arith_batch(&mut self, batch: &OpBatch<'_>) {
+        self.mix.count_arith(batch.kind(), batch.len() as u64);
     }
 }
 

@@ -23,7 +23,7 @@
 //! order, and kinds of the native run — hit ratios and statistics are
 //! bit-identical (asserted by the equivalence tests in `memo-workloads`).
 
-use memo_table::{Memoizer, Op, OpKind};
+use memo_table::{batch_width, Memoizer, Op, OpBatch, OpKind, MAX_BATCH_WIDTH};
 
 use crate::bank::MemoBank;
 use crate::event::{Event, EventSink};
@@ -123,7 +123,7 @@ impl OpTrace {
 
     /// Iterate the operations in recorded order, reconstructed bit-exactly.
     pub fn iter(&self) -> OpIter<'_> {
-        OpIter { trace: self, run: 0, left: 0, kind: OpKind::IntMul, ai: 0, bi: 0 }
+        OpIter { cursor: RunCursor::new(self), current: None, lane: 0, remaining: self.len }
     }
 
     /// The trace as a contiguous operation list (for consumers that need a
@@ -137,61 +137,255 @@ impl OpTrace {
 
     /// Replay every operation into `bank`, exactly as
     /// [`MemoBank::execute`] would see them from a native run.
+    ///
+    /// Operations flow through the batched path ([`MemoBank::execute_batch`])
+    /// at the ambient tile width ([`batch_width`], overridable via the
+    /// `MEMO_BATCH` environment variable) — bit-identical statistics to
+    /// [`replay_scalar`](Self::replay_scalar), several times faster.
     pub fn replay(&self, bank: &mut MemoBank) {
+        self.replay_batched(bank, batch_width());
+    }
+
+    /// Batched replay at an explicit tile width.
+    ///
+    /// Tiles are *warps*: same-kind lanes gathered across RLE run
+    /// boundaries into per-kind pending buffers, flushed as full-width
+    /// tiles (short interleaved runs — the common shape of per-pixel
+    /// kernels — would otherwise produce one- and two-lane tiles whose
+    /// setup cost erases the batching win). Each [`OpKind`] drives its own
+    /// table in the bank, so gathering preserves the exact per-table
+    /// operand order and every statistic stays bit-identical to
+    /// [`replay_scalar`](Self::replay_scalar); only the interleaving
+    /// *between* independent tables changes. Partial warps left at the end
+    /// of the trace flush in [`OpKind::ALL`] order. Long runs still stream
+    /// zero-copy: whole-width tiles are sliced straight from the operand
+    /// columns and only run tails touch the gather buffers.
+    pub fn replay_batched(&self, bank: &mut MemoBank, width: usize) {
+        let width = width.clamp(1, MAX_BATCH_WIDTH);
+        let mut pend_a = [[0u64; MAX_BATCH_WIDTH]; 4];
+        let mut pend_b = [[0u64; MAX_BATCH_WIDTH]; 4];
+        let mut fill = [0usize; 4];
+        let lane = |kind: OpKind| kind as usize;
+
+        let mut cursor = RunCursor::new(self);
+        while let Some(run) = cursor.next_run() {
+            let kind = run.kind();
+            let k = lane(kind);
+            let unary = kind == OpKind::FpSqrt;
+            let (ra, rb) = (run.a(), run.b());
+            let n = run.len();
+            let mut start = 0usize;
+
+            // Top up a pending warp before streaming whole tiles.
+            if fill[k] > 0 {
+                let take = (width - fill[k]).min(n);
+                pend_a[k][fill[k]..fill[k] + take].copy_from_slice(&ra[..take]);
+                if !unary {
+                    pend_b[k][fill[k]..fill[k] + take].copy_from_slice(&rb[..take]);
+                }
+                fill[k] += take;
+                start = take;
+                if fill[k] < width {
+                    continue; // run exhausted; warp still filling
+                }
+                let b = if unary { &[][..] } else { &pend_b[k][..width] };
+                bank.execute_batch(&OpBatch::new(kind, &pend_a[k][..width], b));
+                fill[k] = 0;
+            }
+            while n - start >= width {
+                bank.execute_batch(&run.slice(start, width));
+                start += width;
+            }
+            let rem = n - start;
+            if rem > 0 {
+                pend_a[k][..rem].copy_from_slice(&ra[start..]);
+                if !unary {
+                    pend_b[k][..rem].copy_from_slice(&rb[start..]);
+                }
+                fill[k] = rem;
+            }
+        }
+        for kind in OpKind::ALL {
+            let k = lane(kind);
+            if fill[k] > 0 {
+                let b = if kind == OpKind::FpSqrt { &[][..] } else { &pend_b[k][..fill[k]] };
+                bank.execute_batch(&OpBatch::new(kind, &pend_a[k][..fill[k]], b));
+            }
+        }
+    }
+
+    /// Scalar per-op replay — the oracle the batched path is property-tested
+    /// against, and the baseline the `trace_replay` bench measures it over.
+    pub fn replay_scalar(&self, bank: &mut MemoBank) {
         self.for_each(|op| {
             bank.execute(op);
         });
     }
 
     /// Replay only the operations of `kind` into a single memoizer — the
-    /// per-unit sweep used by the size/associativity figures.
+    /// per-unit sweep used by the size/associativity figures. Batched, like
+    /// [`replay`](Self::replay).
     pub fn replay_kind<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
-        self.replay_kind_batched(kind, table);
+        self.for_each_kind_batch(kind, batch_width(), |tile| {
+            table.execute_batch(tile);
+        });
     }
 
-    /// Chunked per-kind replay: each RLE run is decoded through operand
-    /// slices (one bounds check per run instead of one per operand) with
-    /// the kind dispatched once per run.
+    /// Per-kind replay through the batched probe path. Alias of
+    /// [`replay_kind`](Self::replay_kind), kept for callers that opted into
+    /// chunked decoding before it became the default.
     pub fn replay_kind_batched<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
+        self.replay_kind(kind, table);
+    }
+
+    /// Scalar per-kind replay (the per-op oracle for `replay_kind`).
+    pub fn replay_kind_scalar<M: Memoizer>(&self, kind: OpKind, table: &mut M) {
         self.for_each_kind(kind, |op| {
             table.execute(op);
         });
     }
 
     /// Visit the operations of `kind` in recorded order, decoded through
-    /// the chunked run path (this is how the single-pass sweep engine in
-    /// `memo-table` consumes a trace).
+    /// the shared run cursor.
     pub fn for_each_kind(&self, kind: OpKind, mut f: impl FnMut(Op)) {
-        let (mut ai, mut bi) = (0usize, 0usize);
-        for run in &self.runs {
-            let n = run.len() as usize;
+        let mut cursor = RunCursor::new(self);
+        while let Some(run) = cursor.next_run() {
             if run.kind() == kind {
-                decode_run(kind, &self.a[ai..ai + n], &self.b[bi..], &mut f);
+                decode_run(kind, run.a(), run.b(), &mut f);
             }
-            ai += n;
-            if run.kind() != OpKind::FpSqrt {
-                bi += n;
+        }
+    }
+
+    /// Visit the trace as same-kind operand tiles of at most `width` lanes.
+    ///
+    /// Each RLE run is expanded **once** into its structure-of-arrays
+    /// operand slices and then chunked; tiles never cross run boundaries,
+    /// so the final tile of a run may be partial (down to a single lane).
+    /// A zero `width` is treated as 1.
+    pub fn for_each_batch(&self, width: usize, mut f: impl FnMut(&OpBatch<'_>)) {
+        let width = width.max(1);
+        let mut cursor = RunCursor::new(self);
+        while let Some(run) = cursor.next_run() {
+            let n = run.len();
+            let mut start = 0;
+            while start < n {
+                let w = width.min(n - start);
+                f(&run.slice(start, w));
+                start += w;
             }
+        }
+    }
+
+    /// Visit only the operations of `kind` as operand tiles of exactly
+    /// `width` lanes (clamped to [`MAX_BATCH_WIDTH`]; only the final tile
+    /// may be shorter). Runs of other kinds are skipped by the run index
+    /// without decoding their operands; lanes of `kind` are gathered
+    /// *across* run boundaries in recorded order, so short interleaved
+    /// runs still fill whole warps. Long runs stream zero-copy; only run
+    /// tails are staged through the gather buffer.
+    pub fn for_each_kind_batch(&self, kind: OpKind, width: usize, mut f: impl FnMut(&OpBatch<'_>)) {
+        let width = width.clamp(1, MAX_BATCH_WIDTH);
+        let unary = kind == OpKind::FpSqrt;
+        let mut buf_a = [0u64; MAX_BATCH_WIDTH];
+        let mut buf_b = [0u64; MAX_BATCH_WIDTH];
+        let mut fill = 0usize;
+
+        let mut cursor = RunCursor::new(self);
+        while let Some(run) = cursor.next_run() {
+            if run.kind() != kind {
+                continue;
+            }
+            let (ra, rb) = (run.a(), run.b());
+            let n = run.len();
+            let mut start = 0usize;
+
+            if fill > 0 {
+                let take = (width - fill).min(n);
+                buf_a[fill..fill + take].copy_from_slice(&ra[..take]);
+                if !unary {
+                    buf_b[fill..fill + take].copy_from_slice(&rb[..take]);
+                }
+                fill += take;
+                start = take;
+                if fill < width {
+                    continue;
+                }
+                let b = if unary { &[][..] } else { &buf_b[..width] };
+                f(&OpBatch::new(kind, &buf_a[..width], b));
+                fill = 0;
+            }
+            while n - start >= width {
+                f(&run.slice(start, width));
+                start += width;
+            }
+            let rem = n - start;
+            if rem > 0 {
+                buf_a[..rem].copy_from_slice(&ra[start..]);
+                if !unary {
+                    buf_b[..rem].copy_from_slice(&rb[start..]);
+                }
+                fill = rem;
+            }
+        }
+        if fill > 0 {
+            let b = if unary { &[][..] } else { &buf_b[..fill] };
+            f(&OpBatch::new(kind, &buf_a[..fill], b));
         }
     }
 
     /// Replay the trace as [`Event::Arith`] events into an arbitrary sink
-    /// (e.g. the fault-tolerance differential checker).
+    /// (e.g. the fault-tolerance differential checker). Tiled through
+    /// [`EventSink::record_arith_batch`] so batching-aware sinks (the cycle
+    /// accountant) charge per run, while plain sinks see the usual per-op
+    /// `record` calls via the trait default.
     pub fn replay_events<S: EventSink>(&self, sink: &mut S) {
-        self.for_each(|op| sink.record(Event::Arith(op)));
+        self.for_each_batch(batch_width(), |tile| sink.record_arith_batch(tile));
     }
 
     fn for_each(&self, mut f: impl FnMut(Op)) {
-        let (mut ai, mut bi) = (0usize, 0usize);
-        for run in &self.runs {
-            let n = run.len() as usize;
-            let kind = run.kind();
-            decode_run(kind, &self.a[ai..ai + n], &self.b[bi..], &mut f);
-            ai += n;
-            if kind != OpKind::FpSqrt {
-                bi += n;
-            }
+        let mut cursor = RunCursor::new(self);
+        while let Some(run) = cursor.next_run() {
+            decode_run(run.kind(), run.a(), run.b(), &mut f);
         }
+    }
+}
+
+/// Shared RLE decoder over an [`OpTrace`]: resolves one kind run at a time
+/// into its structure-of-arrays operand slices.
+///
+/// Every consumer — the batch visitors, the scalar [`OpIter`], `for_each`
+/// — draws whole runs from this cursor, so run expansion (kind decode and
+/// operand-column slicing) happens once per *run*, not once per operation.
+#[derive(Debug, Clone)]
+struct RunCursor<'a> {
+    trace: &'a OpTrace,
+    run: usize,
+    ai: usize,
+    bi: usize,
+}
+
+impl<'a> RunCursor<'a> {
+    fn new(trace: &'a OpTrace) -> Self {
+        RunCursor { trace, run: 0, ai: 0, bi: 0 }
+    }
+
+    /// Decode the next run into a whole-run operand batch (zero copies —
+    /// the batch borrows the trace's columns).
+    fn next_run(&mut self) -> Option<OpBatch<'a>> {
+        let run = self.trace.runs.get(self.run)?;
+        self.run += 1;
+        let kind = run.kind();
+        let n = run.len() as usize;
+        let a = &self.trace.a[self.ai..self.ai + n];
+        self.ai += n;
+        let b = if kind == OpKind::FpSqrt {
+            &[][..]
+        } else {
+            let b = &self.trace.b[self.bi..self.bi + n];
+            self.bi += n;
+            b
+        };
+        Some(OpBatch::new(kind, a, b))
     }
 }
 
@@ -359,26 +553,19 @@ fn decode_run(kind: OpKind, a: &[u64], b: &[u64], f: &mut impl FnMut(Op)) {
     }
 }
 
-/// Rebuild an [`Op`] from its stored bit patterns.
-#[inline]
-fn rebuild(kind: OpKind, a: u64, b: &[u64], bi: usize) -> Op {
-    match kind {
-        OpKind::IntMul => Op::IntMul(a as i64, b[bi] as i64),
-        OpKind::FpMul => Op::FpMul(f64::from_bits(a), f64::from_bits(b[bi])),
-        OpKind::FpDiv => Op::FpDiv(f64::from_bits(a), f64::from_bits(b[bi])),
-        OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a)),
-    }
-}
-
 /// Iterator over the operations of an [`OpTrace`].
+///
+/// A thin wrapper over the shared [`RunCursor`]: each RLE run is expanded
+/// into operand slices once (the same decode the batch visitors use) and
+/// lanes are then rebuilt by slice index — the per-op `next()` no longer
+/// carries run-state bookkeeping.
 #[derive(Debug)]
 pub struct OpIter<'a> {
-    trace: &'a OpTrace,
-    run: usize,
-    left: u32,
-    kind: OpKind,
-    ai: usize,
-    bi: usize,
+    cursor: RunCursor<'a>,
+    /// The run currently being yielded; lanes `< lane` are consumed.
+    current: Option<OpBatch<'a>>,
+    lane: usize,
+    remaining: usize,
 }
 
 impl Iterator for OpIter<'_> {
@@ -386,24 +573,22 @@ impl Iterator for OpIter<'_> {
 
     #[inline]
     fn next(&mut self) -> Option<Op> {
-        if self.left == 0 {
-            let run = self.trace.runs.get(self.run)?;
-            self.run += 1;
-            self.left = run.len();
-            self.kind = run.kind();
+        loop {
+            if let Some(run) = &self.current {
+                if self.lane < run.len() {
+                    let op = run.op(self.lane);
+                    self.lane += 1;
+                    self.remaining -= 1;
+                    return Some(op);
+                }
+            }
+            self.current = Some(self.cursor.next_run()?);
+            self.lane = 0;
         }
-        self.left -= 1;
-        let op = rebuild(self.kind, self.trace.a[self.ai], &self.trace.b, self.bi);
-        self.ai += 1;
-        if self.kind != OpKind::FpSqrt {
-            self.bi += 1;
-        }
-        Some(op)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let remaining = self.trace.len - self.ai;
-        (remaining, Some(remaining))
+        (self.remaining, Some(self.remaining))
     }
 }
 
@@ -531,15 +716,22 @@ impl EventTrace {
 
     /// Replay the stream into `sink`, reconstructing each event
     /// bit-identically in recorded order.
+    ///
+    /// Payload-free runs go through [`EventSink::record_repeated`] and
+    /// arithmetic runs through [`EventSink::record_arith_batch`] in
+    /// [`batch_width`]-lane tiles, so batching-aware sinks (the cycle
+    /// accountant) charge whole runs at once; sinks relying on the trait
+    /// defaults observe exactly the historical per-event `record` calls.
     pub fn replay_into<S: EventSink>(&self, sink: &mut S) {
+        let width = batch_width();
         let mut pi = 0usize;
         for run in &self.runs {
             let n = run.len as usize;
             match run.class {
-                EvClass::IntAlu => (0..n).for_each(|_| sink.record(Event::IntAlu)),
-                EvClass::FpAdd => (0..n).for_each(|_| sink.record(Event::FpAdd)),
-                EvClass::Branch => (0..n).for_each(|_| sink.record(Event::Branch)),
-                EvClass::Annulled => (0..n).for_each(|_| sink.record(Event::Annulled)),
+                EvClass::IntAlu => sink.record_repeated(Event::IntAlu, n as u64),
+                EvClass::FpAdd => sink.record_repeated(Event::FpAdd, n as u64),
+                EvClass::Branch => sink.record_repeated(Event::Branch, n as u64),
+                EvClass::Annulled => sink.record_repeated(Event::Annulled, n as u64),
                 EvClass::Load => {
                     for i in 0..n {
                         sink.record(Event::Load(self.payload[pi + i]));
@@ -552,27 +744,37 @@ impl EventTrace {
                     }
                     pi += n;
                 }
-                EvClass::Arith(kind) => {
-                    let words = EvClass::Arith(kind).payload_words();
-                    for i in 0..n {
-                        let a = self.payload[pi + i * words];
-                        let op = match kind {
-                            OpKind::IntMul => {
-                                Op::IntMul(a as i64, self.payload[pi + i * words + 1] as i64)
-                            }
-                            OpKind::FpMul => Op::FpMul(
-                                f64::from_bits(a),
-                                f64::from_bits(self.payload[pi + i * words + 1]),
-                            ),
-                            OpKind::FpDiv => Op::FpDiv(
-                                f64::from_bits(a),
-                                f64::from_bits(self.payload[pi + i * words + 1]),
-                            ),
-                            OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a)),
-                        };
-                        sink.record(Event::Arith(op));
+                EvClass::Arith(OpKind::FpSqrt) => {
+                    // The payload already *is* the contiguous `a` column.
+                    let col = &self.payload[pi..pi + n];
+                    let mut start = 0;
+                    while start < n {
+                        let w = width.min(n - start);
+                        sink.record_arith_batch(&OpBatch::new(
+                            OpKind::FpSqrt,
+                            &col[start..start + w],
+                            &[],
+                        ));
+                        start += w;
                     }
-                    pi += n * words;
+                    pi += n;
+                }
+                EvClass::Arith(kind) => {
+                    // Binary payload is interleaved `[a, b, a, b, …]`:
+                    // gather it into stack lane tiles.
+                    let mut a = [0u64; MAX_BATCH_WIDTH];
+                    let mut b = [0u64; MAX_BATCH_WIDTH];
+                    let mut start = 0;
+                    while start < n {
+                        let w = width.min(n - start);
+                        for i in 0..w {
+                            a[i] = self.payload[pi + (start + i) * 2];
+                            b[i] = self.payload[pi + (start + i) * 2 + 1];
+                        }
+                        sink.record_arith_batch(&OpBatch::new(kind, &a[..w], &b[..w]));
+                        start += w;
+                    }
+                    pi += n * EvClass::Arith(kind).payload_words();
                 }
             }
         }

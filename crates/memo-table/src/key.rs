@@ -150,6 +150,126 @@ pub fn set_index(op: &Op, sets: usize, scheme: HashScheme) -> usize {
     }
 }
 
+/// How a precomputed [`SetSel`] word maps to a set index for a given set
+/// count: the paper's two XOR forms plus the multiplicative mixer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SetForm {
+    /// Integer PaperXor: low-bit mask of the XORed operands.
+    IntLow,
+    /// Floating-point PaperXor: top fraction bits of the XORed mantissas.
+    FpHigh,
+    /// FoldMix: top bits of the multiplicative hash.
+    Mix,
+}
+
+/// The mixing form [`set_index`] uses for `kind` under `scheme`.
+pub(crate) fn set_form(kind: OpKind, scheme: HashScheme) -> SetForm {
+    match scheme {
+        HashScheme::PaperXor => {
+            if kind == OpKind::IntMul {
+                SetForm::IntLow
+            } else {
+                SetForm::FpHigh
+            }
+        }
+        HashScheme::FoldMix => SetForm::Mix,
+    }
+}
+
+/// A set selection with the operand mixing hoisted: [`set_index`] re-mixes
+/// the operands for every distinct set count, but the XOR/multiply half is
+/// independent of the count — only the final shift/mask depends on it. A
+/// `SetSel` carries the mixed word so a multi-level consumer (the stack
+/// sweep walks one level per distinct set count) pays the mixing once per
+/// operation, and the batched front ends can fill the words lane-parallel
+/// ([`fill_set_words`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SetSel {
+    pub(crate) word: u64,
+    pub(crate) form: SetForm,
+}
+
+impl SetSel {
+    /// Mix `op`'s operands once; [`SetSel::set`] then serves any set count.
+    pub(crate) fn of(op: &Op, scheme: HashScheme) -> SetSel {
+        let form = set_form(op.kind(), scheme);
+        let word = match scheme {
+            HashScheme::PaperXor => match *op {
+                Op::IntMul(a, b) => a as u64 ^ b as u64,
+                Op::FpMul(a, b) | Op::FpDiv(a, b) => (a.to_bits() ^ b.to_bits()) & FRAC_MASK,
+                Op::FpSqrt(a) => a.to_bits() & FRAC_MASK,
+            },
+            HashScheme::FoldMix => {
+                let (a, b) = op.operand_bits();
+                (a ^ b.rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }
+        };
+        SetSel { word, form }
+    }
+
+    /// The set index for a table with `sets` sets — bit-identical to
+    /// [`set_index`] on the originating operands.
+    #[inline]
+    #[must_use]
+    pub(crate) fn set(self, sets: usize) -> usize {
+        debug_assert!(sets.is_power_of_two());
+        if sets == 1 {
+            return 0;
+        }
+        let n = sets.trailing_zeros();
+        let mask = (sets - 1) as u64;
+        match self.form {
+            SetForm::IntLow => (self.word & mask) as usize,
+            SetForm::FpHigh => ((self.word >> (FRAC_BITS - n)) & mask) as usize,
+            SetForm::Mix => (self.word >> (64 - n)) as usize,
+        }
+    }
+}
+
+/// Column form of [`SetSel::of`]: mix every lane's operands into `out`.
+/// The per-lane form is uniform ([`set_form`]).
+pub(crate) fn fill_set_words(
+    kind: OpKind,
+    scheme: HashScheme,
+    a: &[u64],
+    b: &[u64],
+    out: &mut [u64],
+) {
+    let n = a.len();
+    match scheme {
+        HashScheme::PaperXor => match kind {
+            OpKind::IntMul => {
+                for i in 0..n {
+                    out[i] = a[i] ^ b[i];
+                }
+            }
+            OpKind::FpMul | OpKind::FpDiv => {
+                for i in 0..n {
+                    out[i] = (a[i] ^ b[i]) & FRAC_MASK;
+                }
+            }
+            OpKind::FpSqrt => {
+                for i in 0..n {
+                    out[i] = a[i] & FRAC_MASK;
+                }
+            }
+        },
+        HashScheme::FoldMix => {
+            if kind == OpKind::FpSqrt {
+                for i in 0..n {
+                    out[i] =
+                        (a[i] ^ a[i].rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            } else {
+                for i in 0..n {
+                    out[i] =
+                        (a[i] ^ b[i].rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                }
+            }
+        }
+    }
+}
+
 /// Encode the 64-bit payload stored in an entry for `op`'s `result`.
 ///
 /// Under full-value tags this is simply the raw result bits. Under
@@ -234,6 +354,254 @@ fn rebuild(op: &Op, stored: u64, sign: bool) -> Option<Value> {
     let exp = expected_exponent(op)? + delta;
     fp_build(sign, exp, frac).map(Value::Fp)
 }
+
+// ---------------------------------------------------------------------------
+// Lane-parallel variants over raw operand columns (the batched front end).
+//
+// Each `fill_*` function is the column form of the scalar function above it
+// is named after: one kind/policy dispatch for the whole tile, then a plain
+// loop over the lanes that the optimizer can vectorize. The outputs are
+// bit-identical to calling the scalar function on `batch.op(i)` — asserted
+// lane-for-lane by the tests at the bottom of this file.
+// ---------------------------------------------------------------------------
+
+/// Biased exponent field of a raw double.
+#[inline]
+fn exp_field(bits: u64) -> u64 {
+    (bits >> FRAC_BITS) & 0x7ff
+}
+
+/// `f64::is_normal` on raw bits.
+#[inline]
+fn is_normal_bits(bits: u64) -> bool {
+    let e = exp_field(bits);
+    e != 0 && e != 0x7ff
+}
+
+/// Column form of [`encode_tag`]: packs each lane's tag into `tags` and
+/// records in `valid` whether the lane is representable under `policy`
+/// (`false` lanes hold garbage tags and must bypass the table).
+///
+/// `b` follows the [`crate::OpBatch`] convention: equal length for binary
+/// kinds, empty for `FpSqrt`.
+pub(crate) fn fill_tags(
+    kind: OpKind,
+    policy: TagPolicy,
+    a: &[u64],
+    b: &[u64],
+    tags: &mut [u128],
+    valid: &mut [bool],
+) {
+    let n = a.len();
+    match (policy, kind) {
+        (TagPolicy::FullValue, OpKind::FpSqrt) => {
+            // `operand_bits` reports the unary operand twice.
+            for i in 0..n {
+                tags[i] = ((a[i] as u128) << 64) | a[i] as u128;
+                valid[i] = true;
+            }
+        }
+        (TagPolicy::FullValue, _) | (TagPolicy::MantissaOnly, OpKind::IntMul) => {
+            for i in 0..n {
+                tags[i] = ((a[i] as u128) << 64) | b[i] as u128;
+                valid[i] = true;
+            }
+        }
+        (TagPolicy::MantissaOnly, OpKind::FpMul | OpKind::FpDiv) => {
+            for i in 0..n {
+                let fa = a[i] & FRAC_MASK;
+                let fb = b[i] & FRAC_MASK;
+                tags[i] = ((fa as u128) << FRAC_BITS) | fb as u128;
+                valid[i] = is_normal_bits(a[i]) && is_normal_bits(b[i]);
+            }
+        }
+        (TagPolicy::MantissaOnly, OpKind::FpSqrt) => {
+            for i in 0..n {
+                let bits = a[i];
+                // Unbiased exponent e = exp_field − 1023 (odd bias), so
+                // e.rem_euclid(2) == (exp_field & 1) ^ 1.
+                let parity = (exp_field(bits) & 1) ^ 1;
+                tags[i] = (((bits & FRAC_MASK) as u128) << 1) | parity as u128;
+                // Positive normals only: sqrt of a negative is NaN.
+                valid[i] = is_normal_bits(bits) && (bits >> 63) == 0;
+            }
+        }
+    }
+}
+
+/// Column form of [`encode_tag`] for the *swapped* operand order of a
+/// commutative kind (`IntMul`/`FpMul` only). Validity is symmetric, so the
+/// caller reuses the mask from [`fill_tags`].
+pub(crate) fn fill_swapped_tags(
+    kind: OpKind,
+    policy: TagPolicy,
+    a: &[u64],
+    b: &[u64],
+    tags: &mut [u128],
+) {
+    debug_assert!(kind.is_commutative());
+    let n = a.len();
+    match (policy, kind) {
+        (TagPolicy::MantissaOnly, OpKind::FpMul) => {
+            for i in 0..n {
+                let fa = a[i] & FRAC_MASK;
+                let fb = b[i] & FRAC_MASK;
+                tags[i] = ((fb as u128) << FRAC_BITS) | fa as u128;
+            }
+        }
+        _ => {
+            for i in 0..n {
+                tags[i] = ((b[i] as u128) << 64) | a[i] as u128;
+            }
+        }
+    }
+}
+
+/// Column form of [`set_index`]. When `swapped` is set the indices are for
+/// the swapped operand order (identical under the symmetric `PaperXor`
+/// scheme; `FoldMix` mixes asymmetrically and genuinely differs).
+pub(crate) fn fill_set_indices(
+    kind: OpKind,
+    scheme: HashScheme,
+    sets: usize,
+    a: &[u64],
+    b: &[u64],
+    swapped: bool,
+    out: &mut [u32],
+) {
+    debug_assert!(sets.is_power_of_two());
+    let n = a.len();
+    if sets == 1 {
+        out[..n].fill(0);
+        return;
+    }
+    let bits = sets.trailing_zeros();
+    let mask = (sets - 1) as u64;
+    match scheme {
+        HashScheme::PaperXor => match kind {
+            // XOR is symmetric: the swapped order lands in the same set.
+            OpKind::IntMul => {
+                for i in 0..n {
+                    out[i] = ((a[i] ^ b[i]) & mask) as u32;
+                }
+            }
+            OpKind::FpMul | OpKind::FpDiv => {
+                let shift = FRAC_BITS - bits;
+                for i in 0..n {
+                    let fa = a[i] & FRAC_MASK;
+                    let fb = b[i] & FRAC_MASK;
+                    out[i] = (((fa >> shift) ^ (fb >> shift)) & mask) as u32;
+                }
+            }
+            OpKind::FpSqrt => {
+                let shift = FRAC_BITS - bits;
+                for i in 0..n {
+                    out[i] = (((a[i] & FRAC_MASK) >> shift) & mask) as u32;
+                }
+            }
+        },
+        HashScheme::FoldMix => {
+            let shift = 64 - bits;
+            if kind == OpKind::FpSqrt {
+                for i in 0..n {
+                    let h = (a[i] ^ a[i].rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    out[i] = (h >> shift) as u32;
+                }
+            } else if swapped {
+                for i in 0..n {
+                    let h = (b[i] ^ a[i].rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    out[i] = (h >> shift) as u32;
+                }
+            } else {
+                for i in 0..n {
+                    let h = (a[i] ^ b[i].rotate_left(31)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                    out[i] = (h >> shift) as u32;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fast hashing for Key-keyed maps.
+// ---------------------------------------------------------------------------
+
+/// A multiply–xorshift hasher specialized for [`Key`]-keyed maps.
+///
+/// `SipHash` (the `std` default) dominates the profile of the unbounded
+/// table and the stack-distance simulator's key store. Keys are fixed-size
+/// values an adversary does not control — the operand streams come from our
+/// own workloads — so HashDoS resistance buys nothing here. This hasher
+/// folds each written word into a 64-bit state with the golden-ratio
+/// multiplier and finishes with a SplitMix64-style avalanche. Only use it
+/// with maps accessed by `get`/`insert`/`remove`; anything sensitive to
+/// iteration order would become sensitive to this choice of mixer.
+#[derive(Debug, Default, Clone)]
+pub struct KeyHasher {
+    state: u64,
+}
+
+impl KeyHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state ^ word).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+        x ^ (x >> 31)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.mix(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.mix(v as u64);
+        self.mix((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.mix(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.mix(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`KeyHasher`]-backed maps.
+pub type KeyHashBuilder = std::hash::BuildHasherDefault<KeyHasher>;
 
 #[cfg(test)]
 mod tests {
@@ -381,5 +749,184 @@ mod tests {
         // Product underflows to subnormal: cannot be stored.
         let op = Op::FpMul(1.5e-200, 1.5e-200);
         assert_eq!(encode_value(&op, op.compute(), TagPolicy::MantissaOnly), None);
+    }
+
+    /// An operand soup stressing every encode/hash edge: zeros of both
+    /// signs, ones, subnormals, infinities, NaN, negatives, and ordinary
+    /// normals at assorted exponents.
+    fn fp_soup() -> Vec<u64> {
+        [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            2.0,
+            4.0,
+            1.5,
+            -3.7e-200,
+            1.5e300,
+            f64::MIN_POSITIVE / 2.0, // subnormal
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            std::f64::consts::PI,
+            -0.125,
+        ]
+        .iter()
+        .map(|x| x.to_bits())
+        .collect()
+    }
+
+    fn int_soup() -> Vec<u64> {
+        [0i64, 1, -1, 2, 42, -42, i64::MAX, i64::MIN, 7, 1 << 40]
+            .iter()
+            .map(|&x| x as u64)
+            .collect()
+    }
+
+    fn soup_columns(kind: OpKind) -> (Vec<u64>, Vec<u64>) {
+        let pool = if kind == OpKind::IntMul { int_soup() } else { fp_soup() };
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for (i, &x) in pool.iter().enumerate() {
+            for (j, &y) in pool.iter().enumerate() {
+                a.push(x);
+                b.push(if (i + j) % 3 == 0 { x } else { y });
+            }
+        }
+        if kind == OpKind::FpSqrt {
+            b.clear();
+        }
+        (a, b)
+    }
+
+    fn lane_op(kind: OpKind, a: u64, b: u64) -> Op {
+        match kind {
+            OpKind::IntMul => Op::IntMul(a as i64, b as i64),
+            OpKind::FpMul => Op::FpMul(f64::from_bits(a), f64::from_bits(b)),
+            OpKind::FpDiv => Op::FpDiv(f64::from_bits(a), f64::from_bits(b)),
+            OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a)),
+        }
+    }
+
+    #[test]
+    fn lane_tags_match_scalar_encode() {
+        for kind in OpKind::ALL {
+            let (a, b) = soup_columns(kind);
+            let n = a.len();
+            let mut tags = vec![0u128; n];
+            let mut valid = vec![false; n];
+            for policy in [TagPolicy::FullValue, TagPolicy::MantissaOnly] {
+                fill_tags(kind, policy, &a, &b, &mut tags, &mut valid);
+                for i in 0..n {
+                    let op = lane_op(kind, a[i], *b.get(i).unwrap_or(&0));
+                    let scalar = encode_tag(&op, policy);
+                    assert_eq!(valid[i], scalar.is_some(), "{op} validity under {policy:?}");
+                    if let Some(key) = scalar {
+                        assert_eq!(tags[i], key.tag, "{op} tag under {policy:?}");
+                        assert_eq!(key.kind, kind);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_swapped_tags_match_scalar_encode() {
+        for kind in [OpKind::IntMul, OpKind::FpMul] {
+            let (a, b) = soup_columns(kind);
+            let n = a.len();
+            let mut tags = vec![0u128; n];
+            for policy in [TagPolicy::FullValue, TagPolicy::MantissaOnly] {
+                fill_swapped_tags(kind, policy, &a, &b, &mut tags);
+                for i in 0..n {
+                    let op = lane_op(kind, a[i], b[i]);
+                    let swapped = op.swapped().expect("commutative kind");
+                    if let Some(key) = encode_tag(&swapped, policy) {
+                        assert_eq!(tags[i], key.tag, "swapped {op} tag under {policy:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_set_indices_match_scalar_hash() {
+        for kind in OpKind::ALL {
+            let (a, b) = soup_columns(kind);
+            let n = a.len();
+            let mut out = vec![0u32; n];
+            for sets in [1usize, 2, 8, 1024] {
+                for scheme in [HashScheme::PaperXor, HashScheme::FoldMix] {
+                    fill_set_indices(kind, scheme, sets, &a, &b, false, &mut out);
+                    for i in 0..n {
+                        let op = lane_op(kind, a[i], *b.get(i).unwrap_or(&0));
+                        assert_eq!(
+                            out[i] as usize,
+                            set_index(&op, sets, scheme),
+                            "{op} set under {scheme:?}/{sets}"
+                        );
+                    }
+                    if kind.is_commutative() {
+                        fill_set_indices(kind, scheme, sets, &a, &b, true, &mut out);
+                        for i in 0..n {
+                            let op = lane_op(kind, a[i], b[i]);
+                            let swapped = op.swapped().expect("commutative kind");
+                            assert_eq!(
+                                out[i] as usize,
+                                set_index(&swapped, sets, scheme),
+                                "swapped {op} set under {scheme:?}/{sets}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hoisted_set_selector_matches_scalar_hash() {
+        for kind in OpKind::ALL {
+            let (a, b) = soup_columns(kind);
+            let n = a.len();
+            let mut words = vec![0u64; n];
+            for scheme in [HashScheme::PaperXor, HashScheme::FoldMix] {
+                fill_set_words(kind, scheme, &a, &b, &mut words);
+                let form = set_form(kind, scheme);
+                for i in 0..n {
+                    let op = lane_op(kind, a[i], *b.get(i).unwrap_or(&0));
+                    let sel = SetSel::of(&op, scheme);
+                    assert_eq!(sel.word, words[i], "{op} mix word under {scheme:?}");
+                    assert_eq!(sel.form, form);
+                    for sets in [1usize, 2, 8, 64, 1024] {
+                        assert_eq!(
+                            sel.set(sets),
+                            set_index(&op, sets, scheme),
+                            "{op} set under {scheme:?}/{sets}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_hasher_spreads_and_is_deterministic() {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let build = KeyHashBuilder::default();
+        let mut seen = std::collections::HashSet::new();
+        for kind in OpKind::ALL {
+            for tag in 0u128..512 {
+                let key = Key { kind, tag: tag.wrapping_mul(0x10001) };
+                let mut h1 = build.build_hasher();
+                key.hash(&mut h1);
+                
+                
+                assert_eq!(h1.finish(), build.hash_one(key), "hashing must be deterministic");
+                seen.insert(h1.finish());
+            }
+        }
+        // 4 kinds × 512 tags: a usable hasher collides rarely on this set.
+        assert!(seen.len() > 2000, "only {} distinct hashes", seen.len());
     }
 }

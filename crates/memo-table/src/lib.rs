@@ -60,6 +60,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+mod batch;
 mod config;
 mod fault;
 mod infinite;
@@ -73,13 +74,16 @@ mod table;
 mod trivial;
 mod unit;
 
+pub use batch::{
+    batch_width, BatchOutcome, OpBatch, DEFAULT_BATCH_WIDTH, MAX_BATCH_WIDTH, MIN_BATCH_WIDTH,
+};
 pub use config::{
     Assoc, HashScheme, MemoConfig, MemoConfigBuilder, MemoConfigError, Replacement, TagPolicy,
     TrivialPolicy, STABLE_ENCODED_LEN, STABLE_ENCODING_VERSION,
 };
 pub use fault::{Fault, FaultConfig, FaultInjector, Protection};
 pub use infinite::InfiniteMemoTable;
-pub use key::{fp_parts, is_normal_or_zero, Key};
+pub use key::{fp_parts, is_normal_or_zero, Key, KeyHashBuilder, KeyHasher};
 pub use op::{Op, OpKind, ParseOpKindError, Value};
 pub use ported::{PortStats, SharedMemoTable};
 pub use stack::{StackSimulator, SweepGrid, SweepGridError, SweepOutcome};
@@ -122,6 +126,30 @@ pub trait Memoizer {
                 Executed { value, outcome: Outcome::Miss }
             }
         }
+    }
+
+    /// Execute a whole same-kind lane tile, returning only the per-batch
+    /// outcome tally (the per-op results are recomputable and replay-style
+    /// callers discard them).
+    ///
+    /// Must be observably identical to calling [`execute`] on every lane in
+    /// order — same statistics, same table state afterwards — for any tile
+    /// width, including partial tails. The default does exactly that;
+    /// concrete tables override it with a lane-parallel front end
+    /// (batched hashing and tag encoding) feeding the same scalar conflict
+    /// resolution.
+    ///
+    /// [`execute`]: Memoizer::execute
+    fn execute_batch(&mut self, batch: &OpBatch<'_>) -> BatchOutcome {
+        let mut out = BatchOutcome::default();
+        for i in 0..batch.len() {
+            match self.execute(batch.op(i)).outcome {
+                Outcome::Hit => out.hits += 1,
+                Outcome::Trivial => out.trivials += 1,
+                Outcome::Filtered | Outcome::Miss => {}
+            }
+        }
+        out
     }
 
     /// Statistics accumulated since construction or the last [`reset`]

@@ -6,7 +6,7 @@
 //! detector in front of the table can recognise them and forward the result
 //! immediately.
 
-use crate::op::{Op, Value};
+use crate::op::{Op, OpKind, Value};
 
 /// Which trivial pattern an operation matched.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -77,6 +77,59 @@ pub fn trivial_result(op: &Op) -> Option<(TrivialKind, Value)> {
     }
 }
 
+/// Column form of [`trivial_result`]'s *classification* over raw operand
+/// bits: `out[i]` is `true` exactly when lane `i` is trivial. The branchy
+/// per-op cascade becomes straight-line bit tests the optimizer can
+/// vectorize; the (rarely needed) trivial *value* is still produced by the
+/// scalar path.
+///
+/// `b` follows the [`crate::OpBatch`] convention: equal length for binary
+/// kinds, empty for `FpSqrt`.
+pub(crate) fn fill_trivial_lanes(kind: OpKind, a: &[u64], b: &[u64], out: &mut [bool]) {
+    /// Bit pattern of `1.0f64` — the only pattern that compares `== 1.0`.
+    const ONE: u64 = 0x3FF0_0000_0000_0000;
+    /// `x == 0.0` over bits: both zeros have everything but the sign clear.
+    #[inline]
+    fn is_zero(bits: u64) -> bool {
+        bits << 1 == 0
+    }
+    #[inline]
+    fn is_finite(bits: u64) -> bool {
+        (bits >> 52) & 0x7ff != 0x7ff
+    }
+    #[inline]
+    fn is_nan(bits: u64) -> bool {
+        (bits >> 52) & 0x7ff == 0x7ff && bits << 12 != 0
+    }
+
+    let n = a.len();
+    match kind {
+        OpKind::IntMul => {
+            for i in 0..n {
+                out[i] = a[i] == 0 || b[i] == 0 || a[i] == 1 || b[i] == 1;
+            }
+        }
+        OpKind::FpMul => {
+            for i in 0..n {
+                out[i] = a[i] == ONE
+                    || b[i] == ONE
+                    || (is_zero(a[i]) && is_finite(b[i]))
+                    || (is_zero(b[i]) && is_finite(a[i]));
+            }
+        }
+        OpKind::FpDiv => {
+            for i in 0..n {
+                out[i] = b[i] == ONE || (is_zero(a[i]) && !is_zero(b[i]) && !is_nan(b[i]));
+            }
+        }
+        OpKind::FpSqrt => {
+            for i in 0..n {
+                out[i] = is_zero(a[i]) || a[i] == ONE;
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +186,52 @@ mod tests {
         check(Op::FpSqrt(1.0), Some(TrivialKind::SqrtOfZeroOrOne));
         check(Op::FpSqrt(4.0), None);
         check(Op::FpSqrt(-1.0), None);
+    }
+
+    #[test]
+    fn lane_classification_matches_scalar() {
+        let fp: Vec<u64> = [
+            0.0f64,
+            -0.0,
+            1.0,
+            -1.0,
+            3.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::NAN,
+            f64::MIN_POSITIVE / 2.0,
+            -2.0,
+        ]
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+        let ints: Vec<u64> = [0i64, 1, -1, 2, 42, i64::MIN].iter().map(|&x| x as u64).collect();
+
+        for kind in [OpKind::IntMul, OpKind::FpMul, OpKind::FpDiv, OpKind::FpSqrt] {
+            let pool = if kind == OpKind::IntMul { &ints } else { &fp };
+            let mut a = Vec::new();
+            let mut b = Vec::new();
+            for &x in pool {
+                for &y in pool {
+                    a.push(x);
+                    b.push(y);
+                }
+            }
+            if kind == OpKind::FpSqrt {
+                b.clear();
+            }
+            let mut out = vec![false; a.len()];
+            fill_trivial_lanes(kind, &a, &b, &mut out);
+            for i in 0..a.len() {
+                let op = match kind {
+                    OpKind::IntMul => Op::IntMul(a[i] as i64, b[i] as i64),
+                    OpKind::FpMul => Op::FpMul(f64::from_bits(a[i]), f64::from_bits(b[i])),
+                    OpKind::FpDiv => Op::FpDiv(f64::from_bits(a[i]), f64::from_bits(b[i])),
+                    OpKind::FpSqrt => Op::FpSqrt(f64::from_bits(a[i])),
+                };
+                assert_eq!(out[i], trivial_result(&op).is_some(), "{op}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,380 @@
+//! Property tests: the batched execution paths must be *observably
+//! identical* to the scalar ones — same statistics, same table state,
+//! same per-op outcome tallies — for every configuration in the design
+//! space, every tile width (including ragged tails), and operand streams
+//! that exercise commutative-pair orientation, trivial operands, and
+//! mantissa-hostile values.
+//!
+//! The oracle is the scalar `Memoizer::execute` loop (also reachable as
+//! the trait's provided `execute_batch` default); the subject is each
+//! table's lane-parallel override driven through uneven batch slices.
+
+use memo_table::rng::SplitMix64;
+use memo_table::{
+    Assoc, BatchOutcome, HashScheme, InfiniteMemoTable, MemoConfig, MemoStats, MemoTable, Memoizer, OpBatch, OpKind, Outcome, Protection, Replacement, StackSimulator, SweepGrid, TagPolicy,
+    TrivialPolicy,
+};
+
+/// Deterministic same-kind operand columns with the hazards the batched
+/// front end must classify exactly like the scalar one:
+///
+/// * **reuse** — earlier pairs are replayed so hits occur at every depth;
+/// * **orientation** — replayed commutative pairs are emitted in *swapped*
+///   order about half the time, exercising the second-probe / canonical-key
+///   logic and the orientation bit kept by the stack simulator;
+/// * **trivial operands** — 0 / ±0 / 1 at a healthy rate;
+/// * **mantissa-hostile values** — NaN, infinities, subnormals, negative
+///   sqrt inputs, and magnitudes that overflow the mantissa-only
+///   recombination, forcing encode/decode bypasses.
+fn stream(kind: OpKind, seed: u64, len: usize) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = SplitMix64::new(seed).split(kind.label());
+    let mut a = Vec::with_capacity(len);
+    let mut b = Vec::with_capacity(len);
+    let mut history: Vec<(u64, u64)> = Vec::new();
+
+    let fp_value = |rng: &mut SplitMix64| -> u64 {
+        match rng.next_u64() % 16 {
+            0 => 0.0f64.to_bits(),
+            1 => (-0.0f64).to_bits(),
+            2 => 1.0f64.to_bits(),
+            3 => f64::INFINITY.to_bits(),
+            4 => f64::NAN.to_bits(),
+            5 => (f64::MIN_POSITIVE / 2.0).to_bits(), // subnormal
+            6 => 1.5e300f64.to_bits(),                // exponent-sum overflow
+            7 => 1.5e-300f64.to_bits(),               // exponent-sum underflow
+            _ => {
+                // A small lattice of normal values so reuse happens even
+                // without explicit history replay.
+                let frac = (rng.next_u64() % 8) as f64 / 8.0;
+                let exp = (rng.next_u64() % 7) as i32 - 3;
+                let sign = if rng.next_u64().is_multiple_of(4) { -1.0 } else { 1.0 };
+                (sign * (1.0 + frac) * f64::powi(2.0, exp)).to_bits()
+            }
+        }
+    };
+    let int_value = |rng: &mut SplitMix64| -> u64 {
+        const POOL: [i64; 10] = [0, 1, -1, 2, 3, 7, 42, -5, 255, i64::MIN];
+        POOL[(rng.next_u64() % POOL.len() as u64) as usize] as u64
+    };
+
+    for _ in 0..len {
+        let replay = !history.is_empty() && rng.next_u64().is_multiple_of(4);
+        let (x, y) = if replay {
+            let (px, py) = history[(rng.next_u64() as usize) % history.len()];
+            if rng.next_u64().is_multiple_of(2) {
+                (py, px) // swapped orientation
+            } else {
+                (px, py)
+            }
+        } else if kind == OpKind::IntMul {
+            (int_value(&mut rng), int_value(&mut rng))
+        } else {
+            (fp_value(&mut rng), fp_value(&mut rng))
+        };
+        history.push((x, y));
+        a.push(x);
+        if kind != OpKind::FpSqrt {
+            b.push(y);
+        }
+    }
+    (a, b)
+}
+
+/// Scalar oracle: per-op `execute` loop, tallying outcomes like
+/// `BatchOutcome` does.
+fn run_scalar(table: &mut dyn Memoizer, batch: &OpBatch<'_>) -> BatchOutcome {
+    let mut out = BatchOutcome::default();
+    for i in 0..batch.len() {
+        match table.execute(batch.op(i)).outcome {
+            Outcome::Hit => out.hits += 1,
+            Outcome::Trivial => out.trivials += 1,
+            Outcome::Filtered | Outcome::Miss => {}
+        }
+    }
+    out
+}
+
+/// Subject: `execute_batch` over deliberately uneven tile widths so both
+/// full tiles and partial tails (down to single-lane batches) are hit.
+fn run_batched(table: &mut dyn Memoizer, batch: &OpBatch<'_>) -> BatchOutcome {
+    const WIDTHS: [usize; 8] = [1, 5, 64, 7, 33, 2, 64, 19];
+    let mut out = BatchOutcome::default();
+    let mut start = 0;
+    let mut wi = 0;
+    while start < batch.len() {
+        let w = WIDTHS[wi % WIDTHS.len()].min(batch.len() - start);
+        out.absorb(table.execute_batch(&batch.slice(start, w)));
+        start += w;
+        wi += 1;
+    }
+    out
+}
+
+/// Drive the same stream through a scalar-oracle table and a batched
+/// table, then verify stats, tallies, and (via a shared follow-up scalar
+/// pass) that the *stored state* of both tables is identical too.
+fn assert_equivalent(
+    mut scalar: Box<dyn Memoizer>,
+    mut batched: Box<dyn Memoizer>,
+    kind: OpKind,
+    a: &[u64],
+    b: &[u64],
+    label: &str,
+) {
+    let batch = OpBatch::new(kind, a, b);
+    let want = run_scalar(scalar.as_mut(), &batch);
+    let got = run_batched(batched.as_mut(), &batch);
+    assert_eq!(got, want, "{label}: outcome tallies diverged");
+    assert_eq!(batched.stats(), scalar.stats(), "{label}: stats diverged");
+
+    // State probe: replay a deterministic slice of the stream through both
+    // tables *scalar*. Any divergence in stored entries / recency /
+    // insertion order shows up as differing stats here.
+    let probe_len = batch.len().min(96);
+    let probe = batch.slice(batch.len() - probe_len, probe_len);
+    let want2 = run_scalar(scalar.as_mut(), &probe);
+    let got2 = run_scalar(batched.as_mut(), &probe);
+    assert_eq!(got2, want2, "{label}: post-pass tallies diverged (state mismatch)");
+    assert_eq!(batched.stats(), scalar.stats(), "{label}: post-pass stats diverged");
+}
+
+const TRIVIALS: [TrivialPolicy; 3] =
+    [TrivialPolicy::Exclude, TrivialPolicy::Integrate, TrivialPolicy::Memoize];
+
+/// Full cross of the axes the issue names — (assoc, protection,
+/// trivial-filter) — with the secondary axes (tag, hash, commutative,
+/// replacement) rotated deterministically so every value of each appears
+/// against many primary combinations.
+#[test]
+fn finite_table_batched_equals_scalar_across_configs() {
+    let assocs = [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Ways(4), Assoc::Full];
+    let tags = [TagPolicy::FullValue, TagPolicy::MantissaOnly];
+    let hashes = [HashScheme::PaperXor, HashScheme::FoldMix];
+    let replacements = [Replacement::Lru, Replacement::Fifo, Replacement::Random];
+
+    let mut rotor = 0usize;
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0001, 480);
+        for assoc in assocs {
+            for protection in Protection::ALL {
+                for trivial in TRIVIALS {
+                    let tag = tags[rotor % tags.len()];
+                    let hash = hashes[(rotor / 2) % hashes.len()];
+                    let commutative = !rotor.is_multiple_of(3);
+                    let replacement = replacements[rotor % replacements.len()];
+                    rotor += 1;
+
+                    let cfg = MemoConfig::builder(32)
+                        .assoc(assoc)
+                        .tag(tag)
+                        .trivial(trivial)
+                        .replacement(replacement)
+                        .hash(hash)
+                        .commutative(commutative)
+                        .protection(protection)
+                        .build()
+                        .expect("valid config");
+                    let label = format!("{} {}", kind.label(), cfg.canonical());
+                    assert_equivalent(
+                        Box::new(MemoTable::new(cfg)),
+                        Box::new(MemoTable::new(cfg)),
+                        kind,
+                        &a,
+                        &b,
+                        &label,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Dedicated full cross of the secondary axes (tag × hash × commutative ×
+/// replacement) at a fixed small geometry, where conflict pressure is
+/// highest and the commutative second probe fires most often.
+#[test]
+fn finite_table_secondary_axes_full_cross() {
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0002, 480);
+        for tag in [TagPolicy::FullValue, TagPolicy::MantissaOnly] {
+            for hash in [HashScheme::PaperXor, HashScheme::FoldMix] {
+                for commutative in [false, true] {
+                    for replacement in
+                        [Replacement::Lru, Replacement::Fifo, Replacement::Random]
+                    {
+                        let cfg = MemoConfig::builder(8)
+                            .assoc(Assoc::Ways(2))
+                            .tag(tag)
+                            .trivial(TrivialPolicy::Exclude)
+                            .replacement(replacement)
+                            .hash(hash)
+                            .commutative(commutative)
+                            .build()
+                            .expect("valid config");
+                        let label = format!("{} {}", kind.label(), cfg.canonical());
+                        assert_equivalent(
+                            Box::new(MemoTable::new(cfg)),
+                            Box::new(MemoTable::new(cfg)),
+                            kind,
+                            &a,
+                            &b,
+                            &label,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The infinite reference table must match too — it has its own batched
+/// override (and its own hasher), so it gets its own sweep over policies.
+#[test]
+fn infinite_table_batched_equals_scalar() {
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0003, 480);
+        for tag in [TagPolicy::FullValue, TagPolicy::MantissaOnly] {
+            for trivial in TRIVIALS {
+                for commutative in [false, true] {
+                    for protection in Protection::ALL {
+                        let make = || {
+                            Box::new(
+                                InfiniteMemoTable::with_policies(tag, trivial, commutative)
+                                    .with_protection(protection),
+                            )
+                        };
+                        let label = format!(
+                            "infinite {} tag={tag:?} trivial={trivial:?} \
+                             commutative={commutative} protection={protection:?}",
+                            kind.label()
+                        );
+                        assert_equivalent(make(), make(), kind, &a, &b, &label);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The fused stack-distance sweep: `access_batch` must produce the exact
+/// per-configuration stats `access` does, across the whole grid plus the
+/// infinite column, for both tag policies (the mantissa path can poison
+/// exactness mid-stream — the batched path must stop at the same op).
+#[test]
+fn stack_simulator_batched_equals_scalar() {
+    let assocs = [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Ways(4), Assoc::Full];
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0004, 480);
+        let batch = OpBatch::new(kind, &a, &b);
+        for tag in [TagPolicy::FullValue, TagPolicy::MantissaOnly] {
+            for commutative in [false, true] {
+                let configs: Vec<MemoConfig> = [8usize, 32, 128]
+                    .iter()
+                    .flat_map(|&entries| {
+                        assocs.iter().map(move |&assoc| {
+                            MemoConfig::builder(entries)
+                                .assoc(assoc)
+                                .tag(tag)
+                                .commutative(commutative)
+                                .build()
+                                .expect("valid config")
+                        })
+                    })
+                    .collect();
+                // The infinite column is only exact for the policies the
+                // reference table models (FullValue, commutative).
+                let include_infinite = tag == TagPolicy::FullValue && commutative;
+                let grid = SweepGrid::new(&configs, include_infinite).expect("valid grid");
+
+                let mut scalar = StackSimulator::new(&grid);
+                for i in 0..batch.len() {
+                    scalar.access(batch.op(i));
+                }
+                let mut batched = StackSimulator::new(&grid);
+                const WIDTHS: [usize; 6] = [3, 64, 1, 17, 64, 9];
+                let mut start = 0;
+                let mut wi = 0;
+                while start < batch.len() {
+                    let w = WIDTHS[wi % WIDTHS.len()].min(batch.len() - start);
+                    batched.access_batch(&batch.slice(start, w));
+                    start += w;
+                    wi += 1;
+                }
+
+                let want = scalar.finish();
+                let got = batched.finish();
+                let label =
+                    format!("sweep {} tag={tag:?} commutative={commutative}", kind.label());
+                assert_eq!(got.exact, want.exact, "{label}: exactness flag diverged");
+                assert_eq!(
+                    got.finite, want.finite,
+                    "{label}: finite grid stats diverged"
+                );
+                assert_eq!(got.infinite, want.infinite, "{label}: infinite column diverged");
+            }
+        }
+    }
+}
+
+/// Single-lane batches are the degenerate tail case: they must behave
+/// exactly like scalar `execute`, op by op, for a hostile stream.
+#[test]
+fn width_one_batches_match_scalar_op_by_op() {
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0005, 200);
+        let batch = OpBatch::new(kind, &a, &b);
+        let cfg = MemoConfig::paper_default();
+        let mut scalar = MemoTable::new(cfg);
+        let mut batched = MemoTable::new(cfg);
+        for i in 0..batch.len() {
+            let lane = batch.slice(i, 1);
+            let want = match scalar.execute(lane.op(0)).outcome {
+                Outcome::Hit => BatchOutcome { hits: 1, trivials: 0 },
+                Outcome::Trivial => BatchOutcome { hits: 0, trivials: 1 },
+                _ => BatchOutcome::default(),
+            };
+            let got = batched.execute_batch(&lane);
+            assert_eq!(got, want, "{} lane {i}", kind.label());
+            assert_eq!(
+                Memoizer::stats(&batched),
+                Memoizer::stats(&scalar),
+                "{} lane {i}",
+                kind.label()
+            );
+        }
+    }
+}
+
+/// Sanity anchor so a bug that zeroes both sides can't pass silently:
+/// the streams must actually produce hits, trivials, commutative hits,
+/// and (under mantissa tags) bypasses.
+#[test]
+fn streams_exercise_all_outcome_classes() {
+    let mut saw = MemoStats::default();
+    for kind in OpKind::ALL {
+        let (a, b) = stream(kind, 0x1998_0001, 480);
+        let cfg = MemoConfig::builder(32)
+            .assoc(Assoc::Ways(4))
+            .tag(TagPolicy::MantissaOnly)
+            .trivial(TrivialPolicy::Integrate)
+            .commutative(true)
+            .build()
+            .expect("valid config");
+        let mut table = MemoTable::new(cfg);
+        let batch = OpBatch::new(kind, &a, &b);
+        run_batched(&mut table, &batch);
+        let s = Memoizer::stats(&table);
+        saw.table_hits += s.table_hits;
+        saw.trivial_seen += s.trivial_seen;
+        saw.commutative_hits += s.commutative_hits;
+        saw.bypasses += s.bypasses;
+        saw.evictions += s.evictions;
+        saw.insertions += s.insertions;
+    }
+    assert!(saw.table_hits > 0, "no hits: stream too cold");
+    assert!(saw.trivial_seen > 0, "no trivials in stream");
+    assert!(saw.commutative_hits > 0, "no swapped-orientation hits");
+    assert!(saw.bypasses > 0, "no mantissa bypasses");
+    assert!(saw.evictions > 0, "no capacity pressure");
+    assert!(saw.insertions > 0, "no insertions");
+}

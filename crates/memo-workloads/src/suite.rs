@@ -219,6 +219,10 @@ pub fn record_sci_trace(app: &SciApp, n: usize) -> OpTrace {
 /// Replay one or more traces, in order, through a fresh bank built from
 /// `spec` and return the bank (per-kind statistics are bit-identical to a
 /// native run of the same stream).
+///
+/// Replay flows through the batched probe path ([`OpTrace::replay`] →
+/// [`MemoBank::execute_batch`]); the per-op scalar path remains available
+/// as [`OpTrace::replay_scalar`] and is property-tested bit-identical.
 #[must_use]
 pub fn replay_stats<'a>(
     traces: impl IntoIterator<Item = &'a OpTrace>,
