@@ -4,16 +4,24 @@
 //! `BENCH_store.json` so CI can archive the store's cost profile next to
 //! the serve and sweep benchmarks.
 //!
+//! The async-pipeline additions are measured as before/after pairs in
+//! the same artifact: absent-key gets with the bloom filter off vs on,
+//! hot gets with and without the block cache, and per-put latency
+//! quantiles with the old inline flush-at-watermark behaviour vs the
+//! background flush thread. CI gates on those ratios.
+//!
 //! Runs without fsync — the interesting costs here are framing,
 //! checksumming, and the segment index, not the device sync latency.
 
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::path::PathBuf;
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use memo_bench::bench_median;
 use memo_experiments::cache::{ShardedLru, TierBreaker};
+use memo_experiments::store::LruBlockCache;
 use memo_store::{Store, StoreConfig};
 
 /// Keys/values sized like the workload the serve layer actually stores:
@@ -27,6 +35,7 @@ fn bench_config() -> StoreConfig {
         memtable_max_bytes: 64 << 20,
         fsync: false,
         compact_at_segments: usize::MAX,
+        ..StoreConfig::default()
     }
 }
 
@@ -40,6 +49,62 @@ fn key(i: usize) -> Vec<u8> {
     format!("results/bench/{i:06}").into_bytes()
 }
 
+/// A key sorting strictly between `key(i)` and `key(i + 1)`, so an
+/// absent-key probe lands inside the segment's index range and cannot
+/// take the sorts-before-everything early exit.
+fn absent_key(i: usize) -> Vec<u8> {
+    format!("results/bench/{i:06}x").into_bytes()
+}
+
+/// A segment-backed store holding `BATCH` entries at the given
+/// bits-per-key setting (0 disables the bloom filter).
+fn segment_store(tag: &str, value: &[u8], bloom_bits_per_key: u32) -> (PathBuf, Store) {
+    let dir = fresh_dir(tag);
+    let config = StoreConfig { bloom_bits_per_key, ..bench_config() };
+    let store = Store::open(&dir, config).expect("open");
+    for i in 0..BATCH {
+        store.put(&key(i), value).expect("put");
+    }
+    store.flush().expect("flush");
+    (dir, store)
+}
+
+/// Per-put latency quantiles (microseconds) over `n` puts, with
+/// `flush_every` forcing a synchronous flush barrier on every K-th put
+/// (0 = never: the background thread absorbs the segment writes).
+fn put_quantiles(tag: &str, value: &[u8], n: usize, flush_every: usize) -> (PathBuf, u64, u64) {
+    let dir = fresh_dir(tag);
+    // Small watermark so freezes actually happen during the run; queue
+    // deep enough that the async path rarely blocks on backpressure.
+    let config = StoreConfig {
+        memtable_max_bytes: 32 << 10,
+        fsync: false,
+        compact_at_segments: usize::MAX,
+        max_immutables: 8,
+        ..StoreConfig::default()
+    };
+    let store = Store::open(&dir, config).expect("open");
+    let mut lat_us: Vec<u64> = Vec::with_capacity(n);
+    for i in 0..n {
+        let t0 = Instant::now();
+        store.put(&key(i), value).expect("put");
+        if flush_every > 0 && (i + 1) % flush_every == 0 {
+            // The pre-async behaviour: the put that crossed the
+            // watermark paid for the whole segment write inline.
+            store.flush().expect("flush");
+        }
+        lat_us.push(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+    }
+    lat_us.sort_unstable();
+    let q = |f: f64| {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss, clippy::cast_precision_loss)]
+        let idx = ((lat_us.len() - 1) as f64 * f).round() as usize;
+        lat_us[idx]
+    };
+    (dir, q(0.50), q(0.99))
+}
+
+#[allow(clippy::too_many_lines)]
 fn main() {
     let value = vec![0x5au8; VALUE_LEN];
 
@@ -56,7 +121,8 @@ fn main() {
 
     // Flush: write a batch and drain it into a sorted segment. Each
     // sample refills the memtable first (a bare flush of an empty
-    // memtable is a no-op), so this times put + sort + segment write.
+    // memtable is a no-op), so this times put + freeze + the barrier
+    // waiting out the background segment write.
     let flush_s = bench_median("store", "put_1k_then_flush", 10, || {
         for i in next..next + BATCH {
             store.put(&key(i), &value).expect("put");
@@ -109,6 +175,70 @@ fn main() {
     let stats = store.stats();
     drop(store);
 
+    // Miss-heavy gets: the same absent keys against a segment with no
+    // bloom filter (every probe reads and scans an index span) vs one
+    // with the default filter (probes are screened in memory).
+    let (nb_dir, nb_store) = segment_store("nobloom", &value, 0);
+    let absent_nobloom_s = bench_median("store", "absent_get_no_bloom_1k", 10, || {
+        for i in 0..BATCH {
+            black_box(nb_store.get(&absent_key(i)).expect("get"));
+        }
+    });
+    let (bl_dir, bl_store) = segment_store("bloom", &value, StoreConfig::default().bloom_bits_per_key);
+    let absent_bloom_s = bench_median("store", "absent_get_bloom_1k", 10, || {
+        for i in 0..BATCH {
+            black_box(bl_store.get(&absent_key(i)).expect("get"));
+        }
+    });
+    let bloom_stats = bl_store.stats();
+
+    // Hot gets: a 16-key working set hammered by 4 threads — the shape
+    // the serve layer's worker pool produces — with and without the
+    // block cache. Without it every read serializes on the segment
+    // file's mutex around pread; with it, hits stay on sharded
+    // in-memory spans. Warmup (inside bench_median) leaves each path in
+    // steady state: page cache for disk, cached spans for the other.
+    const HOT_THREADS: usize = 4;
+    let hot_nocache_s = bench_median("store", "hot_get_no_cache_4x1k", 10, || {
+        std::thread::scope(|scope| {
+            for t in 0..HOT_THREADS {
+                let store = &bl_store;
+                scope.spawn(move || {
+                    for i in 0..BATCH {
+                        black_box(store.get(&key((t + i) % 16)).expect("get"));
+                    }
+                });
+            }
+        });
+    });
+    let cached_store = bl_store;
+    cached_store.attach_block_cache(Arc::new(LruBlockCache::new(256)));
+    let hot_cache_s = bench_median("store", "hot_get_block_cache_4x1k", 10, || {
+        std::thread::scope(|scope| {
+            for t in 0..HOT_THREADS {
+                let store = &cached_store;
+                scope.spawn(move || {
+                    for i in 0..BATCH {
+                        black_box(store.get(&key((t + i) % 16)).expect("get"));
+                    }
+                });
+            }
+        });
+    });
+    let cache_stats = cached_store.stats();
+    drop(cached_store);
+    drop(nb_store);
+
+    // Put latency quantiles: inline flush at the watermark (the old
+    // behaviour) vs the background flush thread, same data and cadence.
+    // 32 KiB watermark / ~280 B records ≈ a freeze every ~110 puts.
+    let (sync_dir, put_p50_sync, put_p99_sync) = put_quantiles("putsync", &value, 4 * BATCH, 110);
+    let (async_dir, put_p50_async, put_p99_async) = put_quantiles("putasync", &value, 4 * BATCH, 0);
+    println!(
+        "store/put_latency: sync p50/p99 = {put_p50_sync}/{put_p99_sync} us, \
+         async p50/p99 = {put_p50_async}/{put_p99_async} us"
+    );
+
     // Recovery: reopen a store whose WAL holds one unflushed batch.
     let recover_dir = fresh_dir("recover");
     {
@@ -132,6 +262,18 @@ fn main() {
     let _ = writeln!(json, "  \"recover_1k_ms\": {:.3},", recover_s * 1e3);
     let _ = writeln!(json, "  \"tiered_get_breaker_closed_1k_ms\": {:.3},", tiered_closed_s * 1e3);
     let _ = writeln!(json, "  \"tiered_get_breaker_open_1k_ms\": {:.3},", tiered_open_s * 1e3);
+    let _ = writeln!(json, "  \"absent_get_no_bloom_1k_ms\": {:.3},", absent_nobloom_s * 1e3);
+    let _ = writeln!(json, "  \"absent_get_bloom_1k_ms\": {:.3},", absent_bloom_s * 1e3);
+    let _ = writeln!(json, "  \"absent_get_speedup\": {:.2},", absent_nobloom_s / absent_bloom_s.max(1e-9));
+    let _ = writeln!(json, "  \"hot_get_no_cache_4x1k_ms\": {:.3},", hot_nocache_s * 1e3);
+    let _ = writeln!(json, "  \"hot_get_block_cache_4x1k_ms\": {:.3},", hot_cache_s * 1e3);
+    let _ = writeln!(json, "  \"hot_get_speedup\": {:.2},", hot_nocache_s / hot_cache_s.max(1e-9));
+    let _ = writeln!(json, "  \"put_p50_sync_flush_us\": {put_p50_sync},");
+    let _ = writeln!(json, "  \"put_p99_sync_flush_us\": {put_p99_sync},");
+    let _ = writeln!(json, "  \"put_p50_async_flush_us\": {put_p50_async},");
+    let _ = writeln!(json, "  \"put_p99_async_flush_us\": {put_p99_async},");
+    let _ = writeln!(json, "  \"bloom_negatives\": {},", bloom_stats.bloom_negatives);
+    let _ = writeln!(json, "  \"block_cache_hits\": {},", cache_stats.block_cache_hits);
     let _ = writeln!(json, "  \"segments\": {},", stats.segments);
     let _ = writeln!(json, "  \"segment_bytes\": {}", stats.segment_bytes);
     json.push_str("}\n");
@@ -139,6 +281,7 @@ fn main() {
     std::fs::write(path, json).expect("write BENCH_store.json");
     println!("wrote {path}");
 
-    let _ = std::fs::remove_dir_all(&dir);
-    let _ = std::fs::remove_dir_all(&recover_dir);
+    for d in [&dir, &recover_dir, &nb_dir, &bl_dir, &sync_dir, &async_dir] {
+        let _ = std::fs::remove_dir_all(d);
+    }
 }

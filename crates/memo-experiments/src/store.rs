@@ -22,11 +22,52 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use memo_sim::{OpTrace, OP_TRACE_VERSION};
 use memo_store::codec::{self, RESULT_VERSION, TRACE_ARCHIVE_VERSION};
-use memo_store::{ResultBlob, Store, StoreConfig, StoreError};
+use memo_store::{BlockCache, CachedBlock, ResultBlob, Store, StoreConfig, StoreError};
 use memo_table::{MemoConfig, STABLE_ENCODING_VERSION};
+
+use crate::cache::ShardedLru;
+use crate::env;
 
 /// The key under which the format marker lives.
 const FORMAT_KEY: &[u8] = b"meta/format";
+
+/// Segment spans the block cache holds by default (one span ≈ one
+/// sparse-index stride of entries). Overridden by
+/// `MEMO_STORE_BLOCK_CACHE_CAP`; 0 disables the cache.
+const DEFAULT_BLOCK_CACHE_SPANS: usize = 256;
+
+/// memo-store's [`BlockCache`] backed by this crate's [`ShardedLru`]:
+/// hot segment spans served from memory under LRU eviction. The store's
+/// reader re-verifies each span's CRC at every hit, so a corrupted cache
+/// entry degrades to a disk read instead of serving damage.
+#[derive(Debug)]
+pub struct LruBlockCache {
+    spans: ShardedLru<(u64, u64), (u32, Vec<u8>)>,
+}
+
+impl LruBlockCache {
+    /// A cache holding at most `capacity` segment spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (disable by not attaching instead).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        LruBlockCache {
+            spans: ShardedLru::new(8, capacity).with_weigher(|(_, block)| block.len().max(1)),
+        }
+    }
+}
+
+impl BlockCache for LruBlockCache {
+    fn get(&self, segment_id: u64, offset: u64) -> Option<CachedBlock> {
+        self.spans.peek(&(segment_id, offset))
+    }
+
+    fn put(&self, segment_id: u64, offset: u64, checksum: u32, block: Vec<u8>) {
+        let _ = self.spans.get_or_compute(&(segment_id, offset), move || (checksum, block));
+    }
+}
 
 fn global() -> &'static Mutex<Option<Arc<Store>>> {
     static GLOBAL: OnceLock<Mutex<Option<Arc<Store>>>> = OnceLock::new();
@@ -75,6 +116,11 @@ pub fn open_guarded(dir: &Path, config: StoreConfig) -> Result<Arc<Store>, Store
         }
         Err(e) => return Err(e),
     };
+    let cache_spans =
+        env::usize_var("MEMO_STORE_BLOCK_CACHE_CAP").unwrap_or(DEFAULT_BLOCK_CACHE_SPANS);
+    if cache_spans > 0 {
+        store.attach_block_cache(Arc::new(LruBlockCache::new(cache_spans)));
+    }
     let expected = format_tag();
     match store.get(FORMAT_KEY)? {
         Some(found) if found == expected.as_bytes() => {}
@@ -188,7 +234,12 @@ mod tests {
     /// A config that keeps everything in the WAL (no auto-flush), so the
     /// guard-corruption tests control where the marker lives.
     fn wal_only_config() -> StoreConfig {
-        StoreConfig { memtable_max_bytes: 1 << 20, fsync: false, compact_at_segments: 100 }
+        StoreConfig {
+            memtable_max_bytes: 1 << 20,
+            fsync: false,
+            compact_at_segments: 100,
+            ..StoreConfig::default()
+        }
     }
 
     #[test]
@@ -324,6 +375,33 @@ mod tests {
         assert_eq!(back.len(), 1);
         assert_eq!(back[0].len(), t.len());
         uninstall();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn lru_block_cache_roundtrips_and_misses_cleanly() {
+        let cache = LruBlockCache::new(4);
+        assert!(cache.get(1, 0).is_none(), "empty cache misses");
+        cache.put(1, 0, 0xDEAD_BEEF, vec![1, 2, 3]);
+        let hit = cache.get(1, 0).expect("inserted span is served");
+        assert_eq!(hit.0, 0xDEAD_BEEF);
+        assert_eq!(hit.1, vec![1, 2, 3]);
+        assert!(cache.get(1, 64).is_none(), "other offsets are distinct keys");
+        assert!(cache.get(2, 0).is_none(), "other segments are distinct keys");
+    }
+
+    #[test]
+    fn guarded_open_serves_hot_spans_through_the_block_cache() {
+        let _guard = handle_lock();
+        let dir = tmp_dir("blockcache");
+        let store = open_guarded(&dir, StoreConfig::small_for_tests()).unwrap();
+        store.put(b"hot/key", b"span payload").unwrap();
+        store.flush().unwrap(); // the key now lives in a segment
+        assert_eq!(store.get(b"hot/key").unwrap(), Some(b"span payload".to_vec()));
+        assert_eq!(store.get(b"hot/key").unwrap(), Some(b"span payload".to_vec()));
+        let stats = store.stats();
+        assert!(stats.block_cache_misses >= 1, "first probe fills the cache: {stats:?}");
+        assert!(stats.block_cache_hits >= 1, "repeat probe is served from memory: {stats:?}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,40 @@
+//! Print the deterministic target sequence one load lane issues —
+//! handy when a smoke run wedges on request N and you need to know
+//! what N actually was.
+use memo_table::rng::SplitMix64;
+
+fn pick(rng: &mut SplitMix64) -> String {
+    match rng.next_below(100) {
+        0..=34 => format!("/v1/table/{}", 1 + rng.next_below(13)),
+        35..=44 => "/v1/table/1".to_string(),
+        45..=59 => format!("/v1/figure/{}", 2 + rng.next_below(3)),
+        60..=79 => match rng.next_below(3) {
+            0 => "/v1/sweep?entries=8,16,32".to_string(),
+            1 => "/v1/sweep?ways=1,2,4".to_string(),
+            _ => "/v1/sweep".to_string(),
+        },
+        80..=89 => "/healthz".to_string(),
+        _ => "/metrics".to_string(),
+    }
+}
+
+fn main() {
+    let root = SplitMix64::new(1998);
+    let mut rng = root.split("conn-0");
+    let mut miss_seq = 0u64;
+    for i in 0..30 {
+        let target = if rng.next_below(1000) < 300 {
+            let idx = miss_seq;
+            miss_seq += 1;
+            let table = [1u64, 2, 3][usize::try_from(idx % 3).unwrap()];
+            let mut scale = 1 + (idx / 3) % 63;
+            if scale >= 16 {
+                scale += 1;
+            }
+            format!("/v1/table/{table}?scale={scale} [miss]")
+        } else {
+            pick(&mut rng)
+        };
+        println!("{i:2} {target}");
+    }
+}

@@ -14,13 +14,14 @@ use std::time::Duration;
 use memo_experiments::cli;
 use memo_serve::load::{self, LoadConfig, Mode};
 
-const FLAGS: [(&str, &str); 8] = [
+const FLAGS: [(&str, &str); 9] = [
     ("--addr=", "server address (default 127.0.0.1:7070)"),
     ("--connections=", "concurrent connections (default 32)"),
     ("--duration-s=", "run length in seconds (default 15)"),
     ("--mode=", "closed (default) or open"),
     ("--rate=", "per-connection requests/sec in open mode (default 50)"),
     ("--seed=", "request-mix seed (default 1998)"),
+    ("--store-miss-rate=", "fraction of requests aimed at never-cached keys (default 0)"),
     ("--out=", "report path (default BENCH_serve.json)"),
     ("--expect-warm", "fail unless some responses came from cache (memory or disk)"),
 ];
@@ -47,6 +48,20 @@ fn main() {
     }
     if let Some(v) = value_of("--seed=").and_then(|v| v.parse::<u64>().ok()) {
         config.seed = v;
+    }
+    if let Some(raw) = value_of("--store-miss-rate=") {
+        match raw.parse::<f64>() {
+            Ok(f) if (0.0..=1.0).contains(&f) => {
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    config.store_miss_permille = (f * 1000.0).round() as u32;
+                }
+            }
+            _ => {
+                eprintln!("memo-load: --store-miss-rate must be a fraction in [0, 1], got {raw:?}");
+                std::process::exit(2);
+            }
+        }
     }
     let rate = value_of("--rate=").and_then(|v| v.parse::<u32>().ok()).unwrap_or(50);
     match value_of("--mode=").as_deref() {

@@ -47,6 +47,12 @@ pub struct LoadConfig {
     pub mode: Mode,
     /// PRNG seed; same seed → same request sequence.
     pub seed: u64,
+    /// Per-mille of requests redirected to deterministic never-cached
+    /// artifact keys (cheap trace-free tables at off-default `scale`
+    /// values the warm mix never requests). `0` disables; `300` makes
+    /// ~30% of the mix guaranteed store misses, exercising the
+    /// bloom-filter path.
+    pub store_miss_permille: u32,
 }
 
 impl Default for LoadConfig {
@@ -57,6 +63,7 @@ impl Default for LoadConfig {
             duration: Duration::from_secs(15),
             mode: Mode::Closed,
             seed: 1998, // the paper's year
+            store_miss_permille: 0,
         }
     }
 }
@@ -84,6 +91,38 @@ fn pick_target(rng: &mut SplitMix64) -> String {
         // 10%: metrics scrape.
         _ => "/metrics".to_string(),
     }
+}
+
+/// Tables whose render cost is flat (sub-100 ms) across the whole
+/// `scale` range, measured table-first on a fresh process so no other
+/// request could have pre-warmed shared state. The walk must stay on
+/// these: every other table touches per-scale kernel state whose first
+/// computation explodes somewhere in the range — re-recorded traces
+/// cost tens of seconds of CPU and up to a gigabyte of archive pushed
+/// through the store per key (table 7), and the small-`scale` end
+/// takes minutes outright (tables 12 and 13 at `scale≤2`). Either
+/// failure pins a worker past the client timeout and stalls everyone
+/// else behind the flush queue. A load knob that is meant to probe the
+/// store's negative path must not *write* the store into the ground.
+const MISS_TABLES: [u64; 3] = [1, 2, 3];
+
+/// The `idx`-th never-cached artifact target: a counter walk through the
+/// `(table, scale)` space in mixed-radix order, so consecutive indices
+/// never collide until the whole space (3 flat-cost tables × 63 scales
+/// = 189 keys) wraps. `scale` skips 16 — the CI boot default, whose
+/// keys the background mix already caches — and `sci_n` stays at the
+/// server default so no scientific-kernel trace is ever recorded. Each
+/// caller lane strides by the connection count, keeping indices
+/// globally unique across threads.
+fn miss_target(idx: u64) -> String {
+    let table = MISS_TABLES[usize::try_from(idx % 3).expect("mod 3 fits usize")];
+    // Query values match the server's clamp range (1..=64), so every
+    // combination is a distinct canonical cache/store key.
+    let mut scale = 1 + (idx / 3) % 63;
+    if scale >= 16 {
+        scale += 1;
+    }
+    format!("/v1/table/{table}?scale={scale}")
 }
 
 /// How the server's `x-memo-cache` header classified one response.
@@ -283,6 +322,7 @@ impl LoadReport {
         let _ = writeln!(out, "  \"duration_s\": {:.1},", config.duration.as_secs_f64());
         let _ = writeln!(out, "  \"mode\": {mode},");
         let _ = writeln!(out, "  \"seed\": {},", config.seed);
+        let _ = writeln!(out, "  \"store_miss_permille\": {},", config.store_miss_permille);
         let _ = writeln!(out, "  \"requests\": {},", self.requests);
         let _ = writeln!(out, "  \"errors\": {},", self.errors);
         let _ = writeln!(out, "  \"transport_errors\": {},", self.transport_errors);
@@ -355,10 +395,13 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let deadline = started + config.duration;
 
     let root = SplitMix64::new(config.seed);
+    let lanes = config.connections.max(1) as u64;
+    let miss_permille = u64::from(config.store_miss_permille.min(1000));
     let handles: Vec<_> = (0..config.connections.max(1))
         .map(|conn_id| {
             let addr = config.addr.clone();
             let mode = config.mode;
+            let lane = conn_id as u64;
             let mut rng = root.split(&format!("conn-{conn_id}"));
             let tally = Arc::clone(&tally);
             let cold = Arc::clone(&cold);
@@ -368,6 +411,9 @@ pub fn run(config: &LoadConfig) -> LoadReport {
             thread::spawn(move || {
                 let mut stream = None;
                 let mut scratch = Vec::with_capacity(8192);
+                // Strided per-lane counter: lane, lane+lanes, lane+2·lanes, …
+                // — globally unique miss indices without cross-thread state.
+                let mut miss_seq = 0u64;
                 let gap = match mode {
                     Mode::Closed => Duration::ZERO,
                     Mode::Open { rate } => Duration::from_secs(1) / rate.max(1),
@@ -382,7 +428,13 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                         }
                         next_send += gap;
                     }
-                    let target = pick_target(&mut rng);
+                    let target = if miss_permille > 0 && rng.next_below(1000) < miss_permille {
+                        let idx = miss_seq * lanes + lane;
+                        miss_seq += 1;
+                        miss_target(idx)
+                    } else {
+                        pick_target(&mut rng)
+                    };
                     let s = match stream.take() {
                         Some(s) => s,
                         None => match connect(&addr) {
@@ -525,6 +577,39 @@ mod tests {
     }
 
     #[test]
+    fn miss_targets_are_unique_and_valid_until_the_space_wraps() {
+        let space = 3 * 63;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..space {
+            let t = miss_target(idx);
+            assert!(seen.insert(t.clone()), "duplicate miss target {t} at idx {idx}");
+            let rest = t.strip_prefix("/v1/table/").expect("table route");
+            let (table, query) = rest.split_once('?').expect("query string");
+            let table: u64 = table.parse().unwrap();
+            assert!(MISS_TABLES.contains(&table), "table {table} is not trace-free");
+            let scale: u64 = query.strip_prefix("scale=").unwrap().parse().unwrap();
+            // Inside the server's clamp range, so the key the server
+            // canonicalizes is exactly the one we asked for — but never
+            // the boot default 16, whose key the warm mix owns.
+            assert!((1..=64).contains(&scale));
+            assert_ne!(scale, 16, "boot-default scale would collide with the warm mix");
+        }
+        // The walk is a cycle: the next index revisits the first key.
+        assert_eq!(miss_target(space), miss_target(0));
+    }
+
+    #[test]
+    fn strided_lanes_never_collide_on_miss_indices() {
+        let lanes = 4u64;
+        let mut seen = std::collections::HashSet::new();
+        for lane in 0..lanes {
+            for seq in 0..100u64 {
+                assert!(seen.insert(seq * lanes + lane));
+            }
+        }
+    }
+
+    #[test]
     fn report_json_is_structurally_sound() {
         let report = LoadReport {
             requests: 10,
@@ -547,6 +632,7 @@ mod tests {
         };
         let json = report.to_json(&LoadConfig::default());
         assert!(json.contains("\"bench\": \"memo_serve_load\""));
+        assert!(json.contains("\"store_miss_permille\": 0"));
         assert!(json.contains("\"transport_errors\": 0"));
         assert!(json.contains("\"cache_hits\": 3"));
         assert!(json.contains("\"cache_disk_hits\": 1"));

@@ -351,6 +351,11 @@ impl Metrics {
                 ("memo_store_bytes_read_total", st.bytes_read),
                 ("memo_store_bytes_written_total", st.bytes_written),
                 ("memo_store_recovered_ops_total", st.recovered_ops),
+                ("memo_store_flush_failures_total", st.flush_failures),
+                ("memo_store_bloom_negatives_total", st.bloom_negatives),
+                ("memo_store_bloom_false_positives_total", st.bloom_false_positives),
+                ("memo_store_block_cache_hits_total", st.block_cache_hits),
+                ("memo_store_block_cache_misses_total", st.block_cache_misses),
             ] {
                 out.push_str(&format!("# TYPE {name} counter\n{name} {value}\n"));
             }
@@ -359,9 +364,30 @@ impl Metrics {
                 ("memo_store_segment_bytes", st.segment_bytes),
                 ("memo_store_memtable_entries", st.memtable_entries),
                 ("memo_store_memtable_bytes", st.memtable_bytes),
+                ("memo_store_flush_queue_depth", st.flush_queue_depth),
+                ("memo_store_flush_queue_peak", st.flush_queue_peak),
             ] {
                 out.push_str(&format!("# TYPE {name} gauge\n{name} {value}\n"));
             }
+            // Derived effectiveness ratios, precomputed so dashboards and
+            // smoke tests need no PromQL. FP rate = false positives over
+            // all absent-key filter verdicts (negatives blocked + false
+            // positives let through): the share of screenable probes the
+            // filter failed to block.
+            #[allow(clippy::cast_precision_loss)]
+            let fp_rate = {
+                let screened = st.bloom_false_positives + st.bloom_negatives;
+                if screened == 0 { 0.0 } else { st.bloom_false_positives as f64 / screened as f64 }
+            };
+            out.push_str("# TYPE memo_store_bloom_false_positive_rate gauge\n");
+            out.push_str(&format!("memo_store_bloom_false_positive_rate {fp_rate:.6}\n"));
+            #[allow(clippy::cast_precision_loss)]
+            let hit_ratio = {
+                let probes = st.block_cache_hits + st.block_cache_misses;
+                if probes == 0 { 0.0 } else { st.block_cache_hits as f64 / probes as f64 }
+            };
+            out.push_str("# TYPE memo_store_block_cache_hit_ratio gauge\n");
+            out.push_str(&format!("memo_store_block_cache_hit_ratio {hit_ratio:.6}\n"));
         }
         out
     }
@@ -428,6 +454,37 @@ mod tests {
         assert!(with.contains("memo_store_attached 1"));
         assert!(with.contains("memo_store_segment_hits_total 7"));
         assert!(with.contains("memo_store_segments 2"));
+    }
+
+    #[test]
+    fn render_exposes_async_flush_bloom_and_block_cache_metrics() {
+        let m = Metrics::new();
+        let store = memo_store::StoreStats {
+            flush_queue_depth: 2,
+            flush_queue_peak: 3,
+            flush_failures: 1,
+            bloom_negatives: 30,
+            bloom_false_positives: 10,
+            block_cache_hits: 3,
+            block_cache_misses: 1,
+            ..Default::default()
+        };
+        let text = m.render(0, 1, false, &CacheStats::default(), Some(&store), &closed_breaker());
+        assert!(text.contains("memo_store_flush_queue_depth 2"));
+        assert!(text.contains("memo_store_flush_queue_peak 3"));
+        assert!(text.contains("memo_store_flush_failures_total 1"));
+        assert!(text.contains("memo_store_bloom_negatives_total 30"));
+        assert!(text.contains("memo_store_bloom_false_positives_total 10"));
+        assert!(text.contains("memo_store_block_cache_hits_total 3"));
+        assert!(text.contains("memo_store_block_cache_misses_total 1"));
+        assert!(text.contains("memo_store_bloom_false_positive_rate 0.250000"));
+        assert!(text.contains("memo_store_block_cache_hit_ratio 0.750000"));
+
+        // Zero activity must render 0, not NaN.
+        let idle = memo_store::StoreStats::default();
+        let text = m.render(0, 1, false, &CacheStats::default(), Some(&idle), &closed_breaker());
+        assert!(text.contains("memo_store_bloom_false_positive_rate 0.000000"));
+        assert!(text.contains("memo_store_block_cache_hit_ratio 0.000000"));
     }
 
     #[test]

@@ -33,7 +33,9 @@ pub struct AppState {
     /// Circuit breaker guarding the persistent tier: after enough
     /// consecutive store failures the disk is skipped entirely and the
     /// server degrades to memory → compute until a probe succeeds.
-    pub disk_breaker: TierBreaker,
+    /// Shared (`Arc`) so the store's background-flush observer can feed
+    /// flush failures into the same streak as foreground loads.
+    pub disk_breaker: Arc<TierBreaker>,
     /// Retry policy for transient store errors (both loads and
     /// write-through persists).
     pub store_retry: RetryPolicy,
@@ -59,7 +61,7 @@ impl AppState {
             cache: ShardedLru::new(8, cache_capacity.max(8))
                 .with_weigher(|(_, body): &(u16, String)| body.len() + std::mem::size_of::<u16>()),
             store: None,
-            disk_breaker: TierBreaker::new(5, Duration::from_secs(2)),
+            disk_breaker: Arc::new(TierBreaker::new(5, Duration::from_secs(2))),
             store_retry: RetryPolicy::default(),
             deadline: Duration::from_secs(30),
             metrics: Metrics::new(),
@@ -492,7 +494,7 @@ mod tests {
 
         let mut s = state();
         s.store = Some(store);
-        s.disk_breaker = TierBreaker::new(2, Duration::from_secs(60));
+        s.disk_breaker = Arc::new(TierBreaker::new(2, Duration::from_secs(60)));
         // From here on every read, write, and fsync the store issues fails.
         vfs.set_config(FaultConfig {
             read_error_permille: 1000,

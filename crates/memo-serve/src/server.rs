@@ -144,7 +144,7 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
 
     let workers = config.workers.max(1);
     let mut state = AppState::new(config.cfg, config.cache_capacity, workers);
-    state.disk_breaker = TierBreaker::new(config.breaker_threshold, config.breaker_cooldown);
+    state.disk_breaker = Arc::new(TierBreaker::new(config.breaker_threshold, config.breaker_cooldown));
     state.deadline = config.request_deadline;
     if let Some(opened) = &config.store {
         // A pre-opened store (chaos tests inject FaultVfs-backed ones
@@ -152,12 +152,24 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
         store::install(Arc::clone(opened));
         state.store = Some(Arc::clone(opened));
     } else if let Some(dir) = &config.store_dir {
-        let opened = store::open_guarded(dir, StoreConfig::default())
+        let opened = store::open_guarded(dir, StoreConfig::from_env())
             .map_err(|e| io::Error::other(format!("open store at {}: {e}", dir.display())))?;
         // Install globally too, so the trace cache records once across
         // restarts, not just the rendered results.
         store::install(Arc::clone(&opened));
         state.store = Some(opened);
+    }
+    if let Some(opened) = &state.store {
+        // A background flush that fails is the same disk going bad as a
+        // foreground load failing: feed it into the breaker's streak.
+        // Successes deliberately do NOT close the breaker — only a
+        // foreground probe proves the read path is healthy again.
+        let breaker = Arc::clone(&state.disk_breaker);
+        opened.set_flush_observer(Box::new(move |ok| {
+            if !ok {
+                breaker.record_failure();
+            }
+        }));
     }
     let state = Arc::new(state);
     let queue = Arc::new(Bounded::new(config.queue_capacity));

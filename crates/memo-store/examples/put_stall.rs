@@ -1,0 +1,65 @@
+//! Stress the async flush path the way a busy server does: several
+//! writer threads, render-sized values, a small watermark, fsync on.
+//! Prints per-second progress so a stall is visible immediately.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use memo_store::{Store, StoreConfig};
+
+fn main() {
+    let dir = std::env::temp_dir().join("stall-test");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = StoreConfig { memtable_max_bytes: 16384, ..StoreConfig::default() };
+    let store = Arc::new(Store::open(&dir, config).expect("open"));
+    let value = vec![7u8; 4096];
+    let done = Arc::new(AtomicU64::new(0));
+    let t0 = Instant::now();
+
+    let mut handles = Vec::new();
+    for t in 0..4u64 {
+        let store = Arc::clone(&store);
+        let value = value.clone();
+        let done = Arc::clone(&done);
+        handles.push(std::thread::spawn(move || {
+            let mut i = 0u64;
+            while t0.elapsed() < Duration::from_secs(20) {
+                store
+                    .put(format!("results/table/{t}-{i}").as_bytes(), &value)
+                    .expect("put");
+                i += 1;
+                done.fetch_add(1, Ordering::Relaxed);
+            }
+        }));
+    }
+    let reporter = {
+        let done = Arc::clone(&done);
+        let store = Arc::clone(&store);
+        std::thread::spawn(move || {
+            let mut last = 0;
+            for s in 1..=25 {
+                std::thread::sleep(Duration::from_secs(1));
+                let now = done.load(Ordering::Relaxed);
+                let st = store.stats();
+                println!(
+                    "t={s:2}s puts={now} (+{}) queue={} flushes={} compactions={} segments={}",
+                    now - last,
+                    st.flush_queue_depth,
+                    st.flushes,
+                    st.compactions,
+                    st.segments
+                );
+                last = now;
+            }
+        })
+    };
+    for h in handles {
+        h.join().expect("writer");
+    }
+    println!("writers joined at {:?}", t0.elapsed());
+    let _ = reporter.join();
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("done");
+}

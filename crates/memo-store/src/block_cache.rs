@@ -1,0 +1,37 @@
+//! The block-cache seam between segment files and their callers.
+//!
+//! A "block" is one sparse-index span of a segment — the unit
+//! [`crate::segment::Segment::get_with_cache`] reads from disk. The
+//! store itself ships no cache policy (this crate is dependency-free and
+//! policy-light); memo-experiments plugs its `ShardedLru` in through
+//! this trait, so hot disk spans are served from memory without the
+//! store knowing how eviction works.
+//!
+//! Entries carry their own CRC32, computed over the block bytes at
+//! insert time. Hits parse the cached span directly — paying a checksum
+//! pass on every hit would hand back much of the win the cache exists
+//! for — and the stored CRC is consulted only when parsing fails, to
+//! tell in-memory rot (downgrade to a miss, refill from disk) from
+//! corruption that was already on disk (surface it). The disk copy was
+//! checksummed at segment open; this extends the same distrust to RAM
+//! at the moment it matters.
+
+use std::sync::Arc;
+
+/// One cached span: the CRC32 recorded at insert time and the bytes.
+pub type CachedBlock = Arc<(u32, Vec<u8>)>;
+
+/// A shared, checksummed cache of segment spans, keyed by
+/// `(segment id, span start offset)`.
+///
+/// Implementations must be cheap to call on the read path and safe to
+/// call from many threads at once; `put` is advisory (an implementation
+/// may drop the entry immediately).
+pub trait BlockCache: Send + Sync + std::fmt::Debug {
+    /// Fetch the cached block at `(segment_id, offset)`: the stored CRC32
+    /// and the span bytes. `None` on a miss.
+    fn get(&self, segment_id: u64, offset: u64) -> Option<CachedBlock>;
+
+    /// Insert the span read from disk, with `checksum = crc32(block)`.
+    fn put(&self, segment_id: u64, offset: u64, checksum: u32, block: Vec<u8>);
+}

@@ -1,0 +1,210 @@
+//! Per-segment bloom filters: remember where a key *isn't*.
+//!
+//! The paper's memo-tables win only when a probe is cheaper than the
+//! work it replaces; the same bargain holds one level down. A segment
+//! probe costs a sparse-index binary search plus a positioned read of up
+//! to `SPARSE_EVERY` entries — far more than recomputing nothing. A
+//! bloom filter answers "definitely absent" from a few dozen in-memory
+//! bits, so misses skip the file entirely (the way-memoization idea from
+//! Ishihara & Fallah, applied to segment files).
+//!
+//! The filter uses **SplitMix64 double-hashing**: two 64-bit hashes
+//! `h1`, `h2` are derived from the key by folding 8-byte chunks through
+//! the SplitMix64 finalizer, and probe `i` tests bit `h1 + i·h2 mod m`
+//! (Kirsch–Mitzenmacher). Serialization is a fixed little-endian frame —
+//! `[k u32][nbits u64][words u64...]` — checksummed by the segment
+//! footer that embeds it.
+
+/// Cap on the number of probe bits per key, whatever the bits/key knob
+/// says (diminishing returns well before this).
+const MAX_PROBES: u32 = 16;
+
+/// The SplitMix64 output finalizer — the same mixer the fault injector
+/// and the load generator use, reimplemented because this crate is
+/// dependency-free by policy.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The double-hash pair for `key`: two independent 64-bit streams over
+/// the same chunks, seeded differently. `h2` is forced odd so the probe
+/// stride never collapses to zero modulo a power-of-two bit count.
+#[must_use]
+pub fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let mut h1 = 0x517C_C1B7_2722_0A95 ^ key.len() as u64;
+    let mut h2 = 0x2545_F491_4F6C_DD1D ^ (key.len() as u64).rotate_left(32);
+    for chunk in key.chunks(8) {
+        let mut word = [0u8; 8];
+        word[..chunk.len()].copy_from_slice(chunk);
+        let v = u64::from_le_bytes(word);
+        h1 = mix(h1 ^ v);
+        h2 = mix(h2.rotate_left(13) ^ v);
+    }
+    (mix(h1), mix(h2) | 1)
+}
+
+/// A bloom filter over one segment's key set. Immutable once built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bloom {
+    /// Probes per key.
+    k: u32,
+    /// Bit-array length (≥ 64).
+    nbits: u64,
+    /// The bit array, 64 bits per word, little-endian on disk.
+    words: Vec<u64>,
+}
+
+impl Bloom {
+    /// Build a filter sized for `hashes.len()` keys at `bits_per_key`
+    /// bits each (minimum one word), from precomputed [`hash_pair`]s.
+    #[must_use]
+    pub fn from_hashes(hashes: &[(u64, u64)], bits_per_key: u32) -> Bloom {
+        let nbits = (hashes.len() as u64 * u64::from(bits_per_key.max(1))).max(64);
+        // Optimal k ≈ bits/key · ln 2; integer-rounded, clamped sane.
+        let k = ((u64::from(bits_per_key) * 693 + 500) / 1000).clamp(1, u64::from(MAX_PROBES)) as u32;
+        let mut bloom = Bloom { k, nbits, words: vec![0u64; nbits.div_ceil(64) as usize] };
+        for &(h1, h2) in hashes {
+            for i in 0..u64::from(k) {
+                let bit = h1.wrapping_add(i.wrapping_mul(h2)) % bloom.nbits;
+                bloom.words[(bit / 64) as usize] |= 1u64 << (bit % 64);
+            }
+        }
+        bloom
+    }
+
+    /// Build from raw keys (convenience over [`from_hashes`](Self::from_hashes)).
+    #[must_use]
+    pub fn build<'a>(keys: impl Iterator<Item = &'a [u8]>, bits_per_key: u32) -> Bloom {
+        let hashes: Vec<(u64, u64)> = keys.map(hash_pair).collect();
+        Self::from_hashes(&hashes, bits_per_key)
+    }
+
+    /// `false` means the key is definitely not in the segment; `true`
+    /// means "maybe" (the false-positive side of the bargain).
+    #[must_use]
+    pub fn contains(&self, key: &[u8]) -> bool {
+        let (h1, h2) = hash_pair(key);
+        (0..u64::from(self.k)).all(|i| {
+            let bit = h1.wrapping_add(i.wrapping_mul(h2)) % self.nbits;
+            self.words[(bit / 64) as usize] & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Serialized size in bytes (the segment writer's sizing input).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        12 + self.words.len() * 8
+    }
+
+    /// Serialize: `[k u32 LE][nbits u64 LE][words u64 LE ...]`.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.byte_len());
+        out.extend_from_slice(&self.k.to_le_bytes());
+        out.extend_from_slice(&self.nbits.to_le_bytes());
+        for word in &self.words {
+            out.extend_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decode a serialized filter; `None` when the frame is malformed
+    /// (wrong length, zero probes, zero bits).
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8]) -> Option<Bloom> {
+        let k = u32::from_le_bytes(bytes.get(..4)?.try_into().ok()?);
+        let nbits = u64::from_le_bytes(bytes.get(4..12)?.try_into().ok()?);
+        if k == 0 || k > MAX_PROBES || nbits < 64 {
+            return None;
+        }
+        let body = bytes.get(12..)?;
+        let n_words = nbits.div_ceil(64) as usize;
+        if body.len() != n_words * 8 {
+            return None;
+        }
+        let words = body
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Some(Bloom { k, nbits, words })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<Vec<u8>> {
+        (0..n).map(|i| format!("results/table/{i}@scale=16;sci_n={}", i % 57).into_bytes()).collect()
+    }
+
+    #[test]
+    fn no_false_negatives_ever() {
+        let keys = keys(500);
+        let bloom = Bloom::build(keys.iter().map(Vec::as_slice), 10);
+        for k in &keys {
+            assert!(bloom.contains(k), "inserted key must never be rejected");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_in_the_expected_band() {
+        let keys = keys(1000);
+        let bloom = Bloom::build(keys.iter().map(Vec::as_slice), 10);
+        let probes = 10_000usize;
+        let fp = (0..probes)
+            .filter(|i| bloom.contains(format!("absent/{i}/not-a-key").as_bytes()))
+            .count();
+        // Theory says ~0.8% at 10 bits/key; allow a wide band for hash
+        // quality variance, but demand it actually filters.
+        assert!(fp < probes / 20, "fp rate {fp}/{probes} is far above the 10 bits/key band");
+        assert!(
+            (0..probes).any(|i| !bloom.contains(format!("absent/{i}/not-a-key").as_bytes())),
+            "a real filter must reject most absent keys"
+        );
+    }
+
+    #[test]
+    fn roundtrips_through_bytes() {
+        let keys = keys(100);
+        let bloom = Bloom::build(keys.iter().map(Vec::as_slice), 12);
+        let bytes = bloom.to_bytes();
+        assert_eq!(bytes.len(), bloom.byte_len());
+        let back = Bloom::from_bytes(&bytes).expect("roundtrip");
+        assert_eq!(back, bloom);
+        for k in &keys {
+            assert!(back.contains(k));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_frames() {
+        let bloom = Bloom::build(keys(10).iter().map(Vec::as_slice), 8);
+        let bytes = bloom.to_bytes();
+        assert!(Bloom::from_bytes(&bytes[..bytes.len() - 1]).is_none(), "truncated body");
+        assert!(Bloom::from_bytes(&bytes[..8]).is_none(), "truncated header");
+        let mut zero_k = bytes.clone();
+        zero_k[..4].copy_from_slice(&0u32.to_le_bytes());
+        assert!(Bloom::from_bytes(&zero_k).is_none(), "zero probes");
+        assert!(Bloom::from_bytes(&[]).is_none());
+    }
+
+    #[test]
+    fn empty_key_set_rejects_everything() {
+        let bloom = Bloom::build(std::iter::empty(), 10);
+        assert!(!bloom.contains(b"anything"));
+        assert!(!bloom.contains(b""));
+    }
+
+    #[test]
+    fn hash_pair_is_deterministic_and_spread() {
+        assert_eq!(hash_pair(b"key"), hash_pair(b"key"));
+        assert_ne!(hash_pair(b"key").0, hash_pair(b"kez").0);
+        assert_ne!(hash_pair(b"a"), hash_pair(b"aa"), "length must matter");
+        assert_eq!(hash_pair(b"x").1 % 2, 1, "stride must be odd");
+    }
+}

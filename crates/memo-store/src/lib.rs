@@ -19,12 +19,21 @@
 //! * [`memtable`] — the mutable in-memory tier (a sorted map with byte
 //!   accounting), populated by writes and by WAL recovery.
 //! * [`segment`] — immutable sorted segment files flushed from the
-//!   memtable, each carrying a sparse in-memory index and whole-region
-//!   checksums. Lookups consult the memtable first, then segments newest
-//!   to oldest (the same "probe the table before the unit" protocol).
+//!   memtable, each carrying a sparse in-memory index, whole-region
+//!   checksums, and a persisted [`bloom`] filter so lookups skip files
+//!   that definitely lack the key. Lookups consult the active memtable
+//!   first, then frozen (flushing) memtables, then segments newest to
+//!   oldest (the same "probe the table before the unit" protocol).
+//! * flush and compaction run on a dedicated background thread: a full
+//!   memtable is frozen and handed over a bounded queue (backpressure
+//!   when too many freezes are pending), so puts never wait for segment
+//!   I/O; [`Store::flush`]/[`Store::compact`] remain synchronous
+//!   barriers, and dropping the store drains the queue.
 //! * compaction (explicit [`Store::compact`] or automatic once the
 //!   segment count passes a threshold) merges all segments into one,
 //!   reclaiming superseded keys and dropping tombstones.
+//! * [`block_cache`] — the seam through which callers plug a checksummed
+//!   in-memory cache of segment spans under the read path.
 //! * [`vfs`] — the virtual filesystem every byte of store I/O goes
 //!   through: [`RealVfs`] in production, [`FaultVfs`] (deterministic
 //!   seeded fault injection — errors, ENOSPC, short writes, latency)
@@ -43,6 +52,8 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod block_cache;
+pub mod bloom;
 pub mod codec;
 pub mod memtable;
 pub mod retry;
@@ -51,6 +62,8 @@ pub mod store;
 pub mod vfs;
 pub mod wal;
 
+pub use block_cache::{BlockCache, CachedBlock};
+pub use bloom::Bloom;
 pub use codec::{CodecError, ResultBlob};
 pub use retry::RetryPolicy;
 pub use store::{Store, StoreConfig, StoreStats};
@@ -61,24 +74,50 @@ use std::io;
 use std::path::PathBuf;
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), the checksum
-/// guarding WAL records and segment regions. Table-driven, no deps.
+/// guarding WAL records and segment regions. Slicing-by-8: eight lookup
+/// tables consume the input a u64 at a time, which matters because this
+/// runs on every WAL append, every segment span read, and every block
+/// cache fill (hits trust the stored CRC until a parse fails). No deps.
 #[must_use]
 pub fn crc32(bytes: &[u8]) -> u32 {
-    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
-    let table = TABLE.get_or_init(|| {
-        let mut table = [0u32; 256];
-        for (i, slot) in table.iter_mut().enumerate() {
+    static TABLES: std::sync::OnceLock<[[u32; 256]; 8]> = std::sync::OnceLock::new();
+    let tables = TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 8];
+        for (i, slot) in tables[0].iter_mut().enumerate() {
             let mut crc = i as u32;
             for _ in 0..8 {
                 crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
             }
             *slot = crc;
         }
-        table
+        // tables[k][b] = the CRC of byte b followed by k zero bytes, so
+        // eight table hits fold eight input bytes at once.
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..256 {
+            let mut crc = tables[0][i];
+            for k in 1..8 {
+                crc = (crc >> 8) ^ tables[0][(crc & 0xFF) as usize];
+                tables[k][i] = crc;
+            }
+        }
+        tables
     });
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc = (crc >> 8) ^ table[((crc ^ u32::from(b)) & 0xFF) as usize];
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in chunks.by_ref() {
+        let lo = u32::from_le_bytes(chunk[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(chunk[4..8].try_into().expect("4 bytes"));
+        crc = tables[7][(lo & 0xFF) as usize]
+            ^ tables[6][((lo >> 8) & 0xFF) as usize]
+            ^ tables[5][((lo >> 16) & 0xFF) as usize]
+            ^ tables[4][(lo >> 24) as usize]
+            ^ tables[3][(hi & 0xFF) as usize]
+            ^ tables[2][((hi >> 8) & 0xFF) as usize]
+            ^ tables[1][((hi >> 16) & 0xFF) as usize]
+            ^ tables[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ tables[0][((crc ^ u32::from(b)) & 0xFF) as usize];
     }
     !crc
 }
@@ -154,6 +193,26 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_ne!(crc32(b"a"), crc32(b"b"));
+    }
+
+    #[test]
+    fn crc32_sliced_path_matches_the_bytewise_definition() {
+        // Lengths straddling the 8-byte fold boundary, bytes that
+        // exercise every table row over enough input.
+        let data: Vec<u8> = (0..4096u32).map(|i| (i.wrapping_mul(167) >> 3) as u8).collect();
+        let bytewise = |bytes: &[u8]| -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in bytes {
+                crc ^= u32::from(b);
+                for _ in 0..8 {
+                    crc = if crc & 1 == 1 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+                }
+            }
+            !crc
+        };
+        for len in [0, 1, 7, 8, 9, 15, 16, 63, 64, 100, 4096] {
+            assert_eq!(crc32(&data[..len]), bytewise(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

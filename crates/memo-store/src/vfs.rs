@@ -128,6 +128,18 @@ pub trait Vfs: Send + Sync + std::fmt::Debug {
     ///
     /// Underlying I/O failures.
     fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Flush the *directory entry* at `path` to stable storage.
+    ///
+    /// A rename is only crash-durable once the parent directory's entry
+    /// list is on disk; fsyncing the file alone leaves the publish
+    /// vulnerable to vanishing with the dir cache. Counted as an `Fsync`
+    /// class operation by the fault injector.
+    ///
+    /// # Errors
+    ///
+    /// Underlying (or injected) sync failures.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
 }
 
 // ---------------------------------------------------------------------------
@@ -201,6 +213,10 @@ impl Vfs for RealVfs {
 
     fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
         std::fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        File::open(path)?.sync_all()
     }
 }
 
@@ -611,6 +627,19 @@ impl Vfs for FaultVfs {
 
     fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
         self.inner.list_dir(path)
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Durability-point class, same as file fsync: a dir sync that
+        // fails means the rename it covers may not survive a crash.
+        let decision = self.shared.decide(FaultOp::Fsync);
+        if let Some(delay) = decision.delay {
+            std::thread::sleep(delay);
+        }
+        match decision.fault {
+            Some(kind) => Err(injected_err(FaultOp::Fsync, kind)),
+            None => self.inner.sync_dir(path),
+        }
     }
 }
 

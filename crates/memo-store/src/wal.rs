@@ -162,6 +162,12 @@ pub struct Wal {
     file: Box<dyn VfsFile>,
     path: PathBuf,
     fsync: bool,
+    /// Length of the committed (acknowledged) prefix. A failed append or
+    /// fsync rolls the file back to this point so an unacknowledged
+    /// record never survives — the freeze/rename handoff to the
+    /// background flusher relies on frozen logs holding only
+    /// acknowledged records.
+    committed: u64,
 }
 
 impl std::fmt::Debug for Wal {
@@ -192,7 +198,8 @@ impl Wal {
         // committed end, where fresh appends belong).
         file.truncate(recovery.committed_bytes)
             .map_err(|e| StoreError::io("truncate damaged wal tail", e))?;
-        let wal = Wal { file, path: path.to_path_buf(), fsync };
+        let committed = recovery.committed_bytes;
+        let wal = Wal { file, path: path.to_path_buf(), fsync, committed };
         Ok((wal, recovery))
     }
 
@@ -200,16 +207,23 @@ impl Wal {
     ///
     /// # Errors
     ///
-    /// [`StoreError::Io`] on write or sync failure; the caller must treat
-    /// the operation as not committed.
+    /// [`StoreError::Io`] on write or sync failure. The operation is not
+    /// committed, and the log is rolled back (best-effort truncate —
+    /// never fault-injected) to the committed prefix so the torn or
+    /// unsynced record cannot leak into a frozen log later.
     pub fn append(&mut self, op: &WalOp) -> Result<usize, StoreError> {
         let rec = encode_record(op);
-        self.file
-            .append(&rec)
-            .map_err(|e| StoreError::io(format!("append wal {}", self.path.display()), e))?;
-        if self.fsync {
-            self.file.sync().map_err(|e| StoreError::io("fsync wal", e))?;
+        if let Err(e) = self.file.append(&rec) {
+            let _ = self.file.truncate(self.committed);
+            return Err(StoreError::io(format!("append wal {}", self.path.display()), e));
         }
+        if self.fsync {
+            if let Err(e) = self.file.sync() {
+                let _ = self.file.truncate(self.committed);
+                return Err(StoreError::io("fsync wal", e));
+            }
+        }
+        self.committed += rec.len() as u64;
         Ok(rec.len())
     }
 
@@ -221,6 +235,7 @@ impl Wal {
     /// [`StoreError::Io`] on truncate/sync failure.
     pub fn reset(&mut self) -> Result<(), StoreError> {
         self.file.truncate(0).map_err(|e| StoreError::io("truncate wal", e))?;
+        self.committed = 0;
         if self.fsync {
             self.file.sync().map_err(|e| StoreError::io("fsync wal", e))?;
         }
@@ -300,6 +315,40 @@ mod tests {
         assert_eq!(rec.ops.len(), 3);
         assert!(!rec.tail_damaged);
 
+        wal_cleanup(&dir);
+    }
+
+    #[test]
+    fn failed_appends_roll_back_to_the_committed_prefix() {
+        use crate::vfs::{FaultConfig, FaultKind, FaultOp, FaultVfs, ScheduledFault};
+        let dir = std::env::temp_dir().join(format!("memo-wal-rollback-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+        let vfs = FaultVfs::new(FaultConfig {
+            scheduled: vec![
+                ScheduledFault { op: FaultOp::Write, nth: 2, kind: FaultKind::ShortWrite },
+                ScheduledFault { op: FaultOp::Fsync, nth: 2, kind: FaultKind::Error },
+            ],
+            ..FaultConfig::quiet(21)
+        });
+        let (mut wal, _) = Wal::open(&vfs, &path, true).unwrap();
+        let ops = ops();
+        wal.append(&ops[0]).unwrap();
+        // Short write: a prefix lands, then the call fails — the log must
+        // snap back to exactly one committed record, immediately.
+        assert!(wal.append(&ops[1]).is_err());
+        assert_eq!(scan(&std::fs::read(&path).unwrap()).ops, ops[..1]);
+        // Fsync failure: the bytes landed but were never made durable —
+        // the unacknowledged record must be rolled back too.
+        assert!(wal.append(&ops[2]).is_err());
+        assert_eq!(scan(&std::fs::read(&path).unwrap()).ops, ops[..1]);
+        // The log keeps accepting appends afterwards.
+        wal.append(&ops[2]).unwrap();
+        drop(wal);
+        let rec = scan(&std::fs::read(&path).unwrap());
+        assert_eq!(rec.ops, vec![ops[0].clone(), ops[2].clone()]);
+        assert!(!rec.tail_damaged);
         wal_cleanup(&dir);
     }
 

@@ -187,8 +187,12 @@ fn every_byte_truncation_recovers_identically_through_fault_vfs() {
 fn short_write_at_every_append_recovers_the_acknowledged_prefix() {
     let ops = synthetic_ops();
     // Large memtable + no fsync: the only Write-class ops are WAL appends.
-    let config =
-        StoreConfig { memtable_max_bytes: usize::MAX, fsync: false, compact_at_segments: 100 };
+    let config = StoreConfig {
+        memtable_max_bytes: usize::MAX,
+        fsync: false,
+        compact_at_segments: 100,
+        ..StoreConfig::default()
+    };
     for k in 0..ops.len() {
         let dir = tmp_dir("short-write");
         std::fs::create_dir_all(&dir).unwrap();
@@ -242,8 +246,12 @@ fn short_write_at_every_append_recovers_the_acknowledged_prefix() {
 #[test]
 fn fsync_failure_then_crash_never_resurrects_the_unacknowledged_put() {
     let keys: Vec<String> = (0..5).map(|i| format!("key-{i}")).collect();
-    let config =
-        StoreConfig { memtable_max_bytes: usize::MAX, fsync: true, compact_at_segments: 100 };
+    let config = StoreConfig {
+        memtable_max_bytes: usize::MAX,
+        fsync: true,
+        compact_at_segments: 100,
+        ..StoreConfig::default()
+    };
     for k in 0..keys.len() {
         let dir = tmp_dir("fsync-crash");
         std::fs::create_dir_all(&dir).unwrap();
@@ -283,6 +291,201 @@ fn fsync_failure_then_crash_never_resurrects_the_unacknowledged_put() {
                 store.get(key.as_bytes()).unwrap(),
                 expect,
                 "put {k}: key {i} — unacknowledged writes must stay dead"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// An injected `ENOSPC` or short write during the *background* flush
+/// must leave the store readable (the frozen tier still serves),
+/// retryable (the flusher's next attempt succeeds), and eventually
+/// consistent after a crash — no lost committed writes, no visible
+/// half-segment.
+#[test]
+fn background_flush_fault_leaves_the_store_readable_and_retryable() {
+    for kind in [FaultKind::Enospc, FaultKind::ShortWrite] {
+        let dir = tmp_dir("bg-flush-fault");
+        std::fs::create_dir_all(&dir).unwrap();
+        let n = 20u32;
+        // fsync off + huge watermark: the only Write-class ops before the
+        // explicit flush are the n WAL appends, so the (n+1)-th write is
+        // the background segment append.
+        let config = StoreConfig {
+            memtable_max_bytes: usize::MAX,
+            fsync: false,
+            compact_at_segments: 100,
+            ..StoreConfig::default()
+        };
+        let vfs = Arc::new(FaultVfs::new(FaultConfig {
+            scheduled: vec![ScheduledFault { op: FaultOp::Write, nth: u64::from(n) + 1, kind }],
+            ..FaultConfig::quiet(42)
+        }));
+        let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+        for i in 0..n {
+            store.put(format!("k{i:02}").as_bytes(), &[i as u8; 32]).unwrap();
+        }
+        // The barrier surfaces the first background failure...
+        assert!(store.flush().is_err(), "{kind:?}: the faulted flush must surface");
+        // ...but everything committed stays readable from the frozen tier...
+        for i in 0..n {
+            assert_eq!(
+                store.get(format!("k{i:02}").as_bytes()).unwrap(),
+                Some(vec![i as u8; 32]),
+                "{kind:?}: reads must not notice the failed flush"
+            );
+        }
+        // ...and the flusher's retry (nothing else scheduled) drains it.
+        store.flush().unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.flush_queue_depth, 0, "{kind:?}: queue drained after retry");
+        assert!(stats.flush_failures >= 1, "{kind:?}: the failure was counted");
+        drop(store);
+        let store = Store::open(&dir, config).unwrap();
+        for i in 0..n {
+            assert_eq!(
+                store.get(format!("k{i:02}").as_bytes()).unwrap(),
+                Some(vec![i as u8; 32]),
+                "{kind:?}: consistent after reopen"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// When the queue cannot drain at all (every segment write fails) and
+/// the process dies, the frozen WAL is the durability anchor: the next
+/// open turns it into the segment the flusher could not write.
+#[test]
+fn crash_with_unflushable_queue_recovers_from_the_frozen_wal() {
+    let dir = tmp_dir("bg-flush-crash");
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 10u32;
+    let config = StoreConfig {
+        memtable_max_bytes: usize::MAX,
+        fsync: false,
+        compact_at_segments: 100,
+        ..StoreConfig::default()
+    };
+    // Fail every segment-append attempt, retries and the drop-time drain
+    // included, so the frozen log must survive the crash.
+    let scheduled: Vec<ScheduledFault> = (0..50)
+        .map(|i| ScheduledFault {
+            op: FaultOp::Write,
+            nth: u64::from(n) + 1 + i,
+            kind: FaultKind::Error,
+        })
+        .collect();
+    let vfs =
+        Arc::new(FaultVfs::new(FaultConfig { scheduled, ..FaultConfig::quiet(7) }));
+    let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+    for i in 0..n {
+        store.put(format!("k{i:02}").as_bytes(), &[i as u8; 32]).unwrap();
+    }
+    assert!(store.flush().is_err(), "an undrainable queue must surface at the barrier");
+    for i in 0..n {
+        assert_eq!(
+            store.get(format!("k{i:02}").as_bytes()).unwrap(),
+            Some(vec![i as u8; 32]),
+            "reads keep working while the flusher retries"
+        );
+    }
+    drop(store); // crash: the drain attempt fails too
+    assert!(
+        dir.join("wal-00000000.log").exists(),
+        "the frozen log must survive an unflushable crash"
+    );
+    let store = Store::open(&dir, config).unwrap();
+    assert_eq!(store.stats().recovered_ops, u64::from(n), "every committed op recovers");
+    assert!(dir.join("seg-00000000.seg").exists(), "recovery finished the flush");
+    for i in 0..n {
+        assert_eq!(store.get(format!("k{i:02}").as_bytes()).unwrap(), Some(vec![i as u8; 32]));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The publish ordering satellite: the segment's rename lands but the
+/// *directory* fsync fails, so the dir entry is not durable. The publish
+/// must be withdrawn (no half-published segment) and the retry must
+/// succeed.
+#[test]
+fn directory_fsync_failure_during_publish_withdraws_and_retries() {
+    let dir = tmp_dir("dirsync");
+    std::fs::create_dir_all(&dir).unwrap();
+    let n = 8u32;
+    let config = StoreConfig {
+        memtable_max_bytes: usize::MAX,
+        fsync: true,
+        compact_at_segments: 100,
+        ..StoreConfig::default()
+    };
+    // Fsync ordinals: 1..=n are WAL appends, n+1 is the segment file,
+    // n+2 is the directory sync that makes the rename durable.
+    let vfs = Arc::new(FaultVfs::new(FaultConfig {
+        scheduled: vec![ScheduledFault {
+            op: FaultOp::Fsync,
+            nth: u64::from(n) + 2,
+            kind: FaultKind::Error,
+        }],
+        ..FaultConfig::quiet(1998)
+    }));
+    let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+    for i in 0..n {
+        store.put(format!("k{i:02}").as_bytes(), &[i as u8; 32]).unwrap();
+    }
+    assert!(store.flush().is_err(), "the dir-fsync failure must surface at the barrier");
+    for i in 0..n {
+        assert_eq!(store.get(format!("k{i:02}").as_bytes()).unwrap(), Some(vec![i as u8; 32]));
+    }
+    store.flush().unwrap(); // retry publishes cleanly
+    drop(store);
+    let store = Store::open(&dir, config).unwrap();
+    assert_eq!(store.stats().recovered_ops, 0, "the retried publish superseded the frozen log");
+    for i in 0..n {
+        assert_eq!(store.get(format!("k{i:02}").as_bytes()).unwrap(), Some(vec![i as u8; 32]));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The concurrent-orderings sweep: with the flush thread racing the
+/// writer, inject one Write-class fault at *every* ordinal in turn and
+/// crash. Whichever operation it lands on — a WAL append, a background
+/// segment append, a compaction merge — the invariant holds: every
+/// acknowledged put is present after reopen.
+#[test]
+fn every_write_ordinal_fault_under_concurrent_flushes_keeps_acked_puts() {
+    for nth in 1..=40u64 {
+        let dir = tmp_dir("ordinal-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let config = StoreConfig {
+            memtable_max_bytes: 192,
+            fsync: false,
+            compact_at_segments: 3,
+            max_immutables: 2,
+            bloom_bits_per_key: 10,
+        };
+        let vfs = Arc::new(FaultVfs::new(FaultConfig {
+            scheduled: vec![ScheduledFault {
+                op: FaultOp::Write,
+                nth,
+                kind: FaultKind::ShortWrite,
+            }],
+            ..FaultConfig::quiet(nth)
+        }));
+        let store = Store::open_with_vfs(&dir, config.clone(), vfs).unwrap();
+        let mut acked: Vec<u32> = Vec::new();
+        for i in 0..30u32 {
+            if store.put(format!("k{i:02}").as_bytes(), &[i as u8; 24]).is_ok() {
+                acked.push(i);
+            }
+        }
+        drop(store); // crash (drains what it can)
+        let store = Store::open(&dir, config).unwrap();
+        for i in acked {
+            assert_eq!(
+                store.get(format!("k{i:02}").as_bytes()).unwrap(),
+                Some(vec![i as u8; 24]),
+                "fault at write #{nth}: acked put k{i:02} must survive the crash"
             );
         }
         let _ = std::fs::remove_dir_all(&dir);
