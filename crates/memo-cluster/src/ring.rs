@@ -1,0 +1,167 @@
+//! The consistent-hash ring: 160 vnodes per node on a `u64` circle.
+//!
+//! Every node contributes [`VNODES_PER_NODE`] pseudo-random points
+//! (vnodes) to the circle; a key is owned by the first `rf` *distinct*
+//! nodes found walking clockwise from the key's own position. Many
+//! vnodes per node keep the per-node share of the key space close to
+//! uniform, and — the property the cluster leans on — when a node drops
+//! out, only the keys it owned move: every other key's walk is
+//! unchanged, so a failover never reshuffles the whole fleet, exactly
+//! like one broken bank in the paper's memo unit idles without
+//! disturbing the other banks' contents.
+//!
+//! The ring itself is built once over the *configured* fleet and never
+//! rebuilt; liveness is a filter applied during the walk (see
+//! [`Ring::owners`]). That keeps placement stable across a node's
+//! down/up bounce — its keys come straight back — and makes "swap the
+//! routing table" a health-vector swap, not a ring rebuild.
+
+/// Vnodes each node contributes to the circle.
+pub const VNODES_PER_NODE: usize = 160;
+
+/// FNV-1a over `bytes`, then a SplitMix64-style finalizer. FNV alone
+/// clusters badly for short, similar strings (`node-1#0`, `node-1#1`…);
+/// the finalizer's avalanche spreads them over the whole circle.
+#[must_use]
+pub fn hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// The circle: vnode positions, each tagged with its node's index.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    /// `(position, node index)`, sorted by position.
+    points: Vec<(u64, u16)>,
+    nodes: usize,
+}
+
+impl Ring {
+    /// Build the circle over `node_names`. Names must be distinct —
+    /// they seed the vnode positions, so two nodes sharing a name would
+    /// stack their vnodes on identical points.
+    #[must_use]
+    pub fn build(node_names: &[String]) -> Ring {
+        let mut points = Vec::with_capacity(node_names.len() * VNODES_PER_NODE);
+        for (idx, name) in node_names.iter().enumerate() {
+            let idx = u16::try_from(idx).expect("fleet fits u16");
+            for v in 0..VNODES_PER_NODE {
+                points.push((hash(format!("{name}#{v}").as_bytes()), idx));
+            }
+        }
+        points.sort_unstable();
+        Ring { points, nodes: node_names.len() }
+    }
+
+    /// Nodes the ring was built over.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The first `rf` distinct routable nodes clockwise from `key`'s
+    /// position — primary first. Nodes for which `routable` returns
+    /// false are skipped, which is how a dead node's vnodes fail over:
+    /// the walk simply lands on the next live node, and every key whose
+    /// walk never met the dead node keeps its owners unchanged.
+    ///
+    /// Returns fewer than `rf` owners (possibly none) when the routable
+    /// fleet is smaller than `rf`.
+    #[must_use]
+    pub fn owners(&self, key: &str, rf: usize, routable: impl Fn(usize) -> bool) -> Vec<usize> {
+        if self.points.is_empty() || rf == 0 {
+            return Vec::new();
+        }
+        let want = rf.min(self.nodes);
+        let pos = hash(key.as_bytes());
+        let start = self.points.partition_point(|&(p, _)| p < pos) % self.points.len();
+        let mut owners = Vec::with_capacity(want);
+        for i in 0..self.points.len() {
+            let node = usize::from(self.points[(start + i) % self.points.len()].1);
+            if routable(node) && !owners.contains(&node) {
+                owners.push(node);
+                if owners.len() == want {
+                    break;
+                }
+            }
+        }
+        owners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node-{i}")).collect()
+    }
+
+    fn all(_: usize) -> bool {
+        true
+    }
+
+    #[test]
+    fn owners_are_distinct_deterministic_and_clamped() {
+        let ring = Ring::build(&names(3));
+        let a = ring.owners("table/1@scale=16;sci_n=16", 2, all);
+        let b = ring.owners("table/1@scale=16;sci_n=16", 2, all);
+        assert_eq!(a, b, "placement is a pure function of the key");
+        assert_eq!(a.len(), 2);
+        assert_ne!(a[0], a[1], "replicas land on distinct nodes");
+        // rf beyond the fleet clamps to the fleet.
+        assert_eq!(ring.owners("anything", 9, all).len(), 3);
+        assert_eq!(ring.owners("anything", 0, all), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn load_spreads_close_to_uniform() {
+        let ring = Ring::build(&names(3));
+        let mut counts = [0u32; 3];
+        for i in 0..9000 {
+            counts[ring.owners(&format!("key-{i}"), 1, all)[0]] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            // Perfect balance is 3000; 160 vnodes keeps skew well inside
+            // ±40%.
+            assert!((1800..=4200).contains(&c), "node {node} owns {c} of 9000 keys");
+        }
+    }
+
+    #[test]
+    fn losing_a_node_only_remaps_its_own_keys() {
+        let ring = Ring::build(&names(4));
+        let keys: Vec<String> = (0..2000).map(|i| format!("figure/{i}@scale=8;sci_n=16")).collect();
+        let dead = 2usize;
+        let mut moved = 0;
+        for key in &keys {
+            let before = ring.owners(key, 2, all);
+            let after = ring.owners(key, 2, |n| n != dead);
+            if before[0] == dead {
+                moved += 1;
+                // The old secondary is exactly the new primary: clients
+                // that fell over mid-outage were already talking to it.
+                assert_eq!(after[0], before[1], "failover target is the old replica for {key}");
+            } else {
+                assert_eq!(after[0], before[0], "unrelated key {key} must not move");
+            }
+        }
+        // The dead node owned roughly a quarter of the keys — and only
+        // those moved.
+        assert!((250..=750).contains(&moved), "{moved} of 2000 keys moved");
+    }
+
+    #[test]
+    fn no_routable_nodes_means_no_owners() {
+        let ring = Ring::build(&names(3));
+        assert!(ring.owners("k", 2, |_| false).is_empty());
+    }
+}

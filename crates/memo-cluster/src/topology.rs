@@ -1,0 +1,196 @@
+//! The fleet and its atomically-swapped routing table.
+//!
+//! A [`Topology`] owns the configured node set (fixed for the process
+//! lifetime), the consistent-hash [`Ring`] built over it once, and the
+//! current [`Snapshot`] — a health vector plus a generation counter —
+//! behind an `RwLock<Arc<…>>`. Requests clone the `Arc` out and route
+//! against that snapshot for their whole lifetime; the health prober
+//! swaps in a new `Arc` when anything changes. In-flight requests keep
+//! the table they started with, new requests see the new one, nobody
+//! blocks on anybody: the swap is the whole synchronization story.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::ring::Ring;
+
+/// One configured backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Node {
+    /// Identity — what the node stamps into `x-memo-node`, and what
+    /// seeds its vnode positions.
+    pub name: String,
+    /// `host:port` of the node's memo-serve listener.
+    pub addr: String,
+}
+
+/// What the last `/healthz` probe said about a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Health {
+    /// Probe answered `ok`.
+    Up,
+    /// Probe answered `degraded:*` — the node serves, but a tier is out
+    /// (e.g. memo-serve's disk breaker is open). Ejected from routing
+    /// while any node is fully up; used as a last resort otherwise.
+    Degraded,
+    /// Probe failed: connect error, timeout, non-200, or `draining`.
+    Down,
+}
+
+/// One atomically-published routing table.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// Monotonic table version; bumped on every publish. Surfaced to
+    /// clients as `x-memo-ring-gen`, so a change observed mid-run is a
+    /// rebalance event.
+    pub generation: u64,
+    /// Health by node index.
+    pub health: Vec<Health>,
+}
+
+impl Snapshot {
+    /// Whether `node` accepts routed traffic under this table: `Up`
+    /// nodes always; `Degraded` nodes only when no node is `Up` —
+    /// serving memory→compute everywhere beats serving nothing.
+    #[must_use]
+    pub fn routable(&self, node: usize) -> bool {
+        match self.health[node] {
+            Health::Up => true,
+            Health::Degraded => !self.health.contains(&Health::Up),
+            Health::Down => false,
+        }
+    }
+
+    /// Nodes currently reported `Up`.
+    #[must_use]
+    pub fn up_count(&self) -> usize {
+        self.health.iter().filter(|h| **h == Health::Up).count()
+    }
+}
+
+/// The fleet, its ring, and the current routing table.
+pub struct Topology {
+    nodes: Vec<Node>,
+    ring: Ring,
+    current: RwLock<Arc<Snapshot>>,
+    generation: AtomicU64,
+}
+
+impl Topology {
+    /// A topology over `nodes`, all initially `Up` (generation 1). The
+    /// prober corrects optimism within one probe interval; starting
+    /// `Up` means a router boots routing instead of 503ing until the
+    /// first sweep completes.
+    #[must_use]
+    pub fn new(nodes: Vec<Node>) -> Self {
+        let ring = Ring::build(&nodes.iter().map(|n| n.name.clone()).collect::<Vec<_>>());
+        let health = vec![Health::Up; nodes.len()];
+        Topology {
+            nodes,
+            ring,
+            current: RwLock::new(Arc::new(Snapshot { generation: 1, health })),
+            generation: AtomicU64::new(1),
+        }
+    }
+
+    /// The configured fleet, in index order.
+    #[must_use]
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// The current routing table.
+    ///
+    /// # Panics
+    ///
+    /// If the lock is poisoned (a publisher panicked).
+    #[must_use]
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("topology lock"))
+    }
+
+    /// Publish a new health vector. No-op (and `false`) when nothing
+    /// changed; otherwise swaps in a new snapshot with a bumped
+    /// generation and returns `true`.
+    ///
+    /// # Panics
+    ///
+    /// If `health.len()` differs from the fleet size, or the lock is
+    /// poisoned.
+    pub fn publish(&self, health: Vec<Health>) -> bool {
+        assert_eq!(health.len(), self.nodes.len(), "health vector matches fleet");
+        let mut current = self.current.write().expect("topology lock");
+        if current.health == health {
+            return false;
+        }
+        let generation = self.generation.fetch_add(1, Ordering::SeqCst) + 1;
+        *current = Arc::new(Snapshot { generation, health });
+        true
+    }
+
+    /// The first `rf` distinct routable owners for `key` under
+    /// `snapshot`, primary first.
+    #[must_use]
+    pub fn owners(&self, snapshot: &Snapshot, key: &str, rf: usize) -> Vec<usize> {
+        self.ring.owners(key, rf, |n| snapshot.routable(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(n: usize) -> Vec<Node> {
+        (0..n)
+            .map(|i| Node { name: format!("n{i}"), addr: format!("127.0.0.1:{}", 7071 + i) })
+            .collect()
+    }
+
+    #[test]
+    fn publish_swaps_only_on_change_and_bumps_generation() {
+        let topo = Topology::new(fleet(3));
+        let first = topo.snapshot();
+        assert_eq!(first.generation, 1);
+        assert!(!topo.publish(vec![Health::Up; 3]), "identical vector is a no-op");
+        assert_eq!(topo.snapshot().generation, 1);
+
+        assert!(topo.publish(vec![Health::Up, Health::Down, Health::Up]));
+        let second = topo.snapshot();
+        assert_eq!(second.generation, 2);
+        // The old Arc is untouched — in-flight requests still hold a
+        // fully consistent table.
+        assert_eq!(first.health, vec![Health::Up; 3]);
+    }
+
+    #[test]
+    fn down_nodes_leave_routing_and_owners_follow() {
+        let topo = Topology::new(fleet(3));
+        let before = topo.owners(&topo.snapshot(), "table/7@scale=16;sci_n=16", 2);
+        assert_eq!(before.len(), 2);
+
+        let mut health = vec![Health::Up; 3];
+        health[before[0]] = Health::Down;
+        topo.publish(health);
+        let after = topo.owners(&topo.snapshot(), "table/7@scale=16;sci_n=16", 2);
+        assert_eq!(after[0], before[1], "old replica takes over as primary");
+        assert!(!after.contains(&before[0]));
+    }
+
+    #[test]
+    fn degraded_nodes_are_a_last_resort() {
+        let topo = Topology::new(fleet(2));
+        topo.publish(vec![Health::Up, Health::Degraded]);
+        let snap = topo.snapshot();
+        // One node fully up: the degraded one is ejected.
+        assert!(snap.routable(0) && !snap.routable(1));
+
+        topo.publish(vec![Health::Down, Health::Degraded]);
+        let snap = topo.snapshot();
+        // Nothing is up: degraded serving beats no serving.
+        assert!(!snap.routable(0) && snap.routable(1));
+        assert_eq!(topo.owners(&snap, "k", 2), vec![1]);
+
+        topo.publish(vec![Health::Down, Health::Down]);
+        assert!(topo.owners(&topo.snapshot(), "k", 2).is_empty());
+    }
+}

@@ -31,11 +31,6 @@ use crate::env;
 /// The key under which the format marker lives.
 const FORMAT_KEY: &[u8] = b"meta/format";
 
-/// Segment spans the block cache holds by default (one span ≈ one
-/// sparse-index stride of entries). Overridden by
-/// `MEMO_STORE_BLOCK_CACHE_CAP`; 0 disables the cache.
-const DEFAULT_BLOCK_CACHE_SPANS: usize = 256;
-
 /// memo-store's [`BlockCache`] backed by this crate's [`ShardedLru`]:
 /// hot segment spans served from memory under LRU eviction. The store's
 /// reader re-verifies each span's CRC at every hit, so a corrupted cache
@@ -116,8 +111,7 @@ pub fn open_guarded(dir: &Path, config: StoreConfig) -> Result<Arc<Store>, Store
         }
         Err(e) => return Err(e),
     };
-    let cache_spans =
-        env::usize_var("MEMO_STORE_BLOCK_CACHE_CAP").unwrap_or(DEFAULT_BLOCK_CACHE_SPANS);
+    let cache_spans = env::store_block_cache_spans();
     if cache_spans > 0 {
         store.attach_block_cache(Arc::new(LruBlockCache::new(cache_spans)));
     }

@@ -14,8 +14,9 @@ use std::time::Duration;
 use memo_experiments::cli;
 use memo_serve::load::{self, LoadConfig, Mode};
 
-const FLAGS: [(&str, &str); 9] = [
+const FLAGS: [(&str, &str); 10] = [
     ("--addr=", "server address (default 127.0.0.1:7070)"),
+    ("--cluster", "target is a memo-router: per-node stats, rebalance/failover/read-repair counters"),
     ("--connections=", "concurrent connections (default 32)"),
     ("--duration-s=", "run length in seconds (default 15)"),
     ("--mode=", "closed (default) or open"),
@@ -40,6 +41,7 @@ fn main() {
     if let Some(addr) = value_of("--addr=") {
         config.addr = addr;
     }
+    config.cluster = std::env::args().any(|a| a == "--cluster");
     if let Some(v) = value_of("--connections=").and_then(|v| v.parse::<usize>().ok()) {
         config.connections = v.max(1);
     }

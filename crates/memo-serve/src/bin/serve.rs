@@ -6,7 +6,7 @@ use std::time::Duration;
 use memo_experiments::cli;
 use memo_serve::server::{self, ServerConfig};
 
-const FLAGS: [(&str, &str); 7] = [
+const FLAGS: [(&str, &str); 8] = [
     ("--addr=", "bind address (default 127.0.0.1:7070; port 0 = ephemeral)"),
     ("--workers=", "worker threads (default: MEMO_JOBS or all cores)"),
     ("--queue-cap=", "queued connections before shedding 503 (default 128)"),
@@ -14,6 +14,7 @@ const FLAGS: [(&str, &str); 7] = [
     ("--read-timeout-ms=", "per-connection read timeout (default 10000)"),
     ("--write-timeout-ms=", "per-connection write timeout (default 10000)"),
     ("--store-dir=", "persist results and traces here; serve them across restarts"),
+    ("--node-id=", "cluster identity stamped on responses as x-memo-node"),
 ];
 
 fn value_of(prefix: &str) -> Option<String> {
@@ -51,6 +52,9 @@ fn main() {
     }
     if let Some(dir) = value_of("--store-dir=") {
         config.store_dir = Some(dir.into());
+    }
+    if let Some(id) = value_of("--node-id=").filter(|id| !id.is_empty()) {
+        config.node_id = Some(id);
     }
 
     match server::start(&config) {

@@ -66,6 +66,10 @@ impl std::error::Error for HttpError {}
 pub struct Request {
     /// Uppercase method token as sent (`GET`, `HEAD`, …).
     pub method: String,
+    /// The request target exactly as the client sent it (undecoded path
+    /// plus query). The router tier forwards this verbatim so a proxied
+    /// request reaches the backend byte-for-byte.
+    pub raw_target: String,
     /// Percent-decoded path (`/v1/table/5`).
     pub path: String,
     /// Decoded query parameters in request order.
@@ -228,6 +232,7 @@ pub fn parse_request(buf: &[u8]) -> Result<Option<(Request, usize)>, HttpError> 
     Ok(Some((
         Request {
             method: method.to_string(),
+            raw_target: target.to_string(),
             path: percent_decode(raw_path, false),
             query: parse_query(raw_query),
             headers,
@@ -286,6 +291,7 @@ impl Response {
             413 => "Payload Too Large",
             431 => "Request Header Fields Too Large",
             500 => "Internal Server Error",
+            502 => "Bad Gateway",
             503 => "Service Unavailable",
             _ => "Response",
         }
@@ -330,6 +336,94 @@ impl Response {
         };
         Response::text(status, format!("{err}\n"))
     }
+}
+
+/// One response read off the wire by a client (the load generator, the
+/// router's backend proxy).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers with lowercased names, in response order.
+    pub headers: Vec<(String, String)>,
+    /// The full body (`content-length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First header value for lowercase `name`.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the server will keep the connection open after this
+    /// exchange (HTTP/1.1 semantics: persistent unless `close`).
+    #[must_use]
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Read exactly one HTTP response off `stream`: status line, headers,
+/// then a `content-length`-delimited body. `scratch` is a reusable
+/// buffer; its contents are clobbered. Both the load generator and the
+/// cluster router's backend proxy read responses through here, so they
+/// agree on header handling (names lowercased, values trimmed — header
+/// *name* case on the wire never matters).
+///
+/// # Errors
+///
+/// I/O errors from the stream, `UnexpectedEof` when the peer closes
+/// mid-message, `InvalidData` on an unparsable status line or
+/// `content-length`.
+pub fn read_response(stream: &mut impl io::Read, scratch: &mut Vec<u8>) -> io::Result<ClientResponse> {
+    scratch.clear();
+    let mut chunk = [0u8; 4096];
+    let header_end = loop {
+        if let Some(pos) = find(scratch, b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
+        }
+        scratch.extend_from_slice(&chunk[..n]);
+    };
+    let head = String::from_utf8_lossy(&scratch[..header_end]).into_owned();
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let name = name.to_ascii_lowercase();
+        let value = value.trim().to_string();
+        if name == "content-length" {
+            content_length = value
+                .parse()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
+        }
+        headers.push((name, value));
+    }
+    let body_start = header_end + 4;
+    let mut body = scratch[body_start.min(scratch.len())..].to_vec();
+    while body.len() < content_length {
+        let take = (content_length - body.len()).min(chunk.len());
+        let n = stream.read(&mut chunk[..take])?;
+        if n == 0 {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(ClientResponse { status, headers, body })
 }
 
 #[cfg(test)]
@@ -447,6 +541,90 @@ mod tests {
         assert!(!req.keep_alive);
         let (req, _) = parse_ok("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
         assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn connection_header_is_case_insensitive_in_name_and_value() {
+        // RFC 9110: header field names are case-insensitive, and the
+        // Connection header's tokens are too. Any casing must close.
+        for raw in [
+            "GET / HTTP/1.1\r\nCONNECTION: CLOSE\r\n\r\n",
+            "GET / HTTP/1.1\r\ncOnNeCtIoN: Close\r\n\r\n",
+            "GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n",
+        ] {
+            let (req, _) = parse_ok(raw);
+            if raw.contains("1.0") {
+                assert!(req.keep_alive, "mixed-case keep-alive must persist: {raw:?}");
+            } else {
+                assert!(!req.keep_alive, "mixed-case close must close: {raw:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn request_line_at_exactly_the_431_boundary_is_accepted() {
+        // A request line of exactly MAX_REQUEST_LINE bytes parses; one
+        // byte more earns the 431 mapping. The boundary must not be
+        // off-by-one in either direction.
+        let overhead = "GET / HTTP/1.1".len();
+        let pad = MAX_REQUEST_LINE - overhead; // line length is overhead + pad
+        let at_limit = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(pad));
+        let (req, _) = parse_ok(&at_limit);
+        assert_eq!(req.path.len(), pad + 1, "path carries the padding");
+
+        let over = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(pad + 1));
+        assert_eq!(parse_request(over.as_bytes()), Err(HttpError::RequestLineTooLong));
+        assert_eq!(
+            Response::from_parse_error(&HttpError::RequestLineTooLong).status,
+            431,
+            "an oversized request line maps to 431"
+        );
+
+        // The incomplete-prefix guard has the same boundary: a buffer of
+        // exactly MAX_REQUEST_LINE bytes with no CRLF yet is still
+        // "waiting for more", one more byte is a rejection.
+        let exact = vec![b'x'; MAX_REQUEST_LINE];
+        assert_eq!(parse_request(&exact), Ok(None));
+        let over = vec![b'x'; MAX_REQUEST_LINE + 1];
+        assert_eq!(parse_request(&over), Err(HttpError::RequestLineTooLong));
+    }
+
+    #[test]
+    fn raw_target_preserves_the_undecoded_wire_form() {
+        let (req, _) = parse_ok("GET /v1%2Ftable/5?scale=2 HTTP/1.1\r\n\r\n");
+        assert_eq!(req.raw_target, "/v1%2Ftable/5?scale=2", "undecoded, query attached");
+        assert_eq!(req.path, "/v1/table/5", "decoded path unchanged");
+    }
+
+    #[test]
+    fn read_response_parses_status_headers_and_body() {
+        let wire = b"HTTP/1.1 200 OK\r\nContent-Type: text/plain\r\nX-Memo-Cache: hit\r\ncontent-length: 5\r\n\r\nhello";
+        let mut scratch = Vec::new();
+        let resp = read_response(&mut &wire[..], &mut scratch).unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body, b"hello");
+        // Mixed-case names on the wire land lowercased.
+        assert_eq!(resp.header("x-memo-cache"), Some("hit"));
+        assert_eq!(resp.header("content-type"), Some("text/plain"));
+        assert!(resp.keep_alive());
+
+        let wire = b"HTTP/1.1 503 Service Unavailable\r\nRETRY-AFTER: 2\r\nConnection: CLOSE\r\ncontent-length: 0\r\n\r\n";
+        let resp = read_response(&mut &wire[..], &mut scratch).unwrap();
+        assert_eq!(resp.status, 503);
+        assert_eq!(resp.header("retry-after"), Some("2"), "Retry-After readable regardless of case");
+        assert!(!resp.keep_alive(), "Connection: CLOSE closes regardless of case");
+    }
+
+    #[test]
+    fn read_response_fails_cleanly_on_truncation_and_garbage() {
+        let mut scratch = Vec::new();
+        let torn = b"HTTP/1.1 200 OK\r\ncontent-length: 10\r\n\r\nhal";
+        let err = read_response(&mut &torn[..], &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+
+        let garbage = b"NOT HTTP AT ALL\r\n\r\n";
+        let err = read_response(&mut &garbage[..], &mut scratch).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

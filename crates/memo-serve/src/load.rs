@@ -9,17 +9,19 @@
 //! the summary is written as `BENCH_serve.json` next to the bench
 //! artifacts the repo already produces.
 
+use std::collections::HashMap;
 use std::fmt::Write as _;
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
 use memo_table::rng::SplitMix64;
 
 use crate::hist::Histogram;
+use crate::http;
 
 /// Open vs closed loop.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +55,12 @@ pub struct LoadConfig {
     /// ~30% of the mix guaranteed store misses, exercising the
     /// bloom-filter path.
     pub store_miss_permille: u32,
+    /// Cluster mode: the target is a memo-router, not a single node.
+    /// Responses are attributed per backend node via `x-memo-node`,
+    /// routing-table swaps are counted via `x-memo-ring-gen`, and the
+    /// router's failover/read-repair totals are scraped into the report
+    /// after the run.
+    pub cluster: bool,
 }
 
 impl Default for LoadConfig {
@@ -64,6 +72,7 @@ impl Default for LoadConfig {
             mode: Mode::Closed,
             seed: 1998, // the paper's year
             store_miss_permille: 0,
+            cluster: false,
         }
     }
 }
@@ -148,62 +157,65 @@ impl CacheClass {
     }
 }
 
-/// One parsed (enough) HTTP response.
-struct MiniResponse {
+/// Everything the load loop needs from one response, distilled from the
+/// shared [`http::read_response`] parser.
+struct Observed {
     status: u16,
     cache: CacheClass,
+    /// `x-memo-node`: which fleet member answered (cluster mode).
+    node: Option<String>,
+    /// `x-memo-ring-gen`: the router's routing-table generation; a
+    /// change between responses on one lane is a rebalance event.
+    ring_gen: Option<u64>,
+    /// `Retry-After` seconds, present on shed 503s.
+    retry_after: Option<u64>,
+    keep_alive: bool,
 }
 
-/// Read exactly one response off `stream`: status line, headers,
-/// `content-length` body. Returns `Err` on protocol surprises.
-fn read_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<MiniResponse> {
-    scratch.clear();
-    let mut chunk = [0u8; 4096];
-    // Read until the full header block is present.
-    let header_end = loop {
-        if let Some(pos) = scratch.windows(4).position(|w| w == b"\r\n\r\n") {
-            break pos;
-        }
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in headers"));
-        }
-        scratch.extend_from_slice(&chunk[..n]);
+/// Read exactly one response off `stream` and distill it.
+fn observe_response(stream: &mut TcpStream, scratch: &mut Vec<u8>) -> io::Result<Observed> {
+    let resp = http::read_response(stream, scratch)?;
+    Ok(Observed {
+        status: resp.status,
+        cache: resp
+            .header("x-memo-cache")
+            .map_or(CacheClass::Uncached, CacheClass::from_header),
+        node: resp.header("x-memo-node").map(str::to_string),
+        ring_gen: resp.header("x-memo-ring-gen").and_then(|v| v.parse().ok()),
+        retry_after: resp.header("retry-after").and_then(|v| v.trim().parse().ok()),
+        keep_alive: resp.keep_alive(),
+    })
+}
+
+/// Per-backend-node tallies, keyed by the `x-memo-node` header value.
+struct NodeTally {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latency: Histogram,
+}
+
+impl NodeTally {
+    fn new() -> Self {
+        NodeTally { requests: AtomicU64::new(0), errors: AtomicU64::new(0), latency: Histogram::new() }
+    }
+}
+
+/// Get-or-insert a node's tally; each lane caches the `Arc` locally so
+/// the registry lock is taken only the first time a lane sees a node.
+fn node_tally(
+    local: &mut HashMap<String, Arc<NodeTally>>,
+    registry: &Mutex<HashMap<String, Arc<NodeTally>>>,
+    node: &str,
+) -> Arc<NodeTally> {
+    if let Some(t) = local.get(node) {
+        return Arc::clone(t);
+    }
+    let t = {
+        let mut reg = registry.lock().expect("node registry");
+        Arc::clone(reg.entry(node.to_string()).or_insert_with(|| Arc::new(NodeTally::new())))
     };
-    let head = String::from_utf8_lossy(&scratch[..header_end]).into_owned();
-    let mut lines = head.split("\r\n");
-    let status_line = lines.next().unwrap_or("");
-    let status: u16 = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad status line"))?;
-    let mut content_length = 0usize;
-    let mut cache = CacheClass::Uncached;
-    for line in lines {
-        let Some((name, value)) = line.split_once(':') else { continue };
-        let value = value.trim();
-        match name.to_ascii_lowercase().as_str() {
-            "content-length" => {
-                content_length = value
-                    .parse()
-                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad content-length"))?;
-            }
-            "x-memo-cache" => cache = CacheClass::from_header(value),
-            _ => {}
-        }
-    }
-    // Drain the body.
-    let mut remaining = (header_end + 4 + content_length).saturating_sub(scratch.len());
-    while remaining > 0 {
-        let take = remaining.min(chunk.len());
-        let n = stream.read(&mut chunk[..take])?;
-        if n == 0 {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "eof in body"));
-        }
-        remaining -= n;
-    }
-    Ok(MiniResponse { status, cache })
+    local.insert(node.to_string(), Arc::clone(&t));
+    t
 }
 
 /// Shared tallies across connection threads.
@@ -223,6 +235,11 @@ struct Tally {
     cache_disk_hits: AtomicU64,
     cache_misses: AtomicU64,
     reconnects: AtomicU64,
+    /// Closed-loop lanes that slept out a shed 503's `Retry-After`
+    /// instead of immediately re-dialing.
+    retry_after_waits: AtomicU64,
+    /// Routing-table generation changes observed mid-run (`x-memo-ring-gen`).
+    rebalance_events: AtomicU64,
 }
 
 /// The final report, serialized into `BENCH_serve.json`.
@@ -253,6 +270,10 @@ pub struct LoadReport {
     pub cache_misses: u64,
     /// Connection re-establishments after transport errors.
     pub reconnects: u64,
+    /// Shed 503s whose `Retry-After` a closed-loop lane slept out.
+    pub retry_after_waits: u64,
+    /// Cluster-mode extras; `None` outside `--cluster` runs.
+    pub cluster: Option<ClusterReport>,
     /// Wall-clock seconds the run took.
     pub elapsed_secs: f64,
     /// Completed requests per second.
@@ -267,6 +288,34 @@ pub struct LoadReport {
     pub disk: LatencySummary,
     /// Latency of everything else (healthz/metrics/errors).
     pub uncached: LatencySummary,
+}
+
+/// One backend node's slice of a cluster-mode run, attributed via the
+/// `x-memo-node` response header.
+#[derive(Debug)]
+pub struct NodeReport {
+    /// The node's identity (`--node-id`).
+    pub node: String,
+    /// Responses this node answered.
+    pub requests: u64,
+    /// Non-backpressure 5xx among them.
+    pub errors: u64,
+    /// Latency of this node's responses, microseconds.
+    pub latency: LatencySummary,
+}
+
+/// Cluster-mode extras: per-node attribution plus the router-side
+/// totals the run provoked.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Per-node tallies, sorted by node name for stable output.
+    pub per_node: Vec<NodeReport>,
+    /// Routing-table generation changes observed mid-run.
+    pub rebalance_events: u64,
+    /// `memo_router_failovers_total` scraped from the router after the run.
+    pub failovers: u64,
+    /// `memo_router_read_repairs_total` scraped from the router after the run.
+    pub read_repairs: u64,
 }
 
 /// Quantiles pulled from one histogram.
@@ -334,8 +383,29 @@ impl LoadReport {
         let _ = writeln!(out, "  \"cache_disk_hits\": {},", self.cache_disk_hits);
         let _ = writeln!(out, "  \"cache_misses\": {},", self.cache_misses);
         let _ = writeln!(out, "  \"reconnects\": {},", self.reconnects);
+        let _ = writeln!(out, "  \"retry_after_waits\": {},", self.retry_after_waits);
         let _ = writeln!(out, "  \"elapsed_secs\": {:.2},", self.elapsed_secs);
         let _ = writeln!(out, "  \"throughput_rps\": {:.1},", self.throughput_rps);
+        if let Some(cluster) = &self.cluster {
+            let _ = writeln!(out, "  \"cluster\": {{");
+            let _ = writeln!(out, "    \"rebalance_events\": {},", cluster.rebalance_events);
+            let _ = writeln!(out, "    \"failovers\": {},", cluster.failovers);
+            let _ = writeln!(out, "    \"read_repairs\": {},", cluster.read_repairs);
+            let _ = writeln!(out, "    \"per_node\": {{");
+            for (i, n) in cluster.per_node.iter().enumerate() {
+                let comma = if i + 1 < cluster.per_node.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "      \"{}\": {{\"requests\": {}, \"errors\": {}, \"latency_us\": {}}}{comma}",
+                    n.node,
+                    n.requests,
+                    n.errors,
+                    n.latency.to_json()
+                );
+            }
+            let _ = writeln!(out, "    }}");
+            let _ = writeln!(out, "  }},");
+        }
         let _ = writeln!(out, "  \"latency_us\": {{");
         let _ = writeln!(out, "    \"cold\": {},", self.cold.to_json());
         let _ = writeln!(out, "    \"cached\": {},", self.cached.to_json());
@@ -349,7 +419,7 @@ impl LoadReport {
     /// One-paragraph human summary for stdout.
     #[must_use]
     pub fn summary(&self) -> String {
-        format!(
+        let mut line = format!(
             "{} requests in {:.1}s ({:.0} rps), {} errors ({} transport); \
              2xx={} 4xx={} shed-503={} other-5xx={}; \
              cache hits={} disk={} misses={}; \
@@ -372,7 +442,21 @@ impl LoadReport {
             self.cached.p99_us,
             self.disk.p50_us,
             self.disk.p99_us,
-        )
+        );
+        if let Some(cluster) = &self.cluster {
+            let nodes = cluster
+                .per_node
+                .iter()
+                .map(|n| format!("{}={}", n.node, n.requests))
+                .collect::<Vec<_>>()
+                .join(" ");
+            let _ = write!(
+                line,
+                "; cluster: nodes [{nodes}], rebalances={}, failovers={}, read-repairs={}",
+                cluster.rebalance_events, cluster.failovers, cluster.read_repairs,
+            );
+        }
+        line
     }
 }
 
@@ -383,6 +467,28 @@ fn connect(addr: &str) -> io::Result<TcpStream> {
     Ok(stream)
 }
 
+/// Scrape the router's failover and read-repair totals off its
+/// `/metrics` endpoint after a cluster-mode run.
+fn scrape_router_counters(addr: &str) -> (u64, u64) {
+    let grab = |text: &str, name: &str| {
+        text.lines()
+            .find_map(|l| l.strip_prefix(name)?.trim().parse::<u64>().ok())
+            .unwrap_or(0)
+    };
+    let Ok(mut stream) = connect(addr) else { return (0, 0) };
+    let req = b"GET /metrics HTTP/1.1\r\nhost: memo-load\r\nconnection: close\r\n\r\n";
+    if stream.write_all(req).is_err() {
+        return (0, 0);
+    }
+    let mut scratch = Vec::with_capacity(8192);
+    let Ok(resp) = http::read_response(&mut stream, &mut scratch) else { return (0, 0) };
+    let text = String::from_utf8_lossy(&resp.body);
+    (
+        grab(&text, "memo_router_failovers_total "),
+        grab(&text, "memo_router_read_repairs_total "),
+    )
+}
+
 /// Run the load according to `config` and collect the report.
 #[must_use]
 pub fn run(config: &LoadConfig) -> LoadReport {
@@ -391,6 +497,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let cached = Arc::new(Histogram::new());
     let disk = Arc::new(Histogram::new());
     let uncached = Arc::new(Histogram::new());
+    let nodes: Arc<Mutex<HashMap<String, Arc<NodeTally>>>> = Arc::new(Mutex::new(HashMap::new()));
     let started = Instant::now();
     let deadline = started + config.duration;
 
@@ -408,9 +515,12 @@ pub fn run(config: &LoadConfig) -> LoadReport {
             let cached = Arc::clone(&cached);
             let disk = Arc::clone(&disk);
             let uncached = Arc::clone(&uncached);
+            let nodes = Arc::clone(&nodes);
             thread::spawn(move || {
                 let mut stream = None;
                 let mut scratch = Vec::with_capacity(8192);
+                let mut local_nodes: HashMap<String, Arc<NodeTally>> = HashMap::new();
+                let mut last_ring_gen: Option<u64> = None;
                 // Strided per-lane counter: lane, lane+lanes, lane+2·lanes, …
                 // — globally unique miss indices without cross-thread state.
                 let mut miss_seq = 0u64;
@@ -455,7 +565,7 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                         tally.reconnects.fetch_add(1, Ordering::Relaxed);
                         continue; // stream dropped; reconnect next round
                     }
-                    match read_response(&mut s, &mut scratch) {
+                    match observe_response(&mut s, &mut scratch) {
                         Ok(resp) => {
                             let micros =
                                 u64::try_from(send.elapsed().as_micros()).unwrap_or(u64::MAX);
@@ -484,10 +594,38 @@ pub fn run(config: &LoadConfig) -> LoadReport {
                                 }
                                 CacheClass::Uncached => uncached.record(micros),
                             }
+                            if let Some(node) = resp.node.as_deref() {
+                                let nt = node_tally(&mut local_nodes, &nodes, node);
+                                nt.requests.fetch_add(1, Ordering::Relaxed);
+                                if resp.status >= 500 && resp.status != 503 {
+                                    nt.errors.fetch_add(1, Ordering::Relaxed);
+                                }
+                                nt.latency.record(micros);
+                            }
+                            if let Some(gen) = resp.ring_gen {
+                                if last_ring_gen.is_some_and(|last| last != gen) {
+                                    tally.rebalance_events.fetch_add(1, Ordering::Relaxed);
+                                }
+                                last_ring_gen = Some(gen);
+                            }
                             if resp.status == 503 {
-                                // Shed: the server closed this socket.
-                                thread::sleep(Duration::from_millis(10));
-                            } else {
+                                // Shed: back off for as long as the server
+                                // asked (closed loop), instead of turning
+                                // a backpressure storm into a re-dial
+                                // storm. Open loop keeps its fixed pacing;
+                                // the shed socket is dropped either way.
+                                let backoff = match (mode, resp.retry_after) {
+                                    (Mode::Closed, Some(secs)) => {
+                                        tally.retry_after_waits.fetch_add(1, Ordering::Relaxed);
+                                        Duration::from_secs(secs).min(Duration::from_secs(2))
+                                    }
+                                    _ => Duration::from_millis(10),
+                                };
+                                let now = Instant::now();
+                                if now < deadline {
+                                    thread::sleep(backoff.min(deadline - now));
+                                }
+                            } else if resp.keep_alive {
                                 stream = Some(s);
                             }
                         }
@@ -509,6 +647,27 @@ pub fn run(config: &LoadConfig) -> LoadReport {
     let requests = tally.requests.load(Ordering::Relaxed);
     #[allow(clippy::cast_precision_loss)]
     let throughput = if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 };
+    let cluster = config.cluster.then(|| {
+        let (failovers, read_repairs) = scrape_router_counters(&config.addr);
+        let mut per_node: Vec<NodeReport> = nodes
+            .lock()
+            .expect("node registry")
+            .iter()
+            .map(|(node, t)| NodeReport {
+                node: node.clone(),
+                requests: t.requests.load(Ordering::Relaxed),
+                errors: t.errors.load(Ordering::Relaxed),
+                latency: LatencySummary::from(&t.latency),
+            })
+            .collect();
+        per_node.sort_by(|a, b| a.node.cmp(&b.node));
+        ClusterReport {
+            per_node,
+            rebalance_events: tally.rebalance_events.load(Ordering::Relaxed),
+            failovers,
+            read_repairs,
+        }
+    });
     LoadReport {
         requests,
         errors: tally.errors.load(Ordering::Relaxed),
@@ -521,6 +680,8 @@ pub fn run(config: &LoadConfig) -> LoadReport {
         cache_disk_hits: tally.cache_disk_hits.load(Ordering::Relaxed),
         cache_misses: tally.cache_misses.load(Ordering::Relaxed),
         reconnects: tally.reconnects.load(Ordering::Relaxed),
+        retry_after_waits: tally.retry_after_waits.load(Ordering::Relaxed),
+        cluster,
         elapsed_secs: elapsed,
         throughput_rps: throughput,
         cold: LatencySummary::from(&cold),
@@ -623,6 +784,8 @@ mod tests {
             cache_disk_hits: 1,
             cache_misses: 6,
             reconnects: 0,
+            retry_after_waits: 2,
+            cluster: None,
             elapsed_secs: 1.5,
             throughput_rps: 6.7,
             cold: LatencySummary { count: 6, p50_us: 100, p90_us: 200, p99_us: 300, max_us: 400, mean_us: 150.0 },
@@ -634,14 +797,70 @@ mod tests {
         assert!(json.contains("\"bench\": \"memo_serve_load\""));
         assert!(json.contains("\"store_miss_permille\": 0"));
         assert!(json.contains("\"transport_errors\": 0"));
+        assert!(json.contains("\"retry_after_waits\": 2"));
         assert!(json.contains("\"cache_hits\": 3"));
         assert!(json.contains("\"cache_disk_hits\": 1"));
         assert!(json.contains("\"disk\": {\"count\": 1"));
         assert!(json.contains("\"p99_us\": 300"));
+        assert!(!json.contains("\"cluster\""), "no cluster block outside cluster mode");
         // Balanced braces — cheap structural sanity without a parser.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(report.summary().contains("10 requests"));
         assert!(report.summary().contains("disk=1"));
+    }
+
+    #[test]
+    fn cluster_report_renders_per_node_and_counters() {
+        let mut report = LoadReport {
+            requests: 4,
+            errors: 0,
+            transport_errors: 0,
+            status_2xx: 4,
+            status_4xx: 0,
+            backpressure_503: 0,
+            other_5xx: 0,
+            cache_hits: 4,
+            cache_disk_hits: 0,
+            cache_misses: 0,
+            reconnects: 0,
+            retry_after_waits: 0,
+            cluster: None,
+            elapsed_secs: 1.0,
+            throughput_rps: 4.0,
+            cold: LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0, mean_us: 0.0 },
+            cached: LatencySummary { count: 4, p50_us: 10, p90_us: 20, p99_us: 30, max_us: 40, mean_us: 15.0 },
+            disk: LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0, mean_us: 0.0 },
+            uncached: LatencySummary { count: 0, p50_us: 0, p90_us: 0, p99_us: 0, max_us: 0, mean_us: 0.0 },
+        };
+        report.cluster = Some(ClusterReport {
+            per_node: vec![
+                NodeReport {
+                    node: "n1".to_string(),
+                    requests: 3,
+                    errors: 0,
+                    latency: LatencySummary { count: 3, p50_us: 10, p90_us: 20, p99_us: 30, max_us: 40, mean_us: 15.0 },
+                },
+                NodeReport {
+                    node: "n2".to_string(),
+                    requests: 1,
+                    errors: 0,
+                    latency: LatencySummary { count: 1, p50_us: 9, p90_us: 9, p99_us: 9, max_us: 9, mean_us: 9.0 },
+                },
+            ],
+            rebalance_events: 1,
+            failovers: 2,
+            read_repairs: 5,
+        });
+        let json = report.to_json(&LoadConfig { cluster: true, ..LoadConfig::default() });
+        assert!(json.contains("\"rebalance_events\": 1"));
+        assert!(json.contains("\"failovers\": 2"));
+        assert!(json.contains("\"read_repairs\": 5"));
+        assert!(json.contains("\"n1\": {\"requests\": 3"));
+        assert!(json.contains("\"n2\": {\"requests\": 1"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let s = report.summary();
+        assert!(s.contains("n1=3"), "{s}");
+        assert!(s.contains("failovers=2"), "{s}");
     }
 
     #[test]

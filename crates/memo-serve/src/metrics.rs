@@ -133,6 +133,9 @@ pub struct Metrics {
     /// Requests answered 503 because their deadline budget ran out
     /// (in the queue or before rendering) instead of stalling a worker.
     pub deadline_exceeded: AtomicU64,
+    /// Artifacts installed through `POST /v1/warm` (the cluster
+    /// router's read-repair path re-warming this replica).
+    pub warms: AtomicU64,
 }
 
 impl Default for Metrics {
@@ -156,6 +159,7 @@ impl Metrics {
             store_io_errors: AtomicU64::new(0),
             store_retries: AtomicU64::new(0),
             deadline_exceeded: AtomicU64::new(0),
+            warms: AtomicU64::new(0),
         }
     }
 
@@ -283,6 +287,8 @@ impl Metrics {
             "memo_serve_deadline_exceeded_total {}\n",
             g(self.deadline_exceeded.load(Ordering::Relaxed))
         ));
+        out.push_str("# TYPE memo_serve_warms_total counter\n");
+        out.push_str(&format!("memo_serve_warms_total {}\n", g(self.warms.load(Ordering::Relaxed))));
         out.push_str("# TYPE memo_store_io_errors_total counter\n");
         out.push_str(&format!(
             "memo_store_io_errors_total {}\n",

@@ -49,6 +49,10 @@ pub struct AppState {
     pub draining: AtomicBool,
     /// Worker count, reported in `/metrics`.
     pub workers: usize,
+    /// Cluster identity: when set, every response carries an
+    /// `x-memo-node` header naming this node, so the router tier and the
+    /// load generator can attribute responses to fleet members.
+    pub node_id: Option<String>,
 }
 
 impl AppState {
@@ -67,6 +71,7 @@ impl AppState {
             metrics: Metrics::new(),
             draining: AtomicBool::new(false),
             workers,
+            node_id: None,
         }
     }
 
@@ -84,8 +89,8 @@ impl AppState {
 
 /// Per-request experiment config: the base config with optional
 /// `scale` / `sci_n` query overrides, clamped to sane ranges.
-fn effective_cfg(state: &AppState, req: &Request) -> ExpConfig {
-    let mut cfg = state.cfg;
+fn effective_cfg(base: ExpConfig, req: &Request) -> ExpConfig {
+    let mut cfg = base;
     if let Some(v) = req.query_param("scale").and_then(|v| v.parse::<usize>().ok()) {
         cfg.image_scale = v.clamp(1, 64);
     }
@@ -99,6 +104,30 @@ fn cfg_suffix(cfg: ExpConfig) -> String {
     format!("@scale={};sci_n={}", cfg.image_scale, cfg.sci_n)
 }
 
+/// The canonical cache key for an artifact request, or `None` when the
+/// request does not address a cacheable artifact (health, metrics,
+/// unknown routes, unparseable sweep axes).
+///
+/// This is THE key: the node's in-memory cache, its store write-through,
+/// the replica-warm endpoint, and the cluster router's consistent-hash
+/// placement all use these exact bytes, so a key hashes to the same ring
+/// position no matter which tier computes it.
+#[must_use]
+pub fn cache_key(base: ExpConfig, req: &Request) -> Option<String> {
+    let cfg = effective_cfg(base, req);
+    if req.path == "/v1/sweep" {
+        let q = runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")).ok()?;
+        return Some(format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg)));
+    }
+    for kind in ["table", "figure"] {
+        if let Some(raw_n) = req.path.strip_prefix(&format!("/v1/{kind}/")) {
+            let n: usize = raw_n.parse().ok()?;
+            return Some(format!("{kind}/{n}{}", cfg_suffix(cfg)));
+        }
+    }
+    None
+}
+
 fn error_response(err: &ExperimentError) -> (u16, String) {
     let status = match err {
         ExperimentError::UnknownArtifact { .. } => 404,
@@ -106,6 +135,16 @@ fn error_response(err: &ExperimentError) -> (u16, String) {
         _ => 500,
     };
     (status, format!("{err}\n"))
+}
+
+/// Adapt a runner result into the `(status, body)` a cache entry holds.
+/// Bodies get the trailing newline the CLI's `println!` adds, so HTTP
+/// bytes == CLI stdout bytes.
+fn rendered(result: Result<String, ExperimentError>) -> (u16, String) {
+    match result {
+        Ok(body) => (200, format!("{body}\n")),
+        Err(err) => error_response(&err),
+    }
 }
 
 /// The store key a rendered artifact persists under.
@@ -128,7 +167,7 @@ fn cached_artifact(
     state: &AppState,
     key: String,
     deadline: Instant,
-    compute: impl FnOnce() -> Result<String, ExperimentError>,
+    compute: impl FnOnce() -> (u16, String),
 ) -> (u16, String, CacheOutcome) {
     if let Some(entry) = state.cache.peek(&key) {
         let (status, body) = entry.as_ref().clone();
@@ -185,12 +224,7 @@ fn cached_artifact(
                 }
             }
         },
-        || match compute() {
-            // Bodies get the trailing newline the CLI's `println!` adds,
-            // so HTTP bytes == CLI stdout bytes.
-            Ok(rendered) => (200, format!("{rendered}\n")),
-            Err(err) => error_response(&err),
-        },
+        compute,
     );
     let outcome = match tier {
         TierOutcome::Memory => CacheOutcome::Hit,
@@ -216,12 +250,27 @@ fn routed(response: Response, endpoint: Endpoint, cache: CacheOutcome) -> Routed
 }
 
 /// Dispatch one parsed request. `queue_depth` is the current request
-/// queue length, surfaced through `/metrics`.
+/// queue length, surfaced through `/metrics`. When the node has a
+/// cluster identity ([`AppState::node_id`]) every response carries it in
+/// an `x-memo-node` header.
 #[must_use]
 pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
+    let mut r = route(state, req, queue_depth);
+    if let Some(id) = &state.node_id {
+        r.response.headers.push(("x-memo-node".to_string(), id.clone()));
+    }
+    r
+}
+
+fn route(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
     // The rendering budget starts ticking here; queue time is policed
     // separately by the worker before it parses the request.
     let deadline = Instant::now() + state.deadline;
+    // The replica-warm endpoint is the one non-GET route: the router's
+    // read-repair path POSTs rendered bytes at replicas.
+    if req.method == "POST" && req.path == "/v1/warm" {
+        return warm(state, req, deadline);
+    }
     if req.method != "GET" && req.method != "HEAD" {
         return routed(
             Response::text(405, "only GET and HEAD are supported\n").with_header("allow", "GET, HEAD"),
@@ -260,7 +309,7 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
             routed(Response::text(200, "draining\n"), Endpoint::Other, CacheOutcome::Uncached)
         }
         "/v1/sweep" => {
-            let cfg = effective_cfg(state, req);
+            let cfg = effective_cfg(state.cfg, req);
             match runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")) {
                 Err(err) => {
                     let (status, body) = error_response(&err);
@@ -269,7 +318,7 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
                 Ok(q) => {
                     let key = format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg));
                     let (status, body, outcome) =
-                        cached_artifact(state, key, deadline, || runner::sweep(cfg, &q));
+                        cached_artifact(state, key, deadline, || rendered(runner::sweep(cfg, &q)));
                     routed(
                         Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
                         Endpoint::Sweep,
@@ -292,6 +341,62 @@ pub fn handle(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
             }
         }
     }
+}
+
+/// `POST /v1/warm?key=<cache key>`: install rendered bytes into this
+/// node's cache tiers without recomputing them. The cluster router's
+/// read-repair path calls this on replicas after a primary served a key
+/// from disk or compute, so a later failover finds the replica already
+/// warm. Installation runs through the same tiered path as a served
+/// request — memory insert plus breaker-guarded store write-through —
+/// and a key the node already holds is left untouched (the resident
+/// bytes win; they were rendered or repaired earlier).
+fn warm(state: &AppState, req: &Request, deadline: Instant) -> Routed {
+    let Some(key) = req.query_param("key").map(str::to_string).filter(|k| !k.is_empty()) else {
+        return routed(
+            Response::text(400, "warm requires a non-empty ?key= parameter\n"),
+            Endpoint::Other,
+            CacheOutcome::Uncached,
+        );
+    };
+    let Ok(body) = String::from_utf8(req.body.clone()) else {
+        return routed(
+            Response::text(400, "warm body must be UTF-8\n"),
+            Endpoint::Other,
+            CacheOutcome::Uncached,
+        );
+    };
+    if body.is_empty() {
+        return routed(
+            Response::text(400, "warm requires a non-empty body\n"),
+            Endpoint::Other,
+            CacheOutcome::Uncached,
+        );
+    }
+    if state.cache.peek(&key).is_some() {
+        return routed(
+            Response::text(200, "already-warm\n").with_header("x-memo-warm", "memory"),
+            Endpoint::Other,
+            CacheOutcome::Hit,
+        );
+    }
+    let (status, served, outcome) = cached_artifact(state, key, deadline, move || (200, body));
+    if status != 200 {
+        // Deadline shed (or a store-resident error blob): report it, do
+        // not count a warm that never landed.
+        return routed(Response::text(status, served), Endpoint::Other, CacheOutcome::Uncached);
+    }
+    state.metrics.warms.fetch_add(1, Ordering::Relaxed);
+    let tier = match outcome {
+        CacheOutcome::Hit => "memory",
+        CacheOutcome::Disk => "disk",
+        _ => "installed",
+    };
+    routed(
+        Response::text(200, "warmed\n").with_header("x-memo-warm", tier),
+        Endpoint::Other,
+        outcome,
+    )
 }
 
 fn cache_label(outcome: CacheOutcome) -> &'static str {
@@ -318,9 +423,9 @@ fn artifact(
             CacheOutcome::Uncached,
         );
     };
-    let cfg = effective_cfg(state, req);
+    let cfg = effective_cfg(state.cfg, req);
     let key = format!("{kind}/{n}{}", cfg_suffix(cfg));
-    let (status, body, outcome) = cached_artifact(state, key, deadline, || run(n, cfg));
+    let (status, body, outcome) = cached_artifact(state, key, deadline, || rendered(run(n, cfg)));
     routed(
         Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
         endpoint,
@@ -526,6 +631,87 @@ mod tests {
         let text = String::from_utf8(m.response.body).unwrap();
         assert!(text.contains("memo_tier_breaker_state 2"), "{text}");
         assert!(text.contains("memo_store_io_errors_total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cache_key_matches_the_keys_handlers_use() {
+        let cfg = ExpConfig::quick();
+        assert_eq!(
+            cache_key(cfg, &get("/v1/table/5")).as_deref(),
+            Some("table/5@scale=16;sci_n=16")
+        );
+        assert_eq!(
+            cache_key(cfg, &get("/v1/figure/2?sci_n=24")).as_deref(),
+            Some("figure/2@scale=16;sci_n=24")
+        );
+        // Sweeps canonicalize their axes exactly like the handler does.
+        let via_key = cache_key(cfg, &get("/v1/sweep?entries=16,8&ways=2")).unwrap();
+        let q = runner::SweepQuery::parse(Some("16,8"), Some("2")).unwrap();
+        assert_eq!(via_key, format!("sweep/{}@scale=16;sci_n=16", q.canonical()));
+        // Non-artifact routes and unparseable sweeps have no key.
+        assert_eq!(cache_key(cfg, &get("/healthz")), None);
+        assert_eq!(cache_key(cfg, &get("/v1/table/abc")), None);
+        assert_eq!(cache_key(cfg, &get("/v1/sweep?entries=nope")), None);
+    }
+
+    #[test]
+    fn node_id_header_rides_every_response() {
+        let mut s = state();
+        s.node_id = Some("n1".to_string());
+        for path in ["/healthz", "/v1/table/1", "/nope"] {
+            let r = handle(&s, &get(path), 0);
+            assert!(
+                r.response.headers.iter().any(|(k, v)| k == "x-memo-node" && v == "n1"),
+                "{path} missing x-memo-node"
+            );
+        }
+    }
+
+    #[test]
+    fn warm_installs_into_memory_and_store_without_computing() {
+        use memo_store::{Store, StoreConfig};
+        let dir = std::env::temp_dir()
+            .join(format!("memo-serve-routes-warm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = Arc::new(Store::open(&dir, StoreConfig::small_for_tests()).unwrap());
+        let mut s = state();
+        s.store = Some(Arc::clone(&store));
+
+        let post = |target: &str, body: &str| {
+            let raw = format!(
+                "POST {target} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+                body.len()
+            );
+            parse_request(raw.as_bytes()).unwrap().unwrap().0
+        };
+
+        // Warm a key this node never rendered: recognizable bytes prove
+        // the later GET served the warmed copy, not a fresh render.
+        let key = "table/1@scale=16;sci_n=16";
+        let r = handle(&s, &post(&format!("/v1/warm?key={key}"), "warmed bytes\n"), 0);
+        assert_eq!(r.response.status, 200);
+        assert!(r.response.headers.iter().any(|(k, v)| k == "x-memo-warm" && v == "installed"));
+        assert_eq!(s.metrics.warms.load(Ordering::Relaxed), 1);
+
+        let served = handle(&s, &get("/v1/table/1"), 0);
+        assert_eq!(served.cache, CacheOutcome::Hit);
+        assert_eq!(served.response.body, b"warmed bytes\n");
+        // …and it write-through persisted, so a restart finds it on disk.
+        let blob = store.get(format!("results/{key}").as_bytes()).unwrap().unwrap();
+        assert_eq!(ResultBlob::from_bytes(&blob).unwrap().body, b"warmed bytes\n");
+
+        // Re-warming a resident key is a no-op: resident bytes win.
+        let r = handle(&s, &post(&format!("/v1/warm?key={key}"), "other bytes\n"), 0);
+        assert_eq!(r.response.body, b"already-warm\n");
+        assert!(r.response.headers.iter().any(|(k, v)| k == "x-memo-warm" && v == "memory"));
+        assert_eq!(s.metrics.warms.load(Ordering::Relaxed), 1, "no-op warms are not counted");
+        assert_eq!(handle(&s, &get("/v1/table/1"), 0).response.body, b"warmed bytes\n");
+
+        // Malformed warms are rejected without touching the cache.
+        assert_eq!(handle(&s, &post("/v1/warm", "body\n"), 0).response.status, 400);
+        assert_eq!(handle(&s, &post("/v1/warm?key=x", ""), 0).response.status, 400);
+        drop(store);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use memo_experiments::cache::TierBreaker;
 use memo_experiments::{env, store, ExpConfig};
-use memo_store::{Store, StoreConfig};
+use memo_store::Store;
 
 use crate::http::{parse_request, Response, MAX_HEADER_BYTES, MAX_BODY};
 use crate::metrics::{CacheOutcome, Endpoint};
@@ -57,6 +57,10 @@ pub struct ServerConfig {
     /// Per-request time budget, counted from accept. Requests that age
     /// past it in the queue (or mid-render) are shed with 503.
     pub request_deadline: Duration,
+    /// Cluster identity (`--node-id`). When set, every response carries
+    /// an `x-memo-node` header so the router tier and the load generator
+    /// can attribute responses to fleet members.
+    pub node_id: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +78,7 @@ impl Default for ServerConfig {
             breaker_threshold: 5,
             breaker_cooldown: Duration::from_secs(2),
             request_deadline: Duration::from_secs(30),
+            node_id: None,
         }
     }
 }
@@ -146,13 +151,14 @@ pub fn start(config: &ServerConfig) -> io::Result<ServerHandle> {
     let mut state = AppState::new(config.cfg, config.cache_capacity, workers);
     state.disk_breaker = Arc::new(TierBreaker::new(config.breaker_threshold, config.breaker_cooldown));
     state.deadline = config.request_deadline;
+    state.node_id = config.node_id.clone();
     if let Some(opened) = &config.store {
         // A pre-opened store (chaos tests inject FaultVfs-backed ones
         // this way) takes precedence over store_dir.
         store::install(Arc::clone(opened));
         state.store = Some(Arc::clone(opened));
     } else if let Some(dir) = &config.store_dir {
-        let opened = store::open_guarded(dir, StoreConfig::from_env())
+        let opened = store::open_guarded(dir, env::store_config())
             .map_err(|e| io::Error::other(format!("open store at {}: {e}", dir.display())))?;
         // Install globally too, so the trace cache records once across
         // restarts, not just the rendered results.

@@ -124,6 +124,7 @@ fn serving_survives_disk_chaos_byte_identically_and_recovers() {
         breaker_threshold: 3,
         breaker_cooldown,
         request_deadline: Duration::from_secs(30),
+        node_id: None,
     };
     let handle = server::start(&config).expect("bind ephemeral port");
     let mut non_degraded_errors = 0u64;

@@ -158,6 +158,44 @@ fn pipelined_requests_on_one_connection_all_answer() {
 }
 
 #[test]
+fn pipelined_requests_split_across_tcp_segments_still_parse() {
+    // The same two pipelined requests, but dribbled onto the wire in
+    // fragments that land mid-request-line, mid-header, and — the
+    // nasty one — straddling the boundary between request one and
+    // request two. The server's buffer must reassemble exactly two
+    // messages no matter where the segment edges fall.
+    let handle = boot(2, 16);
+    let wire: &[u8] = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n\
+                        GET /healthz HTTP/1.1\r\nhost: t\r\nconnection: close\r\n\r\n";
+    // Split points chosen to break inside the first request line (7),
+    // inside its header block (29), after the first request plus a few
+    // bytes of the second (40), and inside the second's headers (60).
+    for splits in [vec![7usize, 29, 34, 40, 60], (1..wire.len()).step_by(11).collect::<Vec<_>>()] {
+        let mut stream = TcpStream::connect(handle.addr()).expect("connect");
+        let mut sent = 0;
+        for cut in splits.into_iter().chain([wire.len()]) {
+            stream.write_all(&wire[sent..cut]).expect("send fragment");
+            stream.flush().expect("flush fragment");
+            sent = cut;
+            // A real network would also delay between segments; give
+            // the server a chance to read each fragment in isolation.
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let mut raw = String::new();
+        stream.read_to_string(&mut raw).expect("read");
+        assert_eq!(
+            raw.matches("HTTP/1.1 200 OK").count(),
+            2,
+            "both requests answered despite segmentation:\n{raw}"
+        );
+        assert_eq!(raw.matches("ok\n").count(), 2);
+    }
+
+    handle.shutdown();
+    handle.wait();
+}
+
+#[test]
 fn saturated_queue_sheds_with_503_and_retry_after() {
     // One worker, one queue slot: park the worker on a slow request,
     // fill the slot, and every further connection must be shed.

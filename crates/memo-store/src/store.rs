@@ -85,32 +85,6 @@ impl StoreConfig {
         }
     }
 
-    /// Defaults overridden by deployment environment variables:
-    /// `MEMO_STORE_MEMTABLE_BYTES` (freeze watermark),
-    /// `MEMO_STORE_BLOOM_BITS` (bits per key, 0 disables),
-    /// `MEMO_STORE_MAX_IMMUTABLES` (flush-queue bound, min 1), and
-    /// `MEMO_STORE_COMPACT_AT` (auto-compaction segment count).
-    /// Unparseable values fall back to the default.
-    #[must_use]
-    pub fn from_env() -> Self {
-        fn env_u64(name: &str) -> Option<u64> {
-            std::env::var(name).ok().and_then(|v| v.trim().parse::<u64>().ok())
-        }
-        let mut config = StoreConfig::default();
-        if let Some(v) = env_u64("MEMO_STORE_MEMTABLE_BYTES") {
-            config.memtable_max_bytes = usize::try_from(v).unwrap_or(usize::MAX);
-        }
-        if let Some(v) = env_u64("MEMO_STORE_BLOOM_BITS") {
-            config.bloom_bits_per_key = u32::try_from(v).unwrap_or(u32::MAX);
-        }
-        if let Some(v) = env_u64("MEMO_STORE_MAX_IMMUTABLES") {
-            config.max_immutables = usize::try_from(v).unwrap_or(usize::MAX).max(1);
-        }
-        if let Some(v) = env_u64("MEMO_STORE_COMPACT_AT") {
-            config.compact_at_segments = usize::try_from(v).unwrap_or(usize::MAX);
-        }
-        config
-    }
 }
 
 /// Operation counters, all monotonic since open (except the queue-depth
