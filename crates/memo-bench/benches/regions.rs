@@ -1,0 +1,142 @@
+//! Plain interpretation vs region-bypassed execution (crate
+//! `memo-region`) on the two extremes of the reuse spectrum: a kernel
+//! whose loop-body region sees a handful of distinct live-in vectors
+//! (every iteration past the first hits and skips the whole body), and
+//! a kernel whose live-ins never repeat (every probe misses, so the run
+//! pays pure table overhead). Host wall-clock here measures interpreter
+//! economics — the architectural speedup story lives in the `regions`
+//! experiment binary and `BENCH_region.json`.
+
+use std::hint::black_box;
+
+use memo_bench::bench_median;
+use memo_isa::{assemble, Cpu, Program};
+use memo_region::{RegionConfig, RegionIndex, RegionTable};
+use memo_sim::{CpuModel, NullSink};
+
+const SAMPLES: usize = 12;
+const FUEL: u64 = 50_000_000;
+const MEMORY: usize = 1 << 16;
+
+/// A convolution-style loop: load a sample, run a pure 8-op fp chain
+/// over loop-invariant coefficients, store, advance. The `ldf`/`stf`
+/// split the chain into its own region whose live-ins are the sample
+/// plus the constant coefficients — and the samples cycle through four
+/// values, so the region table converges to four resident entries and
+/// hits on essentially every iteration.
+fn reuse_heavy() -> Program {
+    let src = "li r1, 0\n\
+               li r2, 20000\n\
+               li r3, 1024\n\
+               li r4, 1048\n\
+               lif f8, 0.25\n\
+               lif f9, 1.5\n\
+               loop: ldf f1, r3, 0\n\
+               fmul f2, f1, f8\n\
+               fadd f3, f2, f9\n\
+               fmul f4, f3, f1\n\
+               fsub f5, f4, f8\n\
+               fadd f6, f5, f3\n\
+               fmul f7, f6, f9\n\
+               fadd f2, f7, f4\n\
+               fsub f3, f2, f1\n\
+               stf f3, r3, 64\n\
+               addi r3, r3, 8\n\
+               and r3, r3, r4\n\
+               addi r1, r1, 1\n\
+               blt r1, r2, loop\n\
+               halt";
+    assemble(src).expect("reuse-heavy kernel assembles")
+}
+
+/// The adversary: the same loop shape, but the chain consumes the
+/// induction variable, so the region's live-in vector is fresh every
+/// iteration and every probe misses.
+fn reuse_free() -> Program {
+    let src = "li r1, 0\n\
+               li r2, 20000\n\
+               lif f8, 0.25\n\
+               loop: itof f1, r1\n\
+               fmul f2, f1, f8\n\
+               fadd f3, f2, f1\n\
+               fmul f4, f3, f3\n\
+               fsub f5, f4, f2\n\
+               addi r1, r1, 1\n\
+               blt r1, r2, loop\n\
+               halt";
+    assemble(src).expect("reuse-free kernel assembles")
+}
+
+/// Seed the sample window with four repeating values so the arithmetic
+/// region's live-ins cycle instead of diverging.
+fn seed_samples(cpu: &mut Cpu) {
+    for i in 0..4u64 {
+        cpu.write_f64(1024 + 8 * i, 1.0 + i as f64 * 0.5).expect("sample window in bounds");
+    }
+}
+
+fn time_pair(name: &str, program: &Program, seed: bool) {
+    let model = CpuModel::paper_slow();
+    bench_median("regions", &format!("{name}_plain"), SAMPLES, || {
+        let mut cpu = Cpu::new(MEMORY);
+        if seed {
+            seed_samples(&mut cpu);
+        }
+        cpu.run(program, &mut NullSink, FUEL).expect("kernel halts");
+        black_box(cpu.retired());
+    });
+    bench_median("regions", &format!("{name}_region"), SAMPLES, || {
+        let index = RegionIndex::new(program, 16);
+        let mut table = RegionTable::new(RegionConfig::new(64)).expect("valid region table");
+        let mut cpu = Cpu::new(MEMORY);
+        if seed {
+            seed_samples(&mut cpu);
+        }
+        let (_, stats) = memo_region::run_with_regions(
+            &mut cpu,
+            program,
+            &index,
+            &mut table,
+            &model,
+            &mut NullSink,
+            FUEL,
+        )
+        .expect("kernel halts");
+        black_box((cpu.retired(), stats.hits));
+    });
+}
+
+fn main() {
+    // Sanity-print the dynamic story once so a regression in detection
+    // (zero regions, zero hits) is visible in the bench log, not hidden
+    // inside near-equal timings.
+    let model = CpuModel::paper_slow();
+    for (name, program, seed) in
+        [("reuse_heavy", reuse_heavy(), true), ("reuse_free", reuse_free(), false)]
+    {
+        let index = RegionIndex::new(&program, 16);
+        let mut table = RegionTable::new(RegionConfig::new(64)).expect("valid region table");
+        let mut cpu = Cpu::new(MEMORY);
+        if seed {
+            seed_samples(&mut cpu);
+        }
+        let (_, stats) = memo_region::run_with_regions(
+            &mut cpu,
+            &program,
+            &index,
+            &mut table,
+            &model,
+            &mut NullSink,
+            FUEL,
+        )
+        .expect("kernel halts");
+        println!(
+            "regions/{name}: {} static regions, {} entries, {} hits, {} instructions bypassed",
+            index.regions().len(),
+            stats.entries,
+            stats.hits,
+            stats.bypassed
+        );
+        time_pair(name, &program, seed);
+    }
+}

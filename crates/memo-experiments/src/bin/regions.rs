@@ -1,0 +1,26 @@
+//! Runs the region-memoization experiment family (crate `memo-region`):
+//! per-kernel region hit ratios and speedups vs. per-unit memoing, the
+//! differential transparency proof, and the protection fault demo — the
+//! direct runner behind `memo-serve`'s `/v1/region`.
+use memo_experiments::{cli, regions, ExpConfig, ExperimentError};
+
+const FLAGS: [(&str, &str); 1] = [(
+    "--bench-out=",
+    "also write per-kernel hit ratios/speedups as JSON (BENCH_region.json for the CI gate)",
+)];
+
+fn value_of(prefix: &str) -> Option<String> {
+    std::env::args().find_map(|a| a.strip_prefix(prefix).map(str::to_string))
+}
+
+fn main() -> Result<(), ExperimentError> {
+    cli::enforce("regions", "Region memoization: bypass whole basic blocks, not single ops.", &FLAGS);
+    let cfg = ExpConfig::from_env();
+    println!("{}", regions::render(cfg)?);
+    if let Some(path) = value_of("--bench-out=") {
+        let json = regions::bench_json(cfg)?;
+        std::fs::write(&path, json).expect("bench-out path is writable");
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}

@@ -34,6 +34,7 @@ pub mod hits;
 pub mod images;
 pub mod mantissa;
 pub mod parallel;
+pub mod regions;
 pub mod related;
 pub mod results;
 pub mod runner;

@@ -13,7 +13,8 @@ use std::time::Instant;
 use memo_table::{Assoc, MemoConfig, OpKind};
 
 use crate::{
-    ablations, extension, fault_tolerance, figures, hits, images, mantissa, related, speedup,
+    ablations, extension, fault_tolerance, figures, hits, images, mantissa, regions, related,
+    speedup,
     suites, summary, table1, trivial, ExpConfig, ExperimentError,
 };
 
@@ -204,6 +205,17 @@ pub fn sweep(cfg: ExpConfig, q: &SweepQuery) -> Result<String, ExperimentError> 
     Ok(figures::render_sweep(&title, x_label, &curves))
 }
 
+/// Render the region-memoization family (crate `memo-region`) — the
+/// direct runner the `/v1/region` endpoint must match byte-for-byte.
+///
+/// # Errors
+///
+/// [`ExperimentError::Transparency`] if the differential checker finds
+/// any architectural-state divergence.
+pub fn region(cfg: ExpConfig) -> Result<String, ExperimentError> {
+    regions::render(cfg)
+}
+
 /// One experiment runner: a name and a render function.
 pub type Runner = fn(ExpConfig) -> Result<String, ExperimentError>;
 
@@ -233,6 +245,7 @@ pub fn experiments() -> Vec<(&'static str, Runner)> {
         ("related work", related::render),
         ("future work", extension::render),
         ("fault tolerance", fault_tolerance::render),
+        ("regions", regions::render),
         ("scorecard", summary::render_strict),
     ]
 }

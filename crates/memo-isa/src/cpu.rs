@@ -11,6 +11,15 @@ pub enum ExitReason {
     Halted,
 }
 
+/// Where control flows after executing a single instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// Execution continues at this program counter.
+    Next(usize),
+    /// The instruction was `halt`.
+    Halted,
+}
+
 /// The machine: 32 integer registers (`r0` hardwired to zero), 32 doubles,
 /// and a flat byte-addressed memory.
 ///
@@ -29,7 +38,12 @@ impl Cpu {
     /// A machine with `memory_bytes` of zeroed memory.
     #[must_use]
     pub fn new(memory_bytes: usize) -> Self {
-        Cpu { iregs: [0; 32], fregs: [0.0; 32], mem: vec![0; memory_bytes], retired: 0 }
+        Cpu {
+            iregs: [0; 32],
+            fregs: [0.0; 32],
+            mem: vec![0; memory_bytes],
+            retired: 0,
+        }
     }
 
     /// Integer register value (`r0` is always 0).
@@ -60,6 +74,20 @@ impl Cpu {
     #[must_use]
     pub fn retired(&self) -> u64 {
         self.retired
+    }
+
+    /// Account `n` instructions as architecturally retired without
+    /// executing them. Region-bypass drivers (crate `memo-region`) call
+    /// this when a table hit skips a block's body, so the retired count
+    /// stays indistinguishable from plain execution.
+    pub fn retire(&mut self, n: u64) {
+        self.retired += n;
+    }
+
+    /// The full memory image (for differential state comparison).
+    #[must_use]
+    pub fn memory(&self) -> &[u8] {
+        &self.mem
     }
 
     /// Read a double from memory (for test assertions and data setup).
@@ -139,163 +167,187 @@ impl Cpu {
     ) -> Result<ExitReason, IsaError> {
         let mut pc = 0usize;
         for _ in 0..fuel {
-            let Some(&inst) = program.insts.get(pc) else {
-                return Err(IsaError::RanOffEnd);
-            };
-            self.retired += 1;
-            pc += 1;
-            match inst {
-                Inst::Add(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a).wrapping_add(self.reg(b)));
-                }
-                Inst::Sub(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a).wrapping_sub(self.reg(b)));
-                }
-                Inst::Addi(d, a, imm) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a).wrapping_add(imm));
-                }
-                Inst::Subi(d, a, imm) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a).wrapping_sub(imm));
-                }
-                Inst::And(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a) & self.reg(b));
-                }
-                Inst::Or(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a) | self.reg(b));
-                }
-                Inst::Xor(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a) ^ self.reg(b));
-                }
-                Inst::Sll(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.reg(a) << (self.reg(b) & 63));
-                }
-                Inst::Srl(d, a, b) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, ((self.reg(a) as u64) >> (self.reg(b) & 63)) as i64);
-                }
-                Inst::Li(d, imm) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, imm);
-                }
-                Inst::Mul(d, a, b) => {
-                    let v = sink.imul(self.reg(a), self.reg(b));
-                    self.set_reg(d, v);
-                }
-                Inst::Div(d, a, b) => {
-                    // The integer divider shares the multi-cycle datapath;
-                    // modelled as an integer-ALU burst plus the quotient.
-                    let divisor = self.reg(b);
-                    if divisor == 0 {
-                        return Err(IsaError::DivideByZero);
-                    }
-                    sink.int_ops(4);
-                    self.set_reg(d, self.reg(a).wrapping_div(divisor));
-                }
-                Inst::Ld(d, base, off) => {
-                    let addr = self.ea(base, off);
-                    sink.load(addr);
-                    let v = self.read_i64(addr)?;
-                    self.set_reg(d, v);
-                }
-                Inst::St(base, src, off) => {
-                    let addr = self.ea(base, off);
-                    sink.store(addr);
-                    self.write_i64(addr, self.reg(src))?;
-                }
-                Inst::Ldf(d, base, off) => {
-                    let addr = self.ea(base, off);
-                    sink.load(addr);
-                    let v = self.read_f64(addr)?;
-                    self.set_freg(d, v);
-                }
-                Inst::Stf(src, base, off) => {
-                    let addr = self.ea(base, off);
-                    sink.store(addr);
-                    self.write_f64(addr, self.freg(src))?;
-                }
-                Inst::Lif(d, imm) => {
-                    sink.int_ops(1);
-                    self.set_freg(d, imm);
-                }
-                Inst::Fadd(d, a, b) => {
-                    let v = sink.fadd(self.freg(a), self.freg(b));
-                    self.set_freg(d, v);
-                }
-                Inst::Fsub(d, a, b) => {
-                    let v = sink.fsub(self.freg(a), self.freg(b));
-                    self.set_freg(d, v);
-                }
-                Inst::Fmul(d, a, b) => {
-                    let v = sink.fmul(self.freg(a), self.freg(b));
-                    self.set_freg(d, v);
-                }
-                Inst::Fdiv(d, a, b) => {
-                    let v = sink.fdiv(self.freg(a), self.freg(b));
-                    self.set_freg(d, v);
-                }
-                Inst::Fsqrt(d, a) => {
-                    let v = sink.fsqrt(self.freg(a));
-                    self.set_freg(d, v);
-                }
-                Inst::Fmov(d, a) => {
-                    sink.int_ops(1);
-                    self.set_freg(d, self.freg(a));
-                }
-                Inst::Itof(d, a) => {
-                    sink.int_ops(1);
-                    self.set_freg(d, self.reg(a) as f64);
-                }
-                Inst::Ftoi(d, a) => {
-                    sink.int_ops(1);
-                    self.set_reg(d, self.freg(a) as i64);
-                }
-                Inst::Beq(a, b, target) => {
-                    sink.branch();
-                    if self.reg(a) == self.reg(b) {
-                        pc = target;
-                    }
-                }
-                Inst::Bne(a, b, target) => {
-                    sink.branch();
-                    if self.reg(a) != self.reg(b) {
-                        pc = target;
-                    }
-                }
-                Inst::Blt(a, b, target) => {
-                    sink.branch();
-                    if self.reg(a) < self.reg(b) {
-                        pc = target;
-                    }
-                }
-                Inst::Bgt(a, b, target) => {
-                    sink.branch();
-                    if self.reg(a) > self.reg(b) {
-                        pc = target;
-                    }
-                }
-                Inst::Fblt(a, b, target) => {
-                    sink.branch();
-                    if self.freg(a) < self.freg(b) {
-                        pc = target;
-                    }
-                }
-                Inst::Jmp(target) => {
-                    sink.branch();
-                    pc = target;
-                }
-                Inst::Nop => sink.annulled(),
-                Inst::Halt => return Ok(ExitReason::Halted),
+            match self.step(program, pc, sink)? {
+                Step::Next(next) => pc = next,
+                Step::Halted => return Ok(ExitReason::Halted),
             }
         }
         Err(IsaError::OutOfFuel)
+    }
+
+    /// Execute the single instruction at `pc`, streaming its events into
+    /// `sink`, and report where control flows next.
+    ///
+    /// This is the building block [`Cpu::run`] loops over; region-aware
+    /// drivers call it directly to interleave table probes with plain
+    /// execution without duplicating instruction semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`IsaError::MemoryFault`], [`IsaError::DivideByZero`], or
+    /// [`IsaError::RanOffEnd`] when `pc` is past the last instruction.
+    pub fn step<S: EventSink + ?Sized>(
+        &mut self,
+        program: &Program,
+        pc: usize,
+        sink: &mut S,
+    ) -> Result<Step, IsaError> {
+        let Some(&inst) = program.insts.get(pc) else {
+            return Err(IsaError::RanOffEnd);
+        };
+        self.retired += 1;
+        let mut pc = pc + 1;
+        match inst {
+            Inst::Add(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a).wrapping_add(self.reg(b)));
+            }
+            Inst::Sub(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a).wrapping_sub(self.reg(b)));
+            }
+            Inst::Addi(d, a, imm) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a).wrapping_add(imm));
+            }
+            Inst::Subi(d, a, imm) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a).wrapping_sub(imm));
+            }
+            Inst::And(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a) & self.reg(b));
+            }
+            Inst::Or(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a) | self.reg(b));
+            }
+            Inst::Xor(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a) ^ self.reg(b));
+            }
+            Inst::Sll(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.reg(a) << (self.reg(b) & 63));
+            }
+            Inst::Srl(d, a, b) => {
+                sink.int_ops(1);
+                self.set_reg(d, ((self.reg(a) as u64) >> (self.reg(b) & 63)) as i64);
+            }
+            Inst::Li(d, imm) => {
+                sink.int_ops(1);
+                self.set_reg(d, imm);
+            }
+            Inst::Mul(d, a, b) => {
+                let v = sink.imul(self.reg(a), self.reg(b));
+                self.set_reg(d, v);
+            }
+            Inst::Div(d, a, b) => {
+                // The integer divider shares the multi-cycle datapath;
+                // modelled as an integer-ALU burst plus the quotient.
+                let divisor = self.reg(b);
+                if divisor == 0 {
+                    return Err(IsaError::DivideByZero);
+                }
+                sink.int_ops(4);
+                self.set_reg(d, self.reg(a).wrapping_div(divisor));
+            }
+            Inst::Ld(d, base, off) => {
+                let addr = self.ea(base, off);
+                sink.load(addr);
+                let v = self.read_i64(addr)?;
+                self.set_reg(d, v);
+            }
+            Inst::St(base, src, off) => {
+                let addr = self.ea(base, off);
+                sink.store(addr);
+                self.write_i64(addr, self.reg(src))?;
+            }
+            Inst::Ldf(d, base, off) => {
+                let addr = self.ea(base, off);
+                sink.load(addr);
+                let v = self.read_f64(addr)?;
+                self.set_freg(d, v);
+            }
+            Inst::Stf(src, base, off) => {
+                let addr = self.ea(base, off);
+                sink.store(addr);
+                self.write_f64(addr, self.freg(src))?;
+            }
+            Inst::Lif(d, imm) => {
+                sink.int_ops(1);
+                self.set_freg(d, imm);
+            }
+            Inst::Fadd(d, a, b) => {
+                let v = sink.fadd(self.freg(a), self.freg(b));
+                self.set_freg(d, v);
+            }
+            Inst::Fsub(d, a, b) => {
+                let v = sink.fsub(self.freg(a), self.freg(b));
+                self.set_freg(d, v);
+            }
+            Inst::Fmul(d, a, b) => {
+                let v = sink.fmul(self.freg(a), self.freg(b));
+                self.set_freg(d, v);
+            }
+            Inst::Fdiv(d, a, b) => {
+                let v = sink.fdiv(self.freg(a), self.freg(b));
+                self.set_freg(d, v);
+            }
+            Inst::Fsqrt(d, a) => {
+                let v = sink.fsqrt(self.freg(a));
+                self.set_freg(d, v);
+            }
+            Inst::Fmov(d, a) => {
+                sink.int_ops(1);
+                self.set_freg(d, self.freg(a));
+            }
+            Inst::Itof(d, a) => {
+                sink.int_ops(1);
+                self.set_freg(d, self.reg(a) as f64);
+            }
+            Inst::Ftoi(d, a) => {
+                sink.int_ops(1);
+                self.set_reg(d, self.freg(a) as i64);
+            }
+            Inst::Beq(a, b, target) => {
+                sink.branch();
+                if self.reg(a) == self.reg(b) {
+                    pc = target;
+                }
+            }
+            Inst::Bne(a, b, target) => {
+                sink.branch();
+                if self.reg(a) != self.reg(b) {
+                    pc = target;
+                }
+            }
+            Inst::Blt(a, b, target) => {
+                sink.branch();
+                if self.reg(a) < self.reg(b) {
+                    pc = target;
+                }
+            }
+            Inst::Bgt(a, b, target) => {
+                sink.branch();
+                if self.reg(a) > self.reg(b) {
+                    pc = target;
+                }
+            }
+            Inst::Fblt(a, b, target) => {
+                sink.branch();
+                if self.freg(a) < self.freg(b) {
+                    pc = target;
+                }
+            }
+            Inst::Jmp(target) => {
+                sink.branch();
+                pc = target;
+            }
+            Inst::Nop => sink.annulled(),
+            Inst::Halt => return Ok(Step::Halted),
+        }
+        Ok(Step::Next(pc))
     }
 }
 
@@ -352,10 +404,8 @@ mod tests {
 
     #[test]
     fn memory_roundtrip_through_loads_and_stores() {
-        let (cpu, sink) = run(
-            "li r1, 64\n lif f1, 2.5\n stf f1, r1, 0\n ldf f2, r1, 0\n \
-             li r2, -7\n st r1, r2, 8\n ld r3, r1, 8\n halt",
-        );
+        let (cpu, sink) = run("li r1, 64\n lif f1, 2.5\n stf f1, r1, 0\n ldf f2, r1, 0\n \
+             li r2, -7\n st r1, r2, 8\n ld r3, r1, 8\n halt");
         assert_eq!(cpu.freg(2), 2.5);
         assert_eq!(cpu.reg(3), -7);
         assert_eq!(sink.mix().loads, 2);
@@ -364,9 +414,8 @@ mod tests {
 
     #[test]
     fn loop_executes_expected_count() {
-        let (cpu, sink) = run(
-            "li r1, 0\n li r2, 10\n loop: addi r1, r1, 1\n blt r1, r2, loop\n halt",
-        );
+        let (cpu, sink) =
+            run("li r1, 0\n li r2, 10\n loop: addi r1, r1, 1\n blt r1, r2, loop\n halt");
         assert_eq!(cpu.reg(1), 10);
         assert_eq!(sink.mix().branches, 10);
     }
@@ -382,15 +431,24 @@ mod tests {
 
         let p = assemble("li r1, 5\n div r2, r1, r0\n halt").unwrap();
         let mut cpu = Cpu::new(4096);
-        assert_eq!(cpu.run(&p, &mut NullSink, 100).unwrap_err(), IsaError::DivideByZero);
+        assert_eq!(
+            cpu.run(&p, &mut NullSink, 100).unwrap_err(),
+            IsaError::DivideByZero
+        );
 
         let p = assemble("jmp spin\n spin: jmp spin").unwrap();
         let mut cpu = Cpu::new(64);
-        assert_eq!(cpu.run(&p, &mut NullSink, 1000).unwrap_err(), IsaError::OutOfFuel);
+        assert_eq!(
+            cpu.run(&p, &mut NullSink, 1000).unwrap_err(),
+            IsaError::OutOfFuel
+        );
 
         let p = assemble("nop").unwrap();
         let mut cpu = Cpu::new(64);
-        assert_eq!(cpu.run(&p, &mut NullSink, 10).unwrap_err(), IsaError::RanOffEnd);
+        assert_eq!(
+            cpu.run(&p, &mut NullSink, 10).unwrap_err(),
+            IsaError::RanOffEnd
+        );
     }
 
     #[test]

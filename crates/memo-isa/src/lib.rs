@@ -50,5 +50,5 @@ mod inst;
 pub mod programs;
 
 pub use asm::assemble;
-pub use cpu::{Cpu, ExitReason};
+pub use cpu::{Cpu, ExitReason, Step};
 pub use inst::{Inst, IsaError, Program};

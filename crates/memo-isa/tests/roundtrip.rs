@@ -123,3 +123,33 @@ fn events_match_retirement() {
         assert_eq!(sink.mix().total(), cpu.retired() - 1);
     }
 }
+
+/// Every bundled kernel program survives assemble → disassemble →
+/// re-assemble with an identical instruction stream. Region detection
+/// (crate `memo-region`) keys off these encodings; this locks them down.
+#[test]
+fn bundled_programs_roundtrip() {
+    let sources = [
+        ("dot_product", memo_isa::programs::dot_product(16)),
+        ("normalize", memo_isa::programs::normalize(12, 3.5)),
+        ("newton_sqrt", memo_isa::programs::newton_sqrt(8)),
+        ("matmul", memo_isa::programs::matmul(5)),
+        ("convolve3", memo_isa::programs::convolve3(9)),
+    ];
+    for (name, src) in sources {
+        let original = assemble(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let regenerated = assemble(&original.to_source())
+            .unwrap_or_else(|e| panic!("{name} roundtrip: {e}"));
+        assert_eq!(
+            &regenerated.instructions()[..original.len()],
+            original.instructions(),
+            "{name}: instruction stream must survive the round-trip"
+        );
+        // `to_source` appends one guard halt for the one-past-the-end label.
+        assert_eq!(regenerated.len(), original.len() + 1, "{name}");
+        assert_eq!(regenerated.instructions()[original.len()], Inst::Halt, "{name}");
+        // A second trip is a fixed point.
+        let third = assemble(&regenerated.to_source()).expect("second roundtrip");
+        assert_eq!(&third.instructions()[..regenerated.len()], regenerated.instructions(), "{name}");
+    }
+}

@@ -1,0 +1,358 @@
+//! Static region detection: find pure, short, single-entry/single-exit
+//! instruction sequences and compute their exact live-in/live-out sets.
+
+use memo_isa::{Inst, Program};
+use memo_sim::CpuModel;
+use memo_table::OpKind;
+
+/// Shortest sequence worth a table probe. A one-instruction region is
+/// never profitable: the probe itself costs a cycle, and the per-unit
+/// memo tables already cover single operations.
+pub const MIN_REGION_LEN: usize = 2;
+
+/// Which latency bucket a pure instruction charges.
+#[derive(Clone, Copy)]
+enum Unit {
+    IntAlu,
+    IntMul,
+    FpAdd,
+    FpMul,
+    FpDiv,
+    FpSqrt,
+}
+
+/// Register effect of one pure instruction: which registers it reads and
+/// writes (as 32-bit masks over the int and fp files) and what it costs.
+struct Effect {
+    reads_int: u32,
+    reads_fp: u32,
+    writes_int: u32,
+    writes_fp: u32,
+    unit: Unit,
+}
+
+fn imask(r: u8) -> u32 {
+    // r0 is hardwired zero: reading it is a constant, writing it a no-op,
+    // so it never appears in a live set.
+    if r == 0 {
+        0
+    } else {
+        1 << r
+    }
+}
+
+fn fmask(f: u8) -> u32 {
+    1 << f
+}
+
+/// Classify `inst` if it is pure — computes only on registers, cannot
+/// fault, touches no memory, and transfers control to the next pc.
+/// Excluded on purpose: `div` (divide-by-zero faults mid-region), all
+/// loads/stores (memory is not in the key), branches/`jmp`/`halt`
+/// (regions are single-exit fall-through), and `nop` (bypassing it would
+/// change the annulled-event stream for no payoff).
+fn effect(inst: Inst) -> Option<Effect> {
+    use Unit::{FpAdd, FpDiv, FpMul, FpSqrt, IntAlu, IntMul};
+    let e = |ri, rf, wi, wf, unit| Effect {
+        reads_int: ri,
+        reads_fp: rf,
+        writes_int: wi,
+        writes_fp: wf,
+        unit,
+    };
+    Some(match inst {
+        Inst::Add(d, a, b)
+        | Inst::Sub(d, a, b)
+        | Inst::And(d, a, b)
+        | Inst::Or(d, a, b)
+        | Inst::Xor(d, a, b)
+        | Inst::Sll(d, a, b)
+        | Inst::Srl(d, a, b) => e(imask(a) | imask(b), 0, imask(d), 0, IntAlu),
+        Inst::Addi(d, a, _) | Inst::Subi(d, a, _) => e(imask(a), 0, imask(d), 0, IntAlu),
+        Inst::Li(d, _) => e(0, 0, imask(d), 0, IntAlu),
+        Inst::Mul(d, a, b) => e(imask(a) | imask(b), 0, imask(d), 0, IntMul),
+        Inst::Lif(d, _) => e(0, 0, 0, fmask(d), IntAlu),
+        Inst::Fadd(d, a, b) | Inst::Fsub(d, a, b) => {
+            e(0, fmask(a) | fmask(b), 0, fmask(d), FpAdd)
+        }
+        Inst::Fmul(d, a, b) => e(0, fmask(a) | fmask(b), 0, fmask(d), FpMul),
+        Inst::Fdiv(d, a, b) => e(0, fmask(a) | fmask(b), 0, fmask(d), FpDiv),
+        Inst::Fsqrt(d, a) => e(0, fmask(a), 0, fmask(d), FpSqrt),
+        Inst::Fmov(d, a) => e(0, fmask(a), 0, fmask(d), IntAlu),
+        Inst::Itof(d, a) => e(imask(a), 0, 0, fmask(d), IntAlu),
+        Inst::Ftoi(d, a) => e(0, fmask(a), imask(d), 0, IntAlu),
+        _ => return None,
+    })
+}
+
+fn branch_target(inst: Inst) -> Option<usize> {
+    match inst {
+        Inst::Beq(_, _, t)
+        | Inst::Bne(_, _, t)
+        | Inst::Blt(_, _, t)
+        | Inst::Bgt(_, _, t)
+        | Inst::Fblt(_, _, t)
+        | Inst::Jmp(t) => Some(t),
+        _ => None,
+    }
+}
+
+/// How many cycles a region's body costs, per latency bucket, on the
+/// baseline (non-memoized) machine. This is what a table hit credits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionCost {
+    /// Single-cycle-class integer/move/convert operations.
+    pub int_alu: u32,
+    /// Integer multiplies.
+    pub int_mul: u32,
+    /// FP adds and subtracts.
+    pub fp_add: u32,
+    /// FP multiplies.
+    pub fp_mul: u32,
+    /// FP divides.
+    pub fp_div: u32,
+    /// FP square roots.
+    pub fp_sqrt: u32,
+}
+
+impl RegionCost {
+    /// Total baseline cycles under `cpu`'s latencies.
+    #[must_use]
+    pub fn cycles(&self, cpu: &CpuModel) -> u64 {
+        u64::from(self.int_alu) * u64::from(cpu.int_alu)
+            + u64::from(self.int_mul) * u64::from(cpu.latency(OpKind::IntMul))
+            + u64::from(self.fp_add) * u64::from(cpu.fp_add)
+            + u64::from(self.fp_mul) * u64::from(cpu.latency(OpKind::FpMul))
+            + u64::from(self.fp_div) * u64::from(cpu.latency(OpKind::FpDiv))
+            + u64::from(self.fp_sqrt) * u64::from(cpu.latency(OpKind::FpSqrt))
+    }
+}
+
+/// A detected pure region: `len` instructions starting at `entry_pc`,
+/// with exact live-in/live-out register sets (bit `r` of a mask is
+/// register `r`; `r0` never appears).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Region {
+    entry_pc: usize,
+    len: usize,
+    live_in_int: u32,
+    live_in_fp: u32,
+    live_out_int: u32,
+    live_out_fp: u32,
+    cost: RegionCost,
+}
+
+impl Region {
+    /// First instruction index of the region.
+    #[must_use]
+    pub fn entry_pc(&self) -> usize {
+        self.entry_pc
+    }
+
+    /// Number of instructions in the region body.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Regions are never empty ([`MIN_REGION_LEN`] ≥ 2).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Where control resumes after the region (single exit: fall-through).
+    #[must_use]
+    pub fn next_pc(&self) -> usize {
+        self.entry_pc + self.len
+    }
+
+    /// Integer registers read before being written inside the region.
+    #[must_use]
+    pub fn live_in_int(&self) -> u32 {
+        self.live_in_int
+    }
+
+    /// FP registers read before being written inside the region.
+    #[must_use]
+    pub fn live_in_fp(&self) -> u32 {
+        self.live_in_fp
+    }
+
+    /// Integer registers the region writes.
+    #[must_use]
+    pub fn live_out_int(&self) -> u32 {
+        self.live_out_int
+    }
+
+    /// FP registers the region writes.
+    #[must_use]
+    pub fn live_out_fp(&self) -> u32 {
+        self.live_out_fp
+    }
+
+    /// Number of live-in values (the table key width).
+    #[must_use]
+    pub fn live_in_len(&self) -> usize {
+        (self.live_in_int.count_ones() + self.live_in_fp.count_ones()) as usize
+    }
+
+    /// Number of live-out values (the table payload width).
+    #[must_use]
+    pub fn live_out_len(&self) -> usize {
+        (self.live_out_int.count_ones() + self.live_out_fp.count_ones()) as usize
+    }
+
+    /// Baseline cost of the body (what a hit credits).
+    #[must_use]
+    pub fn cost(&self) -> RegionCost {
+        self.cost
+    }
+}
+
+fn build(insts: &[Inst], start: usize, end: usize) -> Region {
+    let mut r = Region {
+        entry_pc: start,
+        len: end - start,
+        live_in_int: 0,
+        live_in_fp: 0,
+        live_out_int: 0,
+        live_out_fp: 0,
+        cost: RegionCost::default(),
+    };
+    for &inst in &insts[start..end] {
+        let e = effect(inst).expect("region bodies are pure by construction");
+        // Live-in: read before (re)defined within the region.
+        r.live_in_int |= e.reads_int & !r.live_out_int;
+        r.live_in_fp |= e.reads_fp & !r.live_out_fp;
+        r.live_out_int |= e.writes_int;
+        r.live_out_fp |= e.writes_fp;
+        match e.unit {
+            Unit::IntAlu => r.cost.int_alu += 1,
+            Unit::IntMul => r.cost.int_mul += 1,
+            Unit::FpAdd => r.cost.fp_add += 1,
+            Unit::FpMul => r.cost.fp_mul += 1,
+            Unit::FpDiv => r.cost.fp_div += 1,
+            Unit::FpSqrt => r.cost.fp_sqrt += 1,
+        }
+    }
+    r
+}
+
+/// Find all memoizable regions of `program`: maximal runs of pure
+/// instructions, split wherever a branch lands (so no region has a side
+/// entrance past its first instruction) and chunked at `max_len`
+/// (clamped up to [`MIN_REGION_LEN`]). Runs shorter than
+/// [`MIN_REGION_LEN`] are discarded — the per-unit tables already cover
+/// single operations.
+#[must_use]
+pub fn detect(program: &Program, max_len: usize) -> Vec<Region> {
+    let insts = program.instructions();
+    let max_len = max_len.max(MIN_REGION_LEN);
+    let mut is_target = vec![false; insts.len() + 1];
+    for &inst in insts {
+        if let Some(t) = branch_target(inst) {
+            if t < is_target.len() {
+                is_target[t] = true;
+            }
+        }
+    }
+    let mut regions = Vec::new();
+    let mut pc = 0;
+    while pc < insts.len() {
+        if effect(insts[pc]).is_none() {
+            pc += 1;
+            continue;
+        }
+        let mut end = pc + 1;
+        while end < insts.len()
+            && end - pc < max_len
+            && !is_target[end]
+            && effect(insts[end]).is_some()
+        {
+            end += 1;
+        }
+        if end - pc >= MIN_REGION_LEN {
+            regions.push(build(insts, pc, end));
+        }
+        pc = end;
+    }
+    regions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use memo_isa::assemble;
+    use memo_sim::CpuModel;
+
+    #[test]
+    fn straight_line_program_is_one_region_with_exact_live_sets() {
+        // f3 = (f1 + f2) * f1; r2 = r1 + 5.
+        let p = assemble(
+            "fadd f3, f1, f2\n fmul f3, f3, f1\n addi r2, r1, 5\n halt",
+        )
+        .unwrap();
+        let regions = detect(&p, 16);
+        assert_eq!(regions.len(), 1);
+        let r = regions[0];
+        assert_eq!((r.entry_pc(), r.len(), r.next_pc()), (0, 3, 3));
+        assert_eq!(r.live_in_fp(), (1 << 1) | (1 << 2));
+        assert_eq!(r.live_out_fp(), 1 << 3);
+        assert_eq!(r.live_in_int(), 1 << 1);
+        assert_eq!(r.live_out_int(), 1 << 2);
+        assert_eq!((r.live_in_len(), r.live_out_len()), (3, 2));
+        assert_eq!(r.cost(), RegionCost { int_alu: 1, fp_add: 1, fp_mul: 1, ..RegionCost::default() });
+        let m = CpuModel::paper_slow();
+        assert_eq!(
+            r.cost().cycles(&m),
+            u64::from(m.int_alu) + u64::from(m.fp_add) + u64::from(m.fp_mul)
+        );
+    }
+
+    #[test]
+    fn impure_instructions_and_branch_targets_split_regions() {
+        // The loop body is split by the ldf/stf; the branch target starts
+        // a fresh region rather than extending one across the label.
+        let p = assemble(
+            "li r1, 0\n li r2, 8\n lif f8, 2.0\n \
+             loop: ldf f1, r1, 0\n fmul f2, f1, f8\n fadd f2, f2, f8\n stf f2, r1, 0\n \
+             addi r1, r1, 8\n subi r3, r2, 1\n blt r1, r2, loop\n halt",
+        )
+        .unwrap();
+        let regions = detect(&p, 16);
+        let spans: Vec<(usize, usize)> = regions.iter().map(|r| (r.entry_pc(), r.len())).collect();
+        // Preamble [0,3), arithmetic [4,6), induction updates [7,9).
+        assert_eq!(spans, vec![(0, 3), (4, 2), (7, 2)]);
+        // No region contains a branch-target past its entry.
+        for r in &regions {
+            assert!(r.entry_pc() == 3 || (r.entry_pc()..r.next_pc()).all(|pc| pc == r.entry_pc() || pc != 3));
+        }
+    }
+
+    #[test]
+    fn max_len_chunks_long_runs_and_min_len_drops_singletons() {
+        let long: String =
+            (0..10).map(|i| format!("addi r{}, r1, {i}\n", 2 + (i % 4))).collect::<String>() + "halt";
+        let p = assemble(&long).unwrap();
+        let regions = detect(&p, 4);
+        let lens: Vec<usize> = regions.iter().map(Region::len).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+
+        // A lone pure instruction between impure ones is not a region.
+        let p = assemble("ldf f1, r1, 0\n fsqrt f2, f1\n stf f2, r1, 0\n halt").unwrap();
+        assert!(detect(&p, 16).is_empty());
+    }
+
+    #[test]
+    fn r0_and_div_never_enter_regions() {
+        // div can fault; r0 reads are constants, writes are no-ops.
+        let p = assemble("add r0, r1, r0\n addi r2, r0, 7\n div r3, r2, r1\n halt").unwrap();
+        let regions = detect(&p, 16);
+        assert_eq!(regions.len(), 1);
+        let r = regions[0];
+        assert_eq!((r.entry_pc(), r.len()), (0, 2));
+        assert_eq!(r.live_in_int(), 1 << 1);
+        assert_eq!(r.live_out_int(), 1 << 2);
+    }
+}

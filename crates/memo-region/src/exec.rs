@@ -1,0 +1,389 @@
+//! The region-aware executor: plain interpretation interleaved with
+//! region-table probes, bypassing whole pure blocks on a hit.
+
+use memo_isa::{Cpu, ExitReason, IsaError, Program, Step};
+use memo_sim::{CpuModel, EventSink};
+
+use crate::detect::{detect, Region};
+use crate::table::{RegionProbe, RegionTable};
+
+/// Detected regions of one program, indexed by entry pc for O(1) lookup
+/// in the execution loop.
+pub struct RegionIndex {
+    regions: Vec<Region>,
+    at: Vec<Option<u32>>,
+}
+
+impl RegionIndex {
+    /// Detect regions of `program` (bodies capped at `max_len`) and build
+    /// the pc-indexed lookup.
+    #[must_use]
+    pub fn new(program: &Program, max_len: usize) -> Self {
+        let regions = detect(program, max_len);
+        let mut at = vec![None; program.len()];
+        for (i, r) in regions.iter().enumerate() {
+            at[r.entry_pc()] = Some(u32::try_from(i).expect("programs are far below 2^32 regions"));
+        }
+        RegionIndex { regions, at }
+    }
+
+    /// All detected regions, in program order.
+    #[must_use]
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Static instruction count covered by regions.
+    #[must_use]
+    pub fn covered_instructions(&self) -> usize {
+        self.regions.iter().map(Region::len).sum()
+    }
+
+    fn lookup(&self, pc: usize) -> Option<&Region> {
+        let idx = (*self.at.get(pc)?)?;
+        Some(&self.regions[idx as usize])
+    }
+}
+
+/// Dynamic counters from one region-aware run, in the units the
+/// cycle-accounting model needs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RegionRunStats {
+    /// Region entries (every one costs a table probe).
+    pub entries: u64,
+    /// Entries served from the table (payload applied, body skipped or —
+    /// under verify-on-hit — recomputed concurrently).
+    pub hits: u64,
+    /// Instructions whose execution the table bypassed outright.
+    pub bypassed: u64,
+    /// Dynamic instructions inside entered regions (hit or miss).
+    pub covered: u64,
+    /// Cycles the memoized machine pays for probes and hit penalties.
+    pub charged_cycles: u64,
+    /// Baseline body cycles that hits made unnecessary.
+    pub credited_cycles: u64,
+}
+
+impl RegionRunStats {
+    /// Hits over entries (`None` when no region was ever entered).
+    #[must_use]
+    pub fn hit_ratio(&self) -> Option<f64> {
+        (self.entries > 0).then(|| self.hits as f64 / self.entries as f64)
+    }
+
+    /// The memoized machine's total given the baseline machine's
+    /// `baseline` cycles for the same instruction stream: bypassed bodies
+    /// are credited back, probes and penalties are charged.
+    #[must_use]
+    pub fn memoized_total(&self, baseline: u64) -> u64 {
+        baseline.saturating_sub(self.credited_cycles) + self.charged_cycles
+    }
+
+    /// Speedup of the region-memoized machine over the baseline.
+    #[must_use]
+    pub fn speedup(&self, baseline: u64) -> f64 {
+        baseline as f64 / self.memoized_total(baseline) as f64
+    }
+}
+
+/// Marshalling order for live register values: integer registers
+/// ascending, then fp registers ascending. Integers as two's-complement
+/// bits, doubles as IEEE bits — comparisons are bit-exact (NaN-safe).
+fn gather(cpu: &Cpu, int_mask: u32, fp_mask: u32, out: &mut Vec<u64>) {
+    out.clear();
+    for r in 1..32u8 {
+        if int_mask & (1 << r) != 0 {
+            out.push(cpu.reg(r) as u64);
+        }
+    }
+    for f in 0..32u8 {
+        if fp_mask & (1 << f) != 0 {
+            out.push(cpu.freg(f).to_bits());
+        }
+    }
+}
+
+fn apply(cpu: &mut Cpu, region: &Region, words: &[u64]) {
+    let mut next = words.iter();
+    for r in 1..32u8 {
+        if region.live_out_int() & (1 << r) != 0 {
+            cpu.set_reg(r, *next.next().expect("payload width matches live-out set") as i64);
+        }
+    }
+    for f in 0..32u8 {
+        if region.live_out_fp() & (1 << f) != 0 {
+            cpu.set_freg(f, f64::from_bits(*next.next().expect("payload width matches live-out set")));
+        }
+    }
+}
+
+/// Execute the region body by plain single-stepping, streaming events
+/// into `sink`. Returns the pc after the region.
+fn execute_body<S: EventSink + ?Sized>(
+    cpu: &mut Cpu,
+    program: &Program,
+    region: &Region,
+    sink: &mut S,
+) -> Result<usize, IsaError> {
+    let mut pc = region.entry_pc();
+    for _ in 0..region.len() {
+        match cpu.step(program, pc, sink)? {
+            Step::Next(next) => pc = next,
+            Step::Halted => unreachable!("regions never contain halt"),
+        }
+    }
+    debug_assert_eq!(pc, region.next_pc(), "regions are straight-line");
+    Ok(pc)
+}
+
+/// Run `program` on `cpu` with region memoization: at every region entry
+/// pc the table is probed; a hit writes the remembered live-outs and
+/// jumps past the body, a miss executes the body and inserts what it
+/// produced. Architectural state (registers, memory, retired count, exit
+/// reason, fuel semantics) is bit-identical to [`Cpu::run`]; only the
+/// event stream differs, since bypassed bodies emit no events.
+///
+/// `model` prices the credit side of the cycle ledger: a hit credits the
+/// body's baseline cycles and charges `1 + protection penalty`; every
+/// entry (hit or miss) charges 1 probe cycle.
+///
+/// # Errors
+///
+/// Exactly the [`Cpu::run`] errors: [`IsaError::OutOfFuel`],
+/// [`IsaError::MemoryFault`], [`IsaError::DivideByZero`],
+/// [`IsaError::RanOffEnd`].
+pub fn run_with_regions<S: EventSink + ?Sized>(
+    cpu: &mut Cpu,
+    program: &Program,
+    index: &RegionIndex,
+    table: &mut RegionTable,
+    model: &CpuModel,
+    sink: &mut S,
+    fuel: u64,
+) -> Result<(ExitReason, RegionRunStats), IsaError> {
+    let mut stats = RegionRunStats::default();
+    let penalty = u64::from(table.protection().hit_penalty());
+    let mut live_in = Vec::with_capacity(8);
+    let mut live_out = Vec::with_capacity(8);
+    let mut pc = 0usize;
+    let mut remaining = fuel;
+    while remaining > 0 {
+        // Enter a region only when its whole body fits in the remaining
+        // fuel; otherwise fall through to single-stepping so an
+        // out-of-fuel run stops at exactly the same retired count as
+        // plain execution.
+        if let Some(region) = index.lookup(pc) {
+            if (region.len() as u64) <= remaining {
+                let len = region.len() as u64;
+                stats.entries += 1;
+                stats.covered += len;
+                stats.charged_cycles += 1; // the probe
+                gather(cpu, region.live_in_int(), region.live_in_fp(), &mut live_in);
+                match table.probe(pc, &live_in) {
+                    RegionProbe::Hit(payload) => {
+                        apply(cpu, region, &payload);
+                        cpu.retire(len);
+                        remaining -= len;
+                        stats.hits += 1;
+                        stats.bypassed += len;
+                        stats.charged_cycles += penalty;
+                        stats.credited_cycles += region.cost().cycles(model);
+                        pc = region.next_pc();
+                    }
+                    RegionProbe::VerifyHit(payload) => {
+                        // The verify unit recomputes the body while the
+                        // payload is speculatively forwarded; events
+                        // stream as on a miss.
+                        pc = execute_body(cpu, program, region, sink)?;
+                        remaining -= len;
+                        gather(cpu, region.live_out_int(), region.live_out_fp(), &mut live_out);
+                        let matched = live_out == payload;
+                        table.confirm(region.entry_pc(), &live_in, matched);
+                        if matched {
+                            stats.hits += 1;
+                            stats.charged_cycles += penalty;
+                            stats.credited_cycles += region.cost().cycles(model);
+                        }
+                        // On a mismatch the executed results stand and
+                        // full latency was paid: nothing credited.
+                    }
+                    RegionProbe::Miss => {
+                        pc = execute_body(cpu, program, region, sink)?;
+                        remaining -= len;
+                        gather(cpu, region.live_out_int(), region.live_out_fp(), &mut live_out);
+                        table.insert(region.entry_pc(), &live_in, &live_out);
+                    }
+                }
+                continue;
+            }
+        }
+        match cpu.step(program, pc, sink)? {
+            Step::Next(next) => pc = next,
+            Step::Halted => return Ok((ExitReason::Halted, stats)),
+        }
+        remaining -= 1;
+    }
+    Err(IsaError::OutOfFuel)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::RegionConfig;
+    use memo_isa::assemble;
+    use memo_sim::NullSink;
+    use memo_table::rng::SplitMix64;
+    use memo_table::{Assoc, FaultConfig, Protection};
+
+    const FUEL: u64 = 1_000_000;
+
+    fn model() -> CpuModel {
+        CpuModel::paper_slow()
+    }
+
+    fn assert_same_state(plain: &Cpu, memoized: &Cpu, context: &str) {
+        for r in 0..32 {
+            assert_eq!(plain.reg(r), memoized.reg(r), "{context}: r{r}");
+            assert_eq!(
+                plain.freg(r).to_bits(),
+                memoized.freg(r).to_bits(),
+                "{context}: f{r}"
+            );
+        }
+        assert_eq!(plain.memory(), memoized.memory(), "{context}: memory");
+        assert_eq!(plain.retired(), memoized.retired(), "{context}: retired");
+    }
+
+    /// A loop whose body region sees only a handful of distinct live-in
+    /// values: the second iteration onward hits.
+    #[test]
+    fn hits_bypass_and_state_stays_identical() {
+        let src = "li r1, 0\n li r2, 100\n li r3, 0\n lif f1, 3.0\n lif f2, 0.5\n \
+                   loop: fmul f3, f1, f2\n fadd f4, f3, f1\n fsub f5, f4, f2\n \
+                   stf f5, r3, 0\n addi r1, r1, 1\n blt r1, r2, loop\n halt";
+        let program = assemble(src).unwrap();
+        let mut plain = Cpu::new(64);
+        plain.run(&program, &mut NullSink, FUEL).unwrap();
+
+        let index = RegionIndex::new(&program, 16);
+        let mut table = RegionTable::new(RegionConfig::new(64)).unwrap();
+        let mut memoized = Cpu::new(64);
+        let (exit, stats) =
+            run_with_regions(&mut memoized, &program, &index, &mut table, &model(), &mut NullSink, FUEL)
+                .unwrap();
+        assert_eq!(exit, ExitReason::Halted);
+        assert_same_state(&plain, &memoized, "constant loop");
+        // The stf splits the arithmetic from the induction update, so the
+        // arithmetic region's live-ins (f1, f2) never change: 99 of 100
+        // iterations hit and bypass all three fp operations.
+        assert!(stats.hits >= 99, "expected ≥99 hits, got {}", stats.hits);
+        assert!(stats.bypassed >= 99 * 3);
+        assert!(stats.credited_cycles > stats.charged_cycles);
+        assert!(stats.speedup(10_000_000) > 1.0);
+        assert_eq!(table.stats().table_hits, stats.hits);
+    }
+
+    #[test]
+    fn out_of_fuel_matches_plain_execution_exactly() {
+        let src = "li r1, 0\n loop: addi r2, r1, 1\n addi r1, r2, 0\n jmp loop";
+        let program = assemble(src).unwrap();
+        for fuel in 1..40 {
+            let mut plain = Cpu::new(64);
+            let plain_err = plain.run(&program, &mut NullSink, fuel).unwrap_err();
+            assert_eq!(plain_err, IsaError::OutOfFuel);
+
+            let index = RegionIndex::new(&program, 16);
+            let mut table = RegionTable::new(RegionConfig::new(16)).unwrap();
+            let mut memoized = Cpu::new(64);
+            let err = run_with_regions(
+                &mut memoized, &program, &index, &mut table, &model(), &mut NullSink, fuel,
+            )
+            .unwrap_err();
+            assert_eq!(err, IsaError::OutOfFuel);
+            assert_same_state(&plain, &memoized, &format!("fuel {fuel}"));
+        }
+    }
+
+    /// Satellite property test: random straight-line pure programs end in
+    /// a register file bit-identical to plain `Cpu::run`, across
+    /// associativities and protection policies — including verify-on-hit
+    /// and parity under injected faults, where a detected fault must fall
+    /// back to execution and never corrupt state.
+    #[test]
+    fn random_pure_programs_are_transparent_across_policies() {
+        for seed in 0..24 {
+            let mut rng = SplitMix64::new(seed).split("region-property");
+            let src = random_pure_program(&mut rng);
+            let program = assemble(&src).unwrap();
+            let mut plain = Cpu::new(64);
+            plain.run(&program, &mut NullSink, FUEL).unwrap();
+
+            let protections = [
+                (Protection::None, FaultConfig::disabled()),
+                (Protection::ParityDetect, FaultConfig::disabled()),
+                (Protection::EccSecDed, FaultConfig::disabled()),
+                (Protection::VerifyOnHit { verify_cycles: 4 }, FaultConfig::disabled()),
+                // Under injected faults only detecting policies keep the
+                // transparency guarantee.
+                (Protection::ParityDetect, FaultConfig::single_bit(seed ^ 0xab, 0.5)),
+                (Protection::EccSecDed, FaultConfig::single_bit(seed ^ 0xcd, 0.5)),
+                (Protection::VerifyOnHit { verify_cycles: 4 }, FaultConfig::single_bit(seed ^ 0xef, 0.5)),
+            ];
+            for assoc in [Assoc::DirectMapped, Assoc::Ways(2), Assoc::Full] {
+                for (protection, faults) in protections {
+                    let mut table = RegionTable::new(
+                        RegionConfig::new(16).assoc(assoc).protection(protection).faults(faults),
+                    )
+                    .unwrap();
+                    let context = format!("seed {seed} assoc {assoc:?} {protection}");
+                    // Two passes through the same table: the first fills
+                    // it, the second exercises the hit/bypass path.
+                    for pass in 0..2 {
+                        let index = RegionIndex::new(&program, 8);
+                        let mut memoized = Cpu::new(64);
+                        let (exit, _) = run_with_regions(
+                            &mut memoized, &program, &index, &mut table, &model(),
+                            &mut NullSink, FUEL,
+                        )
+                        .unwrap();
+                        assert_eq!(exit, ExitReason::Halted);
+                        assert_same_state(&plain, &memoized, &format!("{context} pass {pass}"));
+                    }
+                }
+            }
+        }
+    }
+
+    fn random_pure_program(rng: &mut SplitMix64) -> String {
+        let mut src = String::new();
+        // Seed a few registers so the chains have varied inputs.
+        for r in 1..6 {
+            src.push_str(&format!("li r{r}, {}\n", rng.next_below(2000) as i64 - 1000));
+        }
+        for f in 1..6 {
+            src.push_str(&format!("lif f{f}, {:?}\n", rng.next_f64() * 8.0 - 4.0));
+        }
+        let len = 8 + rng.next_below(32);
+        for _ in 0..len {
+            let d = 1 + rng.next_below(7);
+            let a = 1 + rng.next_below(7);
+            let b = 1 + rng.next_below(7);
+            let line = match rng.next_below(10) {
+                0 => format!("add r{d}, r{a}, r{b}"),
+                1 => format!("sub r{d}, r{a}, r{b}"),
+                2 => format!("mul r{d}, r{a}, r{b}"),
+                3 => format!("xor r{d}, r{a}, r{b}"),
+                4 => format!("fadd f{d}, f{a}, f{b}"),
+                5 => format!("fsub f{d}, f{a}, f{b}"),
+                6 => format!("fmul f{d}, f{a}, f{b}"),
+                7 => format!("fdiv f{d}, f{a}, f{b}"),
+                8 => format!("fsqrt f{d}, f{a}"),
+                _ => format!("itof f{d}, r{a}"),
+            };
+            src.push_str(&line);
+            src.push('\n');
+        }
+        src.push_str("halt");
+        src
+    }
+}

@@ -1,0 +1,42 @@
+//! # memo-region — basic-block region memoization
+//!
+//! The paper memoizes single multiply/divide/sqrt operations; this crate
+//! generalizes the idea from units to whole instruction sequences,
+//! following the RISC-V-softcore scheme sketched in the repo's related
+//! work: detect *pure* straight-line regions of a [`memo_isa::Program`]
+//! (no loads, stores, branches, division faults, or halt), key a
+//! set-associative table on `(entry_pc, live-in register values)`, and
+//! on a hit write the remembered live-out registers and jump straight to
+//! the instruction after the region — bypassing the whole block.
+//!
+//! Three layers:
+//!
+//! - [`detect`] — the static region detection pass ([`Region`],
+//!   [`RegionCost`]): maximal pure runs, split at branch targets so every
+//!   region is single-entry/single-exit, with exact live-in/live-out sets.
+//! - [`RegionTable`] — the hardware-model table: SplitMix64-hashed
+//!   set-associative lookup, LRU replacement, the PR 1 [`Protection`]
+//!   policies (parity / SEC-DED / verify-on-hit) with deterministic fault
+//!   injection, and [`MemoStats`]-compatible counters.
+//! - [`run_with_regions`] — the region-aware executor: probes the table
+//!   at region entry PCs, bypasses on a hit, executes-and-inserts on a
+//!   miss, and keeps the architectural state (registers, memory, retired
+//!   count) bit-identical to plain [`memo_isa::Cpu::run`].
+//!
+//! Transparency is the contract: any detected fault falls back to plain
+//! execution, so only `Protection::None` under injected faults can ever
+//! produce silent data corruption — exactly as in the per-unit tables.
+//!
+//! [`Protection`]: memo_table::Protection
+//! [`MemoStats`]: memo_table::MemoStats
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod detect;
+mod exec;
+mod table;
+
+pub use detect::{detect, Region, RegionCost, MIN_REGION_LEN};
+pub use exec::{run_with_regions, RegionIndex, RegionRunStats};
+pub use table::{RegionConfig, RegionConfigError, RegionProbe, RegionTable};

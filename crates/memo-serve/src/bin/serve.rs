@@ -70,7 +70,7 @@ fn main() {
                     d.display()
                 ))
             );
-            println!("endpoints: /healthz /metrics /v1/table/{{1..13}} /v1/figure/{{2..4}} /v1/sweep /quitquitquit");
+            println!("endpoints: /healthz /metrics /v1/table/{{1..13}} /v1/figure/{{2..4}} /v1/sweep /v1/region /quitquitquit");
             handle.wait();
             println!("memo-serve drained; bye");
         }

@@ -20,9 +20,12 @@
 //!   `BENCH_serve.json`.
 //!
 //! Endpoints: `GET /healthz`, `GET /metrics`, `GET /v1/table/{1..13}`,
-//! `GET /v1/figure/{2..4}`, `GET /v1/sweep?entries=..&ways=..`, and
+//! `GET /v1/figure/{2..4}`, `GET /v1/sweep?entries=..&ways=..`,
+//! `GET /v1/region` (the region-memoization family), and
 //! `GET /quitquitquit` (graceful drain). Artifact bodies are the CLI
 //! binaries' stdout bytes — same renderer, plus the trailing newline.
+//! The artifact families live in one registry (`routes::FAMILIES`), so
+//! adding an endpoint is one table row, not a parser edit.
 
 pub mod hist;
 pub mod http;

@@ -25,18 +25,21 @@ pub enum Endpoint {
     Figure,
     /// `/v1/sweep`
     Sweep,
+    /// `/v1/region`
+    Region,
     /// Anything else (404s, bad methods, …).
     Other,
 }
 
 impl Endpoint {
     /// All endpoint classes, in exposition order.
-    pub const ALL: [Endpoint; 6] = [
+    pub const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Table,
         Endpoint::Figure,
         Endpoint::Sweep,
+        Endpoint::Region,
         Endpoint::Other,
     ];
 
@@ -49,6 +52,7 @@ impl Endpoint {
             Endpoint::Table => "table",
             Endpoint::Figure => "figure",
             Endpoint::Sweep => "sweep",
+            Endpoint::Region => "region",
             Endpoint::Other => "other",
         }
     }
@@ -60,7 +64,8 @@ impl Endpoint {
             Endpoint::Table => 2,
             Endpoint::Figure => 3,
             Endpoint::Sweep => 4,
-            Endpoint::Other => 5,
+            Endpoint::Region => 5,
+            Endpoint::Other => 6,
         }
     }
 }

@@ -104,6 +104,39 @@ fn cfg_suffix(cfg: ExpConfig) -> String {
     format!("@scale={};sci_n={}", cfg.image_scale, cfg.sci_n)
 }
 
+/// How one artifact family maps URLs to `memo_experiments::runner`
+/// entry points.
+enum FamilyKind {
+    /// `/v1/{kind}/{n}` — a numbered artifact within the family.
+    Numbered(fn(usize, ExpConfig) -> Result<String, ExperimentError>),
+    /// `/v1/{kind}` — the family renders as one whole artifact.
+    Whole(fn(ExpConfig) -> Result<String, ExperimentError>),
+    /// `/v1/{kind}?entries=..&ways=..` — axes canonicalized into the key.
+    Swept,
+}
+
+/// One artifact family the server knows how to route and cache.
+struct Family {
+    /// URL segment and cache-key prefix (`/v1/{kind}`, `{kind}/…`).
+    kind: &'static str,
+    /// Metrics class this family's requests roll up under.
+    endpoint: Endpoint,
+    /// How requests resolve to a runner call.
+    run: FamilyKind,
+}
+
+/// The endpoint → experiment registry. `cache_key` and the route
+/// dispatch both iterate this table, so adding a family is one row
+/// here — the URL, the canonical key shape, the metrics label, and the
+/// cluster router's ring placement (which reuses `cache_key`) all
+/// follow.
+const FAMILIES: [Family; 4] = [
+    Family { kind: "table", endpoint: Endpoint::Table, run: FamilyKind::Numbered(runner::table) },
+    Family { kind: "figure", endpoint: Endpoint::Figure, run: FamilyKind::Numbered(runner::figure) },
+    Family { kind: "sweep", endpoint: Endpoint::Sweep, run: FamilyKind::Swept },
+    Family { kind: "region", endpoint: Endpoint::Region, run: FamilyKind::Whole(runner::region) },
+];
+
 /// The canonical cache key for an artifact request, or `None` when the
 /// request does not address a cacheable artifact (health, metrics,
 /// unknown routes, unparseable sweep axes).
@@ -115,14 +148,29 @@ fn cfg_suffix(cfg: ExpConfig) -> String {
 #[must_use]
 pub fn cache_key(base: ExpConfig, req: &Request) -> Option<String> {
     let cfg = effective_cfg(base, req);
-    if req.path == "/v1/sweep" {
-        let q = runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")).ok()?;
-        return Some(format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg)));
-    }
-    for kind in ["table", "figure"] {
-        if let Some(raw_n) = req.path.strip_prefix(&format!("/v1/{kind}/")) {
-            let n: usize = raw_n.parse().ok()?;
-            return Some(format!("{kind}/{n}{}", cfg_suffix(cfg)));
+    for fam in &FAMILIES {
+        match fam.run {
+            FamilyKind::Numbered(_) => {
+                if let Some(raw_n) = req.path.strip_prefix(&format!("/v1/{}/", fam.kind)) {
+                    let n: usize = raw_n.parse().ok()?;
+                    return Some(format!("{}/{n}{}", fam.kind, cfg_suffix(cfg)));
+                }
+            }
+            FamilyKind::Whole(_) => {
+                if req.path == format!("/v1/{}", fam.kind) {
+                    return Some(format!("{}{}", fam.kind, cfg_suffix(cfg)));
+                }
+            }
+            FamilyKind::Swept => {
+                if req.path == format!("/v1/{}", fam.kind) {
+                    let q = runner::SweepQuery::parse(
+                        req.query_param("entries"),
+                        req.query_param("ways"),
+                    )
+                    .ok()?;
+                    return Some(format!("{}/{}{}", fam.kind, q.canonical(), cfg_suffix(cfg)));
+                }
+            }
         }
     }
     None
@@ -308,37 +356,31 @@ fn route(state: &AppState, req: &Request, queue_depth: usize) -> Routed {
             state.start_drain();
             routed(Response::text(200, "draining\n"), Endpoint::Other, CacheOutcome::Uncached)
         }
-        "/v1/sweep" => {
-            let cfg = effective_cfg(state.cfg, req);
-            match runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")) {
-                Err(err) => {
-                    let (status, body) = error_response(&err);
-                    routed(Response::text(status, body), Endpoint::Sweep, CacheOutcome::Uncached)
-                }
-                Ok(q) => {
-                    let key = format!("sweep/{}{}", q.canonical(), cfg_suffix(cfg));
-                    let (status, body, outcome) =
-                        cached_artifact(state, key, deadline, || rendered(runner::sweep(cfg, &q)));
-                    routed(
-                        Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
-                        Endpoint::Sweep,
-                        outcome,
-                    )
-                }
-            }
-        }
         path => {
-            if let Some(n) = path.strip_prefix("/v1/table/") {
-                artifact(state, req, deadline, Endpoint::Table, "table", n, runner::table)
-            } else if let Some(n) = path.strip_prefix("/v1/figure/") {
-                artifact(state, req, deadline, Endpoint::Figure, "figure", n, runner::figure)
-            } else {
-                routed(
-                    Response::text(404, format!("no route for {path}\n")),
-                    Endpoint::Other,
-                    CacheOutcome::Uncached,
-                )
+            for fam in &FAMILIES {
+                match fam.run {
+                    FamilyKind::Numbered(run) => {
+                        if let Some(n) = path.strip_prefix(&format!("/v1/{}/", fam.kind)) {
+                            return artifact(state, req, deadline, fam.endpoint, fam.kind, n, run);
+                        }
+                    }
+                    FamilyKind::Whole(run) => {
+                        if path == format!("/v1/{}", fam.kind) {
+                            return whole_artifact(state, req, deadline, fam.endpoint, fam.kind, run);
+                        }
+                    }
+                    FamilyKind::Swept => {
+                        if path == format!("/v1/{}", fam.kind) {
+                            return swept_artifact(state, req, deadline, fam.endpoint, fam.kind);
+                        }
+                    }
+                }
             }
+            routed(
+                Response::text(404, format!("no route for {path}\n")),
+                Endpoint::Other,
+                CacheOutcome::Uncached,
+            )
         }
     }
 }
@@ -431,6 +473,54 @@ fn artifact(
         endpoint,
         outcome,
     )
+}
+
+/// A whole-family artifact (`FamilyKind::Whole`): one render per
+/// config, keyed `{kind}@scale=..;sci_n=..`.
+fn whole_artifact(
+    state: &AppState,
+    req: &Request,
+    deadline: Instant,
+    endpoint: Endpoint,
+    kind: &'static str,
+    run: fn(ExpConfig) -> Result<String, ExperimentError>,
+) -> Routed {
+    let cfg = effective_cfg(state.cfg, req);
+    let key = format!("{kind}{}", cfg_suffix(cfg));
+    let (status, body, outcome) = cached_artifact(state, key, deadline, || rendered(run(cfg)));
+    routed(
+        Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
+        endpoint,
+        outcome,
+    )
+}
+
+/// The swept family (`FamilyKind::Swept`): axes parse and canonicalize
+/// into the key, so `entries=16,8` and `entries=8,16` share a render.
+fn swept_artifact(
+    state: &AppState,
+    req: &Request,
+    deadline: Instant,
+    endpoint: Endpoint,
+    kind: &'static str,
+) -> Routed {
+    let cfg = effective_cfg(state.cfg, req);
+    match runner::SweepQuery::parse(req.query_param("entries"), req.query_param("ways")) {
+        Err(err) => {
+            let (status, body) = error_response(&err);
+            routed(Response::text(status, body), endpoint, CacheOutcome::Uncached)
+        }
+        Ok(q) => {
+            let key = format!("{kind}/{}{}", q.canonical(), cfg_suffix(cfg));
+            let (status, body, outcome) =
+                cached_artifact(state, key, deadline, || rendered(runner::sweep(cfg, &q)));
+            routed(
+                Response::text(status, body).with_header("x-memo-cache", cache_label(outcome)),
+                endpoint,
+                outcome,
+            )
+        }
+    }
 }
 
 #[cfg(test)]
@@ -649,10 +739,33 @@ mod tests {
         let via_key = cache_key(cfg, &get("/v1/sweep?entries=16,8&ways=2")).unwrap();
         let q = runner::SweepQuery::parse(Some("16,8"), Some("2")).unwrap();
         assert_eq!(via_key, format!("sweep/{}@scale=16;sci_n=16", q.canonical()));
+        // Whole-family artifacts key on the config alone.
+        assert_eq!(cache_key(cfg, &get("/v1/region")).as_deref(), Some("region@scale=16;sci_n=16"));
+        assert_eq!(
+            cache_key(cfg, &get("/v1/region?sci_n=24")).as_deref(),
+            Some("region@scale=16;sci_n=24")
+        );
         // Non-artifact routes and unparseable sweeps have no key.
         assert_eq!(cache_key(cfg, &get("/healthz")), None);
         assert_eq!(cache_key(cfg, &get("/v1/table/abc")), None);
         assert_eq!(cache_key(cfg, &get("/v1/sweep?entries=nope")), None);
+        assert_eq!(cache_key(cfg, &get("/v1/region/1")), None);
+    }
+
+    #[test]
+    fn region_matches_runner_bytes_and_caches() {
+        let s = state();
+        let direct = runner::region(ExpConfig::quick()).unwrap();
+        let r = handle(&s, &get("/v1/region"), 0);
+        assert_eq!(r.response.status, 200);
+        assert_eq!(r.response.body, format!("{direct}\n").into_bytes());
+        assert_eq!(r.endpoint, Endpoint::Region);
+        assert_eq!(r.cache, CacheOutcome::Miss);
+
+        let r2 = handle(&s, &get("/v1/region"), 0);
+        assert_eq!(r2.cache, CacheOutcome::Hit);
+        assert_eq!(r2.response.body, r.response.body);
+        assert!(r2.response.headers.iter().any(|(k, v)| k == "x-memo-cache" && v == "hit"));
     }
 
     #[test]
